@@ -1,0 +1,67 @@
+// Ablations of this reproduction's two key design substitutions (DESIGN.md):
+//
+//   1. MLM pre-training of the LM extractor (the stand-in for BERT's
+//      pre-training). Expectation: without it, transfer quality drops —
+//      the mechanism behind the paper's Finding 5.
+//   2. Cross-entity token-overlap flags (the Ditto-style injection that
+//      makes matching learnable at this model scale). Expectation: without
+//      them, the scaled-down model cannot learn matching at all.
+//
+// Each ablation runs NoDA and MMD on one similar-domain and one
+// cross-domain pair.
+
+#include "bench/bench_common.h"
+
+using namespace dader;
+
+int main(int argc, char** argv) {
+  bench::BenchEnv env = bench::ParseBenchArgs(argc, argv, "ablation.csv");
+  if (env.scale.name == "smoke") env.scale.num_seeds = 1;
+
+  const std::vector<std::pair<std::string, std::string>> kPairs = {
+      {"WA", "AB"}, {"B2", "FZ"}};
+  struct Variant {
+    const char* name;
+    bool pretrained;
+    bool overlap;
+  };
+  const Variant kVariants[] = {
+      {"full (pretrain+overlap)", true, true},
+      {"- pretraining", false, true},
+      {"- overlap flags", true, false},
+      {"- both", false, false},
+  };
+
+  std::printf("== Ablation: pre-training and overlap-flag injection ==\n");
+  bench::CsvReport csv(
+      {"source", "target", "variant", "method", "f1_mean", "f1_std"});
+  for (const auto& [src, tgt] : kPairs) {
+    std::printf("\n-- %s -> %s --\n", src.c_str(), tgt.c_str());
+    std::printf("%-26s %10s %10s\n", "variant", "NoDA", "MMD");
+    for (const Variant& v : kVariants) {
+      core::ExperimentScale scale = env.scale;
+      scale.model.use_overlap_flags = v.overlap;
+      std::printf("%-26s", v.name);
+      for (core::AlignMethod m :
+           {core::AlignMethod::kNoDA, core::AlignMethod::kMMD}) {
+        core::DaCellOptions options;
+        options.pretrained_lm = v.pretrained;
+        options.base_seed = env.seed;
+        auto cell = core::RunDaCell(src, tgt, m, scale, options);
+        cell.status().CheckOK();
+        const auto& f1 = cell.ValueOrDie().f1;
+        std::printf(" %10.1f", f1.mean * 100);
+        std::fflush(stdout);
+        csv.AddRow({src, tgt, v.name, core::AlignMethodName(m),
+                    std::to_string(f1.mean), std::to_string(f1.std)});
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf(
+      "\nExpected: removing pre-training lowers F1 (Finding-5 mechanism);\n"
+      "removing the overlap flags collapses learnability at this scale,\n"
+      "which is why DESIGN.md adopts the Ditto-style injection.\n");
+  csv.WriteIfRequested(env.csv_path);
+  return 0;
+}

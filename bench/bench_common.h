@@ -1,0 +1,146 @@
+// Shared plumbing for the experiment bench binaries: scale selection,
+// report formatting, and CSV output of every table/figure series.
+
+#pragma once
+
+#include <algorithm>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/dader.h"
+#include "util/csv.h"
+#include "util/string_util.h"
+#include "util/flags.h"
+#include "util/timer.h"
+
+namespace dader::bench {
+
+/// \brief Parsed bench environment.
+struct BenchEnv {
+  core::ExperimentScale scale;
+  std::string csv_path;   ///< machine-readable copy of the report
+  uint64_t seed = 42;
+};
+
+/// \brief Parses --scale / --csv / --seed; honors $DADER_SCALE when --scale
+/// is not given. Exits on flag errors.
+inline BenchEnv ParseBenchArgs(int argc, char** argv,
+                               const std::string& default_csv) {
+  FlagParser flags;
+  flags.DefineString("scale", "", "smoke|small|full (default: $DADER_SCALE or smoke)");
+  flags.DefineString("csv", default_csv, "CSV output path (empty = none)");
+  flags.DefineInt("seed", 42, "base seed");
+  Status st = flags.Parse(argc, argv);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n%s", st.ToString().c_str(), flags.Help().c_str());
+    std::exit(1);
+  }
+  BenchEnv env;
+  env.scale = core::ResolveScale(flags.GetString("scale"));
+  env.csv_path = flags.GetString("csv");
+  env.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  return env;
+}
+
+/// \brief Collects rows and writes them to CSV at the end.
+class CsvReport {
+ public:
+  explicit CsvReport(std::vector<std::string> header) {
+    table_.header = std::move(header);
+  }
+
+  void AddRow(std::vector<std::string> row) {
+    table_.rows.push_back(std::move(row));
+  }
+
+  void WriteIfRequested(const std::string& path) const {
+    if (path.empty()) return;
+    Status st = WriteCsvFile(path, table_);
+    if (!st.ok()) {
+      std::fprintf(stderr, "csv write failed: %s\n", st.ToString().c_str());
+    } else {
+      std::printf("[csv written to %s]\n", path.c_str());
+    }
+  }
+
+ private:
+  CsvTable table_;
+};
+
+/// \brief "62.4 +/- 1.3" formatting of a MeanStd (scaled to F1*100).
+inline std::string FormatF1(const core::MeanStd& ms) {
+  return dader::StrFormat("%5.1f +/- %4.1f", ms.mean * 100, ms.std * 100);
+}
+
+/// \brief Source->target pairs of the Table 3 "similar domains" experiment.
+inline const std::vector<std::pair<std::string, std::string>>& SimilarPairs() {
+  static const std::vector<std::pair<std::string, std::string>> kPairs = {
+      {"WA", "AB"}, {"AB", "WA"}, {"DS", "DA"},
+      {"DA", "DS"}, {"ZY", "FZ"}, {"FZ", "ZY"}};
+  return kPairs;
+}
+
+/// \brief Pairs of the Table 4 "different domains" experiment.
+inline const std::vector<std::pair<std::string, std::string>>& DifferentPairs() {
+  static const std::vector<std::pair<std::string, std::string>> kPairs = {
+      {"RI", "AB"}, {"RI", "WA"}, {"IA", "DA"},
+      {"IA", "DS"}, {"B2", "FZ"}, {"B2", "ZY"}};
+  return kPairs;
+}
+
+/// \brief The 12 directed WDC category pairs of Table 5.
+inline const std::vector<std::pair<std::string, std::string>>& WdcPairs() {
+  static const std::vector<std::pair<std::string, std::string>> kPairs = {
+      {"CO", "WT"}, {"WT", "CO"}, {"CA", "WT"}, {"WT", "CA"},
+      {"SH", "WT"}, {"WT", "SH"}, {"CO", "SH"}, {"SH", "CO"},
+      {"CA", "SH"}, {"SH", "CA"}, {"CO", "CA"}, {"CA", "CO"}};
+  return kPairs;
+}
+
+/// \brief Runs one full table (NoDA + all six aligners per pair) and prints
+/// rows in the paper's layout.
+inline void RunDaTable(const char* title,
+                       const std::vector<std::pair<std::string, std::string>>& pairs,
+                       const BenchEnv& env) {
+  std::printf("== %s (scale=%s, %lld seeds) ==\n", title,
+              env.scale.name.c_str(),
+              static_cast<long long>(env.scale.num_seeds));
+  std::printf("%-6s %-6s | %-15s", "Source", "Target", "NoDA");
+  for (core::AlignMethod m : core::AllAlignMethods()) {
+    std::printf(" %-15s", core::AlignMethodName(m));
+  }
+  std::printf(" %-6s\n", "dF1");
+
+  CsvReport csv({"source", "target", "method", "f1_mean", "f1_std"});
+  Stopwatch total;
+  for (const auto& [src, tgt] : pairs) {
+    core::DaCellOptions options;
+    options.base_seed = env.seed;
+    auto noda = core::RunDaCell(src, tgt, core::AlignMethod::kNoDA, env.scale,
+                                options);
+    noda.status().CheckOK();
+    std::printf("%-6s %-6s | %-15s", src.c_str(), tgt.c_str(),
+                FormatF1(noda.ValueOrDie().f1).c_str());
+    std::fflush(stdout);
+    csv.AddRow({src, tgt, "NoDA", std::to_string(noda.ValueOrDie().f1.mean),
+                std::to_string(noda.ValueOrDie().f1.std)});
+    double best_da = -1.0;
+    for (core::AlignMethod m : core::AllAlignMethods()) {
+      auto cell = core::RunDaCell(src, tgt, m, env.scale, options);
+      cell.status().CheckOK();
+      const auto& f1 = cell.ValueOrDie().f1;
+      best_da = std::max(best_da, f1.mean);
+      std::printf(" %-15s", FormatF1(f1).c_str());
+      std::fflush(stdout);
+      csv.AddRow({src, tgt, core::AlignMethodName(m),
+                  std::to_string(f1.mean), std::to_string(f1.std)});
+    }
+    std::printf(" %+6.1f\n", (best_da - noda.ValueOrDie().f1.mean) * 100);
+  }
+  std::printf("[%s done in %.0fs]\n", title, total.ElapsedSeconds());
+  csv.WriteIfRequested(env.csv_path);
+}
+
+}  // namespace dader::bench

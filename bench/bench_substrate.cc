@@ -1,0 +1,148 @@
+// Substrate microbenchmarks (google-benchmark): the hot paths every DADER
+// experiment exercises — GEMM, tokenization/serialization, extractor
+// forward/backward, and the DA losses.
+
+#include <benchmark/benchmark.h>
+
+#include "core/dader.h"
+#include "tensor/da_losses.h"
+#include "tensor/nn_ops.h"
+#include "tensor/ops.h"
+
+namespace dader {
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::RandomUniform({n, n}, -1, 1, &rng);
+  Tensor b = Tensor::RandomUniform({n, n}, -1, 1, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::MatMul(a, b).data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_MatMulBackward(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(2);
+  Tensor a = Tensor::RandomUniform({n, n}, -1, 1, &rng, true);
+  Tensor b = Tensor::RandomUniform({n, n}, -1, 1, &rng, true);
+  for (auto _ : state) {
+    a.ZeroGrad();
+    b.ZeroGrad();
+    ops::SumAll(ops::MatMul(a, b)).Backward();
+  }
+  state.SetItemsProcessed(state.iterations() * 6 * n * n * n);
+}
+BENCHMARK(BM_MatMulBackward)->Arg(32)->Arg(64);
+
+void BM_Tokenize(benchmark::State& state) {
+  const std::string text =
+      "samsung 52 ' series 7 black flat panel lcd television with dynamic "
+      "contrast ratio 120hz response time and premium warranty";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::WordTokenize(text));
+  }
+}
+BENCHMARK(BM_Tokenize);
+
+void BM_SerializePair(benchmark::State& state) {
+  data::GenerateOptions opts;
+  opts.scale = 0.01;
+  opts.min_pairs = 50;
+  auto ds = data::GenerateDataset("WA", opts).ValueOrDie();
+  text::HashingVocab vocab(4096);
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& p = ds.pair(i++ % ds.size());
+    benchmark::DoNotOptimize(
+        text::EncodePair(p.a.ToAttrValues(ds.schema_a()),
+                         p.b.ToAttrValues(ds.schema_b()), vocab, 32));
+  }
+}
+BENCHMARK(BM_SerializePair);
+
+void BM_LmExtractorForward(benchmark::State& state) {
+  core::DaderConfig config;  // smoke-scale model
+  core::LMFeatureExtractor extractor(config, 1);
+  extractor.SetTraining(false);
+  data::GenerateOptions opts;
+  opts.scale = 0.01;
+  opts.min_pairs = 64;
+  auto ds = data::GenerateDataset("WA", opts).ValueOrDie();
+  std::vector<size_t> indices;
+  for (size_t i = 0; i < 16; ++i) indices.push_back(i);
+  core::EncodedBatch batch = extractor.EncodePairs(ds, indices);
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extractor.Forward(batch, &rng).data());
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_LmExtractorForward);
+
+void BM_RnnExtractorForward(benchmark::State& state) {
+  core::DaderConfig config;
+  core::RNNFeatureExtractor extractor(config, 1);
+  extractor.SetTraining(false);
+  data::GenerateOptions opts;
+  opts.scale = 0.01;
+  opts.min_pairs = 64;
+  auto ds = data::GenerateDataset("WA", opts).ValueOrDie();
+  std::vector<size_t> indices;
+  for (size_t i = 0; i < 16; ++i) indices.push_back(i);
+  core::EncodedBatch batch = extractor.EncodePairs(ds, indices);
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extractor.Forward(batch, &rng).data());
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_RnnExtractorForward);
+
+void BM_MmdLoss(benchmark::State& state) {
+  Rng rng(3);
+  Tensor xs = Tensor::RandomUniform({32, 32}, -1, 1, &rng, true);
+  Tensor xt = Tensor::RandomUniform({32, 32}, -1, 1, &rng, true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::MmdLoss(xs, xt).item());
+  }
+}
+BENCHMARK(BM_MmdLoss);
+
+void BM_CoralLoss(benchmark::State& state) {
+  Rng rng(4);
+  Tensor xs = Tensor::RandomUniform({32, 32}, -1, 1, &rng, true);
+  Tensor xt = Tensor::RandomUniform({32, 32}, -1, 1, &rng, true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::CoralLoss(xs, xt).item());
+  }
+}
+BENCHMARK(BM_CoralLoss);
+
+void BM_GenerateDataset(benchmark::State& state) {
+  data::GenerateOptions opts;
+  opts.scale = 0.02;
+  opts.min_pairs = 200;
+  for (auto _ : state) {
+    opts.seed++;
+    benchmark::DoNotOptimize(data::GenerateDataset("WA", opts).ValueOrDie());
+  }
+}
+BENCHMARK(BM_GenerateDataset);
+
+void BM_OverlapBlocking(benchmark::State& state) {
+  auto tables = data::GenerateTables("AB", 300, 5).ValueOrDie();
+  data::OverlapBlocker blocker;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(blocker.GenerateCandidates(tables.a, tables.b));
+  }
+}
+BENCHMARK(BM_OverlapBlocking);
+
+}  // namespace
+}  // namespace dader
+
+BENCHMARK_MAIN();

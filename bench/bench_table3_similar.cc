@@ -1,0 +1,16 @@
+// Table 3: domain adaptation between SIMILAR domains — six source->target
+// pairs within the product / citation / restaurant domains, NoDA baseline
+// against all six Feature Aligner designs, mean +/- std F1 and the best-DA
+// improvement column.
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  auto env = dader::bench::ParseBenchArgs(argc, argv, "table3_similar.csv");
+  // Single-core runtime guard: one seed at smoke scale (std column omitted);
+  // --scale=small/full restores the paper's repeated runs.
+  if (env.scale.name == "smoke") env.scale.num_seeds = 1;
+  dader::bench::RunDaTable("Table 3: similar domains",
+                           dader::bench::SimilarPairs(), env);
+  return 0;
+}

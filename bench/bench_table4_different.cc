@@ -1,0 +1,15 @@
+// Table 4: domain adaptation between DIFFERENT domains — six cross-domain
+// source->target pairs (movies -> products, music -> citations,
+// books -> restaurants), where the paper finds the largest DA gains.
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  auto env = dader::bench::ParseBenchArgs(argc, argv, "table4_different.csv");
+  // Single-core runtime guard: one seed at smoke scale (std column omitted);
+  // --scale=small/full restores the paper's repeated runs.
+  if (env.scale.name == "smoke") env.scale.num_seeds = 1;
+  dader::bench::RunDaTable("Table 4: different domains",
+                           dader::bench::DifferentPairs(), env);
+  return 0;
+}

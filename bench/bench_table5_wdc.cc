@@ -1,0 +1,15 @@
+// Table 5: the WDC product corpus — 12 directed pairs among four categories
+// that share a common Title vocabulary, where domain shift is small and the
+// paper finds DA gains between -1.5 and +8.3.
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  auto env = dader::bench::ParseBenchArgs(argc, argv, "table5_wdc.csv");
+  // 12 directed pairs x 7 methods: one seed at smoke scale keeps this
+  // tractable on a single core; --scale=small/full restores repeats.
+  if (env.scale.name == "smoke") env.scale.num_seeds = 1;
+  dader::bench::RunDaTable("Table 5: WDC categories (same website style)",
+                           dader::bench::WdcPairs(), env);
+  return 0;
+}

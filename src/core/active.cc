@@ -1,0 +1,29 @@
+#include "core/active.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace dader::core {
+
+std::vector<size_t> SelectMaxEntropy(const std::vector<float>& match_probs,
+                                     const std::vector<bool>& already_selected,
+                                     size_t k) {
+  DADER_CHECK_EQ(match_probs.size(), already_selected.size());
+  // Entropy of Bernoulli(p) is monotone in -|p - 0.5|, so rank by that.
+  std::vector<std::pair<float, size_t>> scored;
+  for (size_t i = 0; i < match_probs.size(); ++i) {
+    if (already_selected[i]) continue;
+    scored.emplace_back(std::fabs(match_probs[i] - 0.5f), i);
+  }
+  k = std::min(k, scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + static_cast<long>(k),
+                    scored.end());
+  std::vector<size_t> out;
+  out.reserve(k);
+  for (size_t i = 0; i < k; ++i) out.push_back(scored[i].second);
+  return out;
+}
+
+}  // namespace dader::core

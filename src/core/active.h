@@ -1,0 +1,18 @@
+// Maximum-entropy active label selection (Section 6.5.2 / Figure 11):
+// pick the pairs whose current match probability is most uncertain.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dader::core {
+
+/// \brief Indices of the `k` unselected pairs with highest prediction
+/// entropy (probability closest to 0.5). `already_selected[i]` marks pairs
+/// that were labeled in earlier rounds.
+std::vector<size_t> SelectMaxEntropy(const std::vector<float>& match_probs,
+                                     const std::vector<bool>& already_selected,
+                                     size_t k);
+
+}  // namespace dader::core

@@ -1,0 +1,66 @@
+#include "core/config.h"
+
+#include <cstdlib>
+
+namespace dader::core {
+
+ExperimentScale SmokeScale() {
+  ExperimentScale s;
+  s.name = "smoke";
+  s.model = DaderConfig{};
+  s.model.epochs = 12;
+  s.model.batch_size = 32;
+  s.data_scale = 0.05;
+  s.min_pairs = 600;
+  s.num_seeds = 2;
+  s.valid_fraction = 0.2;
+  return s;
+}
+
+ExperimentScale SmallScale() {
+  ExperimentScale s;
+  s.name = "small";
+  s.model = DaderConfig{};
+  s.model.max_len = 48;
+  s.model.hidden_dim = 48;
+  s.model.ffn_dim = 96;
+  s.model.num_layers = 2;
+  s.model.rnn_hidden = 32;
+  s.model.epochs = 12;
+  s.data_scale = 0.08;
+  s.min_pairs = 500;
+  s.num_seeds = 3;
+  s.valid_fraction = 0.15;
+  return s;
+}
+
+ExperimentScale FullScale() {
+  ExperimentScale s;
+  s.name = "full";
+  s.model = DaderConfig{};
+  s.model.vocab_size = 8192;
+  s.model.max_len = 64;
+  s.model.hidden_dim = 64;
+  s.model.ffn_dim = 128;
+  s.model.num_layers = 2;
+  s.model.rnn_hidden = 48;
+  s.model.epochs = 20;
+  s.data_scale = 0.15;
+  s.min_pairs = 700;
+  s.num_seeds = 3;
+  s.valid_fraction = 0.1;
+  return s;
+}
+
+ExperimentScale ResolveScale(const std::string& name) {
+  std::string n = name;
+  if (n.empty()) {
+    const char* env = std::getenv("DADER_SCALE");
+    if (env != nullptr) n = env;
+  }
+  if (n == "small") return SmallScale();
+  if (n == "full") return FullScale();
+  return SmokeScale();
+}
+
+}  // namespace dader::core

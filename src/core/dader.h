@@ -1,0 +1,34 @@
+// Umbrella header: the public API of the DADER library.
+//
+// Quickstart:
+//
+//   #include "core/dader.h"
+//   using namespace dader;
+//
+//   auto scale = core::SmokeScale();
+//   auto task = core::BuildDaTask("WA", "AB", scale).ValueOrDie();
+//   auto model = core::BuildModel(core::ExtractorKind::kLM, scale,
+//                                 /*pretrained=*/true, /*seed=*/42)
+//                    .ValueOrDie();
+//   auto outcome = core::RunSingleDa(core::AlignMethod::kMMD, scale, task,
+//                                    &model).ValueOrDie();
+//   printf("target F1 = %.1f\n", outcome.test_f1 * 100);
+//
+// See examples/ for runnable programs and DESIGN.md for the architecture.
+
+#pragma once
+
+#include "core/active.h"
+#include "core/config.h"
+#include "core/dataset_distance.h"
+#include "core/evaluator.h"
+#include "core/experiment.h"
+#include "core/feature_extractor.h"
+#include "core/matcher.h"
+#include "core/metrics.h"
+#include "core/pretrain.h"
+#include "core/reweight.h"
+#include "core/trainer.h"
+#include "core/tsne.h"
+#include "data/blocking.h"
+#include "data/generators.h"

@@ -1,0 +1,34 @@
+#include "core/dataset_distance.h"
+
+#include <numeric>
+
+#include "core/evaluator.h"
+#include "tensor/da_losses.h"
+
+namespace dader::core {
+
+namespace {
+
+data::ERDataset Subsample(const data::ERDataset& ds, int64_t max_pairs,
+                          Rng* rng) {
+  if (static_cast<int64_t>(ds.size()) <= max_pairs) return ds;
+  return ds.Subset(rng->SampleIndices(ds.size(), static_cast<size_t>(max_pairs)));
+}
+
+}  // namespace
+
+double DatasetMmdDistance(FeatureExtractor* extractor,
+                          const data::ERDataset& source,
+                          const data::ERDataset& target, int64_t max_pairs,
+                          Rng* rng) {
+  DADER_CHECK_GT(max_pairs, 0);
+  const data::ERDataset s = Subsample(source, max_pairs, rng);
+  const data::ERDataset t = Subsample(target, max_pairs, rng);
+  const Tensor fs = ExtractAllFeatures(extractor, s,
+                                       extractor->config().batch_size, rng);
+  const Tensor ft = ExtractAllFeatures(extractor, t,
+                                       extractor->config().batch_size, rng);
+  return static_cast<double>(ops::MmdValue(fs, ft));
+}
+
+}  // namespace dader::core

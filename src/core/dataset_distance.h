@@ -1,0 +1,18 @@
+// Source-target dataset distance (Section 6.2.2 / Figure 6): MMD between
+// the feature distributions of two datasets under a (pre-trained) extractor.
+
+#pragma once
+
+#include "core/feature_extractor.h"
+
+namespace dader::core {
+
+/// \brief MMD between features of up to `max_pairs` pairs of each dataset
+/// under `extractor` (median-heuristic bandwidths). Smaller = closer
+/// domains; Finding 2 relates this to DA gains.
+double DatasetMmdDistance(FeatureExtractor* extractor,
+                          const data::ERDataset& source,
+                          const data::ERDataset& target, int64_t max_pairs,
+                          Rng* rng);
+
+}  // namespace dader::core

@@ -1,0 +1,96 @@
+#include "core/evaluator.h"
+
+#include "tensor/ops.h"
+
+namespace dader::core {
+
+namespace ops = ::dader::ops;
+
+namespace {
+
+// RAII guard putting modules into eval mode.
+class EvalModeGuard {
+ public:
+  EvalModeGuard(nn::Module* a, nn::Module* b) : a_(a), b_(b) {
+    was_a_ = a_->training();
+    a_->SetTraining(false);
+    if (b_ != nullptr) {
+      was_b_ = b_->training();
+      b_->SetTraining(false);
+    }
+  }
+  ~EvalModeGuard() {
+    a_->SetTraining(was_a_);
+    if (b_ != nullptr) b_->SetTraining(was_b_);
+  }
+
+ private:
+  nn::Module* a_;
+  nn::Module* b_;
+  bool was_a_ = true;
+  bool was_b_ = true;
+};
+
+}  // namespace
+
+Prediction Predict(FeatureExtractor* extractor, Matcher* matcher,
+                   const data::ERDataset& dataset, int64_t batch_size,
+                   Rng* rng) {
+  DADER_CHECK(extractor != nullptr);
+  DADER_CHECK(matcher != nullptr);
+  DADER_CHECK_GT(batch_size, 0);
+  EvalModeGuard guard(extractor, matcher);
+
+  Prediction out;
+  out.labels.reserve(dataset.size());
+  out.probs.reserve(dataset.size());
+  for (size_t start = 0; start < dataset.size();
+       start += static_cast<size_t>(batch_size)) {
+    const size_t end =
+        std::min(dataset.size(), start + static_cast<size_t>(batch_size));
+    std::vector<size_t> indices;
+    for (size_t i = start; i < end; ++i) indices.push_back(i);
+    EncodedBatch batch = extractor->EncodePairs(dataset, indices);
+    Tensor features = extractor->Forward(batch, rng).Detach();
+    const std::vector<float> probs =
+        matcher->PredictProbabilities(features, rng);
+    for (float p : probs) {
+      out.probs.push_back(p);
+      out.labels.push_back(p >= 0.5f ? 1 : 0);
+    }
+  }
+  return out;
+}
+
+ErMetrics Evaluate(FeatureExtractor* extractor, Matcher* matcher,
+                   const data::ERDataset& dataset, int64_t batch_size,
+                   Rng* rng) {
+  const Prediction pred = Predict(extractor, matcher, dataset, batch_size, rng);
+  std::vector<int> labels;
+  labels.reserve(dataset.size());
+  for (const auto& p : dataset.pairs()) {
+    DADER_CHECK_MSG(p.labeled(), "Evaluate requires labeled pairs");
+    labels.push_back(p.label);
+  }
+  return ComputeMetrics(pred.labels, labels);
+}
+
+Tensor ExtractAllFeatures(FeatureExtractor* extractor,
+                          const data::ERDataset& dataset, int64_t batch_size,
+                          Rng* rng) {
+  DADER_CHECK_GT(dataset.size(), 0u);
+  EvalModeGuard guard(extractor, nullptr);
+  std::vector<Tensor> chunks;
+  for (size_t start = 0; start < dataset.size();
+       start += static_cast<size_t>(batch_size)) {
+    const size_t end =
+        std::min(dataset.size(), start + static_cast<size_t>(batch_size));
+    std::vector<size_t> indices;
+    for (size_t i = start; i < end; ++i) indices.push_back(i);
+    EncodedBatch batch = extractor->EncodePairs(dataset, indices);
+    chunks.push_back(extractor->Forward(batch, rng).Detach());
+  }
+  return ops::Concat(chunks, 0).Detach();
+}
+
+}  // namespace dader::core

@@ -1,0 +1,37 @@
+// Batched inference and evaluation of a (Feature Extractor, Matcher) pair.
+
+#pragma once
+
+#include <vector>
+
+#include "core/feature_extractor.h"
+#include "core/matcher.h"
+#include "core/metrics.h"
+
+namespace dader::core {
+
+/// \brief Model outputs over a whole dataset.
+struct Prediction {
+  std::vector<int> labels;    ///< argmax 0/1 per pair
+  std::vector<float> probs;   ///< p(match) per pair
+};
+
+/// \brief Runs M(F(x)) over every pair of `dataset` in eval mode (dropout
+/// off); restores the modules' previous training mode afterwards.
+Prediction Predict(FeatureExtractor* extractor, Matcher* matcher,
+                   const data::ERDataset& dataset, int64_t batch_size,
+                   Rng* rng);
+
+/// \brief Predict + metrics against the dataset's labels (which must all be
+/// present).
+ErMetrics Evaluate(FeatureExtractor* extractor, Matcher* matcher,
+                   const data::ERDataset& dataset, int64_t batch_size,
+                   Rng* rng);
+
+/// \brief Extracts features for every pair (eval mode, detached) as one
+/// [N, d] tensor; used by t-SNE and the dataset-distance analysis.
+Tensor ExtractAllFeatures(FeatureExtractor* extractor,
+                          const data::ERDataset& dataset, int64_t batch_size,
+                          Rng* rng);
+
+}  // namespace dader::core

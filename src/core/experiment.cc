@@ -1,0 +1,256 @@
+#include "core/experiment.h"
+
+#include "core/active.h"
+#include "core/evaluator.h"
+#include "core/pretrain.h"
+#include "data/generators.h"
+#include "data/sampler.h"
+#include "tensor/nn_ops.h"
+#include "tensor/optimizer.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace dader::core {
+
+namespace ops = ::dader::ops;
+
+namespace {
+
+// Pre-training recipe per scale preset.
+PretrainConfig PretrainForScale(const ExperimentScale& scale) {
+  PretrainConfig pc;
+  if (scale.name == "full") {
+    pc.steps = 800;
+    pc.corpus_scale = 0.05;
+  } else if (scale.name == "small") {
+    pc.steps = 500;
+    pc.corpus_scale = 0.03;
+  } else {
+    pc.steps = 300;
+    pc.corpus_scale = 0.02;
+  }
+  return pc;
+}
+
+data::GenerateOptions GenOptionsFor(const ExperimentScale& scale,
+                                    uint64_t seed) {
+  data::GenerateOptions opts;
+  opts.scale = scale.data_scale;
+  opts.min_pairs = scale.min_pairs;
+  opts.seed = seed;
+  return opts;
+}
+
+}  // namespace
+
+Result<DaTask> BuildDaTask(const std::string& source_name,
+                           const std::string& target_name,
+                           const ExperimentScale& scale, uint64_t data_seed) {
+  DaTask task;
+  DADER_ASSIGN_OR_RETURN(
+      task.source,
+      data::GenerateDataset(source_name, GenOptionsFor(scale, data_seed)));
+  data::ERDataset target;
+  DADER_ASSIGN_OR_RETURN(
+      target,
+      data::GenerateDataset(target_name, GenOptionsFor(scale, data_seed + 1)));
+
+  // Validation:test = 1:9 on the target (Section 6.1); training never sees
+  // target labels outside the validation slice.
+  Rng split_rng(data_seed ^ 0x5117ULL ^ Fnv1a64(target_name));
+  data::DatasetSplits splits =
+      target.Split(0.0, scale.valid_fraction, 1.0 - scale.valid_fraction,
+                   &split_rng);
+  task.target_valid = std::move(splits.valid);
+  task.target_test = std::move(splits.test);
+  task.target_unlabeled = target.WithoutLabels();
+
+  // Small labeled source slice for the Figure-8 source-F1 curves.
+  Rng eval_rng(data_seed ^ 0xe4a1ULL);
+  const size_t eval_n = std::min<size_t>(task.source.size(), 150);
+  task.source_eval =
+      task.source.Subset(eval_rng.SampleIndices(task.source.size(), eval_n));
+  return task;
+}
+
+Result<DaModel> BuildModel(ExtractorKind kind, const ExperimentScale& scale,
+                           bool pretrained, uint64_t seed) {
+  DaModel model;
+  DaderConfig config = scale.model;
+  config.seed = seed;
+  model.extractor = MakeExtractor(kind, config, seed);
+  model.matcher = std::make_unique<Matcher>(model.extractor->feature_dim(),
+                                            seed ^ 0x3aULL);
+  if (kind == ExtractorKind::kLM && pretrained) {
+    auto* lm = static_cast<LMFeatureExtractor*>(model.extractor.get());
+    DADER_RETURN_NOT_OK(LoadOrPretrainLM(lm, PretrainCachePath(scale.name),
+                                         PretrainForScale(scale)));
+  }
+  return model;
+}
+
+Result<DaRunOutcome> RunSingleDa(AlignMethod method,
+                                 const ExperimentScale& scale,
+                                 const DaTask& task, DaModel* model,
+                                 bool track_source_f1,
+                                 EpochCallback callback) {
+  if (model == nullptr || !model->extractor || !model->matcher) {
+    return Status::InvalidArgument("RunSingleDa requires a built model");
+  }
+  DaderConfig config = scale.model;
+  config.seed = model->extractor->config().seed;
+  DaRunOutcome out;
+  out.trainer = std::make_unique<DaTrainer>(method, config,
+                                            model->extractor.get(),
+                                            model->matcher.get());
+  out.train = out.trainer->Train(
+      task.source, task.target_unlabeled, task.target_valid,
+      track_source_f1 ? &task.source_eval : nullptr, std::move(callback));
+  Rng eval_rng(config.seed ^ 0x7e57ULL);
+  out.test_f1 = Evaluate(out.trainer->final_extractor(), model->matcher.get(),
+                         task.target_test, config.batch_size, &eval_rng)
+                    .F1();
+  return out;
+}
+
+Result<DaCellResult> RunDaCell(const std::string& source_name,
+                               const std::string& target_name,
+                               AlignMethod method,
+                               const ExperimentScale& scale,
+                               const DaCellOptions& options) {
+  DADER_ASSIGN_OR_RETURN(DaTask task,
+                         BuildDaTask(source_name, target_name, scale));
+  DaCellResult cell;
+  for (int64_t s = 0; s < scale.num_seeds; ++s) {
+    ExperimentScale seeded = scale;
+    seeded.model.seed = options.base_seed + static_cast<uint64_t>(s) * 1000;
+    DADER_ASSIGN_OR_RETURN(
+        DaModel model, BuildModel(options.extractor, seeded,
+                                  options.pretrained_lm, seeded.model.seed));
+    DADER_ASSIGN_OR_RETURN(DaRunOutcome outcome,
+                           RunSingleDa(method, seeded, task, &model));
+    cell.per_seed_f1.push_back(outcome.test_f1);
+  }
+  cell.f1 = ComputeMeanStd(cell.per_seed_f1);
+  return cell;
+}
+
+const char* SemiMethodName(SemiMethod method) {
+  switch (method) {
+    case SemiMethod::kNoDA:
+      return "NoDA";
+    case SemiMethod::kInvGANKD:
+      return "InvGAN+KD";
+    case SemiMethod::kDitto:
+      return "Ditto";
+    case SemiMethod::kDeepMatcher:
+      return "DeepMatcher";
+  }
+  return "?";
+}
+
+namespace {
+
+// Supervised fine-tuning of (F, M) on a labeled dataset.
+void FineTune(FeatureExtractor* extractor, Matcher* matcher,
+              const data::ERDataset& labeled, const DaderConfig& config,
+              int64_t epochs, Rng* rng) {
+  if (labeled.size() == 0) return;
+  AdamOptimizer opt_f(extractor->Parameters(), config.learning_rate);
+  AdamOptimizer opt_m(matcher->Parameters(), config.learning_rate);
+  data::MinibatchSampler sampler(&labeled, config.batch_size, rng->Fork(3));
+  const size_t iters = sampler.BatchesPerEpoch();
+  extractor->SetTraining(true);
+  matcher->SetTraining(true);
+  for (int64_t e = 0; e < epochs; ++e) {
+    for (size_t it = 0; it < iters; ++it) {
+      const std::vector<size_t> idx = sampler.NextBatch();
+      const EncodedBatch batch = extractor->EncodePairs(labeled, idx);
+      std::vector<int64_t> labels;
+      for (size_t i : idx) labels.push_back(labeled.pair(i).label);
+      Tensor logits = matcher->Forward(extractor->Forward(batch, rng), rng);
+      Tensor loss = ops::CrossEntropyWithLogits(logits, labels);
+      opt_f.ZeroGrad();
+      opt_m.ZeroGrad();
+      loss.Backward();
+      opt_f.ClipGradNorm(config.grad_clip_norm);
+      opt_m.ClipGradNorm(config.grad_clip_norm);
+      opt_f.Step();
+      opt_m.Step();
+    }
+  }
+}
+
+}  // namespace
+
+Result<std::vector<SemiPoint>> RunSemiSupervised(
+    const std::string& source_name, const std::string& target_name,
+    SemiMethod method, const ExperimentScale& scale, int64_t labels_per_round,
+    int64_t rounds, uint64_t seed) {
+  // 3:1:1 target split (the DeepMatcher protocol the paper follows here).
+  data::ERDataset target;
+  DADER_ASSIGN_OR_RETURN(
+      target, data::GenerateDataset(target_name, GenOptionsFor(scale, 8)));
+  Rng split_rng(seed ^ 0x311ULL);
+  data::DatasetSplits splits = target.Split(0.6, 0.2, 0.2, &split_rng);
+  const data::ERDataset& pool = splits.train;  // labels drawn from here
+
+  // Build the model, with DA pre-adaptation for the DA-based competitors.
+  const ExtractorKind kind = method == SemiMethod::kDeepMatcher
+                                 ? ExtractorKind::kRNN
+                                 : ExtractorKind::kLM;
+  const bool pretrained = kind == ExtractorKind::kLM;
+  ExperimentScale seeded = scale;
+  seeded.model.seed = seed;
+  DADER_ASSIGN_OR_RETURN(DaModel model,
+                         BuildModel(kind, seeded, pretrained, seed));
+
+  DaderConfig config = seeded.model;
+  Rng rng(seed ^ 0xf19ULL);
+
+  // The DA competitors first train on the labeled source (NoDA) or run the
+  // full InvGAN+KD adaptation against the unlabeled target pool.
+  std::unique_ptr<DaTrainer> da_trainer;  // keeps F' alive
+  FeatureExtractor* predictor = model.extractor.get();
+  if (method == SemiMethod::kNoDA || method == SemiMethod::kInvGANKD) {
+    DADER_ASSIGN_OR_RETURN(
+        DaTask task, BuildDaTask(source_name, target_name, seeded, 8));
+    const AlignMethod align = method == SemiMethod::kInvGANKD
+                                  ? AlignMethod::kInvGANKD
+                                  : AlignMethod::kNoDA;
+    DADER_ASSIGN_OR_RETURN(DaRunOutcome outcome,
+                           RunSingleDa(align, seeded, task, &model));
+    da_trainer = std::move(outcome.trainer);
+    predictor = da_trainer->final_extractor();
+  }
+
+  std::vector<SemiPoint> series;
+  std::vector<bool> selected(pool.size(), false);
+  std::vector<size_t> labeled_indices;
+  for (int64_t round = 1; round <= rounds; ++round) {
+    // Max-entropy selection against the current model.
+    Prediction pred =
+        Predict(predictor, model.matcher.get(), pool, config.batch_size, &rng);
+    const std::vector<size_t> chosen =
+        SelectMaxEntropy(pred.probs, selected, static_cast<size_t>(labels_per_round));
+    for (size_t i : chosen) {
+      selected[i] = true;
+      labeled_indices.push_back(i);
+    }
+    const data::ERDataset labeled = pool.Subset(labeled_indices);
+
+    FineTune(predictor, model.matcher.get(), labeled, config,
+             /*epochs=*/4, &rng);
+
+    SemiPoint point;
+    point.labels_used = static_cast<int64_t>(labeled_indices.size());
+    Rng eval_rng(seed ^ static_cast<uint64_t>(round));
+    point.test_f1 = Evaluate(predictor, model.matcher.get(), splits.test,
+                             config.batch_size, &eval_rng)
+                        .F1();
+    series.push_back(point);
+  }
+  return series;
+}
+
+}  // namespace dader::core

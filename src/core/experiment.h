@@ -1,0 +1,111 @@
+// High-level experiment runners used by the bench harness: one call per
+// table cell / figure series, handling dataset generation, pre-training,
+// training, model selection, and test evaluation.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/feature_extractor.h"
+#include "core/matcher.h"
+#include "core/metrics.h"
+#include "core/trainer.h"
+
+namespace dader::core {
+
+/// \brief Datasets of one source -> target adaptation task.
+struct DaTask {
+  data::ERDataset source;            ///< labeled source (D^S, Y^S)
+  data::ERDataset target_unlabeled;  ///< D^T with labels stripped
+  data::ERDataset target_valid;      ///< labeled 10% target slice (selection)
+  data::ERDataset target_test;       ///< labeled 90% target slice (reporting)
+  data::ERDataset source_eval;       ///< small labeled source slice (Fig. 8)
+};
+
+/// \brief Generates both datasets at the given scale and builds the 1:9
+/// valid:test split of the target (Section 6.1 protocol).
+Result<DaTask> BuildDaTask(const std::string& source_name,
+                           const std::string& target_name,
+                           const ExperimentScale& scale, uint64_t data_seed = 7);
+
+/// \brief A Feature Extractor + Matcher bundle.
+struct DaModel {
+  std::unique_ptr<FeatureExtractor> extractor;
+  std::unique_ptr<Matcher> matcher;
+};
+
+/// \brief Builds a model; when `kind` is kLM and `pretrained`, loads (or
+/// creates) the cached pre-trained weights for this scale.
+Result<DaModel> BuildModel(ExtractorKind kind, const ExperimentScale& scale,
+                           bool pretrained, uint64_t seed);
+
+/// \brief Result of one seeded DA run.
+struct DaRunOutcome {
+  TrainResult train;
+  double test_f1 = 0.0;   ///< F1 on target_test with the selected snapshot
+  /// Keeps the adapted F' (GAN methods) alive; final_extractor() is the
+  /// model to use for target prediction while `model` also stays alive.
+  std::unique_ptr<DaTrainer> trainer;
+};
+
+/// \brief Trains one (method, task) run; the model is updated in place.
+/// \param track_source_f1 also evaluate task.source_eval per epoch (Fig. 8).
+Result<DaRunOutcome> RunSingleDa(AlignMethod method,
+                                 const ExperimentScale& scale,
+                                 const DaTask& task, DaModel* model,
+                                 bool track_source_f1 = false,
+                                 EpochCallback callback = nullptr);
+
+/// \brief Mean +/- std test F1 of one table cell across seeds.
+struct DaCellResult {
+  MeanStd f1;                      ///< in [0,1]; benches print *100
+  std::vector<double> per_seed_f1;
+};
+
+/// \brief Options for RunDaCell.
+struct DaCellOptions {
+  ExtractorKind extractor = ExtractorKind::kLM;
+  bool pretrained_lm = true;
+  uint64_t base_seed = 42;
+};
+
+/// \brief Runs a full table cell: num_seeds repeats of (source->target,
+/// method), fresh model per seed, shared datasets.
+Result<DaCellResult> RunDaCell(const std::string& source_name,
+                               const std::string& target_name,
+                               AlignMethod method,
+                               const ExperimentScale& scale,
+                               const DaCellOptions& options = {});
+
+// ---------------------------------------------------------------------------
+// Semi-supervised comparison (Figure 11)
+// ---------------------------------------------------------------------------
+
+/// \brief Competitors in the labeled-target comparison.
+enum class SemiMethod {
+  kNoDA,        ///< source training, then fine-tune on target labels
+  kInvGANKD,    ///< DADER adaptation, then fine-tune on target labels
+  kDitto,       ///< pre-trained-LM matcher trained on target labels only
+  kDeepMatcher, ///< RNN matcher trained on target labels only
+};
+
+const char* SemiMethodName(SemiMethod method);
+
+/// \brief One point of a Figure-11 series.
+struct SemiPoint {
+  int64_t labels_used = 0;
+  double test_f1 = 0.0;
+};
+
+/// \brief Runs the active-learning label-budget sweep: `rounds` rounds of
+/// `labels_per_round` max-entropy-selected target labels, evaluating on the
+/// target test split after each round (3:1:1 target split, Section 6.5.2).
+Result<std::vector<SemiPoint>> RunSemiSupervised(
+    const std::string& source_name, const std::string& target_name,
+    SemiMethod method, const ExperimentScale& scale, int64_t labels_per_round,
+    int64_t rounds, uint64_t seed = 42);
+
+}  // namespace dader::core

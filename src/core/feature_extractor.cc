@@ -1,0 +1,144 @@
+#include "core/feature_extractor.h"
+
+#include "tensor/ops.h"
+#include "tensor/nn_ops.h"
+
+namespace dader::core {
+
+namespace ops = ::dader::ops;
+
+EncodedBatch FeatureExtractor::EncodePairs(
+    const data::ERDataset& dataset, const std::vector<size_t>& indices) const {
+  EncodedBatch out;
+  out.batch = static_cast<int64_t>(indices.size());
+  out.max_len = config_.max_len;
+  out.token_ids.reserve(indices.size() * static_cast<size_t>(config_.max_len));
+  out.mask.reserve(out.token_ids.capacity());
+  for (size_t idx : indices) {
+    const data::LabeledPair& p = dataset.pair(idx);
+    text::EncodedSequence seq = text::EncodePair(
+        p.a.ToAttrValues(dataset.schema_a()), p.b.ToAttrValues(dataset.schema_b()),
+        vocab_, config_.max_len);
+    out.token_ids.insert(out.token_ids.end(), seq.ids.begin(), seq.ids.end());
+    out.mask.insert(out.mask.end(), seq.mask.begin(), seq.mask.end());
+    out.overlap.insert(out.overlap.end(), seq.overlap.begin(),
+                       seq.overlap.end());
+  }
+  return out;
+}
+
+LMFeatureExtractor::LMFeatureExtractor(const DaderConfig& config,
+                                       uint64_t seed)
+    : FeatureExtractor(config) {
+  Rng rng(seed);
+  nn::TransformerConfig tc;
+  tc.vocab_size = config.vocab_size;
+  tc.max_len = config.max_len;
+  tc.hidden_dim = config.hidden_dim;
+  tc.num_heads = config.num_heads;
+  tc.num_layers = config.num_layers;
+  tc.ffn_dim = config.ffn_dim;
+  tc.dropout = config.dropout;
+  encoder_ = std::make_unique<nn::TransformerEncoder>(tc, &rng);
+  pooler_ = std::make_unique<nn::Linear>(config.hidden_dim, config.hidden_dim,
+                                         &rng);
+  RegisterModule("encoder", encoder_.get());
+  RegisterModule("pooler", pooler_.get());
+}
+
+Tensor LMFeatureExtractor::EncodeSequence(const EncodedBatch& batch,
+                                          Rng* rng) const {
+  static const std::vector<float> kNoOverlap;
+  return encoder_->Forward(batch.token_ids, batch.mask,
+                           config_.use_overlap_flags ? batch.overlap
+                                                     : kNoOverlap,
+                           batch.batch, rng);
+}
+
+Tensor LMFeatureExtractor::Forward(const EncodedBatch& batch, Rng* rng) const {
+  Tensor hidden = EncodeSequence(batch, rng);        // [B, L, d]
+  Tensor cls = ops::SelectAxis(hidden, 1, 0);        // [B, d] ([CLS])
+  return ops::Tanh(pooler_->Forward(cls));
+}
+
+std::unique_ptr<FeatureExtractor> LMFeatureExtractor::CloneArchitecture(
+    uint64_t seed) const {
+  return std::make_unique<LMFeatureExtractor>(config_, seed);
+}
+
+RNNFeatureExtractor::RNNFeatureExtractor(const DaderConfig& config,
+                                         uint64_t seed)
+    : FeatureExtractor(config) {
+  Rng rng(seed);
+  embedding_ = std::make_unique<nn::Embedding>(config.vocab_size,
+                                               config.hidden_dim, &rng);
+  overlap_emb_ = std::make_unique<nn::Embedding>(2, config.hidden_dim, &rng);
+  bigru_ = std::make_unique<nn::BiGru>(config.hidden_dim, config.rnn_hidden,
+                                       &rng);
+  projection_ = std::make_unique<nn::Linear>(2 * config.rnn_hidden,
+                                             config.hidden_dim, &rng);
+  RegisterModule("embedding", embedding_.get());
+  RegisterModule("overlap_emb", overlap_emb_.get());
+  RegisterModule("bigru", bigru_.get());
+  RegisterModule("projection", projection_.get());
+}
+
+Tensor RNNFeatureExtractor::Forward(const EncodedBatch& batch,
+                                    Rng* rng) const {
+  const int64_t b = batch.batch, l = batch.max_len;
+  Tensor emb = embedding_->Forward(batch.token_ids);  // [B*L, d]
+  if (config_.use_overlap_flags && !batch.overlap.empty()) {
+    std::vector<int64_t> flags(batch.overlap.size());
+    for (size_t i = 0; i < batch.overlap.size(); ++i) {
+      flags[i] = batch.overlap[i] != 0.0f ? 1 : 0;
+    }
+    emb = ops::Add(emb, overlap_emb_->Forward(flags));
+  }
+  emb = ops::Dropout(emb, config_.dropout, rng, training());
+  emb = ops::Reshape(emb, {b, l, config_.hidden_dim});
+  Tensor states = bigru_->Forward(emb);               // [B, L, 2h]
+  const int64_t h2 = bigru_->output_dim();
+
+  // Masked mean pooling: zero padded states, then rescale the plain mean by
+  // L / num_real per row.
+  std::vector<float> mask3(static_cast<size_t>(b * l * h2));
+  std::vector<float> scale(static_cast<size_t>(b * h2));
+  for (int64_t bi = 0; bi < b; ++bi) {
+    float real = 0.0f;
+    for (int64_t t = 0; t < l; ++t) real += batch.mask[static_cast<size_t>(bi * l + t)];
+    if (real < 1.0f) real = 1.0f;
+    const float row_scale = static_cast<float>(l) / real;
+    for (int64_t t = 0; t < l; ++t) {
+      const float mv = batch.mask[static_cast<size_t>(bi * l + t)];
+      for (int64_t j = 0; j < h2; ++j) {
+        mask3[static_cast<size_t>((bi * l + t) * h2 + j)] = mv;
+      }
+    }
+    for (int64_t j = 0; j < h2; ++j) {
+      scale[static_cast<size_t>(bi * h2 + j)] = row_scale;
+    }
+  }
+  Tensor masked = ops::Mul(states, Tensor::FromVector({b, l, h2}, std::move(mask3)));
+  Tensor pooled = ops::MeanAxis(masked, 1);  // [B, 2h], mean over all L
+  pooled = ops::Mul(pooled, Tensor::FromVector({b, h2}, std::move(scale)));
+  return ops::Tanh(projection_->Forward(pooled));
+}
+
+std::unique_ptr<FeatureExtractor> RNNFeatureExtractor::CloneArchitecture(
+    uint64_t seed) const {
+  return std::make_unique<RNNFeatureExtractor>(config_, seed);
+}
+
+std::unique_ptr<FeatureExtractor> MakeExtractor(ExtractorKind kind,
+                                                const DaderConfig& config,
+                                                uint64_t seed) {
+  switch (kind) {
+    case ExtractorKind::kLM:
+      return std::make_unique<LMFeatureExtractor>(config, seed);
+    case ExtractorKind::kRNN:
+      return std::make_unique<RNNFeatureExtractor>(config, seed);
+  }
+  return nullptr;
+}
+
+}  // namespace dader::core

@@ -1,0 +1,111 @@
+// Feature Extractor F (Section 4.2): entity pair -> d-dimensional feature.
+//
+// Two families, as in Table 1:
+//   (I)  RNNFeatureExtractor  — bidirectional GRU over the serialized pair,
+//        masked mean pooling, linear projection. Never pre-trained.
+//   (II) LMFeatureExtractor   — BERT-style transformer over the serialized
+//        pair, [CLS] embedding through a tanh pooler. Pre-trainable with the
+//        masked-token objective in core/pretrain.h.
+//
+// Both consume the same serialization S(a,b) from text/serializer.h, so the
+// comparison in Figure 9 isolates the architecture, not the input format.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/config.h"
+#include "data/dataset.h"
+#include "nn/gru.h"
+#include "nn/transformer.h"
+#include "text/serializer.h"
+
+namespace dader::core {
+
+/// \brief A tokenized minibatch ready for either extractor.
+struct EncodedBatch {
+  std::vector<int64_t> token_ids;  ///< B * max_len ids
+  std::vector<float> mask;         ///< B * max_len, 1=token 0=pad
+  std::vector<float> overlap;      ///< B * max_len cross-entity flags
+  int64_t batch = 0;
+  int64_t max_len = 0;
+};
+
+/// \brief Abstract Feature Extractor F.
+class FeatureExtractor : public nn::Module {
+ public:
+  FeatureExtractor(const DaderConfig& config)
+      : config_(config), vocab_(config.vocab_size) {}
+  ~FeatureExtractor() override = default;
+
+  /// \brief Output feature dimension d.
+  virtual int64_t feature_dim() const = 0;
+
+  /// \brief Features [B, d] for an already-encoded batch.
+  virtual Tensor Forward(const EncodedBatch& batch, Rng* rng) const = 0;
+
+  /// \brief Fresh instance with the same architecture and new random
+  /// weights; used as F' in Algorithm 2 (followed by CopyWeightsFrom).
+  virtual std::unique_ptr<FeatureExtractor> CloneArchitecture(
+      uint64_t seed) const = 0;
+
+  /// \brief Serializes + encodes dataset pairs at `indices` into a batch.
+  EncodedBatch EncodePairs(const data::ERDataset& dataset,
+                           const std::vector<size_t>& indices) const;
+
+  const text::HashingVocab& vocab() const { return vocab_; }
+  const DaderConfig& config() const { return config_; }
+
+ protected:
+  DaderConfig config_;
+  text::HashingVocab vocab_;
+};
+
+/// \brief (II) Pre-trained-LM-style extractor (transformer + [CLS] pooler).
+class LMFeatureExtractor : public FeatureExtractor {
+ public:
+  LMFeatureExtractor(const DaderConfig& config, uint64_t seed);
+
+  int64_t feature_dim() const override { return config_.hidden_dim; }
+  Tensor Forward(const EncodedBatch& batch, Rng* rng) const override;
+  std::unique_ptr<FeatureExtractor> CloneArchitecture(
+      uint64_t seed) const override;
+
+  /// \brief Full hidden states [B, L, d]; the MLM pre-trainer needs
+  /// per-position outputs, not just [CLS].
+  Tensor EncodeSequence(const EncodedBatch& batch, Rng* rng) const;
+
+  nn::TransformerEncoder* encoder() { return encoder_.get(); }
+
+ private:
+  std::unique_ptr<nn::TransformerEncoder> encoder_;
+  std::unique_ptr<nn::Linear> pooler_;
+};
+
+/// \brief (I) RNN extractor (BiGRU + masked mean pooling + projection).
+class RNNFeatureExtractor : public FeatureExtractor {
+ public:
+  RNNFeatureExtractor(const DaderConfig& config, uint64_t seed);
+
+  int64_t feature_dim() const override { return config_.hidden_dim; }
+  Tensor Forward(const EncodedBatch& batch, Rng* rng) const override;
+  std::unique_ptr<FeatureExtractor> CloneArchitecture(
+      uint64_t seed) const override;
+
+ private:
+  std::unique_ptr<nn::Embedding> embedding_;
+  std::unique_ptr<nn::Embedding> overlap_emb_;
+  std::unique_ptr<nn::BiGru> bigru_;
+  std::unique_ptr<nn::Linear> projection_;
+};
+
+/// \brief Extractor families of Table 1.
+enum class ExtractorKind { kLM, kRNN };
+
+/// \brief Factory over ExtractorKind.
+std::unique_ptr<FeatureExtractor> MakeExtractor(ExtractorKind kind,
+                                                const DaderConfig& config,
+                                                uint64_t seed);
+
+}  // namespace dader::core

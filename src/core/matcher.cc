@@ -1,0 +1,57 @@
+#include "core/matcher.h"
+
+#include "tensor/nn_ops.h"
+
+namespace dader::core {
+
+namespace ops = ::dader::ops;
+
+Matcher::Matcher(int64_t feature_dim, uint64_t seed) {
+  Rng rng(seed);
+  mlp_ = std::make_unique<nn::Mlp>(std::vector<int64_t>{feature_dim, 2},
+                                   nn::Activation::kRelu, 0.0f, &rng);
+  RegisterModule("mlp", mlp_.get());
+}
+
+Tensor Matcher::Forward(const Tensor& features, Rng* rng) const {
+  return mlp_->Forward(features, rng);
+}
+
+std::vector<float> Matcher::PredictProbabilities(const Tensor& features,
+                                                 Rng* rng) const {
+  Tensor probs = ops::Softmax(Forward(features.Detach(), rng));
+  std::vector<float> out(static_cast<size_t>(probs.dim(0)));
+  for (int64_t i = 0; i < probs.dim(0); ++i) {
+    out[static_cast<size_t>(i)] = probs.at(i, 1);
+  }
+  return out;
+}
+
+DomainDiscriminator::DomainDiscriminator(int64_t feature_dim, int64_t hidden,
+                                         bool deep, uint64_t seed) {
+  Rng rng(seed ^ 0xd15cULL);
+  std::vector<int64_t> dims =
+      deep ? std::vector<int64_t>{feature_dim, hidden, hidden, hidden, 1}
+           : std::vector<int64_t>{feature_dim, 1};
+  mlp_ = std::make_unique<nn::Mlp>(std::move(dims), nn::Activation::kLeakyRelu,
+                                   0.0f, &rng);
+  RegisterModule("mlp", mlp_.get());
+}
+
+Tensor DomainDiscriminator::Forward(const Tensor& features, Rng* rng) const {
+  return mlp_->Forward(features, rng);
+}
+
+ReconstructionDecoder::ReconstructionDecoder(int64_t feature_dim,
+                                             int64_t vocab_size,
+                                             uint64_t seed) {
+  Rng rng(seed ^ 0xdec0deULL);
+  out_ = std::make_unique<nn::Linear>(feature_dim, vocab_size, &rng);
+  RegisterModule("out", out_.get());
+}
+
+Tensor ReconstructionDecoder::Forward(const Tensor& features) const {
+  return out_->Forward(features);
+}
+
+}  // namespace dader::core

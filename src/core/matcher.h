@@ -1,0 +1,66 @@
+// Matcher M (Section 4.2): an MLP binary classifier over features, the
+// Ditto-style single fully-connected layer + softmax output.
+//
+// Also defines the parameterized Feature Aligner networks: the domain
+// discriminator used by GRL / InvGAN / InvGAN+KD, and the reconstruction
+// decoder used by ED.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/config.h"
+#include "nn/layers.h"
+
+namespace dader::core {
+
+/// \brief Binary matcher: features [n,d] -> logits [n,2].
+class Matcher : public nn::Module {
+ public:
+  Matcher(int64_t feature_dim, uint64_t seed);
+
+  Tensor Forward(const Tensor& features, Rng* rng) const;
+
+  /// \brief Matching probabilities p(match) per row (no tape).
+  std::vector<float> PredictProbabilities(const Tensor& features, Rng* rng) const;
+
+ private:
+  std::unique_ptr<nn::Mlp> mlp_;
+};
+
+/// \brief Domain classifier A for the adversarial aligners.
+///
+/// GRL uses one fully connected layer (+sigmoid via BCE-with-logits);
+/// InvGAN/InvGAN+KD use three LeakyReLU layers (Section 6.1). `deep=true`
+/// selects the latter.
+class DomainDiscriminator : public nn::Module {
+ public:
+  DomainDiscriminator(int64_t feature_dim, int64_t hidden, bool deep,
+                      uint64_t seed);
+
+  /// \brief features [n,d] -> domain logits [n,1] (source=1, target=0).
+  Tensor Forward(const Tensor& features, Rng* rng) const;
+
+ private:
+  std::unique_ptr<nn::Mlp> mlp_;
+};
+
+/// \brief Reconstruction decoder for the ED aligner.
+///
+/// The paper uses a BART decoder; offline we use a bag-of-tokens decoder:
+/// the feature must predict the multiset of input tokens through a linear
+/// layer over the vocabulary (Eq. 15 with order dropped). See DESIGN.md.
+class ReconstructionDecoder : public nn::Module {
+ public:
+  ReconstructionDecoder(int64_t feature_dim, int64_t vocab_size,
+                        uint64_t seed);
+
+  /// \brief features [n,d] -> vocabulary logits [n,V].
+  Tensor Forward(const Tensor& features) const;
+
+ private:
+  std::unique_ptr<nn::Linear> out_;
+};
+
+}  // namespace dader::core

@@ -1,0 +1,69 @@
+#include "core/metrics.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace dader::core {
+
+double ErMetrics::Precision() const {
+  const int64_t denom = true_positives + false_positives;
+  return denom == 0 ? 0.0 : static_cast<double>(true_positives) / denom;
+}
+
+double ErMetrics::Recall() const {
+  const int64_t denom = true_positives + false_negatives;
+  return denom == 0 ? 0.0 : static_cast<double>(true_positives) / denom;
+}
+
+double ErMetrics::F1() const {
+  const double p = Precision();
+  const double r = Recall();
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double ErMetrics::Accuracy() const {
+  const int64_t total =
+      true_positives + false_positives + false_negatives + true_negatives;
+  return total == 0 ? 0.0
+                    : static_cast<double>(true_positives + true_negatives) / total;
+}
+
+std::string ErMetrics::ToString() const {
+  return StrFormat("P=%.3f R=%.3f F1=%.3f (tp=%lld fp=%lld fn=%lld tn=%lld)",
+                   Precision(), Recall(), F1(),
+                   static_cast<long long>(true_positives),
+                   static_cast<long long>(false_positives),
+                   static_cast<long long>(false_negatives),
+                   static_cast<long long>(true_negatives));
+}
+
+ErMetrics ComputeMetrics(const std::vector<int>& predictions,
+                         const std::vector<int>& labels) {
+  DADER_CHECK_EQ(predictions.size(), labels.size());
+  ErMetrics m;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    const bool pred = predictions[i] == 1;
+    const bool gold = labels[i] == 1;
+    if (pred && gold) ++m.true_positives;
+    else if (pred && !gold) ++m.false_positives;
+    else if (!pred && gold) ++m.false_negatives;
+    else ++m.true_negatives;
+  }
+  return m;
+}
+
+MeanStd ComputeMeanStd(const std::vector<double>& values) {
+  MeanStd out;
+  if (values.empty()) return out;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  out.mean = sum / static_cast<double>(values.size());
+  double var = 0.0;
+  for (double v : values) var += (v - out.mean) * (v - out.mean);
+  out.std = std::sqrt(var / static_cast<double>(values.size()));
+  return out;
+}
+
+}  // namespace dader::core

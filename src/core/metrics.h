@@ -1,0 +1,40 @@
+// Binary ER evaluation metrics (Section 6.1 of the paper).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dader::core {
+
+/// \brief Confusion counts plus derived precision/recall/F1 for the
+/// matching (positive) class.
+struct ErMetrics {
+  int64_t true_positives = 0;
+  int64_t false_positives = 0;
+  int64_t false_negatives = 0;
+  int64_t true_negatives = 0;
+
+  double Precision() const;
+  double Recall() const;
+  /// \brief F1 = 2PR/(P+R); 0 when undefined. The paper reports F1*100.
+  double F1() const;
+  double Accuracy() const;
+
+  std::string ToString() const;
+};
+
+/// \brief Computes metrics from aligned 0/1 prediction and label vectors.
+ErMetrics ComputeMetrics(const std::vector<int>& predictions,
+                         const std::vector<int>& labels);
+
+/// \brief Mean and (population) standard deviation of repeated F1 scores,
+/// matching the paper's "mean +/- std over three runs" reporting.
+struct MeanStd {
+  double mean = 0.0;
+  double std = 0.0;
+};
+MeanStd ComputeMeanStd(const std::vector<double>& values);
+
+}  // namespace dader::core

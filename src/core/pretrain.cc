@@ -1,0 +1,150 @@
+#include "core/pretrain.h"
+
+#include <cstdlib>
+
+#include "data/generators.h"
+#include "nn/layers.h"
+#include "tensor/nn_ops.h"
+#include "tensor/ops.h"
+#include "tensor/optimizer.h"
+#include "tensor/serialize.h"
+#include "util/io.h"
+#include "util/logging.h"
+
+namespace dader::core {
+
+namespace ops = ::dader::ops;
+
+std::vector<text::EncodedSequence> BuildPretrainCorpus(
+    const DaderConfig& model_config, const PretrainConfig& config) {
+  text::HashingVocab vocab(model_config.vocab_size);
+  std::vector<text::EncodedSequence> corpus;
+  for (const auto& spec : data::AllDatasetSpecs()) {
+    data::GenerateOptions opts;
+    opts.scale = config.corpus_scale;
+    opts.min_pairs = config.min_pairs_per_dataset;
+    opts.seed = config.seed ^ 0xc0b95ULL;
+    auto ds = data::GenerateDataset(spec.short_name, opts);
+    ds.status().CheckOK();
+    const data::ERDataset& dataset = ds.ValueOrDie();
+    for (const auto& pair : dataset.pairs()) {
+      corpus.push_back(text::EncodePair(
+          pair.a.ToAttrValues(dataset.schema_a()),
+          pair.b.ToAttrValues(dataset.schema_b()), vocab,
+          model_config.max_len));
+    }
+  }
+  return corpus;
+}
+
+Result<float> PretrainLM(LMFeatureExtractor* extractor,
+                         const std::vector<text::EncodedSequence>& corpus,
+                         const PretrainConfig& config) {
+  if (corpus.empty()) {
+    return Status::InvalidArgument("empty pre-training corpus");
+  }
+  const DaderConfig& mc = extractor->config();
+  Rng rng(config.seed);
+  nn::Linear mlm_head(mc.hidden_dim, mc.vocab_size, &rng);
+
+  std::vector<Tensor> params = extractor->Parameters();
+  for (const auto& p : mlm_head.Parameters()) params.push_back(p);
+  AdamOptimizer opt(std::move(params), config.learning_rate);
+
+  extractor->SetTraining(true);
+  float last_avg = 0.0f;
+  double window_loss = 0.0;
+  int64_t window_steps = 0;
+  for (int64_t step = 0; step < config.steps; ++step) {
+    // Assemble a batch with BERT-style dynamic masking.
+    EncodedBatch batch;
+    batch.batch = config.batch_size;
+    batch.max_len = mc.max_len;
+    std::vector<int64_t> masked_positions;  // flat index into [B*L]
+    std::vector<int64_t> original_ids;
+    for (int64_t b = 0; b < config.batch_size; ++b) {
+      const text::EncodedSequence& seq =
+          corpus[rng.NextBelow(corpus.size())];
+      const int64_t base = b * mc.max_len;
+      for (int64_t t = 0; t < mc.max_len; ++t) {
+        int64_t id = seq.ids[static_cast<size_t>(t)];
+        batch.mask.push_back(seq.mask[static_cast<size_t>(t)]);
+        batch.overlap.push_back(seq.overlap[static_cast<size_t>(t)]);
+        const bool maskable = id >= text::kNumSpecialTokens;
+        if (maskable && rng.NextBool(config.mask_prob)) {
+          masked_positions.push_back(base + t);
+          original_ids.push_back(id);
+          const double roll = rng.NextDouble();
+          if (roll < 0.8) {
+            id = text::kMask;
+          } else if (roll < 0.9) {
+            id = text::kNumSpecialTokens +
+                 static_cast<int64_t>(rng.NextBelow(static_cast<uint64_t>(
+                     mc.vocab_size - text::kNumSpecialTokens)));
+          }  // else keep the original token
+        }
+        batch.token_ids.push_back(id);
+      }
+    }
+    if (masked_positions.empty()) continue;
+
+    Tensor hidden = extractor->EncodeSequence(batch, &rng);  // [B,L,d]
+    Tensor flat = ops::Reshape(hidden, {batch.batch * mc.max_len, mc.hidden_dim});
+    // Row-gather of masked positions (EmbeddingLookup doubles as a
+    // differentiable row gather).
+    Tensor picked = ops::EmbeddingLookup(flat, masked_positions);
+    Tensor logits = mlm_head.Forward(picked);
+    Tensor loss = ops::CrossEntropyWithLogits(logits, original_ids);
+
+    opt.ZeroGrad();
+    loss.Backward();
+    opt.ClipGradNorm(5.0f);
+    opt.Step();
+
+    window_loss += loss.item();
+    ++window_steps;
+    if ((step + 1) % 100 == 0) {
+      last_avg = static_cast<float>(window_loss / window_steps);
+      DADER_LOG(Debug) << "MLM step " << (step + 1) << " avg loss " << last_avg;
+      window_loss = 0.0;
+      window_steps = 0;
+    }
+  }
+  if (window_steps > 0) {
+    last_avg = static_cast<float>(window_loss / window_steps);
+  }
+  return last_avg;
+}
+
+Status LoadOrPretrainLM(LMFeatureExtractor* extractor,
+                        const std::string& cache_path,
+                        const PretrainConfig& config) {
+  if (FileExists(cache_path)) {
+    auto loaded = LoadTensors(cache_path);
+    if (loaded.ok()) {
+      Status restore = extractor->RestoreWeights(loaded.ValueOrDie());
+      if (restore.ok()) {
+        DADER_LOG(Debug) << "loaded pre-trained LM from " << cache_path;
+        return Status::OK();
+      }
+      DADER_LOG(Warning) << "incompatible pre-train cache " << cache_path
+                         << " (" << restore.ToString() << "); re-pretraining";
+    }
+  }
+  auto corpus = BuildPretrainCorpus(extractor->config(), config);
+  DADER_LOG(Info) << "pre-training LM on " << corpus.size()
+                  << " serialized pairs (" << config.steps << " steps)";
+  auto loss = PretrainLM(extractor, corpus, config);
+  DADER_RETURN_NOT_OK(loss.status());
+  DADER_LOG(Info) << "pre-training done, final MLM loss "
+                  << loss.ValueOrDie();
+  return SaveTensors(cache_path, extractor->SnapshotWeights());
+}
+
+std::string PretrainCachePath(const std::string& scale_name) {
+  const char* dir = std::getenv("DADER_CACHE_DIR");
+  std::string base = dir != nullptr ? std::string(dir) : std::string(".");
+  return base + "/dader_lm_" + scale_name + ".bin";
+}
+
+}  // namespace dader::core

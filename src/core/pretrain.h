@@ -1,0 +1,53 @@
+// Masked-token pre-training for the LM feature extractor.
+//
+// The paper piggybacks on BERT, whose value for DA comes from pre-trained,
+// domain-general token representations (Finding 5). Offline we reproduce
+// that property directly: the transformer is pre-trained with a BERT-style
+// masked-token objective on a corpus of serialized entity pairs drawn from
+// *all* benchmark domains, then cached on disk so every experiment starts
+// from the same "pre-trained LM". The RNN extractor is deliberately never
+// pre-trained, matching the paper's setup.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/feature_extractor.h"
+#include "util/status.h"
+
+namespace dader::core {
+
+/// \brief Pre-training hyper-parameters.
+struct PretrainConfig {
+  int64_t steps = 300;        ///< optimizer steps
+  int64_t batch_size = 16;
+  float learning_rate = 1e-3f;
+  double mask_prob = 0.15;    ///< per-token masking probability
+  double corpus_scale = 0.02; ///< Table-2 scale of the per-dataset corpora
+  int64_t min_pairs_per_dataset = 40;
+  uint64_t seed = 1234;
+};
+
+/// \brief Serialized-pair token sequences from all 13 benchmark datasets.
+std::vector<text::EncodedSequence> BuildPretrainCorpus(
+    const DaderConfig& model_config, const PretrainConfig& config);
+
+/// \brief Runs MLM pre-training in place; returns the final average loss.
+/// The prediction head is internal and discarded afterwards.
+Result<float> PretrainLM(LMFeatureExtractor* extractor,
+                         const std::vector<text::EncodedSequence>& corpus,
+                         const PretrainConfig& config);
+
+/// \brief Loads cached pre-trained weights from `cache_path` into the
+/// extractor, or pre-trains and writes the cache when absent/incompatible.
+Status LoadOrPretrainLM(LMFeatureExtractor* extractor,
+                        const std::string& cache_path,
+                        const PretrainConfig& config);
+
+/// \brief Conventional cache path for a scale preset ("dader_lm_smoke.bin"
+/// under $DADER_CACHE_DIR or the current directory).
+std::string PretrainCachePath(const std::string& scale_name);
+
+}  // namespace dader::core

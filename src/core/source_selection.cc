@@ -1,0 +1,50 @@
+#include "core/source_selection.h"
+
+#include <algorithm>
+
+#include "core/dataset_distance.h"
+#include "data/generators.h"
+
+namespace dader::core {
+
+Result<std::vector<SourceRanking>> RankSourcesByDistance(
+    const std::vector<std::string>& source_names,
+    const std::string& target_name, const ExperimentScale& scale,
+    FeatureExtractor* extractor, int64_t max_pairs, Rng* rng) {
+  if (source_names.empty()) {
+    return Status::InvalidArgument("no candidate sources");
+  }
+  data::GenerateOptions opts;
+  opts.scale = scale.data_scale;
+  opts.min_pairs = scale.min_pairs;
+  DADER_ASSIGN_OR_RETURN(data::ERDataset target,
+                         data::GenerateDataset(target_name, opts));
+
+  std::vector<SourceRanking> out;
+  for (const auto& name : source_names) {
+    DADER_ASSIGN_OR_RETURN(data::ERDataset source,
+                           data::GenerateDataset(name, opts));
+    SourceRanking r;
+    r.source_name = name;
+    r.mmd = DatasetMmdDistance(extractor, source, target, max_pairs, rng);
+    out.push_back(std::move(r));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SourceRanking& a, const SourceRanking& b) {
+              return a.mmd < b.mmd;
+            });
+  return out;
+}
+
+Result<std::string> SelectClosestSource(
+    const std::vector<std::string>& source_names,
+    const std::string& target_name, const ExperimentScale& scale,
+    FeatureExtractor* extractor, int64_t max_pairs, Rng* rng) {
+  DADER_ASSIGN_OR_RETURN(
+      std::vector<SourceRanking> ranking,
+      RankSourcesByDistance(source_names, target_name, scale, extractor,
+                            max_pairs, rng));
+  return ranking.front().source_name;
+}
+
+}  // namespace dader::core

@@ -1,0 +1,38 @@
+// Source-dataset selection — the research direction the paper's Finding 2
+// points at: "choosing a 'close' domain for DA to improve the performance".
+//
+// Given a target dataset and a pool of candidate labeled sources, rank the
+// sources by MMD distance between their feature distributions under a
+// (pre-trained) extractor, without using any target labels.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/feature_extractor.h"
+
+namespace dader::core {
+
+/// \brief One ranked candidate source.
+struct SourceRanking {
+  std::string source_name;
+  double mmd = 0.0;
+};
+
+/// \brief Ranks candidate sources by ascending MMD distance to the target
+/// (closest first) under `extractor`. `max_pairs` caps the per-dataset
+/// sample used for the O(n^2) MMD estimate.
+Result<std::vector<SourceRanking>> RankSourcesByDistance(
+    const std::vector<std::string>& source_names,
+    const std::string& target_name, const ExperimentScale& scale,
+    FeatureExtractor* extractor, int64_t max_pairs, Rng* rng);
+
+/// \brief Convenience: the closest source's short name.
+Result<std::string> SelectClosestSource(
+    const std::vector<std::string>& source_names,
+    const std::string& target_name, const ExperimentScale& scale,
+    FeatureExtractor* extractor, int64_t max_pairs, Rng* rng);
+
+}  // namespace dader::core

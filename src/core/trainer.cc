@@ -1,0 +1,457 @@
+#include "core/trainer.h"
+
+#include <cmath>
+
+#include "data/sampler.h"
+#include "tensor/da_losses.h"
+#include "tensor/nn_ops.h"
+#include "tensor/ops.h"
+#include "tensor/optimizer.h"
+#include "util/logging.h"
+
+namespace dader::core {
+
+namespace ops = ::dader::ops;
+
+const char* AlignMethodName(AlignMethod method) {
+  switch (method) {
+    case AlignMethod::kNoDA:
+      return "NoDA";
+    case AlignMethod::kMMD:
+      return "MMD";
+    case AlignMethod::kKOrder:
+      return "K-order";
+    case AlignMethod::kGRL:
+      return "GRL";
+    case AlignMethod::kInvGAN:
+      return "InvGAN";
+    case AlignMethod::kInvGANKD:
+      return "InvGAN+KD";
+    case AlignMethod::kED:
+      return "ED";
+    case AlignMethod::kCMD:
+      return "CMD";
+  }
+  return "?";
+}
+
+bool ParseAlignMethod(const std::string& name, AlignMethod* out) {
+  for (AlignMethod m :
+       {AlignMethod::kNoDA, AlignMethod::kMMD, AlignMethod::kKOrder,
+        AlignMethod::kGRL, AlignMethod::kInvGAN, AlignMethod::kInvGANKD,
+        AlignMethod::kED, AlignMethod::kCMD}) {
+    if (name == AlignMethodName(m)) {
+      *out = m;
+      return true;
+    }
+  }
+  return false;
+}
+
+const std::vector<AlignMethod>& AllAlignMethods() {
+  static const std::vector<AlignMethod> kMethods = {
+      AlignMethod::kMMD,    AlignMethod::kKOrder,   AlignMethod::kGRL,
+      AlignMethod::kInvGAN, AlignMethod::kInvGANKD, AlignMethod::kED};
+  return kMethods;
+}
+
+bool IsGanMethod(AlignMethod method) {
+  return method == AlignMethod::kInvGAN || method == AlignMethod::kInvGANKD;
+}
+
+namespace {
+
+// Source labels for a batch of pair indices.
+std::vector<int64_t> BatchLabels(const data::ERDataset& dataset,
+                                 const std::vector<size_t>& indices) {
+  std::vector<int64_t> labels;
+  labels.reserve(indices.size());
+  for (size_t i : indices) {
+    const data::LabeledPair& p = dataset.pair(i);
+    DADER_CHECK_MSG(p.labeled(), "source pair without label");
+    labels.push_back(p.label);
+  }
+  return labels;
+}
+
+std::vector<float> ConstantTargets(size_t n, float value) {
+  return std::vector<float>(n, value);
+}
+
+// Tracks the best validation F1 and the corresponding weights.
+class BestSnapshot {
+ public:
+  void Consider(double valid_f1, int epoch, const nn::Module& extractor,
+                const nn::Module& matcher) {
+    // >= keeps the latest epoch among ties: when validation is
+    // uninformative (all-equal F1), longer training is the better default.
+    if (best_epoch_ < 0 || valid_f1 >= best_f1_) {
+      best_f1_ = valid_f1;
+      best_epoch_ = epoch;
+      extractor_weights_ = extractor.SnapshotWeights();
+      matcher_weights_ = matcher.SnapshotWeights();
+    }
+  }
+
+  void Restore(nn::Module* extractor, nn::Module* matcher) const {
+    if (best_epoch_ < 0) return;
+    extractor->RestoreWeights(extractor_weights_).CheckOK();
+    matcher->RestoreWeights(matcher_weights_).CheckOK();
+  }
+
+  double best_f1() const { return best_f1_; }
+  int best_epoch() const { return best_epoch_; }
+
+ private:
+  double best_f1_ = -1.0;
+  int best_epoch_ = -1;
+  std::map<std::string, Tensor> extractor_weights_;
+  std::map<std::string, Tensor> matcher_weights_;
+};
+
+}  // namespace
+
+DaTrainer::DaTrainer(AlignMethod method, const DaderConfig& config,
+                     FeatureExtractor* extractor, Matcher* matcher)
+    : method_(method),
+      config_(config),
+      extractor_(extractor),
+      matcher_(matcher),
+      rng_(config.seed ^ 0x7a11ULL) {
+  DADER_CHECK(extractor_ != nullptr);
+  DADER_CHECK(matcher_ != nullptr);
+  if (method_ == AlignMethod::kGRL) {
+    discriminator_ = std::make_unique<DomainDiscriminator>(
+        extractor_->feature_dim(), config_.disc_hidden, /*deep=*/false,
+        config_.seed);
+  } else if (IsGanMethod(method_)) {
+    discriminator_ = std::make_unique<DomainDiscriminator>(
+        extractor_->feature_dim(), config_.disc_hidden, /*deep=*/true,
+        config_.seed);
+  } else if (method_ == AlignMethod::kED) {
+    decoder_ = std::make_unique<ReconstructionDecoder>(
+        extractor_->feature_dim(), config_.vocab_size, config_.seed);
+  }
+}
+
+FeatureExtractor* DaTrainer::final_extractor() {
+  return adapted_ != nullptr ? adapted_.get() : extractor_;
+}
+
+std::vector<std::vector<int64_t>> DaTrainer::TokenBags(
+    const EncodedBatch& batch) {
+  std::vector<std::vector<int64_t>> bags(static_cast<size_t>(batch.batch));
+  for (int64_t b = 0; b < batch.batch; ++b) {
+    for (int64_t t = 0; t < batch.max_len; ++t) {
+      const int64_t id = batch.token_ids[static_cast<size_t>(b * batch.max_len + t)];
+      if (id >= text::kNumSpecialTokens) {
+        bags[static_cast<size_t>(b)].push_back(id);
+      }
+    }
+  }
+  return bags;
+}
+
+TrainResult DaTrainer::Train(const data::ERDataset& source,
+                             const data::ERDataset& target_train,
+                             const data::ERDataset& target_valid,
+                             const data::ERDataset* source_eval,
+                             EpochCallback callback) {
+  DADER_CHECK_GT(source.size(), 0u);
+  DADER_CHECK_GT(target_valid.size(), 0u);
+  if (method_ != AlignMethod::kNoDA) {
+    DADER_CHECK_GT(target_train.size(), 0u);
+  }
+  if (IsGanMethod(method_)) {
+    return TrainAlgorithm2(source, target_train, target_valid, source_eval,
+                           callback);
+  }
+  return TrainAlgorithm1(source, target_train, target_valid, source_eval,
+                         callback);
+}
+
+TrainResult DaTrainer::TrainAlgorithm1(const data::ERDataset& source,
+                                       const data::ERDataset& target_train,
+                                       const data::ERDataset& target_valid,
+                                       const data::ERDataset* source_eval,
+                                       const EpochCallback& callback) {
+  AdamOptimizer opt_f(extractor_->Parameters(), config_.learning_rate,
+                      0.9f, 0.999f, 1e-8f, config_.weight_decay);
+  AdamOptimizer opt_m(matcher_->Parameters(), config_.learning_rate,
+                      0.9f, 0.999f, 1e-8f, config_.weight_decay);
+  std::unique_ptr<AdamOptimizer> opt_a;
+  if (discriminator_ != nullptr) {
+    opt_a = std::make_unique<AdamOptimizer>(discriminator_->Parameters(),
+                                            config_.learning_rate);
+  } else if (decoder_ != nullptr) {
+    opt_a = std::make_unique<AdamOptimizer>(decoder_->Parameters(),
+                                            config_.learning_rate);
+  }
+
+  data::MinibatchSampler src_sampler(&source, config_.batch_size,
+                                     rng_.Fork(1));
+  std::unique_ptr<data::MinibatchSampler> tgt_sampler;
+  if (method_ != AlignMethod::kNoDA) {
+    tgt_sampler = std::make_unique<data::MinibatchSampler>(
+        &target_train, config_.batch_size, rng_.Fork(2));
+  }
+  const size_t iters = src_sampler.BatchesPerEpoch();
+
+  extractor_->SetTraining(true);
+  matcher_->SetTraining(true);
+
+  TrainResult result;
+  BestSnapshot best;
+  Rng eval_rng = rng_.Fork(99);
+  for (int epoch = 1; epoch <= config_.epochs; ++epoch) {
+    double sum_lm = 0.0, sum_la = 0.0;
+    for (size_t it = 0; it < iters; ++it) {
+      // DANN-style warm-up: ramp the alignment weight from 0 to its target
+      // as training progresses, so alignment cannot collapse the features
+      // before the matcher has learned discriminative ones.
+      const double progress =
+          (static_cast<double>(epoch - 1) +
+           static_cast<double>(it) / static_cast<double>(iters)) /
+          static_cast<double>(config_.epochs);
+      const float ramp =
+          static_cast<float>(2.0 / (1.0 + std::exp(-10.0 * progress)) - 1.0);
+      const std::vector<size_t> src_idx = src_sampler.NextBatch();
+      const EncodedBatch bs = extractor_->EncodePairs(source, src_idx);
+      Tensor fs = extractor_->Forward(bs, &rng_);
+      Tensor logits = matcher_->Forward(fs, &rng_);
+      Tensor loss_m =
+          ops::CrossEntropyWithLogits(logits, BatchLabels(source, src_idx));
+      Tensor total = loss_m;
+      Tensor loss_a;
+
+      if (method_ != AlignMethod::kNoDA) {
+        const std::vector<size_t> tgt_idx = tgt_sampler->NextBatch();
+        const EncodedBatch bt = extractor_->EncodePairs(target_train, tgt_idx);
+        Tensor ft = extractor_->Forward(bt, &rng_);
+        switch (method_) {
+          case AlignMethod::kMMD:
+            loss_a = ops::MmdLoss(fs, ft);
+            total = ops::Add(
+                total,
+                ops::MulScalar(loss_a, config_.beta_mmd * config_.beta_scale * ramp));
+            break;
+          case AlignMethod::kCMD:
+            loss_a = ops::CmdLoss(fs, ft);
+            total = ops::Add(
+                total,
+                ops::MulScalar(loss_a, config_.beta_cmd * config_.beta_scale * ramp));
+            break;
+          case AlignMethod::kKOrder:
+            loss_a = ops::CoralLoss(fs, ft);
+            total = ops::Add(total, ops::MulScalar(loss_a, config_.beta_coral *
+                                                               config_.beta_scale *
+                                                               ramp));
+            break;
+          case AlignMethod::kGRL: {
+            // Gradient reversal: A minimizes the domain loss while F
+            // receives -beta times its gradient (Eq. 9 / Procedure 2).
+            const float lambda = config_.beta_grl * config_.beta_scale * ramp;
+            Tensor both = ops::Concat(
+                {ops::GradReverse(fs, lambda), ops::GradReverse(ft, lambda)}, 0);
+            Tensor dom_logits = discriminator_->Forward(both, &rng_);
+            std::vector<float> targets = ConstantTargets(src_idx.size(), 1.0f);
+            const auto t0 = ConstantTargets(tgt_idx.size(), 0.0f);
+            targets.insert(targets.end(), t0.begin(), t0.end());
+            loss_a = ops::BinaryCrossEntropyWithLogits(dom_logits, targets);
+            total = ops::Add(total, loss_a);
+            break;
+          }
+          case AlignMethod::kED: {
+            // Reconstruction over both domains (Eq. 15).
+            Tensor both = ops::Concat({fs, ft}, 0);
+            Tensor rec_logits = decoder_->Forward(both);
+            auto bags = TokenBags(bs);
+            auto bags_t = TokenBags(bt);
+            bags.insert(bags.end(), bags_t.begin(), bags_t.end());
+            loss_a = ops::BagOfTokensCrossEntropy(rec_logits, bags);
+            total = ops::Add(
+                total,
+                ops::MulScalar(loss_a, config_.beta_ed * config_.beta_scale));
+            break;
+          }
+          default:
+            DADER_CHECK_MSG(false, "unexpected method in Algorithm 1");
+        }
+        sum_la += loss_a.item();
+      }
+      sum_lm += loss_m.item();
+
+      opt_f.ZeroGrad();
+      opt_m.ZeroGrad();
+      if (opt_a != nullptr) opt_a->ZeroGrad();
+      total.Backward();
+      opt_f.ClipGradNorm(config_.grad_clip_norm);
+      opt_m.ClipGradNorm(config_.grad_clip_norm);
+      opt_f.Step();
+      opt_m.Step();
+      if (opt_a != nullptr) {
+        opt_a->ClipGradNorm(config_.grad_clip_norm);
+        opt_a->Step();
+      }
+    }
+
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.matching_loss = sum_lm / static_cast<double>(iters);
+    stats.alignment_loss =
+        method_ == AlignMethod::kNoDA ? 0.0 : sum_la / static_cast<double>(iters);
+    stats.valid_f1 = Evaluate(extractor_, matcher_, target_valid,
+                              config_.batch_size, &eval_rng)
+                         .F1();
+    if (source_eval != nullptr) {
+      stats.source_f1 =
+          Evaluate(extractor_, matcher_, *source_eval, config_.batch_size,
+                   &eval_rng)
+              .F1();
+    }
+    best.Consider(stats.valid_f1, epoch, *extractor_, *matcher_);
+    result.history.push_back(stats);
+    if (callback) callback(stats);
+  }
+
+  best.Restore(extractor_, matcher_);
+  result.best_valid_f1 = best.best_f1();
+  result.best_epoch = best.best_epoch();
+  return result;
+}
+
+TrainResult DaTrainer::TrainAlgorithm2(const data::ERDataset& source,
+                                       const data::ERDataset& target_train,
+                                       const data::ERDataset& target_valid,
+                                       const data::ERDataset* source_eval,
+                                       const EpochCallback& callback) {
+  // ---- Step 1: train F and M on the labeled source (lines 2-7). ----
+  {
+    AdamOptimizer opt_f(extractor_->Parameters(), config_.learning_rate,
+                      0.9f, 0.999f, 1e-8f, config_.weight_decay);
+    AdamOptimizer opt_m(matcher_->Parameters(), config_.learning_rate,
+                      0.9f, 0.999f, 1e-8f, config_.weight_decay);
+    data::MinibatchSampler src_sampler(&source, config_.batch_size,
+                                       rng_.Fork(11));
+    const size_t iters = src_sampler.BatchesPerEpoch();
+    extractor_->SetTraining(true);
+    matcher_->SetTraining(true);
+    for (int epoch = 1; epoch <= config_.gan_pretrain_epochs; ++epoch) {
+      for (size_t it = 0; it < iters; ++it) {
+        const std::vector<size_t> src_idx = src_sampler.NextBatch();
+        const EncodedBatch bs = extractor_->EncodePairs(source, src_idx);
+        Tensor logits =
+            matcher_->Forward(extractor_->Forward(bs, &rng_), &rng_);
+        Tensor loss =
+            ops::CrossEntropyWithLogits(logits, BatchLabels(source, src_idx));
+        opt_f.ZeroGrad();
+        opt_m.ZeroGrad();
+        loss.Backward();
+        opt_f.ClipGradNorm(config_.grad_clip_norm);
+        opt_m.ClipGradNorm(config_.grad_clip_norm);
+        opt_f.Step();
+        opt_m.Step();
+      }
+    }
+  }
+
+  // ---- Step 2: adversarial adaptation of F' (lines 8-16). ----
+  adapted_ = extractor_->CloneArchitecture(config_.seed ^ 0xf2f2ULL);
+  adapted_->CopyWeightsFrom(*extractor_).CheckOK();
+  adapted_->SetTraining(true);
+  extractor_->SetTraining(false);  // F is frozen from here on
+
+  AdamOptimizer opt_d(discriminator_->Parameters(), config_.learning_rate);
+  AdamOptimizer opt_fp(adapted_->Parameters(), config_.learning_rate,
+                       0.9f, 0.999f, 1e-8f, config_.weight_decay);
+  data::MinibatchSampler src_sampler(&source, config_.batch_size,
+                                     rng_.Fork(21));
+  data::MinibatchSampler tgt_sampler(&target_train, config_.batch_size,
+                                     rng_.Fork(22));
+  const size_t iters = std::max<size_t>(1, src_sampler.BatchesPerEpoch());
+
+  TrainResult result;
+  BestSnapshot best;
+  Rng eval_rng = rng_.Fork(98);
+  const bool use_kd = method_ == AlignMethod::kInvGANKD;
+
+  for (int epoch = 1; epoch <= config_.epochs; ++epoch) {
+    double sum_gen = 0.0, sum_disc = 0.0;
+    for (size_t it = 0; it < iters; ++it) {
+      const std::vector<size_t> src_idx = src_sampler.NextBatch();
+      const std::vector<size_t> tgt_idx = tgt_sampler.NextBatch();
+      const EncodedBatch bs = extractor_->EncodePairs(source, src_idx);
+      const EncodedBatch bt = extractor_->EncodePairs(target_train, tgt_idx);
+
+      // "Real" source features: F(x^S) for InvGAN (Eq. 10), F'(x^S) for
+      // InvGAN+KD (Eq. 13). Both detached — the discriminator step must not
+      // move the generator.
+      Tensor real = use_kd ? adapted_->Forward(bs, &rng_).Detach()
+                           : extractor_->Forward(bs, &rng_).Detach();
+      Tensor fake = adapted_->Forward(bt, &rng_);  // graph reused below
+
+      // --- Discriminator update: min_A L_A. ---
+      Tensor d_real = discriminator_->Forward(real, &rng_);
+      Tensor d_fake = discriminator_->Forward(fake.Detach(), &rng_);
+      Tensor loss_d = ops::MulScalar(
+          ops::Add(ops::BinaryCrossEntropyWithLogits(
+                       d_real, ConstantTargets(src_idx.size(), 1.0f)),
+                   ops::BinaryCrossEntropyWithLogits(
+                       d_fake, ConstantTargets(tgt_idx.size(), 0.0f))),
+          0.5f);
+      opt_d.ZeroGrad();
+      loss_d.Backward();
+      opt_d.ClipGradNorm(config_.grad_clip_norm);
+      opt_d.Step();
+      sum_disc += loss_d.item();
+
+      // --- Generator update: F' fools A with inverted labels (Eq. 11/14).
+      Tensor d_fooled = discriminator_->Forward(fake, &rng_);
+      Tensor loss_fp = ops::BinaryCrossEntropyWithLogits(
+          d_fooled, ConstantTargets(tgt_idx.size(), 1.0f));
+      if (use_kd) {
+        // Knowledge distillation (Eq. 12): keep M(F'(x^S)) close to the
+        // frozen teacher M(F(x^S)).
+        Tensor teacher_logits =
+            matcher_->Forward(extractor_->Forward(bs, &rng_).Detach(), &rng_)
+                .Detach();
+        Tensor student_logits =
+            matcher_->Forward(adapted_->Forward(bs, &rng_), &rng_);
+        loss_fp = ops::Add(
+            loss_fp, ops::KnowledgeDistillationLoss(
+                         student_logits, teacher_logits, config_.kd_temperature));
+      }
+      opt_fp.ZeroGrad();
+      // Matcher/discriminator gradients also accumulate here but their
+      // optimizers never step in this phase; their grads are cleared at the
+      // start of the next discriminator update (opt_d) or never used (M).
+      loss_fp.Backward();
+      opt_fp.ClipGradNorm(config_.grad_clip_norm);
+      opt_fp.Step();
+      sum_gen += loss_fp.item();
+    }
+
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.matching_loss = sum_gen / static_cast<double>(iters);
+    stats.alignment_loss = sum_disc / static_cast<double>(iters);
+    stats.valid_f1 = Evaluate(adapted_.get(), matcher_, target_valid,
+                              config_.batch_size, &eval_rng)
+                         .F1();
+    if (source_eval != nullptr) {
+      stats.source_f1 = Evaluate(adapted_.get(), matcher_, *source_eval,
+                                 config_.batch_size, &eval_rng)
+                            .F1();
+    }
+    best.Consider(stats.valid_f1, epoch, *adapted_, *matcher_);
+    result.history.push_back(stats);
+    if (callback) callback(stats);
+  }
+
+  best.Restore(adapted_.get(), matcher_);
+  result.best_valid_f1 = best.best_f1();
+  result.best_epoch = best.best_epoch();
+  return result;
+}
+
+}  // namespace dader::core

@@ -1,0 +1,208 @@
+#include "core/tsne.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace dader::core {
+
+namespace {
+
+// Pairwise squared euclidean distances between rows of [n, d] data.
+std::vector<double> PairwiseSqDist(const float* data, int64_t n, int64_t d) {
+  std::vector<double> dist(static_cast<size_t>(n * n), 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i + 1; j < n; ++j) {
+      double acc = 0.0;
+      const float* a = data + i * d;
+      const float* b = data + j * d;
+      for (int64_t k = 0; k < d; ++k) {
+        const double diff = static_cast<double>(a[k]) - b[k];
+        acc += diff * diff;
+      }
+      dist[static_cast<size_t>(i * n + j)] = acc;
+      dist[static_cast<size_t>(j * n + i)] = acc;
+    }
+  }
+  return dist;
+}
+
+// Row-conditional affinities with per-point bandwidth found by binary
+// search so the row entropy matches log(perplexity).
+std::vector<double> ConditionalAffinities(const std::vector<double>& dist,
+                                          int64_t n, double perplexity) {
+  std::vector<double> p(static_cast<size_t>(n * n), 0.0);
+  const double target_entropy = std::log(perplexity);
+  for (int64_t i = 0; i < n; ++i) {
+    double beta_lo = 0.0, beta_hi = 1e12, beta = 1.0;
+    for (int iter = 0; iter < 50; ++iter) {
+      double sum = 0.0, sum_dp = 0.0;
+      for (int64_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        const double dij = dist[static_cast<size_t>(i * n + j)];
+        const double e = std::exp(-dij * beta);
+        sum += e;
+        sum_dp += dij * e;
+      }
+      if (sum < 1e-300) {
+        beta_hi = beta;
+        beta = (beta_lo + beta_hi) / 2.0;
+        continue;
+      }
+      // H = log(sum) + beta * <d>
+      const double entropy = std::log(sum) + beta * sum_dp / sum;
+      if (std::fabs(entropy - target_entropy) < 1e-5) break;
+      if (entropy > target_entropy) {
+        beta_lo = beta;
+        beta = beta_hi > 1e11 ? beta * 2.0 : (beta_lo + beta_hi) / 2.0;
+      } else {
+        beta_hi = beta;
+        beta = (beta_lo + beta_hi) / 2.0;
+      }
+    }
+    double sum = 0.0;
+    for (int64_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      sum += std::exp(-dist[static_cast<size_t>(i * n + j)] * beta);
+    }
+    if (sum < 1e-300) sum = 1e-300;
+    for (int64_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      p[static_cast<size_t>(i * n + j)] =
+          std::exp(-dist[static_cast<size_t>(i * n + j)] * beta) / sum;
+    }
+  }
+  return p;
+}
+
+}  // namespace
+
+std::vector<std::array<double, 2>> RunTsne(const Tensor& features,
+                                           const TsneConfig& config) {
+  DADER_CHECK_EQ(features.rank(), 2u);
+  const int64_t n = features.dim(0), d = features.dim(1);
+  DADER_CHECK_GE(n, 3);
+
+  const auto dist = PairwiseSqDist(features.data(), n, d);
+  const double perplexity =
+      std::min(config.perplexity, static_cast<double>(n - 1) / 3.0);
+  auto pc = ConditionalAffinities(dist, n, perplexity);
+
+  // Symmetrize: P_ij = (p_{j|i} + p_{i|j}) / (2n), floored for stability.
+  std::vector<double> P(static_cast<size_t>(n * n), 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      P[static_cast<size_t>(i * n + j)] =
+          std::max((pc[static_cast<size_t>(i * n + j)] +
+                    pc[static_cast<size_t>(j * n + i)]) /
+                       (2.0 * static_cast<double>(n)),
+                   1e-12);
+    }
+  }
+
+  Rng rng(config.seed);
+  std::vector<std::array<double, 2>> y(static_cast<size_t>(n));
+  std::vector<std::array<double, 2>> vel(static_cast<size_t>(n), {0.0, 0.0});
+  for (auto& p : y) {
+    p[0] = rng.NextGaussian() * 1e-2;
+    p[1] = rng.NextGaussian() * 1e-2;
+  }
+
+  std::vector<double> Q(static_cast<size_t>(n * n));
+  std::vector<double> num(static_cast<size_t>(n * n));
+  const int exaggeration_end = config.iterations / 4;
+  for (int iter = 0; iter < config.iterations; ++iter) {
+    const double exag = iter < exaggeration_end ? config.early_exaggeration : 1.0;
+    // Student-t affinities in the embedding.
+    double qsum = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = i + 1; j < n; ++j) {
+        const double dx = y[static_cast<size_t>(i)][0] - y[static_cast<size_t>(j)][0];
+        const double dy = y[static_cast<size_t>(i)][1] - y[static_cast<size_t>(j)][1];
+        const double t = 1.0 / (1.0 + dx * dx + dy * dy);
+        num[static_cast<size_t>(i * n + j)] = t;
+        num[static_cast<size_t>(j * n + i)] = t;
+        qsum += 2.0 * t;
+      }
+    }
+    if (qsum < 1e-300) qsum = 1e-300;
+    // Gradient step with momentum.
+    for (int64_t i = 0; i < n; ++i) {
+      double gx = 0.0, gy = 0.0;
+      for (int64_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        const size_t ij = static_cast<size_t>(i * n + j);
+        const double q = std::max(num[ij] / qsum, 1e-12);
+        const double coeff = 4.0 * (exag * P[ij] - q) * num[ij];
+        gx += coeff * (y[static_cast<size_t>(i)][0] - y[static_cast<size_t>(j)][0]);
+        gy += coeff * (y[static_cast<size_t>(i)][1] - y[static_cast<size_t>(j)][1]);
+      }
+      vel[static_cast<size_t>(i)][0] =
+          config.momentum * vel[static_cast<size_t>(i)][0] -
+          config.learning_rate * gx;
+      vel[static_cast<size_t>(i)][1] =
+          config.momentum * vel[static_cast<size_t>(i)][1] -
+          config.learning_rate * gy;
+    }
+    for (int64_t i = 0; i < n; ++i) {
+      y[static_cast<size_t>(i)][0] += vel[static_cast<size_t>(i)][0];
+      y[static_cast<size_t>(i)][1] += vel[static_cast<size_t>(i)][1];
+    }
+  }
+  return y;
+}
+
+double DomainMixingScore(const Tensor& xs, const Tensor& xt, int k) {
+  DADER_CHECK_EQ(xs.rank(), 2u);
+  DADER_CHECK_EQ(xt.rank(), 2u);
+  DADER_CHECK_EQ(xs.dim(1), xt.dim(1));
+  const int64_t ns = xs.dim(0), nt = xt.dim(0), d = xs.dim(1);
+  const int64_t n = ns + nt;
+  DADER_CHECK_GT(ns, 0);
+  DADER_CHECK_GT(nt, 0);
+  DADER_CHECK_GE(n, k + 1);
+
+  // Pool rows; domain[i] = 0 for source, 1 for target.
+  std::vector<const float*> rows;
+  std::vector<int> domain;
+  for (int64_t i = 0; i < ns; ++i) {
+    rows.push_back(xs.data() + i * d);
+    domain.push_back(0);
+  }
+  for (int64_t i = 0; i < nt; ++i) {
+    rows.push_back(xt.data() + i * d);
+    domain.push_back(1);
+  }
+
+  double total_frac = 0.0;
+  std::vector<std::pair<double, int64_t>> dists(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int64_t c = 0; c < d; ++c) {
+        const double diff = static_cast<double>(rows[static_cast<size_t>(i)][c]) -
+                            rows[static_cast<size_t>(j)][c];
+        acc += diff * diff;
+      }
+      dists[static_cast<size_t>(j)] = {j == i ? 1e300 : acc, j};
+    }
+    std::partial_sort(dists.begin(), dists.begin() + k, dists.end());
+    int other = 0;
+    for (int j = 0; j < k; ++j) {
+      if (domain[static_cast<size_t>(dists[static_cast<size_t>(j)].second)] !=
+          domain[static_cast<size_t>(i)]) {
+        ++other;
+      }
+    }
+    total_frac += static_cast<double>(other) / k;
+  }
+  const double observed = total_frac / static_cast<double>(n);
+  // Expected other-domain fraction under perfect mixing.
+  const double expected =
+      (static_cast<double>(ns) / n) * (static_cast<double>(nt) / (n - 1)) +
+      (static_cast<double>(nt) / n) * (static_cast<double>(ns) / (n - 1));
+  return expected < 1e-12 ? 0.0 : std::min(1.0, observed / expected);
+}
+
+}  // namespace dader::core

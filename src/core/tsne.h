@@ -1,0 +1,39 @@
+// t-SNE (van der Maaten & Hinton) and a quantitative domain-mixing score,
+// for the Figure-5 feature-distribution analysis.
+//
+// The exact O(n^2) formulation is used (sample sizes are a few hundred).
+// Because a terminal cannot display a scatter plot, DomainMixingScore
+// summarizes what Figure 5 shows visually: how interleaved source and
+// target features are (1.0 = perfectly mixed, 0.0 = fully separated).
+
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace dader::core {
+
+/// \brief t-SNE hyper-parameters.
+struct TsneConfig {
+  int iterations = 250;
+  double perplexity = 20.0;
+  double learning_rate = 100.0;
+  double momentum = 0.8;
+  double early_exaggeration = 4.0;  ///< applied for the first quarter
+  uint64_t seed = 5;
+};
+
+/// \brief Embeds features [n, d] into 2-D.
+std::vector<std::array<double, 2>> RunTsne(const Tensor& features,
+                                           const TsneConfig& config);
+
+/// \brief k-NN domain mixing of two feature sets (rows of xs vs rows of xt):
+/// for every point, the fraction of its k nearest neighbors (in the pooled
+/// set, by euclidean distance) from the *other* domain, averaged and
+/// normalized by the expectation under perfect mixing.
+double DomainMixingScore(const Tensor& xs, const Tensor& xt, int k = 10);
+
+}  // namespace dader::core

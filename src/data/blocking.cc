@@ -1,0 +1,75 @@
+#include "data/blocking.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include "text/tokenizer.h"
+
+namespace dader::data {
+
+namespace {
+
+// Distinct qualifying tokens of a record (all attributes concatenated).
+std::vector<std::string> RecordTokens(const Record& r,
+                                      const BlockingConfig& config) {
+  std::set<std::string> tokens;
+  for (const auto& value : r.values()) {
+    for (auto& tok : text::WordTokenize(value)) {
+      if (tok.size() >= config.min_token_length) tokens.insert(std::move(tok));
+    }
+  }
+  return {tokens.begin(), tokens.end()};
+}
+
+}  // namespace
+
+std::vector<CandidatePair> OverlapBlocker::GenerateCandidates(
+    const Table& a, const Table& b) const {
+  // Inverted index: token -> B row indices.
+  std::unordered_map<std::string, std::vector<size_t>> index;
+  for (size_t j = 0; j < b.size(); ++j) {
+    for (const auto& tok : RecordTokens(b.row(j), config_)) {
+      index[tok].push_back(j);
+    }
+  }
+
+  std::vector<CandidatePair> out;
+  std::unordered_map<size_t, size_t> overlap;  // B row -> shared token count
+  for (size_t i = 0; i < a.size(); ++i) {
+    overlap.clear();
+    for (const auto& tok : RecordTokens(a.row(i), config_)) {
+      auto it = index.find(tok);
+      if (it == index.end()) continue;
+      for (size_t j : it->second) ++overlap[j];
+    }
+    std::vector<CandidatePair> row_candidates;
+    for (const auto& [j, count] : overlap) {
+      if (count >= config_.min_shared_tokens) {
+        row_candidates.push_back({i, j, count});
+      }
+    }
+    std::sort(row_candidates.begin(), row_candidates.end(),
+              [](const CandidatePair& x, const CandidatePair& y) {
+                return x.shared_tokens > y.shared_tokens;
+              });
+    if (row_candidates.size() > config_.max_candidates_per_record) {
+      row_candidates.resize(config_.max_candidates_per_record);
+    }
+    out.insert(out.end(), row_candidates.begin(), row_candidates.end());
+  }
+  return out;
+}
+
+double OverlapBlocker::Recall(
+    const std::vector<CandidatePair>& candidates,
+    const std::vector<std::pair<size_t, size_t>>& gold) {
+  if (gold.empty()) return 1.0;
+  std::set<std::pair<size_t, size_t>> cand_set;
+  for (const auto& c : candidates) cand_set.insert({c.index_a, c.index_b});
+  size_t hit = 0;
+  for (const auto& g : gold) hit += cand_set.count(g);
+  return static_cast<double>(hit) / static_cast<double>(gold.size());
+}
+
+}  // namespace dader::data

@@ -1,0 +1,55 @@
+// Token-overlap blocking: the candidate-generation step of the classic ER
+// pipeline (Section 2). The paper focuses on matching, but a complete system
+// needs blocking; examples/er_pipeline.cpp runs the end-to-end flow
+// (generate tables -> block -> match with a DADER-trained model).
+
+#pragma once
+
+#include <vector>
+
+#include "data/schema.h"
+
+namespace dader::data {
+
+/// \brief Blocking configuration.
+struct BlockingConfig {
+  /// Minimum number of shared word tokens between two records.
+  size_t min_shared_tokens = 2;
+  /// Only tokens at least this long participate (drops punctuation/stop
+  /// fragments).
+  size_t min_token_length = 3;
+  /// Cap on candidates per left record (keeps the candidate set tractable).
+  size_t max_candidates_per_record = 50;
+};
+
+/// \brief A candidate pair produced by blocking.
+struct CandidatePair {
+  size_t index_a;
+  size_t index_b;
+  size_t shared_tokens;
+};
+
+/// \brief Overlap blocker with an inverted token index over table B.
+///
+/// Complexity: O(total tokens) to index, then for each A record the union of
+/// posting lists of its tokens. High recall on datasets where matches share
+/// surface tokens — which holds for all generated benchmark datasets.
+class OverlapBlocker {
+ public:
+  explicit OverlapBlocker(BlockingConfig config = {}) : config_(config) {}
+
+  /// \brief All candidate pairs between `a` and `b` meeting the overlap
+  /// threshold, sorted by (index_a, descending shared_tokens).
+  std::vector<CandidatePair> GenerateCandidates(const Table& a,
+                                                const Table& b) const;
+
+  /// \brief Recall of a candidate set against gold matching (a,b) index
+  /// pairs: fraction of gold pairs retained.
+  static double Recall(const std::vector<CandidatePair>& candidates,
+                       const std::vector<std::pair<size_t, size_t>>& gold);
+
+ private:
+  BlockingConfig config_;
+};
+
+}  // namespace dader::data

@@ -1,0 +1,125 @@
+#include "data/dataset.h"
+
+#include <numeric>
+
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace dader::data {
+
+size_t ERDataset::NumMatches() const {
+  size_t n = 0;
+  for (const auto& p : pairs_) n += (p.label == 1);
+  return n;
+}
+
+double ERDataset::MatchRate() const {
+  size_t labeled = 0, matches = 0;
+  for (const auto& p : pairs_) {
+    if (p.labeled()) {
+      ++labeled;
+      matches += (p.label == 1);
+    }
+  }
+  return labeled == 0 ? 0.0 : static_cast<double>(matches) / labeled;
+}
+
+ERDataset ERDataset::WithoutLabels() const {
+  ERDataset out(name_, domain_, schema_a_, schema_b_);
+  for (const auto& p : pairs_) {
+    LabeledPair q = p;
+    q.label = -1;
+    out.pairs_.push_back(std::move(q));
+  }
+  return out;
+}
+
+ERDataset ERDataset::Subset(const std::vector<size_t>& indices) const {
+  ERDataset out(name_, domain_, schema_a_, schema_b_);
+  for (size_t i : indices) {
+    DADER_CHECK_LT(i, pairs_.size());
+    out.pairs_.push_back(pairs_[i]);
+  }
+  return out;
+}
+
+DatasetSplits ERDataset::Split(double train_frac, double valid_frac,
+                               double test_frac, Rng* rng) const {
+  DADER_CHECK(rng != nullptr);
+  const double total = train_frac + valid_frac + test_frac;
+  DADER_CHECK_MSG(total > 0.999 && total < 1.001, "split fractions must sum to 1");
+  std::vector<size_t> idx(pairs_.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  rng->Shuffle(&idx);
+  const size_t n_train = static_cast<size_t>(train_frac * idx.size());
+  const size_t n_valid = static_cast<size_t>(valid_frac * idx.size());
+  DatasetSplits out;
+  out.train = Subset({idx.begin(), idx.begin() + n_train});
+  out.valid = Subset({idx.begin() + n_train, idx.begin() + n_train + n_valid});
+  out.test = Subset({idx.begin() + n_train + n_valid, idx.end()});
+  return out;
+}
+
+Status ERDataset::ToCsvFile(const std::string& path) const {
+  CsvTable csv;
+  for (const auto& attr : schema_a_.attributes()) csv.header.push_back("a_" + attr);
+  for (const auto& attr : schema_b_.attributes()) csv.header.push_back("b_" + attr);
+  csv.header.push_back("label");
+  for (const auto& p : pairs_) {
+    std::vector<std::string> row;
+    row.reserve(csv.header.size());
+    for (const auto& v : p.a.values()) row.push_back(v);
+    for (const auto& v : p.b.values()) row.push_back(v);
+    row.push_back(p.labeled() ? std::to_string(p.label) : "");
+    csv.rows.push_back(std::move(row));
+  }
+  return WriteCsvFile(path, csv);
+}
+
+Result<ERDataset> ERDataset::FromCsvFile(const std::string& path,
+                                         const std::string& name,
+                                         const std::string& domain) {
+  DADER_ASSIGN_OR_RETURN(CsvTable csv, ReadCsvFile(path));
+  std::vector<std::string> attrs_a, attrs_b;
+  int label_col = -1;
+  for (size_t i = 0; i < csv.header.size(); ++i) {
+    const std::string& h = csv.header[i];
+    if (StartsWith(h, "a_")) {
+      attrs_a.push_back(h.substr(2));
+    } else if (StartsWith(h, "b_")) {
+      attrs_b.push_back(h.substr(2));
+    } else if (h == "label") {
+      label_col = static_cast<int>(i);
+    } else {
+      return Status::InvalidArgument("unexpected column '" + h + "' in " + path);
+    }
+  }
+  if (attrs_a.empty() || attrs_b.empty()) {
+    return Status::InvalidArgument("missing a_/b_ columns in " + path);
+  }
+  ERDataset out(name, domain, Schema(attrs_a), Schema(attrs_b));
+  for (const auto& row : csv.rows) {
+    LabeledPair p;
+    std::vector<std::string> va, vb;
+    for (size_t i = 0; i < csv.header.size(); ++i) {
+      if (static_cast<int>(i) == label_col) {
+        if (!row[i].empty()) {
+          if (row[i] != "0" && row[i] != "1") {
+            return Status::InvalidArgument("bad label '" + row[i] + "' in " + path);
+          }
+          p.label = row[i] == "1" ? 1 : 0;
+        }
+      } else if (StartsWith(csv.header[i], "a_")) {
+        va.push_back(row[i]);
+      } else {
+        vb.push_back(row[i]);
+      }
+    }
+    p.a = Record(std::move(va));
+    p.b = Record(std::move(vb));
+    out.AddPair(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace dader::data

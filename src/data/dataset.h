@@ -1,0 +1,97 @@
+// ERDataset: a labeled (or to-be-labeled) collection of entity pairs drawn
+// from two tables, plus splitting, statistics, and CSV round-tripping.
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/schema.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace dader::data {
+
+/// \brief One candidate pair with an optional 0/1 match label.
+struct LabeledPair {
+  Record a;
+  Record b;
+  int label = -1;  ///< 1 match, 0 non-match, -1 unlabeled
+
+  bool labeled() const { return label >= 0; }
+};
+
+/// \brief Train/validation/test split of a dataset.
+struct DatasetSplits;
+
+/// \brief A full ER matching dataset (the unit of Table 2).
+class ERDataset {
+ public:
+  ERDataset() = default;
+  ERDataset(std::string name, std::string domain, Schema schema_a,
+            Schema schema_b)
+      : name_(std::move(name)),
+        domain_(std::move(domain)),
+        schema_a_(std::move(schema_a)),
+        schema_b_(std::move(schema_b)) {}
+
+  const std::string& name() const { return name_; }
+  const std::string& domain() const { return domain_; }
+  const Schema& schema_a() const { return schema_a_; }
+  const Schema& schema_b() const { return schema_b_; }
+
+  size_t size() const { return pairs_.size(); }
+  const LabeledPair& pair(size_t i) const {
+    DADER_CHECK_LT(i, pairs_.size());
+    return pairs_[i];
+  }
+  const std::vector<LabeledPair>& pairs() const { return pairs_; }
+
+  void AddPair(LabeledPair p) {
+    DADER_CHECK_EQ(p.a.size(), schema_a_.size());
+    DADER_CHECK_EQ(p.b.size(), schema_b_.size());
+    pairs_.push_back(std::move(p));
+  }
+
+  /// \brief Number of labeled matching pairs.
+  size_t NumMatches() const;
+
+  /// \brief Fraction of labeled pairs that are matches (0 if unlabeled).
+  double MatchRate() const;
+
+  /// \brief Copy with all labels removed — the "unlabeled target" D^T.
+  ERDataset WithoutLabels() const;
+
+  /// \brief Copy holding only the pairs at `indices`.
+  ERDataset Subset(const std::vector<size_t>& indices) const;
+
+  /// \brief Shuffled split by ratios (must sum to ~1). The paper uses
+  /// validation:test = 1:9 on the target and 3:1:1 for supervised baselines.
+  DatasetSplits Split(double train_frac, double valid_frac, double test_frac,
+                      Rng* rng) const;
+
+  /// \brief Serializes pairs to CSV ("a_<attr>,...,b_<attr>,...,label").
+  Status ToCsvFile(const std::string& path) const;
+
+  /// \brief Reads a dataset written by ToCsvFile. Schemas are recovered
+  /// from the a_/b_ column-name prefixes.
+  static Result<ERDataset> FromCsvFile(const std::string& path,
+                                       const std::string& name,
+                                       const std::string& domain);
+
+ private:
+  std::string name_;
+  std::string domain_;
+  Schema schema_a_;
+  Schema schema_b_;
+  std::vector<LabeledPair> pairs_;
+};
+
+struct DatasetSplits {
+  ERDataset train;
+  ERDataset valid;
+  ERDataset test;
+};
+
+}  // namespace dader::data

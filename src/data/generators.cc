@@ -1,0 +1,725 @@
+#include "data/generators.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace dader::data {
+
+namespace {
+
+// Convenience accessor: canonical entities always carry the fields their
+// generator wrote, so a missing field is a programmer error.
+const std::string& Get(const Entity& e, const std::string& key) {
+  auto it = e.find(key);
+  DADER_CHECK_MSG(it != e.end(), key.c_str());
+  return it->second;
+}
+
+std::string MaybeNull(const std::string& value, double null_p, Rng* rng) {
+  return rng->NextBool(null_p) ? std::string() : value;
+}
+
+// ---------------------------------------------------------------------------
+// Product domain: Walmart-Amazon (WA) and Abt-Buy (AB)
+// ---------------------------------------------------------------------------
+
+// Canonical product entity fields: brand, adj, noun, model, category, price,
+// features (space-separated feature words).
+class ProductWorld {
+ public:
+  static Entity Sample(Rng* rng) {
+    Entity e;
+    e["brand"] = SampleWord(pools::kBrands, rng);
+    e["adj"] = SampleWords(pools::kProductAdjectives, 1 + rng->NextBelow(2), rng);
+    e["noun"] = SampleWord(pools::kProductNouns, rng);
+    e["model"] = RandomModelCode(rng);
+    e["category"] = SampleWord(pools::kProductCategories, rng);
+    e["price"] = StrFormat("%.2f", 10.0 + rng->NextDouble() * 1990.0);
+    e["features"] = SampleWords(pools::kFeatureWords, 3 + rng->NextBelow(3), rng);
+    return e;
+  }
+
+  // Same brand & category (often same noun): a hard negative.
+  static Entity Mutate(const Entity& in, Rng* rng) {
+    Entity e = in;
+    e["model"] = RandomModelCode(rng);
+    if (rng->NextBool(0.5)) {
+      e["adj"] = SampleWords(pools::kProductAdjectives, 1 + rng->NextBelow(2), rng);
+    }
+    if (rng->NextBool(0.3)) e["noun"] = SampleWord(pools::kProductNouns, rng);
+    e["price"] = StrFormat("%.2f", 10.0 + rng->NextDouble() * 1990.0);
+    e["features"] = SampleWords(pools::kFeatureWords, 3 + rng->NextBelow(3), rng);
+    return e;
+  }
+
+  static std::string Title(const Entity& e) {
+    return Get(e, "brand") + " " + Get(e, "adj") + " " + Get(e, "noun") + " " +
+           Get(e, "model");
+  }
+};
+
+class WalmartAmazonGenerator : public DatasetGenerator {
+ public:
+  Schema SchemaA() const override {
+    return Schema({"title", "category", "brand", "modelno", "price"});
+  }
+  Schema SchemaB() const override { return SchemaA(); }
+
+  Entity SampleEntity(Rng* rng) const override { return ProductWorld::Sample(rng); }
+  Entity MutateEntity(const Entity& e, Rng* rng) const override {
+    return ProductWorld::Mutate(e, rng);
+  }
+
+  Record ViewA(const Entity& e, Rng* rng) const override {
+    // Walmart style: clean structured fields.
+    NoiseProfile noise{.drop_word_p = 0.08, .typo_p = 0.05, .swap_p = 0.05};
+    return Record({PerturbText(ProductWorld::Title(e), noise, rng),
+                   Get(e, "category"), MaybeNull(Get(e, "brand"), 0.10, rng),
+                   MaybeNull(Get(e, "model"), 0.15, rng), Get(e, "price")});
+  }
+
+  Record ViewB(const Entity& e, Rng* rng) const override {
+    // Amazon style: marketing suffixes, more NULLs, noisy price.
+    NoiseProfile noise{.drop_word_p = 0.10, .typo_p = 0.05, .swap_p = 0.10};
+    std::string title = ProductWorld::Title(e);
+    if (rng->NextBool(0.5)) {
+      title += " " + SampleWords(pools::kMarketingWords, 1 + rng->NextBelow(2), rng);
+    }
+    return Record({PerturbText(title, noise, rng),
+                   MaybeNull(Get(e, "category"), 0.25, rng),
+                   MaybeNull(Get(e, "brand"), 0.30, rng),
+                   MaybeNull(Get(e, "model"), 0.30, rng),
+                   PerturbNumber(Get(e, "price"), 0.04, rng)});
+  }
+};
+
+class AbtBuyGenerator : public DatasetGenerator {
+ public:
+  Schema SchemaA() const override {
+    return Schema({"name", "description", "price"});
+  }
+  Schema SchemaB() const override { return SchemaA(); }
+
+  Entity SampleEntity(Rng* rng) const override { return ProductWorld::Sample(rng); }
+  Entity MutateEntity(const Entity& e, Rng* rng) const override {
+    return ProductWorld::Mutate(e, rng);
+  }
+
+  Record ViewA(const Entity& e, Rng* rng) const override {
+    // Abt style: long textual descriptions, price often missing (Figure 2).
+    // Views are much noisier than Walmart-Amazon's, so matching pairs share
+    // fewer tokens here — the textual-style shift Section 6.2.1 discusses.
+    NoiseProfile noise{.drop_word_p = 0.18, .typo_p = 0.10, .swap_p = 0.10};
+    const std::string desc = Get(e, "adj") + " " + Get(e, "noun") + " " +
+                             Get(e, "features") + " " + Get(e, "model");
+    return Record({PerturbText(ProductWorld::Title(e), noise, rng),
+                   PerturbText(desc, noise, rng),
+                   MaybeNull(Get(e, "price"), 0.35, rng)});
+  }
+
+  Record ViewB(const Entity& e, Rng* rng) const override {
+    NoiseProfile noise{.drop_word_p = 0.30, .typo_p = 0.12, .swap_p = 0.12};
+    std::string name = ProductWorld::Title(e);
+    if (rng->NextBool(0.6)) {
+      name += " " + SampleWords(pools::kMarketingWords, 1 + rng->NextBelow(2), rng);
+    }
+    const std::string desc =
+        Get(e, "features") + " " + SampleWords(pools::kFeatureWords, 3, rng);
+    return Record({PerturbText(name, noise, rng),
+                   MaybeNull(PerturbText(desc, noise, rng), 0.25, rng),
+                   MaybeNull(PerturbNumber(Get(e, "price"), 0.04, rng), 0.25, rng)});
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Citation domain: DBLP-Scholar (DS) and DBLP-ACM (DA)
+// ---------------------------------------------------------------------------
+
+// Canonical fields: title, authors (comma-joined full names), venue_idx
+// (index into the venue pools), year.
+class CitationWorld {
+ public:
+  static Entity Sample(Rng* rng) {
+    Entity e;
+    e["title"] = SampleWords(pools::kPaperTitleWords, 5 + rng->NextBelow(4), rng);
+    const size_t n_authors = 1 + rng->NextBelow(3);
+    std::vector<std::string> authors;
+    for (size_t i = 0; i < n_authors; ++i) authors.push_back(RandomPersonName(rng));
+    e["authors"] = Join(authors, " , ");
+    e["venue_idx"] = std::to_string(rng->NextBelow(pools::kVenuesFull.size()));
+    e["year"] = std::to_string(1985 + rng->NextBelow(36));
+    return e;
+  }
+
+  // Same venue and year, different title/authors: a plausible co-located
+  // paper — a hard negative.
+  static Entity Mutate(const Entity& in, Rng* rng) {
+    Entity e = in;
+    // Resample a few title words, keep some overlap.
+    auto words = SplitWhitespace(e["title"]);
+    const size_t n_change = 2 + rng->NextBelow(words.size() > 3 ? words.size() - 2 : 1);
+    for (size_t i = 0; i < std::min(n_change, words.size()); ++i) {
+      words[rng->NextBelow(words.size())] = SampleWord(pools::kPaperTitleWords, rng);
+    }
+    e["title"] = Join(words, " ");
+    if (rng->NextBool(0.7)) {
+      std::vector<std::string> authors;
+      const size_t n_authors = 1 + rng->NextBelow(3);
+      for (size_t i = 0; i < n_authors; ++i) authors.push_back(RandomPersonName(rng));
+      e["authors"] = Join(authors, " , ");
+    }
+    return e;
+  }
+
+  static std::string AbbrevAuthors(const std::string& authors) {
+    std::vector<std::string> out;
+    for (const auto& name : Split(authors, ',')) {
+      out.push_back(AbbreviateName(Trim(name)));
+    }
+    return Join(out, " , ");
+  }
+
+  static const std::string& VenueFull(const Entity& e) {
+    return pools::kVenuesFull[std::stoul(Get(e, "venue_idx"))];
+  }
+  static const std::string& VenueAbbrev(const Entity& e) {
+    return pools::kVenuesAbbrev[std::stoul(Get(e, "venue_idx"))];
+  }
+};
+
+// style: kScholar builds the noisy Google-Scholar-like side; kAcm the clean
+// ACM-like side.
+class CitationGenerator : public DatasetGenerator {
+ public:
+  enum class Style { kScholar, kAcm };
+  explicit CitationGenerator(Style style) : style_(style) {}
+
+  Schema SchemaA() const override {
+    return Schema({"title", "authors", "venue", "year"});
+  }
+  Schema SchemaB() const override { return SchemaA(); }
+
+  Entity SampleEntity(Rng* rng) const override { return CitationWorld::Sample(rng); }
+  Entity MutateEntity(const Entity& e, Rng* rng) const override {
+    return CitationWorld::Mutate(e, rng);
+  }
+
+  Record ViewA(const Entity& e, Rng* rng) const override {
+    // DBLP side: clean, abbreviated venue, full author names.
+    NoiseProfile noise{.drop_word_p = 0.02, .typo_p = 0.02, .swap_p = 0.02};
+    return Record({PerturbText(Get(e, "title"), noise, rng), Get(e, "authors"),
+                   CitationWorld::VenueAbbrev(e), Get(e, "year")});
+  }
+
+  Record ViewB(const Entity& e, Rng* rng) const override {
+    if (style_ == Style::kScholar) {
+      // Scholar side: abbreviated authors ("m stonebraker"), noisy titles,
+      // mixed venue forms, missing years.
+      NoiseProfile noise{.drop_word_p = 0.22, .typo_p = 0.12, .swap_p = 0.12};
+      const std::string venue = rng->NextBool(0.5)
+                                    ? CitationWorld::VenueFull(e)
+                                    : std::string(CitationWorld::VenueAbbrev(e));
+      return Record({PerturbText(Get(e, "title"), noise, rng),
+                     CitationWorld::AbbrevAuthors(Get(e, "authors")),
+                     MaybeNull(venue, 0.15, rng),
+                     MaybeNull(Get(e, "year"), 0.30, rng)});
+    }
+    // ACM side: full everything, light noise (the easy DBLP-ACM dataset).
+    NoiseProfile noise{.drop_word_p = 0.03, .typo_p = 0.05, .swap_p = 0.03};
+    return Record({PerturbText(Get(e, "title"), noise, rng), Get(e, "authors"),
+                   CitationWorld::VenueFull(e), Get(e, "year")});
+  }
+
+ private:
+  Style style_;
+};
+
+// ---------------------------------------------------------------------------
+// Restaurant domain: Fodors-Zagats (FZ) and Zomato-Yelp (ZY, dirty)
+// ---------------------------------------------------------------------------
+
+class RestaurantWorld {
+ public:
+  static Entity Sample(Rng* rng) {
+    Entity e;
+    e["name"] = SampleWord(pools::kRestaurantFirst, rng) + " " +
+                SampleWord(pools::kRestaurantSecond, rng);
+    e["street"] = RandomDigits(3, rng) + " " + SampleWord(pools::kStreets, rng);
+    e["city"] = SampleWord(pools::kCities, rng);
+    e["phone"] = RandomDigits(3, rng) + " " + RandomDigits(3, rng) + " " +
+                 RandomDigits(4, rng);
+    e["cuisine"] = SampleWord(pools::kCuisines, rng);
+    e["class"] = RandomDigits(3, rng);
+    return e;
+  }
+
+  // Same city & cuisine, different name/address/phone.
+  static Entity Mutate(const Entity& in, Rng* rng) {
+    Entity e = in;
+    e["name"] = SampleWord(pools::kRestaurantFirst, rng) + " " +
+                (rng->NextBool(0.4) ? Get(in, "name").substr(Get(in, "name").find(' ') + 1)
+                                    : SampleWord(pools::kRestaurantSecond, rng));
+    e["street"] = RandomDigits(3, rng) + " " + SampleWord(pools::kStreets, rng);
+    e["phone"] = RandomDigits(3, rng) + " " + RandomDigits(3, rng) + " " +
+                 RandomDigits(4, rng);
+    e["class"] = RandomDigits(3, rng);
+    return e;
+  }
+
+  static std::string PhoneWith(const Entity& e, char sep) {
+    auto parts = SplitWhitespace(Get(e, "phone"));
+    return parts[0] + sep + parts[1] + '-' + parts[2];
+  }
+};
+
+class FodorsZagatsGenerator : public DatasetGenerator {
+ public:
+  Schema SchemaA() const override {
+    return Schema({"name", "addr", "city", "phone", "type", "class"});
+  }
+  Schema SchemaB() const override { return SchemaA(); }
+
+  Entity SampleEntity(Rng* rng) const override { return RestaurantWorld::Sample(rng); }
+  Entity MutateEntity(const Entity& e, Rng* rng) const override {
+    return RestaurantWorld::Mutate(e, rng);
+  }
+
+  Record ViewA(const Entity& e, Rng* rng) const override {
+    // Fodors: "/"-separated area code, occasional "the" prefix.
+    NoiseProfile noise{.drop_word_p = 0.02, .typo_p = 0.03, .swap_p = 0.0};
+    std::string name = Get(e, "name");
+    if (rng->NextBool(0.2)) name = "the " + name;
+    return Record({PerturbText(name, noise, rng), Get(e, "street"),
+                   Get(e, "city"), RestaurantWorld::PhoneWith(e, '/'),
+                   Get(e, "cuisine"), Get(e, "class")});
+  }
+
+  Record ViewB(const Entity& e, Rng* rng) const override {
+    // Zagats: "-"-separated phones, light name noise.
+    NoiseProfile noise{.drop_word_p = 0.04, .typo_p = 0.05, .swap_p = 0.04};
+    return Record({PerturbText(Get(e, "name"), noise, rng),
+                   PerturbText(Get(e, "street"), noise, rng), Get(e, "city"),
+                   RestaurantWorld::PhoneWith(e, '-'), Get(e, "cuisine"),
+                   MaybeNull(Get(e, "class"), 0.2, rng)});
+  }
+};
+
+class ZomatoYelpGenerator : public DatasetGenerator {
+ public:
+  Schema SchemaA() const override { return Schema({"name", "addr", "phone"}); }
+  Schema SchemaB() const override { return SchemaA(); }
+
+  Entity SampleEntity(Rng* rng) const override { return RestaurantWorld::Sample(rng); }
+  Entity MutateEntity(const Entity& e, Rng* rng) const override {
+    return RestaurantWorld::Mutate(e, rng);
+  }
+
+  Record ViewA(const Entity& e, Rng* rng) const override {
+    NoiseProfile noise{.drop_word_p = 0.05, .typo_p = 0.05, .swap_p = 0.05};
+    Record r({PerturbText(Get(e, "name"), noise, rng),
+              Get(e, "street") + " " + Get(e, "city"),
+              RestaurantWorld::PhoneWith(e, '-')});
+    return Dirty(std::move(r), rng);
+  }
+
+  Record ViewB(const Entity& e, Rng* rng) const override {
+    NoiseProfile noise{.drop_word_p = 0.15, .typo_p = 0.12, .swap_p = 0.12};
+    Record r({PerturbText(Get(e, "name"), noise, rng),
+              MaybeNull(Get(e, "street"), 0.25, rng),
+              MaybeNull(RestaurantWorld::PhoneWith(e, ' '), 0.25, rng)});
+    return Dirty(std::move(r), rng);
+  }
+
+ private:
+  // The paper evaluates the *dirty* Zomato-Yelp: values land in the wrong
+  // attribute with some probability (DeepMatcher's dirty-data protocol).
+  static Record Dirty(Record r, Rng* rng) {
+    if (rng->NextBool(0.35) && r.size() >= 2) {
+      const size_t i = rng->NextBelow(r.size());
+      size_t j = rng->NextBelow(r.size());
+      if (i == j) j = (j + 1) % r.size();
+      std::string vi = r.value(i), vj = r.value(j);
+      r.set_value(i, vj);
+      r.set_value(j, vi);
+    }
+    return r;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Music domain: iTunes-Amazon (IA)
+// ---------------------------------------------------------------------------
+
+class ITunesAmazonGenerator : public DatasetGenerator {
+ public:
+  Schema SchemaA() const override {
+    return Schema({"song_name", "artist_name", "album_name", "genre", "price",
+                   "copyright", "time", "released"});
+  }
+  Schema SchemaB() const override { return SchemaA(); }
+
+  Entity SampleEntity(Rng* rng) const override {
+    Entity e;
+    e["song"] = SampleWords(pools::kSongWords, 2 + rng->NextBelow(2), rng);
+    e["artist"] = "the " + SampleWords(pools::kArtistWords, 1 + rng->NextBelow(2), rng);
+    e["album"] = SampleWords(pools::kSongWords, 1 + rng->NextBelow(2), rng);
+    e["genre"] = SampleWord(pools::kGenres, rng);
+    e["price"] = rng->NextBool(0.5) ? "0.99" : "1.29";
+    e["label"] = SampleWord(pools::kLabels, rng);
+    e["minutes"] = std::to_string(2 + rng->NextBelow(5));
+    e["seconds"] = StrFormat("%02d", static_cast<int>(rng->NextBelow(60)));
+    e["year"] = std::to_string(1990 + rng->NextBelow(31));
+    return e;
+  }
+
+  // Same artist & genre, different song/album: the classic music hard case.
+  Entity MutateEntity(const Entity& in, Rng* rng) const override {
+    Entity e = in;
+    e["song"] = SampleWords(pools::kSongWords, 2 + rng->NextBelow(2), rng);
+    if (rng->NextBool(0.5)) {
+      e["album"] = SampleWords(pools::kSongWords, 1 + rng->NextBelow(2), rng);
+    }
+    e["minutes"] = std::to_string(2 + rng->NextBelow(5));
+    e["seconds"] = StrFormat("%02d", static_cast<int>(rng->NextBelow(60)));
+    return e;
+  }
+
+  Record ViewA(const Entity& e, Rng* rng) const override {
+    // iTunes style.
+    NoiseProfile noise{.drop_word_p = 0.03, .typo_p = 0.03, .swap_p = 0.03};
+    std::string song = Get(e, "song");
+    if (rng->NextBool(0.15)) song += " ( feat . " + SampleWord(pools::kArtistWords, rng) + " )";
+    return Record({PerturbText(song, noise, rng), Get(e, "artist"),
+                   Get(e, "album"), Get(e, "genre"), Get(e, "price"),
+                   Get(e, "year") + " " + Get(e, "label"),
+                   Get(e, "minutes") + ":" + Get(e, "seconds"),
+                   "january " + std::to_string(1 + rng->NextBelow(28)) + " , " +
+                       Get(e, "year")});
+  }
+
+  Record ViewB(const Entity& e, Rng* rng) const override {
+    // Amazon Music style: "(album version)" suffixes, (c)-style copyright.
+    NoiseProfile noise{.drop_word_p = 0.18, .typo_p = 0.08, .swap_p = 0.08};
+    std::string song = Get(e, "song");
+    if (rng->NextBool(0.3)) song += " ( album version )";
+    return Record({PerturbText(song, noise, rng),
+                   PerturbText(Get(e, "artist"), noise, rng),
+                   MaybeNull(Get(e, "album"), 0.15, rng),
+                   MaybeNull(Get(e, "genre"), 0.20, rng), Get(e, "price"),
+                   "( c ) " + Get(e, "year") + " " + Get(e, "label"),
+                   Get(e, "minutes") + " min " + Get(e, "seconds") + " sec",
+                   MaybeNull(Get(e, "year"), 0.25, rng)});
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Movie domain: RottenTomatoes-IMDB (RI)
+// ---------------------------------------------------------------------------
+
+class RottenImdbGenerator : public DatasetGenerator {
+ public:
+  Schema SchemaA() const override { return Schema({"name", "year", "director"}); }
+  Schema SchemaB() const override { return SchemaA(); }
+
+  Entity SampleEntity(Rng* rng) const override {
+    Entity e;
+    e["name"] = (rng->NextBool(0.4) ? std::string("the ") : std::string()) +
+                SampleWords(pools::kMovieWords, 2 + rng->NextBelow(2), rng);
+    e["year"] = std::to_string(1970 + rng->NextBelow(52));
+    e["director"] = RandomPersonName(rng);
+    return e;
+  }
+
+  // Same year or same director, different title: e.g. a remake vs original.
+  Entity MutateEntity(const Entity& in, Rng* rng) const override {
+    Entity e = in;
+    auto words = SplitWhitespace(e["name"]);
+    words[rng->NextBelow(words.size())] = SampleWord(pools::kMovieWords, rng);
+    if (rng->NextBool(0.5)) words.push_back(SampleWord(pools::kMovieWords, rng));
+    e["name"] = Join(words, " ");
+    if (rng->NextBool(0.5)) e["director"] = RandomPersonName(rng);
+    return e;
+  }
+
+  Record ViewA(const Entity& e, Rng* rng) const override {
+    NoiseProfile noise{.drop_word_p = 0.03, .typo_p = 0.04, .swap_p = 0.03};
+    return Record({PerturbText(Get(e, "name"), noise, rng), Get(e, "year"),
+                   Get(e, "director")});
+  }
+
+  Record ViewB(const Entity& e, Rng* rng) const override {
+    // IMDB style: "(year)" suffix, abbreviated or missing directors.
+    NoiseProfile noise{.drop_word_p = 0.06, .typo_p = 0.06, .swap_p = 0.05};
+    std::string name = PerturbText(Get(e, "name"), noise, rng);
+    if (rng->NextBool(0.3)) name += " ( " + Get(e, "year") + " )";
+    std::string director = Get(e, "director");
+    if (rng->NextBool(0.25)) director = AbbreviateName(director);
+    return Record({name, MaybeNull(Get(e, "year"), 0.1, rng),
+                   MaybeNull(director, 0.2, rng)});
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Books domain: Books2 (B2)
+// ---------------------------------------------------------------------------
+
+class Books2Generator : public DatasetGenerator {
+ public:
+  Schema SchemaA() const override {
+    return Schema({"title", "authors", "publisher", "pubyear", "pages", "isbn",
+                   "language", "edition", "price"});
+  }
+  Schema SchemaB() const override { return SchemaA(); }
+
+  Entity SampleEntity(Rng* rng) const override {
+    Entity e;
+    e["title"] = SampleWords(pools::kBookWords, 2 + rng->NextBelow(3), rng);
+    e["authors"] = RandomPersonName(rng);
+    if (rng->NextBool(0.3)) e["authors"] += " , " + RandomPersonName(rng);
+    e["publisher"] = SampleWord(pools::kPublishers, rng);
+    e["pubyear"] = std::to_string(1980 + rng->NextBelow(42));
+    e["pages"] = std::to_string(100 + rng->NextBelow(800));
+    e["isbn"] = RandomDigits(13, rng);
+    e["language"] = SampleWord(pools::kLanguages, rng);
+    e["edition"] = std::to_string(1 + rng->NextBelow(5));
+    e["price"] = StrFormat("%.2f", 5.0 + rng->NextDouble() * 145.0);
+    return e;
+  }
+
+  // Same author & publisher, different title/isbn/edition.
+  Entity MutateEntity(const Entity& in, Rng* rng) const override {
+    Entity e = in;
+    auto words = SplitWhitespace(e["title"]);
+    words[rng->NextBelow(words.size())] = SampleWord(pools::kBookWords, rng);
+    e["title"] = Join(words, " ");
+    e["isbn"] = RandomDigits(13, rng);
+    e["edition"] = std::to_string(1 + rng->NextBelow(5));
+    e["pages"] = std::to_string(100 + rng->NextBelow(800));
+    return e;
+  }
+
+  Record ViewA(const Entity& e, Rng* rng) const override {
+    NoiseProfile noise{.drop_word_p = 0.03, .typo_p = 0.04, .swap_p = 0.03};
+    return Record({PerturbText(Get(e, "title"), noise, rng), Get(e, "authors"),
+                   Get(e, "publisher"), Get(e, "pubyear"), Get(e, "pages"),
+                   Get(e, "isbn"), Get(e, "language"), Get(e, "edition"),
+                   Get(e, "price")});
+  }
+
+  Record ViewB(const Entity& e, Rng* rng) const override {
+    // Second marketplace: dashed ISBNs, "last, first" author order, NULLs.
+    NoiseProfile noise{.drop_word_p = 0.06, .typo_p = 0.05, .swap_p = 0.05};
+    const std::string& isbn = Get(e, "isbn");
+    const std::string dashed_isbn = isbn.substr(0, 3) + "-" + isbn.substr(3, 5) +
+                                    "-" + isbn.substr(8);
+    auto name_parts = SplitWhitespace(Split(Get(e, "authors"), ',')[0]);
+    std::string flipped = name_parts.size() == 2
+                              ? name_parts[1] + " , " + name_parts[0]
+                              : Get(e, "authors");
+    return Record({PerturbText(Get(e, "title"), noise, rng), flipped,
+                   MaybeNull(Get(e, "publisher"), 0.15, rng),
+                   Get(e, "pubyear"), MaybeNull(Get(e, "pages"), 0.3, rng),
+                   dashed_isbn, MaybeNull(Get(e, "language"), 0.3, rng),
+                   MaybeNull(Get(e, "edition"), 0.3, rng),
+                   PerturbNumber(Get(e, "price"), 0.05, rng)});
+  }
+};
+
+// ---------------------------------------------------------------------------
+// WDC product corpus: computers (CO), cameras (CA), watches (WT), shoes (SH)
+// ---------------------------------------------------------------------------
+
+// All four categories share schema (title, price), brand pool, and the
+// kWdcSharedWords marketing vocabulary; only the category noun pool differs.
+// That shared "Title" style is why the paper observes little domain shift
+// (and little DA gain) across WDC categories.
+class WdcGenerator : public DatasetGenerator {
+ public:
+  explicit WdcGenerator(const std::vector<std::string>* category_pool)
+      : category_pool_(category_pool) {}
+
+  Schema SchemaA() const override { return Schema({"title", "price"}); }
+  Schema SchemaB() const override { return SchemaA(); }
+
+  Entity SampleEntity(Rng* rng) const override {
+    Entity e;
+    e["brand"] = SampleWord(pools::kBrands, rng);
+    e["catwords"] = SampleWords(*category_pool_, 2 + rng->NextBelow(2), rng);
+    e["shared"] = SampleWords(pools::kWdcSharedWords, 1 + rng->NextBelow(2), rng);
+    e["model"] = RandomModelCode(rng);
+    e["price"] = StrFormat("%.2f", 20.0 + rng->NextDouble() * 1480.0);
+    return e;
+  }
+
+  Entity MutateEntity(const Entity& in, Rng* rng) const override {
+    Entity e = in;
+    e["model"] = RandomModelCode(rng);
+    if (rng->NextBool(0.5)) {
+      e["catwords"] = SampleWords(*category_pool_, 2 + rng->NextBelow(2), rng);
+    }
+    e["price"] = StrFormat("%.2f", 20.0 + rng->NextDouble() * 1480.0);
+    return e;
+  }
+
+  Record ViewA(const Entity& e, Rng* rng) const override {
+    return Render(e, rng);
+  }
+  Record ViewB(const Entity& e, Rng* rng) const override {
+    return Render(e, rng);
+  }
+
+ private:
+  // Both sides are e-commerce scrapes with the same messy title style.
+  Record Render(const Entity& e, Rng* rng) const {
+    NoiseProfile noise{.drop_word_p = 0.12, .typo_p = 0.05, .swap_p = 0.15};
+    std::string title = Get(e, "brand") + " " + Get(e, "catwords") + " " +
+                        Get(e, "shared") + " " + Get(e, "model");
+    if (rng->NextBool(0.3)) {
+      title += " " + SampleWords(pools::kWdcSharedWords, 1, rng);
+    }
+    return Record({PerturbText(title, noise, rng),
+                   MaybeNull(PerturbNumber(Get(e, "price"), 0.03, rng), 0.4, rng)});
+  }
+
+  const std::vector<std::string>* category_pool_;
+};
+
+}  // namespace
+
+const std::vector<DatasetSpec>& AllDatasetSpecs() {
+  static const std::vector<DatasetSpec> kSpecs = {
+      {"WA", "Walmart-Amazon", "Product", 10242, 962, 5},
+      {"AB", "Abt-Buy", "Product", 9575, 1028, 3},
+      {"DS", "DBLP-Scholar", "Citation", 28707, 5347, 4},
+      {"DA", "DBLP-ACM", "Citation", 12363, 2220, 4},
+      {"FZ", "Fodors-Zagats", "Restaurant", 946, 110, 6},
+      {"ZY", "Zomato-Yelp", "Restaurant", 894, 214, 3},
+      {"IA", "iTunes-Amazon", "Music", 532, 132, 8},
+      {"RI", "RottenTomatoes-IMDB", "Movies", 600, 190, 3},
+      {"B2", "Books2", "Books", 394, 92, 9},
+      {"CO", "WDC-Computers", "Product", 1100, 300, 2},
+      {"CA", "WDC-Cameras", "Product", 1100, 300, 2},
+      {"WT", "WDC-Watches", "Product", 1100, 300, 2},
+      {"SH", "WDC-Shoes", "Product", 1100, 300, 2},
+  };
+  return kSpecs;
+}
+
+Result<DatasetSpec> FindDatasetSpec(const std::string& short_name) {
+  for (const auto& spec : AllDatasetSpecs()) {
+    if (spec.short_name == short_name) return spec;
+  }
+  return Status::NotFound("unknown dataset '" + short_name + "'");
+}
+
+Result<std::unique_ptr<DatasetGenerator>> MakeGenerator(
+    const std::string& short_name) {
+  std::unique_ptr<DatasetGenerator> gen;
+  if (short_name == "WA") {
+    gen = std::make_unique<WalmartAmazonGenerator>();
+  } else if (short_name == "AB") {
+    gen = std::make_unique<AbtBuyGenerator>();
+  } else if (short_name == "DS") {
+    gen = std::make_unique<CitationGenerator>(CitationGenerator::Style::kScholar);
+  } else if (short_name == "DA") {
+    gen = std::make_unique<CitationGenerator>(CitationGenerator::Style::kAcm);
+  } else if (short_name == "FZ") {
+    gen = std::make_unique<FodorsZagatsGenerator>();
+  } else if (short_name == "ZY") {
+    gen = std::make_unique<ZomatoYelpGenerator>();
+  } else if (short_name == "IA") {
+    gen = std::make_unique<ITunesAmazonGenerator>();
+  } else if (short_name == "RI") {
+    gen = std::make_unique<RottenImdbGenerator>();
+  } else if (short_name == "B2") {
+    gen = std::make_unique<Books2Generator>();
+  } else if (short_name == "CO") {
+    gen = std::make_unique<WdcGenerator>(&pools::kWdcComputerWords);
+  } else if (short_name == "CA") {
+    gen = std::make_unique<WdcGenerator>(&pools::kWdcCameraWords);
+  } else if (short_name == "WT") {
+    gen = std::make_unique<WdcGenerator>(&pools::kWdcWatchWords);
+  } else if (short_name == "SH") {
+    gen = std::make_unique<WdcGenerator>(&pools::kWdcShoeWords);
+  } else {
+    return Status::NotFound("unknown dataset '" + short_name + "'");
+  }
+  return gen;
+}
+
+Result<ERDataset> GenerateDataset(const std::string& short_name,
+                                  const GenerateOptions& options) {
+  DADER_ASSIGN_OR_RETURN(DatasetSpec spec, FindDatasetSpec(short_name));
+  DADER_ASSIGN_OR_RETURN(std::unique_ptr<DatasetGenerator> gen,
+                         MakeGenerator(short_name));
+  if (options.scale <= 0.0) {
+    return Status::InvalidArgument("scale must be positive");
+  }
+
+  const int64_t n_pairs = std::max<int64_t>(
+      options.min_pairs,
+      static_cast<int64_t>(spec.paper_pairs * options.scale + 0.5));
+  const double match_rate =
+      static_cast<double>(spec.paper_matches) / spec.paper_pairs;
+  const int64_t n_matches =
+      std::max<int64_t>(1, static_cast<int64_t>(n_pairs * match_rate + 0.5));
+  const int64_t n_nonmatches = n_pairs - n_matches;
+  const int64_t n_hard = static_cast<int64_t>(
+      n_nonmatches * options.hard_negative_fraction + 0.5);
+
+  Rng rng(options.seed ^ Fnv1a64(short_name));
+  std::vector<LabeledPair> pairs;
+  pairs.reserve(static_cast<size_t>(n_pairs));
+  for (int64_t i = 0; i < n_matches; ++i) {
+    const Entity e = gen->SampleEntity(&rng);
+    pairs.push_back({gen->ViewA(e, &rng), gen->ViewB(e, &rng), 1});
+  }
+  for (int64_t i = 0; i < n_hard; ++i) {
+    const Entity e = gen->SampleEntity(&rng);
+    const Entity other = gen->MutateEntity(e, &rng);
+    pairs.push_back({gen->ViewA(e, &rng), gen->ViewB(other, &rng), 0});
+  }
+  for (int64_t i = n_hard; i < n_nonmatches; ++i) {
+    const Entity e1 = gen->SampleEntity(&rng);
+    const Entity e2 = gen->SampleEntity(&rng);
+    pairs.push_back({gen->ViewA(e1, &rng), gen->ViewB(e2, &rng), 0});
+  }
+  rng.Shuffle(&pairs);
+
+  ERDataset out(spec.full_name, spec.domain, gen->SchemaA(), gen->SchemaB());
+  for (auto& p : pairs) out.AddPair(std::move(p));
+  return out;
+}
+
+Result<GeneratedTables> GenerateTables(const std::string& short_name,
+                                       int64_t n_entities, uint64_t seed) {
+  DADER_ASSIGN_OR_RETURN(DatasetSpec spec, FindDatasetSpec(short_name));
+  DADER_ASSIGN_OR_RETURN(std::unique_ptr<DatasetGenerator> gen,
+                         MakeGenerator(short_name));
+  if (n_entities <= 0) {
+    return Status::InvalidArgument("n_entities must be positive");
+  }
+  Rng rng(seed ^ Fnv1a64(short_name) ^ 0xab1eULL);
+  GeneratedTables out;
+  out.a = Table(spec.full_name + "-A", gen->SchemaA());
+  out.b = Table(spec.full_name + "-B", gen->SchemaB());
+  for (int64_t i = 0; i < n_entities; ++i) {
+    const Entity e = gen->SampleEntity(&rng);
+    const bool in_a = rng.NextBool(0.85);
+    const bool in_b = rng.NextBool(0.85);
+    size_t ia = 0, ib = 0;
+    if (in_a) {
+      ia = out.a.size();
+      out.a.AddRow(gen->ViewA(e, &rng));
+    }
+    if (in_b) {
+      ib = out.b.size();
+      out.b.AddRow(gen->ViewB(e, &rng));
+    }
+    if (in_a && in_b) out.gold_matches.emplace_back(ia, ib);
+  }
+  return out;
+}
+
+}  // namespace dader::data

@@ -1,0 +1,93 @@
+// Synthetic re-creations of the paper's 13 benchmark ER datasets (Table 2).
+//
+// Each generator defines: the schemas of tables A and B, a canonical-entity
+// sampler over its domain vocabulary, two "views" that render an entity in
+// each table's textual style (this is where cross-dataset style shift comes
+// from), and a mutation operator producing hard negatives (similar but
+// distinct entities). The engine assembles labeled pair sets with the
+// paper's match rates, scaled by a size factor.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/worlds.h"
+#include "util/status.h"
+
+namespace dader::data {
+
+/// \brief Static description of one benchmark dataset (mirrors Table 2).
+struct DatasetSpec {
+  std::string short_name;   ///< "WA"
+  std::string full_name;    ///< "Walmart-Amazon"
+  std::string domain;       ///< "Product"
+  int64_t paper_pairs;      ///< #Pairs in Table 2
+  int64_t paper_matches;    ///< #Matches in Table 2
+  int64_t num_attrs;        ///< #Attrs in Table 2
+};
+
+/// \brief All 13 specs in Table 2 order.
+const std::vector<DatasetSpec>& AllDatasetSpecs();
+
+/// \brief Spec lookup by short name ("WA", "AB", ..., "SH").
+Result<DatasetSpec> FindDatasetSpec(const std::string& short_name);
+
+/// \brief Interface implemented per benchmark dataset.
+class DatasetGenerator {
+ public:
+  virtual ~DatasetGenerator() = default;
+
+  virtual Schema SchemaA() const = 0;
+  virtual Schema SchemaB() const = 0;
+
+  /// \brief Draws a fresh canonical entity.
+  virtual Entity SampleEntity(Rng* rng) const = 0;
+
+  /// \brief A similar-but-different entity (hard negative): shares broad
+  /// identity (brand / venue / city / artist) but differs in the fields
+  /// that determine identity.
+  virtual Entity MutateEntity(const Entity& entity, Rng* rng) const = 0;
+
+  /// \brief Renders the entity in table A's style (with its noise).
+  virtual Record ViewA(const Entity& entity, Rng* rng) const = 0;
+
+  /// \brief Renders the entity in table B's style.
+  virtual Record ViewB(const Entity& entity, Rng* rng) const = 0;
+};
+
+/// \brief Creates the generator for a short name.
+Result<std::unique_ptr<DatasetGenerator>> MakeGenerator(
+    const std::string& short_name);
+
+/// \brief Options controlling dataset assembly.
+struct GenerateOptions {
+  /// Multiplies the paper's #Pairs (1.0 reproduces Table 2 sizes).
+  double scale = 1.0;
+  /// Floor on the generated pair count, so tiny scales stay trainable.
+  int64_t min_pairs = 60;
+  /// Fraction of non-matches that are hard negatives (mutations).
+  double hard_negative_fraction = 0.5;
+  uint64_t seed = 7;
+};
+
+/// \brief Generates the labeled pair set for one benchmark dataset.
+Result<ERDataset> GenerateDataset(const std::string& short_name,
+                                  const GenerateOptions& options);
+
+/// \brief Raw tables + gold matches for the full blocking->matching
+/// pipeline (examples/er_pipeline.cpp).
+struct GeneratedTables {
+  Table a;
+  Table b;
+  /// Gold (row in a, row in b) matching index pairs.
+  std::vector<std::pair<size_t, size_t>> gold_matches;
+};
+
+/// \brief Generates two overlapping tables of ~n_entities each.
+Result<GeneratedTables> GenerateTables(const std::string& short_name,
+                                       int64_t n_entities, uint64_t seed);
+
+}  // namespace dader::data

@@ -1,0 +1,43 @@
+#include "data/sampler.h"
+
+namespace dader::data {
+
+MinibatchSampler::MinibatchSampler(const ERDataset* dataset, size_t batch_size,
+                                   Rng rng, bool drop_last)
+    : dataset_(dataset),
+      batch_size_(batch_size),
+      rng_(rng),
+      drop_last_(drop_last) {
+  DADER_CHECK(dataset_ != nullptr);
+  DADER_CHECK_GT(batch_size_, 0u);
+  DADER_CHECK_GT(dataset_->size(), 0u);
+  order_.resize(dataset_->size());
+  std::iota(order_.begin(), order_.end(), 0);
+  Reshuffle();
+}
+
+void MinibatchSampler::Reshuffle() {
+  rng_.Shuffle(&order_);
+  cursor_ = 0;
+}
+
+size_t MinibatchSampler::BatchesPerEpoch() const {
+  const size_t n = order_.size();
+  if (drop_last_) return n / batch_size_;
+  return (n + batch_size_ - 1) / batch_size_;
+}
+
+std::vector<size_t> MinibatchSampler::NextBatch() {
+  const size_t remaining = order_.size() - cursor_;
+  if (remaining == 0 || (drop_last_ && remaining < batch_size_)) {
+    ++epoch_;
+    Reshuffle();
+  }
+  const size_t take = std::min(batch_size_, order_.size() - cursor_);
+  std::vector<size_t> batch(order_.begin() + static_cast<long>(cursor_),
+                            order_.begin() + static_cast<long>(cursor_ + take));
+  cursor_ += take;
+  return batch;
+}
+
+}  // namespace dader::data

@@ -1,0 +1,46 @@
+// Minibatch sampling over an ERDataset.
+//
+// Each epoch reshuffles the index permutation (deterministically from the
+// sampler's RNG). Algorithm 1/2 sample one source batch and one target batch
+// per iteration; two independent samplers provide that.
+
+#pragma once
+
+#include <numeric>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace dader::data {
+
+/// \brief Cyclic shuffled minibatch iterator over pair indices.
+class MinibatchSampler {
+ public:
+  /// \param dataset source of indices; must outlive the sampler.
+  /// \param batch_size batch size (final batch of an epoch may be smaller
+  ///   unless drop_last).
+  MinibatchSampler(const ERDataset* dataset, size_t batch_size, Rng rng,
+                   bool drop_last = false);
+
+  /// \brief Next batch of pair indices; reshuffles at epoch boundaries.
+  std::vector<size_t> NextBatch();
+
+  /// \brief Batches per epoch.
+  size_t BatchesPerEpoch() const;
+
+  size_t epoch() const { return epoch_; }
+
+ private:
+  void Reshuffle();
+
+  const ERDataset* dataset_;
+  size_t batch_size_;
+  Rng rng_;
+  bool drop_last_;
+  std::vector<size_t> order_;
+  size_t cursor_ = 0;
+  size_t epoch_ = 0;
+};
+
+}  // namespace dader::data

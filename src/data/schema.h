@@ -1,0 +1,113 @@
+// Relational building blocks: Schema, Record, Table.
+//
+// ER operates over two tables A and B whose schemas may differ (different
+// attribute names and counts) — the source of schema-level domain shift the
+// paper studies. Values are strings; NULL is the empty string, as in the
+// DeepMatcher benchmark CSVs.
+
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "text/serializer.h"
+#include "util/check.h"
+
+namespace dader::data {
+
+/// \brief Ordered attribute names of a table.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<std::string> attributes)
+      : attributes_(std::move(attributes)) {}
+
+  size_t size() const { return attributes_.size(); }
+  const std::string& attribute(size_t i) const {
+    DADER_CHECK_LT(i, attributes_.size());
+    return attributes_[i];
+  }
+  const std::vector<std::string>& attributes() const { return attributes_; }
+
+  /// \brief Index of `name`, or -1 when absent.
+  int IndexOf(const std::string& name) const {
+    for (size_t i = 0; i < attributes_.size(); ++i) {
+      if (attributes_[i] == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  bool operator==(const Schema& other) const {
+    return attributes_ == other.attributes_;
+  }
+
+ private:
+  std::vector<std::string> attributes_;
+};
+
+/// \brief One tuple: values aligned with a Schema. Empty string == NULL.
+class Record {
+ public:
+  Record() = default;
+  explicit Record(std::vector<std::string> values)
+      : values_(std::move(values)) {}
+
+  size_t size() const { return values_.size(); }
+  const std::string& value(size_t i) const {
+    DADER_CHECK_LT(i, values_.size());
+    return values_[i];
+  }
+  std::vector<std::string>& values() { return values_; }
+  const std::vector<std::string>& values() const { return values_; }
+
+  void set_value(size_t i, std::string v) {
+    DADER_CHECK_LT(i, values_.size());
+    values_[i] = std::move(v);
+  }
+
+  /// \brief (attribute, value) pairs for the serializer.
+  text::AttrValueList ToAttrValues(const Schema& schema) const {
+    DADER_CHECK_EQ(schema.size(), values_.size());
+    text::AttrValueList out;
+    out.reserve(values_.size());
+    for (size_t i = 0; i < values_.size(); ++i) {
+      out.emplace_back(schema.attribute(i), values_[i]);
+    }
+    return out;
+  }
+
+ private:
+  std::vector<std::string> values_;
+};
+
+/// \brief A named relation: schema + rows.
+class Table {
+ public:
+  Table() = default;
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  size_t size() const { return rows_.size(); }
+
+  const Record& row(size_t i) const {
+    DADER_CHECK_LT(i, rows_.size());
+    return rows_[i];
+  }
+
+  void AddRow(Record r) {
+    DADER_CHECK_EQ(r.size(), schema_.size());
+    rows_.push_back(std::move(r));
+  }
+
+  const std::vector<Record>& rows() const { return rows_; }
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Record> rows_;
+};
+
+}  // namespace dader::data

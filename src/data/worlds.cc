@@ -1,0 +1,310 @@
+#include "data/worlds.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace dader::data {
+
+std::string AbbreviateName(const std::string& full_name) {
+  auto words = SplitWhitespace(full_name);
+  if (words.size() < 2) return full_name;
+  std::string out;
+  for (size_t i = 0; i + 1 < words.size(); ++i) {
+    out += words[i].substr(0, 1);
+    out += ' ';
+  }
+  out += words.back();
+  return out;
+}
+
+std::string DropRandomWords(const std::string& text, double p, Rng* rng) {
+  auto words = SplitWhitespace(text);
+  if (words.size() <= 1) return text;
+  std::vector<std::string> kept;
+  for (auto& w : words) {
+    if (!rng->NextBool(p)) kept.push_back(std::move(w));
+  }
+  if (kept.empty()) kept.push_back(words.front());
+  return Join(kept, " ");
+}
+
+std::string IntroduceTypo(const std::string& text, Rng* rng) {
+  auto words = SplitWhitespace(text);
+  std::vector<size_t> eligible;
+  for (size_t i = 0; i < words.size(); ++i) {
+    if (words[i].size() >= 4) eligible.push_back(i);
+  }
+  if (eligible.empty()) return text;
+  std::string& w = words[rng->Choice(eligible)];
+  const size_t pos = 1 + rng->NextBelow(w.size() - 2);
+  switch (rng->NextBelow(3)) {
+    case 0:  // substitution
+      w[pos] = static_cast<char>('a' + rng->NextBelow(26));
+      break;
+    case 1:  // deletion
+      w.erase(pos, 1);
+      break;
+    default:  // transposition
+      std::swap(w[pos], w[pos - 1]);
+      break;
+  }
+  return Join(words, " ");
+}
+
+std::string SwapAdjacentWords(const std::string& text, Rng* rng) {
+  auto words = SplitWhitespace(text);
+  if (words.size() < 2) return text;
+  const size_t i = rng->NextBelow(words.size() - 1);
+  std::swap(words[i], words[i + 1]);
+  return Join(words, " ");
+}
+
+std::string TruncateWords(const std::string& text, size_t max_words) {
+  auto words = SplitWhitespace(text);
+  if (words.size() <= max_words) return text;
+  words.resize(max_words);
+  return Join(words, " ");
+}
+
+std::string PerturbNumber(const std::string& number, double rel_noise,
+                          Rng* rng) {
+  char* end = nullptr;
+  const double v = std::strtod(number.c_str(), &end);
+  if (end == number.c_str() || *end != '\0') return number;
+  const double factor = 1.0 + (rng->NextDouble() * 2.0 - 1.0) * rel_noise;
+  return StrFormat("%.2f", v * factor);
+}
+
+std::string PerturbText(const std::string& text, const NoiseProfile& profile,
+                        Rng* rng) {
+  std::string out = text;
+  if (profile.drop_word_p > 0.0) out = DropRandomWords(out, profile.drop_word_p, rng);
+  if (profile.swap_p > 0.0 && rng->NextBool(profile.swap_p)) {
+    out = SwapAdjacentWords(out, rng);
+  }
+  if (profile.typo_p > 0.0 && rng->NextBool(profile.typo_p)) {
+    out = IntroduceTypo(out, rng);
+  }
+  return out;
+}
+
+const std::string& SampleWord(const std::vector<std::string>& pool, Rng* rng) {
+  return rng->Choice(pool);
+}
+
+std::string SampleWords(const std::vector<std::string>& pool, size_t k,
+                        Rng* rng) {
+  DADER_CHECK_GT(k, 0u);
+  k = std::min(k, pool.size());
+  std::string out;
+  for (size_t idx : rng->SampleIndices(pool.size(), k)) {
+    if (!out.empty()) out += ' ';
+    out += pool[idx];
+  }
+  return out;
+}
+
+std::string RandomDigits(size_t n, Rng* rng) {
+  DADER_CHECK_GT(n, 0u);
+  std::string out;
+  out.push_back(static_cast<char>('1' + rng->NextBelow(9)));
+  for (size_t i = 1; i < n; ++i) {
+    out.push_back(static_cast<char>('0' + rng->NextBelow(10)));
+  }
+  return out;
+}
+
+std::string RandomModelCode(Rng* rng) {
+  std::string out;
+  const size_t letters = 1 + rng->NextBelow(3);
+  for (size_t i = 0; i < letters; ++i) {
+    out.push_back(static_cast<char>('a' + rng->NextBelow(26)));
+  }
+  out += RandomDigits(3 + rng->NextBelow(2), rng);
+  if (rng->NextBool(0.4)) {
+    out.push_back(static_cast<char>('a' + rng->NextBelow(26)));
+  }
+  return out;
+}
+
+std::string RandomPhone(Rng* rng, char separator) {
+  return RandomDigits(3, rng) + separator + RandomDigits(3, rng) + '-' +
+         RandomDigits(4, rng);
+}
+
+std::string RandomPersonName(Rng* rng) {
+  return SampleWord(pools::kFirstNames, rng) + " " +
+         SampleWord(pools::kLastNames, rng);
+}
+
+namespace pools {
+
+const std::vector<std::string> kBrands = {
+    "samsung", "sony", "panasonic", "toshiba", "canon", "nikon", "hp",
+    "epson", "brother", "logitech", "linksys", "netgear", "belkin", "apple",
+    "dell", "lenovo", "asus", "acer", "philips", "sharp", "sanyo", "kodak",
+    "olympus", "garmin", "jvc", "pioneer", "kenwood", "yamaha", "bose",
+    "sandisk", "kingston", "seagate", "maxtor", "iomega", "tripp", "balt",
+    "fellowes", "mayline", "hon", "safco"};
+
+const std::vector<std::string> kProductNouns = {
+    "television", "monitor", "printer", "router", "camera", "camcorder",
+    "keyboard", "mouse", "speaker", "headphone", "projector", "scanner",
+    "receiver", "subwoofer", "turntable", "laminator", "shredder", "easel",
+    "cartridge", "adapter", "charger", "battery", "cable", "drive",
+    "player", "recorder", "radio", "telephone", "microphone", "webcam"};
+
+const std::vector<std::string> kProductAdjectives = {
+    "black", "white", "silver", "portable", "wireless", "digital", "compact",
+    "professional", "deluxe", "ultra", "premium", "slim", "mini", "dual",
+    "widescreen", "flat", "panel", "high", "speed", "rechargeable"};
+
+const std::vector<std::string> kProductCategories = {
+    "televisions", "printers", "networking", "cameras", "audio", "stationery",
+    "office supplies", "computer accessories", "home theater", "storage",
+    "cleaning repair", "laminating supplies", "telephones", "projectors"};
+
+const std::vector<std::string> kMarketingWords = {
+    "new", "genuine", "original", "series", "edition", "pack", "kit",
+    "bundle", "refurbished", "retail", "oem", "inch", "with", "for"};
+
+const std::vector<std::string> kFeatureWords = {
+    "resolution", "contrast", "ratio", "response", "dynamic", "hdmi", "usb",
+    "ethernet", "bluetooth", "zoom", "optical", "megapixel", "wattage",
+    "channel", "surround", "stereo", "duplex", "cartridge", "capacity",
+    "gigabyte", "memory", "warranty", "energy", "star"};
+
+const std::vector<std::string> kFirstNames = {
+    "michael",  "david",  "john",   "wei",    "jian",   "maria",  "anna",
+    "peter",    "thomas", "robert", "james",  "susan",  "laura",  "rakesh",
+    "surajit",  "hector", "jeffrey", "jennifer", "christos", "joseph",
+    "richard",  "daniel", "kevin",  "elena",  "carlo",  "stefano", "divesh",
+    "raghu",    "divyakant", "timos"};
+
+const std::vector<std::string> kLastNames = {
+    "stonebraker", "dewitt",   "gray",      "chaudhuri", "garcia",  "molina",
+    "ullman",      "widom",    "abiteboul", "vianu",     "naughton", "carey",
+    "franklin",    "hellerstein", "madden", "agrawal",   "srikant", "ramakrishnan",
+    "gehrke",      "faloutsos", "han",      "yu",        "wang",    "li",
+    "zhang",       "chen",     "kossmann",  "kemper",    "neumann", "boncz"};
+
+const std::vector<std::string> kPaperTitleWords = {
+    "query",       "optimization", "database",   "distributed", "parallel",
+    "transaction", "processing",   "indexing",   "mining",      "learning",
+    "scalable",    "adaptive",     "efficient",  "approximate", "streaming",
+    "graph",       "spatial",      "temporal",   "relational",  "semantic",
+    "integration", "cleaning",     "resolution", "entity",      "schema",
+    "matching",    "join",         "aggregation", "storage",    "memory",
+    "concurrency", "recovery",     "benchmark",  "workload",    "sampling"};
+
+const std::vector<std::string> kVenuesFull = {
+    "international conference on management of data",
+    "very large data bases",
+    "international conference on data engineering",
+    "symposium on principles of database systems",
+    "conference on information and knowledge management",
+    "knowledge discovery and data mining",
+    "extending database technology",
+    "transactions on database systems",
+    "transactions on knowledge and data engineering",
+    "journal on very large data bases"};
+
+const std::vector<std::string> kVenuesAbbrev = {
+    "sigmod", "vldb", "icde", "pods", "cikm",
+    "kdd",    "edbt", "tods", "tkde", "vldbj"};
+
+const std::vector<std::string> kRestaurantFirst = {
+    "golden", "blue",  "royal",  "little", "grand", "old",    "casa",
+    "chez",   "la",    "el",     "villa",  "cafe",  "bistro", "palace",
+    "garden", "ocean", "harbor", "sunset", "spice", "lucky"};
+
+const std::vector<std::string> kRestaurantSecond = {
+    "dragon", "lotus", "olive", "pepper", "table", "kitchen", "grill",
+    "house",  "corner", "terrace", "tavern", "diner", "room", "place",
+    "garden", "star",  "crown", "gate",   "bridge", "market"};
+
+const std::vector<std::string> kCities = {
+    "new york",     "los angeles", "chicago",  "san francisco", "boston",
+    "seattle",      "atlanta",     "houston",  "philadelphia",  "miami",
+    "denver",       "portland",    "austin",   "san diego",     "dallas"};
+
+const std::vector<std::string> kStreets = {
+    "main st", "oak ave",   "maple dr",   "broadway", "market st",
+    "pine st", "sunset blvd", "lake ave", "park ave", "hill rd",
+    "5th ave", "2nd st",    "union sq",   "grove st", "river rd"};
+
+const std::vector<std::string> kCuisines = {
+    "italian", "chinese", "mexican", "french",  "japanese", "thai",
+    "indian",  "greek",   "spanish", "american", "seafood", "steakhouse",
+    "vegetarian", "bbq",  "sushi"};
+
+const std::vector<std::string> kSongWords = {
+    "love",  "night", "heart", "fire",  "dream", "dance", "summer",
+    "rain",  "light", "shadow", "river", "home",  "road",  "star",
+    "blue",  "golden", "broken", "wild", "young", "forever", "memory",
+    "ghost", "echo",  "silver", "midnight"};
+
+const std::vector<std::string> kArtistWords = {
+    "the",     "crows",  "velvet", "electric", "midnight", "foxes",
+    "atomic",  "neon",   "silver", "wolves",   "echoes",   "drifters",
+    "saints",  "rebels", "queens", "kings",    "riders",   "strangers",
+    "birds",   "tides"};
+
+const std::vector<std::string> kGenres = {
+    "pop",  "rock", "country", "jazz", "blues", "electronic", "folk",
+    "rap",  "soul", "classical", "indie", "metal", "reggae", "latin"};
+
+const std::vector<std::string> kLabels = {
+    "universal records", "sony music", "warner bros", "emi", "atlantic",
+    "columbia", "capitol", "island records", "interscope", "motown"};
+
+const std::vector<std::string> kMovieWords = {
+    "return", "night",  "city",   "last",   "dark",  "first", "lost",
+    "king",   "queen",  "summer", "winter", "blood", "iron",  "golden",
+    "secret", "silent", "broken", "rising", "fallen", "eternal", "shadow",
+    "storm",  "crystal", "crimson", "winds"};
+
+const std::vector<std::string> kBookWords = {
+    "history", "introduction", "guide",  "art",    "science", "modern",
+    "complete", "practical",   "theory", "design", "principles", "advanced",
+    "handbook", "essential",   "fundamentals", "analysis", "systems",
+    "cooking",  "garden",      "journey", "secrets", "stories", "world",
+    "ancient",  "future"};
+
+const std::vector<std::string> kPublishers = {
+    "penguin", "random house", "harper collins", "simon schuster",
+    "macmillan", "oxford press", "cambridge press", "wiley", "springer",
+    "oreilly", "addison wesley", "mcgraw hill"};
+
+const std::vector<std::string> kLanguages = {
+    "english", "spanish", "french", "german", "italian", "chinese"};
+
+const std::vector<std::string> kWdcComputerWords = {
+    "laptop", "desktop", "motherboard", "processor", "graphics", "card",
+    "ssd",    "ram",     "ddr4",        "intel",     "amd",      "ryzen",
+    "core",   "gaming",  "workstation", "notebook",  "chassis",  "cooler"};
+
+const std::vector<std::string> kWdcCameraWords = {
+    "dslr",   "mirrorless", "lens",   "zoom",    "aperture", "tripod",
+    "flash",  "sensor",     "full",   "frame",   "telephoto", "macro",
+    "camera", "body",       "kit",    "stabilizer", "viewfinder", "shutter"};
+
+const std::vector<std::string> kWdcWatchWords = {
+    "watch",    "chronograph", "automatic", "quartz", "leather", "strap",
+    "stainless", "steel",      "dial",      "sapphire", "bezel", "bracelet",
+    "diver",    "pilot",       "luminous",  "skeleton", "tourbillon", "gmt"};
+
+const std::vector<std::string> kWdcShoeWords = {
+    "sneaker", "running", "trail",  "boot",   "leather", "suede",
+    "canvas",  "lace",    "sole",   "cushion", "athletic", "training",
+    "casual",  "hiking",  "sandal", "slip",    "waterproof", "mesh"};
+
+const std::vector<std::string> kWdcSharedWords = {
+    "mens", "womens", "black", "white", "blue", "red", "pro", "plus",
+    "edition", "series", "size", "new", "sale", "2020", "premium", "classic"};
+
+}  // namespace pools
+}  // namespace dader::data

@@ -1,0 +1,129 @@
+// Shared vocabulary pools and textual perturbation utilities for the
+// synthetic benchmark generators.
+//
+// The original paper evaluates on 13 real datasets (DeepMatcher, Magellan,
+// WDC). Those files are not available offline, so generators.h re-creates
+// each dataset's *structure*: its schema, its domain vocabulary, its textual
+// style, and its match/non-match construction. Perturbations model the messy
+// phenomena the real data exhibits: abbreviations ("michael" -> "m"),
+// dropped tokens, typos, NULLed attributes, reordered words, numeric noise,
+// and dirty attribute swaps (DeepMatcher's "dirty" datasets).
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace dader::data {
+
+/// \brief A canonical entity: attribute -> canonical value. Views render it
+/// into the (possibly different) schemas of tables A and B.
+using Entity = std::map<std::string, std::string>;
+
+// ---------------------------------------------------------------------------
+// Perturbations
+// ---------------------------------------------------------------------------
+
+/// \brief Abbreviates every word except the last to its first letter:
+/// "michael stonebraker" -> "m stonebraker" (the DBLP-Scholar author style).
+std::string AbbreviateName(const std::string& full_name);
+
+/// \brief Randomly drops each word with probability p (never drops all).
+std::string DropRandomWords(const std::string& text, double p, Rng* rng);
+
+/// \brief Introduces a single-character typo (substitution, deletion, or
+/// transposition) into one random word of at least 4 characters.
+std::string IntroduceTypo(const std::string& text, Rng* rng);
+
+/// \brief Randomly swaps two adjacent words.
+std::string SwapAdjacentWords(const std::string& text, Rng* rng);
+
+/// \brief Keeps at most `max_words` leading words.
+std::string TruncateWords(const std::string& text, size_t max_words);
+
+/// \brief Multiplies a numeric string by (1 +/- rel_noise); non-numeric
+/// strings are returned unchanged.
+std::string PerturbNumber(const std::string& number, double rel_noise,
+                          Rng* rng);
+
+/// \brief Per-view noise profile; applied by PerturbText.
+struct NoiseProfile {
+  double drop_word_p = 0.0;   ///< per-word drop probability
+  double typo_p = 0.0;        ///< probability of one typo in the string
+  double swap_p = 0.0;        ///< probability of one adjacent-word swap
+};
+
+/// \brief Applies a NoiseProfile to free text.
+std::string PerturbText(const std::string& text, const NoiseProfile& profile,
+                        Rng* rng);
+
+// ---------------------------------------------------------------------------
+// Sampling helpers
+// ---------------------------------------------------------------------------
+
+/// \brief Uniform sample from a static word pool.
+const std::string& SampleWord(const std::vector<std::string>& pool, Rng* rng);
+
+/// \brief k distinct samples joined by spaces.
+std::string SampleWords(const std::vector<std::string>& pool, size_t k,
+                        Rng* rng);
+
+/// \brief Random digit string of length n (no leading zero).
+std::string RandomDigits(size_t n, Rng* rng);
+
+/// \brief Alphanumeric model code like "sx-4203b".
+std::string RandomModelCode(Rng* rng);
+
+/// \brief US-style phone number with the given separator ("-" or "/").
+std::string RandomPhone(Rng* rng, char separator);
+
+/// \brief A random person name "first last" from the name pools.
+std::string RandomPersonName(Rng* rng);
+
+// ---------------------------------------------------------------------------
+// Vocabulary pools (see worlds.cc for contents)
+// ---------------------------------------------------------------------------
+
+namespace pools {
+
+extern const std::vector<std::string> kBrands;
+extern const std::vector<std::string> kProductNouns;
+extern const std::vector<std::string> kProductAdjectives;
+extern const std::vector<std::string> kProductCategories;
+extern const std::vector<std::string> kMarketingWords;
+extern const std::vector<std::string> kFeatureWords;
+
+extern const std::vector<std::string> kFirstNames;
+extern const std::vector<std::string> kLastNames;
+extern const std::vector<std::string> kPaperTitleWords;
+extern const std::vector<std::string> kVenuesFull;
+extern const std::vector<std::string> kVenuesAbbrev;  // aligned with kVenuesFull
+
+extern const std::vector<std::string> kRestaurantFirst;
+extern const std::vector<std::string> kRestaurantSecond;
+extern const std::vector<std::string> kCities;
+extern const std::vector<std::string> kStreets;
+extern const std::vector<std::string> kCuisines;
+
+extern const std::vector<std::string> kSongWords;
+extern const std::vector<std::string> kArtistWords;
+extern const std::vector<std::string> kGenres;
+extern const std::vector<std::string> kLabels;
+
+extern const std::vector<std::string> kMovieWords;
+extern const std::vector<std::string> kBookWords;
+extern const std::vector<std::string> kPublishers;
+extern const std::vector<std::string> kLanguages;
+
+// WDC product categories: per-category noun pools plus a shared title style.
+extern const std::vector<std::string> kWdcComputerWords;
+extern const std::vector<std::string> kWdcCameraWords;
+extern const std::vector<std::string> kWdcWatchWords;
+extern const std::vector<std::string> kWdcShoeWords;
+extern const std::vector<std::string> kWdcSharedWords;
+
+}  // namespace pools
+}  // namespace dader::data

@@ -1,0 +1,61 @@
+#include "nn/gru.h"
+
+#include "tensor/ops.h"
+
+namespace dader::nn {
+
+namespace ops = ::dader::ops;
+
+Gru::Gru(int64_t in_dim, int64_t hidden_dim, Rng* rng)
+    : in_(in_dim), hidden_(hidden_dim) {
+  xz_ = std::make_unique<Linear>(in_, hidden_, rng);
+  xr_ = std::make_unique<Linear>(in_, hidden_, rng);
+  xh_ = std::make_unique<Linear>(in_, hidden_, rng);
+  hz_ = std::make_unique<Linear>(hidden_, hidden_, rng, /*bias=*/false);
+  hr_ = std::make_unique<Linear>(hidden_, hidden_, rng, /*bias=*/false);
+  hh_ = std::make_unique<Linear>(hidden_, hidden_, rng, /*bias=*/false);
+  RegisterModule("xz", xz_.get());
+  RegisterModule("xr", xr_.get());
+  RegisterModule("xh", xh_.get());
+  RegisterModule("hz", hz_.get());
+  RegisterModule("hr", hr_.get());
+  RegisterModule("hh", hh_.get());
+}
+
+Tensor Gru::Forward(const Tensor& x, bool reverse) const {
+  DADER_CHECK_EQ(x.rank(), 3u);
+  DADER_CHECK_EQ(x.dim(2), in_);
+  const int64_t b = x.dim(0), l = x.dim(1);
+
+  Tensor h = Tensor::Zeros({b, hidden_});
+  std::vector<Tensor> states(static_cast<size_t>(l));
+  for (int64_t step = 0; step < l; ++step) {
+    const int64_t t = reverse ? l - 1 - step : step;
+    Tensor xt = ops::SelectAxis(x, 1, t);  // [B, in]
+    Tensor z = ops::Sigmoid(ops::Add(xz_->Forward(xt), hz_->Forward(h)));
+    Tensor r = ops::Sigmoid(ops::Add(xr_->Forward(xt), hr_->Forward(h)));
+    Tensor hcand =
+        ops::Tanh(ops::Add(xh_->Forward(xt), hh_->Forward(ops::Mul(r, h))));
+    // h = (1 - z) * h + z * hcand.
+    Tensor one_minus_z = ops::AddScalar(ops::Neg(z), 1.0f);
+    h = ops::Add(ops::Mul(one_minus_z, h), ops::Mul(z, hcand));
+    states[static_cast<size_t>(t)] = h;
+  }
+  Tensor stacked = ops::Stack0(states);       // [L, B, H]
+  return ops::SwapAxes(stacked, 0, 1);        // [B, L, H]
+}
+
+BiGru::BiGru(int64_t in_dim, int64_t hidden_dim, Rng* rng) {
+  fwd_ = std::make_unique<Gru>(in_dim, hidden_dim, rng);
+  bwd_ = std::make_unique<Gru>(in_dim, hidden_dim, rng);
+  RegisterModule("fwd", fwd_.get());
+  RegisterModule("bwd", bwd_.get());
+}
+
+Tensor BiGru::Forward(const Tensor& x) const {
+  Tensor f = fwd_->Forward(x, /*reverse=*/false);
+  Tensor b = bwd_->Forward(x, /*reverse=*/true);
+  return ops::Concat({f, b}, /*axis=*/2);
+}
+
+}  // namespace dader::nn

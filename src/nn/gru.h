@@ -1,0 +1,52 @@
+// Gated recurrent units: unidirectional GRU and a bidirectional wrapper.
+//
+// This realizes the paper's RNN Feature Extractor family (DeepMatcher-style
+// "hybrid" models use bidirectional RNNs over serialized attribute text).
+// Unlike the transformer, the GRU is never pre-trained — exactly the setup
+// whose weak transfer Figure 9 measures.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/module.h"
+
+namespace dader::nn {
+
+/// \brief Single-direction GRU over [B, L, in_dim] sequences.
+class Gru : public Module {
+ public:
+  Gru(int64_t in_dim, int64_t hidden_dim, Rng* rng);
+
+  /// \brief Runs the recurrence.
+  /// \param x input [B, L, in_dim].
+  /// \param reverse process timesteps from L-1 down to 0.
+  /// \returns hidden states [B, L, hidden_dim] in natural time order.
+  Tensor Forward(const Tensor& x, bool reverse = false) const;
+
+  int64_t hidden_dim() const { return hidden_; }
+
+ private:
+  int64_t in_, hidden_;
+  // Update gate z, reset gate r, candidate h.
+  std::unique_ptr<Linear> xz_, xr_, xh_;  // input -> gates (with bias)
+  std::unique_ptr<Linear> hz_, hr_, hh_;  // hidden -> gates (no bias)
+};
+
+/// \brief Bidirectional GRU: concatenates forward and backward states.
+class BiGru : public Module {
+ public:
+  BiGru(int64_t in_dim, int64_t hidden_dim, Rng* rng);
+
+  /// \brief x [B, L, in_dim] -> [B, L, 2*hidden_dim].
+  Tensor Forward(const Tensor& x) const;
+
+  int64_t output_dim() const { return 2 * fwd_->hidden_dim(); }
+
+ private:
+  std::unique_ptr<Gru> fwd_, bwd_;
+};
+
+}  // namespace dader::nn

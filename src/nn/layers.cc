@@ -1,0 +1,88 @@
+#include "nn/layers.h"
+
+#include "tensor/init.h"
+
+namespace dader::nn {
+
+namespace ops = ::dader::ops;
+
+Linear::Linear(int64_t in_features, int64_t out_features, Rng* rng, bool bias)
+    : in_(in_features), out_(out_features) {
+  weight_ = RegisterParameter("weight", XavierUniform(in_, out_, rng));
+  if (bias) {
+    bias_ = RegisterParameter("bias", Tensor::Zeros({out_}, true));
+  }
+}
+
+Tensor Linear::Forward(const Tensor& x) const {
+  DADER_CHECK_GE(x.rank(), 1u);
+  DADER_CHECK_EQ(x.shape().back(), in_);
+  Tensor flat = x;
+  const bool needs_reshape = x.rank() != 2;
+  Shape orig = x.shape();
+  if (needs_reshape) {
+    flat = ops::Reshape(x, {x.numel() / in_, in_});
+  }
+  Tensor y = ops::MatMul(flat, weight_);
+  if (bias_.defined()) y = ops::Add(y, bias_);
+  if (needs_reshape) {
+    Shape out_shape(orig.begin(), orig.end() - 1);
+    out_shape.push_back(out_);
+    y = ops::Reshape(y, std::move(out_shape));
+  }
+  return y;
+}
+
+LayerNorm::LayerNorm(int64_t dim) {
+  gamma_ = RegisterParameter("gamma", Tensor::Ones({dim}, true));
+  beta_ = RegisterParameter("beta", Tensor::Zeros({dim}, true));
+}
+
+Tensor LayerNorm::Forward(const Tensor& x) const {
+  return ops::LayerNorm(x, gamma_, beta_);
+}
+
+Embedding::Embedding(int64_t vocab_size, int64_t dim, Rng* rng)
+    : vocab_(vocab_size), dim_(dim) {
+  table_ = RegisterParameter("table", EmbeddingInit(vocab_, dim_, rng));
+}
+
+Tensor Embedding::Forward(const std::vector<int64_t>& ids) const {
+  return ops::EmbeddingLookup(table_, ids);
+}
+
+Mlp::Mlp(std::vector<int64_t> dims, Activation activation, float dropout,
+         Rng* rng)
+    : activation_(activation), dropout_(dropout) {
+  DADER_CHECK_GE(dims.size(), 2u);
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.push_back(std::make_unique<Linear>(dims[i], dims[i + 1], rng));
+    RegisterModule("fc" + std::to_string(i), layers_.back().get());
+  }
+}
+
+Tensor Mlp::Forward(const Tensor& x, Rng* rng) const {
+  Tensor h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i]->Forward(h);
+    if (i + 1 < layers_.size()) {
+      switch (activation_) {
+        case Activation::kRelu:
+          h = ops::Relu(h);
+          break;
+        case Activation::kLeakyRelu:
+          h = ops::LeakyRelu(h, 0.2f);
+          break;
+        case Activation::kTanh:
+          h = ops::Tanh(h);
+          break;
+      }
+      if (dropout_ > 0.0f) {
+        h = ops::Dropout(h, dropout_, rng, training());
+      }
+    }
+  }
+  return h;
+}
+
+}  // namespace dader::nn

@@ -1,0 +1,85 @@
+// Basic layers: Linear, LayerNorm wrapper, Embedding, Dropout, and MLP.
+//
+// The MLP here doubles as the paper's Matcher M (one hidden layer + softmax
+// output, as in Ditto) and as the domain classifier of the adversarial
+// aligners (three LeakyReLU layers + sigmoid head, Section 6.1).
+
+#pragma once
+
+#include <vector>
+
+#include "nn/module.h"
+#include "tensor/ops.h"
+#include "tensor/nn_ops.h"
+#include "util/rng.h"
+
+namespace dader::nn {
+
+/// \brief Fully connected layer y = x W + b over the last dimension.
+class Linear : public Module {
+ public:
+  Linear(int64_t in_features, int64_t out_features, Rng* rng,
+         bool bias = true);
+
+  /// \brief x [..., in] -> [..., out].
+  Tensor Forward(const Tensor& x) const;
+
+  int64_t in_features() const { return in_; }
+  int64_t out_features() const { return out_; }
+
+ private:
+  int64_t in_, out_;
+  Tensor weight_;  // [in, out]
+  Tensor bias_;    // [out] or undefined
+};
+
+/// \brief Learnable layer normalization over the last dimension.
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(int64_t dim);
+
+  Tensor Forward(const Tensor& x) const;
+
+ private:
+  Tensor gamma_;
+  Tensor beta_;
+};
+
+/// \brief Token embedding table.
+class Embedding : public Module {
+ public:
+  Embedding(int64_t vocab_size, int64_t dim, Rng* rng);
+
+  /// \brief ids (flattened) -> [ids.size(), dim].
+  Tensor Forward(const std::vector<int64_t>& ids) const;
+
+  int64_t vocab_size() const { return vocab_; }
+  int64_t dim() const { return dim_; }
+  Tensor table() const { return table_; }
+
+ private:
+  int64_t vocab_, dim_;
+  Tensor table_;
+};
+
+/// \brief Hidden-layer activation for MLPs.
+enum class Activation { kRelu, kLeakyRelu, kTanh };
+
+/// \brief Multi-layer perceptron: Linear (+ activation + dropout) stack.
+/// The final Linear has no activation; callers apply softmax/sigmoid/losses.
+class Mlp : public Module {
+ public:
+  /// \param dims layer widths, e.g. {768, 2} or {768, 256, 256, 1}.
+  Mlp(std::vector<int64_t> dims, Activation activation, float dropout,
+      Rng* rng);
+
+  /// \brief x [n, dims.front()] -> logits [n, dims.back()].
+  Tensor Forward(const Tensor& x, Rng* rng) const;
+
+ private:
+  std::vector<std::unique_ptr<Linear>> layers_;
+  Activation activation_;
+  float dropout_;
+};
+
+}  // namespace dader::nn

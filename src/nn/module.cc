@@ -1,0 +1,85 @@
+#include "nn/module.h"
+
+namespace dader::nn {
+
+std::vector<Tensor> Module::Parameters() const {
+  std::vector<Tensor> out;
+  for (const auto& [name, t] : params_) out.push_back(t);
+  for (const auto& [name, child] : children_) {
+    auto sub = child->Parameters();
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+void Module::CollectNamed(const std::string& prefix,
+                          std::map<std::string, Tensor>* out) const {
+  for (const auto& [name, t] : params_) {
+    (*out)[prefix.empty() ? name : prefix + "." + name] = t;
+  }
+  for (const auto& [name, child] : children_) {
+    child->CollectNamed(prefix.empty() ? name : prefix + "." + name, out);
+  }
+}
+
+std::map<std::string, Tensor> Module::NamedParameters() const {
+  std::map<std::string, Tensor> out;
+  CollectNamed("", &out);
+  return out;
+}
+
+void Module::SetTraining(bool training) {
+  training_ = training;
+  for (auto& [name, child] : children_) child->SetTraining(training);
+}
+
+std::map<std::string, Tensor> Module::SnapshotWeights() const {
+  std::map<std::string, Tensor> out;
+  for (const auto& [name, t] : NamedParameters()) out[name] = t.Detach();
+  return out;
+}
+
+Status Module::RestoreWeights(const std::map<std::string, Tensor>& snapshot) {
+  auto named = NamedParameters();
+  if (named.size() != snapshot.size()) {
+    return Status::InvalidArgument(
+        "snapshot has " + std::to_string(snapshot.size()) +
+        " tensors, module has " + std::to_string(named.size()));
+  }
+  for (auto& [name, param] : named) {
+    auto it = snapshot.find(name);
+    if (it == snapshot.end()) {
+      return Status::NotFound("snapshot missing parameter '" + name + "'");
+    }
+    if (it->second.shape() != param.shape()) {
+      return Status::InvalidArgument("shape mismatch for parameter '" + name +
+                                     "'");
+    }
+    param.CopyDataFrom(it->second);
+  }
+  return Status::OK();
+}
+
+Status Module::CopyWeightsFrom(const Module& other) {
+  return RestoreWeights(other.SnapshotWeights());
+}
+
+int64_t Module::NumParameters() const {
+  int64_t total = 0;
+  for (const auto& t : Parameters()) total += t.numel();
+  return total;
+}
+
+Tensor Module::RegisterParameter(const std::string& name, Tensor t) {
+  DADER_CHECK(t.defined());
+  DADER_CHECK_MSG(t.requires_grad(), name.c_str());
+  params_.emplace_back(name, t);
+  return t;
+}
+
+void Module::RegisterModule(const std::string& name, Module* child) {
+  DADER_CHECK(child != nullptr);
+  children_.emplace_back(name, child);
+}
+
+}  // namespace dader::nn

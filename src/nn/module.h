@@ -1,0 +1,71 @@
+// Module: base class for neural-network components with a parameter
+// registry, hierarchical naming, training-mode propagation, and weight
+// snapshot/restore (used by the trainers' best-epoch model selection).
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/status.h"
+
+namespace dader::nn {
+
+/// \brief Base class for layers and models.
+///
+/// Subclasses register their parameters and child modules in their
+/// constructor. Parameters are Tensors with requires_grad=true; registering
+/// makes them visible to optimizers, snapshots, and serialization.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// \brief All parameters of this module and its descendants.
+  std::vector<Tensor> Parameters() const;
+
+  /// \brief Parameters with hierarchical "child.name" keys.
+  std::map<std::string, Tensor> NamedParameters() const;
+
+  /// \brief Sets training mode (dropout on/off) for this subtree.
+  void SetTraining(bool training);
+  bool training() const { return training_; }
+
+  /// \brief Deep copy of all parameter values, keyed like NamedParameters.
+  std::map<std::string, Tensor> SnapshotWeights() const;
+
+  /// \brief Restores parameter values from a snapshot with matching keys
+  /// and shapes. Extra keys in `snapshot` are an error; missing keys too.
+  Status RestoreWeights(const std::map<std::string, Tensor>& snapshot);
+
+  /// \brief Copies parameter values from another module with an identical
+  /// architecture (same parameter names/shapes). This is the F' <- F clone
+  /// step of Algorithm 2.
+  Status CopyWeightsFrom(const Module& other);
+
+  /// \brief Total number of scalar parameters.
+  int64_t NumParameters() const;
+
+ protected:
+  /// \brief Registers an owned parameter tensor under `name`.
+  Tensor RegisterParameter(const std::string& name, Tensor t);
+
+  /// \brief Registers a child module (not owned; usually a member).
+  void RegisterModule(const std::string& name, Module* child);
+
+ private:
+  void CollectNamed(const std::string& prefix,
+                    std::map<std::string, Tensor>* out) const;
+
+  std::vector<std::pair<std::string, Tensor>> params_;
+  std::vector<std::pair<std::string, Module*>> children_;
+  bool training_ = true;
+};
+
+}  // namespace dader::nn

@@ -1,0 +1,147 @@
+#include "nn/transformer.h"
+
+#include <cmath>
+
+namespace dader::nn {
+
+namespace ops = ::dader::ops;
+
+MultiHeadSelfAttention::MultiHeadSelfAttention(int64_t dim, int64_t num_heads,
+                                               float dropout, Rng* rng)
+    : dim_(dim), heads_(num_heads), head_dim_(dim / num_heads),
+      dropout_(dropout) {
+  DADER_CHECK_EQ(dim_ % heads_, 0);
+  q_ = std::make_unique<Linear>(dim_, dim_, rng);
+  k_ = std::make_unique<Linear>(dim_, dim_, rng);
+  v_ = std::make_unique<Linear>(dim_, dim_, rng);
+  out_ = std::make_unique<Linear>(dim_, dim_, rng);
+  RegisterModule("q", q_.get());
+  RegisterModule("k", k_.get());
+  RegisterModule("v", v_.get());
+  RegisterModule("out", out_.get());
+}
+
+Tensor MultiHeadSelfAttention::Forward(const Tensor& x,
+                                       const std::vector<float>& mask,
+                                       Rng* rng) const {
+  DADER_CHECK_EQ(x.rank(), 3u);
+  const int64_t b = x.dim(0), l = x.dim(1);
+  DADER_CHECK_EQ(static_cast<size_t>(b * l), mask.size());
+
+  // [B,L,d] -> per-head [B*H, L, dh].
+  auto split_heads = [&](const Tensor& t) {
+    Tensor r = ops::Reshape(t, {b, l, heads_, head_dim_});
+    r = ops::SwapAxes(r, 1, 2);  // [B,H,L,dh]
+    return ops::Reshape(r, {b * heads_, l, head_dim_});
+  };
+  Tensor q = split_heads(q_->Forward(x));
+  Tensor k = split_heads(k_->Forward(x));
+  Tensor v = split_heads(v_->Forward(x));
+
+  Tensor scores = ops::BatchMatMul(q, ops::TransposeLast2(k));  // [B*H,L,L]
+  scores = ops::MulScalar(scores, 1.0f / std::sqrt(static_cast<float>(head_dim_)));
+
+  // Additive mask: -1e9 on padded key positions (constant, no grad).
+  std::vector<float> add_mask(static_cast<size_t>(b * heads_ * l * l), 0.0f);
+  for (int64_t bi = 0; bi < b; ++bi) {
+    for (int64_t kj = 0; kj < l; ++kj) {
+      if (mask[static_cast<size_t>(bi * l + kj)] != 0.0f) continue;
+      for (int64_t h = 0; h < heads_; ++h) {
+        float* base = add_mask.data() + ((bi * heads_ + h) * l) * l;
+        for (int64_t qi = 0; qi < l; ++qi) base[qi * l + kj] = -1e9f;
+      }
+    }
+  }
+  scores = ops::Add(scores, Tensor::FromVector({b * heads_, l, l},
+                                               std::move(add_mask)));
+  Tensor probs = ops::Softmax(scores);
+  probs = ops::Dropout(probs, dropout_, rng, training());
+
+  Tensor ctx = ops::BatchMatMul(probs, v);            // [B*H, L, dh]
+  ctx = ops::Reshape(ctx, {b, heads_, l, head_dim_});
+  ctx = ops::SwapAxes(ctx, 1, 2);                     // [B, L, H, dh]
+  ctx = ops::Reshape(ctx, {b, l, dim_});
+  return out_->Forward(ctx);
+}
+
+TransformerBlock::TransformerBlock(const TransformerConfig& config, Rng* rng)
+    : dropout_(config.dropout) {
+  attn_ = std::make_unique<MultiHeadSelfAttention>(config.hidden_dim,
+                                                   config.num_heads,
+                                                   config.dropout, rng);
+  ffn1_ = std::make_unique<Linear>(config.hidden_dim, config.ffn_dim, rng);
+  ffn2_ = std::make_unique<Linear>(config.ffn_dim, config.hidden_dim, rng);
+  ln1_ = std::make_unique<LayerNorm>(config.hidden_dim);
+  ln2_ = std::make_unique<LayerNorm>(config.hidden_dim);
+  RegisterModule("attn", attn_.get());
+  RegisterModule("ffn1", ffn1_.get());
+  RegisterModule("ffn2", ffn2_.get());
+  RegisterModule("ln1", ln1_.get());
+  RegisterModule("ln2", ln2_.get());
+}
+
+Tensor TransformerBlock::Forward(const Tensor& x,
+                                 const std::vector<float>& mask,
+                                 Rng* rng) const {
+  Tensor a = attn_->Forward(x, mask, rng);
+  a = ops::Dropout(a, dropout_, rng, training());
+  Tensor h = ln1_->Forward(ops::Add(x, a));
+  Tensor f = ffn2_->Forward(ops::Relu(ffn1_->Forward(h)));
+  f = ops::Dropout(f, dropout_, rng, training());
+  return ln2_->Forward(ops::Add(h, f));
+}
+
+TransformerEncoder::TransformerEncoder(const TransformerConfig& config,
+                                       Rng* rng)
+    : config_(config) {
+  token_emb_ = std::make_unique<Embedding>(config.vocab_size,
+                                           config.hidden_dim, rng);
+  pos_emb_ = std::make_unique<Embedding>(config.max_len, config.hidden_dim,
+                                         rng);
+  overlap_emb_ = std::make_unique<Embedding>(2, config.hidden_dim, rng);
+  emb_ln_ = std::make_unique<LayerNorm>(config.hidden_dim);
+  RegisterModule("token_emb", token_emb_.get());
+  RegisterModule("pos_emb", pos_emb_.get());
+  RegisterModule("overlap_emb", overlap_emb_.get());
+  RegisterModule("emb_ln", emb_ln_.get());
+  for (int64_t i = 0; i < config.num_layers; ++i) {
+    blocks_.push_back(std::make_unique<TransformerBlock>(config, rng));
+    RegisterModule("block" + std::to_string(i), blocks_.back().get());
+  }
+}
+
+Tensor TransformerEncoder::Forward(const std::vector<int64_t>& token_ids,
+                                   const std::vector<float>& mask,
+                                   const std::vector<float>& overlap,
+                                   int64_t batch, Rng* rng) const {
+  DADER_CHECK_GT(batch, 0);
+  DADER_CHECK_EQ(token_ids.size() % static_cast<size_t>(batch), 0u);
+  const int64_t l = static_cast<int64_t>(token_ids.size()) / batch;
+  DADER_CHECK_LE(l, config_.max_len);
+  DADER_CHECK_EQ(mask.size(), token_ids.size());
+
+  Tensor tok = token_emb_->Forward(token_ids);  // [B*L, d]
+  std::vector<int64_t> positions(token_ids.size());
+  for (int64_t bi = 0; bi < batch; ++bi) {
+    for (int64_t t = 0; t < l; ++t) positions[static_cast<size_t>(bi * l + t)] = t;
+  }
+  Tensor pos = pos_emb_->Forward(positions);    // [B*L, d]
+  Tensor h = ops::Add(tok, pos);
+  if (!overlap.empty()) {
+    DADER_CHECK_EQ(overlap.size(), token_ids.size());
+    std::vector<int64_t> flags(overlap.size());
+    for (size_t i = 0; i < overlap.size(); ++i) {
+      flags[i] = overlap[i] != 0.0f ? 1 : 0;
+    }
+    h = ops::Add(h, overlap_emb_->Forward(flags));
+  }
+  h = emb_ln_->Forward(h);
+  h = ops::Dropout(h, config_.dropout, rng, training());
+  h = ops::Reshape(h, {batch, l, config_.hidden_dim});
+  for (const auto& block : blocks_) {
+    h = block->Forward(h, mask, rng);
+  }
+  return h;
+}
+
+}  // namespace dader::nn

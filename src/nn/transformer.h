@@ -1,0 +1,86 @@
+// A BERT-style transformer encoder: learned token + position embeddings,
+// multi-head self-attention blocks with residual connections and post-layer
+// normalization. This is the paper's "pre-trained LM" Feature Extractor at
+// reduced scale; core/pretrain.h gives it its pre-training.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/module.h"
+
+namespace dader::nn {
+
+/// \brief Transformer encoder hyper-parameters.
+struct TransformerConfig {
+  int64_t vocab_size = 8192;   ///< hashing-vocabulary size incl. specials
+  int64_t max_len = 64;        ///< maximum sequence length
+  int64_t hidden_dim = 64;     ///< model width d
+  int64_t num_heads = 4;       ///< attention heads (hidden_dim % heads == 0)
+  int64_t num_layers = 2;      ///< encoder blocks
+  int64_t ffn_dim = 128;       ///< feed-forward inner width
+  float dropout = 0.1f;
+};
+
+/// \brief One multi-head self-attention block.
+class MultiHeadSelfAttention : public Module {
+ public:
+  MultiHeadSelfAttention(int64_t dim, int64_t num_heads, float dropout,
+                         Rng* rng);
+
+  /// \brief x [B,L,d] with `mask` (B*L floats, 1=token, 0=pad) -> [B,L,d].
+  Tensor Forward(const Tensor& x, const std::vector<float>& mask,
+                 Rng* rng) const;
+
+ private:
+  int64_t dim_, heads_, head_dim_;
+  float dropout_;
+  std::unique_ptr<Linear> q_, k_, v_, out_;
+};
+
+/// \brief Attention + feed-forward block with residuals and post-LN.
+class TransformerBlock : public Module {
+ public:
+  TransformerBlock(const TransformerConfig& config, Rng* rng);
+
+  Tensor Forward(const Tensor& x, const std::vector<float>& mask,
+                 Rng* rng) const;
+
+ private:
+  float dropout_;
+  std::unique_ptr<MultiHeadSelfAttention> attn_;
+  std::unique_ptr<Linear> ffn1_, ffn2_;
+  std::unique_ptr<LayerNorm> ln1_, ln2_;
+};
+
+/// \brief The full encoder stack.
+class TransformerEncoder : public Module {
+ public:
+  TransformerEncoder(const TransformerConfig& config, Rng* rng);
+
+  /// \brief Encodes a batch of token-id sequences.
+  /// \param token_ids B*L ids (row-major), each in [0, vocab_size).
+  /// \param mask B*L floats, 1 for real tokens, 0 for padding.
+  /// \param overlap B*L cross-entity overlap flags (see
+  ///   text::EncodedSequence); pass empty for all-zero flags.
+  /// \param batch B
+  /// \returns hidden states [B, L, hidden_dim].
+  Tensor Forward(const std::vector<int64_t>& token_ids,
+                 const std::vector<float>& mask,
+                 const std::vector<float>& overlap, int64_t batch,
+                 Rng* rng) const;
+
+  const TransformerConfig& config() const { return config_; }
+
+ private:
+  TransformerConfig config_;
+  std::unique_ptr<Embedding> token_emb_;
+  std::unique_ptr<Embedding> pos_emb_;
+  std::unique_ptr<Embedding> overlap_emb_;  // 2 rows: flag 0 / flag 1
+  std::unique_ptr<LayerNorm> emb_ln_;
+  std::vector<std::unique_ptr<TransformerBlock>> blocks_;
+};
+
+}  // namespace dader::nn

@@ -1,0 +1,309 @@
+#include "tensor/da_losses.h"
+
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dader::ops {
+
+namespace {
+
+using internal::MakeOpNode;
+using internal::TensorImpl;
+using ImplPtr = std::shared_ptr<TensorImpl>;
+
+// Squared euclidean distance between row i of a and row j of b.
+inline float SqDist(const float* a, const float* b, int64_t d) {
+  float acc = 0.0f;
+  for (int64_t k = 0; k < d; ++k) {
+    const float diff = a[k] - b[k];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+// Median of pairwise squared distances across the pooled sample; the classic
+// bandwidth heuristic. Falls back to 1 when all points coincide.
+float MedianSquaredDistance(const Tensor& xs, const Tensor& xt) {
+  const int64_t d = xs.dim(1);
+  std::vector<const float*> rows;
+  for (int64_t i = 0; i < xs.dim(0); ++i) rows.push_back(xs.data() + i * d);
+  for (int64_t i = 0; i < xt.dim(0); ++i) rows.push_back(xt.data() + i * d);
+  std::vector<float> dists;
+  dists.reserve(rows.size() * (rows.size() - 1) / 2);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    for (size_t j = i + 1; j < rows.size(); ++j) {
+      dists.push_back(SqDist(rows[i], rows[j], d));
+    }
+  }
+  if (dists.empty()) return 1.0f;
+  std::nth_element(dists.begin(), dists.begin() + dists.size() / 2,
+                   dists.end());
+  const float med = dists[dists.size() / 2];
+  return med > 1e-12f ? med : 1.0f;
+}
+
+std::vector<float> ResolveBandwidths(const Tensor& xs, const Tensor& xt,
+                                     std::vector<float> bandwidths) {
+  if (!bandwidths.empty()) return bandwidths;
+  const float med2 = MedianSquaredDistance(xs, xt);
+  const float base = std::sqrt(med2);
+  return {0.5f * base, 0.7071f * base, base, 1.4142f * base, 2.0f * base};
+}
+
+// Multi-bandwidth RBF kernel value and its "weight" sum_b exp(.)/sigma_b^2
+// (the factor multiplying (y - x) in the gradient).
+inline void KernelAndWeight(float sqdist, const std::vector<float>& sigmas,
+                            float* k, float* w) {
+  *k = 0.0f;
+  *w = 0.0f;
+  for (float s : sigmas) {
+    const float s2 = s * s;
+    const float e = std::exp(-sqdist / (2.0f * s2));
+    *k += e;
+    *w += e / s2;
+  }
+}
+
+struct MmdComputation {
+  float value = 0.0f;
+  // Gradients of the loss w.r.t. xs and xt rows (flattened).
+  std::vector<float> grad_s;
+  std::vector<float> grad_t;
+};
+
+MmdComputation ComputeMmd(const Tensor& xs, const Tensor& xt,
+                          const std::vector<float>& sigmas, bool need_grad) {
+  const int64_t n = xs.dim(0), m = xt.dim(0), d = xs.dim(1);
+  MmdComputation out;
+  if (need_grad) {
+    out.grad_s.assign(static_cast<size_t>(n * d), 0.0f);
+    out.grad_t.assign(static_cast<size_t>(m * d), 0.0f);
+  }
+  double value = 0.0;
+  const float css = 1.0f / static_cast<float>(n * n);
+  const float ctt = 1.0f / static_cast<float>(m * m);
+  const float cst = 2.0f / static_cast<float>(n * m);
+
+  auto accumulate_pair = [&](const float* x, const float* y, float* gx,
+                             float* gy, float coeff) {
+    float k, w;
+    KernelAndWeight(SqDist(x, y, d), sigmas, &k, &w);
+    value += static_cast<double>(coeff) * k;
+    if (!need_grad) return;
+    // d k(x,y)/dx = w * (y - x); symmetric for y.
+    const float cw = coeff * w;
+    for (int64_t t = 0; t < d; ++t) {
+      const float diff = y[t] - x[t];
+      if (gx != nullptr) gx[t] += cw * diff;
+      if (gy != nullptr) gy[t] -= cw * diff;
+    }
+  };
+
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      if (i == j) {
+        value += css;  // k(x,x) = num_bandwidths... (see below)
+        continue;
+      }
+      accumulate_pair(xs.data() + i * d, xs.data() + j * d,
+                      need_grad ? out.grad_s.data() + i * d : nullptr,
+                      need_grad ? out.grad_s.data() + j * d : nullptr, css);
+    }
+  }
+  // Fix the diagonal contribution: k(x,x) = num_bandwidths, not 1.
+  value += static_cast<double>(css) * n * (static_cast<double>(sigmas.size()) - 1.0);
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < m; ++j) {
+      if (i == j) {
+        value += ctt;
+        continue;
+      }
+      accumulate_pair(xt.data() + i * d, xt.data() + j * d,
+                      need_grad ? out.grad_t.data() + i * d : nullptr,
+                      need_grad ? out.grad_t.data() + j * d : nullptr, ctt);
+    }
+  }
+  value += static_cast<double>(ctt) * m * (static_cast<double>(sigmas.size()) - 1.0);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < m; ++j) {
+      accumulate_pair(xs.data() + i * d, xt.data() + j * d,
+                      need_grad ? out.grad_s.data() + i * d : nullptr,
+                      need_grad ? out.grad_t.data() + j * d : nullptr, -cst);
+    }
+  }
+  out.value = static_cast<float>(value);
+  return out;
+}
+
+}  // namespace
+
+Tensor MmdLoss(const Tensor& xs, const Tensor& xt,
+               std::vector<float> bandwidths) {
+  DADER_CHECK_EQ(xs.rank(), 2u);
+  DADER_CHECK_EQ(xt.rank(), 2u);
+  DADER_CHECK_EQ(xs.dim(1), xt.dim(1));
+  DADER_CHECK_GT(xs.dim(0), 0);
+  DADER_CHECK_GT(xt.dim(0), 0);
+  const auto sigmas = ResolveBandwidths(xs, xt, std::move(bandwidths));
+
+  auto out = MakeOpNode({1}, {xs.impl(), xt.impl()});
+  const bool need_grad = out->requires_grad;
+  MmdComputation comp = ComputeMmd(xs, xt, sigmas, need_grad);
+  out->data[0] = comp.value;
+  if (need_grad) {
+    ImplPtr ps = xs.impl(), pt = xt.impl();
+    out->backward_fn = [ps, pt, gs = std::move(comp.grad_s),
+                        gt = std::move(comp.grad_t)](const TensorImpl& self) {
+      const float g = self.grad[0];
+      if (ps->requires_grad) {
+        ps->EnsureGrad();
+        for (size_t i = 0; i < gs.size(); ++i) ps->grad[i] += g * gs[i];
+      }
+      if (pt->requires_grad) {
+        pt->EnsureGrad();
+        for (size_t i = 0; i < gt.size(); ++i) pt->grad[i] += g * gt[i];
+      }
+    };
+  }
+  return Tensor::Wrap(std::move(out));
+}
+
+float MmdValue(const Tensor& xs, const Tensor& xt,
+               std::vector<float> bandwidths) {
+  DADER_CHECK_EQ(xs.rank(), 2u);
+  DADER_CHECK_EQ(xt.rank(), 2u);
+  DADER_CHECK_EQ(xs.dim(1), xt.dim(1));
+  const auto sigmas = ResolveBandwidths(xs, xt, std::move(bandwidths));
+  return ComputeMmd(xs, xt, sigmas, /*need_grad=*/false).value;
+}
+
+Tensor CoralLoss(const Tensor& xs, const Tensor& xt) {
+  DADER_CHECK_EQ(xs.rank(), 2u);
+  DADER_CHECK_EQ(xt.rank(), 2u);
+  DADER_CHECK_EQ(xs.dim(1), xt.dim(1));
+  const int64_t n = xs.dim(0), m = xt.dim(0), d = xs.dim(1);
+  DADER_CHECK_GT(n, 0);
+  DADER_CHECK_GT(m, 0);
+
+  // Centered copies of both feature matrices.
+  auto center = [d](const Tensor& x, int64_t rows) {
+    std::vector<float> centered(x.vec());
+    std::vector<float> mean(static_cast<size_t>(d), 0.0f);
+    for (int64_t i = 0; i < rows; ++i) {
+      for (int64_t j = 0; j < d; ++j) mean[static_cast<size_t>(j)] += x.data()[i * d + j];
+    }
+    for (auto& v : mean) v /= static_cast<float>(rows);
+    for (int64_t i = 0; i < rows; ++i) {
+      for (int64_t j = 0; j < d; ++j) {
+        centered[static_cast<size_t>(i * d + j)] -= mean[static_cast<size_t>(j)];
+      }
+    }
+    return centered;
+  };
+  const std::vector<float> cs = center(xs, n);
+  const std::vector<float> ct = center(xt, m);
+  const float norm_s = n > 1 ? 1.0f / static_cast<float>(n - 1) : 1.0f;
+  const float norm_t = m > 1 ? 1.0f / static_cast<float>(m - 1) : 1.0f;
+
+  // D = C_S - C_T, accumulated directly (d x d).
+  std::vector<float> D(static_cast<size_t>(d * d), 0.0f);
+  auto accumulate_cov = [&D, d](const std::vector<float>& c, int64_t rows,
+                                float norm, float sign) {
+    for (int64_t i = 0; i < rows; ++i) {
+      const float* row = c.data() + i * d;
+      for (int64_t a = 0; a < d; ++a) {
+        const float va = row[a] * norm * sign;
+        float* drow = D.data() + a * d;
+        for (int64_t b = 0; b < d; ++b) drow[b] += va * row[b];
+      }
+    }
+  };
+  accumulate_cov(cs, n, norm_s, 1.0f);
+  accumulate_cov(ct, m, norm_t, -1.0f);
+
+  double fro2 = 0.0;
+  for (float v : D) fro2 += static_cast<double>(v) * v;
+  const float inv4d2 = 1.0f / (4.0f * static_cast<float>(d) * static_cast<float>(d));
+
+  auto out = MakeOpNode({1}, {xs.impl(), xt.impl()});
+  out->data[0] = static_cast<float>(fro2) * inv4d2;
+  if (out->requires_grad) {
+    ImplPtr ps = xs.impl(), pt = xt.impl();
+    // With G = dL/dC = sign * D / (2d^2) and C = X_c^T X_c / (n-1),
+    // dL/dX_c = X_c (G + G^T) / (n-1) = X_c * D * (4 * inv4d2 * norm * sign)
+    // because D is symmetric. Centering projects the gradient back:
+    // subtract its column means.
+    auto grad_for = [d, inv4d2](const std::vector<float>& c, int64_t rows,
+                                float norm, float sign,
+                                const std::vector<float>& D) {
+      std::vector<float> g(static_cast<size_t>(rows * d), 0.0f);
+      const float coef = sign * 4.0f * inv4d2 * norm;
+      for (int64_t i = 0; i < rows; ++i) {
+        const float* crow = c.data() + i * d;
+        float* grow = g.data() + i * d;
+        for (int64_t a = 0; a < d; ++a) {
+          const float va = crow[a] * coef;
+          if (va == 0.0f) continue;
+          const float* drow = D.data() + a * d;
+          for (int64_t b = 0; b < d; ++b) grow[b] += va * drow[b];
+        }
+      }
+      // Subtract column means (gradient of the centering map).
+      std::vector<float> mean(static_cast<size_t>(d), 0.0f);
+      for (int64_t i = 0; i < rows; ++i) {
+        for (int64_t j = 0; j < d; ++j) mean[static_cast<size_t>(j)] += g[i * d + j];
+      }
+      for (auto& v : mean) v /= static_cast<float>(rows);
+      for (int64_t i = 0; i < rows; ++i) {
+        for (int64_t j = 0; j < d; ++j) g[i * d + j] -= mean[static_cast<size_t>(j)];
+      }
+      return g;
+    };
+    std::vector<float> gs = grad_for(cs, n, norm_s, 1.0f, D);
+    std::vector<float> gt = grad_for(ct, m, norm_t, -1.0f, D);
+    out->backward_fn = [ps, pt, gs = std::move(gs),
+                        gt = std::move(gt)](const TensorImpl& self) {
+      const float g = self.grad[0];
+      if (ps->requires_grad) {
+        ps->EnsureGrad();
+        for (size_t i = 0; i < gs.size(); ++i) ps->grad[i] += g * gs[i];
+      }
+      if (pt->requires_grad) {
+        pt->EnsureGrad();
+        for (size_t i = 0; i < gt.size(); ++i) pt->grad[i] += g * gt[i];
+      }
+    };
+  }
+  return Tensor::Wrap(std::move(out));
+}
+
+Tensor CmdLoss(const Tensor& xs, const Tensor& xt, int max_moment) {
+  DADER_CHECK_EQ(xs.rank(), 2u);
+  DADER_CHECK_EQ(xt.rank(), 2u);
+  DADER_CHECK_EQ(xs.dim(1), xt.dim(1));
+  DADER_CHECK_GE(max_moment, 1);
+
+  auto l2 = [](const Tensor& v) {  // ||v||_2 as a scalar node
+    return Sqrt(SumAll(Square(v)));
+  };
+  Tensor mean_s = MeanAxis(xs, 0);  // [d]
+  Tensor mean_t = MeanAxis(xt, 0);
+  Tensor loss = l2(Sub(mean_s, mean_t));
+
+  Tensor cs = Sub(xs, mean_s);  // centered, broadcast over rows
+  Tensor ct = Sub(xt, mean_t);
+  Tensor pow_s = cs;
+  Tensor pow_t = ct;
+  for (int k = 2; k <= max_moment; ++k) {
+    pow_s = Mul(pow_s, cs);
+    pow_t = Mul(pow_t, ct);
+    Tensor ck_s = MeanAxis(pow_s, 0);
+    Tensor ck_t = MeanAxis(pow_t, 0);
+    loss = Add(loss, l2(Sub(ck_s, ck_t)));
+  }
+  return loss;
+}
+
+}  // namespace dader::ops

@@ -1,0 +1,25 @@
+#include "tensor/init.h"
+
+#include <cmath>
+
+namespace dader {
+
+Tensor XavierUniform(int64_t fan_in, int64_t fan_out, Rng* rng) {
+  const float limit =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return Tensor::RandomUniform({fan_in, fan_out}, -limit, limit, rng,
+                               /*requires_grad=*/true);
+}
+
+Tensor KaimingNormal(int64_t fan_in, int64_t fan_out, Rng* rng) {
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  return Tensor::RandomNormal({fan_in, fan_out}, stddev, rng,
+                              /*requires_grad=*/true);
+}
+
+Tensor EmbeddingInit(int64_t vocab, int64_t dim, Rng* rng, float stddev) {
+  return Tensor::RandomNormal({vocab, dim}, stddev, rng,
+                              /*requires_grad=*/true);
+}
+
+}  // namespace dader

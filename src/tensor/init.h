@@ -1,0 +1,20 @@
+// Weight initialization schemes.
+
+#pragma once
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace dader {
+
+/// \brief Glorot/Xavier uniform init for a [fan_in, fan_out] weight matrix.
+Tensor XavierUniform(int64_t fan_in, int64_t fan_out, Rng* rng);
+
+/// \brief Kaiming/He normal init, suited to ReLU layers.
+Tensor KaimingNormal(int64_t fan_in, int64_t fan_out, Rng* rng);
+
+/// \brief N(0, stddev) embedding table [vocab, dim].
+Tensor EmbeddingInit(int64_t vocab, int64_t dim, Rng* rng,
+                     float stddev = 0.02f);
+
+}  // namespace dader

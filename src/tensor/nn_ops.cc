@@ -1,0 +1,407 @@
+#include "tensor/nn_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dader::ops {
+
+namespace {
+
+using internal::MakeOpNode;
+using internal::TensorImpl;
+using ImplPtr = std::shared_ptr<TensorImpl>;
+
+// Rows/width decomposition treating the tensor as [rows, last_dim].
+void LastDimSpans(const Tensor& a, int64_t* rows, int64_t* width) {
+  DADER_CHECK_GE(a.rank(), 1u);
+  *width = a.shape().back();
+  DADER_CHECK_GT(*width, 0);
+  *rows = a.numel() / *width;
+}
+
+// Fills `out` with row-wise softmax of `in` ([rows, width]).
+void SoftmaxForward(const float* in, float* out, int64_t rows, int64_t width) {
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* x = in + r * width;
+    float* y = out + r * width;
+    float mx = x[0];
+    for (int64_t j = 1; j < width; ++j) mx = std::max(mx, x[j]);
+    float denom = 0.0f;
+    for (int64_t j = 0; j < width; ++j) {
+      y[j] = std::exp(x[j] - mx);
+      denom += y[j];
+    }
+    const float inv = 1.0f / denom;
+    for (int64_t j = 0; j < width; ++j) y[j] *= inv;
+  }
+}
+
+}  // namespace
+
+Tensor Softmax(const Tensor& a) {
+  int64_t rows, width;
+  LastDimSpans(a, &rows, &width);
+  auto out = MakeOpNode(a.shape(), {a.impl()});
+  SoftmaxForward(a.data(), out->data.data(), rows, width);
+  if (out->requires_grad) {
+    ImplPtr pa = a.impl();
+    out->backward_fn = [pa, rows, width](const TensorImpl& self) {
+      pa->EnsureGrad();
+      for (int64_t r = 0; r < rows; ++r) {
+        const float* y = self.data.data() + r * width;
+        const float* g = self.grad.data() + r * width;
+        float* dx = pa->grad.data() + r * width;
+        float dot = 0.0f;
+        for (int64_t j = 0; j < width; ++j) dot += g[j] * y[j];
+        for (int64_t j = 0; j < width; ++j) dx[j] += y[j] * (g[j] - dot);
+      }
+    };
+  }
+  return Tensor::Wrap(std::move(out));
+}
+
+Tensor LogSoftmax(const Tensor& a) {
+  int64_t rows, width;
+  LastDimSpans(a, &rows, &width);
+  auto out = MakeOpNode(a.shape(), {a.impl()});
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* x = a.data() + r * width;
+    float* y = out->data.data() + r * width;
+    float mx = x[0];
+    for (int64_t j = 1; j < width; ++j) mx = std::max(mx, x[j]);
+    float denom = 0.0f;
+    for (int64_t j = 0; j < width; ++j) denom += std::exp(x[j] - mx);
+    const float lse = mx + std::log(denom);
+    for (int64_t j = 0; j < width; ++j) y[j] = x[j] - lse;
+  }
+  if (out->requires_grad) {
+    ImplPtr pa = a.impl();
+    out->backward_fn = [pa, rows, width](const TensorImpl& self) {
+      pa->EnsureGrad();
+      for (int64_t r = 0; r < rows; ++r) {
+        const float* y = self.data.data() + r * width;  // log-probs
+        const float* g = self.grad.data() + r * width;
+        float* dx = pa->grad.data() + r * width;
+        float gsum = 0.0f;
+        for (int64_t j = 0; j < width; ++j) gsum += g[j];
+        for (int64_t j = 0; j < width; ++j) {
+          dx[j] += g[j] - std::exp(y[j]) * gsum;
+        }
+      }
+    };
+  }
+  return Tensor::Wrap(std::move(out));
+}
+
+Tensor LayerNorm(const Tensor& a, const Tensor& gamma, const Tensor& beta,
+                 float eps) {
+  int64_t rows, width;
+  LastDimSpans(a, &rows, &width);
+  DADER_CHECK_EQ(gamma.numel(), width);
+  DADER_CHECK_EQ(beta.numel(), width);
+  auto out = MakeOpNode(a.shape(), {a.impl(), gamma.impl(), beta.impl()});
+  // Cache per-row normalized values and inverse stddev for backward.
+  std::vector<float> xhat(a.vec().size());
+  std::vector<float> inv_std(static_cast<size_t>(rows));
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* x = a.data() + r * width;
+    float mean = 0.0f;
+    for (int64_t j = 0; j < width; ++j) mean += x[j];
+    mean /= static_cast<float>(width);
+    float var = 0.0f;
+    for (int64_t j = 0; j < width; ++j) {
+      const float d = x[j] - mean;
+      var += d * d;
+    }
+    var /= static_cast<float>(width);
+    const float istd = 1.0f / std::sqrt(var + eps);
+    inv_std[static_cast<size_t>(r)] = istd;
+    float* xh = xhat.data() + r * width;
+    float* y = out->data.data() + r * width;
+    for (int64_t j = 0; j < width; ++j) {
+      xh[j] = (x[j] - mean) * istd;
+      y[j] = gamma.data()[j] * xh[j] + beta.data()[j];
+    }
+  }
+  if (out->requires_grad) {
+    ImplPtr pa = a.impl(), pg = gamma.impl(), pb = beta.impl();
+    out->backward_fn = [pa, pg, pb, xhat = std::move(xhat),
+                        inv_std = std::move(inv_std), rows,
+                        width](const TensorImpl& self) {
+      if (pg->requires_grad) pg->EnsureGrad();
+      if (pb->requires_grad) pb->EnsureGrad();
+      if (pa->requires_grad) pa->EnsureGrad();
+      for (int64_t r = 0; r < rows; ++r) {
+        const float* g = self.grad.data() + r * width;
+        const float* xh = xhat.data() + r * width;
+        if (pg->requires_grad || pb->requires_grad) {
+          for (int64_t j = 0; j < width; ++j) {
+            if (pg->requires_grad) pg->grad[j] += g[j] * xh[j];
+            if (pb->requires_grad) pb->grad[j] += g[j];
+          }
+        }
+        if (pa->requires_grad) {
+          // dL/dx = istd * (h - mean(h) - xhat * mean(h*xhat)),
+          // where h = gamma * g.
+          float mean_h = 0.0f, mean_hx = 0.0f;
+          for (int64_t j = 0; j < width; ++j) {
+            const float h = pg->data[j] * g[j];
+            mean_h += h;
+            mean_hx += h * xh[j];
+          }
+          mean_h /= static_cast<float>(width);
+          mean_hx /= static_cast<float>(width);
+          const float istd = inv_std[static_cast<size_t>(r)];
+          float* dx = pa->grad.data() + r * width;
+          for (int64_t j = 0; j < width; ++j) {
+            const float h = pg->data[j] * g[j];
+            dx[j] += istd * (h - mean_h - xh[j] * mean_hx);
+          }
+        }
+      }
+    };
+  }
+  return Tensor::Wrap(std::move(out));
+}
+
+Tensor EmbeddingLookup(const Tensor& weight, const std::vector<int64_t>& ids) {
+  DADER_CHECK_EQ(weight.rank(), 2u);
+  const int64_t vocab = weight.dim(0), d = weight.dim(1);
+  const int64_t n = static_cast<int64_t>(ids.size());
+  for (int64_t id : ids) {
+    DADER_CHECK_GE(id, 0);
+    DADER_CHECK_LT(id, vocab);
+  }
+  auto out = MakeOpNode({n, d}, {weight.impl()});
+  for (int64_t i = 0; i < n; ++i) {
+    std::copy(weight.data() + ids[static_cast<size_t>(i)] * d,
+              weight.data() + (ids[static_cast<size_t>(i)] + 1) * d,
+              out->data.data() + i * d);
+  }
+  if (out->requires_grad) {
+    ImplPtr pw = weight.impl();
+    out->backward_fn = [pw, ids, d](const TensorImpl& self) {
+      pw->EnsureGrad();
+      for (size_t i = 0; i < ids.size(); ++i) {
+        const float* g = self.grad.data() + static_cast<int64_t>(i) * d;
+        float* dst = pw->grad.data() + ids[i] * d;
+        for (int64_t j = 0; j < d; ++j) dst[j] += g[j];
+      }
+    };
+  }
+  return Tensor::Wrap(std::move(out));
+}
+
+Tensor Dropout(const Tensor& a, float p, Rng* rng, bool training) {
+  DADER_CHECK_GE(p, 0.0f);
+  DADER_CHECK_LT(p, 1.0f);
+  if (!training || p == 0.0f) return a;
+  DADER_CHECK(rng != nullptr);
+  auto out = MakeOpNode(a.shape(), {a.impl()});
+  const float scale = 1.0f / (1.0f - p);
+  std::vector<float> mask(a.vec().size());
+  for (size_t i = 0; i < mask.size(); ++i) {
+    mask[i] = rng->NextBool(p) ? 0.0f : scale;
+    out->data[i] = a.data()[i] * mask[i];
+  }
+  if (out->requires_grad) {
+    ImplPtr pa = a.impl();
+    out->backward_fn = [pa, mask = std::move(mask)](const TensorImpl& self) {
+      pa->EnsureGrad();
+      for (size_t i = 0; i < mask.size(); ++i) {
+        pa->grad[i] += self.grad[i] * mask[i];
+      }
+    };
+  }
+  return Tensor::Wrap(std::move(out));
+}
+
+Tensor GradReverse(const Tensor& a, float lambda) {
+  auto out = MakeOpNode(a.shape(), {a.impl()});
+  out->data = a.vec();
+  if (out->requires_grad) {
+    ImplPtr pa = a.impl();
+    out->backward_fn = [pa, lambda](const TensorImpl& self) {
+      pa->EnsureGrad();
+      for (size_t i = 0; i < self.grad.size(); ++i) {
+        pa->grad[i] -= lambda * self.grad[i];
+      }
+    };
+  }
+  return Tensor::Wrap(std::move(out));
+}
+
+Tensor CrossEntropyWithLogits(const Tensor& logits,
+                              const std::vector<int64_t>& labels) {
+  DADER_CHECK_EQ(logits.rank(), 2u);
+  const int64_t n = logits.dim(0), c = logits.dim(1);
+  DADER_CHECK_EQ(static_cast<size_t>(n), labels.size());
+  std::vector<float> probs(logits.vec().size());
+  SoftmaxForward(logits.data(), probs.data(), n, c);
+  auto out = MakeOpNode({1}, {logits.impl()});
+  double loss = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    DADER_CHECK_GE(labels[static_cast<size_t>(i)], 0);
+    DADER_CHECK_LT(labels[static_cast<size_t>(i)], c);
+    const float p = probs[static_cast<size_t>(i * c + labels[static_cast<size_t>(i)])];
+    loss -= std::log(std::max(p, 1e-12f));
+  }
+  out->data[0] = static_cast<float>(loss / static_cast<double>(n));
+  if (out->requires_grad) {
+    ImplPtr pl = logits.impl();
+    out->backward_fn = [pl, probs = std::move(probs), labels, n,
+                        c](const TensorImpl& self) {
+      pl->EnsureGrad();
+      const float g = self.grad[0] / static_cast<float>(n);
+      for (int64_t i = 0; i < n; ++i) {
+        float* dst = pl->grad.data() + i * c;
+        const float* p = probs.data() + i * c;
+        for (int64_t j = 0; j < c; ++j) dst[j] += g * p[j];
+        dst[labels[static_cast<size_t>(i)]] -= g;
+      }
+    };
+  }
+  return Tensor::Wrap(std::move(out));
+}
+
+Tensor BinaryCrossEntropyWithLogits(const Tensor& logits,
+                                    const std::vector<float>& targets) {
+  const int64_t n = logits.numel();
+  DADER_CHECK_EQ(static_cast<size_t>(n), targets.size());
+  auto out = MakeOpNode({1}, {logits.impl()});
+  double loss = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const float z = logits.data()[i];
+    const float y = targets[static_cast<size_t>(i)];
+    // Stable formulation: max(z,0) - z*y + log(1 + exp(-|z|)).
+    loss += std::max(z, 0.0f) - z * y + std::log1p(std::exp(-std::fabs(z)));
+  }
+  out->data[0] = static_cast<float>(loss / static_cast<double>(n));
+  if (out->requires_grad) {
+    ImplPtr pl = logits.impl();
+    out->backward_fn = [pl, targets, n](const TensorImpl& self) {
+      pl->EnsureGrad();
+      const float g = self.grad[0] / static_cast<float>(n);
+      for (int64_t i = 0; i < n; ++i) {
+        const float z = pl->data[static_cast<size_t>(i)];
+        const float sig =
+            z >= 0.0f ? 1.0f / (1.0f + std::exp(-z))
+                      : std::exp(z) / (1.0f + std::exp(z));
+        pl->grad[static_cast<size_t>(i)] +=
+            g * (sig - targets[static_cast<size_t>(i)]);
+      }
+    };
+  }
+  return Tensor::Wrap(std::move(out));
+}
+
+Tensor KnowledgeDistillationLoss(const Tensor& student_logits,
+                                 const Tensor& teacher_logits,
+                                 float temperature) {
+  DADER_CHECK_EQ(student_logits.rank(), 2u);
+  DADER_CHECK(student_logits.shape() == teacher_logits.shape());
+  DADER_CHECK_GT(temperature, 0.0f);
+  const int64_t n = student_logits.dim(0), c = student_logits.dim(1);
+  const float t = temperature;
+
+  // Temperature-softened distributions; teacher is a constant here.
+  std::vector<float> p(teacher_logits.vec().size());   // teacher probs
+  std::vector<float> q(student_logits.vec().size());   // student probs
+  std::vector<float> scaled(student_logits.vec().size());
+  for (size_t i = 0; i < scaled.size(); ++i) scaled[i] = teacher_logits.data()[i] / t;
+  SoftmaxForward(scaled.data(), p.data(), n, c);
+  for (size_t i = 0; i < scaled.size(); ++i) scaled[i] = student_logits.data()[i] / t;
+  SoftmaxForward(scaled.data(), q.data(), n, c);
+
+  // Only the student participates in the tape (teacher is detached by
+  // construction of the loss: its gradient is defined to be zero).
+  auto out = MakeOpNode({1}, {student_logits.impl()});
+  double loss = 0.0;
+  for (int64_t i = 0; i < n * c; ++i) {
+    loss -= static_cast<double>(p[static_cast<size_t>(i)]) *
+            std::log(std::max(q[static_cast<size_t>(i)], 1e-12f));
+  }
+  out->data[0] = static_cast<float>(t * t * loss / static_cast<double>(n));
+  if (out->requires_grad) {
+    ImplPtr ps = student_logits.impl();
+    out->backward_fn = [ps, p = std::move(p), q = std::move(q), n, c,
+                        t](const TensorImpl& self) {
+      ps->EnsureGrad();
+      // d/d(student_logits) = (t / n) * (q - p).
+      const float g = self.grad[0] * t / static_cast<float>(n);
+      for (int64_t i = 0; i < n * c; ++i) {
+        ps->grad[static_cast<size_t>(i)] +=
+            g * (q[static_cast<size_t>(i)] - p[static_cast<size_t>(i)]);
+      }
+    };
+  }
+  return Tensor::Wrap(std::move(out));
+}
+
+Tensor MseLoss(const Tensor& a, const Tensor& b) {
+  DADER_CHECK(a.shape() == b.shape());
+  auto out = MakeOpNode({1}, {a.impl(), b.impl()});
+  const size_t n = a.vec().size();
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(a.data()[i]) - b.data()[i];
+    acc += d * d;
+  }
+  out->data[0] = static_cast<float>(acc / static_cast<double>(n));
+  if (out->requires_grad) {
+    ImplPtr pa = a.impl(), pb = b.impl();
+    out->backward_fn = [pa, pb, n](const TensorImpl& self) {
+      const float g = self.grad[0] * 2.0f / static_cast<float>(n);
+      if (pa->requires_grad) pa->EnsureGrad();
+      if (pb->requires_grad) pb->EnsureGrad();
+      for (size_t i = 0; i < n; ++i) {
+        const float d = pa->data[i] - pb->data[i];
+        if (pa->requires_grad) pa->grad[i] += g * d;
+        if (pb->requires_grad) pb->grad[i] -= g * d;
+      }
+    };
+  }
+  return Tensor::Wrap(std::move(out));
+}
+
+Tensor BagOfTokensCrossEntropy(const Tensor& logits,
+                               const std::vector<std::vector<int64_t>>& bags) {
+  DADER_CHECK_EQ(logits.rank(), 2u);
+  const int64_t b = logits.dim(0), v = logits.dim(1);
+  DADER_CHECK_EQ(static_cast<size_t>(b), bags.size());
+  std::vector<float> probs(logits.vec().size());
+  SoftmaxForward(logits.data(), probs.data(), b, v);
+  int64_t total = 0;
+  double loss = 0.0;
+  for (int64_t i = 0; i < b; ++i) {
+    for (int64_t tok : bags[static_cast<size_t>(i)]) {
+      DADER_CHECK_GE(tok, 0);
+      DADER_CHECK_LT(tok, v);
+      loss -= std::log(std::max(probs[static_cast<size_t>(i * v + tok)], 1e-12f));
+      ++total;
+    }
+  }
+  auto out = internal::MakeOpNode({1}, {logits.impl()});
+  out->data[0] = total == 0 ? 0.0f
+                            : static_cast<float>(loss / static_cast<double>(total));
+  if (out->requires_grad && total > 0) {
+    std::shared_ptr<internal::TensorImpl> pl = logits.impl();
+    out->backward_fn = [pl, probs = std::move(probs), bags, b, v,
+                        total](const internal::TensorImpl& self) {
+      pl->EnsureGrad();
+      const float g = self.grad[0] / static_cast<float>(total);
+      for (int64_t i = 0; i < b; ++i) {
+        const auto& bag = bags[static_cast<size_t>(i)];
+        if (bag.empty()) continue;
+        float* dst = pl->grad.data() + i * v;
+        const float* p = probs.data() + i * v;
+        const float scale = g * static_cast<float>(bag.size());
+        for (int64_t j = 0; j < v; ++j) dst[j] += scale * p[j];
+        for (int64_t tok : bag) dst[tok] -= g;
+      }
+    };
+  }
+  return Tensor::Wrap(std::move(out));
+}
+
+}  // namespace dader::ops

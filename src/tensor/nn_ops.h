@@ -1,0 +1,70 @@
+// Neural-network-specific differentiable operations: softmax family,
+// layer normalization, embedding lookup, dropout, gradient reversal, and
+// classification losses.
+//
+// The gradient reversal op implements the GRL feature aligner of the paper
+// (Ganin et al.): identity in the forward pass, multiply-by-(-lambda) in the
+// backward pass.
+
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace dader::ops {
+
+/// \brief Softmax over the last dimension (numerically stabilized).
+Tensor Softmax(const Tensor& a);
+
+/// \brief Log-softmax over the last dimension.
+Tensor LogSoftmax(const Tensor& a);
+
+/// \brief Layer normalization over the last dimension with learnable scale
+/// `gamma` {d} and shift `beta` {d}.
+Tensor LayerNorm(const Tensor& a, const Tensor& gamma, const Tensor& beta,
+                 float eps = 1e-5f);
+
+/// \brief Gathers rows of `weight` [V,d] for each id; output [ids.size(), d].
+/// Ids must lie in [0, V). Backward scatters into the embedding table.
+Tensor EmbeddingLookup(const Tensor& weight, const std::vector<int64_t>& ids);
+
+/// \brief Inverted dropout: when `training`, zeroes entries with probability
+/// p and scales survivors by 1/(1-p); identity otherwise.
+Tensor Dropout(const Tensor& a, float p, Rng* rng, bool training);
+
+/// \brief Gradient reversal layer: forward identity, backward multiplies the
+/// incoming gradient by -lambda.
+Tensor GradReverse(const Tensor& a, float lambda);
+
+/// \brief Mean cross-entropy between softmax(logits) [n,C] and integer
+/// labels (each in [0,C)). This is the matching loss L_M of Eq. (4).
+Tensor CrossEntropyWithLogits(const Tensor& logits,
+                              const std::vector<int64_t>& labels);
+
+/// \brief Mean binary cross-entropy between sigmoid(logits) [n] or [n,1]
+/// and float targets in [0,1]. This realizes the adversarial domain losses
+/// of Eqs. (8)-(11) and (13) with a domain-classifier head.
+Tensor BinaryCrossEntropyWithLogits(const Tensor& logits,
+                                    const std::vector<float>& targets);
+
+/// \brief Knowledge-distillation loss (Hinton et al.), Eq. (12):
+///   t^2 * mean_i CE(softmax(teacher_i / t), log_softmax(student_i / t)).
+/// Teacher logits are treated as constants (no gradient flows into them).
+Tensor KnowledgeDistillationLoss(const Tensor& student_logits,
+                                 const Tensor& teacher_logits,
+                                 float temperature);
+
+/// \brief Mean squared error between two same-shaped tensors.
+Tensor MseLoss(const Tensor& a, const Tensor& b);
+
+/// \brief Reconstruction loss for the ED feature aligner (Eq. 15,
+/// simplified): each feature row b must predict the bag of tokens of its
+/// input sequence through shared logits [B,V]:
+///   L = mean over all (b, tok in bags[b]) of -log softmax(logits_b)[tok].
+/// Rows with empty bags contribute nothing.
+Tensor BagOfTokensCrossEntropy(const Tensor& logits,
+                               const std::vector<std::vector<int64_t>>& bags);
+
+}  // namespace dader::ops

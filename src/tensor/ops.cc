@@ -1,0 +1,678 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dader::ops {
+
+namespace {
+
+using internal::MakeOpNode;
+using internal::TensorImpl;
+using ImplPtr = std::shared_ptr<TensorImpl>;
+
+// How the second operand of a binary elementwise op lines up with the first.
+enum class BroadcastKind {
+  kSameShape,   // identical shapes
+  kLastDim,     // b is {d}, broadcast across a's last dimension
+  kScalar,      // b is {1}
+};
+
+BroadcastKind ClassifyBroadcast(const Tensor& a, const Tensor& b) {
+  if (a.shape() == b.shape()) return BroadcastKind::kSameShape;
+  if (b.rank() == 1 && b.numel() == 1) return BroadcastKind::kScalar;
+  if (b.rank() == 1 && !a.shape().empty() &&
+      a.shape().back() == b.dim(0)) {
+    return BroadcastKind::kLastDim;
+  }
+  DADER_CHECK_MSG(false, ("incompatible shapes " + ShapeToString(a.shape()) +
+                          " vs " + ShapeToString(b.shape()))
+                             .c_str());
+  __builtin_unreachable();
+}
+
+// Index of b's element aligned with a's flat index i.
+inline size_t BIndex(BroadcastKind kind, size_t i, int64_t last_dim) {
+  switch (kind) {
+    case BroadcastKind::kSameShape:
+      return i;
+    case BroadcastKind::kLastDim:
+      return i % static_cast<size_t>(last_dim);
+    case BroadcastKind::kScalar:
+      return 0;
+  }
+  return 0;
+}
+
+// Generic unary elementwise op: forward computes f(x), backward multiplies
+// the output gradient by dfdx evaluated from (input value, output value).
+template <typename Fwd, typename Bwd>
+Tensor UnaryOp(const Tensor& a, Fwd fwd, Bwd bwd) {
+  auto out = MakeOpNode(a.shape(), {a.impl()});
+  const size_t n = a.vec().size();
+  const float* x = a.data();
+  float* y = out->data.data();
+  for (size_t i = 0; i < n; ++i) y[i] = fwd(x[i]);
+  if (out->requires_grad) {
+    ImplPtr pa = a.impl();
+    out->backward_fn = [pa, bwd](const TensorImpl& self) {
+      pa->EnsureGrad();
+      const size_t n = self.data.size();
+      for (size_t i = 0; i < n; ++i) {
+        pa->grad[i] += self.grad[i] * bwd(pa->data[i], self.data[i]);
+      }
+    };
+  }
+  return Tensor::Wrap(std::move(out));
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  const BroadcastKind kind = ClassifyBroadcast(a, b);
+  const int64_t last = a.shape().empty() ? 1 : a.shape().back();
+  auto out = MakeOpNode(a.shape(), {a.impl(), b.impl()});
+  const size_t n = a.vec().size();
+  for (size_t i = 0; i < n; ++i) {
+    out->data[i] = a.data()[i] + b.data()[BIndex(kind, i, last)];
+  }
+  if (out->requires_grad) {
+    ImplPtr pa = a.impl(), pb = b.impl();
+    out->backward_fn = [pa, pb, kind, last](const TensorImpl& self) {
+      const size_t n = self.data.size();
+      if (pa->requires_grad) {
+        pa->EnsureGrad();
+        for (size_t i = 0; i < n; ++i) pa->grad[i] += self.grad[i];
+      }
+      if (pb->requires_grad) {
+        pb->EnsureGrad();
+        for (size_t i = 0; i < n; ++i) {
+          pb->grad[BIndex(kind, i, last)] += self.grad[i];
+        }
+      }
+    };
+  }
+  return Tensor::Wrap(std::move(out));
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  const BroadcastKind kind = ClassifyBroadcast(a, b);
+  const int64_t last = a.shape().empty() ? 1 : a.shape().back();
+  auto out = MakeOpNode(a.shape(), {a.impl(), b.impl()});
+  const size_t n = a.vec().size();
+  for (size_t i = 0; i < n; ++i) {
+    out->data[i] = a.data()[i] - b.data()[BIndex(kind, i, last)];
+  }
+  if (out->requires_grad) {
+    ImplPtr pa = a.impl(), pb = b.impl();
+    out->backward_fn = [pa, pb, kind, last](const TensorImpl& self) {
+      const size_t n = self.data.size();
+      if (pa->requires_grad) {
+        pa->EnsureGrad();
+        for (size_t i = 0; i < n; ++i) pa->grad[i] += self.grad[i];
+      }
+      if (pb->requires_grad) {
+        pb->EnsureGrad();
+        for (size_t i = 0; i < n; ++i) {
+          pb->grad[BIndex(kind, i, last)] -= self.grad[i];
+        }
+      }
+    };
+  }
+  return Tensor::Wrap(std::move(out));
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  const BroadcastKind kind = ClassifyBroadcast(a, b);
+  const int64_t last = a.shape().empty() ? 1 : a.shape().back();
+  auto out = MakeOpNode(a.shape(), {a.impl(), b.impl()});
+  const size_t n = a.vec().size();
+  for (size_t i = 0; i < n; ++i) {
+    out->data[i] = a.data()[i] * b.data()[BIndex(kind, i, last)];
+  }
+  if (out->requires_grad) {
+    ImplPtr pa = a.impl(), pb = b.impl();
+    out->backward_fn = [pa, pb, kind, last](const TensorImpl& self) {
+      const size_t n = self.data.size();
+      if (pa->requires_grad) {
+        pa->EnsureGrad();
+        for (size_t i = 0; i < n; ++i) {
+          pa->grad[i] += self.grad[i] * pb->data[BIndex(kind, i, last)];
+        }
+      }
+      if (pb->requires_grad) {
+        pb->EnsureGrad();
+        for (size_t i = 0; i < n; ++i) {
+          pb->grad[BIndex(kind, i, last)] += self.grad[i] * pa->data[i];
+        }
+      }
+    };
+  }
+  return Tensor::Wrap(std::move(out));
+}
+
+Tensor AddScalar(const Tensor& a, float c) {
+  return UnaryOp(
+      a, [c](float x) { return x + c; },
+      [](float, float) { return 1.0f; });
+}
+
+Tensor MulScalar(const Tensor& a, float c) {
+  return UnaryOp(
+      a, [c](float x) { return x * c; },
+      [c](float, float) { return c; });
+}
+
+Tensor Neg(const Tensor& a) { return MulScalar(a, -1.0f); }
+
+Tensor Relu(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return x > 0.0f ? x : 0.0f; },
+      [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; });
+}
+
+Tensor LeakyRelu(const Tensor& a, float alpha) {
+  return UnaryOp(
+      a, [alpha](float x) { return x > 0.0f ? x : alpha * x; },
+      [alpha](float x, float) { return x > 0.0f ? 1.0f : alpha; });
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  return UnaryOp(
+      a,
+      [](float x) {
+        // Numerically stable in both tails.
+        if (x >= 0.0f) return 1.0f / (1.0f + std::exp(-x));
+        const float e = std::exp(x);
+        return e / (1.0f + e);
+      },
+      [](float, float y) { return y * (1.0f - y); });
+}
+
+Tensor Tanh(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::tanh(x); },
+      [](float, float y) { return 1.0f - y * y; });
+}
+
+Tensor Exp(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::exp(x); },
+      [](float, float y) { return y; });
+}
+
+Tensor Log(const Tensor& a, float eps) {
+  return UnaryOp(
+      a, [eps](float x) { return std::log(std::max(x, eps)); },
+      [eps](float x, float) { return 1.0f / std::max(x, eps); });
+}
+
+Tensor Square(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return x * x; },
+      [](float x, float) { return 2.0f * x; });
+}
+
+Tensor Sqrt(const Tensor& a, float eps) {
+  return UnaryOp(
+      a, [eps](float x) { return std::sqrt(std::max(x, eps)); },
+      [](float, float y) { return 0.5f / y; });
+}
+
+namespace {
+
+// C[m,n] += A[m,k] * B[k,n]; i-k-j loop order for streaming access.
+void GemmAccumulate(const float* a, const float* b, float* c, int64_t m,
+                    int64_t k, int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b + p * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+// C[m,k] += A[m,n] * B^T where B is [k,n] (i.e. A * B transposed).
+void GemmAccumulateBT(const float* a, const float* b, float* c, int64_t m,
+                      int64_t n, int64_t k) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * n;
+    float* crow = c + i * k;
+    for (int64_t p = 0; p < k; ++p) {
+      const float* brow = b + p * n;
+      float acc = 0.0f;
+      for (int64_t j = 0; j < n; ++j) acc += arow[j] * brow[j];
+      crow[p] += acc;
+    }
+  }
+}
+
+// C[k,n] += A^T * B where A is [m,k], B is [m,n].
+void GemmAccumulateAT(const float* a, const float* b, float* c, int64_t m,
+                      int64_t k, int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    const float* brow = b + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      float* crow = c + p * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+}  // namespace
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  DADER_CHECK_EQ(a.rank(), 2u);
+  DADER_CHECK_EQ(b.rank(), 2u);
+  DADER_CHECK_EQ(a.dim(1), b.dim(0));
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  auto out = MakeOpNode({m, n}, {a.impl(), b.impl()});
+  GemmAccumulate(a.data(), b.data(), out->data.data(), m, k, n);
+  if (out->requires_grad) {
+    ImplPtr pa = a.impl(), pb = b.impl();
+    out->backward_fn = [pa, pb, m, k, n](const TensorImpl& self) {
+      if (pa->requires_grad) {
+        pa->EnsureGrad();
+        // dA = dC * B^T
+        GemmAccumulateBT(self.grad.data(), pb->data.data(), pa->grad.data(), m,
+                         n, k);
+      }
+      if (pb->requires_grad) {
+        pb->EnsureGrad();
+        // dB = A^T * dC
+        GemmAccumulateAT(pa->data.data(), self.grad.data(), pb->grad.data(), m,
+                         k, n);
+      }
+    };
+  }
+  return Tensor::Wrap(std::move(out));
+}
+
+Tensor BatchMatMul(const Tensor& a, const Tensor& b) {
+  DADER_CHECK_EQ(a.rank(), 3u);
+  DADER_CHECK_EQ(b.rank(), 3u);
+  DADER_CHECK_EQ(a.dim(0), b.dim(0));
+  DADER_CHECK_EQ(a.dim(2), b.dim(1));
+  const int64_t bsz = a.dim(0), m = a.dim(1), k = a.dim(2), n = b.dim(2);
+  auto out = MakeOpNode({bsz, m, n}, {a.impl(), b.impl()});
+  for (int64_t i = 0; i < bsz; ++i) {
+    GemmAccumulate(a.data() + i * m * k, b.data() + i * k * n,
+                   out->data.data() + i * m * n, m, k, n);
+  }
+  if (out->requires_grad) {
+    ImplPtr pa = a.impl(), pb = b.impl();
+    out->backward_fn = [pa, pb, bsz, m, k, n](const TensorImpl& self) {
+      for (int64_t i = 0; i < bsz; ++i) {
+        if (pa->requires_grad) {
+          pa->EnsureGrad();
+          GemmAccumulateBT(self.grad.data() + i * m * n,
+                           pb->data.data() + i * k * n,
+                           pa->grad.data() + i * m * k, m, n, k);
+        }
+        if (pb->requires_grad) {
+          pb->EnsureGrad();
+          GemmAccumulateAT(pa->data.data() + i * m * k,
+                           self.grad.data() + i * m * n,
+                           pb->grad.data() + i * k * n, m, k, n);
+        }
+      }
+    };
+  }
+  return Tensor::Wrap(std::move(out));
+}
+
+Tensor Reshape(const Tensor& a, Shape shape) {
+  DADER_CHECK_EQ(NumElements(shape), a.numel());
+  auto out = MakeOpNode(std::move(shape), {a.impl()});
+  out->data = a.vec();
+  if (out->requires_grad) {
+    ImplPtr pa = a.impl();
+    out->backward_fn = [pa](const TensorImpl& self) {
+      pa->EnsureGrad();
+      for (size_t i = 0; i < self.grad.size(); ++i) pa->grad[i] += self.grad[i];
+    };
+  }
+  return Tensor::Wrap(std::move(out));
+}
+
+Tensor TransposeLast2(const Tensor& a) {
+  DADER_CHECK(a.rank() == 2u || a.rank() == 3u);
+  const int64_t bsz = a.rank() == 3 ? a.dim(0) : 1;
+  const int64_t m = a.dim(a.rank() - 2), n = a.dim(a.rank() - 1);
+  Shape out_shape = a.shape();
+  std::swap(out_shape[a.rank() - 2], out_shape[a.rank() - 1]);
+  auto out = MakeOpNode(std::move(out_shape), {a.impl()});
+  for (int64_t b = 0; b < bsz; ++b) {
+    const float* src = a.data() + b * m * n;
+    float* dst = out->data.data() + b * m * n;
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t j = 0; j < n; ++j) dst[j * m + i] = src[i * n + j];
+    }
+  }
+  if (out->requires_grad) {
+    ImplPtr pa = a.impl();
+    out->backward_fn = [pa, bsz, m, n](const TensorImpl& self) {
+      pa->EnsureGrad();
+      for (int64_t b = 0; b < bsz; ++b) {
+        const float* g = self.grad.data() + b * m * n;
+        float* dst = pa->grad.data() + b * m * n;
+        for (int64_t i = 0; i < m; ++i) {
+          for (int64_t j = 0; j < n; ++j) dst[i * n + j] += g[j * m + i];
+        }
+      }
+    };
+  }
+  return Tensor::Wrap(std::move(out));
+}
+
+namespace {
+
+// Row-major strides of a shape.
+std::vector<int64_t> Strides(const Shape& s) {
+  std::vector<int64_t> st(s.size(), 1);
+  for (int i = static_cast<int>(s.size()) - 2; i >= 0; --i) {
+    st[i] = st[i + 1] * s[i + 1];
+  }
+  return st;
+}
+
+// out_flat_index(i) for each input flat index when axes ax0/ax1 are swapped.
+std::vector<int64_t> SwapAxesMapping(const Shape& in_shape, int ax0, int ax1) {
+  Shape out_shape = in_shape;
+  std::swap(out_shape[ax0], out_shape[ax1]);
+  const auto in_strides = Strides(in_shape);
+  const auto out_strides = Strides(out_shape);
+  const int64_t n = NumElements(in_shape);
+  std::vector<int64_t> mapping(static_cast<size_t>(n));
+  std::vector<int64_t> idx(in_shape.size(), 0);
+  for (int64_t flat = 0; flat < n; ++flat) {
+    int64_t out_flat = 0;
+    for (size_t d = 0; d < in_shape.size(); ++d) {
+      size_t od = d;
+      if (static_cast<int>(d) == ax0) od = ax1;
+      else if (static_cast<int>(d) == ax1) od = ax0;
+      out_flat += idx[d] * out_strides[od];
+    }
+    mapping[static_cast<size_t>(flat)] = out_flat;
+    // Increment the multi-index (row-major odometer).
+    for (int d = static_cast<int>(in_shape.size()) - 1; d >= 0; --d) {
+      if (++idx[d] < in_shape[d]) break;
+      idx[d] = 0;
+    }
+  }
+  return mapping;
+}
+
+}  // namespace
+
+Tensor SwapAxes(const Tensor& a, int ax0, int ax1) {
+  DADER_CHECK_LT(static_cast<size_t>(ax0), a.rank());
+  DADER_CHECK_LT(static_cast<size_t>(ax1), a.rank());
+  if (ax0 == ax1) return Reshape(a, a.shape());
+  Shape out_shape = a.shape();
+  std::swap(out_shape[ax0], out_shape[ax1]);
+  auto mapping = SwapAxesMapping(a.shape(), ax0, ax1);
+  auto out = MakeOpNode(std::move(out_shape), {a.impl()});
+  for (size_t i = 0; i < mapping.size(); ++i) {
+    out->data[static_cast<size_t>(mapping[i])] = a.data()[i];
+  }
+  if (out->requires_grad) {
+    ImplPtr pa = a.impl();
+    out->backward_fn = [pa, mapping = std::move(mapping)](const TensorImpl& self) {
+      pa->EnsureGrad();
+      for (size_t i = 0; i < mapping.size(); ++i) {
+        pa->grad[i] += self.grad[static_cast<size_t>(mapping[i])];
+      }
+    };
+  }
+  return Tensor::Wrap(std::move(out));
+}
+
+namespace {
+
+// outer/inner element counts around `axis` for shape `s`.
+void AxisSpans(const Shape& s, int axis, int64_t* outer, int64_t* inner) {
+  *outer = 1;
+  *inner = 1;
+  for (int i = 0; i < axis; ++i) *outer *= s[i];
+  for (size_t i = axis + 1; i < s.size(); ++i) *inner *= s[i];
+}
+
+}  // namespace
+
+Tensor Concat(const std::vector<Tensor>& parts, int axis) {
+  DADER_CHECK(!parts.empty());
+  const size_t rank = parts[0].rank();
+  DADER_CHECK_LT(static_cast<size_t>(axis), rank);
+  Shape out_shape = parts[0].shape();
+  int64_t axis_total = 0;
+  for (const auto& p : parts) {
+    DADER_CHECK_EQ(p.rank(), rank);
+    for (size_t d = 0; d < rank; ++d) {
+      if (static_cast<int>(d) != axis) DADER_CHECK_EQ(p.dim(d), out_shape[d]);
+    }
+    axis_total += p.dim(axis);
+  }
+  out_shape[axis] = axis_total;
+
+  std::vector<ImplPtr> parents;
+  parents.reserve(parts.size());
+  for (const auto& p : parts) parents.push_back(p.impl());
+  auto out = MakeOpNode(out_shape, parents);
+
+  int64_t outer, inner;
+  AxisSpans(out_shape, axis, &outer, &inner);
+  int64_t offset = 0;  // running offset along the concat axis
+  std::vector<int64_t> part_axis(parts.size());
+  std::vector<int64_t> part_offset(parts.size());
+  for (size_t p = 0; p < parts.size(); ++p) {
+    part_axis[p] = parts[p].dim(axis);
+    part_offset[p] = offset;
+    const int64_t chunk = part_axis[p] * inner;
+    for (int64_t o = 0; o < outer; ++o) {
+      std::copy(parts[p].data() + o * chunk, parts[p].data() + (o + 1) * chunk,
+                out->data.data() + (o * axis_total + offset) * inner);
+    }
+    offset += part_axis[p];
+  }
+  if (out->requires_grad) {
+    out->backward_fn = [parents, part_axis, part_offset, outer, inner,
+                        axis_total](const TensorImpl& self) {
+      for (size_t p = 0; p < parents.size(); ++p) {
+        if (!parents[p]->requires_grad) continue;
+        parents[p]->EnsureGrad();
+        const int64_t chunk = part_axis[p] * inner;
+        for (int64_t o = 0; o < outer; ++o) {
+          const float* g =
+              self.grad.data() + (o * axis_total + part_offset[p]) * inner;
+          float* dst = parents[p]->grad.data() + o * chunk;
+          for (int64_t i = 0; i < chunk; ++i) dst[i] += g[i];
+        }
+      }
+    };
+  }
+  return Tensor::Wrap(std::move(out));
+}
+
+Tensor SelectAxis(const Tensor& a, int axis, int64_t index) {
+  DADER_CHECK_LT(static_cast<size_t>(axis), a.rank());
+  DADER_CHECK_GE(index, 0);
+  DADER_CHECK_LT(index, a.dim(axis));
+  Shape out_shape;
+  for (size_t d = 0; d < a.rank(); ++d) {
+    if (static_cast<int>(d) != axis) out_shape.push_back(a.dim(d));
+  }
+  if (out_shape.empty()) out_shape.push_back(1);
+  int64_t outer, inner;
+  AxisSpans(a.shape(), axis, &outer, &inner);
+  const int64_t axis_dim = a.dim(axis);
+  auto out = MakeOpNode(std::move(out_shape), {a.impl()});
+  for (int64_t o = 0; o < outer; ++o) {
+    std::copy(a.data() + (o * axis_dim + index) * inner,
+              a.data() + (o * axis_dim + index + 1) * inner,
+              out->data.data() + o * inner);
+  }
+  if (out->requires_grad) {
+    ImplPtr pa = a.impl();
+    out->backward_fn = [pa, outer, inner, axis_dim,
+                        index](const TensorImpl& self) {
+      pa->EnsureGrad();
+      for (int64_t o = 0; o < outer; ++o) {
+        const float* g = self.grad.data() + o * inner;
+        float* dst = pa->grad.data() + (o * axis_dim + index) * inner;
+        for (int64_t i = 0; i < inner; ++i) dst[i] += g[i];
+      }
+    };
+  }
+  return Tensor::Wrap(std::move(out));
+}
+
+Tensor SliceAxis0(const Tensor& a, int64_t start, int64_t len) {
+  DADER_CHECK_GE(start, 0);
+  DADER_CHECK_GE(len, 0);
+  DADER_CHECK_LE(start + len, a.dim(0));
+  Shape out_shape = a.shape();
+  out_shape[0] = len;
+  int64_t inner = 1;
+  for (size_t d = 1; d < a.rank(); ++d) inner *= a.dim(d);
+  auto out = MakeOpNode(std::move(out_shape), {a.impl()});
+  std::copy(a.data() + start * inner, a.data() + (start + len) * inner,
+            out->data.data());
+  if (out->requires_grad) {
+    ImplPtr pa = a.impl();
+    out->backward_fn = [pa, start, inner](const TensorImpl& self) {
+      pa->EnsureGrad();
+      float* dst = pa->grad.data() + start * inner;
+      for (size_t i = 0; i < self.grad.size(); ++i) dst[i] += self.grad[i];
+    };
+  }
+  return Tensor::Wrap(std::move(out));
+}
+
+Tensor Stack0(const std::vector<Tensor>& parts) {
+  DADER_CHECK(!parts.empty());
+  const Shape& elem_shape = parts[0].shape();
+  const int64_t elem_numel = parts[0].numel();
+  std::vector<ImplPtr> parents;
+  parents.reserve(parts.size());
+  for (const auto& p : parts) {
+    DADER_CHECK(p.shape() == elem_shape);
+    parents.push_back(p.impl());
+  }
+  Shape out_shape;
+  out_shape.push_back(static_cast<int64_t>(parts.size()));
+  out_shape.insert(out_shape.end(), elem_shape.begin(), elem_shape.end());
+  auto out = MakeOpNode(std::move(out_shape), parents);
+  for (size_t p = 0; p < parts.size(); ++p) {
+    std::copy(parts[p].data(), parts[p].data() + elem_numel,
+              out->data.data() + static_cast<int64_t>(p) * elem_numel);
+  }
+  if (out->requires_grad) {
+    out->backward_fn = [parents, elem_numel](const TensorImpl& self) {
+      for (size_t p = 0; p < parents.size(); ++p) {
+        if (!parents[p]->requires_grad) continue;
+        parents[p]->EnsureGrad();
+        const float* g = self.grad.data() + static_cast<int64_t>(p) * elem_numel;
+        for (int64_t i = 0; i < elem_numel; ++i) parents[p]->grad[i] += g[i];
+      }
+    };
+  }
+  return Tensor::Wrap(std::move(out));
+}
+
+Tensor SumAll(const Tensor& a) {
+  auto out = MakeOpNode({1}, {a.impl()});
+  double acc = 0.0;
+  for (float v : a.vec()) acc += v;
+  out->data[0] = static_cast<float>(acc);
+  if (out->requires_grad) {
+    ImplPtr pa = a.impl();
+    out->backward_fn = [pa](const TensorImpl& self) {
+      pa->EnsureGrad();
+      const float g = self.grad[0];
+      for (auto& gv : pa->grad) gv += g;
+    };
+  }
+  return Tensor::Wrap(std::move(out));
+}
+
+Tensor MeanAll(const Tensor& a) {
+  const float inv = 1.0f / static_cast<float>(a.numel());
+  return MulScalar(SumAll(a), inv);
+}
+
+Tensor MeanAxis(const Tensor& a, int axis) {
+  DADER_CHECK_LT(static_cast<size_t>(axis), a.rank());
+  Shape out_shape;
+  for (size_t d = 0; d < a.rank(); ++d) {
+    if (static_cast<int>(d) != axis) out_shape.push_back(a.dim(d));
+  }
+  if (out_shape.empty()) out_shape.push_back(1);
+  int64_t outer, inner;
+  AxisSpans(a.shape(), axis, &outer, &inner);
+  const int64_t axis_dim = a.dim(axis);
+  const float inv = 1.0f / static_cast<float>(axis_dim);
+  auto out = MakeOpNode(std::move(out_shape), {a.impl()});
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t k = 0; k < axis_dim; ++k) {
+      const float* src = a.data() + (o * axis_dim + k) * inner;
+      float* dst = out->data.data() + o * inner;
+      for (int64_t i = 0; i < inner; ++i) dst[i] += src[i] * inv;
+    }
+  }
+  if (out->requires_grad) {
+    ImplPtr pa = a.impl();
+    out->backward_fn = [pa, outer, inner, axis_dim, inv](const TensorImpl& self) {
+      pa->EnsureGrad();
+      for (int64_t o = 0; o < outer; ++o) {
+        const float* g = self.grad.data() + o * inner;
+        for (int64_t k = 0; k < axis_dim; ++k) {
+          float* dst = pa->grad.data() + (o * axis_dim + k) * inner;
+          for (int64_t i = 0; i < inner; ++i) dst[i] += g[i] * inv;
+        }
+      }
+    };
+  }
+  return Tensor::Wrap(std::move(out));
+}
+
+Tensor MaxLastAxis(const Tensor& a) {
+  DADER_CHECK_GE(a.rank(), 1u);
+  const int64_t d = a.shape().back();
+  DADER_CHECK_GT(d, 0);
+  const int64_t rows = a.numel() / d;
+  Shape out_shape(a.shape().begin(), a.shape().end() - 1);
+  if (out_shape.empty()) out_shape.push_back(1);
+  auto out = MakeOpNode(std::move(out_shape), {a.impl()});
+  std::vector<int64_t> argmax(static_cast<size_t>(rows));
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* row = a.data() + r * d;
+    int64_t best = 0;
+    for (int64_t j = 1; j < d; ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    argmax[static_cast<size_t>(r)] = best;
+    out->data[static_cast<size_t>(r)] = row[best];
+  }
+  if (out->requires_grad) {
+    ImplPtr pa = a.impl();
+    out->backward_fn = [pa, argmax = std::move(argmax),
+                        d](const TensorImpl& self) {
+      pa->EnsureGrad();
+      for (size_t r = 0; r < argmax.size(); ++r) {
+        pa->grad[r * static_cast<size_t>(d) +
+                 static_cast<size_t>(argmax[r])] += self.grad[r];
+      }
+    };
+  }
+  return Tensor::Wrap(std::move(out));
+}
+
+}  // namespace dader::ops

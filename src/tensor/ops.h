@@ -1,0 +1,108 @@
+// Differentiable tensor operations: arithmetic, activations, matrix
+// multiplication, and shape manipulation.
+//
+// All ops allocate a fresh output node and record a backward closure when
+// any input requires a gradient. Shapes are validated with CHECKs: shape
+// mismatches inside the model are programmer errors, not recoverable ones.
+
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace dader::ops {
+
+// ---------------------------------------------------------------------------
+// Elementwise arithmetic
+// ---------------------------------------------------------------------------
+
+/// \brief a + b. Shapes must be equal, or b may be a {d} vector broadcast
+/// across the last dimension of a (bias add), or a {1} scalar.
+Tensor Add(const Tensor& a, const Tensor& b);
+
+/// \brief a - b. Shapes equal or b scalar {1}.
+Tensor Sub(const Tensor& a, const Tensor& b);
+
+/// \brief Elementwise a * b. Shapes equal, or b broadcast {d} / scalar {1}.
+Tensor Mul(const Tensor& a, const Tensor& b);
+
+/// \brief a + c for a float constant c.
+Tensor AddScalar(const Tensor& a, float c);
+
+/// \brief a * c for a float constant c.
+Tensor MulScalar(const Tensor& a, float c);
+
+/// \brief -a.
+Tensor Neg(const Tensor& a);
+
+// ---------------------------------------------------------------------------
+// Activations and pointwise functions
+// ---------------------------------------------------------------------------
+
+Tensor Relu(const Tensor& a);
+/// \brief max(x, alpha*x); the paper's InvGAN discriminator uses LeakyReLU.
+Tensor LeakyRelu(const Tensor& a, float alpha = 0.01f);
+Tensor Sigmoid(const Tensor& a);
+Tensor Tanh(const Tensor& a);
+Tensor Exp(const Tensor& a);
+/// \brief log(max(x, eps)) — clamped for numeric safety.
+Tensor Log(const Tensor& a, float eps = 1e-12f);
+Tensor Square(const Tensor& a);
+/// \brief sqrt(max(x, eps)) — clamped so the gradient stays finite at 0.
+Tensor Sqrt(const Tensor& a, float eps = 1e-12f);
+
+// ---------------------------------------------------------------------------
+// Matrix multiplication
+// ---------------------------------------------------------------------------
+
+/// \brief [m,k] x [k,n] -> [m,n].
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+/// \brief [B,m,k] x [B,k,n] -> [B,m,n].
+Tensor BatchMatMul(const Tensor& a, const Tensor& b);
+
+// ---------------------------------------------------------------------------
+// Shape manipulation
+// ---------------------------------------------------------------------------
+
+/// \brief Same data, new shape (same element count). Copies.
+Tensor Reshape(const Tensor& a, Shape shape);
+
+/// \brief Swap the last two axes of a rank-2 or rank-3 tensor.
+Tensor TransposeLast2(const Tensor& a);
+
+/// \brief Swap two arbitrary axes of any-rank tensor (materializing).
+/// Multi-head attention uses this for [B,L,H,dh] <-> [B,H,L,dh].
+Tensor SwapAxes(const Tensor& a, int ax0, int ax1);
+
+/// \brief Concatenate along `axis`; all other dims must match.
+Tensor Concat(const std::vector<Tensor>& parts, int axis);
+
+/// \brief Remove `axis` by selecting `index` along it
+/// (e.g. [B,L,d], axis=1, i=0 -> [B,d]: the [CLS] position).
+Tensor SelectAxis(const Tensor& a, int axis, int64_t index);
+
+/// \brief Contiguous slice [start, start+len) along axis 0.
+Tensor SliceAxis0(const Tensor& a, int64_t start, int64_t len);
+
+/// \brief Stack N same-shaped tensors into a new leading axis.
+Tensor Stack0(const std::vector<Tensor>& parts);
+
+// ---------------------------------------------------------------------------
+// Reductions
+// ---------------------------------------------------------------------------
+
+/// \brief Sum of all elements -> scalar {1}.
+Tensor SumAll(const Tensor& a);
+
+/// \brief Mean of all elements -> scalar {1}.
+Tensor MeanAll(const Tensor& a);
+
+/// \brief Mean along `axis`, removing it ([B,L,d], axis=1 -> [B,d]).
+Tensor MeanAxis(const Tensor& a, int axis);
+
+/// \brief Row-wise max along the last axis ([n,d] -> [n]); used by pooling.
+Tensor MaxLastAxis(const Tensor& a);
+
+}  // namespace dader::ops

@@ -1,0 +1,101 @@
+#include "tensor/optimizer.h"
+
+#include <cmath>
+
+namespace dader {
+
+Optimizer::Optimizer(std::vector<Tensor> params) : params_(std::move(params)) {
+  for (const auto& p : params_) {
+    DADER_CHECK(p.defined());
+    DADER_CHECK_MSG(p.requires_grad(), "optimizer parameter without grad");
+  }
+}
+
+void Optimizer::ZeroGrad() {
+  for (auto& p : params_) p.ZeroGrad();
+}
+
+float Optimizer::ClipGradNorm(float max_norm) {
+  double total = 0.0;
+  for (auto& p : params_) {
+    for (float g : p.grad()) total += static_cast<double>(g) * g;
+  }
+  const float norm = static_cast<float>(std::sqrt(total));
+  if (norm > max_norm && norm > 0.0f) {
+    const float scale = max_norm / norm;
+    for (auto& p : params_) {
+      for (auto& g : p.mutable_grad()) g *= scale;
+    }
+  }
+  return norm;
+}
+
+SgdOptimizer::SgdOptimizer(std::vector<Tensor> params, float lr,
+                           float momentum, float weight_decay)
+    : Optimizer(std::move(params)),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  lr_ = lr;
+  velocity_.resize(params_.size());
+}
+
+void SgdOptimizer::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Tensor& p = params_[i];
+    if (p.grad().empty()) continue;  // never touched by any loss this step
+    auto& vel = velocity_[i];
+    if (momentum_ != 0.0f && vel.size() != p.vec().size()) {
+      vel.assign(p.vec().size(), 0.0f);
+    }
+    float* w = p.data();
+    const std::vector<float>& g = p.grad();
+    for (size_t j = 0; j < g.size(); ++j) {
+      float update = g[j];
+      if (momentum_ != 0.0f) {
+        vel[j] = momentum_ * vel[j] + update;
+        update = vel[j];
+      }
+      if (weight_decay_ != 0.0f) update += weight_decay_ * w[j];
+      w[j] -= lr_ * update;
+    }
+  }
+}
+
+AdamOptimizer::AdamOptimizer(std::vector<Tensor> params, float lr, float beta1,
+                             float beta2, float eps, float weight_decay)
+    : Optimizer(std::move(params)),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  lr_ = lr;
+  m_.resize(params_.size());
+  v_.resize(params_.size());
+}
+
+void AdamOptimizer::Step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Tensor& p = params_[i];
+    if (p.grad().empty()) continue;
+    if (m_[i].size() != p.vec().size()) {
+      m_[i].assign(p.vec().size(), 0.0f);
+      v_[i].assign(p.vec().size(), 0.0f);
+    }
+    float* w = p.data();
+    const std::vector<float>& g = p.grad();
+    for (size_t j = 0; j < g.size(); ++j) {
+      m_[i][j] = beta1_ * m_[i][j] + (1.0f - beta1_) * g[j];
+      v_[i][j] = beta2_ * v_[i][j] + (1.0f - beta2_) * g[j] * g[j];
+      const float mhat = m_[i][j] / bc1;
+      const float vhat = v_[i][j] / bc2;
+      float update = mhat / (std::sqrt(vhat) + eps_);
+      if (weight_decay_ != 0.0f) update += weight_decay_ * w[j];
+      w[j] -= lr_ * update;
+    }
+  }
+}
+
+}  // namespace dader

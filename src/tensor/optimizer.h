@@ -1,0 +1,74 @@
+// First-order optimizers over a list of parameter tensors.
+//
+// The trainers in src/core update different parameter groups (F, M, A, F')
+// at different times, so each group gets its own optimizer instance, as in
+// Algorithms 1 and 2 of the paper.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace dader {
+
+/// \brief Base class: owns references to parameters and applies updates
+/// from their accumulated gradients.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Tensor> params);
+  virtual ~Optimizer() = default;
+
+  /// \brief Applies one update using the current gradients.
+  virtual void Step() = 0;
+
+  /// \brief Zeroes the gradient of every parameter.
+  void ZeroGrad();
+
+  /// \brief Rescales all gradients so their global L2 norm is at most
+  /// `max_norm`; returns the pre-clip norm. No-op when already within.
+  float ClipGradNorm(float max_norm);
+
+  /// \brief Changes the learning rate (used by lr sweeps in Figure 7).
+  void set_learning_rate(float lr) { lr_ = lr; }
+  float learning_rate() const { return lr_; }
+
+  const std::vector<Tensor>& params() const { return params_; }
+
+ protected:
+  std::vector<Tensor> params_;
+  float lr_ = 1e-3f;
+};
+
+/// \brief Stochastic gradient descent with optional momentum and decoupled
+/// weight decay.
+class SgdOptimizer : public Optimizer {
+ public:
+  SgdOptimizer(std::vector<Tensor> params, float lr, float momentum = 0.0f,
+               float weight_decay = 0.0f);
+  void Step() override;
+
+ private:
+  float momentum_;
+  float weight_decay_;
+  std::vector<std::vector<float>> velocity_;
+};
+
+/// \brief Adam (Kingma & Ba) with bias correction and decoupled weight decay
+/// (AdamW-style), the paper's optimizer for all DADER variants.
+class AdamOptimizer : public Optimizer {
+ public:
+  AdamOptimizer(std::vector<Tensor> params, float lr, float beta1 = 0.9f,
+                float beta2 = 0.999f, float eps = 1e-8f,
+                float weight_decay = 0.0f);
+  void Step() override;
+
+ private:
+  float beta1_, beta2_, eps_, weight_decay_;
+  int64_t t_ = 0;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+};
+
+}  // namespace dader

@@ -1,0 +1,46 @@
+#include "tensor/serialize.h"
+
+#include "util/io.h"
+
+namespace dader {
+
+namespace {
+constexpr const char kMagic[] = "DADER_TENSORS";
+constexpr uint32_t kVersion = 1;
+}  // namespace
+
+Status SaveTensors(const std::string& path,
+                   const std::map<std::string, Tensor>& tensors) {
+  DADER_ASSIGN_OR_RETURN(BinaryWriter w, BinaryWriter::Open(path, kMagic, kVersion));
+  w.WriteU64(tensors.size());
+  for (const auto& [name, tensor] : tensors) {
+    if (!tensor.defined()) {
+      return Status::InvalidArgument("undefined tensor '" + name + "'");
+    }
+    w.WriteString(name);
+    std::vector<int64_t> shape(tensor.shape().begin(), tensor.shape().end());
+    w.WriteI64s(shape);
+    w.WriteFloats(tensor.vec());
+  }
+  return w.Close();
+}
+
+Result<std::map<std::string, Tensor>> LoadTensors(const std::string& path) {
+  DADER_ASSIGN_OR_RETURN(BinaryReader r,
+                         BinaryReader::Open(path, kMagic, kVersion));
+  DADER_ASSIGN_OR_RETURN(uint64_t count, r.ReadU64());
+  std::map<std::string, Tensor> out;
+  for (uint64_t i = 0; i < count; ++i) {
+    DADER_ASSIGN_OR_RETURN(std::string name, r.ReadString());
+    DADER_ASSIGN_OR_RETURN(std::vector<int64_t> shape, r.ReadI64s());
+    DADER_ASSIGN_OR_RETURN(std::vector<float> data, r.ReadFloats());
+    Shape s(shape.begin(), shape.end());
+    if (NumElements(s) != static_cast<int64_t>(data.size())) {
+      return Status::InvalidArgument("corrupt tensor '" + name + "' in " + path);
+    }
+    out.emplace(name, Tensor::FromVector(std::move(s), std::move(data)));
+  }
+  return out;
+}
+
+}  // namespace dader

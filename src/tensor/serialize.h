@@ -1,0 +1,24 @@
+// Persistence for named tensor collections (model checkpoints).
+//
+// Used by the MLM pre-trainer to cache pre-trained extractor weights so
+// every bench sees the same "pre-trained language model".
+
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "tensor/tensor.h"
+#include "util/status.h"
+
+namespace dader {
+
+/// \brief Writes name -> tensor pairs to `path` (magic-tagged binary format).
+Status SaveTensors(const std::string& path,
+                   const std::map<std::string, Tensor>& tensors);
+
+/// \brief Reads a tensor collection previously written by SaveTensors.
+/// Loaded tensors do not require grad; copy into parameters as needed.
+Result<std::map<std::string, Tensor>> LoadTensors(const std::string& path);
+
+}  // namespace dader

@@ -1,0 +1,186 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+namespace dader {
+
+int64_t NumElements(const Shape& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) {
+    DADER_CHECK_GE(d, 0);
+    n *= d;
+  }
+  return n;
+}
+
+std::string ShapeToString(const Shape& shape) {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << shape[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+namespace {
+
+std::shared_ptr<internal::TensorImpl> MakeLeaf(Shape shape,
+                                               bool requires_grad) {
+  auto impl = std::make_shared<internal::TensorImpl>();
+  const int64_t n = NumElements(shape);
+  impl->shape = std::move(shape);
+  impl->data.assign(static_cast<size_t>(n), 0.0f);
+  impl->requires_grad = requires_grad;
+  return impl;
+}
+
+}  // namespace
+
+Tensor Tensor::Zeros(Shape shape, bool requires_grad) {
+  return Wrap(MakeLeaf(std::move(shape), requires_grad));
+}
+
+Tensor Tensor::Ones(Shape shape, bool requires_grad) {
+  return Full(std::move(shape), 1.0f, requires_grad);
+}
+
+Tensor Tensor::Full(Shape shape, float value, bool requires_grad) {
+  auto impl = MakeLeaf(std::move(shape), requires_grad);
+  std::fill(impl->data.begin(), impl->data.end(), value);
+  return Wrap(std::move(impl));
+}
+
+Tensor Tensor::FromVector(Shape shape, std::vector<float> values,
+                          bool requires_grad) {
+  DADER_CHECK_EQ(NumElements(shape), static_cast<int64_t>(values.size()));
+  auto impl = std::make_shared<internal::TensorImpl>();
+  impl->shape = std::move(shape);
+  impl->data = std::move(values);
+  impl->requires_grad = requires_grad;
+  return Wrap(std::move(impl));
+}
+
+Tensor Tensor::Scalar(float value, bool requires_grad) {
+  return FromVector({1}, {value}, requires_grad);
+}
+
+Tensor Tensor::RandomUniform(Shape shape, float lo, float hi, Rng* rng,
+                             bool requires_grad) {
+  DADER_CHECK(rng != nullptr);
+  auto impl = MakeLeaf(std::move(shape), requires_grad);
+  for (auto& v : impl->data) v = rng->NextFloat(lo, hi);
+  return Wrap(std::move(impl));
+}
+
+Tensor Tensor::RandomNormal(Shape shape, float stddev, Rng* rng,
+                            bool requires_grad) {
+  DADER_CHECK(rng != nullptr);
+  auto impl = MakeLeaf(std::move(shape), requires_grad);
+  for (auto& v : impl->data) {
+    v = static_cast<float>(rng->NextGaussian()) * stddev;
+  }
+  return Wrap(std::move(impl));
+}
+
+Tensor Tensor::Detach() const {
+  auto impl = std::make_shared<internal::TensorImpl>();
+  impl->shape = impl_->shape;
+  impl->data = impl_->data;
+  impl->requires_grad = false;
+  return Wrap(std::move(impl));
+}
+
+Tensor Tensor::Clone() const {
+  auto impl = std::make_shared<internal::TensorImpl>();
+  impl->shape = impl_->shape;
+  impl->data = impl_->data;
+  impl->requires_grad = impl_->requires_grad;
+  return Wrap(std::move(impl));
+}
+
+void Tensor::CopyDataFrom(const Tensor& other) {
+  DADER_CHECK(other.defined());
+  DADER_CHECK(shape() == other.shape());
+  impl_->data = other.impl_->data;
+}
+
+void Tensor::Backward() const {
+  DADER_CHECK_MSG(impl_ != nullptr, "Backward on undefined tensor");
+  DADER_CHECK_MSG(numel() == 1, "Backward requires a scalar loss");
+  DADER_CHECK_MSG(impl_->requires_grad,
+                  "Backward on a tensor that does not require grad");
+
+  // Iterative post-order DFS over parents to get a topological order.
+  std::vector<internal::TensorImpl*> topo;
+  std::unordered_set<internal::TensorImpl*> visited;
+  struct Frame {
+    internal::TensorImpl* node;
+    size_t next_child;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({impl_.get(), 0});
+  visited.insert(impl_.get());
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.next_child < frame.node->parents.size()) {
+      internal::TensorImpl* child =
+          frame.node->parents[frame.next_child++].get();
+      if (visited.insert(child).second) {
+        stack.push_back({child, 0});
+      }
+    } else {
+      topo.push_back(frame.node);
+      stack.pop_back();
+    }
+  }
+
+  // Seed d(loss)/d(loss) = 1 and sweep in reverse topological order.
+  impl_->EnsureGrad();
+  impl_->grad[0] += 1.0f;
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    internal::TensorImpl* node = *it;
+    if (node->backward_fn && node->requires_grad) {
+      node->EnsureGrad();  // intermediate nodes may have no grad buffer yet
+      node->backward_fn(*node);
+    }
+  }
+}
+
+std::string Tensor::ToString(int max_per_dim) const {
+  if (!defined()) return "Tensor(undefined)";
+  std::ostringstream os;
+  os << "Tensor" << ShapeToString(shape()) << " [";
+  const int64_t n = std::min<int64_t>(numel(), max_per_dim);
+  for (int64_t i = 0; i < n; ++i) {
+    if (i > 0) os << ", ";
+    os << impl_->data[static_cast<size_t>(i)];
+  }
+  if (numel() > n) os << ", ...";
+  os << "]";
+  return os.str();
+}
+
+namespace internal {
+
+std::shared_ptr<TensorImpl> MakeOpNode(
+    Shape shape, std::vector<std::shared_ptr<TensorImpl>> parents) {
+  auto impl = std::make_shared<TensorImpl>();
+  const int64_t n = NumElements(shape);
+  impl->shape = std::move(shape);
+  impl->data.assign(static_cast<size_t>(n), 0.0f);
+  for (const auto& p : parents) {
+    if (p->requires_grad) {
+      impl->requires_grad = true;
+      break;
+    }
+  }
+  impl->parents = std::move(parents);
+  return impl;
+}
+
+}  // namespace internal
+}  // namespace dader

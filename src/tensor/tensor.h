@@ -1,0 +1,164 @@
+// A dense float32 tensor with reverse-mode automatic differentiation.
+//
+// Tensors are cheap shared handles onto a TensorImpl holding contiguous
+// row-major data. Operations (see ops.h, nn_ops.h, da_losses.h) record a
+// dynamic tape: each result node keeps shared pointers to its parents and a
+// backward closure. Tensor::Backward() on a scalar loss topologically sorts
+// the tape and accumulates gradients into every node with requires_grad.
+//
+// The design intentionally mirrors a miniature PyTorch: identical training
+// loop semantics (ZeroGrad / forward / Backward / optimizer step) so the
+// DADER algorithms from the paper translate line by line.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace dader {
+
+/// \brief Tensor shape: a list of non-negative dimension sizes.
+using Shape = std::vector<int64_t>;
+
+/// \brief Product of all dimensions (1 for rank-0, although rank-0 is not
+/// used: scalars are shape {1}).
+int64_t NumElements(const Shape& shape);
+
+/// \brief "[2, 3, 4]"-style rendering for error messages.
+std::string ShapeToString(const Shape& shape);
+
+class Tensor;
+
+namespace internal {
+
+/// \brief Reference-counted tensor storage plus its autograd tape entry.
+struct TensorImpl {
+  Shape shape;
+  std::vector<float> data;
+
+  // --- autograd state ---
+  bool requires_grad = false;
+  std::vector<float> grad;  // same size as data once EnsureGrad() ran
+  std::vector<std::shared_ptr<TensorImpl>> parents;
+  // Called once during Backward() with this node (carrying its accumulated
+  // output gradient); must add contributions into each parent's grad.
+  std::function<void(const TensorImpl& self)> backward_fn;
+
+  int64_t numel() const { return static_cast<int64_t>(data.size()); }
+  void EnsureGrad() {
+    if (grad.size() != data.size()) grad.assign(data.size(), 0.0f);
+  }
+};
+
+}  // namespace internal
+
+/// \brief Shared handle to a tensor; copying shares storage and tape state.
+class Tensor {
+ public:
+  /// \brief Null handle; most APIs require a defined tensor.
+  Tensor() = default;
+
+  // --- factories ---
+  static Tensor Zeros(Shape shape, bool requires_grad = false);
+  static Tensor Ones(Shape shape, bool requires_grad = false);
+  static Tensor Full(Shape shape, float value, bool requires_grad = false);
+  /// \brief Takes ownership of `values`; size must equal NumElements(shape).
+  static Tensor FromVector(Shape shape, std::vector<float> values,
+                           bool requires_grad = false);
+  /// \brief Scalar tensor of shape {1}.
+  static Tensor Scalar(float value, bool requires_grad = false);
+  /// \brief i.i.d. Uniform(lo, hi) entries.
+  static Tensor RandomUniform(Shape shape, float lo, float hi, Rng* rng,
+                              bool requires_grad = false);
+  /// \brief i.i.d. Normal(0, stddev) entries.
+  static Tensor RandomNormal(Shape shape, float stddev, Rng* rng,
+                             bool requires_grad = false);
+
+  bool defined() const { return impl_ != nullptr; }
+
+  const Shape& shape() const { return impl_->shape; }
+  int64_t dim(size_t i) const {
+    DADER_CHECK_LT(i, impl_->shape.size());
+    return impl_->shape[i];
+  }
+  size_t rank() const { return impl_->shape.size(); }
+  int64_t numel() const { return impl_->numel(); }
+  bool requires_grad() const { return impl_->requires_grad; }
+
+  float* data() { return impl_->data.data(); }
+  const float* data() const { return impl_->data.data(); }
+  std::vector<float>& vec() { return impl_->data; }
+  const std::vector<float>& vec() const { return impl_->data; }
+
+  /// \brief Value of a scalar (shape {1}) tensor.
+  float item() const {
+    DADER_CHECK_EQ(numel(), 1);
+    return impl_->data[0];
+  }
+
+  /// \brief Element accessor for 2-D tensors.
+  float at(int64_t i, int64_t j) const {
+    DADER_CHECK_EQ(rank(), 2u);
+    return impl_->data[static_cast<size_t>(i * dim(1) + j)];
+  }
+
+  /// \brief Gradient buffer (valid after Backward); empty before.
+  const std::vector<float>& grad() const { return impl_->grad; }
+  std::vector<float>& mutable_grad() { return impl_->grad; }
+
+  /// \brief Zeroes this tensor's gradient buffer.
+  void ZeroGrad() {
+    if (impl_->requires_grad) {
+      impl_->EnsureGrad();
+      std::fill(impl_->grad.begin(), impl_->grad.end(), 0.0f);
+    }
+  }
+
+  /// \brief Copy of this tensor's data with no tape history and no grad.
+  Tensor Detach() const;
+
+  /// \brief Deep copy (data only, requires_grad preserved, no tape history).
+  Tensor Clone() const;
+
+  /// \brief Overwrites this tensor's data with `other`'s (shapes must match).
+  /// Does not touch the tape; used for weight snapshot restore.
+  void CopyDataFrom(const Tensor& other);
+
+  /// \brief Runs reverse-mode autodiff from this scalar node.
+  ///
+  /// Requires numel() == 1 and requires_grad(). Gradients accumulate (are
+  /// added) into every reachable node with requires_grad, so callers zero
+  /// parameter grads between steps. Calling Backward on two different losses
+  /// before stepping sums their gradients, which Algorithm 1 exploits.
+  void Backward() const;
+
+  std::string ToString(int max_per_dim = 6) const;
+
+  std::shared_ptr<internal::TensorImpl> impl() const { return impl_; }
+
+  /// \brief Wraps an existing impl (used by op implementations).
+  static Tensor Wrap(std::shared_ptr<internal::TensorImpl> impl) {
+    Tensor t;
+    t.impl_ = std::move(impl);
+    return t;
+  }
+
+ private:
+  std::shared_ptr<internal::TensorImpl> impl_;
+};
+
+namespace internal {
+
+/// \brief Allocates a result node for an op: shape, zeroed data, parents,
+/// requires_grad = any parent requires it.
+std::shared_ptr<TensorImpl> MakeOpNode(
+    Shape shape, std::vector<std::shared_ptr<TensorImpl>> parents);
+
+}  // namespace internal
+}  // namespace dader

@@ -1,0 +1,103 @@
+#include "text/serializer.h"
+
+#include <unordered_set>
+
+namespace dader::text {
+
+std::vector<int64_t> SerializeEntity(const AttrValueList& entity,
+                                     const HashingVocab& vocab) {
+  std::vector<int64_t> ids;
+  for (const auto& [attr, value] : entity) {
+    ids.push_back(kAtt);
+    for (const auto& w : WordTokenize(attr)) ids.push_back(vocab.TokenId(w));
+    ids.push_back(kVal);
+    for (const auto& w : WordTokenize(value)) ids.push_back(vocab.TokenId(w));
+  }
+  return ids;
+}
+
+std::vector<int64_t> SerializePair(const AttrValueList& a,
+                                   const AttrValueList& b,
+                                   const HashingVocab& vocab) {
+  std::vector<int64_t> ids;
+  ids.push_back(kCls);
+  const auto sa = SerializeEntity(a, vocab);
+  ids.insert(ids.end(), sa.begin(), sa.end());
+  ids.push_back(kSep);
+  const auto sb = SerializeEntity(b, vocab);
+  ids.insert(ids.end(), sb.begin(), sb.end());
+  ids.push_back(kSep);
+  return ids;
+}
+
+namespace {
+
+// Distinct value-token ids of one entity (attribute names excluded).
+std::unordered_set<int64_t> ValueTokenIds(const AttrValueList& entity,
+                                          const HashingVocab& vocab) {
+  std::unordered_set<int64_t> out;
+  for (const auto& [attr, value] : entity) {
+    for (const auto& w : WordTokenize(value)) out.insert(vocab.TokenId(w));
+  }
+  return out;
+}
+
+// Serializes one entity, appending ids and their overlap flags (1 for value
+// tokens present in `other_values`).
+void SerializeEntityWithOverlap(const AttrValueList& entity,
+                                const HashingVocab& vocab,
+                                const std::unordered_set<int64_t>& other_values,
+                                std::vector<int64_t>* ids,
+                                std::vector<float>* overlap) {
+  for (const auto& [attr, value] : entity) {
+    ids->push_back(kAtt);
+    overlap->push_back(0.0f);
+    for (const auto& w : WordTokenize(attr)) {
+      ids->push_back(vocab.TokenId(w));
+      overlap->push_back(0.0f);
+    }
+    ids->push_back(kVal);
+    overlap->push_back(0.0f);
+    for (const auto& w : WordTokenize(value)) {
+      const int64_t id = vocab.TokenId(w);
+      ids->push_back(id);
+      overlap->push_back(other_values.count(id) != 0 ? 1.0f : 0.0f);
+    }
+  }
+}
+
+}  // namespace
+
+EncodedSequence EncodePair(const AttrValueList& a, const AttrValueList& b,
+                           const HashingVocab& vocab, int64_t max_len) {
+  const auto values_a = ValueTokenIds(a, vocab);
+  const auto values_b = ValueTokenIds(b, vocab);
+  std::vector<int64_t> ids;
+  std::vector<float> overlap;
+  ids.push_back(kCls);
+  overlap.push_back(0.0f);
+  SerializeEntityWithOverlap(a, vocab, values_b, &ids, &overlap);
+  ids.push_back(kSep);
+  overlap.push_back(0.0f);
+  SerializeEntityWithOverlap(b, vocab, values_a, &ids, &overlap);
+  ids.push_back(kSep);
+  overlap.push_back(0.0f);
+  return PadToLength(std::move(ids), max_len, std::move(overlap));
+}
+
+std::string SerializePairToText(const AttrValueList& a,
+                                const AttrValueList& b) {
+  std::string out = "[CLS]";
+  auto append_entity = [&out](const AttrValueList& e) {
+    for (const auto& [attr, value] : e) {
+      out += " [ATT] " + attr + " [VAL] " + value;
+    }
+  };
+  append_entity(a);
+  out += " [SEP]";
+  append_entity(b);
+  out += " [SEP]";
+  return out;
+}
+
+}  // namespace dader::text

@@ -1,0 +1,40 @@
+// Entity-pair serialization (Example 1 of the paper):
+//
+//   S(a)    = [ATT] attr_1 [VAL] val_1 ... [ATT] attr_k [VAL] val_k
+//   S(a,b)  = [CLS] S(a) [SEP] S(b) [SEP]
+//
+// The serializer is decoupled from the data substrate: it accepts plain
+// (attribute, value) lists, so any table representation can feed it.
+
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "text/tokenizer.h"
+
+namespace dader::text {
+
+/// \brief One entity as an ordered list of (attribute name, value) pairs.
+using AttrValueList = std::vector<std::pair<std::string, std::string>>;
+
+/// \brief Token ids of S(entity): [ATT] name-tokens [VAL] value-tokens, per
+/// attribute, in order. NULL values (empty strings) produce an empty [VAL]
+/// span, matching how Ditto serializes missing values.
+std::vector<int64_t> SerializeEntity(const AttrValueList& entity,
+                                     const HashingVocab& vocab);
+
+/// \brief Token ids of S(a, b) = [CLS] S(a) [SEP] S(b) [SEP].
+std::vector<int64_t> SerializePair(const AttrValueList& a,
+                                   const AttrValueList& b,
+                                   const HashingVocab& vocab);
+
+/// \brief SerializePair + pad/truncate to `max_len`.
+EncodedSequence EncodePair(const AttrValueList& a, const AttrValueList& b,
+                           const HashingVocab& vocab, int64_t max_len);
+
+/// \brief Human-readable form of S(a,b) for debugging and examples.
+std::string SerializePairToText(const AttrValueList& a, const AttrValueList& b);
+
+}  // namespace dader::text

@@ -1,0 +1,96 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace dader::text {
+
+const char* SpecialTokenName(int64_t id) {
+  switch (id) {
+    case kPad:
+      return "[PAD]";
+    case kCls:
+      return "[CLS]";
+    case kSep:
+      return "[SEP]";
+    case kAtt:
+      return "[ATT]";
+    case kVal:
+      return "[VAL]";
+    case kMask:
+      return "[MASK]";
+    case kUnk:
+      return "[UNK]";
+    default:
+      return "";
+  }
+}
+
+std::vector<std::string> WordTokenize(std::string_view raw) {
+  std::vector<std::string> out;
+  std::string current;
+  auto flush = [&] {
+    if (!current.empty()) {
+      out.push_back(current);
+      current.clear();
+    }
+  };
+  for (char ch : raw) {
+    const unsigned char c = static_cast<unsigned char>(ch);
+    if (std::isspace(c)) {
+      flush();
+    } else if (std::isalnum(c)) {
+      current.push_back(static_cast<char>(std::tolower(c)));
+    } else {
+      // Punctuation: its own single-character token.
+      flush();
+      out.push_back(std::string(1, ch));
+    }
+  }
+  flush();
+  return out;
+}
+
+HashingVocab::HashingVocab(int64_t size) : size_(size) {
+  DADER_CHECK_GT(size_, static_cast<int64_t>(kNumSpecialTokens));
+}
+
+int64_t HashingVocab::TokenId(std::string_view word) const {
+  const int64_t usable = size_ - kNumSpecialTokens;
+  return kNumSpecialTokens +
+         static_cast<int64_t>(Fnv1a64(word) % static_cast<uint64_t>(usable));
+}
+
+std::vector<int64_t> HashingVocab::Encode(
+    const std::vector<std::string>& words) const {
+  std::vector<int64_t> ids;
+  ids.reserve(words.size());
+  for (const auto& w : words) ids.push_back(TokenId(w));
+  return ids;
+}
+
+EncodedSequence PadToLength(std::vector<int64_t> ids, int64_t max_len,
+                            std::vector<float> overlap) {
+  DADER_CHECK_GT(max_len, 0);
+  if (overlap.empty()) {
+    overlap.assign(ids.size(), 0.0f);
+  }
+  DADER_CHECK_EQ(overlap.size(), ids.size());
+  EncodedSequence out;
+  if (static_cast<int64_t>(ids.size()) > max_len) {
+    ids.resize(static_cast<size_t>(max_len));
+    overlap.resize(static_cast<size_t>(max_len));
+  }
+  out.num_real = static_cast<int64_t>(ids.size());
+  out.ids = std::move(ids);
+  out.overlap = std::move(overlap);
+  out.mask.assign(static_cast<size_t>(out.num_real), 1.0f);
+  out.ids.resize(static_cast<size_t>(max_len), kPad);
+  out.overlap.resize(static_cast<size_t>(max_len), 0.0f);
+  out.mask.resize(static_cast<size_t>(max_len), 0.0f);
+  return out;
+}
+
+}  // namespace dader::text

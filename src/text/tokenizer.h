@@ -1,0 +1,81 @@
+// Tokenization and the hashing vocabulary.
+//
+// The original DADER uses BERT's WordPiece vocabulary; offline we use a
+// fixed-size hashing vocabulary: words are lower-cased, split on whitespace
+// and punctuation, and mapped to ids by FNV-1a hash modulo the table size.
+// Special tokens ([PAD], [CLS], [SEP], [ATT], [VAL], [MASK], [UNK]) occupy
+// reserved low ids. Hashing keeps the vocabulary shared across all domains,
+// which is what gives the pre-trained LM its cross-domain transferability.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace dader::text {
+
+/// \brief Reserved special-token ids.
+enum SpecialToken : int64_t {
+  kPad = 0,
+  kCls = 1,
+  kSep = 2,
+  kAtt = 3,   // starts an attribute name (paper's [ATT])
+  kVal = 4,   // starts an attribute value (paper's [VAL])
+  kMask = 5,  // masked-token pre-training
+  kUnk = 6,
+  kNumSpecialTokens = 7,
+};
+
+/// \brief Name of a special token ("[CLS]", ...).
+const char* SpecialTokenName(int64_t id);
+
+/// \brief Splits raw text into lower-cased word tokens. Punctuation
+/// characters become their own tokens; digits stay grouped.
+std::vector<std::string> WordTokenize(std::string_view raw);
+
+/// \brief Fixed-size hashing vocabulary.
+class HashingVocab {
+ public:
+  /// \param size total table size including the reserved special ids;
+  ///   must exceed kNumSpecialTokens.
+  explicit HashingVocab(int64_t size);
+
+  /// \brief Id of a word token (never returns a special id).
+  int64_t TokenId(std::string_view word) const;
+
+  /// \brief Ids for a whole pre-tokenized sequence.
+  std::vector<int64_t> Encode(const std::vector<std::string>& words) const;
+
+  int64_t size() const { return size_; }
+
+ private:
+  int64_t size_;
+};
+
+/// \brief A fixed-length model input: ids, attention mask, and per-token
+/// cross-entity overlap flags.
+///
+/// `overlap[t]` is 1.0 when the token at position t is an attribute *value*
+/// token that also occurs among the other entity's value tokens. This is a
+/// Ditto-style domain-knowledge injection (Ditto's "span highlighting"
+/// optimizations): at this repo's reduced model scale, a from-scratch
+/// transformer cannot learn token-equality detection from a few hundred
+/// pairs, so the signal BERT-scale models learn implicitly is made explicit.
+/// Domain shift (schemas, vocabularies, styles, overlap statistics) is
+/// untouched, so the DA phenomena the paper studies are preserved.
+struct EncodedSequence {
+  std::vector<int64_t> ids;   ///< length == max_len, padded with kPad
+  std::vector<float> mask;    ///< 1.0 for real tokens, 0.0 for padding
+  std::vector<float> overlap; ///< 1.0 for shared value tokens, else 0.0
+  int64_t num_real = 0;       ///< count of non-pad positions
+};
+
+/// \brief Pads/truncates `ids` (+ aligned `overlap` flags, which may be
+/// empty = all zero) to `max_len` and builds the mask.
+EncodedSequence PadToLength(std::vector<int64_t> ids, int64_t max_len,
+                            std::vector<float> overlap = {});
+
+}  // namespace dader::text

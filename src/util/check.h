@@ -1,0 +1,45 @@
+// Invariant-checking macros for programmer errors.
+//
+// These abort the process with a location-stamped message. They are for
+// conditions that indicate a bug in this library, never for conditions a
+// caller could plausibly trigger with bad-but-valid input (use Status for
+// those). DADER_DCHECK compiles away in NDEBUG builds.
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dader::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr, const char* msg) {
+  std::fprintf(stderr, "%s:%d: check failed: %s%s%s\n", file, line, expr,
+               (msg != nullptr && msg[0] != '\0') ? " - " : "",
+               msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace dader::internal
+
+#define DADER_CHECK_MSG(cond, msg)                                      \
+  do {                                                                  \
+    if (!(cond)) ::dader::internal::CheckFailed(__FILE__, __LINE__, #cond, msg); \
+  } while (false)
+
+#define DADER_CHECK(cond) DADER_CHECK_MSG(cond, "")
+
+#define DADER_CHECK_EQ(a, b) DADER_CHECK((a) == (b))
+#define DADER_CHECK_NE(a, b) DADER_CHECK((a) != (b))
+#define DADER_CHECK_LT(a, b) DADER_CHECK((a) < (b))
+#define DADER_CHECK_LE(a, b) DADER_CHECK((a) <= (b))
+#define DADER_CHECK_GT(a, b) DADER_CHECK((a) > (b))
+#define DADER_CHECK_GE(a, b) DADER_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define DADER_DCHECK(cond) \
+  do {                     \
+  } while (false)
+#else
+#define DADER_DCHECK(cond) DADER_CHECK(cond)
+#endif

@@ -1,0 +1,138 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace dader {
+
+int CsvTable::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+namespace {
+
+// Parses all records (including the header) from raw text.
+Result<std::vector<std::vector<std::string>>> ParseRecords(const std::string& text) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> current;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+
+  auto end_field = [&]() {
+    current.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_record = [&]() {
+    end_field();
+    records.push_back(std::move(current));
+    current.clear();
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+    } else if (c == '"' && !field_started) {
+      in_quotes = true;
+      field_started = true;
+    } else if (c == ',') {
+      end_field();
+    } else if (c == '\r') {
+      // Swallow; handled with the following '\n' (or ignored if bare).
+    } else if (c == '\n') {
+      end_record();
+    } else {
+      field.push_back(c);
+      field_started = true;
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("CSV: unterminated quoted field");
+  }
+  // Trailing record without final newline.
+  if (field_started || !field.empty() || !current.empty()) {
+    end_record();
+  }
+  return records;
+}
+
+}  // namespace
+
+Result<CsvTable> ParseCsv(const std::string& text) {
+  DADER_ASSIGN_OR_RETURN(auto records, ParseRecords(text));
+  if (records.empty()) {
+    return Status::InvalidArgument("CSV: empty document (no header)");
+  }
+  CsvTable table;
+  table.header = std::move(records.front());
+  for (size_t i = 1; i < records.size(); ++i) {
+    if (records[i].size() != table.header.size()) {
+      return Status::InvalidArgument(
+          StrFormat("CSV: row %zu has %zu fields, header has %zu", i,
+                    records[i].size(), table.header.size()));
+    }
+    table.rows.push_back(std::move(records[i]));
+  }
+  return table;
+}
+
+Result<CsvTable> ReadCsvFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ParseCsv(ss.str());
+}
+
+std::string CsvEscape(const std::string& field) {
+  const bool needs_quote =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += '"';
+  return out;
+}
+
+std::string FormatCsv(const CsvTable& table) {
+  std::string out;
+  auto append_row = [&out](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      out += CsvEscape(row[i]);
+    }
+    out.push_back('\n');
+  };
+  append_row(table.header);
+  for (const auto& row : table.rows) append_row(row);
+  return out;
+}
+
+Status WriteCsvFile(const std::string& path, const CsvTable& table) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << FormatCsv(table);
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace dader

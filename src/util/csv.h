@@ -1,0 +1,40 @@
+// Minimal RFC-4180-style CSV reading and writing.
+//
+// Supports quoted fields containing commas, quotes, and newlines. Used to
+// import/export generated ER datasets and to persist bench results.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace dader {
+
+/// \brief A parsed CSV document: a header row plus data rows.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// \brief Index of a named column, or -1 when absent.
+  int ColumnIndex(const std::string& name) const;
+};
+
+/// \brief Parses CSV text. The first record is treated as the header.
+/// Fails with InvalidArgument on unterminated quotes or ragged rows.
+Result<CsvTable> ParseCsv(const std::string& text);
+
+/// \brief Reads and parses a CSV file.
+Result<CsvTable> ReadCsvFile(const std::string& path);
+
+/// \brief Serializes a table to CSV text, quoting fields as needed.
+std::string FormatCsv(const CsvTable& table);
+
+/// \brief Writes a table to a file.
+Status WriteCsvFile(const std::string& path, const CsvTable& table);
+
+/// \brief Quotes a single field if it contains separators/quotes/newlines.
+std::string CsvEscape(const std::string& field);
+
+}  // namespace dader

@@ -1,0 +1,122 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace dader {
+
+void FlagParser::DefineString(const std::string& name,
+                              const std::string& default_value,
+                              const std::string& help) {
+  flags_[name] = Flag{Type::kString, default_value, help};
+}
+
+void FlagParser::DefineInt(const std::string& name, int64_t default_value,
+                           const std::string& help) {
+  flags_[name] = Flag{Type::kInt, std::to_string(default_value), help};
+}
+
+void FlagParser::DefineDouble(const std::string& name, double default_value,
+                              const std::string& help) {
+  flags_[name] = Flag{Type::kDouble, std::to_string(default_value), help};
+}
+
+void FlagParser::DefineBool(const std::string& name, bool default_value,
+                            const std::string& help) {
+  flags_[name] = Flag{Type::kBool, default_value ? "true" : "false", help};
+}
+
+Status FlagParser::SetValue(const std::string& name, const std::string& value) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return Status::InvalidArgument("unknown flag --" + name);
+  }
+  Flag& flag = it->second;
+  char* end = nullptr;
+  switch (flag.type) {
+    case Type::kInt:
+      std::strtoll(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') {
+        return Status::InvalidArgument("flag --" + name + " expects an integer, got '" +
+                                       value + "'");
+      }
+      break;
+    case Type::kDouble:
+      std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0') {
+        return Status::InvalidArgument("flag --" + name + " expects a number, got '" +
+                                       value + "'");
+      }
+      break;
+    case Type::kBool:
+      if (value != "true" && value != "false" && value != "1" && value != "0") {
+        return Status::InvalidArgument("flag --" + name + " expects true/false");
+      }
+      break;
+    case Type::kString:
+      break;
+  }
+  flag.value = value;
+  return Status::OK();
+}
+
+Status FlagParser::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      DADER_RETURN_NOT_OK(SetValue(arg.substr(0, eq), arg.substr(eq + 1)));
+      continue;
+    }
+    auto it = flags_.find(arg);
+    if (it == flags_.end()) {
+      return Status::InvalidArgument("unknown flag --" + arg);
+    }
+    if (it->second.type == Type::kBool) {
+      it->second.value = "true";
+    } else {
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument("flag --" + arg + " needs a value");
+      }
+      DADER_RETURN_NOT_OK(SetValue(arg, argv[++i]));
+    }
+  }
+  return Status::OK();
+}
+
+const std::string& FlagParser::GetString(const std::string& name) const {
+  auto it = flags_.find(name);
+  DADER_CHECK_MSG(it != flags_.end(), name.c_str());
+  return it->second.value;
+}
+
+int64_t FlagParser::GetInt(const std::string& name) const {
+  return std::strtoll(GetString(name).c_str(), nullptr, 10);
+}
+
+double FlagParser::GetDouble(const std::string& name) const {
+  return std::strtod(GetString(name).c_str(), nullptr);
+}
+
+bool FlagParser::GetBool(const std::string& name) const {
+  const std::string& v = GetString(name);
+  return v == "true" || v == "1";
+}
+
+std::string FlagParser::Help() const {
+  std::string out = "Flags:\n";
+  for (const auto& [name, flag] : flags_) {
+    out += StrFormat("  --%-24s %s (default: %s)\n", name.c_str(),
+                     flag.help.c_str(), flag.value.c_str());
+  }
+  return out;
+}
+
+}  // namespace dader

@@ -1,0 +1,56 @@
+// A small command-line flag parser for examples and bench binaries.
+//
+// Flags are "--name=value" or "--name value"; bare "--name" sets a boolean.
+// Unknown flags are an error so typos fail fast.
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace dader {
+
+/// \brief Declarative flag registry; call Define* then Parse(argc, argv).
+class FlagParser {
+ public:
+  /// \brief Declares a string flag with a default and help text.
+  void DefineString(const std::string& name, const std::string& default_value,
+                    const std::string& help);
+  void DefineInt(const std::string& name, int64_t default_value,
+                 const std::string& help);
+  void DefineDouble(const std::string& name, double default_value,
+                    const std::string& help);
+  void DefineBool(const std::string& name, bool default_value,
+                  const std::string& help);
+
+  /// \brief Parses argv; positional arguments are collected in order.
+  Status Parse(int argc, char** argv);
+
+  const std::string& GetString(const std::string& name) const;
+  int64_t GetInt(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// \brief Formatted help text listing all flags and defaults.
+  std::string Help() const;
+
+ private:
+  enum class Type { kString, kInt, kDouble, kBool };
+  struct Flag {
+    Type type;
+    std::string value;  // canonical textual value
+    std::string help;
+  };
+
+  Status SetValue(const std::string& name, const std::string& value);
+
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace dader

@@ -1,0 +1,133 @@
+#include "util/io.h"
+
+#include <sys/stat.h>
+
+namespace dader {
+
+Result<BinaryWriter> BinaryWriter::Open(const std::string& path,
+                                        const std::string& magic,
+                                        uint32_t version) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  BinaryWriter w(std::move(out));
+  w.WriteString(magic);
+  w.WriteU32(version);
+  return w;
+}
+
+void BinaryWriter::WriteU32(uint32_t v) {
+  out_.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void BinaryWriter::WriteU64(uint64_t v) {
+  out_.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void BinaryWriter::WriteI64(int64_t v) {
+  out_.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void BinaryWriter::WriteF32(float v) {
+  out_.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void BinaryWriter::WriteString(const std::string& s) {
+  WriteU64(s.size());
+  out_.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+void BinaryWriter::WriteFloats(const std::vector<float>& v) {
+  WriteU64(v.size());
+  out_.write(reinterpret_cast<const char*>(v.data()),
+             static_cast<std::streamsize>(v.size() * sizeof(float)));
+}
+void BinaryWriter::WriteI64s(const std::vector<int64_t>& v) {
+  WriteU64(v.size());
+  out_.write(reinterpret_cast<const char*>(v.data()),
+             static_cast<std::streamsize>(v.size() * sizeof(int64_t)));
+}
+
+Status BinaryWriter::Close() {
+  out_.flush();
+  if (!out_) return Status::IOError("binary write failed");
+  out_.close();
+  return Status::OK();
+}
+
+Result<BinaryReader> BinaryReader::Open(const std::string& path,
+                                        const std::string& magic,
+                                        uint32_t expected_version) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  BinaryReader r(std::move(in));
+  DADER_ASSIGN_OR_RETURN(std::string got_magic, r.ReadString());
+  if (got_magic != magic) {
+    return Status::InvalidArgument("bad magic in " + path + ": expected '" +
+                                   magic + "', got '" + got_magic + "'");
+  }
+  DADER_ASSIGN_OR_RETURN(uint32_t version, r.ReadU32());
+  if (version != expected_version) {
+    return Status::InvalidArgument(
+        "version mismatch in " + path + ": expected " +
+        std::to_string(expected_version) + ", got " + std::to_string(version));
+  }
+  return r;
+}
+
+Status BinaryReader::CheckStream() {
+  if (!in_) return Status::IOError("binary read past end of file");
+  return Status::OK();
+}
+
+Result<uint32_t> BinaryReader::ReadU32() {
+  uint32_t v = 0;
+  in_.read(reinterpret_cast<char*>(&v), sizeof(v));
+  DADER_RETURN_NOT_OK(CheckStream());
+  return v;
+}
+Result<uint64_t> BinaryReader::ReadU64() {
+  uint64_t v = 0;
+  in_.read(reinterpret_cast<char*>(&v), sizeof(v));
+  DADER_RETURN_NOT_OK(CheckStream());
+  return v;
+}
+Result<int64_t> BinaryReader::ReadI64() {
+  int64_t v = 0;
+  in_.read(reinterpret_cast<char*>(&v), sizeof(v));
+  DADER_RETURN_NOT_OK(CheckStream());
+  return v;
+}
+Result<float> BinaryReader::ReadF32() {
+  float v = 0;
+  in_.read(reinterpret_cast<char*>(&v), sizeof(v));
+  DADER_RETURN_NOT_OK(CheckStream());
+  return v;
+}
+Result<std::string> BinaryReader::ReadString() {
+  DADER_ASSIGN_OR_RETURN(uint64_t n, ReadU64());
+  if (n > (1ULL << 32)) return Status::InvalidArgument("string too large");
+  std::string s(n, '\0');
+  in_.read(s.data(), static_cast<std::streamsize>(n));
+  DADER_RETURN_NOT_OK(CheckStream());
+  return s;
+}
+Result<std::vector<float>> BinaryReader::ReadFloats() {
+  DADER_ASSIGN_OR_RETURN(uint64_t n, ReadU64());
+  if (n > (1ULL << 34)) return Status::InvalidArgument("float array too large");
+  std::vector<float> v(n);
+  in_.read(reinterpret_cast<char*>(v.data()),
+           static_cast<std::streamsize>(n * sizeof(float)));
+  DADER_RETURN_NOT_OK(CheckStream());
+  return v;
+}
+Result<std::vector<int64_t>> BinaryReader::ReadI64s() {
+  DADER_ASSIGN_OR_RETURN(uint64_t n, ReadU64());
+  if (n > (1ULL << 34)) return Status::InvalidArgument("int array too large");
+  std::vector<int64_t> v(n);
+  in_.read(reinterpret_cast<char*>(v.data()),
+           static_cast<std::streamsize>(n * sizeof(int64_t)));
+  DADER_RETURN_NOT_OK(CheckStream());
+  return v;
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+}  // namespace dader

@@ -1,0 +1,64 @@
+// Binary serialization primitives for persisting model weights.
+//
+// The format is little-endian, tagged with a magic string and version so
+// stale caches are rejected instead of misread.
+
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace dader {
+
+/// \brief Streaming binary writer over a file.
+class BinaryWriter {
+ public:
+  /// \brief Opens `path` for writing and emits the header.
+  static Result<BinaryWriter> Open(const std::string& path,
+                                   const std::string& magic, uint32_t version);
+
+  void WriteU32(uint32_t v);
+  void WriteU64(uint64_t v);
+  void WriteI64(int64_t v);
+  void WriteF32(float v);
+  void WriteString(const std::string& s);
+  void WriteFloats(const std::vector<float>& v);
+  void WriteI64s(const std::vector<int64_t>& v);
+
+  /// \brief Flushes and reports any stream error.
+  Status Close();
+
+ private:
+  explicit BinaryWriter(std::ofstream out) : out_(std::move(out)) {}
+  std::ofstream out_;
+};
+
+/// \brief Streaming binary reader; validates the header at open.
+class BinaryReader {
+ public:
+  static Result<BinaryReader> Open(const std::string& path,
+                                   const std::string& magic,
+                                   uint32_t expected_version);
+
+  Result<uint32_t> ReadU32();
+  Result<uint64_t> ReadU64();
+  Result<int64_t> ReadI64();
+  Result<float> ReadF32();
+  Result<std::string> ReadString();
+  Result<std::vector<float>> ReadFloats();
+  Result<std::vector<int64_t>> ReadI64s();
+
+ private:
+  explicit BinaryReader(std::ifstream in) : in_(std::move(in)) {}
+  Status CheckStream();
+  std::ifstream in_;
+};
+
+/// \brief True if a regular file exists at `path`.
+bool FileExists(const std::string& path);
+
+}  // namespace dader

@@ -1,0 +1,52 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstring>
+
+namespace dader {
+
+namespace {
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+}  // namespace
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_min_level.load()); }
+void SetLogLevel(LogLevel level) { g_min_level.store(static_cast<int>(level)); }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : enabled_(static_cast<int>(level) >= g_min_level.load()) {
+  if (enabled_) {
+    stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line
+            << "] ";
+  }
+}
+
+LogMessage::~LogMessage() {
+  if (enabled_) {
+    stream_ << "\n";
+    std::cerr << stream_.str();
+  }
+}
+
+}  // namespace internal
+}  // namespace dader

@@ -1,0 +1,43 @@
+// Leveled logging to stderr with a process-wide minimum level.
+//
+// Usage: DADER_LOG(INFO) << "epoch " << e << " f1=" << f1;
+
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace dader {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// \brief Process-wide minimum level; messages below it are dropped.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// \brief Accumulates one log line and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace dader
+
+#define DADER_LOG(level)                                               \
+  ::dader::internal::LogMessage(::dader::LogLevel::k##level, __FILE__, \
+                                __LINE__)

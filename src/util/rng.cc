@@ -1,0 +1,37 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace dader {
+
+double Rng::NextGaussian() {
+  if (have_cached_gaussian_) {
+    have_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  // Box-Muller on two uniforms; u1 bounded away from 0 to keep log finite.
+  double u1 = NextDouble();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double u2 = NextDouble();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_gaussian_ = r * std::sin(theta);
+  have_cached_gaussian_ = true;
+  return r * std::cos(theta);
+}
+
+std::vector<size_t> Rng::SampleIndices(size_t n, size_t k) {
+  DADER_CHECK_LE(k, n);
+  // Partial Fisher-Yates: shuffle only the first k slots.
+  std::vector<size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0);
+  for (size_t i = 0; i < k; ++i) {
+    const size_t j = i + NextBelow(n - i);
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+}  // namespace dader

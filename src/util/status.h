@@ -1,0 +1,142 @@
+// Status / Result<T> error handling in the Arrow / RocksDB idiom.
+//
+// Library code returns Status (or Result<T>) for recoverable errors such as
+// bad input, I/O failures, or shape mismatches at API boundaries. Internal
+// invariants use the DADER_CHECK macros from util/check.h instead.
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace dader {
+
+/// \brief Machine-readable error category carried by a Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kIOError = 2,
+  kNotFound = 3,
+  kAlreadyExists = 4,
+  kOutOfRange = 5,
+  kUnimplemented = 6,
+  kInternal = 7,
+};
+
+/// \brief Human-readable name of a status code ("OK", "Invalid argument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Result of an operation that can fail without crashing the process.
+///
+/// A default-constructed Status is OK. Error statuses carry a code and a
+/// message. Statuses are cheap to copy (small string optimization covers the
+/// common case) and are annotated [[nodiscard]] so callers cannot silently
+/// drop failures.
+class [[nodiscard]] Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// \brief "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  /// \brief Aborts the process with the status message if not OK.
+  void CheckOK() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Mirrors arrow::Result. Accessing the value of an errored Result aborts,
+/// so callers must test ok() (or use ValueOr) first.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error status.
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// \brief Borrow the contained value; aborts if this holds an error.
+  const T& ValueOrDie() const& {
+    status_.CheckOK();
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    status_.CheckOK();
+    return *value_;
+  }
+  /// \brief Move the contained value out; aborts if this holds an error.
+  T ValueOrDie() && {
+    status_.CheckOK();
+    return std::move(*value_);
+  }
+
+  /// \brief The contained value, or `fallback` on error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;         // OK when value_ is set
+  std::optional<T> value_;
+};
+
+}  // namespace dader
+
+/// \brief Propagates a non-OK Status to the caller.
+#define DADER_RETURN_NOT_OK(expr)             \
+  do {                                        \
+    ::dader::Status _st = (expr);             \
+    if (!_st.ok()) return _st;                \
+  } while (false)
+
+#define DADER_INTERNAL_CONCAT2(a, b) a##b
+#define DADER_INTERNAL_CONCAT(a, b) DADER_INTERNAL_CONCAT2(a, b)
+
+/// \brief Evaluates a Result expression, propagating errors, else binds lhs.
+#define DADER_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).ValueOrDie();
+
+#define DADER_ASSIGN_OR_RETURN(lhs, rexpr) \
+  DADER_ASSIGN_OR_RETURN_IMPL(DADER_INTERNAL_CONCAT(_res_, __LINE__), lhs, rexpr)

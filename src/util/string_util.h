@@ -1,0 +1,42 @@
+// Small string helpers shared across the text and data substrates.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dader {
+
+/// \brief Splits `s` on any occurrence of `sep`; empty fields are preserved.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// \brief Splits `s` on runs of whitespace; no empty fields are produced.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// \brief Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// \brief ASCII lower-case copy.
+std::string ToLower(std::string_view s);
+
+/// \brief Copy with leading/trailing ASCII whitespace removed.
+std::string Trim(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// \brief Levenshtein edit distance (unit costs).
+size_t EditDistance(std::string_view a, std::string_view b);
+
+/// \brief Jaccard similarity of the whitespace-token sets of two strings.
+/// Returns 1.0 when both are empty.
+double TokenJaccard(std::string_view a, std::string_view b);
+
+/// \brief FNV-1a 64-bit hash, the basis of the hashing vocabulary.
+uint64_t Fnv1a64(std::string_view s);
+
+/// \brief printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace dader

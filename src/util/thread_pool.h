@@ -1,0 +1,58 @@
+// A fixed-size thread pool and a ParallelFor helper.
+//
+// On single-core machines (or pools of size 1) ParallelFor degrades to a
+// plain loop with no synchronization overhead, so library code can call it
+// unconditionally.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace dader {
+
+/// \brief A simple work-stealing-free thread pool.
+class ThreadPool {
+ public:
+  /// \brief Creates a pool with `num_threads` workers (0 = hardware count).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// \brief Enqueues a task; tasks may not block on other pool tasks.
+  void Submit(std::function<void()> task);
+
+  /// \brief Blocks until every submitted task has completed.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// \brief Process-wide default pool, sized to the hardware.
+  static ThreadPool* Global();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_cv_;   // signals workers: new task / shutdown
+  std::condition_variable done_cv_;   // signals Wait(): a task finished
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+/// \brief Runs fn(i) for i in [0, n), splitting the range across the global
+/// pool in contiguous chunks. Runs inline when the pool has one thread or
+/// the range is tiny. `fn` must be safe to call concurrently on disjoint i.
+void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                 size_t grain = 1);
+
+}  // namespace dader

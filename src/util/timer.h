@@ -1,0 +1,28 @@
+// Wall-clock stopwatch used by trainers and benches for progress reporting.
+
+#pragma once
+
+#include <chrono>
+
+namespace dader {
+
+/// \brief Monotonic stopwatch; starts at construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// \brief Elapsed seconds since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace dader

@@ -1,0 +1,182 @@
+// Tests for the analysis tools: t-SNE, domain-mixing score, and the
+// MMD dataset distance.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/dataset_distance.h"
+#include "core/source_selection.h"
+#include "core/experiment.h"
+#include "core/tsne.h"
+#include "data/generators.h"
+
+namespace dader::core {
+namespace {
+
+// Two well-separated gaussian blobs in d dimensions.
+std::pair<Tensor, Tensor> TwoBlobs(int64_t n, int64_t d, float separation,
+                                   uint64_t seed) {
+  Rng rng(seed);
+  Tensor a = Tensor::RandomNormal({n, d}, 0.5f, &rng);
+  Tensor b = Tensor::RandomNormal({n, d}, 0.5f, &rng);
+  for (int64_t i = 0; i < n; ++i) b.vec()[static_cast<size_t>(i * d)] += separation;
+  return {a, b};
+}
+
+TEST(TsneTest, OutputSizeAndFiniteness) {
+  auto [a, b] = TwoBlobs(10, 5, 4.0f, 1);
+  TsneConfig config;
+  config.iterations = 50;
+  const auto coords = RunTsne(a, config);
+  ASSERT_EQ(coords.size(), 10u);
+  for (const auto& p : coords) {
+    EXPECT_TRUE(std::isfinite(p[0]));
+    EXPECT_TRUE(std::isfinite(p[1]));
+  }
+}
+
+TEST(TsneTest, SeparatedClustersStaySeparated) {
+  // Embed two far-apart blobs; the 2-D embedding must keep blob members
+  // closer to their own blob centroid than to the other's.
+  auto [a, b] = TwoBlobs(15, 6, 10.0f, 2);
+  std::vector<float> all;
+  all.insert(all.end(), a.vec().begin(), a.vec().end());
+  all.insert(all.end(), b.vec().begin(), b.vec().end());
+  Tensor pooled = Tensor::FromVector({30, 6}, std::move(all));
+  TsneConfig config;
+  config.iterations = 200;
+  const auto y = RunTsne(pooled, config);
+
+  double ca[2] = {0, 0}, cb[2] = {0, 0};
+  for (int i = 0; i < 15; ++i) {
+    ca[0] += y[static_cast<size_t>(i)][0];
+    ca[1] += y[static_cast<size_t>(i)][1];
+    cb[0] += y[static_cast<size_t>(15 + i)][0];
+    cb[1] += y[static_cast<size_t>(15 + i)][1];
+  }
+  for (auto& v : ca) v /= 15;
+  for (auto& v : cb) v /= 15;
+  int correct = 0;
+  for (int i = 0; i < 30; ++i) {
+    const double da = std::hypot(y[static_cast<size_t>(i)][0] - ca[0],
+                                 y[static_cast<size_t>(i)][1] - ca[1]);
+    const double db = std::hypot(y[static_cast<size_t>(i)][0] - cb[0],
+                                 y[static_cast<size_t>(i)][1] - cb[1]);
+    const bool in_a = i < 15;
+    correct += (in_a ? da < db : db < da);
+  }
+  EXPECT_GE(correct, 26);
+}
+
+TEST(TsneTest, DeterministicForSeed) {
+  auto [a, b] = TwoBlobs(8, 4, 2.0f, 3);
+  TsneConfig config;
+  config.iterations = 30;
+  const auto y1 = RunTsne(a, config);
+  const auto y2 = RunTsne(a, config);
+  for (size_t i = 0; i < y1.size(); ++i) {
+    EXPECT_DOUBLE_EQ(y1[i][0], y2[i][0]);
+    EXPECT_DOUBLE_EQ(y1[i][1], y2[i][1]);
+  }
+}
+
+TEST(MixingScoreTest, SeparatedBlobsNearZero) {
+  auto [a, b] = TwoBlobs(30, 4, 20.0f, 4);
+  EXPECT_LT(DomainMixingScore(a, b, 5), 0.1);
+}
+
+TEST(MixingScoreTest, IdenticalDistributionsNearOne) {
+  Rng rng(5);
+  Tensor a = Tensor::RandomNormal({40, 4}, 1.0f, &rng);
+  Tensor b = Tensor::RandomNormal({40, 4}, 1.0f, &rng);
+  EXPECT_GT(DomainMixingScore(a, b, 5), 0.7);
+}
+
+TEST(MixingScoreTest, MonotoneInSeparation) {
+  auto [a1, b1] = TwoBlobs(25, 4, 0.5f, 6);
+  auto [a2, b2] = TwoBlobs(25, 4, 8.0f, 6);
+  EXPECT_GT(DomainMixingScore(a1, b1, 5), DomainMixingScore(a2, b2, 5));
+}
+
+TEST(MixingScoreTest, UnbalancedSampleSizes) {
+  Rng rng(7);
+  Tensor a = Tensor::RandomNormal({60, 3}, 1.0f, &rng);
+  Tensor b = Tensor::RandomNormal({12, 3}, 1.0f, &rng);
+  const double s = DomainMixingScore(a, b, 5);
+  EXPECT_GE(s, 0.0);
+  EXPECT_LE(s, 1.0);
+  EXPECT_GT(s, 0.4);  // same distribution, should still look mixed
+}
+
+TEST(DatasetDistanceTest, SelfDistanceSmallerThanCrossDomain) {
+  // Under an untrained extractor, two samples of the same dataset should be
+  // closer (in MMD) than product vs citation data — Figure 6's premise.
+  DaderConfig config;
+  config.vocab_size = 512;
+  config.max_len = 24;
+  config.hidden_dim = 16;
+  config.num_heads = 2;
+  config.num_layers = 1;
+  config.ffn_dim = 32;
+  config.dropout = 0.0f;
+  LMFeatureExtractor extractor(config, 9);
+  extractor.SetTraining(false);
+
+  data::GenerateOptions opts;
+  opts.scale = 0.01;
+  opts.min_pairs = 60;
+  auto wa1 = data::GenerateDataset("WA", opts).ValueOrDie();
+  opts.seed = 99;
+  auto wa2 = data::GenerateDataset("WA", opts).ValueOrDie();
+  auto ds = data::GenerateDataset("DS", opts).ValueOrDie();
+
+  Rng rng(10);
+  const double self_dist =
+      DatasetMmdDistance(&extractor, wa1, wa2, 50, &rng);
+  const double cross_dist =
+      DatasetMmdDistance(&extractor, wa1, ds, 50, &rng);
+  EXPECT_LT(self_dist, cross_dist);
+}
+
+TEST(SourceSelectionTest, RanksSameDomainSourceFirst) {
+  ExperimentScale scale;
+  scale.model.vocab_size = 512;
+  scale.model.max_len = 24;
+  scale.model.hidden_dim = 16;
+  scale.model.num_heads = 2;
+  scale.model.num_layers = 1;
+  scale.model.ffn_dim = 32;
+  scale.model.dropout = 0.0f;
+  scale.data_scale = 0.01;
+  scale.min_pairs = 60;
+  LMFeatureExtractor extractor(scale.model, 3);
+  extractor.SetTraining(false);
+  Rng rng(4);
+  // DA (same citation domain/schema as DS) must rank closer to DS than the
+  // product dataset WA does.
+  auto ranking = RankSourcesByDistance({"WA", "DA"}, "DS", scale, &extractor,
+                                       50, &rng);
+  ASSERT_TRUE(ranking.ok());
+  ASSERT_EQ(ranking.ValueOrDie().size(), 2u);
+  EXPECT_EQ(ranking.ValueOrDie()[0].source_name, "DA");
+  EXPECT_LT(ranking.ValueOrDie()[0].mmd, ranking.ValueOrDie()[1].mmd);
+
+  auto best = SelectClosestSource({"WA", "DA"}, "DS", scale, &extractor, 50,
+                                  &rng);
+  ASSERT_TRUE(best.ok());
+  EXPECT_EQ(best.ValueOrDie(), "DA");
+}
+
+TEST(SourceSelectionTest, EmptyPoolFails) {
+  ExperimentScale scale;
+  scale.model.hidden_dim = 16;
+  scale.model.num_heads = 2;
+  LMFeatureExtractor extractor(scale.model, 3);
+  Rng rng(5);
+  EXPECT_FALSE(
+      RankSourcesByDistance({}, "DS", scale, &extractor, 50, &rng).ok());
+}
+
+}  // namespace
+}  // namespace dader::core

@@ -1,0 +1,127 @@
+// End-to-end integration tests: the full experiment runners used by the
+// bench harness, at miniature scale.
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "core/reweight.h"
+
+namespace dader::core {
+namespace {
+
+ExperimentScale TinyScale() {
+  ExperimentScale s;
+  s.name = "tiny-test";
+  s.model.vocab_size = 512;
+  s.model.max_len = 24;
+  s.model.hidden_dim = 16;
+  s.model.num_heads = 2;
+  s.model.num_layers = 1;
+  s.model.ffn_dim = 32;
+  s.model.rnn_hidden = 8;
+  s.model.batch_size = 16;
+  s.model.epochs = 3;
+  s.model.gan_pretrain_epochs = 2;
+  s.model.dropout = 0.0f;
+  s.data_scale = 0.01;
+  s.min_pairs = 70;
+  s.num_seeds = 2;
+  s.valid_fraction = 0.2;
+  return s;
+}
+
+TEST(ScalePresetsTest, ResolveByName) {
+  EXPECT_EQ(ResolveScale("smoke").name, "smoke");
+  EXPECT_EQ(ResolveScale("small").name, "small");
+  EXPECT_EQ(ResolveScale("full").name, "full");
+  EXPECT_EQ(ResolveScale("bogus").name, "smoke");
+}
+
+TEST(ScalePresetsTest, MonotoneSizes) {
+  EXPECT_LT(SmokeScale().data_scale, SmallScale().data_scale);
+  EXPECT_LT(SmallScale().data_scale, FullScale().data_scale);
+  EXPECT_LE(SmokeScale().model.hidden_dim, SmallScale().model.hidden_dim);
+  EXPECT_LE(SmallScale().model.hidden_dim, FullScale().model.hidden_dim);
+}
+
+TEST(BuildDaTaskTest, SplitSizesAndLabelHygiene) {
+  const ExperimentScale scale = TinyScale();
+  auto task = BuildDaTask("WA", "AB", scale, 5).ValueOrDie();
+  EXPECT_GT(task.source.size(), 0u);
+  // Unlabeled target really has no labels.
+  for (const auto& p : task.target_unlabeled.pairs()) {
+    EXPECT_FALSE(p.labeled());
+  }
+  // Valid + test partition the target.
+  EXPECT_EQ(task.target_valid.size() + task.target_test.size(),
+            task.target_unlabeled.size());
+  const double vf = static_cast<double>(task.target_valid.size()) /
+                    task.target_unlabeled.size();
+  EXPECT_NEAR(vf, scale.valid_fraction, 0.05);
+  // Source eval is a labeled slice of the source.
+  EXPECT_GT(task.source_eval.size(), 0u);
+  EXPECT_LE(task.source_eval.size(), task.source.size());
+}
+
+TEST(BuildDaTaskTest, UnknownDatasetFails) {
+  EXPECT_FALSE(BuildDaTask("WA", "NOPE", TinyScale()).ok());
+  EXPECT_FALSE(BuildDaTask("NOPE", "AB", TinyScale()).ok());
+}
+
+TEST(BuildModelTest, FeatureDimsAgree) {
+  const ExperimentScale scale = TinyScale();
+  auto lm = BuildModel(ExtractorKind::kLM, scale, false, 1).ValueOrDie();
+  auto rnn = BuildModel(ExtractorKind::kRNN, scale, false, 1).ValueOrDie();
+  EXPECT_EQ(lm.extractor->feature_dim(), scale.model.hidden_dim);
+  EXPECT_EQ(rnn.extractor->feature_dim(), scale.model.hidden_dim);
+}
+
+TEST(RunDaCellTest, ProducesPerSeedResults) {
+  const ExperimentScale scale = TinyScale();
+  DaCellOptions options;
+  options.pretrained_lm = false;  // keep the test hermetic (no cache file)
+  auto cell =
+      RunDaCell("FZ", "ZY", AlignMethod::kNoDA, scale, options).ValueOrDie();
+  ASSERT_EQ(cell.per_seed_f1.size(), 2u);
+  for (double f1 : cell.per_seed_f1) {
+    EXPECT_GE(f1, 0.0);
+    EXPECT_LE(f1, 1.0);
+  }
+  EXPECT_GE(cell.f1.std, 0.0);
+  const double mean = (cell.per_seed_f1[0] + cell.per_seed_f1[1]) / 2.0;
+  EXPECT_NEAR(cell.f1.mean, mean, 1e-12);
+}
+
+TEST(SemiSupervisedTest, LabelBudgetGrowsMonotonically) {
+  const ExperimentScale scale = TinyScale();
+  auto series = RunSemiSupervised("FZ", "ZY", SemiMethod::kDitto, scale,
+                                  /*labels_per_round=*/10, /*rounds=*/3, 5)
+                    .ValueOrDie();
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_EQ(series[0].labels_used, 10);
+  EXPECT_EQ(series[1].labels_used, 20);
+  EXPECT_EQ(series[2].labels_used, 30);
+  for (const auto& p : series) {
+    EXPECT_GE(p.test_f1, 0.0);
+    EXPECT_LE(p.test_f1, 1.0);
+  }
+}
+
+TEST(SemiSupervisedTest, AllMethodsRun) {
+  const ExperimentScale scale = TinyScale();
+  for (SemiMethod m : {SemiMethod::kNoDA, SemiMethod::kDeepMatcher}) {
+    auto series =
+        RunSemiSupervised("FZ", "ZY", m, scale, 8, 2, 6).ValueOrDie();
+    EXPECT_EQ(series.size(), 2u) << SemiMethodName(m);
+  }
+}
+
+TEST(SemiMethodTest, Names) {
+  EXPECT_STREQ(SemiMethodName(SemiMethod::kNoDA), "NoDA");
+  EXPECT_STREQ(SemiMethodName(SemiMethod::kInvGANKD), "InvGAN+KD");
+  EXPECT_STREQ(SemiMethodName(SemiMethod::kDitto), "Ditto");
+  EXPECT_STREQ(SemiMethodName(SemiMethod::kDeepMatcher), "DeepMatcher");
+}
+
+}  // namespace
+}  // namespace dader::core

@@ -1,0 +1,80 @@
+#include "core/metrics.h"
+
+#include <gtest/gtest.h>
+#include <cmath>
+
+namespace dader::core {
+namespace {
+
+TEST(MetricsTest, PerfectPrediction) {
+  ErMetrics m = ComputeMetrics({1, 0, 1, 0}, {1, 0, 1, 0});
+  EXPECT_DOUBLE_EQ(m.Precision(), 1.0);
+  EXPECT_DOUBLE_EQ(m.Recall(), 1.0);
+  EXPECT_DOUBLE_EQ(m.F1(), 1.0);
+  EXPECT_DOUBLE_EQ(m.Accuracy(), 1.0);
+}
+
+TEST(MetricsTest, AllWrong) {
+  ErMetrics m = ComputeMetrics({0, 1}, {1, 0});
+  EXPECT_DOUBLE_EQ(m.F1(), 0.0);
+  EXPECT_DOUBLE_EQ(m.Accuracy(), 0.0);
+}
+
+TEST(MetricsTest, ConfusionCounts) {
+  //               pred:  1  1  0  0  1
+  //               gold:  1  0  1  0  0
+  ErMetrics m = ComputeMetrics({1, 1, 0, 0, 1}, {1, 0, 1, 0, 0});
+  EXPECT_EQ(m.true_positives, 1);
+  EXPECT_EQ(m.false_positives, 2);
+  EXPECT_EQ(m.false_negatives, 1);
+  EXPECT_EQ(m.true_negatives, 1);
+}
+
+TEST(MetricsTest, KnownF1) {
+  // P = 2/3, R = 2/4 -> F1 = 2*(2/3)*(1/2)/((2/3)+(1/2)) = 4/7.
+  ErMetrics m;
+  m.true_positives = 2;
+  m.false_positives = 1;
+  m.false_negatives = 2;
+  EXPECT_NEAR(m.F1(), 4.0 / 7.0, 1e-12);
+}
+
+TEST(MetricsTest, DegenerateNoPositivesPredicted) {
+  ErMetrics m = ComputeMetrics({0, 0, 0}, {1, 1, 0});
+  EXPECT_DOUBLE_EQ(m.Precision(), 0.0);
+  EXPECT_DOUBLE_EQ(m.Recall(), 0.0);
+  EXPECT_DOUBLE_EQ(m.F1(), 0.0);
+}
+
+TEST(MetricsTest, DegenerateNoGoldPositives) {
+  ErMetrics m = ComputeMetrics({0, 0}, {0, 0});
+  EXPECT_DOUBLE_EQ(m.F1(), 0.0);  // undefined => 0
+  EXPECT_DOUBLE_EQ(m.Accuracy(), 1.0);
+}
+
+TEST(MetricsTest, ToStringContainsNumbers) {
+  ErMetrics m = ComputeMetrics({1}, {1});
+  const std::string s = m.ToString();
+  EXPECT_NE(s.find("F1=1.000"), std::string::npos);
+}
+
+TEST(MeanStdTest, KnownValues) {
+  MeanStd ms = ComputeMeanStd({2.0, 4.0, 6.0});
+  EXPECT_DOUBLE_EQ(ms.mean, 4.0);
+  EXPECT_NEAR(ms.std, std::sqrt(8.0 / 3.0), 1e-12);
+}
+
+TEST(MeanStdTest, SingleValueZeroStd) {
+  MeanStd ms = ComputeMeanStd({5.0});
+  EXPECT_DOUBLE_EQ(ms.mean, 5.0);
+  EXPECT_DOUBLE_EQ(ms.std, 0.0);
+}
+
+TEST(MeanStdTest, EmptyIsZero) {
+  MeanStd ms = ComputeMeanStd({});
+  EXPECT_DOUBLE_EQ(ms.mean, 0.0);
+  EXPECT_DOUBLE_EQ(ms.std, 0.0);
+}
+
+}  // namespace
+}  // namespace dader::core

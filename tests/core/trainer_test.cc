@@ -1,0 +1,197 @@
+// Integration tests for the two DADER training algorithms at tiny scale.
+
+#include "core/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "core/evaluator.h"
+#include "core/experiment.h"
+#include "data/generators.h"
+
+namespace dader::core {
+namespace {
+
+ExperimentScale TinyScale() {
+  ExperimentScale s;
+  s.name = "tiny-test";
+  s.model.vocab_size = 512;
+  s.model.max_len = 24;
+  s.model.hidden_dim = 16;
+  s.model.num_heads = 2;
+  s.model.num_layers = 1;
+  s.model.ffn_dim = 32;
+  s.model.rnn_hidden = 8;
+  s.model.batch_size = 16;
+  s.model.epochs = 4;
+  s.model.gan_pretrain_epochs = 3;
+  s.model.dropout = 0.0f;
+  s.data_scale = 0.01;
+  s.min_pairs = 80;
+  s.num_seeds = 1;
+  s.valid_fraction = 0.2;
+  return s;
+}
+
+TEST(AlignMethodTest, NamesRoundTrip) {
+  for (AlignMethod m : {AlignMethod::kNoDA, AlignMethod::kMMD,
+                        AlignMethod::kKOrder, AlignMethod::kGRL,
+                        AlignMethod::kInvGAN, AlignMethod::kInvGANKD,
+                        AlignMethod::kED, AlignMethod::kCMD}) {
+    AlignMethod parsed;
+    ASSERT_TRUE(ParseAlignMethod(AlignMethodName(m), &parsed))
+        << AlignMethodName(m);
+    EXPECT_EQ(parsed, m);
+  }
+  AlignMethod dummy;
+  EXPECT_FALSE(ParseAlignMethod("NotAMethod", &dummy));
+}
+
+TEST(AlignMethodTest, SixAlignersAndGanClassification) {
+  EXPECT_EQ(AllAlignMethods().size(), 6u);
+  EXPECT_TRUE(IsGanMethod(AlignMethod::kInvGAN));
+  EXPECT_TRUE(IsGanMethod(AlignMethod::kInvGANKD));
+  EXPECT_FALSE(IsGanMethod(AlignMethod::kMMD));
+  EXPECT_FALSE(IsGanMethod(AlignMethod::kGRL));
+  EXPECT_FALSE(IsGanMethod(AlignMethod::kNoDA));
+}
+
+// One training run per aligner method: must complete, produce per-epoch
+// history, select a best epoch, and leave a usable model behind.
+class TrainerMethodTest : public testing::TestWithParam<AlignMethod> {};
+
+TEST_P(TrainerMethodTest, TrainsEndToEnd) {
+  const AlignMethod method = GetParam();
+  const ExperimentScale scale = TinyScale();
+  auto task = BuildDaTask("FZ", "ZY", scale, /*data_seed=*/11).ValueOrDie();
+  auto model = BuildModel(ExtractorKind::kLM, scale, /*pretrained=*/false, 21)
+                   .ValueOrDie();
+
+  int callbacks = 0;
+  auto outcome =
+      RunSingleDa(method, scale, task, &model, /*track_source_f1=*/true,
+                  [&callbacks](const EpochStats& s) {
+                    ++callbacks;
+                    EXPECT_GE(s.valid_f1, 0.0);
+                    EXPECT_LE(s.valid_f1, 1.0);
+                    EXPECT_GE(s.source_f1, 0.0);
+                  })
+          .ValueOrDie();
+
+  EXPECT_EQ(outcome.train.history.size(),
+            static_cast<size_t>(scale.model.epochs));
+  EXPECT_EQ(callbacks, scale.model.epochs);
+  EXPECT_GE(outcome.train.best_epoch, 1);
+  EXPECT_LE(outcome.train.best_epoch, scale.model.epochs);
+  EXPECT_GE(outcome.test_f1, 0.0);
+  EXPECT_LE(outcome.test_f1, 1.0);
+  // Alignment loss is tracked for every aligner (NoDA excepted).
+  if (method != AlignMethod::kNoDA) {
+    EXPECT_NE(outcome.train.history.back().alignment_loss, 0.0);
+  }
+  // The final extractor must be usable for prediction.
+  Rng rng(1);
+  Prediction pred =
+      Predict(outcome.trainer->final_extractor(), model.matcher.get(),
+              task.target_test, scale.model.batch_size, &rng);
+  EXPECT_EQ(pred.labels.size(), task.target_test.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethods, TrainerMethodTest,
+    testing::Values(AlignMethod::kNoDA, AlignMethod::kMMD,
+                    AlignMethod::kKOrder, AlignMethod::kGRL,
+                    AlignMethod::kInvGAN, AlignMethod::kInvGANKD,
+                    AlignMethod::kED, AlignMethod::kCMD),
+    [](const testing::TestParamInfo<AlignMethod>& info) {
+      std::string name = AlignMethodName(info.param);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(TrainerTest, GanMethodsUseAdaptedExtractor) {
+  const ExperimentScale scale = TinyScale();
+  auto task = BuildDaTask("FZ", "ZY", scale, 12).ValueOrDie();
+  auto model = BuildModel(ExtractorKind::kLM, scale, false, 31).ValueOrDie();
+  auto outcome =
+      RunSingleDa(AlignMethod::kInvGANKD, scale, task, &model).ValueOrDie();
+  EXPECT_NE(outcome.trainer->final_extractor(), model.extractor.get());
+}
+
+TEST(TrainerTest, NonGanMethodsKeepOriginalExtractor) {
+  const ExperimentScale scale = TinyScale();
+  auto task = BuildDaTask("FZ", "ZY", scale, 12).ValueOrDie();
+  auto model = BuildModel(ExtractorKind::kLM, scale, false, 32).ValueOrDie();
+  auto outcome =
+      RunSingleDa(AlignMethod::kMMD, scale, task, &model).ValueOrDie();
+  EXPECT_EQ(outcome.trainer->final_extractor(), model.extractor.get());
+}
+
+TEST(TrainerTest, InDomainSupervisedLearningWorks) {
+  // Source == target distribution (FZ -> FZ from a different seed): the
+  // NoDA baseline must reach a clearly-better-than-chance F1. This is the
+  // learnability smoke test for the whole stack.
+  ExperimentScale scale = TinyScale();
+  scale.model.epochs = 10;
+  scale.min_pairs = 120;
+  auto task = BuildDaTask("FZ", "FZ", scale, 13).ValueOrDie();
+  auto model = BuildModel(ExtractorKind::kLM, scale, false, 33).ValueOrDie();
+  auto outcome =
+      RunSingleDa(AlignMethod::kNoDA, scale, task, &model).ValueOrDie();
+  EXPECT_GT(outcome.test_f1, 0.5);
+}
+
+TEST(TrainerTest, DeterministicGivenSeeds) {
+  const ExperimentScale scale = TinyScale();
+  auto task = BuildDaTask("FZ", "ZY", scale, 14).ValueOrDie();
+  double f1s[2];
+  for (int i = 0; i < 2; ++i) {
+    auto model = BuildModel(ExtractorKind::kLM, scale, false, 77).ValueOrDie();
+    f1s[i] = RunSingleDa(AlignMethod::kMMD, scale, task, &model)
+                 .ValueOrDie()
+                 .test_f1;
+  }
+  EXPECT_DOUBLE_EQ(f1s[0], f1s[1]);
+}
+
+TEST(TrainerTest, RnnExtractorTrains) {
+  const ExperimentScale scale = TinyScale();
+  auto task = BuildDaTask("FZ", "ZY", scale, 15).ValueOrDie();
+  auto model = BuildModel(ExtractorKind::kRNN, scale, false, 41).ValueOrDie();
+  auto outcome =
+      RunSingleDa(AlignMethod::kNoDA, scale, task, &model).ValueOrDie();
+  EXPECT_EQ(outcome.train.history.size(),
+            static_cast<size_t>(scale.model.epochs));
+}
+
+TEST(EvaluatorTest, PredictionSizesAndEvalModeRestored) {
+  const ExperimentScale scale = TinyScale();
+  auto task = BuildDaTask("FZ", "ZY", scale, 16).ValueOrDie();
+  auto model = BuildModel(ExtractorKind::kLM, scale, false, 51).ValueOrDie();
+  model.extractor->SetTraining(true);
+  Rng rng(1);
+  Prediction pred = Predict(model.extractor.get(), model.matcher.get(),
+                            task.target_test, 8, &rng);
+  EXPECT_EQ(pred.labels.size(), task.target_test.size());
+  EXPECT_EQ(pred.probs.size(), task.target_test.size());
+  EXPECT_TRUE(model.extractor->training());  // mode restored by guard
+  for (size_t i = 0; i < pred.labels.size(); ++i) {
+    EXPECT_EQ(pred.labels[i], pred.probs[i] >= 0.5f ? 1 : 0);
+  }
+}
+
+TEST(EvaluatorTest, ExtractAllFeaturesShape) {
+  const ExperimentScale scale = TinyScale();
+  auto task = BuildDaTask("FZ", "ZY", scale, 17).ValueOrDie();
+  auto model = BuildModel(ExtractorKind::kLM, scale, false, 61).ValueOrDie();
+  Rng rng(2);
+  Tensor f = ExtractAllFeatures(model.extractor.get(), task.target_valid, 8,
+                                &rng);
+  EXPECT_EQ(f.shape(),
+            (Shape{static_cast<int64_t>(task.target_valid.size()),
+                   model.extractor->feature_dim()}));
+}
+
+}  // namespace
+}  // namespace dader::core

@@ -1,0 +1,79 @@
+#include "data/blocking.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+
+namespace dader::data {
+namespace {
+
+Table MakeTable(const std::string& name,
+                const std::vector<std::string>& titles) {
+  Table t(name, Schema({"title"}));
+  for (const auto& title : titles) t.AddRow(Record({title}));
+  return t;
+}
+
+TEST(BlockingTest, FindsOverlappingPairs) {
+  Table a = MakeTable("A", {"samsung galaxy phone", "canon camera kit"});
+  Table b = MakeTable("B", {"samsung galaxy device", "unrelated thing here"});
+  OverlapBlocker blocker;
+  const auto cands = blocker.GenerateCandidates(a, b);
+  ASSERT_EQ(cands.size(), 1u);
+  EXPECT_EQ(cands[0].index_a, 0u);
+  EXPECT_EQ(cands[0].index_b, 0u);
+  EXPECT_EQ(cands[0].shared_tokens, 2u);  // samsung, galaxy
+}
+
+TEST(BlockingTest, MinSharedTokensThreshold) {
+  Table a = MakeTable("A", {"samsung phone"});
+  Table b = MakeTable("B", {"samsung tablet"});
+  BlockingConfig config;
+  config.min_shared_tokens = 2;
+  EXPECT_TRUE(OverlapBlocker(config).GenerateCandidates(a, b).empty());
+  config.min_shared_tokens = 1;
+  EXPECT_EQ(OverlapBlocker(config).GenerateCandidates(a, b).size(), 1u);
+}
+
+TEST(BlockingTest, ShortTokensIgnored) {
+  // "hp" and "tv" are below min_token_length (3) and cannot match.
+  Table a = MakeTable("A", {"hp tv x1"});
+  Table b = MakeTable("B", {"hp tv z9"});
+  BlockingConfig config;
+  config.min_shared_tokens = 1;
+  EXPECT_TRUE(OverlapBlocker(config).GenerateCandidates(a, b).empty());
+}
+
+TEST(BlockingTest, CandidateCapPerRecord) {
+  std::vector<std::string> many(30, "samsung galaxy phone");
+  Table a = MakeTable("A", {"samsung galaxy phone"});
+  Table b = MakeTable("B", many);
+  BlockingConfig config;
+  config.max_candidates_per_record = 10;
+  EXPECT_EQ(OverlapBlocker(config).GenerateCandidates(a, b).size(), 10u);
+}
+
+TEST(BlockingTest, RecallComputation) {
+  std::vector<CandidatePair> cands = {{0, 0, 2}, {1, 1, 2}};
+  EXPECT_DOUBLE_EQ(OverlapBlocker::Recall(cands, {{0, 0}, {1, 1}}), 1.0);
+  EXPECT_DOUBLE_EQ(OverlapBlocker::Recall(cands, {{0, 0}, {5, 5}}), 0.5);
+  EXPECT_DOUBLE_EQ(OverlapBlocker::Recall({}, {{0, 0}}), 0.0);
+  EXPECT_DOUBLE_EQ(OverlapBlocker::Recall(cands, {}), 1.0);
+}
+
+TEST(BlockingTest, HighRecallOnGeneratedTables) {
+  // End-to-end: blocking over generated benchmark tables keeps most gold
+  // matches (the generated matches share surface tokens by construction).
+  auto tables = GenerateTables("FZ", 120, /*seed=*/3);
+  ASSERT_TRUE(tables.ok());
+  const GeneratedTables& gt = tables.ValueOrDie();
+  ASSERT_GT(gt.gold_matches.size(), 10u);
+  OverlapBlocker blocker;
+  const auto cands = blocker.GenerateCandidates(gt.a, gt.b);
+  EXPECT_GE(OverlapBlocker::Recall(cands, gt.gold_matches), 0.9);
+  // And it must prune: fewer candidates than the full cross product.
+  EXPECT_LT(cands.size(), gt.a.size() * gt.b.size());
+}
+
+}  // namespace
+}  // namespace dader::data

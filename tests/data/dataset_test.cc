@@ -1,0 +1,130 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace dader::data {
+namespace {
+
+ERDataset MakeDataset(size_t n, size_t matches) {
+  ERDataset ds("Test", "TestDomain", Schema({"name"}), Schema({"title"}));
+  for (size_t i = 0; i < n; ++i) {
+    LabeledPair p;
+    p.a = Record({"entity " + std::to_string(i)});
+    p.b = Record({"entity " + std::to_string(i)});
+    p.label = i < matches ? 1 : 0;
+    ds.AddPair(std::move(p));
+  }
+  return ds;
+}
+
+TEST(ERDatasetTest, CountsAndRates) {
+  ERDataset ds = MakeDataset(10, 3);
+  EXPECT_EQ(ds.size(), 10u);
+  EXPECT_EQ(ds.NumMatches(), 3u);
+  EXPECT_DOUBLE_EQ(ds.MatchRate(), 0.3);
+}
+
+TEST(ERDatasetTest, WithoutLabelsStripsAll) {
+  ERDataset unlabeled = MakeDataset(5, 2).WithoutLabels();
+  EXPECT_EQ(unlabeled.size(), 5u);
+  for (const auto& p : unlabeled.pairs()) EXPECT_FALSE(p.labeled());
+  EXPECT_DOUBLE_EQ(unlabeled.MatchRate(), 0.0);
+}
+
+TEST(ERDatasetTest, SubsetSelectsIndices) {
+  ERDataset ds = MakeDataset(6, 3);
+  ERDataset sub = ds.Subset({0, 5});
+  ASSERT_EQ(sub.size(), 2u);
+  EXPECT_EQ(sub.pair(0).label, 1);
+  EXPECT_EQ(sub.pair(1).label, 0);
+  EXPECT_EQ(sub.name(), ds.name());
+}
+
+TEST(ERDatasetTest, SplitPartitionsWithoutOverlapOrLoss) {
+  ERDataset ds = MakeDataset(100, 30);
+  Rng rng(1);
+  DatasetSplits splits = ds.Split(0.6, 0.2, 0.2, &rng);
+  EXPECT_EQ(splits.train.size() + splits.valid.size() + splits.test.size(),
+            100u);
+  EXPECT_EQ(splits.train.size(), 60u);
+  EXPECT_EQ(splits.valid.size(), 20u);
+  // Total matches preserved.
+  EXPECT_EQ(splits.train.NumMatches() + splits.valid.NumMatches() +
+                splits.test.NumMatches(),
+            30u);
+}
+
+TEST(ERDatasetTest, SplitZeroTrainFraction) {
+  ERDataset ds = MakeDataset(50, 10);
+  Rng rng(2);
+  DatasetSplits splits = ds.Split(0.0, 0.1, 0.9, &rng);
+  EXPECT_EQ(splits.train.size(), 0u);
+  EXPECT_EQ(splits.valid.size(), 5u);
+  EXPECT_EQ(splits.test.size(), 45u);
+}
+
+TEST(ERDatasetTest, SplitDeterministicPerSeed) {
+  ERDataset ds = MakeDataset(40, 10);
+  Rng r1(7), r2(7), r3(8);
+  auto s1 = ds.Split(0.5, 0.25, 0.25, &r1);
+  auto s2 = ds.Split(0.5, 0.25, 0.25, &r2);
+  auto s3 = ds.Split(0.5, 0.25, 0.25, &r3);
+  EXPECT_EQ(s1.train.pair(0).a.value(0), s2.train.pair(0).a.value(0));
+  bool any_diff = false;
+  for (size_t i = 0; i < s1.train.size(); ++i) {
+    any_diff |= s1.train.pair(i).a.value(0) != s3.train.pair(i).a.value(0);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(ERDatasetTest, CsvRoundTrip) {
+  const std::string path = testing::TempDir() + "/dataset_roundtrip.csv";
+  ERDataset ds("Test", "D", Schema({"name", "price"}), Schema({"title"}));
+  LabeledPair p1;
+  p1.a = Record({"widget, large", "9.99"});
+  p1.b = Record({"widget \"XL\""});
+  p1.label = 1;
+  ds.AddPair(p1);
+  LabeledPair p2;
+  p2.a = Record({"other", ""});
+  p2.b = Record({"another"});
+  p2.label = -1;  // unlabeled
+  ds.AddPair(p2);
+  ASSERT_TRUE(ds.ToCsvFile(path).ok());
+
+  auto loaded = ERDataset::FromCsvFile(path, "Test", "D");
+  ASSERT_TRUE(loaded.ok());
+  const ERDataset& got = loaded.ValueOrDie();
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got.schema_a().attributes(),
+            (std::vector<std::string>{"name", "price"}));
+  EXPECT_EQ(got.schema_b().attributes(), (std::vector<std::string>{"title"}));
+  EXPECT_EQ(got.pair(0).a.value(0), "widget, large");
+  EXPECT_EQ(got.pair(0).b.value(0), "widget \"XL\"");
+  EXPECT_EQ(got.pair(0).label, 1);
+  EXPECT_FALSE(got.pair(1).labeled());
+  std::remove(path.c_str());
+}
+
+TEST(ERDatasetTest, FromCsvRejectsBadLabel) {
+  const std::string path = testing::TempDir() + "/dataset_badlabel.csv";
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("a_name,b_name,label\nx,y,2\n", f);
+  fclose(f);
+  EXPECT_FALSE(ERDataset::FromCsvFile(path, "T", "D").ok());
+  std::remove(path.c_str());
+}
+
+TEST(ERDatasetTest, FromCsvRejectsUnknownColumn) {
+  const std::string path = testing::TempDir() + "/dataset_badcol.csv";
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("a_name,weird,label\nx,y,1\n", f);
+  fclose(f);
+  EXPECT_FALSE(ERDataset::FromCsvFile(path, "T", "D").ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dader::data

@@ -1,0 +1,212 @@
+#include "data/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "util/string_util.h"
+
+namespace dader::data {
+namespace {
+
+TEST(SpecsTest, ThirteenDatasetsMatchingTable2) {
+  const auto& specs = AllDatasetSpecs();
+  ASSERT_EQ(specs.size(), 13u);
+  // Spot-check some Table 2 entries.
+  auto ds = FindDatasetSpec("DS").ValueOrDie();
+  EXPECT_EQ(ds.full_name, "DBLP-Scholar");
+  EXPECT_EQ(ds.paper_pairs, 28707);
+  EXPECT_EQ(ds.paper_matches, 5347);
+  EXPECT_EQ(ds.num_attrs, 4);
+  auto ia = FindDatasetSpec("IA").ValueOrDie();
+  EXPECT_EQ(ia.paper_pairs, 532);
+  EXPECT_EQ(ia.num_attrs, 8);
+}
+
+TEST(SpecsTest, UnknownNameFails) {
+  EXPECT_FALSE(FindDatasetSpec("XX").ok());
+  EXPECT_FALSE(MakeGenerator("XX").ok());
+}
+
+// Property sweep over all 13 generators.
+class GeneratorPropertyTest : public testing::TestWithParam<DatasetSpec> {};
+
+TEST_P(GeneratorPropertyTest, SchemaWidthMatchesTable2) {
+  const DatasetSpec& spec = GetParam();
+  auto gen = MakeGenerator(spec.short_name).ValueOrDie();
+  EXPECT_EQ(static_cast<int64_t>(gen->SchemaA().size()), spec.num_attrs);
+  EXPECT_EQ(static_cast<int64_t>(gen->SchemaB().size()), spec.num_attrs);
+}
+
+TEST_P(GeneratorPropertyTest, ViewsMatchSchemas) {
+  const DatasetSpec& spec = GetParam();
+  auto gen = MakeGenerator(spec.short_name).ValueOrDie();
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) {
+    const Entity e = gen->SampleEntity(&rng);
+    EXPECT_EQ(gen->ViewA(e, &rng).size(), gen->SchemaA().size());
+    EXPECT_EQ(gen->ViewB(e, &rng).size(), gen->SchemaB().size());
+  }
+}
+
+TEST_P(GeneratorPropertyTest, MutatedEntityDiffers) {
+  const DatasetSpec& spec = GetParam();
+  auto gen = MakeGenerator(spec.short_name).ValueOrDie();
+  Rng rng(2);
+  int diffs = 0;
+  for (int i = 0; i < 10; ++i) {
+    const Entity e = gen->SampleEntity(&rng);
+    const Entity m = gen->MutateEntity(e, &rng);
+    diffs += (e != m);
+  }
+  EXPECT_EQ(diffs, 10);
+}
+
+TEST_P(GeneratorPropertyTest, GeneratedDatasetShape) {
+  const DatasetSpec& spec = GetParam();
+  GenerateOptions opts;
+  opts.scale = 0.02;
+  opts.min_pairs = 100;
+  auto ds = GenerateDataset(spec.short_name, opts);
+  ASSERT_TRUE(ds.ok());
+  const ERDataset& d = ds.ValueOrDie();
+  EXPECT_EQ(d.name(), spec.full_name);
+  EXPECT_EQ(d.domain(), spec.domain);
+  EXPECT_GE(d.size(), 100u);
+  // Match rate close to the paper's.
+  const double paper_rate =
+      static_cast<double>(spec.paper_matches) / spec.paper_pairs;
+  EXPECT_NEAR(d.MatchRate(), paper_rate, 0.05);
+  // Every pair labeled 0/1.
+  for (const auto& p : d.pairs()) {
+    EXPECT_TRUE(p.label == 0 || p.label == 1);
+  }
+}
+
+TEST_P(GeneratorPropertyTest, DeterministicForSeed) {
+  const DatasetSpec& spec = GetParam();
+  GenerateOptions opts;
+  opts.scale = 0.01;
+  opts.min_pairs = 50;
+  opts.seed = 99;
+  auto d1 = GenerateDataset(spec.short_name, opts).ValueOrDie();
+  auto d2 = GenerateDataset(spec.short_name, opts).ValueOrDie();
+  ASSERT_EQ(d1.size(), d2.size());
+  for (size_t i = 0; i < d1.size(); ++i) {
+    EXPECT_EQ(d1.pair(i).a.values(), d2.pair(i).a.values());
+    EXPECT_EQ(d1.pair(i).label, d2.pair(i).label);
+  }
+}
+
+TEST_P(GeneratorPropertyTest, DifferentSeedsDiffer) {
+  const DatasetSpec& spec = GetParam();
+  GenerateOptions o1, o2;
+  o1.scale = o2.scale = 0.01;
+  o1.min_pairs = o2.min_pairs = 50;
+  o1.seed = 1;
+  o2.seed = 2;
+  auto d1 = GenerateDataset(spec.short_name, o1).ValueOrDie();
+  auto d2 = GenerateDataset(spec.short_name, o2).ValueOrDie();
+  bool any_diff = d1.size() != d2.size();
+  for (size_t i = 0; !any_diff && i < d1.size(); ++i) {
+    any_diff = d1.pair(i).a.values() != d2.pair(i).a.values();
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST_P(GeneratorPropertyTest, MatchesShareMoreTokensThanNonMatches) {
+  // The learnability invariant: across the dataset, matching pairs overlap
+  // lexically more than non-matching ones on average.
+  const DatasetSpec& spec = GetParam();
+  GenerateOptions opts;
+  opts.scale = 0.05;
+  opts.min_pairs = 200;
+  auto ds = GenerateDataset(spec.short_name, opts).ValueOrDie();
+  double match_sim = 0.0, nonmatch_sim = 0.0;
+  size_t n_match = 0, n_nonmatch = 0;
+  for (const auto& p : ds.pairs()) {
+    const std::string a = Join(p.a.values(), " ");
+    const std::string b = Join(p.b.values(), " ");
+    const double sim = TokenJaccard(a, b);
+    if (p.label == 1) {
+      match_sim += sim;
+      ++n_match;
+    } else {
+      nonmatch_sim += sim;
+      ++n_nonmatch;
+    }
+  }
+  ASSERT_GT(n_match, 0u);
+  ASSERT_GT(n_nonmatch, 0u);
+  EXPECT_GT(match_sim / n_match, nonmatch_sim / n_nonmatch + 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, GeneratorPropertyTest,
+                         testing::ValuesIn(AllDatasetSpecs()),
+                         [](const testing::TestParamInfo<DatasetSpec>& info) {
+                           return info.param.short_name;
+                         });
+
+TEST(GenerateOptionsTest, ScaleControlsSize) {
+  GenerateOptions small, large;
+  small.scale = 0.01;
+  small.min_pairs = 10;
+  large.scale = 0.05;
+  large.min_pairs = 10;
+  auto ds_small = GenerateDataset("DS", small).ValueOrDie();
+  auto ds_large = GenerateDataset("DS", large).ValueOrDie();
+  EXPECT_GT(ds_large.size(), ds_small.size() * 3);
+}
+
+TEST(GenerateOptionsTest, RejectsNonPositiveScale) {
+  GenerateOptions opts;
+  opts.scale = 0.0;
+  EXPECT_FALSE(GenerateDataset("WA", opts).ok());
+}
+
+TEST(GenerateTablesTest, ProducesOverlappingTables) {
+  auto r = GenerateTables("WA", 200, 7);
+  ASSERT_TRUE(r.ok());
+  const GeneratedTables& gt = r.ValueOrDie();
+  EXPECT_GT(gt.a.size(), 100u);
+  EXPECT_GT(gt.b.size(), 100u);
+  EXPECT_GT(gt.gold_matches.size(), 80u);
+  for (const auto& [ia, ib] : gt.gold_matches) {
+    EXPECT_LT(ia, gt.a.size());
+    EXPECT_LT(ib, gt.b.size());
+  }
+}
+
+TEST(GenerateTablesTest, RejectsNonPositiveCount) {
+  EXPECT_FALSE(GenerateTables("WA", 0, 1).ok());
+}
+
+TEST(WdcFamilyTest, SharedSchemaAcrossCategories) {
+  // All four WDC categories expose the same (title, price) schema — the
+  // reason the paper finds little shift among them.
+  for (const char* name : {"CO", "CA", "WT", "SH"}) {
+    auto gen = MakeGenerator(name).ValueOrDie();
+    EXPECT_EQ(gen->SchemaA().attributes(),
+              (std::vector<std::string>{"title", "price"}));
+  }
+}
+
+TEST(CitationStyleTest, ScholarAbbreviatesAuthors) {
+  auto gen = MakeGenerator("DS").ValueOrDie();
+  Rng rng(5);
+  int abbreviated = 0;
+  for (int i = 0; i < 20; ++i) {
+    const Entity e = gen->SampleEntity(&rng);
+    const Record b = gen->ViewB(e, &rng);  // the Scholar side
+    const std::string& authors = b.value(1);
+    // Abbreviated author style has single-letter given names.
+    for (const auto& w : SplitWhitespace(authors)) {
+      if (w.size() == 1 && w != ",") {
+        ++abbreviated;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(abbreviated, 15);
+}
+
+}  // namespace
+}  // namespace dader::data

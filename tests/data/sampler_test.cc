@@ -1,0 +1,84 @@
+#include "data/sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dader::data {
+namespace {
+
+ERDataset MakeDataset(size_t n) {
+  ERDataset ds("S", "D", Schema({"x"}), Schema({"y"}));
+  for (size_t i = 0; i < n; ++i) {
+    LabeledPair p;
+    p.a = Record({std::to_string(i)});
+    p.b = Record({std::to_string(i)});
+    p.label = 0;
+    ds.AddPair(std::move(p));
+  }
+  return ds;
+}
+
+TEST(SamplerTest, EpochCoversEveryIndexOnce) {
+  ERDataset ds = MakeDataset(23);
+  MinibatchSampler sampler(&ds, 5, Rng(1));
+  std::multiset<size_t> seen;
+  for (size_t i = 0; i < sampler.BatchesPerEpoch(); ++i) {
+    for (size_t idx : sampler.NextBatch()) seen.insert(idx);
+  }
+  EXPECT_EQ(seen.size(), 23u);
+  for (size_t i = 0; i < 23; ++i) EXPECT_EQ(seen.count(i), 1u);
+}
+
+TEST(SamplerTest, BatchesPerEpochRoundsUp) {
+  ERDataset ds = MakeDataset(10);
+  EXPECT_EQ(MinibatchSampler(&ds, 4, Rng(1)).BatchesPerEpoch(), 3u);
+  EXPECT_EQ(MinibatchSampler(&ds, 4, Rng(1), /*drop_last=*/true)
+                .BatchesPerEpoch(),
+            2u);
+  EXPECT_EQ(MinibatchSampler(&ds, 5, Rng(1)).BatchesPerEpoch(), 2u);
+}
+
+TEST(SamplerTest, LastBatchSmallerWithoutDropLast) {
+  ERDataset ds = MakeDataset(7);
+  MinibatchSampler sampler(&ds, 4, Rng(2));
+  EXPECT_EQ(sampler.NextBatch().size(), 4u);
+  EXPECT_EQ(sampler.NextBatch().size(), 3u);
+}
+
+TEST(SamplerTest, DropLastSkipsPartialBatch) {
+  ERDataset ds = MakeDataset(7);
+  MinibatchSampler sampler(&ds, 4, Rng(3), /*drop_last=*/true);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(sampler.NextBatch().size(), 4u);
+  }
+}
+
+TEST(SamplerTest, ReshufflesBetweenEpochs) {
+  ERDataset ds = MakeDataset(64);
+  MinibatchSampler sampler(&ds, 64, Rng(4));
+  const auto epoch1 = sampler.NextBatch();
+  const auto epoch2 = sampler.NextBatch();
+  EXPECT_NE(epoch1, epoch2);
+  EXPECT_EQ(sampler.epoch(), 1u);
+}
+
+TEST(SamplerTest, DeterministicForSameRngSeed) {
+  ERDataset ds = MakeDataset(16);
+  MinibatchSampler s1(&ds, 4, Rng(5));
+  MinibatchSampler s2(&ds, 4, Rng(5));
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(s1.NextBatch(), s2.NextBatch());
+}
+
+TEST(SamplerTest, CyclesIndefinitely) {
+  ERDataset ds = MakeDataset(3);
+  MinibatchSampler sampler(&ds, 2, Rng(6));
+  for (int i = 0; i < 100; ++i) {
+    const auto batch = sampler.NextBatch();
+    EXPECT_FALSE(batch.empty());
+    for (size_t idx : batch) EXPECT_LT(idx, 3u);
+  }
+}
+
+}  // namespace
+}  // namespace dader::data

@@ -1,0 +1,50 @@
+#include "data/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace dader::data {
+namespace {
+
+TEST(SchemaTest, BasicAccessors) {
+  Schema s({"title", "price"});
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.attribute(0), "title");
+  EXPECT_EQ(s.IndexOf("price"), 1);
+  EXPECT_EQ(s.IndexOf("missing"), -1);
+}
+
+TEST(SchemaTest, Equality) {
+  EXPECT_EQ(Schema({"a", "b"}), Schema({"a", "b"}));
+  EXPECT_FALSE(Schema({"a"}) == Schema({"a", "b"}));
+  EXPECT_FALSE(Schema({"b", "a"}) == Schema({"a", "b"}));
+}
+
+TEST(RecordTest, ValuesAndMutation) {
+  Record r({"x", "y"});
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_EQ(r.value(1), "y");
+  r.set_value(1, "z");
+  EXPECT_EQ(r.value(1), "z");
+}
+
+TEST(RecordTest, ToAttrValuesAlignsWithSchema) {
+  Schema s({"name", "city"});
+  Record r({"golden dragon", "boston"});
+  const auto avs = r.ToAttrValues(s);
+  ASSERT_EQ(avs.size(), 2u);
+  EXPECT_EQ(avs[0], (std::pair<std::string, std::string>{"name", "golden dragon"}));
+  EXPECT_EQ(avs[1].first, "city");
+}
+
+TEST(TableTest, AddAndAccessRows) {
+  Table t("restaurants", Schema({"name"}));
+  EXPECT_EQ(t.name(), "restaurants");
+  EXPECT_EQ(t.size(), 0u);
+  t.AddRow(Record({"golden dragon"}));
+  t.AddRow(Record({"blue lotus"}));
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.row(1).value(0), "blue lotus");
+}
+
+}  // namespace
+}  // namespace dader::data

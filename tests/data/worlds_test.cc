@@ -1,0 +1,147 @@
+#include "data/worlds.h"
+
+#include <gtest/gtest.h>
+
+#include "util/string_util.h"
+
+namespace dader::data {
+namespace {
+
+TEST(AbbreviateNameTest, FirstToInitial) {
+  EXPECT_EQ(AbbreviateName("michael stonebraker"), "m stonebraker");
+  EXPECT_EQ(AbbreviateName("anna maria garcia"), "a m garcia");
+}
+
+TEST(AbbreviateNameTest, SingleWordUnchanged) {
+  EXPECT_EQ(AbbreviateName("stonebraker"), "stonebraker");
+  EXPECT_EQ(AbbreviateName(""), "");
+}
+
+TEST(DropRandomWordsTest, NeverDropsEverything) {
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const std::string out = DropRandomWords("a b c", 0.99, &rng);
+    EXPECT_FALSE(SplitWhitespace(out).empty());
+  }
+}
+
+TEST(DropRandomWordsTest, ZeroProbabilityIdentity) {
+  Rng rng(2);
+  EXPECT_EQ(DropRandomWords("x y z", 0.0, &rng), "x y z");
+}
+
+TEST(DropRandomWordsTest, KeepsSubsetInOrder) {
+  Rng rng(3);
+  const std::string out = DropRandomWords("one two three four five", 0.4, &rng);
+  const auto kept = SplitWhitespace(out);
+  const std::vector<std::string> orig = {"one", "two", "three", "four", "five"};
+  size_t pos = 0;
+  for (const auto& w : kept) {
+    while (pos < orig.size() && orig[pos] != w) ++pos;
+    ASSERT_LT(pos, orig.size()) << "word out of order: " << w;
+    ++pos;
+  }
+}
+
+TEST(IntroduceTypoTest, ChangesExactlyOneWordSlightly) {
+  Rng rng(4);
+  const std::string in = "professional television receiver";
+  int changed_runs = 0;
+  for (int i = 0; i < 20; ++i) {
+    const std::string out = IntroduceTypo(in, &rng);
+    if (out != in) {
+      ++changed_runs;
+      EXPECT_LE(EditDistance(in, out), 2u);
+    }
+  }
+  EXPECT_GT(changed_runs, 15);
+}
+
+TEST(IntroduceTypoTest, ShortWordsUntouched) {
+  Rng rng(5);
+  EXPECT_EQ(IntroduceTypo("a bc de", &rng), "a bc de");
+}
+
+TEST(SwapAdjacentWordsTest, PermutesNeighbors) {
+  Rng rng(6);
+  const std::string out = SwapAdjacentWords("a b", &rng);
+  EXPECT_EQ(out, "b a");
+  EXPECT_EQ(SwapAdjacentWords("single", &rng), "single");
+}
+
+TEST(TruncateWordsTest, Caps) {
+  EXPECT_EQ(TruncateWords("a b c d", 2), "a b");
+  EXPECT_EQ(TruncateWords("a b", 5), "a b");
+}
+
+TEST(PerturbNumberTest, StaysWithinRelativeBound) {
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    const double v = std::stod(PerturbNumber("100.00", 0.05, &rng));
+    EXPECT_GE(v, 95.0);
+    EXPECT_LE(v, 105.0);
+  }
+}
+
+TEST(PerturbNumberTest, NonNumericUnchanged) {
+  Rng rng(8);
+  EXPECT_EQ(PerturbNumber("NULL", 0.1, &rng), "NULL");
+  EXPECT_EQ(PerturbNumber("12abc", 0.1, &rng), "12abc");
+}
+
+TEST(PerturbTextTest, NoNoiseIsIdentity) {
+  Rng rng(9);
+  NoiseProfile none;
+  EXPECT_EQ(PerturbText("hello world", none, &rng), "hello world");
+}
+
+TEST(SamplingTest, SampleWordsDistinct) {
+  Rng rng(10);
+  const std::string s = SampleWords(pools::kBrands, 5, &rng);
+  const auto words = SplitWhitespace(s);
+  EXPECT_EQ(words.size(), 5u);
+  std::set<std::string> unique(words.begin(), words.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(SamplingTest, RandomDigitsNoLeadingZero) {
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    const std::string d = RandomDigits(4, &rng);
+    EXPECT_EQ(d.size(), 4u);
+    EXPECT_NE(d[0], '0');
+    for (char c : d) EXPECT_TRUE(c >= '0' && c <= '9');
+  }
+}
+
+TEST(SamplingTest, ModelCodeAlphanumeric) {
+  Rng rng(12);
+  for (int i = 0; i < 20; ++i) {
+    const std::string m = RandomModelCode(&rng);
+    EXPECT_GE(m.size(), 4u);
+    for (char c : m) EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(c)));
+  }
+}
+
+TEST(SamplingTest, PhoneFormat) {
+  Rng rng(13);
+  const std::string p = RandomPhone(&rng, '/');
+  // ddd/ddd-dddd
+  ASSERT_EQ(p.size(), 12u);
+  EXPECT_EQ(p[3], '/');
+  EXPECT_EQ(p[7], '-');
+}
+
+TEST(SamplingTest, PersonNameTwoWords) {
+  Rng rng(14);
+  EXPECT_EQ(SplitWhitespace(RandomPersonName(&rng)).size(), 2u);
+}
+
+TEST(PoolsTest, AlignedVenuePools) {
+  EXPECT_EQ(pools::kVenuesFull.size(), pools::kVenuesAbbrev.size());
+  EXPECT_FALSE(pools::kBrands.empty());
+  EXPECT_FALSE(pools::kWdcSharedWords.empty());
+}
+
+}  // namespace
+}  // namespace dader::data

@@ -1,0 +1,144 @@
+#include "nn/gru.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/nn_ops.h"
+#include "tensor/ops.h"
+#include "tensor/optimizer.h"
+
+namespace dader::nn {
+namespace {
+
+TEST(GruTest, OutputShape) {
+  Rng rng(1);
+  Gru gru(6, 4, &rng);
+  Tensor x = Tensor::Ones({3, 5, 6});
+  EXPECT_EQ(gru.Forward(x).shape(), (Shape{3, 5, 4}));
+}
+
+TEST(GruTest, HiddenStatesBounded) {
+  // GRU states are convex mixes of tanh outputs, so |h| <= 1.
+  Rng rng(2);
+  Gru gru(4, 8, &rng);
+  Rng data_rng(3);
+  Tensor x = Tensor::RandomUniform({2, 10, 4}, -5, 5, &data_rng);
+  Tensor h = gru.Forward(x);
+  for (float v : h.vec()) EXPECT_LE(std::fabs(v), 1.0f + 1e-5f);
+}
+
+TEST(GruTest, CausalInForwardDirection) {
+  // Changing the last timestep input must not affect earlier states.
+  Rng rng(4);
+  Gru gru(3, 4, &rng);
+  Rng data_rng(5);
+  Tensor x1 = Tensor::RandomUniform({1, 4, 3}, -1, 1, &data_rng);
+  Tensor x2 = x1.Clone();
+  for (int j = 0; j < 3; ++j) x2.vec()[3 * 3 + static_cast<size_t>(j)] = 9.0f;
+  Tensor h1 = gru.Forward(x1);
+  Tensor h2 = gru.Forward(x2);
+  for (int64_t t = 0; t < 3; ++t) {
+    for (int64_t j = 0; j < 4; ++j) {
+      EXPECT_FLOAT_EQ(h1.vec()[static_cast<size_t>(t * 4 + j)],
+                      h2.vec()[static_cast<size_t>(t * 4 + j)]);
+    }
+  }
+  // But the last state must differ.
+  float diff = 0.0f;
+  for (int64_t j = 0; j < 4; ++j) {
+    diff += std::fabs(h1.vec()[static_cast<size_t>(3 * 4 + j)] -
+                      h2.vec()[static_cast<size_t>(3 * 4 + j)]);
+  }
+  EXPECT_GT(diff, 1e-6f);
+}
+
+TEST(GruTest, ReverseDirectionAntiCausal) {
+  // In reverse mode, changing the FIRST timestep must not affect the
+  // states at later positions (processed earlier in reverse time).
+  Rng rng(6);
+  Gru gru(3, 4, &rng);
+  Rng data_rng(7);
+  Tensor x1 = Tensor::RandomUniform({1, 4, 3}, -1, 1, &data_rng);
+  Tensor x2 = x1.Clone();
+  for (int j = 0; j < 3; ++j) x2.vec()[static_cast<size_t>(j)] = 9.0f;
+  Tensor h1 = gru.Forward(x1, /*reverse=*/true);
+  Tensor h2 = gru.Forward(x2, /*reverse=*/true);
+  for (int64_t t = 1; t < 4; ++t) {
+    for (int64_t j = 0; j < 4; ++j) {
+      EXPECT_FLOAT_EQ(h1.vec()[static_cast<size_t>(t * 4 + j)],
+                      h2.vec()[static_cast<size_t>(t * 4 + j)]);
+    }
+  }
+}
+
+TEST(BiGruTest, ConcatenatedShape) {
+  Rng rng(8);
+  BiGru bigru(5, 6, &rng);
+  EXPECT_EQ(bigru.output_dim(), 12);
+  Tensor x = Tensor::Ones({2, 7, 5});
+  EXPECT_EQ(bigru.Forward(x).shape(), (Shape{2, 7, 12}));
+}
+
+TEST(BiGruTest, GradientsFlowToAllParams) {
+  Rng rng(9);
+  BiGru bigru(3, 4, &rng);
+  Rng data_rng(10);
+  Tensor x = Tensor::RandomUniform({2, 5, 3}, -1, 1, &data_rng);
+  ops::SumAll(bigru.Forward(x)).Backward();
+  for (const auto& p : bigru.Parameters()) {
+    ASSERT_FALSE(p.grad().empty());
+  }
+}
+
+TEST(BiGruTest, LearnsSequenceMembership) {
+  // Detect whether the "signal" input pattern appears anywhere in time.
+  Rng rng(11);
+  BiGru bigru(2, 6, &rng);
+  Linear head(12, 2, &rng);
+  std::vector<Tensor> params = bigru.Parameters();
+  for (auto& p : head.Parameters()) params.push_back(p);
+  AdamOptimizer opt(params, 1e-2f);
+
+  Rng data_rng(12);
+  auto make_x = [&](bool pos) {
+    std::vector<float> vals;
+    for (int t = 0; t < 6; ++t) {
+      vals.push_back(data_rng.NextFloat(-0.3f, 0.3f));
+      vals.push_back(data_rng.NextFloat(-0.3f, 0.3f));
+    }
+    if (pos) {
+      const size_t t = data_rng.NextBelow(6);
+      vals[t * 2] = 1.0f;
+      vals[t * 2 + 1] = 1.0f;
+    }
+    return vals;
+  };
+
+  for (int step = 0; step < 200; ++step) {
+    std::vector<float> batch;
+    std::vector<int64_t> labels;
+    for (int b = 0; b < 8; ++b) {
+      const bool pos = b % 2 == 0;
+      auto x = make_x(pos);
+      batch.insert(batch.end(), x.begin(), x.end());
+      labels.push_back(pos);
+    }
+    Tensor xt = Tensor::FromVector({8, 6, 2}, std::move(batch));
+    Tensor pooled = ops::MeanAxis(bigru.Forward(xt), 1);
+    opt.ZeroGrad();
+    ops::CrossEntropyWithLogits(head.Forward(pooled), labels).Backward();
+    opt.Step();
+  }
+  int correct = 0;
+  for (int i = 0; i < 30; ++i) {
+    const bool pos = i % 2 == 0;
+    Tensor xt = Tensor::FromVector({1, 6, 2}, make_x(pos));
+    Tensor logits = head.Forward(ops::MeanAxis(bigru.Forward(xt), 1));
+    correct += ((logits.at(0, 1) > logits.at(0, 0)) == pos);
+  }
+  EXPECT_GE(correct, 23);
+}
+
+}  // namespace
+}  // namespace dader::nn

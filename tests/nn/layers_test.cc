@@ -1,0 +1,119 @@
+#include "nn/layers.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/nn_ops.h"
+#include "tensor/ops.h"
+#include "tensor/optimizer.h"
+
+namespace dader::nn {
+namespace {
+
+TEST(LinearTest, OutputShape2D) {
+  Rng rng(1);
+  Linear fc(4, 3, &rng);
+  Tensor x = Tensor::Ones({5, 4});
+  Tensor y = fc.Forward(x);
+  EXPECT_EQ(y.shape(), (Shape{5, 3}));
+}
+
+TEST(LinearTest, OutputShape3D) {
+  Rng rng(2);
+  Linear fc(4, 6, &rng);
+  Tensor x = Tensor::Ones({2, 3, 4});
+  EXPECT_EQ(fc.Forward(x).shape(), (Shape{2, 3, 6}));
+}
+
+TEST(LinearTest, BiasApplied) {
+  Rng rng(3);
+  Linear fc(2, 2, &rng);
+  // Zero input: output equals the bias (initialized to zero).
+  Tensor y = fc.Forward(Tensor::Zeros({1, 2}));
+  EXPECT_EQ(y.vec(), (std::vector<float>{0, 0}));
+}
+
+TEST(LinearTest, NoBiasVariant) {
+  Rng rng(4);
+  Linear fc(3, 2, &rng, /*bias=*/false);
+  EXPECT_EQ(fc.Parameters().size(), 1u);
+}
+
+TEST(LinearTest, TrainableToTarget) {
+  // A 1x1 linear layer can learn y = 2x + 1.
+  Rng rng(5);
+  Linear fc(1, 1, &rng);
+  AdamOptimizer opt(fc.Parameters(), 0.05f);
+  for (int step = 0; step < 400; ++step) {
+    const float xv = static_cast<float>(step % 5) - 2.0f;
+    Tensor x = Tensor::FromVector({1, 1}, {xv});
+    Tensor target = Tensor::FromVector({1, 1}, {2.0f * xv + 1.0f});
+    opt.ZeroGrad();
+    ops::MseLoss(fc.Forward(x), target).Backward();
+    opt.Step();
+  }
+  EXPECT_NEAR(fc.Forward(Tensor::FromVector({1, 1}, {3.0f})).item(), 7.0f,
+              0.1f);
+}
+
+TEST(LayerNormLayerTest, ParamsRegistered) {
+  LayerNorm ln(8);
+  EXPECT_EQ(ln.Parameters().size(), 2u);
+  EXPECT_EQ(ln.NumParameters(), 16);
+}
+
+TEST(EmbeddingLayerTest, LookupShape) {
+  Rng rng(6);
+  Embedding emb(10, 4, &rng);
+  Tensor out = emb.Forward({1, 5, 9});
+  EXPECT_EQ(out.shape(), (Shape{3, 4}));
+}
+
+TEST(EmbeddingLayerTest, SameIdSameVector) {
+  Rng rng(7);
+  Embedding emb(10, 4, &rng);
+  Tensor out = emb.Forward({3, 3});
+  for (int j = 0; j < 4; ++j) EXPECT_EQ(out.at(0, j), out.at(1, j));
+}
+
+TEST(MlpTest, ShapesThroughHiddenLayers) {
+  Rng rng(8);
+  Mlp mlp({6, 5, 4, 2}, Activation::kRelu, 0.0f, &rng);
+  Tensor y = mlp.Forward(Tensor::Ones({3, 6}), &rng);
+  EXPECT_EQ(y.shape(), (Shape{3, 2}));
+  EXPECT_EQ(mlp.Parameters().size(), 6u);  // 3 layers x (W, b)
+}
+
+TEST(MlpTest, XorLearnable) {
+  Rng rng(9);
+  Mlp mlp({2, 8, 2}, Activation::kTanh, 0.0f, &rng);
+  AdamOptimizer opt(mlp.Parameters(), 0.05f);
+  const float xs[4][2] = {{0, 0}, {0, 1}, {1, 0}, {1, 1}};
+  const std::vector<int64_t> ys = {0, 1, 1, 0};
+  for (int epoch = 0; epoch < 400; ++epoch) {
+    Tensor x = Tensor::FromVector(
+        {4, 2}, {xs[0][0], xs[0][1], xs[1][0], xs[1][1], xs[2][0], xs[2][1],
+                 xs[3][0], xs[3][1]});
+    opt.ZeroGrad();
+    ops::CrossEntropyWithLogits(mlp.Forward(x, &rng), ys).Backward();
+    opt.Step();
+  }
+  Tensor logits = mlp.Forward(
+      Tensor::FromVector({4, 2}, {0, 0, 0, 1, 1, 0, 1, 1}), &rng);
+  for (int i = 0; i < 4; ++i) {
+    const int pred = logits.at(i, 1) > logits.at(i, 0) ? 1 : 0;
+    EXPECT_EQ(pred, ys[static_cast<size_t>(i)]) << "input " << i;
+  }
+}
+
+TEST(MlpTest, DropoutOnlyInTraining) {
+  Rng rng(10);
+  Mlp mlp({4, 16, 2}, Activation::kRelu, 0.5f, &rng);
+  mlp.SetTraining(false);
+  Tensor x = Tensor::Ones({1, 4});
+  Rng r1(3), r2(4);
+  // Eval mode: two forwards with different rngs must agree.
+  EXPECT_EQ(mlp.Forward(x, &r1).vec(), mlp.Forward(x, &r2).vec());
+}
+
+}  // namespace
+}  // namespace dader::nn

@@ -1,0 +1,102 @@
+#include "nn/module.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/layers.h"
+
+namespace dader::nn {
+namespace {
+
+// Minimal two-level module tree for registry tests.
+class Leaf : public Module {
+ public:
+  explicit Leaf(Rng* rng) {
+    w = RegisterParameter("w", Tensor::RandomUniform({2, 2}, -1, 1, rng, true));
+  }
+  Tensor w;
+};
+
+class Root : public Module {
+ public:
+  explicit Root(Rng* rng) : a(rng), b(rng) {
+    bias = RegisterParameter("bias", Tensor::Zeros({2}, true));
+    RegisterModule("a", &a);
+    RegisterModule("b", &b);
+  }
+  Tensor bias;
+  Leaf a, b;
+};
+
+TEST(ModuleTest, ParametersCollectsSubtree) {
+  Rng rng(1);
+  Root root(&rng);
+  EXPECT_EQ(root.Parameters().size(), 3u);
+  EXPECT_EQ(root.NumParameters(), 2 + 4 + 4);
+}
+
+TEST(ModuleTest, NamedParametersHierarchicalKeys) {
+  Rng rng(2);
+  Root root(&rng);
+  auto named = root.NamedParameters();
+  EXPECT_EQ(named.size(), 3u);
+  EXPECT_TRUE(named.count("bias"));
+  EXPECT_TRUE(named.count("a.w"));
+  EXPECT_TRUE(named.count("b.w"));
+}
+
+TEST(ModuleTest, TrainingModePropagates) {
+  Rng rng(3);
+  Root root(&rng);
+  EXPECT_TRUE(root.a.training());
+  root.SetTraining(false);
+  EXPECT_FALSE(root.a.training());
+  EXPECT_FALSE(root.b.training());
+  root.SetTraining(true);
+  EXPECT_TRUE(root.b.training());
+}
+
+TEST(ModuleTest, SnapshotAndRestore) {
+  Rng rng(4);
+  Root root(&rng);
+  auto snapshot = root.SnapshotWeights();
+  const float orig = root.a.w.vec()[0];
+  root.a.w.vec()[0] = 99.0f;
+  ASSERT_TRUE(root.RestoreWeights(snapshot).ok());
+  EXPECT_FLOAT_EQ(root.a.w.vec()[0], orig);
+}
+
+TEST(ModuleTest, SnapshotIsDeepCopy) {
+  Rng rng(5);
+  Root root(&rng);
+  auto snapshot = root.SnapshotWeights();
+  root.a.w.vec()[0] += 1.0f;
+  EXPECT_NE(snapshot.at("a.w").vec()[0], root.a.w.vec()[0]);
+}
+
+TEST(ModuleTest, RestoreRejectsWrongKeys) {
+  Rng rng(6);
+  Root root(&rng);
+  auto snapshot = root.SnapshotWeights();
+  snapshot.erase("a.w");
+  EXPECT_FALSE(root.RestoreWeights(snapshot).ok());
+}
+
+TEST(ModuleTest, RestoreRejectsWrongShape) {
+  Rng rng(7);
+  Root root(&rng);
+  auto snapshot = root.SnapshotWeights();
+  snapshot["a.w"] = Tensor::Zeros({3, 3});
+  EXPECT_FALSE(root.RestoreWeights(snapshot).ok());
+}
+
+TEST(ModuleTest, CopyWeightsFromTwin) {
+  Rng r1(8), r2(9);
+  Root a(&r1), b(&r2);
+  EXPECT_NE(a.a.w.vec(), b.a.w.vec());
+  ASSERT_TRUE(b.CopyWeightsFrom(a).ok());
+  EXPECT_EQ(a.a.w.vec(), b.a.w.vec());
+  EXPECT_EQ(a.bias.vec(), b.bias.vec());
+}
+
+}  // namespace
+}  // namespace dader::nn

@@ -1,0 +1,171 @@
+#include "tensor/da_losses.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "tests/tensor/gradcheck.h"
+
+namespace dader {
+namespace {
+
+using testing_util::CheckGradients;
+using testing_util::RandomInput;
+
+TEST(MmdTest, ZeroForIdenticalSamples) {
+  Rng rng(1);
+  Tensor x = Tensor::RandomUniform({6, 4}, -1, 1, &rng);
+  Tensor y = x.Clone();
+  EXPECT_NEAR(ops::MmdValue(x, y), 0.0f, 1e-4);
+}
+
+TEST(MmdTest, PositiveForShiftedSamples) {
+  Rng rng(2);
+  Tensor x = Tensor::RandomUniform({8, 4}, -1, 1, &rng);
+  Tensor y = Tensor::RandomUniform({8, 4}, 4, 6, &rng);
+  EXPECT_GT(ops::MmdValue(x, y), 0.1f);
+}
+
+TEST(MmdTest, GrowsWithShift) {
+  Rng rng(3);
+  Tensor x = Tensor::RandomUniform({10, 3}, 0, 1, &rng);
+  Tensor near = Tensor::RandomUniform({10, 3}, 0.5, 1.5, &rng);
+  Tensor far = Tensor::RandomUniform({10, 3}, 5, 6, &rng);
+  EXPECT_LT(ops::MmdValue(x, near), ops::MmdValue(x, far));
+}
+
+TEST(MmdTest, SymmetricInArguments) {
+  Rng rng(4);
+  Tensor x = Tensor::RandomUniform({7, 3}, -1, 1, &rng);
+  Tensor y = Tensor::RandomUniform({5, 3}, 0, 2, &rng);
+  // Fixed bandwidths so both directions use the same kernel.
+  EXPECT_NEAR(ops::MmdValue(x, y, {1.0f}), ops::MmdValue(y, x, {1.0f}), 1e-5);
+}
+
+TEST(MmdTest, LossMatchesValue) {
+  Rng rng(5);
+  Tensor x = Tensor::RandomUniform({6, 3}, -1, 1, &rng);
+  Tensor y = Tensor::RandomUniform({6, 3}, 0, 2, &rng);
+  EXPECT_NEAR(ops::MmdLoss(x, y, {1.0f, 2.0f}).item(),
+              ops::MmdValue(x, y, {1.0f, 2.0f}), 1e-6);
+}
+
+TEST(MmdTest, GradientMatchesNumeric) {
+  Rng rng(6);
+  std::vector<Tensor> inputs = {RandomInput({4, 3}, &rng),
+                                RandomInput({5, 3}, &rng)};
+  CheckGradients(
+      [](std::vector<Tensor>& in) {
+        // Fixed bandwidth: the median heuristic is data-dependent and
+        // intentionally not differentiated.
+        return ops::MmdLoss(in[0], in[1], {1.0f, 0.5f});
+      },
+      inputs, /*eps=*/1e-2f, /*tol=*/2e-2f);
+}
+
+TEST(MmdTest, GradientPullsDistributionsTogether) {
+  Rng rng(7);
+  Tensor x = Tensor::Full({4, 2}, 0.0f, true);
+  Tensor y = Tensor::Full({4, 2}, 2.0f);
+  ops::MmdLoss(x, y, {2.0f}).Backward();
+  // Reducing MMD means moving x toward y: gradient must be negative
+  // (descent direction is +y-ward).
+  for (float g : x.grad()) EXPECT_LT(g, 0.0f);
+}
+
+TEST(CoralTest, ZeroForIdenticalSamples) {
+  Rng rng(8);
+  Tensor x = Tensor::RandomUniform({6, 4}, -1, 1, &rng);
+  EXPECT_NEAR(ops::CoralLoss(x, x.Clone()).item(), 0.0f, 1e-6);
+}
+
+TEST(CoralTest, InvariantToMeanShift) {
+  // CORAL compares covariances of centered features, so adding a constant
+  // to every row of one side must not change the loss.
+  Rng rng(9);
+  Tensor x = Tensor::RandomUniform({8, 3}, -1, 1, &rng);
+  Tensor y = Tensor::RandomUniform({8, 3}, -1, 1, &rng);
+  const float base = ops::CoralLoss(x, y).item();
+  Tensor y_shift = y.Clone();
+  for (auto& v : y_shift.vec()) v += 5.0f;
+  EXPECT_NEAR(ops::CoralLoss(x, y_shift).item(), base, 1e-4);
+}
+
+TEST(CoralTest, DetectsScaleDifference) {
+  Rng rng(10);
+  Tensor x = Tensor::RandomUniform({20, 3}, -1, 1, &rng);
+  Tensor y = x.Clone();
+  for (auto& v : y.vec()) v *= 3.0f;  // covariance x9
+  EXPECT_GT(ops::CoralLoss(x, y).item(), 1e-4);
+}
+
+TEST(CoralTest, GradientMatchesNumeric) {
+  Rng rng(11);
+  std::vector<Tensor> inputs = {RandomInput({5, 3}, &rng),
+                                RandomInput({6, 3}, &rng)};
+  CheckGradients(
+      [](std::vector<Tensor>& in) {
+        // Scale up: raw CORAL is ~1e-3 and would drown in numeric noise.
+        return ops::MulScalar(ops::CoralLoss(in[0], in[1]), 100.0f);
+      },
+      inputs, /*eps=*/1e-2f, /*tol=*/3e-2f);
+}
+
+TEST(CoralTest, NonNegative) {
+  Rng rng(12);
+  for (int i = 0; i < 5; ++i) {
+    Tensor x = Tensor::RandomUniform({6, 4}, -2, 2, &rng);
+    Tensor y = Tensor::RandomUniform({9, 4}, -1, 3, &rng);
+    EXPECT_GE(ops::CoralLoss(x, y).item(), 0.0f);
+  }
+}
+
+TEST(CmdTest, ZeroForIdenticalSamples) {
+  Rng rng(13);
+  Tensor x = Tensor::RandomUniform({8, 4}, -1, 1, &rng);
+  EXPECT_NEAR(ops::CmdLoss(x, x.Clone()).item(), 0.0f, 1e-4);
+}
+
+TEST(CmdTest, DetectsMeanShift) {
+  Rng rng(14);
+  Tensor x = Tensor::RandomUniform({10, 3}, -1, 1, &rng);
+  Tensor y = x.Clone();
+  for (auto& v : y.vec()) v += 2.0f;
+  // Mean shift of 2 in every dimension: first moment term ~ 2*sqrt(d).
+  EXPECT_NEAR(ops::CmdLoss(x, y).item(), 2.0f * std::sqrt(3.0f), 0.1f);
+}
+
+TEST(CmdTest, DetectsVarianceShift) {
+  Rng rng(15);
+  Tensor x = Tensor::RandomUniform({40, 3}, -1, 1, &rng);
+  Tensor y = x.Clone();
+  for (auto& v : y.vec()) v *= 3.0f;
+  EXPECT_GT(ops::CmdLoss(x, y).item(), 0.3f);
+}
+
+TEST(CmdTest, HigherMomentsAddTerms) {
+  Rng rng(16);
+  Tensor x = Tensor::RandomUniform({12, 4}, -1, 1, &rng);
+  Tensor y = Tensor::RandomUniform({12, 4}, 0, 2, &rng);
+  EXPECT_LE(ops::CmdLoss(x, y, 1).item(), ops::CmdLoss(x, y, 3).item() + 1e-6f);
+}
+
+TEST(CmdTest, GradientMatchesNumeric) {
+  Rng rng(17);
+  std::vector<Tensor> inputs = {RandomInput({5, 3}, &rng),
+                                RandomInput({6, 3}, &rng)};
+  CheckGradients(
+      [](std::vector<Tensor>& in) { return ops::CmdLoss(in[0], in[1], 3); },
+      inputs, 1e-2f, 3e-2f);
+}
+
+TEST(CmdTest, GradientPullsMeansTogether) {
+  Tensor x = Tensor::Full({4, 2}, 0.0f, true);
+  Tensor y = Tensor::Full({4, 2}, 1.0f);
+  ops::CmdLoss(x, y, 1).Backward();
+  for (float g : x.grad()) EXPECT_LT(g, 0.0f);
+}
+
+}  // namespace
+}  // namespace dader

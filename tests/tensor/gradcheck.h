@@ -1,0 +1,64 @@
+// Numeric gradient checking for differentiable ops.
+//
+// CheckGradients perturbs every input element with central differences and
+// compares the numeric derivative of a scalar function against the autograd
+// gradient. All fused losses (MMD, CORAL, KD, ...) are validated this way.
+
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace dader::testing_util {
+
+/// \brief Builds a scalar from the inputs (must use only tape-recorded ops).
+using ScalarFn = std::function<Tensor(std::vector<Tensor>&)>;
+
+/// \brief Verifies autograd gradients of `fn` w.r.t. every input tensor.
+///
+/// Uses relative-or-absolute tolerance: |num - ana| <= tol * (1 + |num|).
+inline void CheckGradients(const ScalarFn& fn, std::vector<Tensor> inputs,
+                           float eps = 1e-2f, float tol = 2e-2f) {
+  // Analytic gradients.
+  for (auto& t : inputs) t.ZeroGrad();
+  Tensor loss = fn(inputs);
+  ASSERT_EQ(loss.numel(), 1);
+  loss.Backward();
+  std::vector<std::vector<float>> analytic;
+  for (auto& t : inputs) {
+    analytic.push_back(t.grad().empty()
+                           ? std::vector<float>(t.vec().size(), 0.0f)
+                           : t.grad());
+  }
+
+  // Numeric gradients via central differences.
+  for (size_t ti = 0; ti < inputs.size(); ++ti) {
+    Tensor& t = inputs[ti];
+    for (size_t i = 0; i < t.vec().size(); ++i) {
+      const float orig = t.vec()[i];
+      t.vec()[i] = orig + eps;
+      const float up = fn(inputs).item();
+      t.vec()[i] = orig - eps;
+      const float down = fn(inputs).item();
+      t.vec()[i] = orig;
+      const float numeric = (up - down) / (2.0f * eps);
+      const float ana = analytic[ti][i];
+      EXPECT_NEAR(ana, numeric, tol * (1.0f + std::fabs(numeric)))
+          << "input " << ti << " element " << i;
+    }
+  }
+}
+
+/// \brief Random test tensor with requires_grad.
+inline Tensor RandomInput(Shape shape, Rng* rng, float scale = 1.0f) {
+  Tensor t = Tensor::RandomUniform(std::move(shape), -scale, scale, rng,
+                                   /*requires_grad=*/true);
+  return t;
+}
+
+}  // namespace dader::testing_util

@@ -1,0 +1,206 @@
+#include "tensor/nn_ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace dader {
+namespace {
+
+TEST(SoftmaxTest, RowsSumToOne) {
+  Rng rng(2);
+  Tensor a = Tensor::RandomUniform({4, 7}, -5, 5, &rng);
+  Tensor s = ops::Softmax(a);
+  for (int64_t r = 0; r < 4; ++r) {
+    float sum = 0.0f;
+    for (int64_t c = 0; c < 7; ++c) sum += s.at(r, c);
+    EXPECT_NEAR(sum, 1.0f, 1e-5);
+  }
+}
+
+TEST(SoftmaxTest, LargeLogitsStable) {
+  Tensor a = Tensor::FromVector({1, 2}, {1000.0f, 999.0f});
+  Tensor s = ops::Softmax(a);
+  EXPECT_FALSE(std::isnan(s.at(0, 0)));
+  EXPECT_GT(s.at(0, 0), s.at(0, 1));
+}
+
+TEST(SoftmaxTest, UniformInputGivesUniformOutput) {
+  Tensor a = Tensor::Full({1, 4}, 3.0f);
+  Tensor s = ops::Softmax(a);
+  for (int64_t c = 0; c < 4; ++c) EXPECT_NEAR(s.at(0, c), 0.25f, 1e-6);
+}
+
+TEST(LogSoftmaxTest, MatchesLogOfSoftmax) {
+  Rng rng(3);
+  Tensor a = Tensor::RandomUniform({3, 5}, -2, 2, &rng);
+  Tensor ls = ops::LogSoftmax(a);
+  Tensor s = ops::Softmax(a);
+  for (size_t i = 0; i < ls.vec().size(); ++i) {
+    EXPECT_NEAR(ls.vec()[i], std::log(s.vec()[i]), 1e-5);
+  }
+}
+
+TEST(LayerNormTest, NormalizesRows) {
+  Rng rng(4);
+  Tensor a = Tensor::RandomUniform({3, 8}, -4, 4, &rng);
+  Tensor gamma = Tensor::Ones({8}, true);
+  Tensor beta = Tensor::Zeros({8}, true);
+  Tensor y = ops::LayerNorm(a, gamma, beta);
+  for (int64_t r = 0; r < 3; ++r) {
+    float mean = 0.0f, var = 0.0f;
+    for (int64_t c = 0; c < 8; ++c) mean += y.at(r, c);
+    mean /= 8;
+    for (int64_t c = 0; c < 8; ++c) var += (y.at(r, c) - mean) * (y.at(r, c) - mean);
+    var /= 8;
+    EXPECT_NEAR(mean, 0.0f, 1e-4);
+    EXPECT_NEAR(var, 1.0f, 1e-2);
+  }
+}
+
+TEST(LayerNormTest, GammaBetaApplied) {
+  Tensor a = Tensor::FromVector({1, 2}, {-1.0f, 1.0f});
+  Tensor gamma = Tensor::FromVector({2}, {2.0f, 2.0f}, true);
+  Tensor beta = Tensor::FromVector({2}, {5.0f, 5.0f}, true);
+  Tensor y = ops::LayerNorm(a, gamma, beta);
+  EXPECT_NEAR(y.at(0, 0), 5.0f - 2.0f, 1e-3);
+  EXPECT_NEAR(y.at(0, 1), 5.0f + 2.0f, 1e-3);
+}
+
+TEST(EmbeddingLookupTest, GathersRows) {
+  Tensor w = Tensor::FromVector({3, 2}, {0, 1, 10, 11, 20, 21});
+  Tensor out = ops::EmbeddingLookup(w, {2, 0, 2});
+  EXPECT_EQ(out.shape(), (Shape{3, 2}));
+  EXPECT_EQ(out.vec(), (std::vector<float>{20, 21, 0, 1, 20, 21}));
+}
+
+TEST(EmbeddingLookupTest, BackwardScattersAndAccumulates) {
+  Tensor w = Tensor::Zeros({3, 2}, true);
+  Tensor out = ops::EmbeddingLookup(w, {1, 1});
+  ops::SumAll(out).Backward();
+  // Row 1 receives gradient 1 from each of two lookups.
+  EXPECT_EQ(w.grad(), (std::vector<float>{0, 0, 2, 2, 0, 0}));
+}
+
+TEST(DropoutTest, EvalModeIsIdentity) {
+  Rng rng(5);
+  Tensor a = Tensor::Ones({10});
+  Tensor d = ops::Dropout(a, 0.5f, &rng, /*training=*/false);
+  EXPECT_EQ(d.vec(), a.vec());
+}
+
+TEST(DropoutTest, TrainingZeroesAndRescales) {
+  Rng rng(6);
+  Tensor a = Tensor::Ones({10000}, true);
+  Tensor d = ops::Dropout(a, 0.25f, &rng, /*training=*/true);
+  int zeros = 0;
+  double sum = 0.0;
+  for (float v : d.vec()) {
+    if (v == 0.0f) ++zeros;
+    else EXPECT_NEAR(v, 1.0f / 0.75f, 1e-5);
+    sum += v;
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / 10000, 0.25, 0.02);
+  EXPECT_NEAR(sum / 10000, 1.0, 0.03);  // inverted dropout keeps expectation
+}
+
+TEST(GradReverseTest, ForwardIdentityBackwardNegated) {
+  Tensor x = Tensor::FromVector({2}, {1, 2}, true);
+  Tensor y = ops::GradReverse(x, 0.5f);
+  EXPECT_EQ(y.vec(), x.vec());
+  ops::SumAll(y).Backward();
+  for (float g : x.grad()) EXPECT_FLOAT_EQ(g, -0.5f);
+}
+
+TEST(CrossEntropyTest, PerfectPredictionLowLoss) {
+  Tensor logits = Tensor::FromVector({2, 2}, {10, -10, -10, 10});
+  Tensor loss = ops::CrossEntropyWithLogits(logits, {0, 1});
+  EXPECT_LT(loss.item(), 1e-4);
+}
+
+TEST(CrossEntropyTest, UniformLogitsGiveLogC) {
+  Tensor logits = Tensor::Zeros({3, 4});
+  Tensor loss = ops::CrossEntropyWithLogits(logits, {0, 1, 2});
+  EXPECT_NEAR(loss.item(), std::log(4.0f), 1e-5);
+}
+
+TEST(CrossEntropyTest, GradientIsSoftmaxMinusOneHot) {
+  Tensor logits = Tensor::Zeros({1, 2}, true);
+  ops::CrossEntropyWithLogits(logits, {1}).Backward();
+  EXPECT_NEAR(logits.grad()[0], 0.5f, 1e-5);
+  EXPECT_NEAR(logits.grad()[1], -0.5f, 1e-5);
+}
+
+TEST(BceTest, KnownValues) {
+  Tensor logits = Tensor::FromVector({2}, {0.0f, 0.0f}, false);
+  Tensor loss = ops::BinaryCrossEntropyWithLogits(logits, {1.0f, 0.0f});
+  EXPECT_NEAR(loss.item(), std::log(2.0f), 1e-5);
+}
+
+TEST(BceTest, ExtremeLogitsStable) {
+  Tensor logits = Tensor::FromVector({2}, {1000.0f, -1000.0f});
+  Tensor loss = ops::BinaryCrossEntropyWithLogits(logits, {1.0f, 0.0f});
+  EXPECT_FALSE(std::isnan(loss.item()));
+  EXPECT_NEAR(loss.item(), 0.0f, 1e-5);
+}
+
+TEST(BceTest, AcceptsColumnShape) {
+  Tensor logits = Tensor::Zeros({3, 1});
+  EXPECT_NEAR(
+      ops::BinaryCrossEntropyWithLogits(logits, {1.0f, 0.0f, 1.0f}).item(),
+      std::log(2.0f), 1e-5);
+}
+
+TEST(KdLossTest, IdenticalLogitsGiveEntropyFloor) {
+  // KD loss of identical distributions equals t^2 * H(p) >= 0; gradient ~0.
+  Tensor teacher = Tensor::FromVector({1, 2}, {1.0f, -1.0f});
+  Tensor student = Tensor::FromVector({1, 2}, {1.0f, -1.0f}, true);
+  Tensor loss =
+      ops::KnowledgeDistillationLoss(student, teacher, /*temperature=*/2.0f);
+  loss.Backward();
+  for (float g : student.grad()) EXPECT_NEAR(g, 0.0f, 1e-5);
+}
+
+TEST(KdLossTest, PullsStudentTowardTeacher) {
+  Tensor teacher = Tensor::FromVector({1, 2}, {5.0f, -5.0f});
+  Tensor student = Tensor::FromVector({1, 2}, {-5.0f, 5.0f}, true);
+  ops::KnowledgeDistillationLoss(student, teacher, 2.0f).Backward();
+  // Gradient must push logit 0 up (negative grad) and logit 1 down.
+  EXPECT_LT(student.grad()[0], 0.0f);
+  EXPECT_GT(student.grad()[1], 0.0f);
+}
+
+TEST(KdLossTest, TeacherReceivesNoGradient) {
+  Tensor teacher = Tensor::FromVector({1, 2}, {1.0f, 0.0f}, true);
+  Tensor student = Tensor::FromVector({1, 2}, {0.0f, 1.0f}, true);
+  ops::KnowledgeDistillationLoss(student, teacher, 1.0f).Backward();
+  EXPECT_TRUE(teacher.grad().empty() ||
+              (teacher.grad()[0] == 0.0f && teacher.grad()[1] == 0.0f));
+}
+
+TEST(MseTest, KnownValue) {
+  Tensor a = Tensor::FromVector({2}, {1, 3});
+  Tensor b = Tensor::FromVector({2}, {0, 1});
+  EXPECT_FLOAT_EQ(ops::MseLoss(a, b).item(), (1.0f + 4.0f) / 2.0f);
+}
+
+TEST(BagCrossEntropyTest, UniformLogits) {
+  Tensor logits = Tensor::Zeros({2, 4});
+  Tensor loss = ops::BagOfTokensCrossEntropy(logits, {{0, 1}, {2}});
+  EXPECT_NEAR(loss.item(), std::log(4.0f), 1e-5);
+}
+
+TEST(BagCrossEntropyTest, EmptyBagsGiveZero) {
+  Tensor logits = Tensor::Zeros({2, 4});
+  EXPECT_FLOAT_EQ(ops::BagOfTokensCrossEntropy(logits, {{}, {}}).item(), 0.0f);
+}
+
+TEST(BagCrossEntropyTest, PeakedLogitsOnBagTokensLowLoss) {
+  Tensor logits = Tensor::FromVector({1, 3}, {20.0f, -20.0f, -20.0f});
+  EXPECT_LT(ops::BagOfTokensCrossEntropy(logits, {{0, 0}}).item(), 1e-4);
+}
+
+}  // namespace
+}  // namespace dader

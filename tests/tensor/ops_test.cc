@@ -1,0 +1,224 @@
+#include "tensor/ops.h"
+
+#include <gtest/gtest.h>
+
+namespace dader {
+namespace {
+
+using ops::Add;
+using ops::BatchMatMul;
+using ops::Concat;
+using ops::MatMul;
+using ops::MeanAxis;
+using ops::Reshape;
+using ops::SelectAxis;
+using ops::SliceAxis0;
+using ops::Stack0;
+using ops::SwapAxes;
+using ops::TransposeLast2;
+
+TEST(AddTest, SameShape) {
+  Tensor a = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  Tensor b = Tensor::FromVector({2, 2}, {10, 20, 30, 40});
+  EXPECT_EQ(Add(a, b).vec(), (std::vector<float>{11, 22, 33, 44}));
+}
+
+TEST(AddTest, BroadcastLastDim) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor bias = Tensor::FromVector({3}, {10, 20, 30});
+  EXPECT_EQ(Add(a, bias).vec(), (std::vector<float>{11, 22, 33, 14, 25, 36}));
+}
+
+TEST(AddTest, BroadcastScalar) {
+  Tensor a = Tensor::FromVector({3}, {1, 2, 3});
+  EXPECT_EQ(Add(a, Tensor::Scalar(5)).vec(), (std::vector<float>{6, 7, 8}));
+}
+
+TEST(MulTest, ElementwiseAndBroadcast) {
+  Tensor a = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  Tensor b = Tensor::FromVector({2, 2}, {2, 2, 3, 3});
+  EXPECT_EQ(ops::Mul(a, b).vec(), (std::vector<float>{2, 4, 9, 12}));
+  Tensor v = Tensor::FromVector({2}, {10, 100});
+  EXPECT_EQ(ops::Mul(a, v).vec(), (std::vector<float>{10, 200, 30, 400}));
+}
+
+TEST(SubTest, Basic) {
+  Tensor a = Tensor::FromVector({2}, {5, 7});
+  Tensor b = Tensor::FromVector({2}, {2, 3});
+  EXPECT_EQ(ops::Sub(a, b).vec(), (std::vector<float>{3, 4}));
+}
+
+TEST(ScalarOpsTest, AddMulNeg) {
+  Tensor a = Tensor::FromVector({2}, {1, -2});
+  EXPECT_EQ(ops::AddScalar(a, 1.0f).vec(), (std::vector<float>{2, -1}));
+  EXPECT_EQ(ops::MulScalar(a, -2.0f).vec(), (std::vector<float>{-2, 4}));
+  EXPECT_EQ(ops::Neg(a).vec(), (std::vector<float>{-1, 2}));
+}
+
+TEST(ActivationTest, Relu) {
+  Tensor a = Tensor::FromVector({4}, {-1, 0, 0.5, 2});
+  EXPECT_EQ(ops::Relu(a).vec(), (std::vector<float>{0, 0, 0.5, 2}));
+}
+
+TEST(ActivationTest, LeakyRelu) {
+  Tensor a = Tensor::FromVector({2}, {-10, 10});
+  const auto v = ops::LeakyRelu(a, 0.1f).vec();
+  EXPECT_FLOAT_EQ(v[0], -1.0f);
+  EXPECT_FLOAT_EQ(v[1], 10.0f);
+}
+
+TEST(ActivationTest, SigmoidKnownValues) {
+  Tensor a = Tensor::FromVector({3}, {0, 100, -100});
+  const auto v = ops::Sigmoid(a).vec();
+  EXPECT_FLOAT_EQ(v[0], 0.5f);
+  EXPECT_NEAR(v[1], 1.0f, 1e-6);
+  EXPECT_NEAR(v[2], 0.0f, 1e-6);
+}
+
+TEST(ActivationTest, TanhExpLogSquare) {
+  Tensor a = Tensor::FromVector({2}, {0.0f, 1.0f});
+  EXPECT_FLOAT_EQ(ops::Tanh(a).vec()[0], 0.0f);
+  EXPECT_NEAR(ops::Exp(a).vec()[1], 2.718281f, 1e-5);
+  EXPECT_FLOAT_EQ(ops::Log(ops::Exp(a)).vec()[1], 1.0f);
+  EXPECT_FLOAT_EQ(ops::Square(Tensor::FromVector({1}, {-3})).item(), 9.0f);
+}
+
+TEST(LogTest, ClampsNearZero) {
+  Tensor a = Tensor::FromVector({1}, {0.0f});
+  EXPECT_GT(ops::Log(a).item(), -40.0f);  // log(eps), finite
+}
+
+TEST(MatMulTest, KnownProduct) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromVector({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.shape(), (Shape{2, 2}));
+  EXPECT_EQ(c.vec(), (std::vector<float>{58, 64, 139, 154}));
+}
+
+TEST(MatMulTest, IdentityPreserves) {
+  Tensor a = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  Tensor eye = Tensor::FromVector({2, 2}, {1, 0, 0, 1});
+  EXPECT_EQ(MatMul(a, eye).vec(), a.vec());
+}
+
+TEST(BatchMatMulTest, PerBatchProducts) {
+  Tensor a = Tensor::FromVector({2, 1, 2}, {1, 2, 3, 4});
+  Tensor b = Tensor::FromVector({2, 2, 1}, {1, 1, 10, 10});
+  Tensor c = BatchMatMul(a, b);
+  EXPECT_EQ(c.shape(), (Shape{2, 1, 1}));
+  EXPECT_EQ(c.vec(), (std::vector<float>{3, 70}));
+}
+
+TEST(ReshapeTest, PreservesData) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = Reshape(a, {3, 2});
+  EXPECT_EQ(r.shape(), (Shape{3, 2}));
+  EXPECT_EQ(r.vec(), a.vec());
+}
+
+TEST(TransposeTest, TwoD) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor t = TransposeLast2(a);
+  EXPECT_EQ(t.shape(), (Shape{3, 2}));
+  EXPECT_EQ(t.vec(), (std::vector<float>{1, 4, 2, 5, 3, 6}));
+}
+
+TEST(TransposeTest, BatchedThreeD) {
+  Tensor a = Tensor::FromVector({2, 2, 2}, {1, 2, 3, 4, 5, 6, 7, 8});
+  Tensor t = TransposeLast2(a);
+  EXPECT_EQ(t.vec(), (std::vector<float>{1, 3, 2, 4, 5, 7, 6, 8}));
+}
+
+TEST(SwapAxesTest, MatchesTransposeFor2D) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(SwapAxes(a, 0, 1).vec(), TransposeLast2(a).vec());
+}
+
+TEST(SwapAxesTest, MiddleAxesOf4D) {
+  // [1,2,2,1]: swapping axes 1,2 transposes the inner 2x2.
+  Tensor a = Tensor::FromVector({1, 2, 2, 1}, {1, 2, 3, 4});
+  EXPECT_EQ(SwapAxes(a, 1, 2).vec(), (std::vector<float>{1, 3, 2, 4}));
+}
+
+TEST(SwapAxesTest, SelfInverse) {
+  Rng rng(3);
+  Tensor a = Tensor::RandomUniform({2, 3, 4}, -1, 1, &rng);
+  EXPECT_EQ(SwapAxes(SwapAxes(a, 0, 2), 0, 2).vec(), a.vec());
+}
+
+TEST(ConcatTest, Axis0) {
+  Tensor a = Tensor::FromVector({1, 2}, {1, 2});
+  Tensor b = Tensor::FromVector({2, 2}, {3, 4, 5, 6});
+  Tensor c = Concat({a, b}, 0);
+  EXPECT_EQ(c.shape(), (Shape{3, 2}));
+  EXPECT_EQ(c.vec(), (std::vector<float>{1, 2, 3, 4, 5, 6}));
+}
+
+TEST(ConcatTest, Axis1) {
+  Tensor a = Tensor::FromVector({2, 1}, {1, 2});
+  Tensor b = Tensor::FromVector({2, 2}, {3, 4, 5, 6});
+  Tensor c = Concat({a, b}, 1);
+  EXPECT_EQ(c.shape(), (Shape{2, 3}));
+  EXPECT_EQ(c.vec(), (std::vector<float>{1, 3, 4, 2, 5, 6}));
+}
+
+TEST(ConcatTest, LastAxisOf3D) {
+  Tensor a = Tensor::FromVector({1, 2, 1}, {1, 2});
+  Tensor b = Tensor::FromVector({1, 2, 1}, {3, 4});
+  Tensor c = Concat({a, b}, 2);
+  EXPECT_EQ(c.shape(), (Shape{1, 2, 2}));
+  EXPECT_EQ(c.vec(), (std::vector<float>{1, 3, 2, 4}));
+}
+
+TEST(SelectAxisTest, ClsSelection) {
+  // [B=2, L=2, d=2]: select position 0 along axis 1.
+  Tensor a = Tensor::FromVector({2, 2, 2}, {1, 2, 3, 4, 5, 6, 7, 8});
+  Tensor cls = SelectAxis(a, 1, 0);
+  EXPECT_EQ(cls.shape(), (Shape{2, 2}));
+  EXPECT_EQ(cls.vec(), (std::vector<float>{1, 2, 5, 6}));
+}
+
+TEST(SelectAxisTest, LastIndex) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(SelectAxis(a, 1, 2).vec(), (std::vector<float>{3, 6}));
+}
+
+TEST(SliceAxis0Test, MiddleSlice) {
+  Tensor a = Tensor::FromVector({4, 1}, {1, 2, 3, 4});
+  EXPECT_EQ(SliceAxis0(a, 1, 2).vec(), (std::vector<float>{2, 3}));
+}
+
+TEST(Stack0Test, StacksAndShapes) {
+  Tensor a = Tensor::FromVector({2}, {1, 2});
+  Tensor b = Tensor::FromVector({2}, {3, 4});
+  Tensor s = Stack0({a, b});
+  EXPECT_EQ(s.shape(), (Shape{2, 2}));
+  EXPECT_EQ(s.vec(), (std::vector<float>{1, 2, 3, 4}));
+}
+
+TEST(ReduceTest, SumAllMeanAll) {
+  Tensor a = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  EXPECT_FLOAT_EQ(ops::SumAll(a).item(), 10.0f);
+  EXPECT_FLOAT_EQ(ops::MeanAll(a).item(), 2.5f);
+}
+
+TEST(ReduceTest, MeanAxisMiddle) {
+  Tensor a = Tensor::FromVector({2, 2, 2}, {1, 2, 3, 4, 5, 6, 7, 8});
+  Tensor m = MeanAxis(a, 1);
+  EXPECT_EQ(m.shape(), (Shape{2, 2}));
+  EXPECT_EQ(m.vec(), (std::vector<float>{2, 3, 6, 7}));
+}
+
+TEST(ReduceTest, MeanAxis0) {
+  Tensor a = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(MeanAxis(a, 0).vec(), (std::vector<float>{2, 3}));
+}
+
+TEST(ReduceTest, MaxLastAxis) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 9, 2, -4, -1, -7});
+  EXPECT_EQ(ops::MaxLastAxis(a).vec(), (std::vector<float>{9, -1}));
+}
+
+}  // namespace
+}  // namespace dader

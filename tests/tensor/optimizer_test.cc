@@ -1,0 +1,110 @@
+#include "tensor/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace dader {
+namespace {
+
+// Minimizes f(w) = sum((w - target)^2) and returns the final w.
+template <typename Opt>
+Tensor Minimize(Opt& opt, Tensor w, const Tensor& target, int steps) {
+  for (int i = 0; i < steps; ++i) {
+    opt.ZeroGrad();
+    Tensor diff = ops::Sub(w, target);
+    ops::SumAll(ops::Square(diff)).Backward();
+    opt.Step();
+  }
+  return w;
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  Tensor w = Tensor::Zeros({3}, true);
+  Tensor target = Tensor::FromVector({3}, {1.0f, -2.0f, 0.5f});
+  SgdOptimizer opt({w}, /*lr=*/0.1f);
+  Minimize(opt, w, target, 100);
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(w.vec()[i], target.vec()[i], 1e-3);
+}
+
+TEST(SgdTest, MomentumConverges) {
+  Tensor w = Tensor::Zeros({2}, true);
+  Tensor target = Tensor::FromVector({2}, {3.0f, -1.0f});
+  SgdOptimizer opt({w}, 0.05f, /*momentum=*/0.9f);
+  Minimize(opt, w, target, 200);
+  for (int i = 0; i < 2; ++i) EXPECT_NEAR(w.vec()[i], target.vec()[i], 1e-2);
+}
+
+TEST(SgdTest, WeightDecayShrinksWeights) {
+  Tensor w = Tensor::Full({2}, 10.0f, true);
+  SgdOptimizer opt({w}, 0.1f, 0.0f, /*weight_decay=*/0.5f);
+  // Zero gradient + decay => exponential shrink.
+  for (int i = 0; i < 20; ++i) {
+    opt.ZeroGrad();
+    // Force the grad buffer to exist so Step applies.
+    ops::SumAll(ops::MulScalar(w, 0.0f)).Backward();
+    opt.Step();
+  }
+  EXPECT_LT(std::fabs(w.vec()[0]), 10.0f * std::pow(0.95f, 19.0f));
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  Tensor w = Tensor::Full({4}, 5.0f, true);
+  Tensor target = Tensor::FromVector({4}, {1, 2, 3, 4});
+  AdamOptimizer opt({w}, 0.1f);
+  Minimize(opt, w, target, 300);
+  for (int i = 0; i < 4; ++i) EXPECT_NEAR(w.vec()[i], target.vec()[i], 1e-2);
+}
+
+TEST(AdamTest, HandlesSparseUntouchedParams) {
+  Tensor used = Tensor::Zeros({2}, true);
+  Tensor unused = Tensor::Zeros({2}, true);
+  AdamOptimizer opt({used, unused}, 0.1f);
+  opt.ZeroGrad();
+  ops::SumAll(used).Backward();
+  opt.Step();  // unused has no grad buffer; must not crash or move
+  EXPECT_EQ(unused.vec(), (std::vector<float>{0, 0}));
+  EXPECT_NE(used.vec()[0], 0.0f);
+}
+
+TEST(OptimizerTest, ZeroGradClearsAll) {
+  Tensor w = Tensor::Ones({2}, true);
+  AdamOptimizer opt({w}, 0.1f);
+  ops::SumAll(w).Backward();
+  EXPECT_NE(w.grad()[0], 0.0f);
+  opt.ZeroGrad();
+  EXPECT_EQ(w.grad()[0], 0.0f);
+}
+
+TEST(OptimizerTest, ClipGradNormRescales) {
+  Tensor w = Tensor::Zeros({4}, true);
+  SgdOptimizer opt({w}, 0.1f);
+  opt.ZeroGrad();
+  ops::SumAll(ops::MulScalar(w, 10.0f)).Backward();  // grad = 10 each
+  const float pre = opt.ClipGradNorm(1.0f);
+  EXPECT_NEAR(pre, 20.0f, 1e-4);  // sqrt(4 * 100)
+  double norm2 = 0.0;
+  for (float g : w.grad()) norm2 += static_cast<double>(g) * g;
+  EXPECT_NEAR(std::sqrt(norm2), 1.0, 1e-5);
+}
+
+TEST(OptimizerTest, ClipGradNormNoOpWhenSmall) {
+  Tensor w = Tensor::Zeros({2}, true);
+  SgdOptimizer opt({w}, 0.1f);
+  opt.ZeroGrad();
+  ops::SumAll(w).Backward();  // grad = 1 each, norm ~1.41
+  opt.ClipGradNorm(10.0f);
+  EXPECT_FLOAT_EQ(w.grad()[0], 1.0f);
+}
+
+TEST(OptimizerTest, LearningRateMutable) {
+  Tensor w = Tensor::Zeros({1}, true);
+  AdamOptimizer opt({w}, 0.1f);
+  opt.set_learning_rate(0.5f);
+  EXPECT_FLOAT_EQ(opt.learning_rate(), 0.5f);
+}
+
+}  // namespace
+}  // namespace dader

@@ -1,0 +1,68 @@
+#include "tensor/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace dader {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(SerializeTest, RoundTrip) {
+  const std::string path = TempPath("tensors_roundtrip.bin");
+  std::map<std::string, Tensor> tensors;
+  tensors["a.weight"] = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  tensors["b.bias"] = Tensor::FromVector({3}, {-1, 0, 1});
+  ASSERT_TRUE(SaveTensors(path, tensors).ok());
+
+  auto loaded = LoadTensors(path);
+  ASSERT_TRUE(loaded.ok());
+  const auto& got = loaded.ValueOrDie();
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got.at("a.weight").shape(), (Shape{2, 3}));
+  EXPECT_EQ(got.at("a.weight").vec(), tensors["a.weight"].vec());
+  EXPECT_EQ(got.at("b.bias").vec(), tensors["b.bias"].vec());
+  EXPECT_FALSE(got.at("a.weight").requires_grad());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, EmptyCollection) {
+  const std::string path = TempPath("tensors_empty.bin");
+  ASSERT_TRUE(SaveTensors(path, {}).ok());
+  auto loaded = LoadTensors(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded.ValueOrDie().empty());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MissingFileFails) {
+  EXPECT_FALSE(LoadTensors("/nonexistent/tensors.bin").ok());
+}
+
+TEST(SerializeTest, RejectsGarbageFile) {
+  const std::string path = TempPath("tensors_garbage.bin");
+  FILE* f = fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  fputs("this is not a tensor file at all, padding padding padding", f);
+  fclose(f);
+  EXPECT_FALSE(LoadTensors(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, LargeTensorRoundTrip) {
+  const std::string path = TempPath("tensors_large.bin");
+  Rng rng(1);
+  std::map<std::string, Tensor> tensors;
+  tensors["big"] = Tensor::RandomNormal({100, 64}, 1.0f, &rng);
+  ASSERT_TRUE(SaveTensors(path, tensors).ok());
+  auto loaded = LoadTensors(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.ValueOrDie().at("big").vec(), tensors["big"].vec());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dader

@@ -1,0 +1,150 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace dader {
+namespace {
+
+TEST(ShapeTest, NumElements) {
+  EXPECT_EQ(NumElements({}), 1);
+  EXPECT_EQ(NumElements({5}), 5);
+  EXPECT_EQ(NumElements({2, 3, 4}), 24);
+  EXPECT_EQ(NumElements({0, 7}), 0);
+}
+
+TEST(ShapeTest, ToString) {
+  EXPECT_EQ(ShapeToString({2, 3}), "[2, 3]");
+  EXPECT_EQ(ShapeToString({}), "[]");
+}
+
+TEST(TensorTest, ZerosOnesFull) {
+  Tensor z = Tensor::Zeros({2, 2});
+  Tensor o = Tensor::Ones({3});
+  Tensor f = Tensor::Full({2}, 2.5f);
+  for (float v : z.vec()) EXPECT_EQ(v, 0.0f);
+  for (float v : o.vec()) EXPECT_EQ(v, 1.0f);
+  for (float v : f.vec()) EXPECT_EQ(v, 2.5f);
+  EXPECT_EQ(z.numel(), 4);
+  EXPECT_EQ(z.rank(), 2u);
+  EXPECT_EQ(z.dim(0), 2);
+}
+
+TEST(TensorTest, FromVectorAndAccessors) {
+  Tensor t = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(t.at(0, 0), 1.0f);
+  EXPECT_EQ(t.at(1, 2), 6.0f);
+  EXPECT_EQ(Tensor::Scalar(7.0f).item(), 7.0f);
+}
+
+TEST(TensorTest, CopySharesStorage) {
+  Tensor a = Tensor::Zeros({2});
+  Tensor b = a;  // shared handle
+  b.data()[0] = 5.0f;
+  EXPECT_EQ(a.data()[0], 5.0f);
+}
+
+TEST(TensorTest, CloneIsDeep) {
+  Tensor a = Tensor::Ones({2});
+  Tensor b = a.Clone();
+  b.data()[0] = 9.0f;
+  EXPECT_EQ(a.data()[0], 1.0f);
+}
+
+TEST(TensorTest, DetachDropsGradRequirement) {
+  Tensor a = Tensor::Ones({2}, /*requires_grad=*/true);
+  Tensor d = a.Detach();
+  EXPECT_FALSE(d.requires_grad());
+  EXPECT_EQ(d.vec(), a.vec());
+}
+
+TEST(TensorTest, CopyDataFrom) {
+  Tensor a = Tensor::Zeros({3}, true);
+  Tensor b = Tensor::FromVector({3}, {1, 2, 3});
+  a.CopyDataFrom(b);
+  EXPECT_EQ(a.vec(), b.vec());
+  EXPECT_TRUE(a.requires_grad());
+}
+
+TEST(TensorTest, RandomUniformBounds) {
+  Rng rng(5);
+  Tensor t = Tensor::RandomUniform({100}, -2.0f, 3.0f, &rng);
+  for (float v : t.vec()) {
+    EXPECT_GE(v, -2.0f);
+    EXPECT_LT(v, 3.0f);
+  }
+}
+
+TEST(TensorTest, RandomNormalStddev) {
+  Rng rng(6);
+  Tensor t = Tensor::RandomNormal({5000}, 2.0f, &rng);
+  double sum2 = 0.0;
+  for (float v : t.vec()) sum2 += static_cast<double>(v) * v;
+  EXPECT_NEAR(std::sqrt(sum2 / t.numel()), 2.0, 0.1);
+}
+
+TEST(AutogradTest, SimpleChain) {
+  // loss = sum((x * 3) + 1); dloss/dx = 3.
+  Tensor x = Tensor::FromVector({3}, {1, 2, 3}, true);
+  Tensor loss = ops::SumAll(ops::AddScalar(ops::MulScalar(x, 3.0f), 1.0f));
+  EXPECT_FLOAT_EQ(loss.item(), 21.0f);
+  loss.Backward();
+  for (float g : x.grad()) EXPECT_FLOAT_EQ(g, 3.0f);
+}
+
+TEST(AutogradTest, GradientAccumulatesAcrossBackwards) {
+  Tensor x = Tensor::Ones({2}, true);
+  ops::SumAll(x).Backward();
+  ops::SumAll(x).Backward();
+  for (float g : x.grad()) EXPECT_FLOAT_EQ(g, 2.0f);
+}
+
+TEST(AutogradTest, ZeroGradResets) {
+  Tensor x = Tensor::Ones({2}, true);
+  ops::SumAll(x).Backward();
+  x.ZeroGrad();
+  for (float g : x.grad()) EXPECT_FLOAT_EQ(g, 0.0f);
+}
+
+TEST(AutogradTest, DiamondGraphSumsBothPaths) {
+  // loss = sum(x + x) => dloss/dx = 2.
+  Tensor x = Tensor::Ones({2}, true);
+  ops::SumAll(ops::Add(x, x)).Backward();
+  for (float g : x.grad()) EXPECT_FLOAT_EQ(g, 2.0f);
+}
+
+TEST(AutogradTest, NoGradIntoConstants) {
+  Tensor x = Tensor::Ones({2}, true);
+  Tensor c = Tensor::Ones({2});  // no grad
+  ops::SumAll(ops::Mul(x, c)).Backward();
+  EXPECT_TRUE(c.grad().empty());
+  EXPECT_EQ(x.grad().size(), 2u);
+}
+
+TEST(AutogradTest, DetachBlocksGradient) {
+  Tensor x = Tensor::Ones({2}, true);
+  Tensor y = ops::MulScalar(x, 2.0f);
+  Tensor loss = ops::SumAll(y.Detach());
+  EXPECT_FALSE(loss.requires_grad());
+}
+
+TEST(AutogradTest, DeepChainIterativeTopoSort) {
+  // 3000-op chain would overflow a recursive DFS stack.
+  Tensor x = Tensor::Ones({4}, true);
+  Tensor y = x;
+  for (int i = 0; i < 3000; ++i) y = ops::AddScalar(y, 0.001f);
+  ops::SumAll(y).Backward();
+  for (float g : x.grad()) EXPECT_FLOAT_EQ(g, 1.0f);
+}
+
+TEST(TensorTest, ToStringMentionsShape) {
+  Tensor t = Tensor::FromVector({2}, {1.5f, 2.5f});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("[2]"), std::string::npos);
+  EXPECT_NE(s.find("1.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dader

@@ -1,0 +1,119 @@
+#include "text/serializer.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace dader::text {
+namespace {
+
+const HashingVocab& Vocab() {
+  static HashingVocab vocab(4096);
+  return vocab;
+}
+
+TEST(SerializeEntityTest, AttValStructure) {
+  AttrValueList entity = {{"title", "balt wheasel"}, {"price", "239.88"}};
+  const auto ids = SerializeEntity(entity, Vocab());
+  // [ATT] title [VAL] balt wheasel [ATT] price [VAL] 239 . 88
+  ASSERT_GE(ids.size(), 8u);
+  EXPECT_EQ(ids[0], kAtt);
+  EXPECT_EQ(ids[1], Vocab().TokenId("title"));
+  EXPECT_EQ(ids[2], kVal);
+  EXPECT_EQ(ids[3], Vocab().TokenId("balt"));
+  EXPECT_EQ(ids[4], Vocab().TokenId("wheasel"));
+  EXPECT_EQ(ids[5], kAtt);
+}
+
+TEST(SerializeEntityTest, NullValueEmptySpan) {
+  AttrValueList entity = {{"brand", ""}};
+  const auto ids = SerializeEntity(entity, Vocab());
+  EXPECT_EQ(ids, (std::vector<int64_t>{kAtt, Vocab().TokenId("brand"), kVal}));
+}
+
+TEST(SerializePairTest, ClsSepFraming) {
+  AttrValueList a = {{"name", "x"}};
+  AttrValueList b = {{"name", "y"}};
+  const auto ids = SerializePair(a, b, Vocab());
+  EXPECT_EQ(ids.front(), kCls);
+  EXPECT_EQ(ids.back(), kSep);
+  // Exactly two [SEP] separators.
+  EXPECT_EQ(std::count(ids.begin(), ids.end(),
+                       static_cast<int64_t>(kSep)), 2);
+}
+
+TEST(EncodePairTest, PaddedToMaxLen) {
+  AttrValueList a = {{"name", "short"}};
+  AttrValueList b = {{"name", "tiny"}};
+  const auto seq = EncodePair(a, b, Vocab(), 32);
+  EXPECT_EQ(seq.ids.size(), 32u);
+  EXPECT_EQ(seq.mask.size(), 32u);
+  EXPECT_EQ(seq.overlap.size(), 32u);
+}
+
+TEST(EncodePairTest, OverlapFlagsSharedValueTokens) {
+  AttrValueList a = {{"title", "kodak esp printer"}};
+  AttrValueList b = {{"name", "kodak esp seven"}};
+  const auto seq = EncodePair(a, b, Vocab(), 32);
+  // Locate positions of known tokens and verify flags.
+  const int64_t kodak = Vocab().TokenId("kodak");
+  const int64_t printer = Vocab().TokenId("printer");
+  const int64_t seven = Vocab().TokenId("seven");
+  bool saw_kodak = false, saw_printer = false, saw_seven = false;
+  for (size_t i = 0; i < seq.ids.size(); ++i) {
+    if (seq.ids[i] == kodak) {
+      EXPECT_EQ(seq.overlap[i], 1.0f);
+      saw_kodak = true;
+    } else if (seq.ids[i] == printer) {
+      EXPECT_EQ(seq.overlap[i], 0.0f);
+      saw_printer = true;
+    } else if (seq.ids[i] == seven) {
+      EXPECT_EQ(seq.overlap[i], 0.0f);
+      saw_seven = true;
+    }
+  }
+  EXPECT_TRUE(saw_kodak);
+  EXPECT_TRUE(saw_printer);
+  EXPECT_TRUE(saw_seven);
+}
+
+TEST(EncodePairTest, AttributeNamesNeverFlagged) {
+  // Both entities have attribute "title" but the attribute NAME tokens are
+  // not value tokens and must stay unflagged.
+  AttrValueList a = {{"title", "alpha"}};
+  AttrValueList b = {{"title", "beta"}};
+  const auto seq = EncodePair(a, b, Vocab(), 16);
+  const int64_t title = Vocab().TokenId("title");
+  for (size_t i = 0; i < seq.ids.size(); ++i) {
+    if (seq.ids[i] == title) EXPECT_EQ(seq.overlap[i], 0.0f);
+  }
+}
+
+TEST(EncodePairTest, SpecialsNeverFlagged) {
+  AttrValueList a = {{"t", "same same"}};
+  AttrValueList b = {{"t", "same same"}};
+  const auto seq = EncodePair(a, b, Vocab(), 16);
+  for (size_t i = 0; i < seq.ids.size(); ++i) {
+    if (seq.ids[i] < kNumSpecialTokens) EXPECT_EQ(seq.overlap[i], 0.0f);
+  }
+}
+
+TEST(EncodePairTest, IdenticalEntitiesFullyFlagged) {
+  AttrValueList e = {{"name", "golden dragon"}};
+  const auto seq = EncodePair(e, e, Vocab(), 16);
+  const int64_t golden = Vocab().TokenId("golden");
+  for (size_t i = 0; i < seq.ids.size(); ++i) {
+    if (seq.ids[i] == golden) EXPECT_EQ(seq.overlap[i], 1.0f);
+  }
+}
+
+TEST(SerializePairToTextTest, HumanReadable) {
+  AttrValueList a = {{"title", "balt"}};
+  AttrValueList b = {{"name", "kodak"}};
+  const std::string s = SerializePairToText(a, b);
+  EXPECT_EQ(s,
+            "[CLS] [ATT] title [VAL] balt [SEP] [ATT] name [VAL] kodak [SEP]");
+}
+
+}  // namespace
+}  // namespace dader::text

@@ -1,0 +1,93 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace dader::text {
+namespace {
+
+TEST(WordTokenizeTest, LowercasesAndSplits) {
+  EXPECT_EQ(WordTokenize("Samsung 52' Series"),
+            (std::vector<std::string>{"samsung", "52", "'", "series"}));
+}
+
+TEST(WordTokenizeTest, PunctuationIsolated) {
+  EXPECT_EQ(WordTokenize("a,b.c"),
+            (std::vector<std::string>{"a", ",", "b", ".", "c"}));
+}
+
+TEST(WordTokenizeTest, DigitsGrouped) {
+  EXPECT_EQ(WordTokenize("esp-7 239.88"),
+            (std::vector<std::string>{"esp", "-", "7", "239", ".", "88"}));
+}
+
+TEST(WordTokenizeTest, EmptyAndWhitespace) {
+  EXPECT_TRUE(WordTokenize("").empty());
+  EXPECT_TRUE(WordTokenize("   \t ").empty());
+}
+
+TEST(SpecialTokensTest, NamesAndOrdering) {
+  EXPECT_STREQ(SpecialTokenName(kPad), "[PAD]");
+  EXPECT_STREQ(SpecialTokenName(kCls), "[CLS]");
+  EXPECT_STREQ(SpecialTokenName(kSep), "[SEP]");
+  EXPECT_STREQ(SpecialTokenName(kAtt), "[ATT]");
+  EXPECT_STREQ(SpecialTokenName(kVal), "[VAL]");
+  EXPECT_STREQ(SpecialTokenName(kMask), "[MASK]");
+  EXPECT_STREQ(SpecialTokenName(kUnk), "[UNK]");
+  EXPECT_EQ(kPad, 0);
+  EXPECT_LT(kUnk, kNumSpecialTokens);
+}
+
+TEST(HashingVocabTest, NeverReturnsSpecialIds) {
+  HashingVocab vocab(64);
+  for (const char* w : {"alpha", "beta", "gamma", "x", "1", "."}) {
+    const int64_t id = vocab.TokenId(w);
+    EXPECT_GE(id, kNumSpecialTokens);
+    EXPECT_LT(id, 64);
+  }
+}
+
+TEST(HashingVocabTest, StableIds) {
+  HashingVocab vocab(4096);
+  EXPECT_EQ(vocab.TokenId("stonebraker"), vocab.TokenId("stonebraker"));
+  EXPECT_NE(vocab.TokenId("stonebraker"), vocab.TokenId("dewitt"));
+}
+
+TEST(HashingVocabTest, EncodeSequence) {
+  HashingVocab vocab(128);
+  const auto ids = vocab.Encode({"a", "b", "a"});
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_EQ(ids[0], ids[2]);
+}
+
+TEST(PadToLengthTest, PadsShortSequence) {
+  auto seq = PadToLength({10, 11, 12}, 6);
+  EXPECT_EQ(seq.ids, (std::vector<int64_t>{10, 11, 12, kPad, kPad, kPad}));
+  EXPECT_EQ(seq.mask, (std::vector<float>{1, 1, 1, 0, 0, 0}));
+  EXPECT_EQ(seq.num_real, 3);
+  EXPECT_EQ(seq.overlap, (std::vector<float>{0, 0, 0, 0, 0, 0}));
+}
+
+TEST(PadToLengthTest, TruncatesLongSequence) {
+  auto seq = PadToLength({1, 2, 3, 4, 5}, 3);
+  EXPECT_EQ(seq.ids, (std::vector<int64_t>{1, 2, 3}));
+  EXPECT_EQ(seq.num_real, 3);
+}
+
+TEST(PadToLengthTest, OverlapFlagsAligned) {
+  auto seq = PadToLength({10, 11}, 4, {1.0f, 0.0f});
+  EXPECT_EQ(seq.overlap, (std::vector<float>{1, 0, 0, 0}));
+}
+
+TEST(PadToLengthTest, OverlapTruncatedWithIds) {
+  auto seq = PadToLength({10, 11, 12}, 2, {1.0f, 0.0f, 1.0f});
+  EXPECT_EQ(seq.overlap, (std::vector<float>{1, 0}));
+}
+
+TEST(PadToLengthTest, ExactLength) {
+  auto seq = PadToLength({7, 8}, 2);
+  EXPECT_EQ(seq.ids, (std::vector<int64_t>{7, 8}));
+  EXPECT_EQ(seq.mask, (std::vector<float>{1, 1}));
+}
+
+}  // namespace
+}  // namespace dader::text

@@ -1,0 +1,114 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace dader {
+namespace {
+
+TEST(CsvParseTest, SimpleDocument) {
+  auto r = ParseCsv("a,b\n1,2\n3,4\n");
+  ASSERT_TRUE(r.ok());
+  const CsvTable& t = r.ValueOrDie();
+  EXPECT_EQ(t.header, (std::vector<std::string>{"a", "b"}));
+  ASSERT_EQ(t.rows.size(), 2u);
+  EXPECT_EQ(t.rows[0], (std::vector<std::string>{"1", "2"}));
+  EXPECT_EQ(t.rows[1], (std::vector<std::string>{"3", "4"}));
+}
+
+TEST(CsvParseTest, MissingTrailingNewline) {
+  auto r = ParseCsv("a,b\n1,2");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie().rows.size(), 1u);
+}
+
+TEST(CsvParseTest, QuotedFieldWithComma) {
+  auto r = ParseCsv("a,b\n\"x, y\",2\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie().rows[0][0], "x, y");
+}
+
+TEST(CsvParseTest, EscapedQuote) {
+  auto r = ParseCsv("a\n\"he said \"\"hi\"\"\"\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie().rows[0][0], "he said \"hi\"");
+}
+
+TEST(CsvParseTest, QuotedNewline) {
+  auto r = ParseCsv("a,b\n\"line1\nline2\",2\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie().rows[0][0], "line1\nline2");
+}
+
+TEST(CsvParseTest, CrLfLineEndings) {
+  auto r = ParseCsv("a,b\r\n1,2\r\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie().rows[0], (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(CsvParseTest, EmptyFields) {
+  auto r = ParseCsv("a,b,c\n,,\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie().rows[0], (std::vector<std::string>{"", "", ""}));
+}
+
+TEST(CsvParseTest, RejectsRaggedRows) {
+  auto r = ParseCsv("a,b\n1,2,3\n");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvParseTest, RejectsUnterminatedQuote) {
+  auto r = ParseCsv("a\n\"oops\n");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CsvParseTest, RejectsEmptyDocument) {
+  EXPECT_FALSE(ParseCsv("").ok());
+}
+
+TEST(CsvEscapeTest, OnlyWhenNeeded) {
+  EXPECT_EQ(CsvEscape("plain"), "plain");
+  EXPECT_EQ(CsvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvEscape("q\"q"), "\"q\"\"q\"");
+  EXPECT_EQ(CsvEscape("nl\n"), "\"nl\n\"");
+}
+
+TEST(CsvRoundTripTest, FormatThenParse) {
+  CsvTable t;
+  t.header = {"name", "desc"};
+  t.rows = {{"widget, large", "says \"hello\""}, {"", "line\nbreak"}};
+  auto r = ParseCsv(FormatCsv(t));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie().header, t.header);
+  EXPECT_EQ(r.ValueOrDie().rows, t.rows);
+}
+
+TEST(CsvFileTest, WriteAndReadBack) {
+  const std::string path = testing::TempDir() + "/csv_test_roundtrip.csv";
+  CsvTable t;
+  t.header = {"x"};
+  t.rows = {{"1"}, {"2"}};
+  ASSERT_TRUE(WriteCsvFile(path, t).ok());
+  auto r = ReadCsvFile(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie().rows.size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(CsvFileTest, MissingFileIsIOError) {
+  auto r = ReadCsvFile("/nonexistent/dir/f.csv");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+TEST(CsvTableTest, ColumnIndex) {
+  CsvTable t;
+  t.header = {"a", "b", "c"};
+  EXPECT_EQ(t.ColumnIndex("b"), 1);
+  EXPECT_EQ(t.ColumnIndex("z"), -1);
+}
+
+}  // namespace
+}  // namespace dader

@@ -1,0 +1,104 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace dader {
+namespace {
+
+// Builds argv from a list of literals (argv[0] is the program name).
+class FlagsTest : public testing::Test {
+ protected:
+  Status Parse(std::vector<std::string> args) {
+    args.insert(args.begin(), "prog");
+    std::vector<char*> argv;
+    storage_ = std::move(args);
+    for (auto& a : storage_) argv.push_back(a.data());
+    return parser_.Parse(static_cast<int>(argv.size()), argv.data());
+  }
+
+  FlagParser parser_;
+  std::vector<std::string> storage_;
+};
+
+TEST_F(FlagsTest, Defaults) {
+  parser_.DefineString("name", "dader", "");
+  parser_.DefineInt("n", 5, "");
+  parser_.DefineDouble("lr", 0.1, "");
+  parser_.DefineBool("verbose", false, "");
+  ASSERT_TRUE(Parse({}).ok());
+  EXPECT_EQ(parser_.GetString("name"), "dader");
+  EXPECT_EQ(parser_.GetInt("n"), 5);
+  EXPECT_DOUBLE_EQ(parser_.GetDouble("lr"), 0.1);
+  EXPECT_FALSE(parser_.GetBool("verbose"));
+}
+
+TEST_F(FlagsTest, EqualsSyntax) {
+  parser_.DefineInt("n", 0, "");
+  parser_.DefineString("s", "", "");
+  ASSERT_TRUE(Parse({"--n=42", "--s=hello"}).ok());
+  EXPECT_EQ(parser_.GetInt("n"), 42);
+  EXPECT_EQ(parser_.GetString("s"), "hello");
+}
+
+TEST_F(FlagsTest, SpaceSyntax) {
+  parser_.DefineDouble("lr", 0.0, "");
+  ASSERT_TRUE(Parse({"--lr", "0.5"}).ok());
+  EXPECT_DOUBLE_EQ(parser_.GetDouble("lr"), 0.5);
+}
+
+TEST_F(FlagsTest, BareBooleanSetsTrue) {
+  parser_.DefineBool("fast", false, "");
+  ASSERT_TRUE(Parse({"--fast"}).ok());
+  EXPECT_TRUE(parser_.GetBool("fast"));
+}
+
+TEST_F(FlagsTest, BooleanExplicitFalse) {
+  parser_.DefineBool("fast", true, "");
+  ASSERT_TRUE(Parse({"--fast=false"}).ok());
+  EXPECT_FALSE(parser_.GetBool("fast"));
+}
+
+TEST_F(FlagsTest, UnknownFlagFails) {
+  EXPECT_FALSE(Parse({"--typo=1"}).ok());
+}
+
+TEST_F(FlagsTest, BadIntegerFails) {
+  parser_.DefineInt("n", 0, "");
+  EXPECT_FALSE(Parse({"--n=abc"}).ok());
+  EXPECT_FALSE(Parse({"--n=1.5"}).ok());
+}
+
+TEST_F(FlagsTest, BadDoubleFails) {
+  parser_.DefineDouble("lr", 0.0, "");
+  EXPECT_FALSE(Parse({"--lr=fast"}).ok());
+}
+
+TEST_F(FlagsTest, MissingValueFails) {
+  parser_.DefineInt("n", 0, "");
+  EXPECT_FALSE(Parse({"--n"}).ok());
+}
+
+TEST_F(FlagsTest, PositionalArguments) {
+  parser_.DefineInt("n", 0, "");
+  ASSERT_TRUE(Parse({"input.csv", "--n=3", "output.csv"}).ok());
+  EXPECT_EQ(parser_.positional(),
+            (std::vector<std::string>{"input.csv", "output.csv"}));
+}
+
+TEST_F(FlagsTest, NegativeNumbers) {
+  parser_.DefineInt("n", 0, "");
+  parser_.DefineDouble("x", 0.0, "");
+  ASSERT_TRUE(Parse({"--n=-7", "--x=-0.25"}).ok());
+  EXPECT_EQ(parser_.GetInt("n"), -7);
+  EXPECT_DOUBLE_EQ(parser_.GetDouble("x"), -0.25);
+}
+
+TEST_F(FlagsTest, HelpMentionsFlags) {
+  parser_.DefineInt("epochs", 12, "training epochs");
+  const std::string help = parser_.Help();
+  EXPECT_NE(help.find("epochs"), std::string::npos);
+  EXPECT_NE(help.find("12"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dader

@@ -1,0 +1,122 @@
+#include "util/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace dader {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(BinaryIoTest, RoundTripAllTypes) {
+  const std::string path = TempPath("io_roundtrip.bin");
+  {
+    auto w = BinaryWriter::Open(path, "TESTMAGIC", 3);
+    ASSERT_TRUE(w.ok());
+    BinaryWriter writer = std::move(w).ValueOrDie();
+    writer.WriteU32(7);
+    writer.WriteU64(1ULL << 40);
+    writer.WriteI64(-12345);
+    writer.WriteF32(2.5f);
+    writer.WriteString("hello world");
+    writer.WriteFloats({1.0f, -2.0f, 3.5f});
+    writer.WriteI64s({10, -20});
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  auto r = BinaryReader::Open(path, "TESTMAGIC", 3);
+  ASSERT_TRUE(r.ok());
+  BinaryReader reader = std::move(r).ValueOrDie();
+  EXPECT_EQ(reader.ReadU32().ValueOrDie(), 7u);
+  EXPECT_EQ(reader.ReadU64().ValueOrDie(), 1ULL << 40);
+  EXPECT_EQ(reader.ReadI64().ValueOrDie(), -12345);
+  EXPECT_FLOAT_EQ(reader.ReadF32().ValueOrDie(), 2.5f);
+  EXPECT_EQ(reader.ReadString().ValueOrDie(), "hello world");
+  EXPECT_EQ(reader.ReadFloats().ValueOrDie(),
+            (std::vector<float>{1.0f, -2.0f, 3.5f}));
+  EXPECT_EQ(reader.ReadI64s().ValueOrDie(), (std::vector<int64_t>{10, -20}));
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, WrongMagicRejected) {
+  const std::string path = TempPath("io_magic.bin");
+  {
+    auto w = BinaryWriter::Open(path, "GOODMAGIC", 1);
+    ASSERT_TRUE(w.ok());
+    std::move(w).ValueOrDie().Close().CheckOK();
+  }
+  auto r = BinaryReader::Open(path, "OTHERMAGIC", 1);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, WrongVersionRejected) {
+  const std::string path = TempPath("io_version.bin");
+  {
+    auto w = BinaryWriter::Open(path, "MAGIC", 1);
+    ASSERT_TRUE(w.ok());
+    std::move(w).ValueOrDie().Close().CheckOK();
+  }
+  EXPECT_FALSE(BinaryReader::Open(path, "MAGIC", 2).ok());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, ReadPastEndFails) {
+  const std::string path = TempPath("io_eof.bin");
+  {
+    auto w = BinaryWriter::Open(path, "MAGIC", 1);
+    ASSERT_TRUE(w.ok());
+    BinaryWriter writer = std::move(w).ValueOrDie();
+    writer.WriteU32(1);
+    writer.Close().CheckOK();
+  }
+  auto r = BinaryReader::Open(path, "MAGIC", 1);
+  ASSERT_TRUE(r.ok());
+  BinaryReader reader = std::move(r).ValueOrDie();
+  EXPECT_TRUE(reader.ReadU32().ok());
+  EXPECT_FALSE(reader.ReadU64().ok());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, MissingFileIsIOError) {
+  auto r = BinaryReader::Open("/nonexistent/x.bin", "M", 1);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+TEST(BinaryIoTest, EmptyContainersRoundTrip) {
+  const std::string path = TempPath("io_empty.bin");
+  {
+    auto w = BinaryWriter::Open(path, "M", 1);
+    ASSERT_TRUE(w.ok());
+    BinaryWriter writer = std::move(w).ValueOrDie();
+    writer.WriteString("");
+    writer.WriteFloats({});
+    writer.Close().CheckOK();
+  }
+  auto r = BinaryReader::Open(path, "M", 1);
+  ASSERT_TRUE(r.ok());
+  BinaryReader reader = std::move(r).ValueOrDie();
+  EXPECT_EQ(reader.ReadString().ValueOrDie(), "");
+  EXPECT_TRUE(reader.ReadFloats().ValueOrDie().empty());
+  std::remove(path.c_str());
+}
+
+TEST(FileExistsTest, DetectsFilesAndMissing) {
+  const std::string path = TempPath("io_exists.bin");
+  EXPECT_FALSE(FileExists(path));
+  {
+    auto w = BinaryWriter::Open(path, "M", 1);
+    ASSERT_TRUE(w.ok());
+    std::move(w).ValueOrDie().Close().CheckOK();
+  }
+  EXPECT_TRUE(FileExists(path));
+  EXPECT_FALSE(FileExists(testing::TempDir()));  // a directory, not a file
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dader

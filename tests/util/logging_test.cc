@@ -1,0 +1,50 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace dader {
+namespace {
+
+// RAII: restore the global level after each test.
+class LoggingTest : public testing::Test {
+ protected:
+  void SetUp() override { saved_ = GetLogLevel(); }
+  void TearDown() override { SetLogLevel(saved_); }
+  LogLevel saved_;
+};
+
+TEST_F(LoggingTest, LevelIsProcessGlobal) {
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+}
+
+TEST_F(LoggingTest, SuppressedMessagesDoNotWrite) {
+  SetLogLevel(LogLevel::kError);
+  testing::internal::CaptureStderr();
+  DADER_LOG(Info) << "should be invisible";
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_TRUE(err.empty());
+}
+
+TEST_F(LoggingTest, EmittedMessagesCarryLevelAndFile) {
+  SetLogLevel(LogLevel::kDebug);
+  testing::internal::CaptureStderr();
+  DADER_LOG(Warning) << "watch out " << 42;
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("WARN"), std::string::npos);
+  EXPECT_NE(err.find("logging_test.cc"), std::string::npos);
+  EXPECT_NE(err.find("watch out 42"), std::string::npos);
+}
+
+TEST_F(LoggingTest, ErrorAlwaysAtOrAboveDefault) {
+  SetLogLevel(LogLevel::kInfo);
+  testing::internal::CaptureStderr();
+  DADER_LOG(Error) << "boom";
+  EXPECT_NE(testing::internal::GetCapturedStderr().find("boom"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace dader

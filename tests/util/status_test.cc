@@ -1,0 +1,98 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace dader {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) { EXPECT_TRUE(Status::OK().ok()); }
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad shape");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad shape");
+  EXPECT_EQ(s.ToString(), "Invalid argument: bad shape");
+}
+
+TEST(StatusTest, AllErrorFactories) {
+  EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::OK(), Status::OK());
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kIOError), "IO error");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, ValueOrFallback) {
+  Result<std::string> good(std::string("hello"));
+  Result<std::string> bad(Status::Internal("boom"));
+  EXPECT_EQ(good.ValueOr("fallback"), "hello");
+  EXPECT_EQ(bad.ValueOr("fallback"), "fallback");
+}
+
+TEST(ResultTest, MoveOut) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2, 3});
+  std::vector<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+Status FailingHelper() { return Status::IOError("disk"); }
+
+Status PropagatesViaMacro() {
+  DADER_RETURN_NOT_OK(FailingHelper());
+  return Status::OK();
+}
+
+TEST(ResultTest, ReturnNotOkMacro) {
+  EXPECT_EQ(PropagatesViaMacro().code(), StatusCode::kIOError);
+}
+
+Result<int> IntResult(bool ok) {
+  if (ok) return 7;
+  return Status::OutOfRange("nope");
+}
+
+Result<int> UsesAssignOrReturn(bool ok) {
+  DADER_ASSIGN_OR_RETURN(int v, IntResult(ok));
+  DADER_ASSIGN_OR_RETURN(int w, IntResult(ok));
+  return v + w;
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  EXPECT_EQ(UsesAssignOrReturn(true).ValueOrDie(), 14);
+  EXPECT_EQ(UsesAssignOrReturn(false).status().code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace dader

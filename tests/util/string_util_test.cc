@@ -1,0 +1,95 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace dader {
+namespace {
+
+TEST(SplitTest, Basic) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitTest, PreservesEmptyFields) {
+  EXPECT_EQ(Split(",a,,b,", ','),
+            (std::vector<std::string>{"", "a", "", "b", ""}));
+}
+
+TEST(SplitTest, EmptyInput) {
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(SplitWhitespaceTest, CollapsesRuns) {
+  EXPECT_EQ(SplitWhitespace("  a \t b\nc  "),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitWhitespaceTest, EmptyAndBlank) {
+  EXPECT_TRUE(SplitWhitespace("").empty());
+  EXPECT_TRUE(SplitWhitespace("   \t\n ").empty());
+}
+
+TEST(JoinTest, Basic) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"only"}, ","), "only");
+}
+
+TEST(ToLowerTest, MixedCase) { EXPECT_EQ(ToLower("AbC-12"), "abc-12"); }
+
+TEST(TrimTest, Whitespace) {
+  EXPECT_EQ(Trim("  hi there \n"), "hi there");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(PrefixSuffixTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("a_title", "a_"));
+  EXPECT_FALSE(StartsWith("b_title", "a_"));
+  EXPECT_FALSE(StartsWith("a", "a_"));
+  EXPECT_TRUE(EndsWith("model.bin", ".bin"));
+  EXPECT_FALSE(EndsWith("model.txt", ".bin"));
+}
+
+TEST(EditDistanceTest, KnownValues) {
+  EXPECT_EQ(EditDistance("", ""), 0u);
+  EXPECT_EQ(EditDistance("abc", "abc"), 0u);
+  EXPECT_EQ(EditDistance("abc", ""), 3u);
+  EXPECT_EQ(EditDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(EditDistance("flaw", "lawn"), 2u);
+}
+
+TEST(EditDistanceTest, Symmetry) {
+  EXPECT_EQ(EditDistance("stonebraker", "stnebraker"),
+            EditDistance("stnebraker", "stonebraker"));
+}
+
+TEST(TokenJaccardTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(TokenJaccard("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(TokenJaccard("a b", "a b"), 1.0);
+  EXPECT_DOUBLE_EQ(TokenJaccard("a b", "c d"), 0.0);
+  EXPECT_DOUBLE_EQ(TokenJaccard("a b c", "b c d"), 0.5);
+}
+
+TEST(TokenJaccardTest, DuplicateTokensAreSetSemantics) {
+  EXPECT_DOUBLE_EQ(TokenJaccard("a a a", "a"), 1.0);
+}
+
+TEST(Fnv1aTest, StableAndDistinct) {
+  EXPECT_EQ(Fnv1a64("hello"), Fnv1a64("hello"));
+  EXPECT_NE(Fnv1a64("hello"), Fnv1a64("hellp"));
+  // Known FNV-1a 64-bit value for the empty string (offset basis).
+  EXPECT_EQ(Fnv1a64(""), 0xcbf29ce484222325ULL);
+}
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d-%s-%.2f", 3, "x", 1.5), "3-x-1.50");
+  EXPECT_EQ(StrFormat("no args"), "no args");
+}
+
+TEST(StrFormatTest, LongOutput) {
+  const std::string s = StrFormat("%200d", 5);
+  EXPECT_EQ(s.size(), 200u);
+}
+
+}  // namespace
+}  // namespace dader
