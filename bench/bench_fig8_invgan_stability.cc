@@ -2,6 +2,11 @@
 // per-epoch F1 on BOTH source and target. The paper's failure analysis:
 // plain InvGAN can destroy the features' discriminative power (both curves
 // collapse), while knowledge distillation preserves it.
+//
+// Runs go through the guarded Run() entry point, so each run also reports
+// the stability guard's verdict and the number of reseeded retries: the CSV
+// distinguishes "converged", "recovered-after-retry", "diverged", and
+// "collapsed" runs (see DESIGN.md "Failure modes & recovery").
 
 #include "bench/bench_common.h"
 
@@ -10,8 +15,9 @@ using namespace dader;
 int main(int argc, char** argv) {
   bench::BenchEnv env =
       bench::ParseBenchArgs(argc, argv, "fig8_invgan_stability.csv");
-  bench::CsvReport csv(
-      {"direction", "method", "epoch", "source_f1", "target_f1"});
+  bench::CsvReport csv({"direction", "method", "epoch", "source_f1",
+                        "target_f1", "disc_accuracy", "epoch_verdict",
+                        "run_verdict", "retries", "rollbacks"});
 
   core::ExperimentScale scale = env.scale;
   scale.model.epochs = 24;  // adaptation epochs shown in the figure
@@ -32,21 +38,36 @@ int main(int argc, char** argv) {
           method, scale, task, &model, /*track_source_f1=*/true,
           [&](const core::EpochStats& s) {
             if (s.epoch % 2 == 0) {
-              std::printf("  epoch %2d %7.1f %7.1f\n", s.epoch,
-                          s.source_f1 * 100, s.valid_f1 * 100);
+              std::printf("  epoch %2d %7.1f %7.1f %s\n", s.epoch,
+                          s.source_f1 * 100, s.valid_f1 * 100,
+                          s.verdict == core::GuardVerdict::kHealthy
+                              ? ""
+                              : core::GuardVerdictName(s.verdict));
             }
-            csv.AddRow({direction, core::AlignMethodName(method),
-                        std::to_string(s.epoch), std::to_string(s.source_f1),
-                        std::to_string(s.valid_f1)});
           });
       outcome.status().CheckOK();
-      std::printf("%s final target test F1: %.1f\n\n",
-                  core::AlignMethodName(method),
-                  outcome.ValueOrDie().test_f1 * 100);
+      const core::DaRunOutcome& run = outcome.ValueOrDie();
+      // Rows come from the final attempt's history so every row carries the
+      // run-level verdict and retry count alongside the per-epoch verdict.
+      const char* run_verdict = core::RunVerdictLabel(run.train);
+      for (const core::EpochStats& s : run.train.history) {
+        csv.AddRow({direction, core::AlignMethodName(method),
+                    std::to_string(s.epoch), std::to_string(s.source_f1),
+                    std::to_string(s.valid_f1),
+                    std::to_string(s.disc_accuracy),
+                    core::GuardVerdictName(s.verdict), run_verdict,
+                    std::to_string(run.train.retries),
+                    std::to_string(run.train.rollbacks)});
+      }
+      std::printf("%s final target test F1: %.1f (%s, %d retries, %d "
+                  "rollbacks)\n\n",
+                  core::AlignMethodName(method), run.test_f1 * 100,
+                  run_verdict, run.train.retries, run.train.rollbacks);
     }
   }
   std::printf("Expected shape: InvGAN's source AND target F1 can collapse\n"
-              "during adaptation; InvGAN+KD stays high on both (Finding 4).\n");
+              "during adaptation; InvGAN+KD stays high on both (Finding 4).\n"
+              "The guard column shows when the stability layer intervened.\n");
   csv.WriteIfRequested(env.csv_path);
   return 0;
 }

@@ -9,7 +9,41 @@
 #include <cstdint>
 #include <string>
 
+namespace dader {
+class FaultInjector;  // util/fault.h; only tests/benches arm one
+}
+
 namespace dader::core {
+
+/// \brief Thresholds and recovery policy of the training-stability guard
+/// (core/guard.h). Defaults are calibrated to never trip on a healthy run
+/// at any scale preset; see DESIGN.md "Failure modes & recovery".
+struct GuardConfig {
+  bool enabled = true;       ///< disable for a pre-guard-behavior escape hatch
+
+  // --- divergence detection ---
+  int loss_window = 5;       ///< trailing healthy epochs in the loss window
+  double explosion_factor = 25.0;  ///< loss > factor * window median => diverged
+  double loss_floor = 0.5;   ///< reference floor so tiny losses cannot trip
+  int max_nan_steps = 0;     ///< non-finite steps tolerated per epoch
+
+  // --- GAN collapse classification (Algorithm-2 methods only) ---
+  double disc_collapse_acc = 0.98;  ///< discriminator accuracy at/above this...
+  int disc_collapse_epochs = 3;     ///< ...for this many consecutive epochs
+  double collapse_f1_frac = 0.5;    ///< ...while valid F1 < frac * best-so-far
+
+  // --- recovery ---
+  int max_rollbacks = 2;     ///< in-run rollbacks to last-good before giving up
+  double lr_backoff = 0.5;   ///< learning-rate multiplier per rollback/retry
+  double clip_backoff = 0.5; ///< grad-clip-norm multiplier per rollback
+  int max_retries = 2;       ///< Run()-level reseeded restarts of adaptation
+
+  // --- durable checkpoints ---
+  /// Directory for on-disk checkpoints (pre-adaptation state, periodic
+  /// last-good snapshots, best-model spill). Empty = in-memory only.
+  std::string checkpoint_dir;
+  int checkpoint_every = 0;  ///< epochs between durable snapshots (0 = off)
+};
 
 /// \brief Hyper-parameters shared by all DADER variants.
 struct DaderConfig {
@@ -55,6 +89,12 @@ struct DaderConfig {
 
   // --- adversarial discriminator ---
   int64_t disc_hidden = 32;   ///< width of the InvGAN discriminator MLP
+
+  // --- robustness ---
+  GuardConfig guard;          ///< training-stability guard (core/guard.h)
+  /// Optional fault injector consulted by the trainer/checkpoint paths;
+  /// null (the default) means no instrumented site ever fires.
+  FaultInjector* fault = nullptr;
 };
 
 /// \brief Per-experiment scale: model config + dataset sizing + repeats.

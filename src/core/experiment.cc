@@ -103,9 +103,17 @@ Result<DaRunOutcome> RunSingleDa(AlignMethod method,
   out.trainer = std::make_unique<DaTrainer>(method, config,
                                             model->extractor.get(),
                                             model->matcher.get());
-  out.train = out.trainer->Train(
-      task.source, task.target_unlabeled, task.target_valid,
-      track_source_f1 ? &task.source_eval : nullptr, std::move(callback));
+  DADER_ASSIGN_OR_RETURN(
+      out.train,
+      out.trainer->Run(task.source, task.target_unlabeled, task.target_valid,
+                       track_source_f1 ? &task.source_eval : nullptr,
+                       std::move(callback)));
+  if (out.train.verdict != GuardVerdict::kHealthy) {
+    DADER_LOG(Warning) << AlignMethodName(method) << " run "
+                       << RunVerdictLabel(out.train) << " after "
+                       << out.train.retries << " retries; reported metrics "
+                       << "come from the last attempt's best snapshot";
+  }
   Rng eval_rng(config.seed ^ 0x7e57ULL);
   out.test_f1 = Evaluate(out.trainer->final_extractor(), model->matcher.get(),
                          task.target_test, config.batch_size, &eval_rng)

@@ -1,0 +1,213 @@
+#include "core/guard.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "tensor/serialize.h"
+#include "util/logging.h"
+
+namespace dader::core {
+
+const char* GuardVerdictName(GuardVerdict verdict) {
+  switch (verdict) {
+    case GuardVerdict::kHealthy:
+      return "healthy";
+    case GuardVerdict::kDiverged:
+      return "diverged";
+    case GuardVerdict::kCollapsed:
+      return "collapsed";
+  }
+  return "?";
+}
+
+namespace {
+
+double Median(std::deque<double> values) {
+  std::sort(values.begin(), values.end());
+  const size_t n = values.size();
+  return n % 2 == 1 ? values[n / 2]
+                    : 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+}  // namespace
+
+GuardVerdict TrainingGuard::EndEpoch(const EpochObservation& obs) {
+  if (!config_.enabled) {
+    verdict_ = GuardVerdict::kHealthy;
+    return verdict_;
+  }
+  GuardVerdict v = GuardVerdict::kHealthy;
+  if (obs.aborted || obs.nan_steps > config_.max_nan_steps ||
+      !obs.params_finite || !std::isfinite(obs.mean_loss) ||
+      !std::isfinite(obs.valid_f1)) {
+    v = GuardVerdict::kDiverged;
+  }
+  if (v == GuardVerdict::kHealthy && !window_.empty()) {
+    const double reference = std::max(Median(window_), config_.loss_floor);
+    if (obs.mean_loss > config_.explosion_factor * reference) {
+      v = GuardVerdict::kDiverged;
+    }
+  }
+  // GAN collapse: the discriminator separates the domains near-perfectly
+  // while the model's target F1 has fallen well below its own best — the
+  // Figure-8 pattern where adaptation destroyed the features.
+  if (obs.disc_accuracy >= 0.0) {
+    const bool collapse_pattern =
+        obs.disc_accuracy >= config_.disc_collapse_acc && best_f1_ > 0.1 &&
+        obs.valid_f1 < config_.collapse_f1_frac * best_f1_;
+    disc_streak_ = collapse_pattern ? disc_streak_ + 1 : 0;
+    if (disc_streak_ >= config_.disc_collapse_epochs) {
+      v = GuardVerdict::kCollapsed;
+    }
+  }
+  if (v == GuardVerdict::kHealthy) {
+    window_.push_back(obs.mean_loss);
+    while (static_cast<int>(window_.size()) > config_.loss_window) {
+      window_.pop_front();
+    }
+    best_f1_ = std::max(best_f1_, obs.valid_f1);
+  }
+  verdict_ = v;
+  return v;
+}
+
+void TrainingGuard::Reset() {
+  disc_streak_ = 0;
+  verdict_ = GuardVerdict::kHealthy;
+}
+
+bool TrainingGuard::AllFinite(const std::vector<Tensor>& tensors) {
+  for (const Tensor& t : tensors) {
+    for (float v : t.vec()) {
+      if (!std::isfinite(v)) return false;
+    }
+  }
+  return true;
+}
+
+bool TrainingGuard::GradsFinite(const std::vector<Tensor>& tensors) {
+  for (const Tensor& t : tensors) {
+    for (float g : t.grad()) {
+      if (!std::isfinite(g)) return false;
+    }
+  }
+  return true;
+}
+
+void BestSnapshot::Consider(double valid_f1, int epoch,
+                            const nn::Module& extractor,
+                            const nn::Module& matcher, GuardVerdict verdict) {
+  // A flagged or non-finite epoch must never become "best", even when no
+  // healthy epoch has been seen yet.
+  if (verdict != GuardVerdict::kHealthy || !std::isfinite(valid_f1)) return;
+  // >= keeps the latest epoch among ties: when validation is
+  // uninformative (all-equal F1), longer training is the better default.
+  if (best_epoch_ < 0 || valid_f1 >= best_f1_) {
+    best_f1_ = valid_f1;
+    best_epoch_ = epoch;
+    extractor_weights_ = extractor.SnapshotWeights();
+    matcher_weights_ = matcher.SnapshotWeights();
+    if (!spill_path_.empty()) {
+      std::map<std::string, Tensor> merged;
+      for (const auto& [name, t] : extractor_weights_) merged["F." + name] = t;
+      for (const auto& [name, t] : matcher_weights_) merged["M." + name] = t;
+      Status st = SaveTensors(spill_path_, merged);
+      if (!st.ok()) {
+        DADER_LOG(Warning) << "best-model spill to " << spill_path_
+                           << " failed: " << st.ToString();
+      }
+    }
+  }
+}
+
+void BestSnapshot::Restore(nn::Module* extractor, nn::Module* matcher) const {
+  if (best_epoch_ < 0) return;
+  extractor->RestoreWeights(extractor_weights_).CheckOK();
+  matcher->RestoreWeights(matcher_weights_).CheckOK();
+}
+
+Status SaveModules(const std::string& path,
+                   const std::vector<ModuleBinding>& modules) {
+  std::map<std::string, Tensor> merged;
+  for (const auto& [name, module] : modules) {
+    if (module == nullptr) {
+      return Status::InvalidArgument("null module '" + name + "'");
+    }
+    for (const auto& [key, t] : module->SnapshotWeights()) {
+      if (!merged.emplace(name + "." + key, t).second) {
+        return Status::InvalidArgument("duplicate checkpoint key '" + name +
+                                       "." + key + "'");
+      }
+    }
+  }
+  return SaveTensors(path, merged);
+}
+
+Status LoadModules(const std::string& path,
+                   const std::vector<ModuleBinding>& modules) {
+  DADER_ASSIGN_OR_RETURN(auto merged, LoadTensors(path));
+  std::map<std::string, std::map<std::string, Tensor>> per_module;
+  for (const auto& [key, tensor] : merged) {
+    const size_t dot = key.find('.');
+    if (dot == std::string::npos) {
+      return Status::InvalidArgument("unprefixed checkpoint key '" + key +
+                                     "' in " + path);
+    }
+    per_module[key.substr(0, dot)].emplace(key.substr(dot + 1), tensor);
+  }
+  // Validate the full key universe before restoring anything: either every
+  // module round-trips or no module is touched.
+  for (const auto& [prefix, weights] : per_module) {
+    (void)weights;
+    bool known = false;
+    for (const auto& [name, module] : modules) {
+      (void)module;
+      known |= name == prefix;
+    }
+    if (!known) {
+      return Status::InvalidArgument("checkpoint " + path +
+                                     " has unknown module prefix '" + prefix +
+                                     "'");
+    }
+  }
+  for (const auto& [name, module] : modules) {
+    auto it = per_module.find(name);
+    if (it == per_module.end()) {
+      return Status::NotFound("checkpoint " + path + " missing module '" +
+                              name + "'");
+    }
+    const auto expected = module->NamedParameters();
+    if (expected.size() != it->second.size()) {
+      return Status::InvalidArgument(
+          "checkpoint " + path + " module '" + name + "' has " +
+          std::to_string(it->second.size()) + " tensors, model expects " +
+          std::to_string(expected.size()));
+    }
+    for (const auto& [key, param] : expected) {
+      auto w = it->second.find(key);
+      if (w == it->second.end()) {
+        return Status::NotFound("checkpoint " + path + " missing '" + name +
+                                "." + key + "'");
+      }
+      if (w->second.shape() != param.shape()) {
+        return Status::InvalidArgument("shape mismatch for '" + name + "." +
+                                       key + "' in " + path);
+      }
+    }
+  }
+  for (const auto& [name, module] : modules) {
+    DADER_RETURN_NOT_OK(module->RestoreWeights(per_module.at(name)));
+  }
+  return Status::OK();
+}
+
+void PoisonGradients(const std::vector<Tensor>& params) {
+  for (Tensor p : params) {
+    for (float& g : p.mutable_grad()) {
+      g = std::numeric_limits<float>::quiet_NaN();
+    }
+  }
+}
+
+}  // namespace dader::core

@@ -1,0 +1,138 @@
+// Training-stability guardrails for the DADER trainers.
+//
+// Adversarial aligners — InvGAN in particular (Figure 8) — can diverge or
+// collapse, and a single NaN batch used to silently poison a whole
+// experiment sweep. This module provides the pieces the trainer composes
+// into a recovery protocol:
+//
+//   * TrainingGuard      — per-step finiteness checks and per-epoch
+//                          divergence / GAN-collapse classification.
+//   * BestSnapshot       — best-valid-F1 model selection that refuses
+//                          guard-flagged epochs and can spill the best
+//                          weights to disk (crash durability).
+//   * SaveModules /      — durable multi-module checkpoints on top of
+//     LoadModules          SaveTensors (atomic rename + CRC footer).
+//   * PoisonGradients    — the NaN-gradient fault payload used with
+//                          util/fault.h in tests.
+//
+// See DESIGN.md "Failure modes & recovery" for thresholds and the full
+// rollback / retry-with-reseed protocol.
+
+#pragma once
+
+#include <deque>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/config.h"
+#include "nn/module.h"
+#include "tensor/tensor.h"
+#include "util/status.h"
+
+namespace dader::core {
+
+/// \brief Health classification of an epoch or of a whole training run.
+enum class GuardVerdict {
+  kHealthy,    ///< losses finite and within the explosion envelope
+  kDiverged,   ///< NaN/Inf loss, gradients, or parameters, or loss explosion
+  kCollapsed,  ///< GAN failure mode: discriminator wins while valid F1 dies
+};
+
+/// \brief "healthy", "diverged", "collapsed".
+const char* GuardVerdictName(GuardVerdict verdict);
+
+/// \brief Stateful divergence detector, one instance per training attempt.
+///
+/// The trainer feeds it step-level finiteness observations and one
+/// EpochObservation per epoch; EndEpoch returns the epoch's verdict. After
+/// a rollback the trainer calls Reset() so stale streaks from the bad
+/// trajectory cannot re-trip the guard.
+class TrainingGuard {
+ public:
+  explicit TrainingGuard(const GuardConfig& config) : config_(config) {}
+
+  /// \brief What the trainer observed over one epoch.
+  struct EpochObservation {
+    double mean_loss = 0.0;      ///< mean total loss over finite steps
+    int nan_steps = 0;           ///< steps skipped for non-finite loss/grads
+    bool aborted = false;        ///< epoch ended early (simulated crash)
+    bool params_finite = true;   ///< all model parameters finite at epoch end
+    double valid_f1 = -1.0;      ///< target validation F1 (-1 = unknown)
+    double disc_accuracy = -1.0; ///< GAN discriminator accuracy (-1 = n/a)
+  };
+
+  /// \brief Classifies the epoch and folds it into the guard's history.
+  GuardVerdict EndEpoch(const EpochObservation& obs);
+
+  /// \brief Last EndEpoch verdict.
+  GuardVerdict verdict() const { return verdict_; }
+
+  /// \brief Clears explosion/collapse streak state after a rollback. The
+  /// loss window is kept: the pre-rollback healthy epochs remain the
+  /// reference for what a sane loss looks like.
+  void Reset();
+
+  /// \brief True when every element of every tensor is finite.
+  static bool AllFinite(const std::vector<Tensor>& tensors);
+
+  /// \brief True when every gradient buffer element is finite.
+  static bool GradsFinite(const std::vector<Tensor>& tensors);
+
+ private:
+  GuardConfig config_;
+  std::deque<double> window_;   // trailing healthy-epoch mean losses
+  int disc_streak_ = 0;         // consecutive collapse-pattern epochs
+  double best_f1_ = -1.0;       // best healthy valid F1 so far
+  GuardVerdict verdict_ = GuardVerdict::kHealthy;
+};
+
+/// \brief Tracks the best validation F1 and the corresponding weights.
+///
+/// Guard-flagged and non-finite epochs are never considered — a NaN-F1
+/// epoch must never become "best". With a spill path set, every new best is
+/// also persisted via SaveTensors (atomic + CRC), so the best model
+/// survives a process crash.
+class BestSnapshot {
+ public:
+  /// \brief Enables on-disk spilling of each new best to `path`.
+  void set_spill_path(std::string path) { spill_path_ = std::move(path); }
+  const std::string& spill_path() const { return spill_path_; }
+
+  void Consider(double valid_f1, int epoch, const nn::Module& extractor,
+                const nn::Module& matcher,
+                GuardVerdict verdict = GuardVerdict::kHealthy);
+
+  void Restore(nn::Module* extractor, nn::Module* matcher) const;
+
+  double best_f1() const { return best_f1_; }
+  int best_epoch() const { return best_epoch_; }
+
+ private:
+  double best_f1_ = -1.0;
+  int best_epoch_ = -1;
+  std::string spill_path_;
+  std::map<std::string, Tensor> extractor_weights_;
+  std::map<std::string, Tensor> matcher_weights_;
+};
+
+/// \brief A named module slot inside a multi-module checkpoint file.
+using ModuleBinding = std::pair<std::string, nn::Module*>;
+
+/// \brief Writes the named modules' weights to one checkpoint file, keys
+/// prefixed "<name>." (e.g. "F.encoder.layer0.w"). Atomic + CRC-tagged.
+Status SaveModules(const std::string& path,
+                   const std::vector<ModuleBinding>& modules);
+
+/// \brief Restores a SaveModules checkpoint. Validates every key against
+/// the bindings before touching any module, so a corrupt or mismatched file
+/// leaves the models exactly as they were.
+Status LoadModules(const std::string& path,
+                   const std::vector<ModuleBinding>& modules);
+
+/// \brief Overwrites every gradient buffer of `params` with NaN — the
+/// kNanGradient fault payload (tests only).
+void PoisonGradients(const std::vector<Tensor>& params);
+
+}  // namespace dader::core

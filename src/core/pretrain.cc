@@ -129,6 +129,10 @@ Status LoadOrPretrainLM(LMFeatureExtractor* extractor,
       }
       DADER_LOG(Warning) << "incompatible pre-train cache " << cache_path
                          << " (" << restore.ToString() << "); re-pretraining";
+    } else {
+      DADER_LOG(Warning) << "unreadable pre-train cache " << cache_path
+                         << " (" << loaded.status().ToString()
+                         << "); re-pretraining";
     }
   }
   auto corpus = BuildPretrainCorpus(extractor->config(), config);

@@ -7,6 +7,7 @@
 #include "tensor/nn_ops.h"
 #include "tensor/ops.h"
 #include "tensor/optimizer.h"
+#include "util/fault.h"
 #include "util/logging.h"
 
 namespace dader::core {
@@ -59,6 +60,20 @@ bool IsGanMethod(AlignMethod method) {
   return method == AlignMethod::kInvGAN || method == AlignMethod::kInvGANKD;
 }
 
+const char* RunVerdictLabel(const TrainResult& result) {
+  switch (result.verdict) {
+    case GuardVerdict::kHealthy:
+      return (result.retries > 0 || result.rollbacks > 0)
+                 ? "recovered-after-retry"
+                 : "converged";
+    case GuardVerdict::kDiverged:
+      return "diverged";
+    case GuardVerdict::kCollapsed:
+      return "collapsed";
+  }
+  return "?";
+}
+
 namespace {
 
 // Source labels for a batch of pair indices.
@@ -78,35 +93,33 @@ std::vector<float> ConstantTargets(size_t n, float value) {
   return std::vector<float>(n, value);
 }
 
-// Tracks the best validation F1 and the corresponding weights.
-class BestSnapshot {
+bool AllValuesFinite(std::initializer_list<double> values) {
+  for (double v : values) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+// In-memory copy of the trainable modules' weights at the last healthy
+// epoch; restored by the guard's rollback path.
+class LastGoodState {
  public:
-  void Consider(double valid_f1, int epoch, const nn::Module& extractor,
-                const nn::Module& matcher) {
-    // >= keeps the latest epoch among ties: when validation is
-    // uninformative (all-equal F1), longer training is the better default.
-    if (best_epoch_ < 0 || valid_f1 >= best_f1_) {
-      best_f1_ = valid_f1;
-      best_epoch_ = epoch;
-      extractor_weights_ = extractor.SnapshotWeights();
-      matcher_weights_ = matcher.SnapshotWeights();
+  void Capture(const std::vector<nn::Module*>& modules) {
+    snapshots_.clear();
+    for (const nn::Module* m : modules) {
+      snapshots_.push_back(m->SnapshotWeights());
     }
   }
 
-  void Restore(nn::Module* extractor, nn::Module* matcher) const {
-    if (best_epoch_ < 0) return;
-    extractor->RestoreWeights(extractor_weights_).CheckOK();
-    matcher->RestoreWeights(matcher_weights_).CheckOK();
+  void Restore(const std::vector<nn::Module*>& modules) const {
+    DADER_CHECK_EQ(modules.size(), snapshots_.size());
+    for (size_t i = 0; i < modules.size(); ++i) {
+      modules[i]->RestoreWeights(snapshots_[i]).CheckOK();
+    }
   }
 
-  double best_f1() const { return best_f1_; }
-  int best_epoch() const { return best_epoch_; }
-
  private:
-  double best_f1_ = -1.0;
-  int best_epoch_ = -1;
-  std::map<std::string, Tensor> extractor_weights_;
-  std::map<std::string, Tensor> matcher_weights_;
+  std::vector<std::map<std::string, Tensor>> snapshots_;
 };
 
 }  // namespace
@@ -138,6 +151,31 @@ FeatureExtractor* DaTrainer::final_extractor() {
   return adapted_ != nullptr ? adapted_.get() : extractor_;
 }
 
+nn::Module* DaTrainer::aligner_module() {
+  if (discriminator_ != nullptr) return discriminator_.get();
+  if (decoder_ != nullptr) return decoder_.get();
+  return nullptr;
+}
+
+void DaTrainer::ReseedForRetry(int attempt) {
+  retry_salt_ = 0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(attempt);
+  rng_ = Rng(config_.seed ^ 0x7a11ULL ^ retry_salt_);
+  const uint64_t seed = config_.seed ^ retry_salt_;
+  if (method_ == AlignMethod::kGRL) {
+    discriminator_ = std::make_unique<DomainDiscriminator>(
+        extractor_->feature_dim(), config_.disc_hidden, /*deep=*/false, seed);
+  } else if (IsGanMethod(method_)) {
+    discriminator_ = std::make_unique<DomainDiscriminator>(
+        extractor_->feature_dim(), config_.disc_hidden, /*deep=*/true, seed);
+  } else if (method_ == AlignMethod::kED) {
+    decoder_ = std::make_unique<ReconstructionDecoder>(
+        extractor_->feature_dim(), config_.vocab_size, seed);
+  }
+  adapted_.reset();
+  lr_scale_ =
+      static_cast<float>(std::pow(config_.guard.lr_backoff, attempt));
+}
+
 std::vector<std::vector<int64_t>> DaTrainer::TokenBags(
     const EncodedBatch& batch) {
   std::vector<std::vector<int64_t>> bags(static_cast<size_t>(batch.batch));
@@ -163,11 +201,93 @@ TrainResult DaTrainer::Train(const data::ERDataset& source,
     DADER_CHECK_GT(target_train.size(), 0u);
   }
   if (IsGanMethod(method_)) {
-    return TrainAlgorithm2(source, target_train, target_valid, source_eval,
+    PretrainSourceGan(source);
+    return AdaptAlgorithm2(source, target_train, target_valid, source_eval,
                            callback);
   }
   return TrainAlgorithm1(source, target_train, target_valid, source_eval,
                          callback);
+}
+
+Result<TrainResult> DaTrainer::Run(const data::ERDataset& source,
+                                   const data::ERDataset& target_train,
+                                   const data::ERDataset& target_valid,
+                                   const data::ERDataset* source_eval,
+                                   EpochCallback callback) {
+  if (source.size() == 0) {
+    return Status::InvalidArgument("Run requires a non-empty labeled source");
+  }
+  if (target_valid.size() == 0) {
+    return Status::InvalidArgument(
+        "Run requires a non-empty target validation set");
+  }
+  if (method_ != AlignMethod::kNoDA && target_train.size() == 0) {
+    return Status::InvalidArgument(std::string(AlignMethodName(method_)) +
+                                   " requires non-empty target training data");
+  }
+
+  // For GAN methods the source pre-training (Algorithm 2, step 1) runs once;
+  // retries restart only the adaptation phase.
+  if (IsGanMethod(method_)) PretrainSourceGan(source);
+
+  // Pre-adaptation checkpoint: always in memory, durable when configured.
+  const std::map<std::string, Tensor> ckpt_f = extractor_->SnapshotWeights();
+  const std::map<std::string, Tensor> ckpt_m = matcher_->SnapshotWeights();
+  std::string ckpt_path;
+  if (!config_.guard.checkpoint_dir.empty()) {
+    ckpt_path = config_.guard.checkpoint_dir + "/pre_adaptation_" +
+                AlignMethodName(method_) + ".bin";
+    Status st = SaveModules(ckpt_path, {{"F", extractor_}, {"M", matcher_}});
+    if (!st.ok()) {
+      DADER_LOG(Warning) << "pre-adaptation checkpoint failed ("
+                         << st.ToString() << "); in-memory snapshot only";
+      ckpt_path.clear();
+    } else if (config_.fault != nullptr &&
+               config_.fault->ShouldFire(FaultKind::kCorruptCheckpoint,
+                                         /*epoch=*/0)) {
+      (void)FaultInjector::TruncateFile(ckpt_path, 0.5);
+    }
+  }
+
+  TrainResult result;
+  for (int attempt = 0;; ++attempt) {
+    if (attempt > 0) {
+      // Roll back to the pre-adaptation state, preferring the durable
+      // checkpoint (it survives a crashed process; the in-memory copy is
+      // the fallback when the file is missing or corrupt).
+      bool restored = false;
+      if (!ckpt_path.empty()) {
+        Status st =
+            LoadModules(ckpt_path, {{"F", extractor_}, {"M", matcher_}});
+        if (st.ok()) {
+          restored = true;
+        } else {
+          DADER_LOG(Warning)
+              << "durable checkpoint " << ckpt_path << " unusable ("
+              << st.ToString() << "); using in-memory snapshot";
+        }
+      }
+      if (!restored) {
+        extractor_->RestoreWeights(ckpt_f).CheckOK();
+        matcher_->RestoreWeights(ckpt_m).CheckOK();
+      }
+      ReseedForRetry(attempt);
+    }
+    result = IsGanMethod(method_)
+                 ? AdaptAlgorithm2(source, target_train, target_valid,
+                                   source_eval, callback)
+                 : TrainAlgorithm1(source, target_train, target_valid,
+                                   source_eval, callback);
+    result.retries = attempt;
+    if (result.verdict == GuardVerdict::kHealthy ||
+        attempt >= config_.guard.max_retries) {
+      break;
+    }
+    DADER_LOG(Warning) << AlignMethodName(method_) << " adaptation "
+                       << GuardVerdictName(result.verdict) << " on attempt "
+                       << attempt + 1 << "; retrying with a fresh seed";
+  }
+  return result;
 }
 
 TrainResult DaTrainer::TrainAlgorithm1(const data::ERDataset& source,
@@ -175,18 +295,26 @@ TrainResult DaTrainer::TrainAlgorithm1(const data::ERDataset& source,
                                        const data::ERDataset& target_valid,
                                        const data::ERDataset* source_eval,
                                        const EpochCallback& callback) {
-  AdamOptimizer opt_f(extractor_->Parameters(), config_.learning_rate,
-                      0.9f, 0.999f, 1e-8f, config_.weight_decay);
-  AdamOptimizer opt_m(matcher_->Parameters(), config_.learning_rate,
-                      0.9f, 0.999f, 1e-8f, config_.weight_decay);
-  std::unique_ptr<AdamOptimizer> opt_a;
-  if (discriminator_ != nullptr) {
-    opt_a = std::make_unique<AdamOptimizer>(discriminator_->Parameters(),
-                                            config_.learning_rate);
-  } else if (decoder_ != nullptr) {
-    opt_a = std::make_unique<AdamOptimizer>(decoder_->Parameters(),
-                                            config_.learning_rate);
-  }
+  float lr = config_.learning_rate * lr_scale_;
+  float clip = config_.grad_clip_norm;
+  std::unique_ptr<AdamOptimizer> opt_f, opt_m, opt_a;
+  // Rebuilt after every rollback: Adam moments accumulated along a bad
+  // trajectory must not steer the restored weights.
+  auto rebuild_optimizers = [&]() {
+    opt_f = std::make_unique<AdamOptimizer>(extractor_->Parameters(), lr,
+                                            0.9f, 0.999f, 1e-8f,
+                                            config_.weight_decay);
+    opt_m = std::make_unique<AdamOptimizer>(matcher_->Parameters(), lr, 0.9f,
+                                            0.999f, 1e-8f,
+                                            config_.weight_decay);
+    if (discriminator_ != nullptr) {
+      opt_a = std::make_unique<AdamOptimizer>(discriminator_->Parameters(),
+                                              lr);
+    } else if (decoder_ != nullptr) {
+      opt_a = std::make_unique<AdamOptimizer>(decoder_->Parameters(), lr);
+    }
+  };
+  rebuild_optimizers();
 
   data::MinibatchSampler src_sampler(&source, config_.batch_size,
                                      rng_.Fork(1));
@@ -201,11 +329,32 @@ TrainResult DaTrainer::TrainAlgorithm1(const data::ERDataset& source,
   matcher_->SetTraining(true);
 
   TrainResult result;
+  TrainingGuard guard(config_.guard);
   BestSnapshot best;
+  if (!config_.guard.checkpoint_dir.empty()) {
+    best.set_spill_path(config_.guard.checkpoint_dir + "/best_" +
+                        AlignMethodName(method_) + ".bin");
+  }
   Rng eval_rng = rng_.Fork(99);
-  for (int epoch = 1; epoch <= config_.epochs; ++epoch) {
+
+  std::vector<nn::Module*> guarded = {extractor_, matcher_};
+  if (aligner_module() != nullptr) guarded.push_back(aligner_module());
+  LastGoodState last_good;
+  last_good.Capture(guarded);  // epoch-1 divergence rolls back to init
+
+  bool give_up = false;
+  for (int epoch = 1; epoch <= config_.epochs && !give_up; ++epoch) {
     double sum_lm = 0.0, sum_la = 0.0;
+    size_t good_steps = 0;
+    int nan_steps = 0;
+    bool aborted = false;
     for (size_t it = 0; it < iters; ++it) {
+      if (config_.fault != nullptr &&
+          config_.fault->ShouldFire(FaultKind::kAbortStep, epoch,
+                                    static_cast<int>(it))) {
+        aborted = true;
+        break;
+      }
       // DANN-style warm-up: ramp the alignment weight from 0 to its target
       // as training progresses, so alignment cannot collapse the features
       // before the matcher has learned discriminative ones.
@@ -277,29 +426,45 @@ TrainResult DaTrainer::TrainAlgorithm1(const data::ERDataset& source,
           default:
             DADER_CHECK_MSG(false, "unexpected method in Algorithm 1");
         }
-        sum_la += loss_a.item();
       }
-      sum_lm += loss_m.item();
+      const double lm_val = loss_m.item();
+      const double la_val = loss_a.defined() ? loss_a.item() : 0.0;
 
-      opt_f.ZeroGrad();
-      opt_m.ZeroGrad();
+      opt_f->ZeroGrad();
+      opt_m->ZeroGrad();
       if (opt_a != nullptr) opt_a->ZeroGrad();
       total.Backward();
-      opt_f.ClipGradNorm(config_.grad_clip_norm);
-      opt_m.ClipGradNorm(config_.grad_clip_norm);
-      opt_f.Step();
-      opt_m.Step();
-      if (opt_a != nullptr) {
-        opt_a->ClipGradNorm(config_.grad_clip_norm);
-        opt_a->Step();
+      if (config_.fault != nullptr &&
+          config_.fault->ShouldFire(FaultKind::kNanGradient, epoch,
+                                    static_cast<int>(it))) {
+        PoisonGradients(extractor_->Parameters());
       }
+      const double norm_f = opt_f->ClipGradNorm(clip);
+      const double norm_m = opt_m->ClipGradNorm(clip);
+      const double norm_a =
+          opt_a != nullptr ? opt_a->ClipGradNorm(clip) : 0.0;
+      if (!AllValuesFinite({total.item(), norm_f, norm_m, norm_a})) {
+        // Skip the update: a poisoned step must not touch the weights.
+        ++nan_steps;
+        continue;
+      }
+      opt_f->Step();
+      opt_m->Step();
+      if (opt_a != nullptr) opt_a->Step();
+      sum_lm += lm_val;
+      if (method_ != AlignMethod::kNoDA) sum_la += la_val;
+      ++good_steps;
     }
 
     EpochStats stats;
     stats.epoch = epoch;
-    stats.matching_loss = sum_lm / static_cast<double>(iters);
-    stats.alignment_loss =
-        method_ == AlignMethod::kNoDA ? 0.0 : sum_la / static_cast<double>(iters);
+    stats.nan_steps = nan_steps;
+    if (good_steps > 0) {
+      stats.matching_loss = sum_lm / static_cast<double>(good_steps);
+      stats.alignment_loss = method_ == AlignMethod::kNoDA
+                                 ? 0.0
+                                 : sum_la / static_cast<double>(good_steps);
+    }
     stats.valid_f1 = Evaluate(extractor_, matcher_, target_valid,
                               config_.batch_size, &eval_rng)
                          .F1();
@@ -309,7 +474,52 @@ TrainResult DaTrainer::TrainAlgorithm1(const data::ERDataset& source,
                    &eval_rng)
               .F1();
     }
-    best.Consider(stats.valid_f1, epoch, *extractor_, *matcher_);
+
+    TrainingGuard::EpochObservation obs;
+    obs.mean_loss = stats.matching_loss + stats.alignment_loss;
+    obs.nan_steps = nan_steps;
+    obs.aborted = aborted;
+    obs.params_finite = TrainingGuard::AllFinite(extractor_->Parameters()) &&
+                        TrainingGuard::AllFinite(matcher_->Parameters());
+    obs.valid_f1 = stats.valid_f1;
+    stats.verdict = guard.EndEpoch(obs);
+
+    if (stats.verdict == GuardVerdict::kHealthy) {
+      best.Consider(stats.valid_f1, epoch, *extractor_, *matcher_,
+                    stats.verdict);
+      last_good.Capture(guarded);
+      const GuardConfig& g = config_.guard;
+      if (!g.checkpoint_dir.empty() && g.checkpoint_every > 0 &&
+          epoch % g.checkpoint_every == 0) {
+        std::vector<ModuleBinding> mods = {{"F", extractor_}, {"M", matcher_}};
+        if (aligner_module() != nullptr) mods.push_back({"A", aligner_module()});
+        const std::string path = g.checkpoint_dir + "/last_good_" +
+                                 AlignMethodName(method_) + ".bin";
+        Status st = SaveModules(path, mods);
+        if (!st.ok()) {
+          DADER_LOG(Warning) << "periodic checkpoint failed: " << st.ToString();
+        } else if (config_.fault != nullptr &&
+                   config_.fault->ShouldFire(FaultKind::kCorruptCheckpoint,
+                                             epoch)) {
+          (void)FaultInjector::TruncateFile(path, 0.5);
+        }
+      }
+    } else if (result.rollbacks < config_.guard.max_rollbacks) {
+      last_good.Restore(guarded);
+      lr *= static_cast<float>(config_.guard.lr_backoff);
+      clip *= static_cast<float>(config_.guard.clip_backoff);
+      rebuild_optimizers();
+      guard.Reset();
+      ++result.rollbacks;
+      stats.rolled_back = true;
+      DADER_LOG(Warning) << AlignMethodName(method_) << " epoch " << epoch
+                         << " " << GuardVerdictName(stats.verdict)
+                         << "; rolled back to last good weights (lr -> " << lr
+                         << ")";
+    } else {
+      result.verdict = stats.verdict;
+      give_up = true;
+    }
     result.history.push_back(stats);
     if (callback) callback(stats);
   }
@@ -320,50 +530,59 @@ TrainResult DaTrainer::TrainAlgorithm1(const data::ERDataset& source,
   return result;
 }
 
-TrainResult DaTrainer::TrainAlgorithm2(const data::ERDataset& source,
+void DaTrainer::PretrainSourceGan(const data::ERDataset& source) {
+  // ---- Algorithm 2, step 1: train F and M on the labeled source. ----
+  AdamOptimizer opt_f(extractor_->Parameters(), config_.learning_rate,
+                      0.9f, 0.999f, 1e-8f, config_.weight_decay);
+  AdamOptimizer opt_m(matcher_->Parameters(), config_.learning_rate,
+                      0.9f, 0.999f, 1e-8f, config_.weight_decay);
+  data::MinibatchSampler src_sampler(&source, config_.batch_size,
+                                     rng_.Fork(11));
+  const size_t iters = src_sampler.BatchesPerEpoch();
+  extractor_->SetTraining(true);
+  matcher_->SetTraining(true);
+  for (int epoch = 1; epoch <= config_.gan_pretrain_epochs; ++epoch) {
+    for (size_t it = 0; it < iters; ++it) {
+      const std::vector<size_t> src_idx = src_sampler.NextBatch();
+      const EncodedBatch bs = extractor_->EncodePairs(source, src_idx);
+      Tensor logits =
+          matcher_->Forward(extractor_->Forward(bs, &rng_), &rng_);
+      Tensor loss =
+          ops::CrossEntropyWithLogits(logits, BatchLabels(source, src_idx));
+      opt_f.ZeroGrad();
+      opt_m.ZeroGrad();
+      loss.Backward();
+      opt_f.ClipGradNorm(config_.grad_clip_norm);
+      opt_m.ClipGradNorm(config_.grad_clip_norm);
+      opt_f.Step();
+      opt_m.Step();
+    }
+  }
+}
+
+TrainResult DaTrainer::AdaptAlgorithm2(const data::ERDataset& source,
                                        const data::ERDataset& target_train,
                                        const data::ERDataset& target_valid,
                                        const data::ERDataset* source_eval,
                                        const EpochCallback& callback) {
-  // ---- Step 1: train F and M on the labeled source (lines 2-7). ----
-  {
-    AdamOptimizer opt_f(extractor_->Parameters(), config_.learning_rate,
-                      0.9f, 0.999f, 1e-8f, config_.weight_decay);
-    AdamOptimizer opt_m(matcher_->Parameters(), config_.learning_rate,
-                      0.9f, 0.999f, 1e-8f, config_.weight_decay);
-    data::MinibatchSampler src_sampler(&source, config_.batch_size,
-                                       rng_.Fork(11));
-    const size_t iters = src_sampler.BatchesPerEpoch();
-    extractor_->SetTraining(true);
-    matcher_->SetTraining(true);
-    for (int epoch = 1; epoch <= config_.gan_pretrain_epochs; ++epoch) {
-      for (size_t it = 0; it < iters; ++it) {
-        const std::vector<size_t> src_idx = src_sampler.NextBatch();
-        const EncodedBatch bs = extractor_->EncodePairs(source, src_idx);
-        Tensor logits =
-            matcher_->Forward(extractor_->Forward(bs, &rng_), &rng_);
-        Tensor loss =
-            ops::CrossEntropyWithLogits(logits, BatchLabels(source, src_idx));
-        opt_f.ZeroGrad();
-        opt_m.ZeroGrad();
-        loss.Backward();
-        opt_f.ClipGradNorm(config_.grad_clip_norm);
-        opt_m.ClipGradNorm(config_.grad_clip_norm);
-        opt_f.Step();
-        opt_m.Step();
-      }
-    }
-  }
-
-  // ---- Step 2: adversarial adaptation of F' (lines 8-16). ----
-  adapted_ = extractor_->CloneArchitecture(config_.seed ^ 0xf2f2ULL);
+  // ---- Algorithm 2, step 2: adversarial adaptation of F' (lines 8-16). ----
+  adapted_ = extractor_->CloneArchitecture(config_.seed ^ 0xf2f2ULL ^
+                                           retry_salt_);
   adapted_->CopyWeightsFrom(*extractor_).CheckOK();
   adapted_->SetTraining(true);
   extractor_->SetTraining(false);  // F is frozen from here on
 
-  AdamOptimizer opt_d(discriminator_->Parameters(), config_.learning_rate);
-  AdamOptimizer opt_fp(adapted_->Parameters(), config_.learning_rate,
-                       0.9f, 0.999f, 1e-8f, config_.weight_decay);
+  float lr = config_.learning_rate * lr_scale_;
+  float clip = config_.grad_clip_norm;
+  std::unique_ptr<AdamOptimizer> opt_d, opt_fp;
+  auto rebuild_optimizers = [&]() {
+    opt_d = std::make_unique<AdamOptimizer>(discriminator_->Parameters(), lr);
+    opt_fp = std::make_unique<AdamOptimizer>(adapted_->Parameters(), lr, 0.9f,
+                                             0.999f, 1e-8f,
+                                             config_.weight_decay);
+  };
+  rebuild_optimizers();
+
   data::MinibatchSampler src_sampler(&source, config_.batch_size,
                                      rng_.Fork(21));
   data::MinibatchSampler tgt_sampler(&target_train, config_.batch_size,
@@ -371,13 +590,32 @@ TrainResult DaTrainer::TrainAlgorithm2(const data::ERDataset& source,
   const size_t iters = std::max<size_t>(1, src_sampler.BatchesPerEpoch());
 
   TrainResult result;
+  TrainingGuard guard(config_.guard);
   BestSnapshot best;
+  if (!config_.guard.checkpoint_dir.empty()) {
+    best.set_spill_path(config_.guard.checkpoint_dir + "/best_" +
+                        AlignMethodName(method_) + ".bin");
+  }
   Rng eval_rng = rng_.Fork(98);
   const bool use_kd = method_ == AlignMethod::kInvGANKD;
 
-  for (int epoch = 1; epoch <= config_.epochs; ++epoch) {
-    double sum_gen = 0.0, sum_disc = 0.0;
+  std::vector<nn::Module*> guarded = {adapted_.get(), discriminator_.get()};
+  LastGoodState last_good;
+  last_good.Capture(guarded);  // epoch-1 divergence rolls back to F' = F
+
+  bool give_up = false;
+  for (int epoch = 1; epoch <= config_.epochs && !give_up; ++epoch) {
+    double sum_gen = 0.0, sum_disc = 0.0, sum_acc = 0.0;
+    size_t good_steps = 0, acc_steps = 0;
+    int nan_steps = 0;
+    bool aborted = false;
     for (size_t it = 0; it < iters; ++it) {
+      if (config_.fault != nullptr &&
+          config_.fault->ShouldFire(FaultKind::kAbortStep, epoch,
+                                    static_cast<int>(it))) {
+        aborted = true;
+        break;
+      }
       const std::vector<size_t> src_idx = src_sampler.NextBatch();
       const std::vector<size_t> tgt_idx = tgt_sampler.NextBatch();
       const EncodedBatch bs = extractor_->EncodePairs(source, src_idx);
@@ -399,11 +637,20 @@ TrainResult DaTrainer::TrainAlgorithm2(const data::ERDataset& source,
                    ops::BinaryCrossEntropyWithLogits(
                        d_fake, ConstantTargets(tgt_idx.size(), 0.0f))),
           0.5f);
-      opt_d.ZeroGrad();
+      // Discriminator accuracy feeds the guard's collapse classifier.
+      {
+        int correct = 0;
+        for (float v : d_real.vec()) correct += v > 0.0f ? 1 : 0;
+        for (float v : d_fake.vec()) correct += v < 0.0f ? 1 : 0;
+        sum_acc += static_cast<double>(correct) /
+                   static_cast<double>(src_idx.size() + tgt_idx.size());
+        ++acc_steps;
+      }
+      opt_d->ZeroGrad();
       loss_d.Backward();
-      opt_d.ClipGradNorm(config_.grad_clip_norm);
-      opt_d.Step();
-      sum_disc += loss_d.item();
+      const double norm_d = opt_d->ClipGradNorm(clip);
+      const bool disc_ok = AllValuesFinite({loss_d.item(), norm_d});
+      if (disc_ok) opt_d->Step();
 
       // --- Generator update: F' fools A with inverted labels (Eq. 11/14).
       Tensor d_fooled = discriminator_->Forward(fake, &rng_);
@@ -421,20 +668,39 @@ TrainResult DaTrainer::TrainAlgorithm2(const data::ERDataset& source,
             loss_fp, ops::KnowledgeDistillationLoss(
                          student_logits, teacher_logits, config_.kd_temperature));
       }
-      opt_fp.ZeroGrad();
+      opt_fp->ZeroGrad();
       // Matcher/discriminator gradients also accumulate here but their
       // optimizers never step in this phase; their grads are cleared at the
       // start of the next discriminator update (opt_d) or never used (M).
       loss_fp.Backward();
-      opt_fp.ClipGradNorm(config_.grad_clip_norm);
-      opt_fp.Step();
+      if (config_.fault != nullptr &&
+          config_.fault->ShouldFire(FaultKind::kNanGradient, epoch,
+                                    static_cast<int>(it))) {
+        PoisonGradients(adapted_->Parameters());
+      }
+      const double norm_fp = opt_fp->ClipGradNorm(clip);
+      const bool gen_ok = AllValuesFinite({loss_fp.item(), norm_fp});
+      if (gen_ok) opt_fp->Step();
+
+      if (!disc_ok || !gen_ok) {
+        ++nan_steps;
+        continue;
+      }
+      sum_disc += loss_d.item();
       sum_gen += loss_fp.item();
+      ++good_steps;
     }
 
     EpochStats stats;
     stats.epoch = epoch;
-    stats.matching_loss = sum_gen / static_cast<double>(iters);
-    stats.alignment_loss = sum_disc / static_cast<double>(iters);
+    stats.nan_steps = nan_steps;
+    if (good_steps > 0) {
+      stats.matching_loss = sum_gen / static_cast<double>(good_steps);
+      stats.alignment_loss = sum_disc / static_cast<double>(good_steps);
+    }
+    if (acc_steps > 0) {
+      stats.disc_accuracy = sum_acc / static_cast<double>(acc_steps);
+    }
     stats.valid_f1 = Evaluate(adapted_.get(), matcher_, target_valid,
                               config_.batch_size, &eval_rng)
                          .F1();
@@ -443,7 +709,53 @@ TrainResult DaTrainer::TrainAlgorithm2(const data::ERDataset& source,
                                  config_.batch_size, &eval_rng)
                             .F1();
     }
-    best.Consider(stats.valid_f1, epoch, *adapted_, *matcher_);
+
+    TrainingGuard::EpochObservation obs;
+    obs.mean_loss = stats.matching_loss + stats.alignment_loss;
+    obs.nan_steps = nan_steps;
+    obs.aborted = aborted;
+    obs.params_finite = TrainingGuard::AllFinite(adapted_->Parameters()) &&
+                        TrainingGuard::AllFinite(discriminator_->Parameters());
+    obs.valid_f1 = stats.valid_f1;
+    obs.disc_accuracy = stats.disc_accuracy;
+    stats.verdict = guard.EndEpoch(obs);
+
+    if (stats.verdict == GuardVerdict::kHealthy) {
+      best.Consider(stats.valid_f1, epoch, *adapted_, *matcher_,
+                    stats.verdict);
+      last_good.Capture(guarded);
+      const GuardConfig& g = config_.guard;
+      if (!g.checkpoint_dir.empty() && g.checkpoint_every > 0 &&
+          epoch % g.checkpoint_every == 0) {
+        const std::string path = g.checkpoint_dir + "/last_good_" +
+                                 AlignMethodName(method_) + ".bin";
+        Status st = SaveModules(path, {{"F", adapted_.get()},
+                                       {"M", matcher_},
+                                       {"A", discriminator_.get()}});
+        if (!st.ok()) {
+          DADER_LOG(Warning) << "periodic checkpoint failed: " << st.ToString();
+        } else if (config_.fault != nullptr &&
+                   config_.fault->ShouldFire(FaultKind::kCorruptCheckpoint,
+                                             epoch)) {
+          (void)FaultInjector::TruncateFile(path, 0.5);
+        }
+      }
+    } else if (result.rollbacks < config_.guard.max_rollbacks) {
+      last_good.Restore(guarded);
+      lr *= static_cast<float>(config_.guard.lr_backoff);
+      clip *= static_cast<float>(config_.guard.clip_backoff);
+      rebuild_optimizers();
+      guard.Reset();
+      ++result.rollbacks;
+      stats.rolled_back = true;
+      DADER_LOG(Warning) << AlignMethodName(method_) << " epoch " << epoch
+                         << " " << GuardVerdictName(stats.verdict)
+                         << "; rolled back to last good weights (lr -> " << lr
+                         << ")";
+    } else {
+      result.verdict = stats.verdict;
+      give_up = true;
+    }
     result.history.push_back(stats);
     if (callback) callback(stats);
   }

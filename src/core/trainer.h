@@ -6,6 +6,11 @@
 // current model is evaluated on a small labeled target validation set, and
 // the best snapshot across epochs is restored at the end — the paper's model
 // selection protocol (Section 6.1).
+//
+// Both algorithms run under the training-stability guard (core/guard.h):
+// non-finite steps are skipped, flagged epochs trigger rollback to the last
+// good weights with learning-rate backoff, and Run() restarts a diverged
+// adaptation phase from the pre-adaptation checkpoint with a fresh seed.
 
 #pragma once
 
@@ -17,6 +22,7 @@
 #include "core/config.h"
 #include "core/evaluator.h"
 #include "core/feature_extractor.h"
+#include "core/guard.h"
 #include "core/matcher.h"
 #include "data/dataset.h"
 
@@ -53,10 +59,15 @@ bool IsGanMethod(AlignMethod method);
 /// \brief Per-epoch training telemetry (drives Figures 7 and 8).
 struct EpochStats {
   int epoch = 0;                 ///< 1-based, across the adaptation phase
-  double matching_loss = 0.0;    ///< mean L_M over the epoch
-  double alignment_loss = 0.0;   ///< mean L_A over the epoch
+  double matching_loss = 0.0;    ///< mean L_M over the epoch's finite steps
+  double alignment_loss = 0.0;   ///< mean L_A over the epoch's finite steps
   double valid_f1 = 0.0;         ///< F1 on the target validation set
   double source_f1 = -1.0;       ///< F1 on source_eval (-1 when not tracked)
+  double disc_accuracy = -1.0;   ///< GAN discriminator accuracy (-1 = n/a)
+  GuardVerdict verdict = GuardVerdict::kHealthy;  ///< guard's epoch verdict
+  int nan_steps = 0;             ///< steps skipped for non-finite loss/grads
+  bool rolled_back = false;      ///< guard restored last-good weights after
+                                 ///< this epoch (lr/clip backed off)
 };
 
 /// \brief Outcome of a training run.
@@ -64,7 +75,15 @@ struct TrainResult {
   double best_valid_f1 = 0.0;
   int best_epoch = -1;
   std::vector<EpochStats> history;
+  GuardVerdict verdict = GuardVerdict::kHealthy;  ///< run-level verdict
+  int rollbacks = 0;  ///< guard-triggered last-good restores (final attempt)
+  int retries = 0;    ///< reseeded restarts Run() needed (0 = first try)
 };
+
+/// \brief One word for result dashboards and CSVs: "converged",
+/// "recovered-after-retry" (healthy but needed rollbacks/retries),
+/// "diverged", or "collapsed".
+const char* RunVerdictLabel(const TrainResult& result);
 
 using EpochCallback = std::function<void(const EpochStats&)>;
 
@@ -77,14 +96,28 @@ class DaTrainer {
   DaTrainer(AlignMethod method, const DaderConfig& config,
             FeatureExtractor* extractor, Matcher* matcher);
 
-  /// \brief Runs the full training protocol.
+  /// \brief Runs the full training protocol with recovery: after an attempt
+  /// the guard classifies as diverged/collapsed, the trainer restores the
+  /// pre-adaptation checkpoint (durable when config.guard.checkpoint_dir is
+  /// set, in-memory otherwise) and retries with a fresh seed and backed-off
+  /// learning rate, up to config.guard.max_retries times. The attempt count
+  /// and final verdict are surfaced through TrainResult instead of garbage
+  /// metrics; a Status error is returned only for invalid inputs.
   /// \param source labeled source pairs (D^S, Y^S).
   /// \param target_train target pairs D^T; labels, if any, are ignored.
   /// \param target_valid small labeled target validation set for snapshot
   ///   selection.
   /// \param source_eval optional labeled source set evaluated per epoch
   ///   (Figure 8 tracks source F1 during adversarial training).
-  /// \param callback optional per-epoch hook.
+  /// \param callback optional per-epoch hook (invoked for every attempt).
+  Result<TrainResult> Run(const data::ERDataset& source,
+                          const data::ERDataset& target_train,
+                          const data::ERDataset& target_valid,
+                          const data::ERDataset* source_eval = nullptr,
+                          EpochCallback callback = nullptr);
+
+  /// \brief Single guarded training attempt (no reseeded retries); Run() is
+  /// the recommended entry point.
   TrainResult Train(const data::ERDataset& source,
                     const data::ERDataset& target_train,
                     const data::ERDataset& target_valid,
@@ -103,11 +136,22 @@ class DaTrainer {
                               const data::ERDataset& target_valid,
                               const data::ERDataset* source_eval,
                               const EpochCallback& callback);
-  TrainResult TrainAlgorithm2(const data::ERDataset& source,
+  // Algorithm 2 step 1 (lines 2-7): source training of F and M.
+  void PretrainSourceGan(const data::ERDataset& source);
+  // Algorithm 2 step 2 (lines 8-16): adversarial adaptation of F'.
+  TrainResult AdaptAlgorithm2(const data::ERDataset& source,
                               const data::ERDataset& target_train,
                               const data::ERDataset& target_valid,
                               const data::ERDataset* source_eval,
                               const EpochCallback& callback);
+
+  // Reseeds the trainer's rng, re-initializes the aligner networks, and
+  // backs off the learning rate for retry `attempt` (1-based).
+  void ReseedForRetry(int attempt);
+
+  // The aligner module A of the current method (null for NoDA/MMD/CMD/
+  // K-order, whose aligners have no parameters).
+  nn::Module* aligner_module();
 
   // Token bags (non-special tokens per row) for the ED reconstruction loss.
   static std::vector<std::vector<int64_t>> TokenBags(const EncodedBatch& batch);
@@ -120,6 +164,8 @@ class DaTrainer {
   std::unique_ptr<DomainDiscriminator> discriminator_;
   std::unique_ptr<ReconstructionDecoder> decoder_;
   Rng rng_;
+  float lr_scale_ = 1.0f;     // retry-level learning-rate backoff
+  uint64_t retry_salt_ = 0;   // folded into F'/aligner seeds on retry
 };
 
 }  // namespace dader::core

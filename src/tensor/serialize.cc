@@ -1,45 +1,85 @@
 #include "tensor/serialize.h"
 
+#include <cstdio>
+
 #include "util/io.h"
 
 namespace dader {
 
 namespace {
 constexpr const char kMagic[] = "DADER_TENSORS";
-constexpr uint32_t kVersion = 1;
+// v2: CRC-32 footer over the whole payload, written via an atomic
+// temp-file-then-rename so readers never observe a half-written file.
+// v1 files (no footer) are rejected by the version check; the only v1
+// producer (the pre-train cache) regenerates on load failure.
+constexpr uint32_t kVersion = 2;
+// A checkpoint holds at most a few hundred named tensors; anything beyond
+// this is a corrupt count field, not a real collection.
+constexpr uint64_t kMaxTensors = 1ULL << 20;
 }  // namespace
 
 Status SaveTensors(const std::string& path,
                    const std::map<std::string, Tensor>& tensors) {
-  DADER_ASSIGN_OR_RETURN(BinaryWriter w, BinaryWriter::Open(path, kMagic, kVersion));
-  w.WriteU64(tensors.size());
-  for (const auto& [name, tensor] : tensors) {
-    if (!tensor.defined()) {
-      return Status::InvalidArgument("undefined tensor '" + name + "'");
+  const std::string tmp = path + ".tmp";
+  Status write_status = [&]() -> Status {
+    DADER_ASSIGN_OR_RETURN(BinaryWriter w,
+                           BinaryWriter::Open(tmp, kMagic, kVersion));
+    w.WriteU64(tensors.size());
+    for (const auto& [name, tensor] : tensors) {
+      if (!tensor.defined()) {
+        return Status::InvalidArgument("undefined tensor '" + name + "'");
+      }
+      w.WriteString(name);
+      std::vector<int64_t> shape(tensor.shape().begin(), tensor.shape().end());
+      w.WriteI64s(shape);
+      w.WriteFloats(tensor.vec());
     }
-    w.WriteString(name);
-    std::vector<int64_t> shape(tensor.shape().begin(), tensor.shape().end());
-    w.WriteI64s(shape);
-    w.WriteFloats(tensor.vec());
+    return w.WriteCrcFooterAndClose();
+  }();
+  if (!write_status.ok()) {
+    std::remove(tmp.c_str());
+    return write_status;
   }
-  return w.Close();
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("cannot rename " + tmp + " to " + path);
+  }
+  return Status::OK();
 }
 
 Result<std::map<std::string, Tensor>> LoadTensors(const std::string& path) {
   DADER_ASSIGN_OR_RETURN(BinaryReader r,
                          BinaryReader::Open(path, kMagic, kVersion));
   DADER_ASSIGN_OR_RETURN(uint64_t count, r.ReadU64());
+  if (count > kMaxTensors) {
+    return Status::InvalidArgument(
+        "implausible tensor count " + std::to_string(count) + " in " + path +
+        " (corrupt header?)");
+  }
   std::map<std::string, Tensor> out;
   for (uint64_t i = 0; i < count; ++i) {
     DADER_ASSIGN_OR_RETURN(std::string name, r.ReadString());
     DADER_ASSIGN_OR_RETURN(std::vector<int64_t> shape, r.ReadI64s());
     DADER_ASSIGN_OR_RETURN(std::vector<float> data, r.ReadFloats());
+    for (int64_t dim : shape) {
+      if (dim < 0) {
+        return Status::InvalidArgument("negative dimension in tensor '" +
+                                       name + "' in " + path);
+      }
+    }
     Shape s(shape.begin(), shape.end());
     if (NumElements(s) != static_cast<int64_t>(data.size())) {
-      return Status::InvalidArgument("corrupt tensor '" + name + "' in " + path);
+      return Status::InvalidArgument("corrupt tensor '" + name + "' in " +
+                                     path + ": shape/payload size mismatch");
     }
-    out.emplace(name, Tensor::FromVector(std::move(s), std::move(data)));
+    if (!out.emplace(name, Tensor::FromVector(std::move(s), std::move(data)))
+             .second) {
+      return Status::InvalidArgument("duplicate tensor name '" + name +
+                                     "' in " + path);
+    }
   }
+  // Reject any bit-flip in the payload (and files missing the footer).
+  DADER_RETURN_NOT_OK(r.VerifyCrcFooter(path));
   return out;
 }
 

@@ -1,0 +1,121 @@
+#include "util/fault.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+
+namespace dader {
+
+namespace {
+
+int KindIndex(FaultKind kind) { return static_cast<int>(kind); }
+
+Result<uint64_t> FileSize(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0 || !S_ISREG(st.st_mode)) {
+    return Status::NotFound("no regular file at " + path);
+  }
+  return static_cast<uint64_t>(st.st_size);
+}
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNanGradient:
+      return "nan-gradient";
+    case FaultKind::kCorruptCheckpoint:
+      return "corrupt-checkpoint";
+    case FaultKind::kAbortStep:
+      return "abort-step";
+  }
+  return "?";
+}
+
+void FaultInjector::Arm(const FaultSpec& spec) {
+  specs_[KindIndex(spec.kind)] = spec;
+}
+
+void FaultInjector::Disarm(FaultKind kind) {
+  specs_[KindIndex(kind)].reset();
+}
+
+void FaultInjector::Reset() {
+  for (int i = 0; i < kNumFaultKinds; ++i) {
+    specs_[i].reset();
+    hits_[i] = 0;
+  }
+}
+
+bool FaultInjector::armed(FaultKind kind) const {
+  return specs_[KindIndex(kind)].has_value();
+}
+
+bool FaultInjector::ShouldFire(FaultKind kind, int epoch, int step) {
+  const int idx = KindIndex(kind);
+  const std::optional<FaultSpec>& spec = specs_[idx];
+  if (!spec.has_value()) return false;
+  if (hits_[idx] >= spec->max_hits) return false;
+  if (spec->epoch >= 0 && spec->epoch != epoch) return false;
+  if (spec->step >= 0 && spec->step != step) return false;
+  if (spec->probability < 1.0 && !rng_.NextBool(spec->probability)) {
+    return false;
+  }
+  ++hits_[idx];
+  return true;
+}
+
+int FaultInjector::hits(FaultKind kind) const {
+  return hits_[KindIndex(kind)];
+}
+
+Status FaultInjector::TruncateFile(const std::string& path,
+                                   double keep_fraction) {
+  if (keep_fraction < 0.0 || keep_fraction >= 1.0) {
+    return Status::InvalidArgument("keep_fraction must be in [0, 1)");
+  }
+  uint64_t size = 0;
+  {
+    auto r = FileSize(path);
+    if (!r.ok()) return r.status();
+    size = r.ValueOrDie();
+  }
+  const auto keep =
+      static_cast<off_t>(static_cast<double>(size) * keep_fraction);
+  if (::truncate(path.c_str(), keep) != 0) {
+    return Status::IOError("truncate failed for " + path);
+  }
+  return Status::OK();
+}
+
+Status FaultInjector::CorruptByte(const std::string& path, uint64_t offset) {
+  uint64_t size = 0;
+  {
+    auto r = FileSize(path);
+    if (!r.ok()) return r.status();
+    size = r.ValueOrDie();
+  }
+  if (offset >= size) {
+    return Status::OutOfRange("offset " + std::to_string(offset) +
+                              " past end of " + path);
+  }
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  unsigned char byte = 0;
+  if (std::fseek(f, static_cast<long>(offset), SEEK_SET) != 0 ||
+      std::fread(&byte, 1, 1, f) != 1) {
+    std::fclose(f);
+    return Status::IOError("read failed for " + path);
+  }
+  byte ^= 0xFF;
+  if (std::fseek(f, static_cast<long>(offset), SEEK_SET) != 0 ||
+      std::fwrite(&byte, 1, 1, f) != 1) {
+    std::fclose(f);
+    return Status::IOError("write failed for " + path);
+  }
+  std::fclose(f);
+  return Status::OK();
+}
+
+}  // namespace dader

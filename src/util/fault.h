@@ -1,0 +1,82 @@
+// Deterministic fault injection for exercising the training-robustness
+// layer (core/guard.h) in tests and benches.
+//
+// A FaultInjector is armed with FaultSpecs describing *where* a fault fires
+// (epoch/step filters), *how often* (a total hit budget and an optional
+// per-site probability), and is consulted by instrumented code paths via
+// ShouldFire(). All randomness comes from the injector's own seeded Rng, so
+// a given seed reproduces the exact same fault schedule. The injector never
+// fires unless explicitly armed, and the production default is "no injector
+// at all" (a null pointer in DaderConfig), so release paths pay one pointer
+// compare per instrumented site.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace dader {
+
+/// \brief The fault classes the trainer/checkpoint paths know how to inject.
+enum class FaultKind : int {
+  kNanGradient = 0,       ///< overwrite gradients with NaN after backward
+  kCorruptCheckpoint = 1, ///< truncate/corrupt a just-written checkpoint file
+  kAbortStep = 2,         ///< abort the current epoch mid-step (crash model)
+};
+
+inline constexpr int kNumFaultKinds = 3;
+
+/// \brief "nan-gradient", "corrupt-checkpoint", "abort-step".
+const char* FaultKindName(FaultKind kind);
+
+/// \brief Where and how often one fault kind fires.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kNanGradient;
+  int epoch = -1;           ///< fire only at this 1-based epoch (-1 = any)
+  int step = -1;            ///< fire only at this 0-based step (-1 = any)
+  int max_hits = 1;         ///< total firings before the spec disarms
+  double probability = 1.0; ///< per-eligible-site firing probability
+};
+
+/// \brief Seeded, deterministic fault scheduler. One spec per kind.
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed = 0xFA017ULL) : rng_(seed) {}
+
+  /// \brief Installs (or replaces) the spec for spec.kind.
+  void Arm(const FaultSpec& spec);
+  void Disarm(FaultKind kind);
+
+  /// \brief Disarms everything and zeroes all hit counters.
+  void Reset();
+
+  bool armed(FaultKind kind) const;
+
+  /// \brief True when `kind` is armed, the site matches the spec's filters,
+  /// the hit budget is not exhausted, and the probability draw succeeds.
+  /// A true return counts as one hit.
+  bool ShouldFire(FaultKind kind, int epoch = -1, int step = -1);
+
+  /// \brief Total firings of `kind` since the last Reset().
+  int hits(FaultKind kind) const;
+
+  // --- file-corruption helpers (used with kCorruptCheckpoint) ---
+
+  /// \brief Truncates the file to keep_fraction of its size (in [0,1)).
+  static Status TruncateFile(const std::string& path, double keep_fraction);
+
+  /// \brief XORs the byte at `offset` with 0xFF (payload corruption that
+  /// preserves file size, so only a checksum can catch it).
+  static Status CorruptByte(const std::string& path, uint64_t offset);
+
+ private:
+  std::optional<FaultSpec> specs_[kNumFaultKinds];
+  int hits_[kNumFaultKinds] = {0, 0, 0};
+  Rng rng_;
+};
+
+}  // namespace dader

@@ -4,6 +4,27 @@
 
 namespace dader {
 
+uint32_t UpdateCrc32(uint32_t crc, const void* data, size_t n) {
+  // Standard CRC-32 (reflected polynomial 0xEDB88320), table generated once.
+  static const auto table = [] {
+    std::vector<uint32_t> t(256);
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
 Result<BinaryWriter> BinaryWriter::Open(const std::string& path,
                                         const std::string& magic,
                                         uint32_t version) {
@@ -15,31 +36,26 @@ Result<BinaryWriter> BinaryWriter::Open(const std::string& path,
   return w;
 }
 
-void BinaryWriter::WriteU32(uint32_t v) {
-  out_.write(reinterpret_cast<const char*>(&v), sizeof(v));
+void BinaryWriter::WriteRaw(const void* p, size_t n) {
+  out_.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
+  crc_ = UpdateCrc32(crc_, p, n);
 }
-void BinaryWriter::WriteU64(uint64_t v) {
-  out_.write(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-void BinaryWriter::WriteI64(int64_t v) {
-  out_.write(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-void BinaryWriter::WriteF32(float v) {
-  out_.write(reinterpret_cast<const char*>(&v), sizeof(v));
-}
+
+void BinaryWriter::WriteU32(uint32_t v) { WriteRaw(&v, sizeof(v)); }
+void BinaryWriter::WriteU64(uint64_t v) { WriteRaw(&v, sizeof(v)); }
+void BinaryWriter::WriteI64(int64_t v) { WriteRaw(&v, sizeof(v)); }
+void BinaryWriter::WriteF32(float v) { WriteRaw(&v, sizeof(v)); }
 void BinaryWriter::WriteString(const std::string& s) {
   WriteU64(s.size());
-  out_.write(s.data(), static_cast<std::streamsize>(s.size()));
+  WriteRaw(s.data(), s.size());
 }
 void BinaryWriter::WriteFloats(const std::vector<float>& v) {
   WriteU64(v.size());
-  out_.write(reinterpret_cast<const char*>(v.data()),
-             static_cast<std::streamsize>(v.size() * sizeof(float)));
+  WriteRaw(v.data(), v.size() * sizeof(float));
 }
 void BinaryWriter::WriteI64s(const std::vector<int64_t>& v) {
   WriteU64(v.size());
-  out_.write(reinterpret_cast<const char*>(v.data()),
-             static_cast<std::streamsize>(v.size() * sizeof(int64_t)));
+  WriteRaw(v.data(), v.size() * sizeof(int64_t));
 }
 
 Status BinaryWriter::Close() {
@@ -47,6 +63,13 @@ Status BinaryWriter::Close() {
   if (!out_) return Status::IOError("binary write failed");
   out_.close();
   return Status::OK();
+}
+
+Status BinaryWriter::WriteCrcFooterAndClose() {
+  const uint32_t footer = crc_;
+  // The footer bytes are excluded from the checksum they carry.
+  out_.write(reinterpret_cast<const char*>(&footer), sizeof(footer));
+  return Close();
 }
 
 Result<BinaryReader> BinaryReader::Open(const std::string& path,
@@ -74,60 +97,73 @@ Status BinaryReader::CheckStream() {
   return Status::OK();
 }
 
+Status BinaryReader::ReadRaw(void* p, size_t n) {
+  in_.read(static_cast<char*>(p), static_cast<std::streamsize>(n));
+  DADER_RETURN_NOT_OK(CheckStream());
+  crc_ = UpdateCrc32(crc_, p, n);
+  return Status::OK();
+}
+
 Result<uint32_t> BinaryReader::ReadU32() {
   uint32_t v = 0;
-  in_.read(reinterpret_cast<char*>(&v), sizeof(v));
-  DADER_RETURN_NOT_OK(CheckStream());
+  DADER_RETURN_NOT_OK(ReadRaw(&v, sizeof(v)));
   return v;
 }
 Result<uint64_t> BinaryReader::ReadU64() {
   uint64_t v = 0;
-  in_.read(reinterpret_cast<char*>(&v), sizeof(v));
-  DADER_RETURN_NOT_OK(CheckStream());
+  DADER_RETURN_NOT_OK(ReadRaw(&v, sizeof(v)));
   return v;
 }
 Result<int64_t> BinaryReader::ReadI64() {
   int64_t v = 0;
-  in_.read(reinterpret_cast<char*>(&v), sizeof(v));
-  DADER_RETURN_NOT_OK(CheckStream());
+  DADER_RETURN_NOT_OK(ReadRaw(&v, sizeof(v)));
   return v;
 }
 Result<float> BinaryReader::ReadF32() {
   float v = 0;
-  in_.read(reinterpret_cast<char*>(&v), sizeof(v));
-  DADER_RETURN_NOT_OK(CheckStream());
+  DADER_RETURN_NOT_OK(ReadRaw(&v, sizeof(v)));
   return v;
 }
 Result<std::string> BinaryReader::ReadString() {
   DADER_ASSIGN_OR_RETURN(uint64_t n, ReadU64());
   if (n > (1ULL << 32)) return Status::InvalidArgument("string too large");
   std::string s(n, '\0');
-  in_.read(s.data(), static_cast<std::streamsize>(n));
-  DADER_RETURN_NOT_OK(CheckStream());
+  DADER_RETURN_NOT_OK(ReadRaw(s.data(), n));
   return s;
 }
 Result<std::vector<float>> BinaryReader::ReadFloats() {
   DADER_ASSIGN_OR_RETURN(uint64_t n, ReadU64());
   if (n > (1ULL << 34)) return Status::InvalidArgument("float array too large");
   std::vector<float> v(n);
-  in_.read(reinterpret_cast<char*>(v.data()),
-           static_cast<std::streamsize>(n * sizeof(float)));
-  DADER_RETURN_NOT_OK(CheckStream());
+  DADER_RETURN_NOT_OK(ReadRaw(v.data(), n * sizeof(float)));
   return v;
 }
 Result<std::vector<int64_t>> BinaryReader::ReadI64s() {
   DADER_ASSIGN_OR_RETURN(uint64_t n, ReadU64());
   if (n > (1ULL << 34)) return Status::InvalidArgument("int array too large");
   std::vector<int64_t> v(n);
-  in_.read(reinterpret_cast<char*>(v.data()),
-           static_cast<std::streamsize>(n * sizeof(int64_t)));
-  DADER_RETURN_NOT_OK(CheckStream());
+  DADER_RETURN_NOT_OK(ReadRaw(v.data(), n * sizeof(int64_t)));
   return v;
 }
 
 bool FileExists(const std::string& path) {
   struct stat st;
   return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+Status BinaryReader::VerifyCrcFooter(const std::string& context) {
+  const uint32_t expected = crc_;
+  uint32_t stored = 0;
+  // Raw read: the footer must not fold into the checksum being verified.
+  in_.read(reinterpret_cast<char*>(&stored), sizeof(stored));
+  if (!in_) {
+    return Status::IOError("truncated file: missing CRC footer in " + context);
+  }
+  if (stored != expected) {
+    return Status::IOError("CRC mismatch in " + context +
+                           ": payload is corrupt");
+  }
+  return Status::OK();
 }
 
 }  // namespace dader

@@ -14,7 +14,15 @@
 
 namespace dader {
 
+/// \brief CRC-32 (IEEE 802.3) of `n` bytes, continuing from `crc` (pass 0
+/// to start a fresh checksum).
+uint32_t UpdateCrc32(uint32_t crc, const void* data, size_t n);
+
 /// \brief Streaming binary writer over a file.
+///
+/// Every byte written (header included) feeds a running CRC-32; callers
+/// that want a tamper-evident file end with WriteCrcFooterAndClose()
+/// instead of Close().
 class BinaryWriter {
  public:
   /// \brief Opens `path` for writing and emits the header.
@@ -32,12 +40,25 @@ class BinaryWriter {
   /// \brief Flushes and reports any stream error.
   Status Close();
 
+  /// \brief Appends the running CRC-32 of everything written so far as a
+  /// 4-byte little-endian footer, then flushes and closes.
+  Status WriteCrcFooterAndClose();
+
+  /// \brief Running CRC-32 of all bytes written so far.
+  uint32_t crc() const { return crc_; }
+
  private:
   explicit BinaryWriter(std::ofstream out) : out_(std::move(out)) {}
+  void WriteRaw(const void* p, size_t n);
   std::ofstream out_;
+  uint32_t crc_ = 0;
 };
 
 /// \brief Streaming binary reader; validates the header at open.
+///
+/// Mirrors BinaryWriter's running CRC-32 over every byte read, so a file
+/// written with WriteCrcFooterAndClose() is verified with VerifyCrcFooter()
+/// after the payload has been consumed.
 class BinaryReader {
  public:
   static Result<BinaryReader> Open(const std::string& path,
@@ -52,10 +73,20 @@ class BinaryReader {
   Result<std::vector<float>> ReadFloats();
   Result<std::vector<int64_t>> ReadI64s();
 
+  /// \brief Reads the 4-byte CRC footer (not itself checksummed) and
+  /// compares it against the running CRC of everything read so far.
+  /// `context` names the file in error messages.
+  Status VerifyCrcFooter(const std::string& context);
+
+  /// \brief Running CRC-32 of all payload bytes read so far.
+  uint32_t crc() const { return crc_; }
+
  private:
   explicit BinaryReader(std::ifstream in) : in_(std::move(in)) {}
   Status CheckStream();
+  Status ReadRaw(void* p, size_t n);
   std::ifstream in_;
+  uint32_t crc_ = 0;
 };
 
 /// \brief True if a regular file exists at `path`.

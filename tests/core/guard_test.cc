@@ -1,0 +1,303 @@
+// Unit tests for the training-stability guard: verdict classification,
+// best-snapshot hygiene, and multi-module checkpoint round-trips.
+
+#include "core/guard.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "core/matcher.h"
+#include "tensor/serialize.h"
+#include "util/fault.h"
+
+namespace dader::core {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TrainingGuard::EpochObservation HealthyObs(double loss = 1.0,
+                                           double f1 = 0.6) {
+  TrainingGuard::EpochObservation obs;
+  obs.mean_loss = loss;
+  obs.valid_f1 = f1;
+  return obs;
+}
+
+TEST(GuardVerdictTest, Names) {
+  EXPECT_STREQ(GuardVerdictName(GuardVerdict::kHealthy), "healthy");
+  EXPECT_STREQ(GuardVerdictName(GuardVerdict::kDiverged), "diverged");
+  EXPECT_STREQ(GuardVerdictName(GuardVerdict::kCollapsed), "collapsed");
+}
+
+TEST(TrainingGuardTest, HealthyEpochsStayHealthy) {
+  TrainingGuard guard(GuardConfig{});
+  for (int e = 0; e < 10; ++e) {
+    EXPECT_EQ(guard.EndEpoch(HealthyObs()), GuardVerdict::kHealthy);
+  }
+}
+
+TEST(TrainingGuardTest, NonFiniteSignalsDiverge) {
+  GuardConfig cfg;
+  {
+    TrainingGuard guard(cfg);
+    EXPECT_EQ(guard.EndEpoch(HealthyObs(kNan)), GuardVerdict::kDiverged);
+  }
+  {
+    TrainingGuard guard(cfg);
+    auto obs = HealthyObs();
+    obs.valid_f1 = kNan;
+    EXPECT_EQ(guard.EndEpoch(obs), GuardVerdict::kDiverged);
+  }
+  {
+    TrainingGuard guard(cfg);
+    auto obs = HealthyObs();
+    obs.params_finite = false;
+    EXPECT_EQ(guard.EndEpoch(obs), GuardVerdict::kDiverged);
+  }
+  {
+    TrainingGuard guard(cfg);
+    auto obs = HealthyObs();
+    obs.aborted = true;
+    EXPECT_EQ(guard.EndEpoch(obs), GuardVerdict::kDiverged);
+  }
+}
+
+TEST(TrainingGuardTest, NanStepBudget) {
+  GuardConfig cfg;
+  cfg.max_nan_steps = 2;
+  TrainingGuard guard(cfg);
+  auto obs = HealthyObs();
+  obs.nan_steps = 2;  // at the budget: tolerated
+  EXPECT_EQ(guard.EndEpoch(obs), GuardVerdict::kHealthy);
+  obs.nan_steps = 3;  // over the budget
+  EXPECT_EQ(guard.EndEpoch(obs), GuardVerdict::kDiverged);
+}
+
+TEST(TrainingGuardTest, LossExplosionAgainstWindowMedian) {
+  GuardConfig cfg;
+  cfg.explosion_factor = 25.0;
+  cfg.loss_floor = 0.5;
+  TrainingGuard guard(cfg);
+  for (int e = 0; e < 3; ++e) {
+    EXPECT_EQ(guard.EndEpoch(HealthyObs(1.0)), GuardVerdict::kHealthy);
+  }
+  // 10x the median is loud but within the envelope.
+  EXPECT_EQ(guard.EndEpoch(HealthyObs(10.0)), GuardVerdict::kHealthy);
+  // 100x the median is an explosion.
+  EXPECT_EQ(guard.EndEpoch(HealthyObs(100.0)), GuardVerdict::kDiverged);
+}
+
+TEST(TrainingGuardTest, LossFloorProtectsTinyLosses) {
+  GuardConfig cfg;
+  cfg.explosion_factor = 25.0;
+  cfg.loss_floor = 0.5;
+  TrainingGuard guard(cfg);
+  for (int e = 0; e < 3; ++e) {
+    EXPECT_EQ(guard.EndEpoch(HealthyObs(0.001)), GuardVerdict::kHealthy);
+  }
+  // 400x the median, but under explosion_factor * loss_floor = 12.5.
+  EXPECT_EQ(guard.EndEpoch(HealthyObs(0.4)), GuardVerdict::kHealthy);
+}
+
+TEST(TrainingGuardTest, FirstEpochHasNoExplosionReference) {
+  TrainingGuard guard(GuardConfig{});
+  // No window yet: a large-but-finite first-epoch loss is not an explosion.
+  EXPECT_EQ(guard.EndEpoch(HealthyObs(1e6)), GuardVerdict::kHealthy);
+}
+
+TEST(TrainingGuardTest, DisabledGuardNeverFlags) {
+  GuardConfig cfg;
+  cfg.enabled = false;
+  TrainingGuard guard(cfg);
+  auto obs = HealthyObs(kNan, kNan);
+  obs.aborted = true;
+  obs.params_finite = false;
+  obs.nan_steps = 99;
+  EXPECT_EQ(guard.EndEpoch(obs), GuardVerdict::kHealthy);
+}
+
+TEST(TrainingGuardTest, GanCollapseNeedsStreak) {
+  GuardConfig cfg;
+  cfg.disc_collapse_acc = 0.98;
+  cfg.disc_collapse_epochs = 3;
+  cfg.collapse_f1_frac = 0.5;
+  TrainingGuard guard(cfg);
+  // Establish a healthy best F1 of 0.8.
+  auto good = HealthyObs(1.0, 0.8);
+  good.disc_accuracy = 0.7;
+  EXPECT_EQ(guard.EndEpoch(good), GuardVerdict::kHealthy);
+  // Discriminator wins while F1 dies: collapsed only on the 3rd epoch.
+  auto bad = HealthyObs(1.0, 0.1);
+  bad.disc_accuracy = 0.99;
+  EXPECT_EQ(guard.EndEpoch(bad), GuardVerdict::kHealthy);
+  EXPECT_EQ(guard.EndEpoch(bad), GuardVerdict::kHealthy);
+  EXPECT_EQ(guard.EndEpoch(bad), GuardVerdict::kCollapsed);
+}
+
+TEST(TrainingGuardTest, CollapseStreakBrokenByRecovery) {
+  GuardConfig cfg;
+  cfg.disc_collapse_epochs = 3;
+  TrainingGuard guard(cfg);
+  auto good = HealthyObs(1.0, 0.8);
+  good.disc_accuracy = 0.7;
+  EXPECT_EQ(guard.EndEpoch(good), GuardVerdict::kHealthy);
+  auto bad = HealthyObs(1.0, 0.1);
+  bad.disc_accuracy = 0.99;
+  EXPECT_EQ(guard.EndEpoch(bad), GuardVerdict::kHealthy);
+  EXPECT_EQ(guard.EndEpoch(bad), GuardVerdict::kHealthy);
+  // F1 recovers: the streak resets, so two more bad epochs don't collapse.
+  EXPECT_EQ(guard.EndEpoch(good), GuardVerdict::kHealthy);
+  EXPECT_EQ(guard.EndEpoch(bad), GuardVerdict::kHealthy);
+  EXPECT_EQ(guard.EndEpoch(bad), GuardVerdict::kHealthy);
+}
+
+TEST(TrainingGuardTest, ResetClearsStreakState) {
+  GuardConfig cfg;
+  cfg.disc_collapse_epochs = 2;
+  TrainingGuard guard(cfg);
+  auto good = HealthyObs(1.0, 0.8);
+  good.disc_accuracy = 0.7;
+  guard.EndEpoch(good);
+  auto bad = HealthyObs(1.0, 0.1);
+  bad.disc_accuracy = 0.99;
+  EXPECT_EQ(guard.EndEpoch(bad), GuardVerdict::kHealthy);
+  guard.Reset();  // as after a rollback
+  EXPECT_EQ(guard.verdict(), GuardVerdict::kHealthy);
+  EXPECT_EQ(guard.EndEpoch(bad), GuardVerdict::kHealthy);  // streak restarted
+}
+
+TEST(TrainingGuardTest, FiniteChecks) {
+  Tensor ok = Tensor::FromVector({2}, {1.0f, -2.0f});
+  Tensor bad = Tensor::FromVector({2},
+                                  {1.0f, std::numeric_limits<float>::infinity()});
+  EXPECT_TRUE(TrainingGuard::AllFinite({ok}));
+  EXPECT_FALSE(TrainingGuard::AllFinite({ok, bad}));
+}
+
+TEST(PoisonGradientsTest, OverwritesEveryGradElement) {
+  Tensor p = Tensor::Zeros({2, 2}, /*requires_grad=*/true);
+  p.ZeroGrad();  // materializes the grad buffer
+  PoisonGradients({p});
+  ASSERT_EQ(p.grad().size(), 4u);
+  for (float g : p.grad()) {
+    EXPECT_TRUE(std::isnan(g));
+  }
+  EXPECT_FALSE(TrainingGuard::GradsFinite({p}));
+}
+
+TEST(BestSnapshotTest, SkipsFlaggedAndNonFiniteEpochs) {
+  Matcher a(4, 1), b(4, 2);
+  BestSnapshot best;
+  best.Consider(0.9, 1, a, b, GuardVerdict::kDiverged);
+  EXPECT_EQ(best.best_epoch(), -1);
+  best.Consider(kNan, 2, a, b, GuardVerdict::kHealthy);
+  EXPECT_EQ(best.best_epoch(), -1);
+  best.Consider(0.5, 3, a, b, GuardVerdict::kHealthy);
+  EXPECT_EQ(best.best_epoch(), 3);
+  EXPECT_DOUBLE_EQ(best.best_f1(), 0.5);
+  // A later flagged epoch with higher F1 must not displace the best.
+  best.Consider(0.9, 4, a, b, GuardVerdict::kCollapsed);
+  EXPECT_EQ(best.best_epoch(), 3);
+}
+
+TEST(BestSnapshotTest, RestoreIsNoOpWithoutAnyBest) {
+  Matcher a(4, 1), b(4, 2);
+  const auto before = a.SnapshotWeights();
+  BestSnapshot best;
+  best.Restore(&a, &b);  // must not crash or modify anything
+  for (const auto& [name, t] : a.SnapshotWeights()) {
+    EXPECT_EQ(t.vec(), before.at(name).vec()) << name;
+  }
+}
+
+TEST(BestSnapshotTest, SpillsBestWeightsToDisk) {
+  const std::string path = TempPath("best_spill.bin");
+  Matcher a(4, 1), b(4, 2);
+  BestSnapshot best;
+  best.set_spill_path(path);
+  best.Consider(0.7, 2, a, b);
+  auto loaded = LoadTensors(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const auto& tensors = loaded.ValueOrDie();
+  EXPECT_EQ(tensors.size(),
+            a.NamedParameters().size() + b.NamedParameters().size());
+  for (const auto& [name, t] : tensors) {
+    (void)t;
+    EXPECT_TRUE(name.rfind("F.", 0) == 0 || name.rfind("M.", 0) == 0) << name;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ModuleCheckpointTest, SaveLoadRoundTrip) {
+  const std::string path = TempPath("modules_roundtrip.bin");
+  Matcher f(4, 1), m(4, 2);
+  ASSERT_TRUE(SaveModules(path, {{"F", &f}, {"M", &m}}).ok());
+
+  // Restore into differently-initialized clones.
+  Matcher f2(4, 3), m2(4, 4);
+  ASSERT_TRUE(LoadModules(path, {{"F", &f2}, {"M", &m2}}).ok());
+  for (const auto& [name, t] : f.SnapshotWeights()) {
+    EXPECT_EQ(t.vec(), f2.SnapshotWeights().at(name).vec()) << name;
+  }
+  for (const auto& [name, t] : m.SnapshotWeights()) {
+    EXPECT_EQ(t.vec(), m2.SnapshotWeights().at(name).vec()) << name;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ModuleCheckpointTest, MissingModuleIsDescriptiveError) {
+  const std::string path = TempPath("modules_missing.bin");
+  Matcher f(4, 1), m(4, 2);
+  ASSERT_TRUE(SaveModules(path, {{"F", &f}}).ok());
+  Status st = LoadModules(path, {{"F", &f}, {"M", &m}});
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("missing module 'M'"), std::string::npos)
+      << st.ToString();
+  std::remove(path.c_str());
+}
+
+TEST(ModuleCheckpointTest, UnknownPrefixRejectedBeforeAnyRestore) {
+  const std::string path = TempPath("modules_unknown.bin");
+  Matcher f(4, 1), m(4, 2);
+  ASSERT_TRUE(SaveModules(path, {{"F", &f}, {"M", &m}}).ok());
+  Matcher f2(4, 3);
+  const auto before = f2.SnapshotWeights();
+  EXPECT_FALSE(LoadModules(path, {{"F", &f2}}).ok());  // 'M' is unknown
+  // All-or-nothing: the failed load left f2 untouched.
+  for (const auto& [name, t] : f2.SnapshotWeights()) {
+    EXPECT_EQ(t.vec(), before.at(name).vec()) << name;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ModuleCheckpointTest, ShapeMismatchRejected) {
+  const std::string path = TempPath("modules_shape.bin");
+  Matcher f(4, 1);
+  ASSERT_TRUE(SaveModules(path, {{"F", &f}}).ok());
+  Matcher wider(8, 2);  // different feature_dim => different shapes
+  Status st = LoadModules(path, {{"F", &wider}});
+  EXPECT_FALSE(st.ok());
+  std::remove(path.c_str());
+}
+
+TEST(ModuleCheckpointTest, TruncatedCheckpointIsDescriptiveError) {
+  const std::string path = TempPath("modules_truncated.bin");
+  Matcher f(4, 1), m(4, 2);
+  ASSERT_TRUE(SaveModules(path, {{"F", &f}, {"M", &m}}).ok());
+  ASSERT_TRUE(FaultInjector::TruncateFile(path, 0.5).ok());
+  Matcher f2(4, 3), m2(4, 4);
+  Status st = LoadModules(path, {{"F", &f2}, {"M", &m2}});
+  EXPECT_FALSE(st.ok());
+  EXPECT_FALSE(st.ToString().empty());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dader::core

@@ -1,0 +1,245 @@
+// End-to-end fault-injection tests for the training-robustness layer:
+// NaN gradients mid-adaptation, corrupted checkpoints, and mid-epoch aborts
+// must all be detected, recovered from, and surfaced through TrainResult.
+
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+
+#include <string>
+
+#include "core/experiment.h"
+#include "core/trainer.h"
+#include "tensor/serialize.h"
+#include "util/fault.h"
+
+namespace dader::core {
+namespace {
+
+ExperimentScale TinyScale() {
+  ExperimentScale s;
+  s.name = "tiny-robustness";
+  s.model.vocab_size = 512;
+  s.model.max_len = 24;
+  s.model.hidden_dim = 16;
+  s.model.num_heads = 2;
+  s.model.num_layers = 1;
+  s.model.ffn_dim = 32;
+  s.model.rnn_hidden = 8;
+  s.model.batch_size = 16;
+  s.model.epochs = 4;
+  s.model.gan_pretrain_epochs = 3;
+  s.model.dropout = 0.0f;
+  s.data_scale = 0.01;
+  s.min_pairs = 80;
+  s.num_seeds = 1;
+  s.valid_fraction = 0.2;
+  return s;
+}
+
+std::string MakeTempDir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "/" + name;
+  ::mkdir(dir.c_str(), 0755);
+  return dir;
+}
+
+// The acceptance scenario: NaN gradients injected mid-adaptation for InvGAN.
+// The first attempt diverges, Run() rolls back to the pre-adaptation
+// checkpoint and retries with a fresh seed, and the final verdict is healthy
+// with a target F1 within noise of the uninjected run.
+TEST(RobustnessTest, InvGanNanInjectionRecoversWithRetry) {
+  const ExperimentScale scale = TinyScale();
+  auto task = BuildDaTask("FZ", "ZY", scale, /*data_seed=*/11).ValueOrDie();
+
+  auto clean_model =
+      BuildModel(ExtractorKind::kLM, scale, /*pretrained=*/false, 21)
+          .ValueOrDie();
+  auto clean = RunSingleDa(AlignMethod::kInvGAN, scale, task, &clean_model)
+                   .ValueOrDie();
+  ASSERT_EQ(clean.train.verdict, GuardVerdict::kHealthy);
+  ASSERT_EQ(clean.train.retries, 0);
+  EXPECT_STREQ(RunVerdictLabel(clean.train), "converged");
+
+  ExperimentScale faulty = scale;
+  faulty.model.guard.max_rollbacks = 0;  // any flagged epoch fails the attempt
+  FaultInjector injector;
+  FaultSpec spec;
+  spec.kind = FaultKind::kNanGradient;
+  spec.epoch = 2;
+  spec.step = 1;
+  spec.max_hits = 1;
+  injector.Arm(spec);
+  faulty.model.fault = &injector;
+
+  auto model = BuildModel(ExtractorKind::kLM, faulty, false, 21).ValueOrDie();
+  auto outcome =
+      RunSingleDa(AlignMethod::kInvGAN, faulty, task, &model).ValueOrDie();
+
+  EXPECT_EQ(injector.hits(FaultKind::kNanGradient), 1);
+  EXPECT_EQ(outcome.train.verdict, GuardVerdict::kHealthy);
+  EXPECT_EQ(outcome.train.retries, 1);
+  EXPECT_STREQ(RunVerdictLabel(outcome.train), "recovered-after-retry");
+  // The reported history is the healthy retry's: full-length, no flags.
+  EXPECT_EQ(outcome.train.history.size(),
+            static_cast<size_t>(faulty.model.epochs));
+  for (const EpochStats& s : outcome.train.history) {
+    EXPECT_EQ(s.verdict, GuardVerdict::kHealthy);
+    EXPECT_EQ(s.nan_steps, 0);
+  }
+  // Recovered F1 within noise of the uninjected run.
+  EXPECT_GE(outcome.test_f1, clean.test_f1 - 0.35);
+}
+
+// With the rollback budget available, a single poisoned step is handled
+// inside the attempt: the flagged epoch is rolled back and training
+// continues — no reseeded retry needed.
+TEST(RobustnessTest, NanInjectionRollsBackWithinAttempt) {
+  ExperimentScale scale = TinyScale();
+  auto task = BuildDaTask("FZ", "ZY", scale, 12).ValueOrDie();
+
+  FaultInjector injector;
+  FaultSpec spec;
+  spec.kind = FaultKind::kNanGradient;
+  spec.epoch = 2;
+  spec.step = 1;
+  spec.max_hits = 1;
+  injector.Arm(spec);
+  scale.model.fault = &injector;
+
+  auto model = BuildModel(ExtractorKind::kLM, scale, false, 31).ValueOrDie();
+  auto outcome =
+      RunSingleDa(AlignMethod::kMMD, scale, task, &model).ValueOrDie();
+
+  EXPECT_EQ(outcome.train.verdict, GuardVerdict::kHealthy);
+  EXPECT_EQ(outcome.train.retries, 0);
+  EXPECT_EQ(outcome.train.rollbacks, 1);
+  EXPECT_STREQ(RunVerdictLabel(outcome.train), "recovered-after-retry");
+  ASSERT_EQ(outcome.train.history.size(),
+            static_cast<size_t>(scale.model.epochs));
+  const EpochStats& flagged = outcome.train.history[1];
+  EXPECT_EQ(flagged.epoch, 2);
+  EXPECT_EQ(flagged.verdict, GuardVerdict::kDiverged);
+  EXPECT_EQ(flagged.nan_steps, 1);
+  EXPECT_TRUE(flagged.rolled_back);
+  // Later epochs ran clean after the rollback.
+  EXPECT_EQ(outcome.train.history.back().verdict, GuardVerdict::kHealthy);
+  EXPECT_GE(outcome.train.best_epoch, 1);
+}
+
+// A truncated pre-adaptation checkpoint must yield a descriptive Status on
+// load — and Run() must fall back to the in-memory snapshot and still
+// recover.
+TEST(RobustnessTest, CorruptCheckpointFallsBackToMemorySnapshot) {
+  ExperimentScale scale = TinyScale();
+  const std::string dir = MakeTempDir("robustness_ckpt_corrupt");
+  scale.model.guard.checkpoint_dir = dir;
+  scale.model.guard.max_rollbacks = 0;  // force the retry path
+
+  FaultInjector injector;
+  FaultSpec corrupt;
+  corrupt.kind = FaultKind::kCorruptCheckpoint;
+  corrupt.epoch = 0;  // the pre-adaptation save site
+  injector.Arm(corrupt);
+  FaultSpec nan;
+  nan.kind = FaultKind::kNanGradient;
+  nan.epoch = 2;
+  nan.step = 1;
+  injector.Arm(nan);
+  scale.model.fault = &injector;
+
+  auto task = BuildDaTask("FZ", "ZY", scale, 13).ValueOrDie();
+  auto model = BuildModel(ExtractorKind::kLM, scale, false, 41).ValueOrDie();
+  auto outcome =
+      RunSingleDa(AlignMethod::kInvGAN, scale, task, &model).ValueOrDie();
+
+  // The truncated checkpoint is a clean error, not a crash or garbage load.
+  const std::string ckpt = dir + "/pre_adaptation_InvGAN.bin";
+  auto loaded = LoadTensors(ckpt);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_FALSE(loaded.status().ToString().empty());
+
+  // ...and the run still recovered via the in-memory snapshot.
+  EXPECT_EQ(outcome.train.verdict, GuardVerdict::kHealthy);
+  EXPECT_EQ(outcome.train.retries, 1);
+}
+
+// A simulated mid-epoch crash (abort) is flagged and rolled back.
+TEST(RobustnessTest, MidEpochAbortRecoversViaRollback) {
+  ExperimentScale scale = TinyScale();
+  FaultInjector injector;
+  FaultSpec spec;
+  spec.kind = FaultKind::kAbortStep;
+  spec.epoch = 2;
+  spec.step = 1;
+  spec.max_hits = 1;
+  injector.Arm(spec);
+  scale.model.fault = &injector;
+
+  auto task = BuildDaTask("FZ", "ZY", scale, 14).ValueOrDie();
+  auto model = BuildModel(ExtractorKind::kLM, scale, false, 51).ValueOrDie();
+  auto outcome =
+      RunSingleDa(AlignMethod::kGRL, scale, task, &model).ValueOrDie();
+
+  EXPECT_EQ(outcome.train.verdict, GuardVerdict::kHealthy);
+  EXPECT_EQ(outcome.train.rollbacks, 1);
+  ASSERT_GE(outcome.train.history.size(), 2u);
+  EXPECT_EQ(outcome.train.history[1].verdict, GuardVerdict::kDiverged);
+  EXPECT_TRUE(outcome.train.history[1].rolled_back);
+}
+
+// Healthy training is bit-identical with the guard on or off: the guard
+// only observes until something actually goes wrong.
+TEST(RobustnessTest, GuardDoesNotPerturbHealthyTraining) {
+  const ExperimentScale scale = TinyScale();
+  auto task = BuildDaTask("FZ", "ZY", scale, 15).ValueOrDie();
+  double f1s[2];
+  for (int i = 0; i < 2; ++i) {
+    ExperimentScale s = scale;
+    s.model.guard.enabled = i == 0;
+    auto model = BuildModel(ExtractorKind::kLM, s, false, 61).ValueOrDie();
+    f1s[i] = RunSingleDa(AlignMethod::kMMD, s, task, &model)
+                 .ValueOrDie()
+                 .test_f1;
+  }
+  EXPECT_DOUBLE_EQ(f1s[0], f1s[1]);
+}
+
+// Periodic durable checkpoints are written, CRC-valid, and loadable.
+TEST(RobustnessTest, PeriodicCheckpointsAreDurableAndValid) {
+  ExperimentScale scale = TinyScale();
+  const std::string dir = MakeTempDir("robustness_ckpt_periodic");
+  scale.model.guard.checkpoint_dir = dir;
+  scale.model.guard.checkpoint_every = 2;
+
+  auto task = BuildDaTask("FZ", "ZY", scale, 16).ValueOrDie();
+  auto model = BuildModel(ExtractorKind::kLM, scale, false, 71).ValueOrDie();
+  auto outcome =
+      RunSingleDa(AlignMethod::kMMD, scale, task, &model).ValueOrDie();
+  ASSERT_EQ(outcome.train.verdict, GuardVerdict::kHealthy);
+
+  // Pre-adaptation + periodic last-good + best spill all exist and load.
+  for (const std::string name :
+       {std::string("pre_adaptation_MMD.bin"), std::string("last_good_MMD.bin"),
+        std::string("best_MMD.bin")}) {
+    auto loaded = LoadTensors(dir + "/" + name);
+    EXPECT_TRUE(loaded.ok()) << name << ": " << loaded.status().ToString();
+    EXPECT_FALSE(loaded.ValueOrDie().empty()) << name;
+  }
+}
+
+// Run() surfaces invalid inputs as Status errors instead of crashing.
+TEST(RobustnessTest, RunRejectsInvalidInputsWithStatus) {
+  const ExperimentScale scale = TinyScale();
+  auto task = BuildDaTask("FZ", "ZY", scale, 17).ValueOrDie();
+  auto model = BuildModel(ExtractorKind::kLM, scale, false, 81).ValueOrDie();
+  DaTrainer trainer(AlignMethod::kMMD, scale.model, model.extractor.get(),
+                    model.matcher.get());
+  data::ERDataset empty;
+  EXPECT_FALSE(trainer.Run(empty, task.target_unlabeled, task.target_valid)
+                   .ok());
+  EXPECT_FALSE(trainer.Run(task.source, task.target_unlabeled, empty).ok());
+  EXPECT_FALSE(trainer.Run(task.source, empty, task.target_valid).ok());
+}
+
+}  // namespace
+}  // namespace dader::core

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "core/evaluator.h"
 #include "core/experiment.h"
 #include "data/generators.h"
@@ -44,6 +46,31 @@ TEST(AlignMethodTest, NamesRoundTrip) {
   }
   AlignMethod dummy;
   EXPECT_FALSE(ParseAlignMethod("NotAMethod", &dummy));
+}
+
+TEST(AlignMethodTest, NamesAreUniqueAndParseIsCaseSensitive) {
+  std::set<std::string> names;
+  for (AlignMethod m : {AlignMethod::kNoDA, AlignMethod::kMMD,
+                        AlignMethod::kKOrder, AlignMethod::kGRL,
+                        AlignMethod::kInvGAN, AlignMethod::kInvGANKD,
+                        AlignMethod::kED, AlignMethod::kCMD}) {
+    EXPECT_TRUE(names.insert(AlignMethodName(m)).second)
+        << "duplicate name " << AlignMethodName(m);
+  }
+  EXPECT_EQ(names.size(), 8u);
+  AlignMethod dummy;
+  EXPECT_FALSE(ParseAlignMethod("mmd", &dummy));
+  EXPECT_FALSE(ParseAlignMethod("invgan", &dummy));
+  EXPECT_FALSE(ParseAlignMethod("cmd", &dummy));
+  EXPECT_FALSE(ParseAlignMethod("", &dummy));
+  EXPECT_FALSE(ParseAlignMethod("MMD ", &dummy));  // trailing space rejected
+  // kCMD (the extension aligner) parses but is not in the paper's six.
+  ASSERT_TRUE(ParseAlignMethod("CMD", &dummy));
+  EXPECT_EQ(dummy, AlignMethod::kCMD);
+  for (AlignMethod m : AllAlignMethods()) {
+    EXPECT_NE(m, AlignMethod::kCMD);
+    EXPECT_NE(m, AlignMethod::kNoDA);
+  }
 }
 
 TEST(AlignMethodTest, SixAlignersAndGanClassification) {

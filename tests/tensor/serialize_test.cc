@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/stat.h>
+
 #include <cstdio>
+
+#include "util/fault.h"
 
 namespace dader {
 namespace {
@@ -50,6 +54,85 @@ TEST(SerializeTest, RejectsGarbageFile) {
   fclose(f);
   EXPECT_FALSE(LoadTensors(path).ok());
   std::remove(path.c_str());
+}
+
+uint64_t FileSizeOf(const std::string& path) {
+  struct stat st;
+  EXPECT_EQ(::stat(path.c_str(), &st), 0) << path;
+  return static_cast<uint64_t>(st.st_size);
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+std::map<std::string, Tensor> SampleTensors() {
+  std::map<std::string, Tensor> tensors;
+  tensors["a.weight"] = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  tensors["b.bias"] = Tensor::FromVector({3}, {-1, 0, 1});
+  return tensors;
+}
+
+TEST(SerializeTest, TruncatedFileYieldsDescriptiveError) {
+  const std::string path = TempPath("tensors_truncated.bin");
+  ASSERT_TRUE(SaveTensors(path, SampleTensors()).ok());
+  for (double keep : {0.9, 0.5, 0.1}) {
+    ASSERT_TRUE(SaveTensors(path, SampleTensors()).ok());
+    ASSERT_TRUE(FaultInjector::TruncateFile(path, keep).ok());
+    auto loaded = LoadTensors(path);
+    ASSERT_FALSE(loaded.ok()) << "keep=" << keep;
+    EXPECT_FALSE(loaded.status().ToString().empty());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MissingCrcFooterIsTruncationError) {
+  const std::string path = TempPath("tensors_no_footer.bin");
+  ASSERT_TRUE(SaveTensors(path, SampleTensors()).ok());
+  // Chop exactly the 4-byte CRC footer: the payload itself is intact, so
+  // only the footer check can catch this.
+  const uint64_t size = FileSizeOf(path);
+  ASSERT_TRUE(
+      FaultInjector::TruncateFile(path,
+                                  static_cast<double>(size - 4) /
+                                      static_cast<double>(size) + 1e-12)
+          .ok());
+  ASSERT_EQ(FileSizeOf(path), size - 4);
+  auto loaded = LoadTensors(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().ToString().find("truncated"), std::string::npos)
+      << loaded.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, CrcCatchesSingleByteFlip) {
+  const std::string path = TempPath("tensors_bitflip.bin");
+  ASSERT_TRUE(SaveTensors(path, SampleTensors()).ok());
+  // Flip one byte inside the float payload, just before the CRC footer —
+  // the size-preserving corruption only a checksum can detect.
+  const uint64_t size = FileSizeOf(path);
+  ASSERT_TRUE(FaultInjector::CorruptByte(path, size - 6).ok());
+  auto loaded = LoadTensors(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().ToString().find("CRC"), std::string::npos)
+      << loaded.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, SaveIsAtomicNoTempFileLeftBehind) {
+  const std::string path = TempPath("tensors_atomic.bin");
+  ASSERT_TRUE(SaveTensors(path, SampleTensors()).ok());
+  EXPECT_TRUE(FileExists(path));
+  EXPECT_FALSE(FileExists(path + ".tmp"));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, SaveToUnwritableDirFailsCleanly) {
+  const std::string path = "/nonexistent/dir/tensors.bin";
+  Status st = SaveTensors(path, SampleTensors());
+  EXPECT_FALSE(st.ok());
+  EXPECT_FALSE(FileExists(path + ".tmp"));
 }
 
 TEST(SerializeTest, LargeTensorRoundTrip) {

@@ -1,0 +1,150 @@
+#include "util/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <sys/stat.h>
+
+namespace dader {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+void WriteBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+uint64_t SizeOf(const std::string& path) {
+  struct stat st;
+  EXPECT_EQ(::stat(path.c_str(), &st), 0);
+  return static_cast<uint64_t>(st.st_size);
+}
+
+TEST(FaultInjectorTest, KindNames) {
+  EXPECT_STREQ(FaultKindName(FaultKind::kNanGradient), "nan-gradient");
+  EXPECT_STREQ(FaultKindName(FaultKind::kCorruptCheckpoint),
+               "corrupt-checkpoint");
+  EXPECT_STREQ(FaultKindName(FaultKind::kAbortStep), "abort-step");
+}
+
+TEST(FaultInjectorTest, UnarmedNeverFires) {
+  FaultInjector fi;
+  for (int epoch = 0; epoch < 10; ++epoch) {
+    EXPECT_FALSE(fi.ShouldFire(FaultKind::kNanGradient, epoch, 0));
+  }
+  EXPECT_FALSE(fi.armed(FaultKind::kNanGradient));
+  EXPECT_EQ(fi.hits(FaultKind::kNanGradient), 0);
+}
+
+TEST(FaultInjectorTest, HitBudgetDisarmsAfterMaxHits) {
+  FaultInjector fi;
+  FaultSpec spec;
+  spec.kind = FaultKind::kNanGradient;
+  spec.max_hits = 2;
+  fi.Arm(spec);
+  EXPECT_TRUE(fi.ShouldFire(FaultKind::kNanGradient, 1, 0));
+  EXPECT_TRUE(fi.ShouldFire(FaultKind::kNanGradient, 1, 1));
+  EXPECT_FALSE(fi.ShouldFire(FaultKind::kNanGradient, 1, 2));
+  EXPECT_EQ(fi.hits(FaultKind::kNanGradient), 2);
+  EXPECT_TRUE(fi.armed(FaultKind::kNanGradient));  // armed but exhausted
+}
+
+TEST(FaultInjectorTest, EpochAndStepFiltersMatchExactSite) {
+  FaultInjector fi;
+  FaultSpec spec;
+  spec.kind = FaultKind::kAbortStep;
+  spec.epoch = 3;
+  spec.step = 1;
+  spec.max_hits = 100;
+  fi.Arm(spec);
+  for (int epoch = 1; epoch <= 4; ++epoch) {
+    for (int step = 0; step < 3; ++step) {
+      EXPECT_EQ(fi.ShouldFire(FaultKind::kAbortStep, epoch, step),
+                epoch == 3 && step == 1)
+          << "epoch=" << epoch << " step=" << step;
+    }
+  }
+  EXPECT_EQ(fi.hits(FaultKind::kAbortStep), 1);
+}
+
+TEST(FaultInjectorTest, IndependentKinds) {
+  FaultInjector fi;
+  FaultSpec spec;
+  spec.kind = FaultKind::kNanGradient;
+  fi.Arm(spec);
+  EXPECT_TRUE(fi.armed(FaultKind::kNanGradient));
+  EXPECT_FALSE(fi.armed(FaultKind::kCorruptCheckpoint));
+  EXPECT_FALSE(fi.ShouldFire(FaultKind::kCorruptCheckpoint, 1, 0));
+  EXPECT_TRUE(fi.ShouldFire(FaultKind::kNanGradient, 1, 0));
+  fi.Disarm(FaultKind::kNanGradient);
+  EXPECT_FALSE(fi.armed(FaultKind::kNanGradient));
+}
+
+TEST(FaultInjectorTest, ProbabilityScheduleIsSeedDeterministic) {
+  std::vector<bool> runs[2];
+  for (auto& run : runs) {
+    FaultInjector fi(/*seed=*/123);
+    FaultSpec spec;
+    spec.kind = FaultKind::kNanGradient;
+    spec.probability = 0.5;
+    spec.max_hits = 1000;
+    fi.Arm(spec);
+    for (int i = 0; i < 64; ++i) {
+      run.push_back(fi.ShouldFire(FaultKind::kNanGradient, 1, i));
+    }
+  }
+  EXPECT_EQ(runs[0], runs[1]);
+  const int fired = static_cast<int>(
+      std::count(runs[0].begin(), runs[0].end(), true));
+  EXPECT_GT(fired, 0);
+  EXPECT_LT(fired, 64);
+}
+
+TEST(FaultInjectorTest, ResetClearsSpecsAndHits) {
+  FaultInjector fi;
+  FaultSpec spec;
+  spec.kind = FaultKind::kNanGradient;
+  fi.Arm(spec);
+  EXPECT_TRUE(fi.ShouldFire(FaultKind::kNanGradient, 1, 0));
+  fi.Reset();
+  EXPECT_FALSE(fi.armed(FaultKind::kNanGradient));
+  EXPECT_EQ(fi.hits(FaultKind::kNanGradient), 0);
+  EXPECT_FALSE(fi.ShouldFire(FaultKind::kNanGradient, 1, 0));
+}
+
+TEST(FaultInjectorTest, TruncateFileKeepsFraction) {
+  const std::string path = TempPath("fault_truncate.bin");
+  WriteBytes(path, std::string(100, 'x'));
+  ASSERT_TRUE(FaultInjector::TruncateFile(path, 0.5).ok());
+  EXPECT_EQ(SizeOf(path), 50u);
+  ASSERT_TRUE(FaultInjector::TruncateFile(path, 0.0).ok());
+  EXPECT_EQ(SizeOf(path), 0u);
+  EXPECT_FALSE(FaultInjector::TruncateFile(path, 1.0).ok());
+  EXPECT_FALSE(FaultInjector::TruncateFile("/nonexistent/f.bin", 0.5).ok());
+  std::remove(path.c_str());
+}
+
+TEST(FaultInjectorTest, CorruptByteFlipsExactlyOneByte) {
+  const std::string path = TempPath("fault_corrupt.bin");
+  WriteBytes(path, "hello");
+  ASSERT_TRUE(FaultInjector::CorruptByte(path, 1).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string got((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  ASSERT_EQ(got.size(), 5u);
+  EXPECT_EQ(got[0], 'h');
+  EXPECT_EQ(static_cast<unsigned char>(got[1]),
+            static_cast<unsigned char>('e' ^ 0xFF));
+  EXPECT_EQ(got.substr(2), "llo");
+  EXPECT_FALSE(FaultInjector::CorruptByte(path, 5).ok());  // past end
+  EXPECT_FALSE(FaultInjector::CorruptByte("/nonexistent/f.bin", 0).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dader
