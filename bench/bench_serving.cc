@@ -1,0 +1,210 @@
+// Serving bench: throughput, latency percentiles, and overload behavior of
+// the fault-tolerant MatchService.
+//
+// Three experiments:
+//   1. closed-loop throughput/latency vs max_batch (batching is the
+//      single-core throughput lever)
+//   2. open-loop overload: offered load above capacity must be shed by the
+//      bounded queue, never queued unboundedly (goodput stays flat, shed
+//      rate absorbs the excess)
+//   3. degraded-path cost: primary LM vs RNN fallback vs heuristic
+//
+//   ./bench_serving [--scale=smoke|small|full] [--csv=serving.csv]
+
+#include <algorithm>
+#include <future>
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "util/fault.h"
+#include "serve/match_service.h"
+
+using namespace dader;
+
+namespace {
+
+core::DaderConfig ServeModelConfig() {
+  core::DaderConfig c;
+  c.vocab_size = 512;
+  c.max_len = 24;
+  c.hidden_dim = 16;
+  c.num_heads = 2;
+  c.num_layers = 1;
+  c.ffn_dim = 32;
+  c.rnn_hidden = 8;
+  c.dropout = 0.0f;
+  return c;
+}
+
+core::DaModel MakeModel(core::ExtractorKind kind, uint64_t seed) {
+  core::DaModel model;
+  model.extractor = core::MakeExtractor(kind, ServeModelConfig(), seed);
+  model.matcher =
+      std::make_unique<core::Matcher>(model.extractor->feature_dim(), seed + 1);
+  return model;
+}
+
+std::vector<serve::MatchRequest> MakeRequests(int n, Rng* rng) {
+  std::vector<serve::MatchRequest> requests;
+  requests.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    const int id = static_cast<int>(rng->NextInt(0, 1000));
+    serve::MatchRequest request;
+    request.a = data::Record({"product item " + std::to_string(id), "10"});
+    request.b = data::Record(
+        {"product item " + std::to_string(rng->NextDouble() < 0.5 ? id : id + 1),
+         "10"});
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+double Percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const size_t idx = static_cast<size_t>(p * (v.size() - 1));
+  return v[idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchEnv env = bench::ParseBenchArgs(argc, argv, "serving.csv");
+  const int kRequests = env.scale.name == "smoke" ? 64
+                        : env.scale.name == "small" ? 256
+                                                    : 1024;
+  Rng rng(env.seed);
+  bench::CsvReport csv({"experiment", "setting", "requests", "ok", "shed",
+                        "degraded", "throughput_rps", "p50_ms", "p95_ms"});
+
+  std::printf("== 1. closed-loop throughput vs max_batch (%d requests) ==\n",
+              kRequests);
+  std::printf("%-10s %12s %10s %10s\n", "max_batch", "rps", "p50 ms", "p95 ms");
+  for (int64_t max_batch : {1, 4, 16}) {
+    serve::ServeConfig config;
+    config.queue_capacity = static_cast<size_t>(kRequests);
+    config.max_batch = max_batch;
+    config.batch_wait_ms = 0.2;
+    config.default_deadline_ms = 60000.0;
+    config.seed = env.seed;
+    data::Schema schema({"title", "price"});
+    serve::MatchService service(config, schema, schema,
+                                MakeModel(core::ExtractorKind::kLM, env.seed));
+    Stopwatch timer;
+    const std::vector<serve::MatchResponse> responses =
+        service.MatchBatch(MakeRequests(kRequests, &rng));
+    const double elapsed_s = timer.ElapsedSeconds();
+    std::vector<double> lat;
+    for (const auto& r : responses) {
+      if (r.status.ok()) lat.push_back(r.total_ms);
+    }
+    const double rps = lat.size() / elapsed_s;
+    const double p50 = Percentile(lat, 0.5), p95 = Percentile(lat, 0.95);
+    std::printf("%-10lld %12.1f %10.2f %10.2f\n",
+                static_cast<long long>(max_batch), rps, p50, p95);
+    csv.AddRow({"throughput", StrFormat("max_batch=%lld", (long long)max_batch),
+                std::to_string(kRequests), std::to_string(lat.size()), "0", "0",
+                StrFormat("%.1f", rps), StrFormat("%.3f", p50),
+                StrFormat("%.3f", p95)});
+  }
+
+  std::printf("\n== 2. open-loop overload: bounded queue sheds excess ==\n");
+  std::printf("%-12s %8s %8s %12s\n", "burst", "ok", "shed", "goodput rps");
+  for (int burst : {kRequests / 2, kRequests, kRequests * 4}) {
+    serve::ServeConfig config;
+    config.queue_capacity = 16;
+    config.max_batch = 8;
+    config.batch_wait_ms = 0.2;
+    config.default_deadline_ms = 60000.0;
+    config.seed = env.seed;
+    data::Schema schema({"title", "price"});
+    serve::MatchService service(config, schema, schema,
+                                MakeModel(core::ExtractorKind::kLM, env.seed));
+    std::vector<serve::MatchRequest> requests = MakeRequests(burst, &rng);
+    Stopwatch timer;
+    std::vector<std::future<serve::MatchResponse>> futures;
+    futures.reserve(requests.size());
+    for (auto& request : requests) {
+      futures.push_back(service.SubmitAsync(std::move(request)));
+    }
+    int ok = 0, shed = 0;
+    std::vector<double> lat;
+    for (auto& f : futures) {
+      const serve::MatchResponse r = f.get();
+      if (r.status.ok()) {
+        ++ok;
+        lat.push_back(r.total_ms);
+      } else if (r.status.code() == StatusCode::kResourceExhausted) {
+        ++shed;
+      }
+    }
+    const double elapsed_s = timer.ElapsedSeconds();
+    const double rps = ok / elapsed_s;
+    std::printf("%-12d %8d %8d %12.1f\n", burst, ok, shed, rps);
+    csv.AddRow({"overload", StrFormat("burst=%d", burst),
+                std::to_string(burst), std::to_string(ok),
+                std::to_string(shed), "0", StrFormat("%.1f", rps),
+                StrFormat("%.3f", Percentile(lat, 0.5)),
+                StrFormat("%.3f", Percentile(lat, 0.95))});
+  }
+
+  std::printf("\n== 3. degraded-path cost (primary vs fallback paths) ==\n");
+  std::printf("%-22s %12s %10s\n", "path", "rps", "p50 ms");
+  struct PathCase {
+    const char* name;
+    bool arm_fault;       // force every primary attempt to fail
+    bool with_fallback;   // RNN fallback model vs heuristic
+  };
+  for (const PathCase& pc :
+       {PathCase{"primary (LM)", false, true},
+        PathCase{"fallback (RNN)", true, true},
+        PathCase{"heuristic", true, false}}) {
+    FaultInjector fault;
+    serve::ServeConfig config;
+    config.queue_capacity = static_cast<size_t>(kRequests);
+    config.max_batch = 8;
+    config.batch_wait_ms = 0.2;
+    config.default_deadline_ms = 60000.0;
+    config.retry.max_attempts = 1;
+    config.breaker.failure_threshold = 1;  // trip immediately
+    config.breaker.cooldown_ms = 60000.0;  // stay degraded for the whole run
+    config.seed = env.seed;
+    config.fault = &fault;
+    if (pc.arm_fault) {
+      FaultSpec spec;
+      spec.kind = FaultKind::kExtractorFault;
+      spec.probability = 1.0;
+      spec.max_hits = 1u << 20;
+      fault.Arm(spec);
+    }
+    data::Schema schema({"title", "price"});
+    serve::MatchService service(
+        config, schema, schema, MakeModel(core::ExtractorKind::kLM, env.seed),
+        pc.with_fallback
+            ? std::make_unique<core::DaModel>(
+                  MakeModel(core::ExtractorKind::kRNN, env.seed + 100))
+            : nullptr);
+    Stopwatch timer;
+    const std::vector<serve::MatchResponse> responses =
+        service.MatchBatch(MakeRequests(kRequests, &rng));
+    const double elapsed_s = timer.ElapsedSeconds();
+    std::vector<double> lat;
+    int degraded = 0;
+    for (const auto& r : responses) {
+      if (!r.status.ok()) continue;
+      lat.push_back(r.total_ms);
+      degraded += r.degraded ? 1 : 0;
+    }
+    const double rps = lat.size() / elapsed_s;
+    const double p50 = Percentile(lat, 0.5);
+    std::printf("%-22s %12.1f %10.2f  (degraded %d/%zu)\n", pc.name, rps, p50,
+                degraded, lat.size());
+    csv.AddRow({"degraded_path", pc.name, std::to_string(kRequests),
+                std::to_string(lat.size()), "0", std::to_string(degraded),
+                StrFormat("%.1f", rps), StrFormat("%.3f", p50),
+                StrFormat("%.3f", Percentile(lat, 0.95))});
+  }
+
+  csv.WriteIfRequested(env.csv_path);
+  return 0;
+}

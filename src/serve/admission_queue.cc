@@ -1,0 +1,70 @@
+#include "serve/admission_queue.h"
+
+#include <algorithm>
+
+namespace dader::serve {
+
+bool AdmissionQueue::TryPush(PendingRequest& req) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ || queue_.size() >= capacity_) return false;
+    queue_.push_back(std::move(req));
+  }
+  ready_cv_.notify_one();
+  return true;
+}
+
+std::vector<PendingRequest> AdmissionQueue::PopBatch(size_t max_batch,
+                                                     double linger_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  ready_cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+  if (queue_.empty()) return {};  // closed and drained
+
+  // Linger briefly so sub-batch-size bursts still batch together; stop as
+  // soon as a full batch is available.
+  if (queue_.size() < max_batch && linger_ms > 0.0) {
+    ready_cv_.wait_for(
+        lock, std::chrono::duration<double, std::milli>(linger_ms),
+        [this, max_batch] { return closed_ || queue_.size() >= max_batch; });
+  }
+
+  std::vector<PendingRequest> batch;
+  const size_t take = std::min(max_batch, queue_.size());
+  batch.reserve(take);
+  for (size_t i = 0; i < take; ++i) {
+    batch.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  return batch;
+}
+
+std::vector<PendingRequest> AdmissionQueue::Drain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<PendingRequest> out;
+  out.reserve(queue_.size());
+  while (!queue_.empty()) {
+    out.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  return out;
+}
+
+void AdmissionQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  ready_cv_.notify_all();
+}
+
+size_t AdmissionQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+bool AdmissionQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+}  // namespace dader::serve

@@ -1,0 +1,65 @@
+// Bounded admission queue feeding the MatchService batcher threads.
+//
+// Admission is TryPush: when the queue is at capacity the request is
+// rejected immediately (the service turns that into a ResourceExhausted
+// response) — callers are never blocked by overload, and queue memory is
+// bounded by construction. Workers PopBatch: block for the first request,
+// then linger briefly to fill the batch.
+
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <vector>
+
+#include "serve/match_types.h"
+
+namespace dader::serve {
+
+/// \brief A queued request plus its response channel and timing state.
+struct PendingRequest {
+  MatchRequest request;
+  std::promise<MatchResponse> promise;
+  std::chrono::steady_clock::time_point admitted_at;
+  std::chrono::steady_clock::time_point deadline;
+};
+
+/// \brief Thread-safe bounded MPMC queue with load shedding.
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(size_t capacity) : capacity_(capacity) {}
+
+  /// \brief Enqueues; returns false (leaving `req` valid) when the queue is
+  /// full or closed — the caller sheds the request.
+  bool TryPush(PendingRequest& req);
+
+  /// \brief Pops up to `max_batch` requests. Blocks until at least one
+  /// request is available (or the queue is closed), then waits up to
+  /// `linger_ms` more to fill the batch. Returns an empty batch only when
+  /// closed and drained.
+  std::vector<PendingRequest> PopBatch(size_t max_batch, double linger_ms);
+
+  /// \brief Removes and returns everything queued (used at shutdown to fail
+  /// pending requests).
+  std::vector<PendingRequest> Drain();
+
+  /// \brief Marks the queue closed and wakes all waiters. Idempotent.
+  void Close();
+
+  size_t size() const;
+  bool closed() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_cv_;
+  std::deque<PendingRequest> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace dader::serve

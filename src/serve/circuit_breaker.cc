@@ -1,0 +1,102 @@
+#include "serve/circuit_breaker.h"
+
+#include "util/logging.h"
+
+namespace dader::serve {
+
+const char* BreakerStateName(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half-open";
+  }
+  return "?";
+}
+
+void CircuitBreaker::TripLocked() {
+  state_ = BreakerState::kOpen;
+  opened_at_ = Clock::now();
+  failure_streak_ = 0;
+  probe_successes_ = 0;
+  probe_in_flight_ = false;
+  ++trips_;
+}
+
+bool CircuitBreaker::AllowPrimary() {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen: {
+      const double elapsed_ms =
+          std::chrono::duration<double, std::milli>(Clock::now() - opened_at_)
+              .count();
+      if (elapsed_ms < config_.cooldown_ms) return false;
+      state_ = BreakerState::kHalfOpen;
+      probe_successes_ = 0;
+      probe_in_flight_ = true;
+      DADER_LOG(Info) << "circuit breaker half-open: probing primary";
+      return true;
+    }
+    case BreakerState::kHalfOpen:
+      if (probe_in_flight_) return false;
+      probe_in_flight_ = true;
+      return true;
+  }
+  return false;
+}
+
+void CircuitBreaker::OnSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case BreakerState::kClosed:
+      failure_streak_ = 0;
+      break;
+    case BreakerState::kHalfOpen:
+      probe_in_flight_ = false;
+      if (++probe_successes_ >= config_.half_open_successes) {
+        state_ = BreakerState::kClosed;
+        failure_streak_ = 0;
+        DADER_LOG(Info) << "circuit breaker closed: primary recovered";
+      }
+      break;
+    case BreakerState::kOpen:
+      // Stale report from a call admitted before the trip; ignore.
+      break;
+  }
+}
+
+void CircuitBreaker::OnFailure() {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case BreakerState::kClosed:
+      if (++failure_streak_ >= config_.failure_threshold) {
+        DADER_LOG(Warning) << "circuit breaker tripped after "
+                           << config_.failure_threshold
+                           << " consecutive primary failures";
+        TripLocked();
+      }
+      break;
+    case BreakerState::kHalfOpen:
+      DADER_LOG(Warning) << "circuit breaker re-opened: probe failed";
+      TripLocked();
+      break;
+    case BreakerState::kOpen:
+      break;  // stale report; already open
+  }
+}
+
+BreakerState CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+int64_t CircuitBreaker::trips() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trips_;
+}
+
+}  // namespace dader::serve

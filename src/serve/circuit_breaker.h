@@ -1,0 +1,72 @@
+// Circuit breaker guarding the primary (LM) extractor path.
+//
+// Classic three-state machine:
+//
+//   kClosed    — primary serves traffic; consecutive failures are counted.
+//   kOpen      — failure streak reached the threshold; all traffic is routed
+//                to the degraded fallback for `cooldown_ms`.
+//   kHalfOpen  — cooldown elapsed; a single probe batch at a time is allowed
+//                back onto the primary. `half_open_successes` consecutive
+//                probe successes close the breaker; any probe failure
+//                re-opens it (restarting the cooldown).
+//
+// Thread-safe; all transitions happen under one mutex. Time is the steady
+// clock, so wall-clock adjustments cannot wedge the breaker.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+
+namespace dader::serve {
+
+/// \brief Breaker state (see file comment).
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+/// \brief "closed", "open", "half-open".
+const char* BreakerStateName(BreakerState state);
+
+/// \brief Thresholds of the breaker state machine.
+struct BreakerConfig {
+  int failure_threshold = 3;   ///< consecutive failures that trip the breaker
+  double cooldown_ms = 100.0;  ///< open duration before half-open probing
+  int half_open_successes = 2; ///< probe successes required to re-close
+};
+
+/// \brief Thread-safe circuit breaker.
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(const BreakerConfig& config) : config_(config) {}
+
+  /// \brief True when the caller may use the protected (primary) path now.
+  /// In half-open state admits one probe at a time; the probe slot is
+  /// released by the matching OnSuccess/OnFailure.
+  bool AllowPrimary();
+
+  /// \brief Reports the outcome of a primary call admitted by AllowPrimary.
+  void OnSuccess();
+  void OnFailure();
+
+  BreakerState state() const;
+
+  /// \brief Closed -> open transitions since construction.
+  int64_t trips() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  // Opens the breaker and restarts the cooldown. Caller holds mu_.
+  void TripLocked();
+
+  BreakerConfig config_;
+  mutable std::mutex mu_;
+  BreakerState state_ = BreakerState::kClosed;
+  int failure_streak_ = 0;      // consecutive failures while closed
+  int probe_successes_ = 0;     // consecutive successes while half-open
+  bool probe_in_flight_ = false;
+  int64_t trips_ = 0;
+  Clock::time_point opened_at_{};
+};
+
+}  // namespace dader::serve

@@ -1,0 +1,422 @@
+#include "serve/match_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <unordered_set>
+
+#include "core/guard.h"
+#include "text/tokenizer.h"
+#include "util/fault.h"
+#include "util/logging.h"
+
+namespace dader::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsBetween(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+Clock::time_point DeadlineFor(const MatchRequest& request,
+                              const ServeConfig& config,
+                              Clock::time_point now) {
+  const double budget_ms =
+      request.deadline_ms > 0.0 ? request.deadline_ms : config.default_deadline_ms;
+  return now + std::chrono::duration_cast<Clock::duration>(
+                   std::chrono::duration<double, std::milli>(budget_ms));
+}
+
+std::vector<std::string> RecordTokens(const data::Record& record) {
+  std::vector<std::string> tokens;
+  for (const std::string& value : record.values()) {
+    for (std::string& t : text::WordTokenize(value)) {
+      tokens.push_back(std::move(t));
+    }
+  }
+  return tokens;
+}
+
+// Synthetic canary pairs: one near-duplicate and one clear non-match per
+// schema pair, so a reloaded model must at least produce finite outputs on
+// both ends of the similarity spectrum.
+data::ERDataset BuildCanary(const data::Schema& schema_a,
+                            const data::Schema& schema_b) {
+  data::ERDataset canary("serve-canary", "serve", schema_a, schema_b);
+  auto fill = [](const data::Schema& schema, const std::string& token) {
+    std::vector<std::string> values;
+    values.reserve(schema.size());
+    for (const std::string& attr : schema.attributes()) {
+      values.push_back(attr + " " + token);
+    }
+    return data::Record(std::move(values));
+  };
+  canary.AddPair({fill(schema_a, "canary alpha"), fill(schema_b, "canary alpha"),
+                  /*label=*/-1});
+  canary.AddPair({fill(schema_a, "canary alpha"), fill(schema_b, "omega probe"),
+                  /*label=*/-1});
+  return canary;
+}
+
+}  // namespace
+
+float HeuristicMatchProbability(const data::Record& a, const data::Record& b) {
+  const std::vector<std::string> ta = RecordTokens(a);
+  const std::vector<std::string> tb = RecordTokens(b);
+  if (ta.empty() && tb.empty()) return 0.5f;
+  const std::unordered_set<std::string> sa(ta.begin(), ta.end());
+  const std::unordered_set<std::string> sb(tb.begin(), tb.end());
+  size_t inter = 0;
+  for (const std::string& t : sa) inter += sb.count(t);
+  const size_t uni = sa.size() + sb.size() - inter;
+  const double jaccard =
+      uni == 0 ? 0.0 : static_cast<double>(inter) / static_cast<double>(uni);
+  // Logistic calibration centered where token overlap starts implying a
+  // match for the benchmark serializations; steepness keeps the extremes
+  // close to 0/1 so downstream thresholds behave.
+  const double p = 1.0 / (1.0 + std::exp(-8.0 * (jaccard - 0.35)));
+  return static_cast<float>(p);
+}
+
+MatchService::MatchService(ServeConfig config, data::Schema schema_a,
+                           data::Schema schema_b, core::DaModel primary,
+                           std::unique_ptr<core::DaModel> fallback)
+    : config_(std::move(config)),
+      schema_a_(std::move(schema_a)),
+      schema_b_(std::move(schema_b)),
+      primary_(std::move(primary)),
+      fallback_(std::move(fallback)),
+      canary_(BuildCanary(schema_a_, schema_b_)),
+      queue_(config_.queue_capacity),
+      breaker_(config_.breaker) {
+  DADER_CHECK(primary_.extractor != nullptr);
+  DADER_CHECK(primary_.matcher != nullptr);
+  primary_.extractor->SetTraining(false);
+  primary_.matcher->SetTraining(false);
+  if (fallback_ != nullptr) {
+    DADER_CHECK(fallback_->extractor != nullptr);
+    DADER_CHECK(fallback_->matcher != nullptr);
+    fallback_->extractor->SetTraining(false);
+    fallback_->matcher->SetTraining(false);
+  }
+  const int num_workers = std::max(1, config_.num_workers);
+  workers_.reserve(static_cast<size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+MatchService::~MatchService() { Stop(); }
+
+void MatchService::Stop() {
+  bool expected = true;
+  if (!running_.compare_exchange_strong(expected, false)) return;
+  queue_.Close();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  // Workers drain the queue before exiting; anything left (e.g. a request
+  // that raced Close) is failed cleanly rather than abandoned.
+  for (PendingRequest& pending : queue_.Drain()) {
+    MatchResponse response;
+    response.status = Status::Unavailable("match service shutting down");
+    Respond(pending, std::move(response));
+  }
+}
+
+void MatchService::Respond(PendingRequest& pending, MatchResponse response) {
+  const Clock::time_point now = Clock::now();
+  response.total_ms = MsBetween(pending.admitted_at, now);
+  if (response.status.ok()) {
+    completed_.fetch_add(1);
+    if (response.degraded) degraded_.fetch_add(1);
+  } else if (response.status.code() == StatusCode::kDeadlineExceeded) {
+    deadline_expired_.fetch_add(1);
+  }
+  pending.promise.set_value(std::move(response));
+}
+
+std::future<MatchResponse> MatchService::SubmitAsync(MatchRequest request) {
+  PendingRequest pending;
+  std::future<MatchResponse> future = pending.promise.get_future();
+
+  if (request.a.size() != schema_a_.size() ||
+      request.b.size() != schema_b_.size()) {
+    MatchResponse response;
+    response.status = Status::InvalidArgument(
+        "record arity does not match the service schemas (" +
+        std::to_string(request.a.size()) + "/" +
+        std::to_string(request.b.size()) + " vs " +
+        std::to_string(schema_a_.size()) + "/" +
+        std::to_string(schema_b_.size()) + ")");
+    pending.promise.set_value(std::move(response));
+    return future;
+  }
+
+  const Clock::time_point now = Clock::now();
+  pending.admitted_at = now;
+  pending.deadline = DeadlineFor(request, config_, now);
+  pending.request = std::move(request);
+
+  if (!running_.load()) {
+    MatchResponse response;
+    response.status = Status::Unavailable("match service is stopped");
+    Respond(pending, std::move(response));
+    return future;
+  }
+  if (!queue_.TryPush(pending)) {
+    shed_.fetch_add(1);
+    MatchResponse response;
+    response.status = Status::ResourceExhausted(
+        "admission queue full (" + std::to_string(queue_.capacity()) +
+        " pending); request shed");
+    Respond(pending, std::move(response));
+    return future;
+  }
+  admitted_.fetch_add(1);
+  return future;
+}
+
+MatchResponse MatchService::Match(MatchRequest request) {
+  return SubmitAsync(std::move(request)).get();
+}
+
+std::vector<MatchResponse> MatchService::MatchBatch(
+    std::vector<MatchRequest> requests) {
+  std::vector<std::future<MatchResponse>> futures;
+  futures.reserve(requests.size());
+  for (MatchRequest& request : requests) {
+    futures.push_back(SubmitAsync(std::move(request)));
+  }
+  std::vector<MatchResponse> responses;
+  responses.reserve(futures.size());
+  for (auto& f : futures) responses.push_back(f.get());
+  return responses;
+}
+
+Result<std::vector<float>> MatchService::RunForward(
+    core::FeatureExtractor* extractor, core::Matcher* matcher,
+    const data::ERDataset& batch_data, bool is_primary, int batch_ordinal,
+    int attempt, Rng* rng) {
+  FaultInjector* fault = config_.fault;
+  if (is_primary && fault != nullptr &&
+      fault->ShouldFire(FaultKind::kExtractorFault, batch_ordinal, attempt)) {
+    return Status::Unavailable("injected transient extractor fault");
+  }
+  std::vector<size_t> indices(batch_data.size());
+  for (size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  const core::EncodedBatch encoded =
+      extractor->EncodePairs(batch_data, indices);
+  const Tensor features = extractor->Forward(encoded, rng).Detach();
+  std::vector<float> probs = matcher->PredictProbabilities(features, rng);
+  if (is_primary && fault != nullptr &&
+      fault->ShouldFire(FaultKind::kExtractorNan, batch_ordinal, attempt)) {
+    for (float& p : probs) p = std::numeric_limits<float>::quiet_NaN();
+  }
+  for (float p : probs) {
+    if (!std::isfinite(p)) {
+      return Status::Internal("non-finite match probability from extractor");
+    }
+  }
+  return probs;
+}
+
+void MatchService::WorkerLoop(int worker_index) {
+  Rng rng = Rng(config_.seed).Fork(static_cast<uint64_t>(worker_index) + 1);
+  for (;;) {
+    std::vector<PendingRequest> batch = queue_.PopBatch(
+        static_cast<size_t>(std::max<int64_t>(1, config_.max_batch)),
+        config_.batch_wait_ms);
+    if (batch.empty()) return;  // queue closed and drained
+
+    // Stage 1 — queue-time deadline accounting: expired requests are
+    // answered without spending any compute on them.
+    Clock::time_point now = Clock::now();
+    std::vector<PendingRequest> live;
+    live.reserve(batch.size());
+    for (PendingRequest& pending : batch) {
+      if (pending.deadline <= now) {
+        MatchResponse response;
+        response.status =
+            Status::DeadlineExceeded("deadline expired while queued");
+        response.queue_ms = MsBetween(pending.admitted_at, now);
+        Respond(pending, std::move(response));
+      } else {
+        live.push_back(std::move(pending));
+      }
+    }
+    if (live.empty()) continue;
+
+    const Clock::time_point dequeued_at = now;
+    data::ERDataset batch_data("serve-batch", "serve", schema_a_, schema_b_);
+    for (const PendingRequest& pending : live) {
+      batch_data.AddPair({pending.request.a, pending.request.b, /*label=*/-1});
+    }
+    const int batch_ordinal = batch_counter_.fetch_add(1) + 1;
+
+    // Stage 2 — primary path behind the circuit breaker, with bounded
+    // retries. Backoff sleeps are capped by the batch's remaining deadline
+    // budget so retrying cannot starve every request in the batch.
+    std::vector<float> probs;
+    bool primary_ok = false;
+    int attempts = 0;
+    if (breaker_.AllowPrimary()) {
+      for (int attempt = 0; attempt < config_.retry.max_attempts; ++attempt) {
+        if (attempt > 0) {
+          retries_.fetch_add(1);
+          double delay_ms = BackoffDelayMs(config_.retry, attempt, &rng);
+          now = Clock::now();
+          double budget_ms = 0.0;
+          for (const PendingRequest& pending : live) {
+            budget_ms = std::max(budget_ms, MsBetween(now, pending.deadline));
+          }
+          delay_ms = std::min(delay_ms, std::max(0.0, budget_ms));
+          if (delay_ms > 0.0) {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(delay_ms));
+          }
+          // The breaker may have tripped on our own failure reports; stop
+          // hammering the primary and serve this batch degraded.
+          if (!breaker_.AllowPrimary()) break;
+        }
+        ++attempts;
+        Result<std::vector<float>> result = [&] {
+          std::lock_guard<std::mutex> lock(model_mu_);
+          return RunForward(primary_.extractor.get(), primary_.matcher.get(),
+                            batch_data, /*is_primary=*/true, batch_ordinal,
+                            attempt, &rng);
+        }();
+        if (result.ok()) {
+          probs = std::move(result).ValueOrDie();
+          primary_ok = true;
+          breaker_.OnSuccess();
+          break;
+        }
+        primary_failures_.fetch_add(1);
+        DADER_LOG(Warning) << "primary forward failed (batch " << batch_ordinal
+                           << ", attempt " << attempt + 1
+                           << "): " << result.status().ToString();
+        breaker_.OnFailure();
+      }
+    }
+
+    // Stage 3 — degraded path: cheaper extractor when available, else the
+    // calibrated similarity heuristic. Never consults the fault injector,
+    // so degraded responses keep flowing through a primary fault streak.
+    bool used_degraded = false;
+    if (!primary_ok) {
+      used_degraded = true;
+      if (fallback_ != nullptr) {
+        Result<std::vector<float>> result = [&] {
+          std::lock_guard<std::mutex> lock(model_mu_);
+          return RunForward(fallback_->extractor.get(),
+                            fallback_->matcher.get(), batch_data,
+                            /*is_primary=*/false, batch_ordinal, 0, &rng);
+        }();
+        if (result.ok()) probs = std::move(result).ValueOrDie();
+      }
+      if (probs.empty()) {
+        probs.reserve(live.size());
+        for (const PendingRequest& pending : live) {
+          probs.push_back(
+              HeuristicMatchProbability(pending.request.a, pending.request.b));
+        }
+      }
+    }
+
+    // Stage 4 — respond, with partial-batch timeout accounting: a request
+    // whose deadline passed during the forward gets DeadlineExceeded even
+    // though a result was computed for it.
+    now = Clock::now();
+    for (size_t i = 0; i < live.size(); ++i) {
+      PendingRequest& pending = live[i];
+      MatchResponse response;
+      response.queue_ms = MsBetween(pending.admitted_at, dequeued_at);
+      response.attempts = attempts;
+      if (pending.deadline <= now) {
+        response.status = Status::DeadlineExceeded(
+            "deadline expired during batch compute");
+      } else {
+        response.prob = probs[i];
+        response.label = probs[i] >= 0.5f ? 1 : 0;
+        response.degraded = used_degraded;
+      }
+      Respond(pending, std::move(response));
+    }
+  }
+}
+
+Status MatchService::ReloadModel(const std::string& path) {
+  // 1. Staging copies cloned from the live architecture; weight values are
+  //    irrelevant — the checkpoint overwrites them or the reload fails.
+  std::unique_ptr<core::FeatureExtractor> staging_extractor;
+  std::unique_ptr<core::Matcher> staging_matcher;
+  {
+    std::lock_guard<std::mutex> lock(model_mu_);
+    staging_extractor =
+        primary_.extractor->CloneArchitecture(config_.seed ^ 0x5e7f1eULL);
+    staging_matcher = std::make_unique<core::Matcher>(
+        primary_.extractor->feature_dim(), config_.seed ^ 0x5e7f2eULL);
+  }
+  staging_extractor->SetTraining(false);
+  staging_matcher->SetTraining(false);
+
+  // 2. Checkpoint validation: LoadModules verifies the CRC footer, the key
+  //    universe, and every tensor shape before touching the staging modules.
+  Status load_status = core::LoadModules(
+      path, {{"F", staging_extractor.get()}, {"M", staging_matcher.get()}});
+  if (!load_status.ok()) {
+    reload_rollbacks_.fetch_add(1);
+    DADER_LOG(Error) << "model reload rejected (validation): "
+                     << load_status.ToString();
+    return Status(load_status.code(),
+                  "model reload rolled back: " + load_status.message());
+  }
+
+  // 3. Canary batch: the candidate must produce finite probabilities on the
+  //    synthetic near-match / non-match pair before it may serve traffic.
+  Rng canary_rng(config_.seed ^ 0xca9a12ULL);
+  Result<std::vector<float>> canary_probs =
+      RunForward(staging_extractor.get(), staging_matcher.get(), canary_,
+                 /*is_primary=*/false, /*batch_ordinal=*/0, /*attempt=*/0,
+                 &canary_rng);
+  if (!canary_probs.ok()) {
+    reload_rollbacks_.fetch_add(1);
+    DADER_LOG(Error) << "model reload rejected (canary): "
+                     << canary_probs.status().ToString();
+    return Status(canary_probs.status().code(),
+                  "model reload rolled back: canary batch failed: " +
+                      canary_probs.status().message());
+  }
+
+  // 4. Atomic swap under the model lock; in-flight batches finished on the
+  //    old model, subsequent batches use the new one.
+  {
+    std::lock_guard<std::mutex> lock(model_mu_);
+    primary_.extractor = std::move(staging_extractor);
+    primary_.matcher = std::move(staging_matcher);
+  }
+  reloads_.fetch_add(1);
+  DADER_LOG(Info) << "model reloaded from " << path;
+  return Status::OK();
+}
+
+ServeStats MatchService::stats() const {
+  ServeStats s;
+  s.admitted = admitted_.load();
+  s.shed = shed_.load();
+  s.completed = completed_.load();
+  s.deadline_expired = deadline_expired_.load();
+  s.degraded = degraded_.load();
+  s.primary_failures = primary_failures_.load();
+  s.retries = retries_.load();
+  s.breaker_trips = breaker_.trips();
+  s.reloads = reloads_.load();
+  s.reload_rollbacks = reload_rollbacks_.load();
+  return s;
+}
+
+}  // namespace dader::serve

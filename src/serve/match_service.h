@@ -1,0 +1,140 @@
+// MatchService: fault-tolerant batched entity-match serving.
+//
+// Owns a loaded (Feature Extractor F, Matcher M) pair and answers match
+// requests with production-grade fault tolerance:
+//
+//   request -> [bounded admission queue] -> [batcher worker]
+//                      |  full => shed            |
+//                      v                          v
+//               ResourceExhausted     [circuit breaker] -- closed --> primary
+//                                            |  open                F_LM + M
+//                                            v                (retry w/ backoff
+//                                     degraded path             + jitter, then
+//                               F_RNN + M_RNN fallback,          breaker trip)
+//                               or calibrated similarity
+//                               heuristic; degraded=true
+//
+// Deadlines are enforced at every stage: requests that expire while queued
+// are answered DeadlineExceeded without spending compute; retry backoff is
+// capped by the batch's remaining budget; and requests whose deadline
+// passes during a slow forward are answered DeadlineExceeded even though a
+// result was computed (partial-batch timeout accounting).
+//
+// ReloadModel(path) hot-swaps weights with no downtime: the CRC-tagged v2
+// checkpoint is restored into a staging copy (core::LoadModules validates
+// every key/shape before touching anything), a canary batch must produce
+// finite probabilities, and only then are the live modules swapped under
+// the model lock. Any failure rolls back — the old model keeps serving.
+//
+// Threading: N batcher workers pull from the queue; forward passes and the
+// model-pointer swap serialize on one model mutex (this repo targets a
+// single CPU core — batching, not parallel forwards, is the throughput
+// lever). All counters are atomics; the service is safe to drive from many
+// client threads.
+
+#pragma once
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/experiment.h"
+#include "serve/admission_queue.h"
+#include "serve/circuit_breaker.h"
+#include "serve/match_types.h"
+
+namespace dader::serve {
+
+/// \brief Calibrated token-overlap match probability — the model-free
+/// degraded path of last resort. Jaccard similarity of the two records'
+/// word tokens through a logistic calibration.
+float HeuristicMatchProbability(const data::Record& a, const data::Record& b);
+
+/// \brief Batched, fault-tolerant match server (see file comment).
+class MatchService {
+ public:
+  /// \param primary   the full-quality model (typically LM extractor).
+  /// \param fallback  optional cheaper model (typically RNN extractor)
+  ///   serving degraded traffic; when null the similarity heuristic is the
+  ///   degraded path.
+  MatchService(ServeConfig config, data::Schema schema_a, data::Schema schema_b,
+               core::DaModel primary,
+               std::unique_ptr<core::DaModel> fallback = nullptr);
+  ~MatchService();
+
+  MatchService(const MatchService&) = delete;
+  MatchService& operator=(const MatchService&) = delete;
+
+  /// \brief Admits one request. Never blocks on overload: a full queue
+  /// resolves the future immediately with ResourceExhausted.
+  std::future<MatchResponse> SubmitAsync(MatchRequest request);
+
+  /// \brief Blocking single-request convenience wrapper.
+  MatchResponse Match(MatchRequest request);
+
+  /// \brief Submits all requests, then waits for every response.
+  std::vector<MatchResponse> MatchBatch(std::vector<MatchRequest> requests);
+
+  /// \brief Validates the checkpoint at `path` in a staging copy, runs a
+  /// canary batch, then atomically swaps the primary model. On any failure
+  /// the live model is untouched and serving continues (rollback).
+  Status ReloadModel(const std::string& path);
+
+  /// \brief Stops the workers; queued requests are still answered, then
+  /// late submissions get Unavailable. Idempotent; called by the dtor.
+  void Stop();
+
+  ServeStats stats() const;
+  BreakerState breaker_state() const { return breaker_.state(); }
+  size_t queue_depth() const { return queue_.size(); }
+  const ServeConfig& config() const { return config_; }
+
+ private:
+  void WorkerLoop(int worker_index);
+
+  /// Runs one forward pass of `extractor`+`matcher` over the live batch.
+  /// Primary passes host the fault-injection site (batch/attempt map onto
+  /// the injector's epoch/step filters) and fail on non-finite outputs.
+  Result<std::vector<float>> RunForward(core::FeatureExtractor* extractor,
+                                        core::Matcher* matcher,
+                                        const data::ERDataset& batch_data,
+                                        bool is_primary, int batch_ordinal,
+                                        int attempt, Rng* rng);
+
+  /// Resolves one request (sets timings, counters, and the promise).
+  void Respond(PendingRequest& pending, MatchResponse response);
+
+  ServeConfig config_;
+  data::Schema schema_a_;
+  data::Schema schema_b_;
+
+  std::mutex model_mu_;  // guards the module pointers and forward passes
+  core::DaModel primary_;
+  std::unique_ptr<core::DaModel> fallback_;
+
+  data::ERDataset canary_;  // fixed synthetic pairs for reload validation
+
+  AdmissionQueue queue_;
+  CircuitBreaker breaker_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> running_{true};
+  std::atomic<int> batch_counter_{0};
+
+  // --- counters (see ServeStats) ---
+  std::atomic<int64_t> admitted_{0};
+  std::atomic<int64_t> shed_{0};
+  std::atomic<int64_t> completed_{0};
+  std::atomic<int64_t> deadline_expired_{0};
+  std::atomic<int64_t> degraded_{0};
+  std::atomic<int64_t> primary_failures_{0};
+  std::atomic<int64_t> retries_{0};
+  std::atomic<int64_t> reloads_{0};
+  std::atomic<int64_t> reload_rollbacks_{0};
+};
+
+}  // namespace dader::serve

@@ -1,0 +1,74 @@
+// Request/response/stats types of the batched match-serving layer.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+
+#include "data/schema.h"
+#include "serve/circuit_breaker.h"
+#include "serve/retry.h"
+#include "util/status.h"
+
+namespace dader {
+class FaultInjector;  // util/fault.h; only tests/benches arm one
+}
+
+namespace dader::serve {
+
+/// \brief One match question: does record `a` (schema A) match record `b`
+/// (schema B)?
+struct MatchRequest {
+  data::Record a;
+  data::Record b;
+  /// Per-request latency budget from admission to response; <= 0 uses
+  /// ServeConfig::default_deadline_ms.
+  double deadline_ms = -1.0;
+};
+
+/// \brief The answer to one MatchRequest.
+struct MatchResponse {
+  /// OK, ResourceExhausted (shed at admission), DeadlineExceeded,
+  /// InvalidArgument (schema mismatch), or Unavailable (shutdown).
+  Status status;
+  int label = -1;          ///< 1 match / 0 non-match (status.ok() only)
+  float prob = 0.0f;       ///< p(match) (status.ok() only)
+  bool degraded = false;   ///< served by the fallback path, not the primary
+  int attempts = 0;        ///< primary forward attempts spent on the batch
+  double queue_ms = 0.0;   ///< admission -> dequeue
+  double total_ms = 0.0;   ///< admission -> response
+};
+
+/// \brief Monotonic serving counters (one Snapshot is one consistent read
+/// of independently-updated atomics; cross-counter sums may transiently
+/// disagree while requests are in flight).
+struct ServeStats {
+  int64_t admitted = 0;          ///< requests accepted into the queue
+  int64_t shed = 0;              ///< rejected at admission (queue full)
+  int64_t completed = 0;         ///< responded OK
+  int64_t deadline_expired = 0;  ///< responded DeadlineExceeded
+  int64_t degraded = 0;          ///< OK responses served by the fallback
+  int64_t primary_failures = 0;  ///< failed primary forward attempts
+  int64_t retries = 0;           ///< primary attempts beyond the first
+  int64_t breaker_trips = 0;     ///< closed -> open transitions
+  int64_t reloads = 0;           ///< successful ReloadModel swaps
+  int64_t reload_rollbacks = 0;  ///< ReloadModel validations that failed
+};
+
+/// \brief Tuning knobs of the MatchService.
+struct ServeConfig {
+  size_t queue_capacity = 64;       ///< bounded admission queue; beyond = shed
+  int64_t max_batch = 16;           ///< per-forward batch cap
+  double batch_wait_ms = 1.0;       ///< linger to fill a batch after the first
+  double default_deadline_ms = 250.0;
+  int num_workers = 1;              ///< batcher threads
+  RetryPolicy retry;                ///< transient-fault retry schedule
+  BreakerConfig breaker;            ///< primary-path circuit breaker
+  uint64_t seed = 42;               ///< jitter / dropout-off forward rng
+  /// Optional fault injector consulted at the extractor forward site;
+  /// null (the default) means no instrumented site ever fires.
+  FaultInjector* fault = nullptr;
+};
+
+}  // namespace dader::serve

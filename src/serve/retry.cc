@@ -1,0 +1,21 @@
+#include "serve/retry.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dader::serve {
+
+double BackoffDelayMs(const RetryPolicy& policy, int attempt, Rng* rng) {
+  DADER_CHECK_GE(attempt, 1);
+  const double exp =
+      policy.base_backoff_ms * std::pow(2.0, static_cast<double>(attempt - 1));
+  const double capped = std::min(exp, policy.max_backoff_ms);
+  const double jitter_frac = std::clamp(policy.jitter_frac, 0.0, 1.0);
+  const double scale =
+      rng != nullptr && jitter_frac > 0.0
+          ? 1.0 - jitter_frac * rng->NextDouble()
+          : 1.0;
+  return std::max(0.0, capped * scale);
+}
+
+}  // namespace dader::serve

@@ -1,0 +1,29 @@
+// Retry policy for transient serving faults: capped exponential backoff
+// with deterministic jitter.
+//
+// The serving path retries a failed primary-extractor forward a bounded
+// number of times. Backoff is exponential in the attempt index, capped, and
+// jittered (drawn from the caller's seeded Rng so tests replay exactly);
+// callers additionally cap each delay by the batch's remaining deadline
+// budget so a retry can never push a request past its deadline.
+
+#pragma once
+
+#include "util/rng.h"
+
+namespace dader::serve {
+
+/// \brief Bounded-retry schedule for transient faults.
+struct RetryPolicy {
+  int max_attempts = 3;         ///< total tries, including the first
+  double base_backoff_ms = 2.0; ///< delay before attempt 2
+  double max_backoff_ms = 50.0; ///< cap on any single delay
+  double jitter_frac = 0.5;     ///< delay scaled by U[1-jitter_frac, 1]
+};
+
+/// \brief Backoff before retry `attempt` (1-based: 1 = first retry), in ms.
+/// Exponential in the attempt index, capped at max_backoff_ms, then scaled
+/// by a jitter factor drawn from `rng`.
+double BackoffDelayMs(const RetryPolicy& policy, int attempt, Rng* rng);
+
+}  // namespace dader::serve

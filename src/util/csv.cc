@@ -1,5 +1,7 @@
 #include "util/csv.h"
 
+#include <cerrno>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -35,7 +37,14 @@ Result<std::vector<std::vector<std::string>>> ParseRecords(const std::string& te
     current.clear();
   };
 
-  for (size_t i = 0; i < text.size(); ++i) {
+  // Tolerate a UTF-8 byte-order mark (common in exports from Windows
+  // tooling); it would otherwise glue onto the first header name.
+  size_t start = 0;
+  if (text.size() >= 3 && text.compare(0, 3, "\xEF\xBB\xBF") == 0) {
+    start = 3;
+  }
+
+  for (size_t i = start; i < text.size(); ++i) {
     const char c = text[i];
     if (in_quotes) {
       if (c == '"') {
@@ -93,10 +102,19 @@ Result<CsvTable> ParseCsv(const std::string& text) {
 }
 
 Result<CsvTable> ReadCsvFile(const std::string& path) {
+  errno = 0;
   std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot open " + path);
+  if (!in) {
+    const char* cause = errno != 0 ? std::strerror(errno) : "unknown cause";
+    return Status::IOError(
+        StrFormat("cannot open CSV file '%s': %s", path.c_str(), cause));
+  }
   std::ostringstream ss;
   ss << in.rdbuf();
+  if (in.bad()) {
+    return Status::IOError(
+        StrFormat("read failed for CSV file '%s'", path.c_str()));
+  }
   return ParseCsv(ss.str());
 }
 

@@ -22,10 +22,12 @@ struct CsvTable {
 };
 
 /// \brief Parses CSV text. The first record is treated as the header.
-/// Fails with InvalidArgument on unterminated quotes or ragged rows.
+/// Tolerates a leading UTF-8 BOM and CRLF line endings. Fails with
+/// InvalidArgument on unterminated quotes or ragged rows.
 Result<CsvTable> ParseCsv(const std::string& text);
 
-/// \brief Reads and parses a CSV file.
+/// \brief Reads and parses a CSV file. Unreadable files yield an IOError
+/// naming the path and the OS-level cause.
 Result<CsvTable> ReadCsvFile(const std::string& path);
 
 /// \brief Serializes a table to CSV text, quoting fields as needed.

@@ -29,19 +29,26 @@ const char* FaultKindName(FaultKind kind) {
       return "corrupt-checkpoint";
     case FaultKind::kAbortStep:
       return "abort-step";
+    case FaultKind::kExtractorFault:
+      return "extractor-fault";
+    case FaultKind::kExtractorNan:
+      return "extractor-nan";
   }
   return "?";
 }
 
 void FaultInjector::Arm(const FaultSpec& spec) {
+  std::lock_guard<std::mutex> lock(mu_);
   specs_[KindIndex(spec.kind)] = spec;
 }
 
 void FaultInjector::Disarm(FaultKind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
   specs_[KindIndex(kind)].reset();
 }
 
 void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (int i = 0; i < kNumFaultKinds; ++i) {
     specs_[i].reset();
     hits_[i] = 0;
@@ -49,10 +56,12 @@ void FaultInjector::Reset() {
 }
 
 bool FaultInjector::armed(FaultKind kind) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return specs_[KindIndex(kind)].has_value();
 }
 
 bool FaultInjector::ShouldFire(FaultKind kind, int epoch, int step) {
+  std::lock_guard<std::mutex> lock(mu_);
   const int idx = KindIndex(kind);
   const std::optional<FaultSpec>& spec = specs_[idx];
   if (!spec.has_value()) return false;
@@ -67,6 +76,7 @@ bool FaultInjector::ShouldFire(FaultKind kind, int epoch, int step) {
 }
 
 int FaultInjector::hits(FaultKind kind) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return hits_[KindIndex(kind)];
 }
 

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <string>
 
@@ -21,19 +22,27 @@
 
 namespace dader {
 
-/// \brief The fault classes the trainer/checkpoint paths know how to inject.
+/// \brief The fault classes the trainer/checkpoint/serving paths know how
+/// to inject.
 enum class FaultKind : int {
   kNanGradient = 0,       ///< overwrite gradients with NaN after backward
   kCorruptCheckpoint = 1, ///< truncate/corrupt a just-written checkpoint file
   kAbortStep = 2,         ///< abort the current epoch mid-step (crash model)
+  kExtractorFault = 3,    ///< transient extractor failure during serving
+  kExtractorNan = 4,      ///< extractor emits non-finite outputs (serving)
 };
 
-inline constexpr int kNumFaultKinds = 3;
+inline constexpr int kNumFaultKinds = 5;
 
-/// \brief "nan-gradient", "corrupt-checkpoint", "abort-step".
+/// \brief "nan-gradient", "corrupt-checkpoint", "abort-step",
+/// "extractor-fault", "extractor-nan".
 const char* FaultKindName(FaultKind kind);
 
 /// \brief Where and how often one fault kind fires.
+///
+/// The serving layer reuses the epoch/step filters with its own coordinates:
+/// `epoch` matches the batch ordinal and `step` the attempt ordinal, so a
+/// spec can target e.g. "the first attempt of every batch".
 struct FaultSpec {
   FaultKind kind = FaultKind::kNanGradient;
   int epoch = -1;           ///< fire only at this 1-based epoch (-1 = any)
@@ -43,6 +52,9 @@ struct FaultSpec {
 };
 
 /// \brief Seeded, deterministic fault scheduler. One spec per kind.
+///
+/// Thread-safe: the serving layer consults ShouldFire from worker threads
+/// while tests arm/inspect the injector from the main thread.
 class FaultInjector {
  public:
   explicit FaultInjector(uint64_t seed = 0xFA017ULL) : rng_(seed) {}
@@ -74,8 +86,9 @@ class FaultInjector {
   static Status CorruptByte(const std::string& path, uint64_t offset);
 
  private:
+  mutable std::mutex mu_;
   std::optional<FaultSpec> specs_[kNumFaultKinds];
-  int hits_[kNumFaultKinds] = {0, 0, 0};
+  int hits_[kNumFaultKinds] = {};
   Rng rng_;
 };
 

@@ -22,6 +22,9 @@ enum class StatusCode : int {
   kOutOfRange = 5,
   kUnimplemented = 6,
   kInternal = 7,
+  kResourceExhausted = 8,
+  kDeadlineExceeded = 9,
+  kUnavailable = 10,
 };
 
 /// \brief Human-readable name of a status code ("OK", "Invalid argument", ...).
@@ -59,6 +62,15 @@ class [[nodiscard]] Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,6 +1,9 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <exception>
+
+#include "util/logging.h"
 
 namespace dader {
 
@@ -14,27 +17,47 @@ ThreadPool::ThreadPool(size_t num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return;
     shutdown_ = true;
   }
   task_cv_.notify_all();
-  for (auto& w : workers_) w.join();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+bool ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      DADER_LOG(Error) << "ThreadPool::Submit after Shutdown; task dropped";
+      return false;
+    }
     tasks_.push(std::move(task));
     ++in_flight_;
   }
   task_cv_.notify_one();
+  return true;
 }
 
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+size_t ThreadPool::exception_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return exception_count_;
+}
+
+std::string ThreadPool::last_exception() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_exception_;
 }
 
 void ThreadPool::WorkerLoop() {
@@ -47,10 +70,26 @@ void ThreadPool::WorkerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    // A throwing task must not escape the worker (std::terminate); record
+    // it so callers can observe the failure after Wait().
+    std::string error;
+    try {
+      task();
+    } catch (const std::exception& e) {
+      error = e.what();
+    } catch (...) {
+      error = "unknown exception";
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       --in_flight_;
+      if (!error.empty()) {
+        ++exception_count_;
+        last_exception_ = error;
+      }
+    }
+    if (!error.empty()) {
+      DADER_LOG(Error) << "ThreadPool task threw: " << error;
     }
     done_cv_.notify_all();
   }

@@ -3,6 +3,12 @@
 // On single-core machines (or pools of size 1) ParallelFor degrades to a
 // plain loop with no synchronization overhead, so library code can call it
 // unconditionally.
+//
+// Fault containment: a task that throws no longer escapes WorkerLoop (which
+// would std::terminate the process) — the exception is caught, counted, and
+// its message retained for inspection via exception_count() /
+// last_exception(). Submitting to a shut-down pool is a logged no-op rather
+// than undefined behavior.
 
 #pragma once
 
@@ -11,6 +17,7 @@
 #include <functional>
 #include <mutex>
 #include <queue>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -27,12 +34,25 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// \brief Enqueues a task; tasks may not block on other pool tasks.
-  void Submit(std::function<void()> task);
+  /// Returns false (and logs an error) when the pool has been shut down;
+  /// the task is dropped, never run.
+  bool Submit(std::function<void()> task);
 
   /// \brief Blocks until every submitted task has completed.
   void Wait();
 
+  /// \brief Drains outstanding tasks and joins the workers. Idempotent;
+  /// called by the destructor. After this, Submit is a logged no-op.
+  void Shutdown();
+
   size_t num_threads() const { return workers_.size(); }
+
+  /// \brief Number of tasks that terminated with an uncaught exception
+  /// since construction.
+  size_t exception_count() const;
+
+  /// \brief what() of the most recent task exception ("" when none yet).
+  std::string last_exception() const;
 
   /// \brief Process-wide default pool, sized to the hardware.
   static ThreadPool* Global();
@@ -42,11 +62,13 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable task_cv_;   // signals workers: new task / shutdown
   std::condition_variable done_cv_;   // signals Wait(): a task finished
   size_t in_flight_ = 0;
   bool shutdown_ = false;
+  size_t exception_count_ = 0;
+  std::string last_exception_;
 };
 
 /// \brief Runs fn(i) for i in [0, n), splitting the range across the global

@@ -1,0 +1,363 @@
+// End-to-end fault-scenario tests for MatchService: overload shedding,
+// deadline expiry, transient-fault retry, breaker trip -> degraded serving ->
+// half-open recovery, and hot model reload with corrupt-checkpoint rollback.
+
+#include "serve/match_service.h"
+
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/guard.h"
+#include "util/fault.h"
+
+namespace dader::serve {
+namespace {
+
+using core::DaderConfig;
+
+DaderConfig TinyModelConfig() {
+  DaderConfig c;
+  c.vocab_size = 256;
+  c.max_len = 16;
+  c.hidden_dim = 8;
+  c.num_heads = 2;
+  c.num_layers = 1;
+  c.ffn_dim = 16;
+  c.rnn_hidden = 4;
+  c.dropout = 0.0f;
+  return c;
+}
+
+core::DaModel MakeModel(core::ExtractorKind kind, const DaderConfig& config,
+                        uint64_t seed) {
+  core::DaModel model;
+  model.extractor = core::MakeExtractor(kind, config, seed);
+  model.matcher =
+      std::make_unique<core::Matcher>(model.extractor->feature_dim(), seed + 1);
+  return model;
+}
+
+data::Schema TestSchema() { return data::Schema({"title", "price"}); }
+
+MatchRequest MakeRequest(const std::string& title_a, const std::string& title_b,
+                         double deadline_ms = -1.0) {
+  MatchRequest request;
+  request.a = data::Record({title_a, "10"});
+  request.b = data::Record({title_b, "10"});
+  request.deadline_ms = deadline_ms;
+  return request;
+}
+
+ServeConfig TestServeConfig() {
+  ServeConfig config;
+  config.queue_capacity = 64;
+  config.max_batch = 8;
+  config.batch_wait_ms = 0.5;
+  config.default_deadline_ms = 10000.0;  // generous: latency is not under test
+  config.retry.base_backoff_ms = 1.0;
+  config.retry.max_backoff_ms = 4.0;
+  return config;
+}
+
+std::unique_ptr<MatchService> MakeService(
+    ServeConfig config, std::unique_ptr<core::DaModel> fallback = nullptr) {
+  const DaderConfig model_config = TinyModelConfig();
+  return std::make_unique<MatchService>(
+      std::move(config), TestSchema(), TestSchema(),
+      MakeModel(core::ExtractorKind::kLM, model_config, 21),
+      std::move(fallback));
+}
+
+std::unique_ptr<core::DaModel> MakeFallbackModel() {
+  return std::make_unique<core::DaModel>(
+      MakeModel(core::ExtractorKind::kRNN, TinyModelConfig(), 33));
+}
+
+TEST(MatchServiceTest, ServesBatchedRequests) {
+  auto service = MakeService(TestServeConfig(), MakeFallbackModel());
+  std::vector<MatchRequest> requests;
+  for (int i = 0; i < 12; ++i) {
+    requests.push_back(MakeRequest("sony camera a" + std::to_string(i),
+                                   "sony camera a" + std::to_string(i)));
+  }
+  const std::vector<MatchResponse> responses =
+      service->MatchBatch(std::move(requests));
+  ASSERT_EQ(responses.size(), 12u);
+  for (const MatchResponse& r : responses) {
+    ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+    EXPECT_FALSE(r.degraded);
+    EXPECT_GE(r.prob, 0.0f);
+    EXPECT_LE(r.prob, 1.0f);
+    EXPECT_TRUE(r.label == 0 || r.label == 1);
+    EXPECT_GE(r.attempts, 1);
+  }
+  const ServeStats stats = service->stats();
+  EXPECT_EQ(stats.completed, 12);
+  EXPECT_EQ(stats.shed, 0);
+  EXPECT_EQ(stats.degraded, 0);
+}
+
+TEST(MatchServiceTest, SchemaMismatchIsRejectedUpFront) {
+  auto service = MakeService(TestServeConfig());
+  MatchRequest bad;
+  bad.a = data::Record({"only one value"});  // schema expects two
+  bad.b = data::Record({"x", "y"});
+  const MatchResponse response = service->Match(std::move(bad));
+  EXPECT_EQ(response.status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MatchServiceTest, OverloadShedsInsteadOfQueueingUnboundedly) {
+  ServeConfig config = TestServeConfig();
+  config.queue_capacity = 4;
+  config.max_batch = 2;
+  auto service = MakeService(std::move(config));
+
+  constexpr int kRequests = 200;
+  std::vector<std::future<MatchResponse>> futures;
+  futures.reserve(kRequests);
+  for (int i = 0; i < kRequests; ++i) {
+    futures.push_back(service->SubmitAsync(
+        MakeRequest("item " + std::to_string(i), "item " + std::to_string(i))));
+    EXPECT_LE(service->queue_depth(), 4u);  // no unbounded growth
+  }
+  int ok = 0, shed = 0;
+  for (auto& f : futures) {
+    const MatchResponse r = f.get();
+    if (r.status.ok()) {
+      ++ok;
+    } else {
+      ASSERT_EQ(r.status.code(), StatusCode::kResourceExhausted)
+          << r.status.ToString();
+      ++shed;
+    }
+  }
+  EXPECT_EQ(ok + shed, kRequests);
+  EXPECT_GT(shed, 0);  // submission outpaces tiny-batch forwards
+  EXPECT_GT(ok, 0);    // admitted requests are all answered
+  const ServeStats stats = service->stats();
+  EXPECT_EQ(stats.shed, shed);
+  EXPECT_EQ(stats.admitted, ok);
+  EXPECT_EQ(stats.completed, ok);
+}
+
+TEST(MatchServiceTest, ExpiredDeadlinesAreReportedNotComputed) {
+  auto service = MakeService(TestServeConfig());
+  // A deadline this tight expires while queued or during the batch forward;
+  // both accounting paths must answer DeadlineExceeded.
+  const MatchResponse response =
+      service->Match(MakeRequest("a", "b", /*deadline_ms=*/0.0005));
+  EXPECT_EQ(response.status.code(), StatusCode::kDeadlineExceeded)
+      << response.status.ToString();
+  EXPECT_EQ(service->stats().deadline_expired, 1);
+  // The service keeps serving normal traffic afterwards.
+  EXPECT_TRUE(service->Match(MakeRequest("a", "a")).status.ok());
+}
+
+TEST(MatchServiceTest, TransientFaultIsRetriedWithinTheBatch) {
+  FaultInjector injector;
+  FaultSpec spec;
+  spec.kind = FaultKind::kExtractorNan;
+  spec.max_hits = 1;  // only the first attempt is poisoned
+  injector.Arm(spec);
+
+  ServeConfig config = TestServeConfig();
+  config.fault = &injector;
+  config.breaker.failure_threshold = 10;  // stay closed; retry is under test
+  auto service = MakeService(std::move(config));
+
+  const MatchResponse response = service->Match(MakeRequest("x", "x"));
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_FALSE(response.degraded);
+  EXPECT_EQ(response.attempts, 2);  // failed once, succeeded on retry
+  const ServeStats stats = service->stats();
+  EXPECT_EQ(stats.primary_failures, 1);
+  EXPECT_EQ(stats.retries, 1);
+  EXPECT_EQ(injector.hits(FaultKind::kExtractorNan), 1);
+}
+
+// The acceptance scenario: a primary fault streak trips the breaker,
+// degraded responses keep flowing (fallback model, degraded=true), and once
+// the fault clears a half-open probe restores full service.
+TEST(MatchServiceTest, BreakerTripsDegradesAndRecovers) {
+  FaultInjector injector;
+  FaultSpec spec;
+  spec.kind = FaultKind::kExtractorFault;
+  spec.max_hits = 1000;  // persistent outage until disarmed
+  injector.Arm(spec);
+
+  ServeConfig config = TestServeConfig();
+  config.fault = &injector;
+  config.retry.max_attempts = 2;
+  config.breaker.failure_threshold = 3;
+  config.breaker.cooldown_ms = 150.0;
+  config.breaker.half_open_successes = 2;
+  auto service = MakeService(std::move(config), MakeFallbackModel());
+
+  // Outage phase: every response must still arrive, degraded.
+  for (int i = 0; i < 6; ++i) {
+    const MatchResponse r = service->Match(MakeRequest("dell laptop", "dell laptop"));
+    ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+    EXPECT_TRUE(r.degraded);
+  }
+  ServeStats stats = service->stats();
+  EXPECT_GE(stats.breaker_trips, 1);
+  EXPECT_EQ(stats.degraded, 6);
+  EXPECT_GT(stats.primary_failures, 0);
+  EXPECT_NE(service->breaker_state(), BreakerState::kClosed);
+
+  // Fault clears; after the cooldown the half-open probes re-close the
+  // breaker and full-quality responses resume.
+  injector.Disarm(FaultKind::kExtractorFault);
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  int full_quality = 0;
+  for (int i = 0; i < 4; ++i) {
+    const MatchResponse r = service->Match(MakeRequest("dell laptop", "dell laptop"));
+    ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+    if (!r.degraded) ++full_quality;
+  }
+  EXPECT_GE(full_quality, 2);  // at most the first two are probe/degraded
+  EXPECT_EQ(service->breaker_state(), BreakerState::kClosed);
+  const MatchResponse recovered = service->Match(MakeRequest("hp printer", "canon scanner"));
+  ASSERT_TRUE(recovered.status.ok());
+  EXPECT_FALSE(recovered.degraded);
+}
+
+TEST(MatchServiceTest, HeuristicFallbackServesWhenNoFallbackModel) {
+  FaultInjector injector;
+  FaultSpec spec;
+  spec.kind = FaultKind::kExtractorFault;
+  spec.max_hits = 1000;
+  injector.Arm(spec);
+
+  ServeConfig config = TestServeConfig();
+  config.fault = &injector;
+  config.retry.max_attempts = 1;
+  config.breaker.failure_threshold = 1;
+  config.breaker.cooldown_ms = 60000.0;
+  auto service = MakeService(std::move(config));  // no fallback model
+
+  const MatchResponse match =
+      service->Match(MakeRequest("apple iphone 12 pro", "apple iphone 12 pro"));
+  ASSERT_TRUE(match.status.ok());
+  EXPECT_TRUE(match.degraded);
+  EXPECT_GT(match.prob, 0.5f);
+  EXPECT_EQ(match.label, 1);
+
+  const MatchResponse nonmatch =
+      service->Match(MakeRequest("apple iphone 12 pro", "garden hose reel"));
+  ASSERT_TRUE(nonmatch.status.ok());
+  EXPECT_TRUE(nonmatch.degraded);
+  EXPECT_LT(nonmatch.prob, 0.5f);
+  EXPECT_EQ(nonmatch.label, 0);
+}
+
+TEST(MatchServiceTest, ReloadSwapsWeightsAndRollsBackOnCorruption) {
+  const std::string dir = testing::TempDir() + "/serve_reload";
+  ::mkdir(dir.c_str(), 0755);
+  const std::string good_path = dir + "/good.ckpt";
+  const std::string corrupt_path = dir + "/corrupt.ckpt";
+  const std::string mismatch_path = dir + "/mismatch.ckpt";
+
+  // A donor model with the same architecture but different weights.
+  core::DaModel donor = MakeModel(core::ExtractorKind::kLM, TinyModelConfig(), 99);
+  ASSERT_TRUE(core::SaveModules(good_path, {{"F", donor.extractor.get()},
+                                            {"M", donor.matcher.get()}})
+                  .ok());
+  ASSERT_TRUE(core::SaveModules(corrupt_path, {{"F", donor.extractor.get()},
+                                               {"M", donor.matcher.get()}})
+                  .ok());
+  // An architecture that cannot serve this service's schema/width.
+  DaderConfig wide = TinyModelConfig();
+  wide.hidden_dim = 16;
+  wide.ffn_dim = 32;
+  core::DaModel mismatch = MakeModel(core::ExtractorKind::kLM, wide, 5);
+  ASSERT_TRUE(core::SaveModules(mismatch_path, {{"F", mismatch.extractor.get()},
+                                                {"M", mismatch.matcher.get()}})
+                  .ok());
+
+  auto service = MakeService(TestServeConfig());
+  const MatchRequest probe = MakeRequest("canon eos r6", "canon eos r6");
+  const float before = service->Match(probe).prob;
+
+  // 1. A valid checkpoint swaps in and serving continues.
+  ASSERT_TRUE(service->ReloadModel(good_path).ok());
+  const MatchResponse after = service->Match(probe);
+  ASSERT_TRUE(after.status.ok());
+  EXPECT_NE(after.prob, before);  // different weights actually took effect
+
+  // 2. A corrupted checkpoint (payload bit flip caught by the CRC footer)
+  //    is rejected and the live model keeps serving.
+  ASSERT_TRUE(FaultInjector::CorruptByte(corrupt_path, 200).ok());
+  const Status corrupt_status = service->ReloadModel(corrupt_path);
+  EXPECT_FALSE(corrupt_status.ok());
+  const MatchResponse still_serving = service->Match(probe);
+  ASSERT_TRUE(still_serving.status.ok());
+  EXPECT_FLOAT_EQ(still_serving.prob, after.prob);  // rollback: weights untouched
+
+  // 3. Same for an architecture-mismatched checkpoint and a missing file.
+  EXPECT_FALSE(service->ReloadModel(mismatch_path).ok());
+  EXPECT_FALSE(service->ReloadModel(dir + "/does_not_exist.ckpt").ok());
+  EXPECT_TRUE(service->Match(probe).status.ok());
+
+  const ServeStats stats = service->stats();
+  EXPECT_EQ(stats.reloads, 1);
+  EXPECT_EQ(stats.reload_rollbacks, 3);
+}
+
+// Hot reload must not interrupt serving: a client hammers the service while
+// good and corrupt reloads happen concurrently; every admitted request gets
+// an answer and the service never serves from a half-swapped model.
+TEST(MatchServiceTest, ReloadWhileServingIsUninterrupted) {
+  const std::string dir = testing::TempDir() + "/serve_reload_live";
+  ::mkdir(dir.c_str(), 0755);
+  const std::string good_path = dir + "/good.ckpt";
+  const std::string corrupt_path = dir + "/corrupt.ckpt";
+  core::DaModel donor = MakeModel(core::ExtractorKind::kLM, TinyModelConfig(), 77);
+  ASSERT_TRUE(core::SaveModules(good_path, {{"F", donor.extractor.get()},
+                                            {"M", donor.matcher.get()}})
+                  .ok());
+  ASSERT_TRUE(core::SaveModules(corrupt_path, {{"F", donor.extractor.get()},
+                                               {"M", donor.matcher.get()}})
+                  .ok());
+  ASSERT_TRUE(FaultInjector::TruncateFile(corrupt_path, 0.5).ok());
+
+  auto service = MakeService(TestServeConfig());
+  std::atomic<int> answered{0};
+  std::atomic<bool> all_ok{true};
+  std::thread client([&] {
+    for (int i = 0; i < 40; ++i) {
+      const MatchResponse r =
+          service->Match(MakeRequest("lenovo thinkpad", "lenovo thinkpad"));
+      if (!r.status.ok()) all_ok.store(false);
+      answered.fetch_add(1);
+    }
+  });
+  ASSERT_TRUE(service->ReloadModel(good_path).ok());
+  EXPECT_FALSE(service->ReloadModel(corrupt_path).ok());
+  ASSERT_TRUE(service->ReloadModel(good_path).ok());
+  client.join();
+  EXPECT_EQ(answered.load(), 40);
+  EXPECT_TRUE(all_ok.load());
+  const ServeStats stats = service->stats();
+  EXPECT_EQ(stats.reloads, 2);
+  EXPECT_EQ(stats.reload_rollbacks, 1);
+  EXPECT_EQ(stats.completed, 40);
+}
+
+TEST(MatchServiceTest, StopAnswersLateSubmissionsUnavailable) {
+  auto service = MakeService(TestServeConfig());
+  EXPECT_TRUE(service->Match(MakeRequest("a", "a")).status.ok());
+  service->Stop();
+  const MatchResponse late = service->Match(MakeRequest("b", "b"));
+  EXPECT_EQ(late.status.code(), StatusCode::kUnavailable);
+}
+
+}  // namespace
+}  // namespace dader::serve

@@ -1,0 +1,187 @@
+// Unit tests for the serving building blocks: retry backoff, the circuit
+// breaker state machine, the bounded admission queue, and the degraded-mode
+// similarity heuristic.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "serve/admission_queue.h"
+#include "serve/circuit_breaker.h"
+#include "serve/match_service.h"
+#include "serve/retry.h"
+
+namespace dader::serve {
+namespace {
+
+TEST(RetryTest, ExponentialGrowthWithoutJitter) {
+  RetryPolicy policy;
+  policy.base_backoff_ms = 2.0;
+  policy.max_backoff_ms = 100.0;
+  policy.jitter_frac = 0.0;
+  EXPECT_DOUBLE_EQ(BackoffDelayMs(policy, 1, nullptr), 2.0);
+  EXPECT_DOUBLE_EQ(BackoffDelayMs(policy, 2, nullptr), 4.0);
+  EXPECT_DOUBLE_EQ(BackoffDelayMs(policy, 3, nullptr), 8.0);
+}
+
+TEST(RetryTest, CappedAtMaxBackoff) {
+  RetryPolicy policy;
+  policy.base_backoff_ms = 10.0;
+  policy.max_backoff_ms = 25.0;
+  policy.jitter_frac = 0.0;
+  EXPECT_DOUBLE_EQ(BackoffDelayMs(policy, 5, nullptr), 25.0);
+}
+
+TEST(RetryTest, JitterStaysInRangeAndIsSeeded) {
+  RetryPolicy policy;
+  policy.base_backoff_ms = 8.0;
+  policy.max_backoff_ms = 100.0;
+  policy.jitter_frac = 0.5;
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    const double d = BackoffDelayMs(policy, 1, &rng);
+    EXPECT_GE(d, 4.0);
+    EXPECT_LE(d, 8.0);
+  }
+  // Same seed, same schedule.
+  Rng a(11), b(11);
+  for (int i = 1; i <= 5; ++i) {
+    EXPECT_DOUBLE_EQ(BackoffDelayMs(policy, i, &a), BackoffDelayMs(policy, i, &b));
+  }
+}
+
+TEST(CircuitBreakerTest, TripsAfterFailureStreakAndBlocksWhileOpen) {
+  BreakerConfig config;
+  config.failure_threshold = 3;
+  config.cooldown_ms = 10000.0;  // stays open for the whole test
+  CircuitBreaker breaker(config);
+
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(breaker.AllowPrimary());
+    breaker.OnFailure();
+    EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  }
+  // A success resets the streak.
+  ASSERT_TRUE(breaker.AllowPrimary());
+  breaker.OnSuccess();
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(breaker.AllowPrimary());
+    breaker.OnFailure();
+  }
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.trips(), 1);
+  EXPECT_FALSE(breaker.AllowPrimary());
+}
+
+TEST(CircuitBreakerTest, HalfOpenProbeClosesOnSuccesses) {
+  BreakerConfig config;
+  config.failure_threshold = 1;
+  config.cooldown_ms = 20.0;
+  config.half_open_successes = 2;
+  CircuitBreaker breaker(config);
+
+  ASSERT_TRUE(breaker.AllowPrimary());
+  breaker.OnFailure();
+  ASSERT_EQ(breaker.state(), BreakerState::kOpen);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  // Cooldown elapsed: exactly one probe at a time is admitted.
+  ASSERT_TRUE(breaker.AllowPrimary());
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  EXPECT_FALSE(breaker.AllowPrimary());  // probe already in flight
+  breaker.OnSuccess();
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);  // 1 of 2 successes
+  ASSERT_TRUE(breaker.AllowPrimary());
+  breaker.OnSuccess();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+}
+
+TEST(CircuitBreakerTest, HalfOpenProbeFailureReopens) {
+  BreakerConfig config;
+  config.failure_threshold = 1;
+  config.cooldown_ms = 20.0;
+  CircuitBreaker breaker(config);
+
+  ASSERT_TRUE(breaker.AllowPrimary());
+  breaker.OnFailure();
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  ASSERT_TRUE(breaker.AllowPrimary());
+  breaker.OnFailure();
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.trips(), 2);
+  EXPECT_FALSE(breaker.AllowPrimary());  // cooldown restarted
+}
+
+TEST(CircuitBreakerTest, StateNames) {
+  EXPECT_STREQ(BreakerStateName(BreakerState::kClosed), "closed");
+  EXPECT_STREQ(BreakerStateName(BreakerState::kOpen), "open");
+  EXPECT_STREQ(BreakerStateName(BreakerState::kHalfOpen), "half-open");
+}
+
+PendingRequest MakePending() {
+  PendingRequest p;
+  p.admitted_at = std::chrono::steady_clock::now();
+  p.deadline = p.admitted_at + std::chrono::seconds(10);
+  return p;
+}
+
+TEST(AdmissionQueueTest, ShedsBeyondCapacity) {
+  AdmissionQueue queue(2);
+  PendingRequest a = MakePending(), b = MakePending(), c = MakePending();
+  EXPECT_TRUE(queue.TryPush(a));
+  EXPECT_TRUE(queue.TryPush(b));
+  EXPECT_FALSE(queue.TryPush(c));  // full: shed, queue growth is bounded
+  EXPECT_EQ(queue.size(), 2u);
+  // The rejected request still owns its promise; it must be resolvable.
+  c.promise.set_value(MatchResponse{});
+}
+
+TEST(AdmissionQueueTest, PopBatchRespectsMaxBatch) {
+  AdmissionQueue queue(8);
+  for (int i = 0; i < 5; ++i) {
+    PendingRequest p = MakePending();
+    ASSERT_TRUE(queue.TryPush(p));
+  }
+  std::vector<PendingRequest> batch = queue.PopBatch(3, 0.0);
+  EXPECT_EQ(batch.size(), 3u);
+  EXPECT_EQ(queue.size(), 2u);
+  batch = queue.PopBatch(3, 0.0);
+  EXPECT_EQ(batch.size(), 2u);
+  for (auto& p : batch) p.promise.set_value(MatchResponse{});
+}
+
+TEST(AdmissionQueueTest, CloseWakesAndRejects) {
+  AdmissionQueue queue(4);
+  std::thread popper([&queue] {
+    // Blocks until Close, then must return empty rather than hang.
+    EXPECT_TRUE(queue.PopBatch(4, 1000.0).empty());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.Close();
+  popper.join();
+  PendingRequest late = MakePending();
+  EXPECT_FALSE(queue.TryPush(late));
+  EXPECT_TRUE(queue.closed());
+}
+
+TEST(HeuristicTest, SeparatesOverlapFromDisjoint) {
+  data::Record same_a({"apple iphone 12", "599"});
+  data::Record same_b({"apple iphone 12", "599"});
+  data::Record other({"makita drill xfd10", "129"});
+  const float p_match = HeuristicMatchProbability(same_a, same_b);
+  const float p_nonmatch = HeuristicMatchProbability(same_a, other);
+  EXPECT_GT(p_match, 0.8f);
+  EXPECT_LT(p_nonmatch, 0.2f);
+  EXPECT_GT(p_match, p_nonmatch);
+}
+
+TEST(HeuristicTest, EmptyRecordsAreUncertain) {
+  data::Record empty_a({""});
+  data::Record empty_b({""});
+  EXPECT_FLOAT_EQ(HeuristicMatchProbability(empty_a, empty_b), 0.5f);
+}
+
+}  // namespace
+}  // namespace dader::serve

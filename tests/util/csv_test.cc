@@ -47,6 +47,27 @@ TEST(CsvParseTest, CrLfLineEndings) {
   EXPECT_EQ(r.ValueOrDie().rows[0], (std::vector<std::string>{"1", "2"}));
 }
 
+TEST(CsvParseTest, SkipsUtf8ByteOrderMark) {
+  // Exported-from-Excel files often start with a UTF-8 BOM; the first header
+  // cell must not absorb it.
+  auto r = ParseCsv("\xEF\xBB\xBF"
+                    "a,b\n1,2\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie().header, (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(r.ValueOrDie().rows[0], (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(CsvParseTest, BomWithCrLfAndQuotedCr) {
+  auto r = ParseCsv("\xEF\xBB\xBF"
+                    "a,b\r\n\"x\r\ny\",2\r\n");
+  ASSERT_TRUE(r.ok());
+  const CsvTable& t = r.ValueOrDie();
+  EXPECT_EQ(t.header, (std::vector<std::string>{"a", "b"}));
+  ASSERT_EQ(t.rows.size(), 1u);
+  // CRLF inside quotes is data; CRLF outside quotes is a row terminator.
+  EXPECT_EQ(t.rows[0][0], "x\r\ny");
+}
+
 TEST(CsvParseTest, EmptyFields) {
   auto r = ParseCsv("a,b,c\n,,\n");
   ASSERT_TRUE(r.ok());
@@ -101,6 +122,31 @@ TEST(CsvFileTest, MissingFileIsIOError) {
   auto r = ReadCsvFile("/nonexistent/dir/f.csv");
   EXPECT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+TEST(CsvFileTest, ErrorMessageNamesPathAndCause) {
+  auto r = ReadCsvFile("/nonexistent/dir/f.csv");
+  ASSERT_FALSE(r.ok());
+  const std::string& msg = r.status().message();
+  EXPECT_NE(msg.find("/nonexistent/dir/f.csv"), std::string::npos) << msg;
+  // strerror(ENOENT) in the C locale.
+  EXPECT_NE(msg.find("No such file or directory"), std::string::npos) << msg;
+}
+
+TEST(CsvFileTest, ReadsFileWithBomAndCrLf) {
+  const std::string path = testing::TempDir() + "/csv_test_bom.csv";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    const char body[] = "\xEF\xBB\xBF"
+                        "a,b\r\n1,2\r\n";
+    std::fwrite(body, 1, sizeof(body) - 1, f);
+    std::fclose(f);
+  }
+  auto r = ReadCsvFile(path);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.ValueOrDie().header, (std::vector<std::string>{"a", "b"}));
+  std::remove(path.c_str());
 }
 
 TEST(CsvTableTest, ColumnIndex) {

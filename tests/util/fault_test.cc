@@ -30,6 +30,8 @@ TEST(FaultInjectorTest, KindNames) {
   EXPECT_STREQ(FaultKindName(FaultKind::kCorruptCheckpoint),
                "corrupt-checkpoint");
   EXPECT_STREQ(FaultKindName(FaultKind::kAbortStep), "abort-step");
+  EXPECT_STREQ(FaultKindName(FaultKind::kExtractorFault), "extractor-fault");
+  EXPECT_STREQ(FaultKindName(FaultKind::kExtractorNan), "extractor-nan");
 }
 
 TEST(FaultInjectorTest, UnarmedNeverFires) {

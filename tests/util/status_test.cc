@@ -29,6 +29,19 @@ TEST(StatusTest, AllErrorFactories) {
   EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
   EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+}
+
+TEST(StatusTest, ServingCodeNames) {
+  EXPECT_EQ(Status::ResourceExhausted("queue full").ToString(),
+            "Resource exhausted: queue full");
+  EXPECT_EQ(Status::DeadlineExceeded("late").ToString(),
+            "Deadline exceeded: late");
+  EXPECT_EQ(Status::Unavailable("down").ToString(), "Unavailable: down");
 }
 
 TEST(StatusTest, Equality) {

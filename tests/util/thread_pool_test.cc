@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 
 namespace dader {
 namespace {
@@ -40,6 +41,40 @@ TEST(ThreadPoolTest, SingleThreadPool) {
   for (int i = 0; i < 10; ++i) pool.Submit([&counter] { ++counter; });
   pool.Wait();
   EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPoolTest, ThrowingTaskIsContainedAndCounted) {
+  ThreadPool pool(2);
+  std::atomic<int> after{0};
+  pool.Submit([] { throw std::runtime_error("task boom"); });
+  pool.Submit([] { throw 42; });  // non-std::exception payload
+  pool.Submit([&after] { after.fetch_add(1); });
+  pool.Wait();
+  // The pool survives throwing tasks and keeps running later ones.
+  EXPECT_EQ(after.load(), 1);
+  EXPECT_EQ(pool.exception_count(), 2u);
+  EXPECT_FALSE(pool.last_exception().empty());
+}
+
+TEST(ThreadPoolTest, LastExceptionRetainsMessage) {
+  ThreadPool pool(1);
+  pool.Submit([] { throw std::runtime_error("first"); });
+  pool.Wait();
+  EXPECT_EQ(pool.last_exception(), "first");
+  pool.Submit([] { throw std::runtime_error("second"); });
+  pool.Wait();
+  EXPECT_EQ(pool.last_exception(), "second");
+  EXPECT_EQ(pool.exception_count(), 2u);
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownIsRejectedNoOp) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  EXPECT_TRUE(pool.Submit([&counter] { counter.fetch_add(1); }));
+  pool.Shutdown();
+  pool.Shutdown();  // idempotent
+  EXPECT_FALSE(pool.Submit([&counter] { counter.fetch_add(1); }));
+  EXPECT_EQ(counter.load(), 1);  // dropped task never ran
 }
 
 TEST(ThreadPoolTest, GlobalPoolExists) {
