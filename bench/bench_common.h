@@ -21,16 +21,19 @@ namespace dader::bench {
 struct BenchEnv {
   core::ExperimentScale scale;
   std::string csv_path;   ///< machine-readable copy of the report
+  std::string metrics_jsonl_path;  ///< metrics registry dump (empty = none)
   uint64_t seed = 42;
 };
 
-/// \brief Parses --scale / --csv / --seed; honors $DADER_SCALE when --scale
-/// is not given. Exits on flag errors.
+/// \brief Parses --scale / --csv / --seed / --metrics_jsonl; honors
+/// $DADER_SCALE when --scale is not given. Exits on flag errors.
 inline BenchEnv ParseBenchArgs(int argc, char** argv,
                                const std::string& default_csv) {
   FlagParser flags;
   flags.DefineString("scale", "", "smoke|small|full (default: $DADER_SCALE or smoke)");
   flags.DefineString("csv", default_csv, "CSV output path (empty = none)");
+  flags.DefineString("metrics_jsonl", "",
+                     "metrics registry JSONL dump path (empty = none)");
   flags.DefineInt("seed", 42, "base seed");
   Status st = flags.Parse(argc, argv);
   if (!st.ok()) {
@@ -40,6 +43,7 @@ inline BenchEnv ParseBenchArgs(int argc, char** argv,
   BenchEnv env;
   env.scale = core::ResolveScale(flags.GetString("scale"));
   env.csv_path = flags.GetString("csv");
+  env.metrics_jsonl_path = flags.GetString("metrics_jsonl");
   env.seed = static_cast<uint64_t>(flags.GetInt("seed"));
   return env;
 }

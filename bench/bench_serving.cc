@@ -9,13 +9,19 @@
 //      rate absorbs the excess)
 //   3. degraded-path cost: primary LM vs RNN fallback vs heuristic
 //
+// At exit the process-wide metrics registry is dumped (Prometheus text
+// format); --metrics_jsonl=path additionally writes the JSON-lines export
+// (see docs/OBSERVABILITY.md).
+//
 //   ./bench_serving [--scale=smoke|small|full] [--csv=serving.csv]
+//                   [--metrics_jsonl=serving_metrics.jsonl]
 
 #include <algorithm>
 #include <future>
 #include <memory>
 
 #include "bench/bench_common.h"
+#include "obs/metrics.h"
 #include "util/fault.h"
 #include "serve/match_service.h"
 
@@ -206,5 +212,21 @@ int main(int argc, char** argv) {
   }
 
   csv.WriteIfRequested(env.csv_path);
+
+  // Exit-time metrics dump. Counter values are reproducible for a fixed
+  // seed/scale; histogram values reflect measured wall time (see
+  // docs/OBSERVABILITY.md for the format and a worked reading).
+  std::printf("\n== metrics (ScrapeText) ==\n%s",
+              obs::MetricsRegistry::Default().ScrapeText().c_str());
+  if (!env.metrics_jsonl_path.empty()) {
+    std::string error;
+    if (obs::WriteTextFile(env.metrics_jsonl_path,
+                           obs::MetricsRegistry::Default().ToJsonLines(),
+                           &error)) {
+      std::printf("[metrics written to %s]\n", env.metrics_jsonl_path.c_str());
+    } else {
+      std::fprintf(stderr, "metrics write failed: %s\n", error.c_str());
+    }
+  }
   return 0;
 }

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/guard.h"
+#include "obs/metrics.h"
 #include "serve/match_service.h"
 #include "util/fault.h"
 #include "util/flags.h"
@@ -188,5 +189,10 @@ int main(int argc, char** argv) {
               static_cast<long long>(stats.breaker_trips),
               static_cast<long long>(stats.reloads),
               static_cast<long long>(stats.reload_rollbacks));
+
+  // Exit-time metrics dump: everything the process observed, in the
+  // Prometheus text exposition format (see docs/OBSERVABILITY.md).
+  std::printf("\n== metrics (ScrapeText) ==\n%s",
+              obs::MetricsRegistry::Default().ScrapeText().c_str());
   return 0;
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.h"
 #include "tensor/serialize.h"
 #include "util/logging.h"
 
@@ -28,6 +29,23 @@ double Median(std::deque<double> values) {
   const size_t n = values.size();
   return n % 2 == 1 ? values[n / 2]
                     : 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+// One label series per verdict; pointers fetched once per process.
+obs::Counter* VerdictCounter(GuardVerdict v) {
+  static obs::Counter* counters[] = {
+      obs::MetricsRegistry::Default().GetCounter(
+          obs::LabeledName("train.guard.verdicts.total", "verdict", "healthy"),
+          "TrainingGuard epoch verdicts", "epochs"),
+      obs::MetricsRegistry::Default().GetCounter(
+          obs::LabeledName("train.guard.verdicts.total", "verdict",
+                           "diverged"),
+          "TrainingGuard epoch verdicts", "epochs"),
+      obs::MetricsRegistry::Default().GetCounter(
+          obs::LabeledName("train.guard.verdicts.total", "verdict",
+                           "collapsed"),
+          "TrainingGuard epoch verdicts", "epochs")};
+  return counters[static_cast<int>(v)];
 }
 
 }  // namespace
@@ -69,6 +87,7 @@ GuardVerdict TrainingGuard::EndEpoch(const EpochObservation& obs) {
     best_f1_ = std::max(best_f1_, obs.valid_f1);
   }
   verdict_ = v;
+  VerdictCounter(v)->Increment();
   return v;
 }
 

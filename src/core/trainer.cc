@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "data/sampler.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/da_losses.h"
 #include "tensor/nn_ops.h"
 #include "tensor/ops.h"
@@ -122,6 +124,62 @@ class LastGoodState {
   std::vector<std::map<std::string, Tensor>> snapshots_;
 };
 
+// Process-wide training metric series; pointers fetched once per process
+// (see docs/OBSERVABILITY.md "train.*").
+struct TrainMetrics {
+  obs::Counter* epochs;
+  obs::Counter* nan_steps;
+  obs::Counter* rollbacks;
+  obs::Counter* retries;
+  obs::Gauge* matching_loss;
+  obs::Gauge* alignment_loss;
+  obs::Gauge* valid_f1;
+  obs::Gauge* grad_norm;
+};
+
+const TrainMetrics& Metrics() {
+  static const TrainMetrics metrics = [] {
+    obs::MetricsRegistry& r = obs::MetricsRegistry::Default();
+    TrainMetrics m;
+    m.epochs = r.GetCounter("train.epochs.total",
+                            "Training epochs completed, all attempts",
+                            "epochs");
+    m.nan_steps = r.GetCounter(
+        "train.steps.nan.total",
+        "Steps whose update was skipped for non-finite loss/gradients",
+        "steps");
+    m.rollbacks = r.GetCounter(
+        "train.rollbacks.total",
+        "Guard-triggered restores of the last-good weights", "rollbacks");
+    m.retries = r.GetCounter(
+        "train.retries.total",
+        "Reseeded adaptation restarts performed by DaTrainer::Run",
+        "restarts");
+    m.matching_loss = r.GetGauge(
+        "train.loss.matching", "Mean matching loss of the last epoch", "loss");
+    m.alignment_loss =
+        r.GetGauge("train.loss.alignment",
+                   "Mean alignment loss of the last epoch", "loss");
+    m.valid_f1 = r.GetGauge(
+        "train.valid_f1", "Target validation F1 of the last epoch", "f1");
+    m.grad_norm = r.GetGauge(
+        "train.grad_norm",
+        "Post-clip extractor gradient norm of the last step", "l2-norm");
+    return m;
+  }();
+  return metrics;
+}
+
+// Epoch-end bookkeeping shared by both algorithms.
+void ObserveEpoch(const EpochStats& stats) {
+  const TrainMetrics& m = Metrics();
+  m.epochs->Increment();
+  m.nan_steps->Add(stats.nan_steps);
+  m.matching_loss->Set(stats.matching_loss);
+  m.alignment_loss->Set(stats.alignment_loss);
+  m.valid_f1->Set(stats.valid_f1);
+}
+
 }  // namespace
 
 DaTrainer::DaTrainer(AlignMethod method, const DaderConfig& config,
@@ -226,6 +284,8 @@ Result<TrainResult> DaTrainer::Run(const data::ERDataset& source,
                                    " requires non-empty target training data");
   }
 
+  obs::TraceSpan run_span("train.run");
+
   // For GAN methods the source pre-training (Algorithm 2, step 1) runs once;
   // retries restart only the adaptation phase.
   if (IsGanMethod(method_)) PretrainSourceGan(source);
@@ -272,6 +332,7 @@ Result<TrainResult> DaTrainer::Run(const data::ERDataset& source,
         matcher_->RestoreWeights(ckpt_m).CheckOK();
       }
       ReseedForRetry(attempt);
+      Metrics().retries->Increment();
     }
     result = IsGanMethod(method_)
                  ? AdaptAlgorithm2(source, target_train, target_valid,
@@ -344,6 +405,7 @@ TrainResult DaTrainer::TrainAlgorithm1(const data::ERDataset& source,
 
   bool give_up = false;
   for (int epoch = 1; epoch <= config_.epochs && !give_up; ++epoch) {
+    obs::TraceSpan epoch_span("train.algo1.epoch");
     double sum_lm = 0.0, sum_la = 0.0;
     size_t good_steps = 0;
     int nan_steps = 0;
@@ -443,6 +505,7 @@ TrainResult DaTrainer::TrainAlgorithm1(const data::ERDataset& source,
       const double norm_m = opt_m->ClipGradNorm(clip);
       const double norm_a =
           opt_a != nullptr ? opt_a->ClipGradNorm(clip) : 0.0;
+      Metrics().grad_norm->Set(norm_f);
       if (!AllValuesFinite({total.item(), norm_f, norm_m, norm_a})) {
         // Skip the update: a poisoned step must not touch the weights.
         ++nan_steps;
@@ -465,14 +528,17 @@ TrainResult DaTrainer::TrainAlgorithm1(const data::ERDataset& source,
                                  ? 0.0
                                  : sum_la / static_cast<double>(good_steps);
     }
-    stats.valid_f1 = Evaluate(extractor_, matcher_, target_valid,
-                              config_.batch_size, &eval_rng)
-                         .F1();
-    if (source_eval != nullptr) {
-      stats.source_f1 =
-          Evaluate(extractor_, matcher_, *source_eval, config_.batch_size,
-                   &eval_rng)
-              .F1();
+    {
+      obs::TraceSpan eval_span("train.eval");
+      stats.valid_f1 = Evaluate(extractor_, matcher_, target_valid,
+                                config_.batch_size, &eval_rng)
+                           .F1();
+      if (source_eval != nullptr) {
+        stats.source_f1 =
+            Evaluate(extractor_, matcher_, *source_eval, config_.batch_size,
+                     &eval_rng)
+                .F1();
+      }
     }
 
     TrainingGuard::EpochObservation obs;
@@ -483,6 +549,7 @@ TrainResult DaTrainer::TrainAlgorithm1(const data::ERDataset& source,
                         TrainingGuard::AllFinite(matcher_->Parameters());
     obs.valid_f1 = stats.valid_f1;
     stats.verdict = guard.EndEpoch(obs);
+    ObserveEpoch(stats);
 
     if (stats.verdict == GuardVerdict::kHealthy) {
       best.Consider(stats.valid_f1, epoch, *extractor_, *matcher_,
@@ -495,6 +562,7 @@ TrainResult DaTrainer::TrainAlgorithm1(const data::ERDataset& source,
         if (aligner_module() != nullptr) mods.push_back({"A", aligner_module()});
         const std::string path = g.checkpoint_dir + "/last_good_" +
                                  AlignMethodName(method_) + ".bin";
+        obs::TraceSpan ckpt_span("train.checkpoint");
         Status st = SaveModules(path, mods);
         if (!st.ok()) {
           DADER_LOG(Warning) << "periodic checkpoint failed: " << st.ToString();
@@ -511,6 +579,7 @@ TrainResult DaTrainer::TrainAlgorithm1(const data::ERDataset& source,
       rebuild_optimizers();
       guard.Reset();
       ++result.rollbacks;
+      Metrics().rollbacks->Increment();
       stats.rolled_back = true;
       DADER_LOG(Warning) << AlignMethodName(method_) << " epoch " << epoch
                          << " " << GuardVerdictName(stats.verdict)
@@ -532,6 +601,7 @@ TrainResult DaTrainer::TrainAlgorithm1(const data::ERDataset& source,
 
 void DaTrainer::PretrainSourceGan(const data::ERDataset& source) {
   // ---- Algorithm 2, step 1: train F and M on the labeled source. ----
+  obs::TraceSpan pretrain_span("train.gan.pretrain");
   AdamOptimizer opt_f(extractor_->Parameters(), config_.learning_rate,
                       0.9f, 0.999f, 1e-8f, config_.weight_decay);
   AdamOptimizer opt_m(matcher_->Parameters(), config_.learning_rate,
@@ -605,6 +675,7 @@ TrainResult DaTrainer::AdaptAlgorithm2(const data::ERDataset& source,
 
   bool give_up = false;
   for (int epoch = 1; epoch <= config_.epochs && !give_up; ++epoch) {
+    obs::TraceSpan epoch_span("train.algo2.epoch");
     double sum_gen = 0.0, sum_disc = 0.0, sum_acc = 0.0;
     size_t good_steps = 0, acc_steps = 0;
     int nan_steps = 0;
@@ -679,6 +750,7 @@ TrainResult DaTrainer::AdaptAlgorithm2(const data::ERDataset& source,
         PoisonGradients(adapted_->Parameters());
       }
       const double norm_fp = opt_fp->ClipGradNorm(clip);
+      Metrics().grad_norm->Set(norm_fp);
       const bool gen_ok = AllValuesFinite({loss_fp.item(), norm_fp});
       if (gen_ok) opt_fp->Step();
 
@@ -701,13 +773,16 @@ TrainResult DaTrainer::AdaptAlgorithm2(const data::ERDataset& source,
     if (acc_steps > 0) {
       stats.disc_accuracy = sum_acc / static_cast<double>(acc_steps);
     }
-    stats.valid_f1 = Evaluate(adapted_.get(), matcher_, target_valid,
-                              config_.batch_size, &eval_rng)
-                         .F1();
-    if (source_eval != nullptr) {
-      stats.source_f1 = Evaluate(adapted_.get(), matcher_, *source_eval,
-                                 config_.batch_size, &eval_rng)
-                            .F1();
+    {
+      obs::TraceSpan eval_span("train.eval");
+      stats.valid_f1 = Evaluate(adapted_.get(), matcher_, target_valid,
+                                config_.batch_size, &eval_rng)
+                           .F1();
+      if (source_eval != nullptr) {
+        stats.source_f1 = Evaluate(adapted_.get(), matcher_, *source_eval,
+                                   config_.batch_size, &eval_rng)
+                              .F1();
+      }
     }
 
     TrainingGuard::EpochObservation obs;
@@ -719,6 +794,7 @@ TrainResult DaTrainer::AdaptAlgorithm2(const data::ERDataset& source,
     obs.valid_f1 = stats.valid_f1;
     obs.disc_accuracy = stats.disc_accuracy;
     stats.verdict = guard.EndEpoch(obs);
+    ObserveEpoch(stats);
 
     if (stats.verdict == GuardVerdict::kHealthy) {
       best.Consider(stats.valid_f1, epoch, *adapted_, *matcher_,
@@ -729,6 +805,7 @@ TrainResult DaTrainer::AdaptAlgorithm2(const data::ERDataset& source,
           epoch % g.checkpoint_every == 0) {
         const std::string path = g.checkpoint_dir + "/last_good_" +
                                  AlignMethodName(method_) + ".bin";
+        obs::TraceSpan ckpt_span("train.checkpoint");
         Status st = SaveModules(path, {{"F", adapted_.get()},
                                        {"M", matcher_},
                                        {"A", discriminator_.get()}});
@@ -747,6 +824,7 @@ TrainResult DaTrainer::AdaptAlgorithm2(const data::ERDataset& source,
       rebuild_optimizers();
       guard.Reset();
       ++result.rollbacks;
+      Metrics().rollbacks->Increment();
       stats.rolled_back = true;
       DADER_LOG(Warning) << AlignMethodName(method_) << " epoch " << epoch
                          << " " << GuardVerdictName(stats.verdict)

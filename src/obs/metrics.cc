@@ -1,0 +1,410 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace dader::obs {
+
+namespace {
+
+void AtomicAddDouble(std::atomic<double>* target, double delta) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(cur, cur + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+// "%g"-style shortest-ish representation that is locale-independent and
+// stable across runs (printf with %.17g round-trips but is noisy; %.9g is
+// plenty for metric values).
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+// `serve.latency.total_ms{stage="queue"}` -> base `serve.latency.total_ms`,
+// labels `{stage="queue"}` ("" when unlabeled).
+void SplitLabels(const std::string& name, std::string* base,
+                 std::string* labels) {
+  const size_t brace = name.find('{');
+  if (brace == std::string::npos) {
+    *base = name;
+    labels->clear();
+  } else {
+    *base = name.substr(0, brace);
+    *labels = name.substr(brace);
+  }
+}
+
+// Prometheus metric names allow [a-zA-Z0-9_:]; this repo's dotted names map
+// onto that by replacing every other character with '_'.
+std::string PrometheusName(const std::string& base) {
+  std::string out = base;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- sketch --
+
+QuantileSketch::QuantileSketch(double alpha, double min_value,
+                               double max_value)
+    : alpha_(alpha), min_value_(min_value) {
+  DADER_CHECK(alpha > 0.0 && alpha < 1.0);
+  DADER_CHECK(min_value > 0.0 && max_value > min_value);
+  gamma_ = (1.0 + alpha) / (1.0 - alpha);
+  log_gamma_ = std::log(gamma_);
+  num_buckets_ = static_cast<size_t>(
+                     std::ceil(std::log(max_value / min_value) / log_gamma_)) +
+                 2;  // +1 for the bottom bucket, +1 for overflow
+  buckets_ = std::make_unique<std::atomic<int64_t>[]>(num_buckets_);
+  for (size_t i = 0; i < num_buckets_; ++i) buckets_[i].store(0);
+}
+
+void QuantileSketch::Observe(double value) {
+  size_t idx = 0;
+  if (std::isfinite(value) && value > min_value_) {
+    const double raw = std::ceil(std::log(value / min_value_) / log_gamma_);
+    idx = std::min(num_buckets_ - 1, static_cast<size_t>(std::max(0.0, raw)));
+  } else if (!(value <= min_value_)) {
+    idx = num_buckets_ - 1;  // NaN/+Inf land in the overflow bucket
+  }
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(&sum_, std::isfinite(value) ? value : 0.0);
+}
+
+double QuantileSketch::Quantile(double q) const {
+  const int64_t total = count();
+  if (total <= 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const int64_t rank = static_cast<int64_t>(q * static_cast<double>(total - 1));
+  int64_t cum = 0;
+  for (size_t i = 0; i < num_buckets_; ++i) {
+    cum += buckets_[i].load(std::memory_order_relaxed);
+    if (cum > rank) {
+      if (i == 0) return min_value_;
+      // Geometric midpoint of (min*gamma^(i-1), min*gamma^i]: within a
+      // factor (1 +/- alpha) of every value the bucket can hold.
+      return min_value_ * std::pow(gamma_, static_cast<double>(i)) * 2.0 /
+             (1.0 + gamma_);
+    }
+  }
+  return min_value_ * std::pow(gamma_, static_cast<double>(num_buckets_ - 1));
+}
+
+double QuantileSketch::sum() const {
+  return sum_.load(std::memory_order_relaxed);
+}
+
+void QuantileSketch::Reset() {
+  for (size_t i = 0; i < num_buckets_; ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+// ------------------------------------------------------------- histogram --
+
+const std::vector<double>& Histogram::DefaultLatencyBoundsMs() {
+  static const std::vector<double> kBounds = {
+      0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000};
+  return kBounds;
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(bounds.empty() ? DefaultLatencyBoundsMs() : std::move(bounds)) {
+  DADER_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()));
+  DADER_CHECK(std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+              bounds_.end());
+  buckets_ = std::make_unique<std::atomic<int64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::Observe(double value) {
+  // lower_bound, not upper_bound: bucket i holds values <= bounds_[i],
+  // matching the `le` semantics of the cumulative Prometheus export.
+  const size_t idx = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(&sum_, std::isfinite(value) ? value : 0.0);
+  sketch_.Observe(value);
+}
+
+double Histogram::sum() const { return sum_.load(std::memory_order_relaxed); }
+
+int64_t Histogram::bucket_count(size_t i) const {
+  DADER_DCHECK(i <= bounds_.size());
+  return buckets_[i].load(std::memory_order_relaxed);
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  sketch_.Reset();
+}
+
+// -------------------------------------------------------------- registry --
+
+const char* MetricTypeName(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+std::string LabeledName(const std::string& base, const std::string& key,
+                        const std::string& value) {
+  return base + "{" + key + "=\"" + value + "\"}";
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+MetricsRegistry::Entry* MetricsRegistry::GetOrCreate(
+    const std::string& name, MetricType type, const std::string& help,
+    const std::string& unit, std::vector<double>* bounds) {
+  DADER_CHECK_MSG(!name.empty(), "metric name must be non-empty");
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    DADER_CHECK_MSG(it->second.type == type,
+                    "metric re-registered with a different kind");
+    return &it->second;
+  }
+  Entry entry;
+  entry.type = type;
+  entry.help = help;
+  entry.unit = unit;
+  switch (type) {
+    case MetricType::kCounter:
+      entry.counter = std::make_unique<Counter>();
+      break;
+    case MetricType::kGauge:
+      entry.gauge = std::make_unique<Gauge>();
+      break;
+    case MetricType::kHistogram:
+      entry.histogram = std::make_unique<Histogram>(
+          bounds != nullptr ? std::move(*bounds) : std::vector<double>{});
+      break;
+  }
+  return &entries_.emplace(name, std::move(entry)).first->second;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help,
+                                     const std::string& unit) {
+  return GetOrCreate(name, MetricType::kCounter, help, unit, nullptr)
+      ->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help,
+                                 const std::string& unit) {
+  return GetOrCreate(name, MetricType::kGauge, help, unit, nullptr)
+      ->gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help,
+                                         const std::string& unit,
+                                         std::vector<double> bounds) {
+  return GetOrCreate(name, MetricType::kHistogram, help, unit, &bounds)
+      ->histogram.get();
+}
+
+std::vector<std::string> MetricsRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    (void)entry;
+    names.push_back(name);
+  }
+  return names;  // std::map iteration is already sorted
+}
+
+std::string MetricsRegistry::ScrapeText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  std::string last_base;  // HELP/TYPE once per base across label series
+  for (const auto& [name, entry] : entries_) {
+    std::string base, labels;
+    SplitLabels(name, &base, &labels);
+    const std::string prom = PrometheusName(base);
+    if (base != last_base) {
+      if (!entry.help.empty()) {
+        out << "# HELP " << prom << " " << entry.help;
+        if (!entry.unit.empty()) out << " (" << entry.unit << ")";
+        out << "\n";
+      }
+      out << "# TYPE " << prom << " " << MetricTypeName(entry.type) << "\n";
+      last_base = base;
+    }
+    switch (entry.type) {
+      case MetricType::kCounter:
+        out << prom << labels << " " << entry.counter->value() << "\n";
+        break;
+      case MetricType::kGauge:
+        out << prom << labels << " " << FormatDouble(entry.gauge->value())
+            << "\n";
+        break;
+      case MetricType::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        // Prometheus histograms are unlabeled-series only in this repo; a
+        // labeled histogram name would need label merging here.
+        int64_t cum = 0;
+        for (size_t i = 0; i < h.bounds().size(); ++i) {
+          cum += h.bucket_count(i);
+          out << prom << "_bucket{le=\"" << FormatDouble(h.bounds()[i])
+              << "\"} " << cum << "\n";
+        }
+        cum += h.bucket_count(h.bounds().size());
+        out << prom << "_bucket{le=\"+Inf\"} " << cum << "\n";
+        out << prom << "_sum " << FormatDouble(h.sum()) << "\n";
+        out << prom << "_count " << h.count() << "\n";
+        break;
+      }
+    }
+  }
+  return out.str();
+}
+
+std::string MetricsRegistry::ToJsonLines() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  for (const auto& [name, entry] : entries_) {
+    out << "{\"name\":\"" << JsonEscape(name) << "\",\"type\":\""
+        << MetricTypeName(entry.type) << "\"";
+    if (!entry.unit.empty()) out << ",\"unit\":\"" << JsonEscape(entry.unit) << "\"";
+    switch (entry.type) {
+      case MetricType::kCounter:
+        out << ",\"value\":" << entry.counter->value();
+        break;
+      case MetricType::kGauge:
+        out << ",\"value\":" << FormatDouble(entry.gauge->value());
+        break;
+      case MetricType::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        out << ",\"count\":" << h.count() << ",\"sum\":"
+            << FormatDouble(h.sum())
+            << ",\"p50\":" << FormatDouble(h.Quantile(0.5))
+            << ",\"p95\":" << FormatDouble(h.Quantile(0.95))
+            << ",\"p99\":" << FormatDouble(h.Quantile(0.99));
+        break;
+      }
+    }
+    out << "}\n";
+  }
+  return out.str();
+}
+
+std::string MetricsRegistry::ToCsv(const CsvOptions& options) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "metric,type,field,value\n";
+  for (const auto& [name, entry] : entries_) {
+    // Metric names can hold label strings with commas/quotes; CSV-quote them.
+    std::string quoted;
+    quoted.reserve(name.size() + 2);
+    quoted.push_back('"');
+    for (char c : name) {
+      if (c == '"') quoted.push_back('"');
+      quoted.push_back(c);
+    }
+    quoted.push_back('"');
+    switch (entry.type) {
+      case MetricType::kCounter:
+        out << quoted << ",counter,value," << entry.counter->value() << "\n";
+        break;
+      case MetricType::kGauge:
+        out << quoted << ",gauge,value,"
+            << FormatDouble(entry.gauge->value()) << "\n";
+        break;
+      case MetricType::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        out << quoted << ",histogram,count," << h.count() << "\n";
+        if (!options.deterministic_only) {
+          out << quoted << ",histogram,sum," << FormatDouble(h.sum()) << "\n";
+          out << quoted << ",histogram,p50," << FormatDouble(h.Quantile(0.5))
+              << "\n";
+          out << quoted << ",histogram,p95," << FormatDouble(h.Quantile(0.95))
+              << "\n";
+          out << quoted << ",histogram,p99," << FormatDouble(h.Quantile(0.99))
+              << "\n";
+        }
+        break;
+      }
+    }
+  }
+  return out.str();
+}
+
+void MetricsRegistry::ResetAllForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, entry] : entries_) {
+    (void)name;
+    switch (entry.type) {
+      case MetricType::kCounter:
+        entry.counter->Reset();
+        break;
+      case MetricType::kGauge:
+        entry.gauge->Reset();
+        break;
+      case MetricType::kHistogram:
+        entry.histogram->Reset();
+        break;
+    }
+  }
+}
+
+bool WriteTextFile(const std::string& path, const std::string& content,
+                   std::string* error) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    if (error != nullptr) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  out << content;
+  out.flush();
+  if (!out) {
+    if (error != nullptr) *error = "short write to " + path;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace dader::obs

@@ -1,0 +1,221 @@
+// Lock-cheap metrics for the training and serving hot paths.
+//
+// Four metric kinds, all thread-safe and allocation-free once registered:
+//
+//   * Counter        — monotonic int64; one relaxed fetch_add per event.
+//   * Gauge          — last-written double; one relaxed store per update.
+//   * QuantileSketch — DDSketch-style log-bucketed value sketch with a
+//                      provable relative-error bound: Quantile(q) is within
+//                      a factor (1 +/- alpha) of the true quantile for any
+//                      value inside [min_value, max_value]. Fixed bucket
+//                      array of atomics; Observe is a clamp + fetch_add.
+//   * Histogram      — fixed explicit bucket bounds (Prometheus-style
+//                      cumulative export) plus an embedded QuantileSketch,
+//                      so Quantile(q) is accuracy-bounded rather than
+//                      interpolated from the coarse export buckets.
+//
+// MetricsRegistry owns every metric by name. Registration (GetCounter etc.)
+// takes a mutex and may allocate; call sites fetch pointers once and reuse
+// them — updates through the returned pointers never lock or allocate.
+// Label series are encoded in the metric name, Prometheus style:
+// `train.guard.verdicts.total{verdict="healthy"}` (see LabeledName); each
+// full string is its own series.
+//
+// Export is deterministic by construction: metrics are emitted in sorted
+// name order and no export format contains a timestamp, so seeded runs
+// produce stable goldens (histogram *values* are only as deterministic as
+// what was observed — CsvOptions::deterministic_only drops the
+// timing-derived fields for golden files). See docs/OBSERVABILITY.md for
+// the catalogue of every metric this repo emits.
+//
+// Layering: this library depends only on the standard library (plus the
+// header-only util/check.h), so even util/thread_pool.cc can use it.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace dader::obs {
+
+/// \brief Monotonically increasing event count.
+class Counter {
+ public:
+  void Increment() { Add(1); }
+  void Add(int64_t n) {
+    DADER_DCHECK(n >= 0);
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// \brief Last-written instantaneous value (loss, queue depth, F1, ...).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// \brief Log-bucketed quantile sketch (the DDSketch construction).
+///
+/// Buckets are powers of gamma = (1+alpha)/(1-alpha) over
+/// [min_value, max_value]; a value's bucket midpoint (geometric) is within
+/// relative error alpha of the value itself, so any quantile estimate
+/// carries the same bound. Values below min_value (including zero and
+/// negatives) clamp into the bottom bucket, values above max_value into the
+/// top one — both are counted, just without the relative bound.
+class QuantileSketch {
+ public:
+  explicit QuantileSketch(double alpha = 0.01, double min_value = 1e-4,
+                          double max_value = 1e8);
+
+  void Observe(double value);
+
+  /// \brief Estimated q-quantile (q in [0,1]); 0 when empty.
+  double Quantile(double q) const;
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const;
+  double alpha() const { return alpha_; }
+  void Reset();
+
+ private:
+  double alpha_;
+  double min_value_;
+  double log_gamma_;       // ln((1+alpha)/(1-alpha))
+  double gamma_;
+  size_t num_buckets_;
+  std::unique_ptr<std::atomic<int64_t>[]> buckets_;
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// \brief Fixed-bound histogram with accuracy-bounded quantiles.
+class Histogram {
+ public:
+  /// \param bounds strictly increasing upper bucket bounds; an implicit
+  ///   +Inf bucket is appended. Empty uses DefaultLatencyBoundsMs().
+  explicit Histogram(std::vector<double> bounds = {});
+
+  /// \brief The default bounds, tuned for millisecond latencies.
+  static const std::vector<double>& DefaultLatencyBoundsMs();
+
+  void Observe(double value);
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const;
+
+  /// \brief Accuracy-bounded quantile from the embedded sketch.
+  double Quantile(double q) const { return sketch_.Quantile(q); }
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// \brief Non-cumulative count of bucket i (i == bounds().size() is the
+  /// +Inf overflow bucket).
+  int64_t bucket_count(size_t i) const;
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<int64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  QuantileSketch sketch_;
+};
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+/// \brief "counter", "gauge", "histogram".
+const char* MetricTypeName(MetricType type);
+
+/// \brief `base{key="value"}` — one label series of a base metric.
+std::string LabeledName(const std::string& base, const std::string& key,
+                        const std::string& value);
+
+/// \brief Options of ToCsv().
+struct CsvOptions {
+  /// Drop fields whose values depend on wall-clock timing (histogram sum and
+  /// quantiles), keeping only event counts — for goldens of seeded runs.
+  bool deterministic_only = false;
+};
+
+/// \brief Thread-safe name -> metric store with text export.
+class MetricsRegistry {
+ public:
+  /// \brief Process-wide registry all built-in instrumentation uses.
+  static MetricsRegistry& Default();
+
+  /// \brief Returns the counter registered under `name`, creating it on
+  /// first use. `help`/`unit` are recorded on creation and aborts on a kind
+  /// conflict (a name can only ever be one metric kind).
+  Counter* GetCounter(const std::string& name, const std::string& help = "",
+                      const std::string& unit = "");
+  Gauge* GetGauge(const std::string& name, const std::string& help = "",
+                  const std::string& unit = "");
+  Histogram* GetHistogram(const std::string& name,
+                          const std::string& help = "",
+                          const std::string& unit = "",
+                          std::vector<double> bounds = {});
+
+  /// \brief Sorted names of every registered metric (label suffix included).
+  std::vector<std::string> Names() const;
+
+  /// \brief Prometheus text exposition format (dots become underscores,
+  /// label suffixes pass through). Sorted; no timestamps. A future HTTP
+  /// layer serves this string verbatim as /metrics.
+  std::string ScrapeText() const;
+
+  /// \brief One JSON object per line per metric. Sorted; no timestamps.
+  std::string ToJsonLines() const;
+
+  /// \brief `metric,type,field,value` CSV snapshot. Sorted; no timestamps.
+  std::string ToCsv(const CsvOptions& options = {}) const;
+
+  /// \brief Zeroes every registered metric (tests and benches; the metric
+  /// pointers handed out remain valid).
+  void ResetAllForTest();
+
+ private:
+  struct Entry {
+    MetricType type;
+    std::string help;
+    std::string unit;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry* GetOrCreate(const std::string& name, MetricType type,
+                     const std::string& help, const std::string& unit,
+                     std::vector<double>* bounds);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+};
+
+/// \brief Writes `content` to `path`; false (with the reason in *error when
+/// non-null) on failure. Lets benches dump exports without linking util IO.
+bool WriteTextFile(const std::string& path, const std::string& content,
+                   std::string* error = nullptr);
+
+}  // namespace dader::obs

@@ -1,0 +1,55 @@
+// Profiling hooks: RAII latency capture into a Histogram, optionally with a
+// trace span over the same scope.
+//
+//   static obs::Histogram* h = obs::MetricsRegistry::Default().GetHistogram(
+//       "serve.latency.forward_ms", "primary forward pass", "ms");
+//   {
+//     obs::ScopedLatency timing(h, "serve.forward.primary");
+//     ... the measured work ...
+//   }   // <- histogram observation (and span finish) happen here
+//
+// The measured duration always comes from the steady clock — latency values
+// must be real even when the Tracer runs its deterministic logical clock —
+// so histogram *contents* are only as reproducible as the machine, while
+// counts are exact. Exports that must be golden-stable use
+// CsvOptions::deterministic_only (see obs/metrics.h).
+
+#pragma once
+
+#include <chrono>
+#include <optional>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace dader::obs {
+
+/// \brief Observes the scope's wall duration (ms) into a histogram on exit;
+/// with a span name, also traces the scope.
+class ScopedLatency {
+ public:
+  explicit ScopedLatency(Histogram* histogram,
+                         const char* span_name = nullptr)
+      : histogram_(histogram), start_(Clock::now()) {
+    if (span_name != nullptr) span_.emplace(span_name);
+  }
+
+  ~ScopedLatency() {
+    if (histogram_ != nullptr) {
+      histogram_->Observe(
+          std::chrono::duration<double, std::milli>(Clock::now() - start_)
+              .count());
+    }
+  }
+
+  ScopedLatency(const ScopedLatency&) = delete;
+  ScopedLatency& operator=(const ScopedLatency&) = delete;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Histogram* histogram_;
+  Clock::time_point start_;
+  std::optional<TraceSpan> span_;  // destroyed (finished) before the observe
+};
+
+}  // namespace dader::obs

@@ -1,0 +1,115 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <sstream>
+
+namespace dader::obs {
+
+namespace {
+
+// Small stable per-thread ordinal for wall-mode span records (real thread
+// ids are large, non-deterministic, and reused by the OS).
+uint32_t ThreadOrdinal() {
+  static std::atomic<uint32_t> next{0};
+  thread_local uint32_t ordinal = next.fetch_add(1);
+  return ordinal;
+}
+
+// Nesting depth of open spans on this thread.
+thread_local uint32_t t_span_depth = 0;
+
+}  // namespace
+
+Tracer::Tracer(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.resize(capacity_);
+}
+
+Tracer& Tracer::Default() {
+  static Tracer tracer;
+  return tracer;
+}
+
+uint64_t Tracer::NowUs() {
+  if (clock_mode() == ClockMode::kLogical) {
+    return logical_clock_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void Tracer::Record(const SpanRecord& record) {
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (size_ == capacity_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    ++size_;
+  }
+  ring_[next_] = record;
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<SpanRecord> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanRecord> out;
+  out.reserve(size_);
+  const size_t first = (next_ + capacity_ - size_) % capacity_;
+  for (size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(first + i) % capacity_]);
+  }
+  return out;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  next_ = 0;
+  size_ = 0;
+  dropped_.store(0, std::memory_order_relaxed);
+  recorded_.store(0, std::memory_order_relaxed);
+  logical_clock_.store(0, std::memory_order_relaxed);
+}
+
+std::string Tracer::ToJsonLines() const {
+  std::ostringstream out;
+  for (const SpanRecord& s : Snapshot()) {
+    out << "{\"span\":\"" << s.name << "\",\"thread\":" << s.thread
+        << ",\"depth\":" << s.depth << ",\"start_us\":" << s.start_us
+        << ",\"dur_us\":" << (s.end_us - s.start_us) << "}\n";
+  }
+  return out.str();
+}
+
+std::string Tracer::ToCsv() const {
+  std::ostringstream out;
+  out << "span,thread,depth,start_us,dur_us\n";
+  for (const SpanRecord& s : Snapshot()) {
+    out << s.name << "," << s.thread << "," << s.depth << "," << s.start_us
+        << "," << (s.end_us - s.start_us) << "\n";
+  }
+  return out.str();
+}
+
+TraceSpan::TraceSpan(const char* name, Tracer* tracer)
+    : tracer_(tracer != nullptr && tracer->enabled() ? tracer : nullptr),
+      name_(name) {
+  if (tracer_ == nullptr) return;
+  depth_ = t_span_depth++;
+  start_us_ = tracer_->NowUs();
+}
+
+TraceSpan::~TraceSpan() {
+  if (tracer_ == nullptr) return;
+  SpanRecord record;
+  record.name = name_;
+  record.start_us = start_us_;
+  record.end_us = tracer_->NowUs();
+  record.thread =
+      tracer_->clock_mode() == ClockMode::kLogical ? 0 : ThreadOrdinal();
+  record.depth = depth_;
+  --t_span_depth;
+  tracer_->Record(record);
+}
+
+}  // namespace dader::obs

@@ -1,0 +1,136 @@
+// Span-based tracing with RAII scopes and deterministic export.
+//
+// A TraceSpan marks one timed phase (an epoch, a served batch, a model
+// reload). Spans nest via a thread-local depth counter, finish in the
+// destructor, and land in the owning Tracer's fixed-capacity ring buffer —
+// when the ring is full the oldest span is overwritten and `dropped()`
+// counts it, so tracing can stay on in long-running processes with bounded
+// memory.
+//
+// Two clocks:
+//
+//   * kWall    — steady_clock microseconds (production; durations are real).
+//   * kLogical — an atomic tick counter: every timestamp read returns the
+//                next integer. Start/end order is preserved, durations count
+//                intervening clock reads, and the export is bit-identical
+//                across runs — this is the "no wall-clock in test mode"
+//                rule that keeps golden trace files stable.
+//
+// Span names must be string literals (or otherwise outlive the Tracer):
+// records store the pointer, keeping the hot path allocation-free.
+//
+// Export (JSON lines / CSV) is sorted by completion order and contains no
+// wall-clock-derived fields beyond the span times themselves.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dader::obs {
+
+/// \brief Timestamp source of a Tracer (see file comment).
+enum class ClockMode { kWall, kLogical };
+
+/// \brief One finished span.
+struct SpanRecord {
+  const char* name = "";
+  uint64_t start_us = 0;  ///< ticks in kLogical mode
+  uint64_t end_us = 0;
+  uint32_t thread = 0;    ///< small per-thread ordinal (0 in kLogical mode)
+  uint32_t depth = 0;     ///< nesting depth at the time the span opened
+};
+
+/// \brief Bounded collector of finished spans.
+class Tracer {
+ public:
+  explicit Tracer(size_t capacity = 4096);
+
+  /// \brief Process-wide tracer all built-in instrumentation uses.
+  static Tracer& Default();
+
+  /// \brief Tracing toggle; a disabled tracer makes TraceSpan construction
+  /// two relaxed atomic loads and nothing else.
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  void set_clock_mode(ClockMode mode) {
+    clock_mode_.store(static_cast<int>(mode), std::memory_order_relaxed);
+  }
+  ClockMode clock_mode() const {
+    return static_cast<ClockMode>(
+        clock_mode_.load(std::memory_order_relaxed));
+  }
+
+  /// \brief Current timestamp in the active clock mode.
+  uint64_t NowUs();
+
+  /// \brief Appends a finished span (TraceSpan calls this).
+  void Record(const SpanRecord& record);
+
+  /// \brief Completed spans, oldest first.
+  std::vector<SpanRecord> Snapshot() const;
+
+  /// \brief Spans overwritten because the ring was full.
+  int64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+  /// \brief Total spans ever recorded (including dropped ones).
+  int64_t recorded() const {
+    return recorded_.load(std::memory_order_relaxed);
+  }
+
+  /// \brief Empties the ring, zeroes counters, and restarts the logical
+  /// clock (tests).
+  void Clear();
+
+  /// \brief `{"span":...,"thread":...,"depth":...,"start_us":...,
+  /// "dur_us":...}` per line, oldest first.
+  std::string ToJsonLines() const;
+
+  /// \brief `span,thread,depth,start_us,dur_us` CSV, oldest first.
+  std::string ToCsv() const;
+
+ private:
+  std::atomic<bool> enabled_{true};
+  std::atomic<int> clock_mode_{static_cast<int>(ClockMode::kWall)};
+  std::atomic<uint64_t> logical_clock_{0};
+  std::atomic<int64_t> dropped_{0};
+  std::atomic<int64_t> recorded_{0};
+
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> ring_;  // fixed capacity, allocated up front
+  size_t capacity_;
+  size_t next_ = 0;    // ring write index
+  size_t size_ = 0;    // spans currently held
+};
+
+/// \brief RAII span scope; see Tracer.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, Tracer* tracer = &Tracer::Default());
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  Tracer* tracer_;  // null when tracing was disabled at construction
+  const char* name_;
+  uint64_t start_us_ = 0;
+  uint32_t depth_ = 0;
+};
+
+#define DADER_TRACE_CONCAT_INNER(a, b) a##b
+#define DADER_TRACE_CONCAT(a, b) DADER_TRACE_CONCAT_INNER(a, b)
+
+/// \brief Scoped span on the default tracer: DADER_TRACE_SPAN("serve.batch").
+#define DADER_TRACE_SPAN(name)                 \
+  ::dader::obs::TraceSpan DADER_TRACE_CONCAT(  \
+      dader_trace_span_, __COUNTER__)(name)
+
+}  // namespace dader::obs

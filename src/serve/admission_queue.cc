@@ -4,11 +4,18 @@
 
 namespace dader::serve {
 
+AdmissionQueue::AdmissionQueue(size_t capacity)
+    : capacity_(capacity),
+      depth_gauge_(obs::MetricsRegistry::Default().GetGauge(
+          "serve.queue.depth", "Requests currently queued for batching",
+          "requests")) {}
+
 bool AdmissionQueue::TryPush(PendingRequest& req) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (closed_ || queue_.size() >= capacity_) return false;
     queue_.push_back(std::move(req));
+    PublishDepthLocked();
   }
   ready_cv_.notify_one();
   return true;
@@ -35,6 +42,7 @@ std::vector<PendingRequest> AdmissionQueue::PopBatch(size_t max_batch,
     batch.push_back(std::move(queue_.front()));
     queue_.pop_front();
   }
+  PublishDepthLocked();
   return batch;
 }
 
@@ -46,6 +54,7 @@ std::vector<PendingRequest> AdmissionQueue::Drain() {
     out.push_back(std::move(queue_.front()));
     queue_.pop_front();
   }
+  PublishDepthLocked();
   return out;
 }
 

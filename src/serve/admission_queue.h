@@ -16,6 +16,7 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "serve/match_types.h"
 
 namespace dader::serve {
@@ -31,7 +32,7 @@ struct PendingRequest {
 /// \brief Thread-safe bounded MPMC queue with load shedding.
 class AdmissionQueue {
  public:
-  explicit AdmissionQueue(size_t capacity) : capacity_(capacity) {}
+  explicit AdmissionQueue(size_t capacity);
 
   /// \brief Enqueues; returns false (leaving `req` valid) when the queue is
   /// full or closed — the caller sheds the request.
@@ -55,11 +56,18 @@ class AdmissionQueue {
   size_t capacity() const { return capacity_; }
 
  private:
+  // Publishes queue_.size() to serve.queue.depth. Caller holds mu_. All
+  // queues in a process share the series (see docs/OBSERVABILITY.md).
+  void PublishDepthLocked() {
+    depth_gauge_->Set(static_cast<double>(queue_.size()));
+  }
+
   const size_t capacity_;
   mutable std::mutex mu_;
   std::condition_variable ready_cv_;
   std::deque<PendingRequest> queue_;
   bool closed_ = false;
+  obs::Gauge* depth_gauge_;
 };
 
 }  // namespace dader::serve

@@ -4,6 +4,19 @@
 
 namespace dader::serve {
 
+CircuitBreaker::CircuitBreaker(const BreakerConfig& config)
+    : config_(config),
+      m_to_open_(obs::MetricsRegistry::Default().GetCounter(
+          obs::LabeledName("serve.breaker.transitions.total", "to", "open"),
+          "Circuit-breaker state transitions", "transitions")),
+      m_to_half_open_(obs::MetricsRegistry::Default().GetCounter(
+          obs::LabeledName("serve.breaker.transitions.total", "to",
+                           "half-open"),
+          "Circuit-breaker state transitions", "transitions")),
+      m_to_closed_(obs::MetricsRegistry::Default().GetCounter(
+          obs::LabeledName("serve.breaker.transitions.total", "to", "closed"),
+          "Circuit-breaker state transitions", "transitions")) {}
+
 const char* BreakerStateName(BreakerState state) {
   switch (state) {
     case BreakerState::kClosed:
@@ -23,6 +36,7 @@ void CircuitBreaker::TripLocked() {
   probe_successes_ = 0;
   probe_in_flight_ = false;
   ++trips_;
+  m_to_open_->Increment();
 }
 
 bool CircuitBreaker::AllowPrimary() {
@@ -38,6 +52,7 @@ bool CircuitBreaker::AllowPrimary() {
       state_ = BreakerState::kHalfOpen;
       probe_successes_ = 0;
       probe_in_flight_ = true;
+      m_to_half_open_->Increment();
       DADER_LOG(Info) << "circuit breaker half-open: probing primary";
       return true;
     }
@@ -60,6 +75,7 @@ void CircuitBreaker::OnSuccess() {
       if (++probe_successes_ >= config_.half_open_successes) {
         state_ = BreakerState::kClosed;
         failure_streak_ = 0;
+        m_to_closed_->Increment();
         DADER_LOG(Info) << "circuit breaker closed: primary recovered";
       }
       break;

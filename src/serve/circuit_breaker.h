@@ -19,6 +19,8 @@
 #include <cstdint>
 #include <mutex>
 
+#include "obs/metrics.h"
+
 namespace dader::serve {
 
 /// \brief Breaker state (see file comment).
@@ -37,7 +39,7 @@ struct BreakerConfig {
 /// \brief Thread-safe circuit breaker.
 class CircuitBreaker {
  public:
-  explicit CircuitBreaker(const BreakerConfig& config) : config_(config) {}
+  explicit CircuitBreaker(const BreakerConfig& config);
 
   /// \brief True when the caller may use the protected (primary) path now.
   /// In half-open state admits one probe at a time; the probe slot is
@@ -67,6 +69,11 @@ class CircuitBreaker {
   bool probe_in_flight_ = false;
   int64_t trips_ = 0;
   Clock::time_point opened_at_{};
+
+  // serve.breaker.transitions.total{to=...}; shared across breakers.
+  obs::Counter* m_to_open_;
+  obs::Counter* m_to_half_open_;
+  obs::Counter* m_to_closed_;
 };
 
 }  // namespace dader::serve

@@ -7,6 +7,9 @@
 #include <unordered_set>
 
 #include "core/guard.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 #include "text/tokenizer.h"
 #include "util/fault.h"
 #include "util/logging.h"
@@ -16,6 +19,72 @@ namespace dader::serve {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+// Process-wide serving metrics (all MatchService instances share the
+// series; the per-instance ServeStats atomics remain the per-service view).
+struct ServeMetrics {
+  obs::Counter* admitted;
+  obs::Counter* shed;
+  obs::Counter* completed;
+  obs::Counter* deadline_expired;
+  obs::Counter* degraded;
+  obs::Counter* invalid;
+  obs::Counter* primary_failures;
+  obs::Counter* retries;
+  obs::Counter* reload_success;
+  obs::Counter* reload_rollback;
+  obs::Histogram* queue_ms;
+  obs::Histogram* total_ms;
+  obs::Histogram* forward_ms;
+  obs::Histogram* batch_size;
+};
+
+const ServeMetrics& Metrics() {
+  static const ServeMetrics metrics = [] {
+    auto& reg = obs::MetricsRegistry::Default();
+    ServeMetrics m;
+    m.admitted = reg.GetCounter("serve.requests.admitted.total",
+                                "Requests accepted into the admission queue",
+                                "requests");
+    m.shed = reg.GetCounter("serve.requests.shed.total",
+                            "Requests rejected because the queue was full",
+                            "requests");
+    m.completed = reg.GetCounter("serve.requests.completed.total",
+                                 "Requests answered with an OK response",
+                                 "requests");
+    m.deadline_expired =
+        reg.GetCounter("serve.requests.deadline_expired.total",
+                       "Requests answered DeadlineExceeded", "requests");
+    m.degraded = reg.GetCounter(
+        "serve.requests.degraded.total",
+        "OK responses served by the fallback/heuristic path", "requests");
+    m.invalid = reg.GetCounter("serve.requests.invalid.total",
+                               "Requests rejected for schema arity mismatch",
+                               "requests");
+    m.primary_failures =
+        reg.GetCounter("serve.primary.failures.total",
+                       "Primary forward-pass failures", "failures");
+    m.retries = reg.GetCounter("serve.primary.retries.total",
+                               "Primary forward retry attempts actually run",
+                               "retries");
+    m.reload_success = reg.GetCounter("serve.reload.success.total",
+                                      "Successful hot model reloads", "reloads");
+    m.reload_rollback =
+        reg.GetCounter("serve.reload.rollback.total",
+                       "Model reloads rejected and rolled back", "reloads");
+    m.queue_ms = reg.GetHistogram("serve.latency.queue_ms",
+                                  "Time from admission to batch dequeue", "ms");
+    m.total_ms = reg.GetHistogram("serve.latency.total_ms",
+                                  "Time from admission to response", "ms");
+    m.forward_ms = reg.GetHistogram("serve.latency.forward_ms",
+                                    "Model forward-pass duration", "ms");
+    m.batch_size = reg.GetHistogram(
+        "serve.batch.size", "Live requests per worker batch", "requests",
+        std::vector<double>{1, 2, 4, 8, 16, 32, 64, 128});
+    return m;
+  }();
+  return metrics;
+}
 
 double MsBetween(Clock::time_point from, Clock::time_point to) {
   return std::chrono::duration<double, std::milli>(to - from).count();
@@ -132,9 +201,16 @@ void MatchService::Respond(PendingRequest& pending, MatchResponse response) {
   response.total_ms = MsBetween(pending.admitted_at, now);
   if (response.status.ok()) {
     completed_.fetch_add(1);
-    if (response.degraded) degraded_.fetch_add(1);
+    Metrics().completed->Increment();
+    Metrics().total_ms->Observe(response.total_ms);
+    Metrics().queue_ms->Observe(response.queue_ms);
+    if (response.degraded) {
+      degraded_.fetch_add(1);
+      Metrics().degraded->Increment();
+    }
   } else if (response.status.code() == StatusCode::kDeadlineExceeded) {
     deadline_expired_.fetch_add(1);
+    Metrics().deadline_expired->Increment();
   }
   pending.promise.set_value(std::move(response));
 }
@@ -152,6 +228,7 @@ std::future<MatchResponse> MatchService::SubmitAsync(MatchRequest request) {
         std::to_string(request.b.size()) + " vs " +
         std::to_string(schema_a_.size()) + "/" +
         std::to_string(schema_b_.size()) + ")");
+    Metrics().invalid->Increment();
     pending.promise.set_value(std::move(response));
     return future;
   }
@@ -169,6 +246,7 @@ std::future<MatchResponse> MatchService::SubmitAsync(MatchRequest request) {
   }
   if (!queue_.TryPush(pending)) {
     shed_.fetch_add(1);
+    Metrics().shed->Increment();
     MatchResponse response;
     response.status = Status::ResourceExhausted(
         "admission queue full (" + std::to_string(queue_.capacity()) +
@@ -177,6 +255,7 @@ std::future<MatchResponse> MatchService::SubmitAsync(MatchRequest request) {
     return future;
   }
   admitted_.fetch_add(1);
+  Metrics().admitted->Increment();
   return future;
 }
 
@@ -231,6 +310,7 @@ void MatchService::WorkerLoop(int worker_index) {
         static_cast<size_t>(std::max<int64_t>(1, config_.max_batch)),
         config_.batch_wait_ms);
     if (batch.empty()) return;  // queue closed and drained
+    obs::TraceSpan batch_span("serve.batch");
 
     // Stage 1 — queue-time deadline accounting: expired requests are
     // answered without spending any compute on them.
@@ -256,6 +336,7 @@ void MatchService::WorkerLoop(int worker_index) {
       batch_data.AddPair({pending.request.a, pending.request.b, /*label=*/-1});
     }
     const int batch_ordinal = batch_counter_.fetch_add(1) + 1;
+    Metrics().batch_size->Observe(static_cast<double>(live.size()));
 
     // Stage 2 — primary path behind the circuit breaker, with bounded
     // retries. Backoff sleeps are capped by the batch's remaining deadline
@@ -266,7 +347,6 @@ void MatchService::WorkerLoop(int worker_index) {
     if (breaker_.AllowPrimary()) {
       for (int attempt = 0; attempt < config_.retry.max_attempts; ++attempt) {
         if (attempt > 0) {
-          retries_.fetch_add(1);
           double delay_ms = BackoffDelayMs(config_.retry, attempt, &rng);
           now = Clock::now();
           double budget_ms = 0.0;
@@ -281,9 +361,14 @@ void MatchService::WorkerLoop(int worker_index) {
           // The breaker may have tripped on our own failure reports; stop
           // hammering the primary and serve this batch degraded.
           if (!breaker_.AllowPrimary()) break;
+          // Counted only after the breaker re-check: a retry that is
+          // abandoned here never ran, so it must not inflate the counter.
+          retries_.fetch_add(1);
+          Metrics().retries->Increment();
         }
         ++attempts;
         Result<std::vector<float>> result = [&] {
+          obs::ScopedLatency lat(Metrics().forward_ms, "serve.forward.primary");
           std::lock_guard<std::mutex> lock(model_mu_);
           return RunForward(primary_.extractor.get(), primary_.matcher.get(),
                             batch_data, /*is_primary=*/true, batch_ordinal,
@@ -296,6 +381,7 @@ void MatchService::WorkerLoop(int worker_index) {
           break;
         }
         primary_failures_.fetch_add(1);
+        Metrics().primary_failures->Increment();
         DADER_LOG(Warning) << "primary forward failed (batch " << batch_ordinal
                            << ", attempt " << attempt + 1
                            << "): " << result.status().ToString();
@@ -311,6 +397,8 @@ void MatchService::WorkerLoop(int worker_index) {
       used_degraded = true;
       if (fallback_ != nullptr) {
         Result<std::vector<float>> result = [&] {
+          obs::ScopedLatency lat(Metrics().forward_ms,
+                                 "serve.forward.fallback");
           std::lock_guard<std::mutex> lock(model_mu_);
           return RunForward(fallback_->extractor.get(),
                             fallback_->matcher.get(), batch_data,
@@ -350,6 +438,7 @@ void MatchService::WorkerLoop(int worker_index) {
 }
 
 Status MatchService::ReloadModel(const std::string& path) {
+  obs::TraceSpan reload_span("serve.reload");
   // 1. Staging copies cloned from the live architecture; weight values are
   //    irrelevant — the checkpoint overwrites them or the reload fails.
   std::unique_ptr<core::FeatureExtractor> staging_extractor;
@@ -370,6 +459,7 @@ Status MatchService::ReloadModel(const std::string& path) {
       path, {{"F", staging_extractor.get()}, {"M", staging_matcher.get()}});
   if (!load_status.ok()) {
     reload_rollbacks_.fetch_add(1);
+    Metrics().reload_rollback->Increment();
     DADER_LOG(Error) << "model reload rejected (validation): "
                      << load_status.ToString();
     return Status(load_status.code(),
@@ -385,6 +475,7 @@ Status MatchService::ReloadModel(const std::string& path) {
                  &canary_rng);
   if (!canary_probs.ok()) {
     reload_rollbacks_.fetch_add(1);
+    Metrics().reload_rollback->Increment();
     DADER_LOG(Error) << "model reload rejected (canary): "
                      << canary_probs.status().ToString();
     return Status(canary_probs.status().code(),
@@ -400,6 +491,7 @@ Status MatchService::ReloadModel(const std::string& path) {
     primary_.matcher = std::move(staging_matcher);
   }
   reloads_.fetch_add(1);
+  Metrics().reload_success->Increment();
   DADER_LOG(Info) << "model reloaded from " << path;
   return Status::OK();
 }

@@ -8,6 +8,16 @@
 namespace dader {
 
 ThreadPool::ThreadPool(size_t num_threads) {
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Default();
+  m_tasks_ = metrics.GetCounter("threadpool.tasks.total",
+                                "Tasks executed by any thread pool", "tasks");
+  m_exceptions_ = metrics.GetCounter(
+      "threadpool.exceptions.total",
+      "Pool tasks that terminated with an uncaught exception", "tasks");
+  m_wait_ms_ = metrics.GetHistogram("threadpool.task.wait_ms",
+                                    "Submit-to-dequeue queueing delay", "ms");
+  m_run_ms_ = metrics.GetHistogram("threadpool.task.run_ms",
+                                   "Task execution time", "ms");
   if (num_threads == 0) {
     num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
   }
@@ -38,7 +48,7 @@ bool ThreadPool::Submit(std::function<void()> task) {
       DADER_LOG(Error) << "ThreadPool::Submit after Shutdown; task dropped";
       return false;
     }
-    tasks_.push(std::move(task));
+    tasks_.push(Task{std::move(task), std::chrono::steady_clock::now()});
     ++in_flight_;
   }
   task_cv_.notify_one();
@@ -61,8 +71,9 @@ std::string ThreadPool::last_exception() const {
 }
 
 void ThreadPool::WorkerLoop() {
+  using Clock = std::chrono::steady_clock;
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       task_cv_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
@@ -70,16 +81,25 @@ void ThreadPool::WorkerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
+    const Clock::time_point started = Clock::now();
+    m_wait_ms_->Observe(
+        std::chrono::duration<double, std::milli>(started - task.enqueued)
+            .count());
     // A throwing task must not escape the worker (std::terminate); record
     // it so callers can observe the failure after Wait().
     std::string error;
     try {
-      task();
+      task.fn();
     } catch (const std::exception& e) {
       error = e.what();
     } catch (...) {
       error = "unknown exception";
     }
+    m_run_ms_->Observe(
+        std::chrono::duration<double, std::milli>(Clock::now() - started)
+            .count());
+    m_tasks_->Increment();
+    if (!error.empty()) m_exceptions_->Increment();
     {
       std::lock_guard<std::mutex> lock(mu_);
       --in_flight_;

@@ -12,6 +12,7 @@
 
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -20,6 +21,8 @@
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "obs/metrics.h"
 
 namespace dader {
 
@@ -58,10 +61,16 @@ class ThreadPool {
   static ThreadPool* Global();
 
  private:
+  // A queued task plus its enqueue time (feeds threadpool.task.wait_ms).
+  struct Task {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
+  std::queue<Task> tasks_;
   mutable std::mutex mu_;
   std::condition_variable task_cv_;   // signals workers: new task / shutdown
   std::condition_variable done_cv_;   // signals Wait(): a task finished
@@ -69,6 +78,13 @@ class ThreadPool {
   bool shutdown_ = false;
   size_t exception_count_ = 0;
   std::string last_exception_;
+
+  // Process-wide observability series (all pools share them; see
+  // docs/OBSERVABILITY.md "threadpool.*").
+  obs::Counter* m_tasks_;
+  obs::Counter* m_exceptions_;
+  obs::Histogram* m_wait_ms_;
+  obs::Histogram* m_run_ms_;
 };
 
 /// \brief Runs fn(i) for i in [0, n), splitting the range across the global

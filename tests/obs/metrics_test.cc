@@ -1,0 +1,291 @@
+// Metrics registry tests: counter/gauge/histogram correctness under
+// concurrency (run this suite under TSan via -DDADER_SANITIZE="thread"),
+// the DDSketch relative-error bound, and deterministic text exports.
+
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace dader::obs {
+namespace {
+
+constexpr int kThreads = 8;
+constexpr int kOpsPerThread = 20000;
+
+void RunThreads(const std::function<void(int)>& body) {
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) threads.emplace_back(body, t);
+  for (auto& th : threads) th.join();
+}
+
+TEST(CounterTest, IncrementAddResetSingleThread) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.Increment();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0);
+}
+
+TEST(CounterTest, ConcurrentIncrementsAllLand) {
+  Counter c;
+  RunThreads([&](int) {
+    for (int i = 0; i < kOpsPerThread; ++i) c.Increment();
+  });
+  EXPECT_EQ(c.value(), int64_t{kThreads} * kOpsPerThread);
+}
+
+TEST(GaugeTest, SetAndValue) {
+  Gauge g;
+  g.Set(3.25);
+  EXPECT_DOUBLE_EQ(g.value(), 3.25);
+  g.Reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(GaugeTest, ConcurrentAddIsLossless) {
+  Gauge g;
+  RunThreads([&](int) {
+    for (int i = 0; i < kOpsPerThread; ++i) g.Add(1.0);
+  });
+  // Every CAS-increment of 1.0 is exactly representable: no adds may race
+  // away or round off.
+  EXPECT_DOUBLE_EQ(g.value(), double(kThreads) * kOpsPerThread);
+}
+
+TEST(QuantileSketchTest, RelativeErrorBoundOnUniformValues) {
+  QuantileSketch sketch;  // alpha = 0.01
+  std::vector<double> values;
+  for (int i = 1; i <= 20000; ++i) values.push_back(0.05 * i);  // 0.05..1000
+  for (double v : values) sketch.Observe(v);
+  ASSERT_EQ(sketch.count(), static_cast<int64_t>(values.size()));
+
+  std::sort(values.begin(), values.end());
+  for (double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0}) {
+    const double truth =
+        values[static_cast<size_t>(q * (values.size() - 1))];
+    const double est = sketch.Quantile(q);
+    // The bucket midpoint is within alpha of every value in its bucket;
+    // the rank discretization can shift the answer by one adjacent value,
+    // which for this dense series is far below the alpha slack.
+    EXPECT_NEAR(est, truth, truth * 2.0 * sketch.alpha())
+        << "q=" << q << " truth=" << truth << " est=" << est;
+  }
+}
+
+TEST(QuantileSketchTest, SumAndCountTrackObservations) {
+  QuantileSketch sketch;
+  double expect_sum = 0.0;
+  for (int i = 1; i <= 100; ++i) {
+    sketch.Observe(i);
+    expect_sum += i;
+  }
+  EXPECT_EQ(sketch.count(), 100);
+  EXPECT_DOUBLE_EQ(sketch.sum(), expect_sum);
+  sketch.Reset();
+  EXPECT_EQ(sketch.count(), 0);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(0.5), 0.0);
+}
+
+TEST(QuantileSketchTest, OutOfRangeValuesAreCountedNotBounded) {
+  QuantileSketch sketch(0.01, 1e-4, 1e8);
+  sketch.Observe(0.0);                                      // below min
+  sketch.Observe(-5.0);                                     // negative
+  sketch.Observe(1e12);                                     // above max
+  sketch.Observe(std::numeric_limits<double>::infinity());  // +Inf
+  sketch.Observe(std::numeric_limits<double>::quiet_NaN()); // NaN
+  EXPECT_EQ(sketch.count(), 5);
+  // Non-finite observations contribute 0 to the sum so it stays usable.
+  EXPECT_DOUBLE_EQ(sketch.sum(), -5.0 + 1e12);
+}
+
+TEST(QuantileSketchTest, ConcurrentObserveKeepsEveryCount) {
+  QuantileSketch sketch;
+  RunThreads([&](int t) {
+    for (int i = 0; i < kOpsPerThread; ++i) {
+      sketch.Observe(1.0 + t + i % 7);
+    }
+  });
+  EXPECT_EQ(sketch.count(), int64_t{kThreads} * kOpsPerThread);
+}
+
+TEST(HistogramTest, BucketAssignmentFollowsUpperBounds) {
+  Histogram h(std::vector<double>{1.0, 10.0, 100.0});
+  h.Observe(0.5);    // <= 1      -> bucket 0
+  h.Observe(1.0);    // <= 1      -> bucket 0 (le semantics)
+  h.Observe(5.0);    // <= 10     -> bucket 1
+  h.Observe(50.0);   // <= 100    -> bucket 2
+  h.Observe(500.0);  // overflow  -> bucket 3
+  EXPECT_EQ(h.bucket_count(0), 2);
+  EXPECT_EQ(h.bucket_count(1), 1);
+  EXPECT_EQ(h.bucket_count(2), 1);
+  EXPECT_EQ(h.bucket_count(3), 1);
+  EXPECT_EQ(h.count(), 5);
+  EXPECT_DOUBLE_EQ(h.sum(), 556.5);
+}
+
+TEST(HistogramTest, QuantileComesFromSketchNotBuckets) {
+  // One coarse bucket covering everything: a bucket-interpolated quantile
+  // could only answer "somewhere below 1e6"; the embedded sketch stays
+  // alpha-accurate.
+  Histogram h(std::vector<double>{1e6});
+  for (int i = 1; i <= 1000; ++i) h.Observe(i);
+  const double p50 = h.Quantile(0.5);
+  EXPECT_NEAR(p50, 500.0, 500.0 * 0.03);
+}
+
+TEST(HistogramTest, ConcurrentObserveCountsEverything) {
+  Histogram h;
+  RunThreads([&](int t) {
+    for (int i = 0; i < kOpsPerThread; ++i) {
+      h.Observe(0.1 * (1 + (t + i) % 50));
+    }
+  });
+  EXPECT_EQ(h.count(), int64_t{kThreads} * kOpsPerThread);
+  int64_t bucket_total = 0;
+  for (size_t i = 0; i <= h.bounds().size(); ++i) {
+    bucket_total += h.bucket_count(i);
+  }
+  EXPECT_EQ(bucket_total, h.count());
+}
+
+TEST(RegistryTest, SameNameReturnsSameInstance) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("x.total", "help", "events");
+  Counter* b = registry.GetCounter("x.total");
+  EXPECT_EQ(a, b);
+  a->Increment();
+  EXPECT_EQ(b->value(), 1);
+}
+
+TEST(RegistryTest, LabeledNameEncodesOneSeriesPerLabelValue) {
+  EXPECT_EQ(LabeledName("a.b.total", "k", "v"), "a.b.total{k=\"v\"}");
+  MetricsRegistry registry;
+  Counter* red = registry.GetCounter(LabeledName("c.total", "color", "red"));
+  Counter* blue = registry.GetCounter(LabeledName("c.total", "color", "blue"));
+  EXPECT_NE(red, blue);
+  red->Add(2);
+  blue->Add(3);
+  const std::string text = registry.ScrapeText();
+  EXPECT_NE(text.find("c_total{color=\"red\"} 2"), std::string::npos) << text;
+  EXPECT_NE(text.find("c_total{color=\"blue\"} 3"), std::string::npos) << text;
+}
+
+TEST(RegistryTest, ConcurrentRegistrationAndUpdates) {
+  MetricsRegistry registry;
+  RunThreads([&](int t) {
+    // All threads race GetCounter on a shared name and on per-thread names
+    // while updating — registration must be safe mid-traffic.
+    Counter* shared = registry.GetCounter("shared.total");
+    Counter* own = registry.GetCounter("own." + std::to_string(t) + ".total");
+    for (int i = 0; i < 2000; ++i) {
+      shared->Increment();
+      own->Increment();
+    }
+  });
+  EXPECT_EQ(registry.GetCounter("shared.total")->value(), kThreads * 2000);
+  EXPECT_EQ(registry.Names().size(), 1u + kThreads);
+}
+
+TEST(RegistryTest, NamesAreSorted) {
+  MetricsRegistry registry;
+  registry.GetCounter("zeta.total");
+  registry.GetGauge("alpha.value");
+  registry.GetHistogram("mid.ms");
+  const std::vector<std::string> names = registry.Names();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(RegistryTest, ScrapeTextIsPrometheusShaped) {
+  MetricsRegistry registry;
+  registry.GetCounter("serve.reqs.total", "Requests", "requests")->Add(7);
+  registry.GetGauge("train.loss", "Loss")->Set(0.125);
+  Histogram* h = registry.GetHistogram("lat.ms", "Latency", "ms",
+                                       std::vector<double>{1.0, 10.0});
+  h->Observe(0.5);
+  h->Observe(5.0);
+  h->Observe(50.0);
+  const std::string text = registry.ScrapeText();
+  EXPECT_NE(text.find("# HELP serve_reqs_total Requests (requests)"),
+            std::string::npos) << text;
+  EXPECT_NE(text.find("# TYPE serve_reqs_total counter"), std::string::npos);
+  EXPECT_NE(text.find("serve_reqs_total 7"), std::string::npos);
+  EXPECT_NE(text.find("train_loss 0.125"), std::string::npos);
+  // Cumulative le-buckets plus sum/count.
+  EXPECT_NE(text.find("lat_ms_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("lat_ms_bucket{le=\"10\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("lat_ms_bucket{le=\"+Inf\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("lat_ms_sum 55.5"), std::string::npos);
+  EXPECT_NE(text.find("lat_ms_count 3"), std::string::npos);
+}
+
+TEST(RegistryTest, ExportsAreDeterministic) {
+  MetricsRegistry registry;
+  registry.GetCounter("b.total")->Add(2);
+  registry.GetGauge("a.value")->Set(1.5);
+  registry.GetHistogram("c.ms")->Observe(3.0);
+  // Same state -> byte-identical output, every format.
+  EXPECT_EQ(registry.ScrapeText(), registry.ScrapeText());
+  EXPECT_EQ(registry.ToJsonLines(), registry.ToJsonLines());
+  EXPECT_EQ(registry.ToCsv(), registry.ToCsv());
+  // And no timestamps: the word boundary check is that values alone change
+  // the export, not time passing.
+  const std::string before = registry.ToJsonLines();
+  const std::string after = registry.ToJsonLines();
+  EXPECT_EQ(before, after);
+}
+
+TEST(RegistryTest, DeterministicCsvDropsTimingDerivedFields) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("lat.ms");
+  h->Observe(1.0);
+  h->Observe(2.0);
+  const std::string full = registry.ToCsv();
+  EXPECT_NE(full.find("histogram,sum"), std::string::npos);
+  EXPECT_NE(full.find("histogram,p50"), std::string::npos);
+  CsvOptions options;
+  options.deterministic_only = true;
+  const std::string det = registry.ToCsv(options);
+  EXPECT_NE(det.find("histogram,count,2"), std::string::npos) << det;
+  EXPECT_EQ(det.find("histogram,sum"), std::string::npos) << det;
+  EXPECT_EQ(det.find("histogram,p50"), std::string::npos) << det;
+}
+
+TEST(RegistryTest, ResetAllForTestZeroesButKeepsPointersValid) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("n.total");
+  Gauge* g = registry.GetGauge("g.value");
+  Histogram* h = registry.GetHistogram("h.ms");
+  c->Add(5);
+  g->Set(2.0);
+  h->Observe(1.0);
+  registry.ResetAllForTest();
+  EXPECT_EQ(c->value(), 0);
+  EXPECT_DOUBLE_EQ(g->value(), 0.0);
+  EXPECT_EQ(h->count(), 0);
+  c->Increment();  // pointer still live and usable
+  EXPECT_EQ(c->value(), 1);
+}
+
+TEST(RegistryTest, DefaultRegistryHoldsBuiltInInstrumentation) {
+  // The process-wide registry is shared by trainer/serving/thread-pool
+  // call sites; fetching a known built-in name must not create a fresh
+  // zero-initialized duplicate of a different kind.
+  Counter* c = MetricsRegistry::Default().GetCounter("obs.selftest.total");
+  c->Increment();
+  EXPECT_GE(c->value(), 1);
+}
+
+}  // namespace
+}  // namespace dader::obs

@@ -1,0 +1,272 @@
+// End-to-end observability tests: MatchService must emit the documented
+// shed/degraded/latency metrics under injected faults, the obs counters
+// must mirror ServeStats exactly, and — the regression at the heart of the
+// FaultInjector/metrics interaction — a retry that the circuit breaker
+// abandons mid-backoff must NOT be counted as a retry.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "serve/match_service.h"
+#include "util/fault.h"
+
+namespace dader::serve {
+namespace {
+
+using core::DaderConfig;
+
+DaderConfig TinyModelConfig() {
+  DaderConfig c;
+  c.vocab_size = 256;
+  c.max_len = 16;
+  c.hidden_dim = 8;
+  c.num_heads = 2;
+  c.num_layers = 1;
+  c.ffn_dim = 16;
+  c.rnn_hidden = 4;
+  c.dropout = 0.0f;
+  return c;
+}
+
+core::DaModel MakeModel(core::ExtractorKind kind, uint64_t seed) {
+  core::DaModel model;
+  model.extractor = core::MakeExtractor(kind, TinyModelConfig(), seed);
+  model.matcher =
+      std::make_unique<core::Matcher>(model.extractor->feature_dim(), seed + 1);
+  return model;
+}
+
+data::Schema TestSchema() { return data::Schema({"title", "price"}); }
+
+MatchRequest MakeRequest(const std::string& title_a,
+                         const std::string& title_b) {
+  MatchRequest request;
+  request.a = data::Record({title_a, "10"});
+  request.b = data::Record({title_b, "10"});
+  return request;
+}
+
+ServeConfig TestServeConfig() {
+  ServeConfig config;
+  config.queue_capacity = 64;
+  config.max_batch = 8;
+  config.batch_wait_ms = 0.5;
+  config.default_deadline_ms = 10000.0;
+  config.retry.base_backoff_ms = 1.0;
+  config.retry.max_backoff_ms = 4.0;
+  return config;
+}
+
+std::unique_ptr<MatchService> MakeService(ServeConfig config,
+                                          bool with_fallback = true) {
+  return std::make_unique<MatchService>(
+      std::move(config), TestSchema(), TestSchema(),
+      MakeModel(core::ExtractorKind::kLM, 21),
+      with_fallback ? std::make_unique<core::DaModel>(
+                          MakeModel(core::ExtractorKind::kRNN, 33))
+                    : nullptr);
+}
+
+int64_t CounterValue(const std::string& name) {
+  return obs::MetricsRegistry::Default().GetCounter(name)->value();
+}
+
+int64_t TransitionsTo(const std::string& state) {
+  return CounterValue(
+      obs::LabeledName("serve.breaker.transitions.total", "to", state));
+}
+
+// The serving metric names docs/OBSERVABILITY.md documents; the e2e test
+// asserts every one is registered after traffic has flowed.
+const std::vector<std::string>& DocumentedServeMetrics() {
+  static const std::vector<std::string> kNames = {
+      "serve.requests.admitted.total",
+      "serve.requests.shed.total",
+      "serve.requests.completed.total",
+      "serve.requests.deadline_expired.total",
+      "serve.requests.degraded.total",
+      "serve.requests.invalid.total",
+      "serve.primary.failures.total",
+      "serve.primary.retries.total",
+      "serve.reload.success.total",
+      "serve.reload.rollback.total",
+      "serve.latency.queue_ms",
+      "serve.latency.total_ms",
+      "serve.latency.forward_ms",
+      "serve.batch.size",
+      "serve.queue.depth",
+  };
+  return kNames;
+}
+
+TEST(ObsServingTest, EmitsDocumentedMetricsUnderInjectedFaults) {
+  obs::MetricsRegistry::Default().ResetAllForTest();
+  FaultInjector fault;
+  FaultSpec spec;
+  spec.kind = FaultKind::kExtractorFault;
+  spec.probability = 1.0;
+  spec.max_hits = 1 << 20;  // every primary attempt fails
+  fault.Arm(spec);
+
+  ServeConfig config = TestServeConfig();
+  config.retry.max_attempts = 2;
+  config.breaker.failure_threshold = 2;
+  config.breaker.cooldown_ms = 60000.0;  // stays open for the whole test
+  config.fault = &fault;
+
+  constexpr int kRequests = 10;
+  {
+    auto service = MakeService(config);
+    std::vector<MatchRequest> requests;
+    for (int i = 0; i < kRequests; ++i) {
+      requests.push_back(MakeRequest("item " + std::to_string(i), "item x"));
+    }
+    const std::vector<MatchResponse> responses =
+        service->MatchBatch(std::move(requests));
+    for (const MatchResponse& r : responses) {
+      ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+      EXPECT_TRUE(r.degraded);
+    }
+  }
+
+  auto& registry = obs::MetricsRegistry::Default();
+  const std::vector<std::string> names = registry.Names();
+  for (const std::string& name : DocumentedServeMetrics()) {
+    bool found = false;
+    for (const std::string& n : names) {
+      found |= n == name || n.rfind(name + "{", 0) == 0;
+    }
+    EXPECT_TRUE(found) << "documented metric not registered: " << name;
+  }
+
+  EXPECT_EQ(CounterValue("serve.requests.admitted.total"), kRequests);
+  EXPECT_EQ(CounterValue("serve.requests.completed.total"), kRequests);
+  EXPECT_EQ(CounterValue("serve.requests.degraded.total"), kRequests);
+  // The first batch spends both attempts on the primary (2 failures) and
+  // trips the threshold-2 breaker; every later batch goes straight to the
+  // fallback.
+  EXPECT_EQ(CounterValue("serve.primary.failures.total"), 2);
+  EXPECT_EQ(TransitionsTo("open"), 1);
+  EXPECT_EQ(fault.hits(FaultKind::kExtractorFault), 2);
+
+  // Latency histograms record exactly the OK responses.
+  EXPECT_EQ(registry.GetHistogram("serve.latency.total_ms")->count(),
+            kRequests);
+  EXPECT_EQ(registry.GetHistogram("serve.latency.queue_ms")->count(),
+            kRequests);
+  // At least the failing primary attempts and the fallback forwards timed.
+  EXPECT_GE(registry.GetHistogram("serve.latency.forward_ms")->count(), 3);
+  EXPECT_GE(registry.GetHistogram("serve.batch.size")->count(), 1);
+  // Idle service at teardown: nothing left queued.
+  EXPECT_DOUBLE_EQ(registry.GetGauge("serve.queue.depth")->value(), 0.0);
+}
+
+TEST(ObsServingTest, ObsCountersMirrorServeStats) {
+  obs::MetricsRegistry::Default().ResetAllForTest();
+  ServeConfig config = TestServeConfig();
+  config.queue_capacity = 4;  // force some shedding under the burst
+  config.max_batch = 2;
+
+  auto service = MakeService(config, /*with_fallback=*/false);
+  std::vector<std::future<MatchResponse>> futures;
+  futures.reserve(48);
+  for (int i = 0; i < 48; ++i) {
+    futures.push_back(service->SubmitAsync(
+        MakeRequest("burst " + std::to_string(i), "burst x")));
+  }
+  for (auto& f : futures) (void)f.get();
+
+  // However the burst split between served and shed, the process-wide
+  // counters must agree with the per-service atomics event for event.
+  const ServeStats stats = service->stats();
+  EXPECT_EQ(CounterValue("serve.requests.admitted.total"), stats.admitted);
+  EXPECT_EQ(CounterValue("serve.requests.shed.total"), stats.shed);
+  EXPECT_EQ(CounterValue("serve.requests.completed.total"), stats.completed);
+  EXPECT_EQ(CounterValue("serve.requests.degraded.total"), stats.degraded);
+  EXPECT_EQ(CounterValue("serve.primary.failures.total"),
+            stats.primary_failures);
+  EXPECT_EQ(CounterValue("serve.primary.retries.total"), stats.retries);
+  EXPECT_EQ(stats.admitted + stats.shed, 48);
+}
+
+TEST(ObsServingTest, InvalidRequestsCountSeparately) {
+  obs::MetricsRegistry::Default().ResetAllForTest();
+  auto service = MakeService(TestServeConfig(), /*with_fallback=*/false);
+  MatchRequest bad;
+  bad.a = data::Record({"only one value"});
+  bad.b = data::Record({"b", "10"});
+  const MatchResponse r = service->Match(std::move(bad));
+  EXPECT_EQ(r.status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(CounterValue("serve.requests.invalid.total"), 1);
+  EXPECT_EQ(CounterValue("serve.requests.admitted.total"), 0);
+}
+
+TEST(ObsServingTest, RetryThatRunsIsCountedExactlyOnce) {
+  obs::MetricsRegistry::Default().ResetAllForTest();
+  FaultInjector fault;
+  FaultSpec spec;
+  spec.kind = FaultKind::kExtractorFault;
+  spec.probability = 1.0;
+  spec.max_hits = 1;  // exactly one transient failure, then recovery
+  fault.Arm(spec);
+
+  ServeConfig config = TestServeConfig();
+  config.retry.max_attempts = 3;
+  config.breaker.failure_threshold = 10;  // breaker stays closed
+  config.fault = &fault;
+
+  auto service = MakeService(config);
+  const MatchResponse r = service->Match(MakeRequest("camera a", "camera a"));
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_FALSE(r.degraded);  // second attempt succeeded on the primary
+  EXPECT_EQ(r.attempts, 2);
+
+  // One injected fault -> one failure, one executed retry. No double count
+  // from the retry wrapper.
+  EXPECT_EQ(fault.hits(FaultKind::kExtractorFault), 1);
+  EXPECT_EQ(service->stats().primary_failures, 1);
+  EXPECT_EQ(service->stats().retries, 1);
+  EXPECT_EQ(CounterValue("serve.primary.failures.total"), 1);
+  EXPECT_EQ(CounterValue("serve.primary.retries.total"), 1);
+}
+
+TEST(ObsServingTest, RetryAbandonedByBreakerIsNotCounted) {
+  // Regression: retries_ used to be incremented before the mid-backoff
+  // breaker re-check, so a retry the breaker vetoed — which never executed
+  // a forward pass — still inflated the retry counters by one.
+  obs::MetricsRegistry::Default().ResetAllForTest();
+  FaultInjector fault;
+  FaultSpec spec;
+  spec.kind = FaultKind::kExtractorFault;
+  spec.probability = 1.0;
+  spec.max_hits = 1 << 20;
+  fault.Arm(spec);
+
+  ServeConfig config = TestServeConfig();
+  config.retry.max_attempts = 3;
+  config.breaker.failure_threshold = 1;  // first failure trips the breaker
+  config.breaker.cooldown_ms = 60000.0;  // no half-open during the test
+  config.fault = &fault;
+
+  auto service = MakeService(config);
+  const MatchResponse r = service->Match(MakeRequest("camera a", "camera a"));
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_TRUE(r.degraded);
+  EXPECT_EQ(r.attempts, 1);  // the breaker vetoed attempts 2 and 3
+
+  // Exactly one fault fired, one primary attempt ran and failed, zero
+  // retries executed — and the counters say exactly that.
+  EXPECT_EQ(fault.hits(FaultKind::kExtractorFault), 1);
+  EXPECT_EQ(service->stats().primary_failures, 1);
+  EXPECT_EQ(service->stats().retries, 0);
+  EXPECT_EQ(CounterValue("serve.primary.failures.total"), 1);
+  EXPECT_EQ(CounterValue("serve.primary.retries.total"), 0);
+  EXPECT_EQ(TransitionsTo("open"), 1);
+}
+
+}  // namespace
+}  // namespace dader::serve

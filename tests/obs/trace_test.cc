@@ -1,0 +1,139 @@
+// Tracer tests: RAII span nesting, the bounded ring with drop accounting,
+// and the logical-clock mode whose export is bit-identical across runs
+// (the golden-stability contract documented in docs/OBSERVABILITY.md).
+
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace dader::obs {
+namespace {
+
+TEST(TraceTest, SpansCompleteInDestructionOrder) {
+  Tracer tracer;
+  tracer.set_clock_mode(ClockMode::kLogical);
+  {
+    TraceSpan outer("outer", &tracer);
+    { TraceSpan inner("inner", &tracer); }
+  }
+  const std::vector<SpanRecord> spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_STREQ(spans[0].name, "inner");  // inner finishes first
+  EXPECT_STREQ(spans[1].name, "outer");
+  EXPECT_EQ(spans[0].depth, 1u);
+  EXPECT_EQ(spans[1].depth, 0u);
+  // Logical ticks: outer opens (1), inner opens (2), inner closes (3),
+  // outer closes (4).
+  EXPECT_EQ(spans[1].start_us, 1u);
+  EXPECT_EQ(spans[0].start_us, 2u);
+  EXPECT_EQ(spans[0].end_us, 3u);
+  EXPECT_EQ(spans[1].end_us, 4u);
+}
+
+TEST(TraceTest, LogicalClockExportIsBitIdenticalAcrossRuns) {
+  Tracer tracer;
+  tracer.set_clock_mode(ClockMode::kLogical);
+  auto run = [&tracer] {
+    tracer.Clear();
+    TraceSpan epoch("train.algo1.epoch", &tracer);
+    { TraceSpan eval("train.eval", &tracer); }
+    { TraceSpan ckpt("train.checkpoint", &tracer); }
+  };
+  run();
+  const std::string first_json = tracer.ToJsonLines();
+  const std::string first_csv = tracer.ToCsv();
+  run();
+  EXPECT_EQ(tracer.ToJsonLines(), first_json);
+  EXPECT_EQ(tracer.ToCsv(), first_csv);
+  // And the content is the exact golden, not merely self-consistent.
+  EXPECT_EQ(first_json,
+            "{\"span\":\"train.eval\",\"thread\":0,\"depth\":1,"
+            "\"start_us\":2,\"dur_us\":1}\n"
+            "{\"span\":\"train.checkpoint\",\"thread\":0,\"depth\":1,"
+            "\"start_us\":4,\"dur_us\":1}\n"
+            "{\"span\":\"train.algo1.epoch\",\"thread\":0,\"depth\":0,"
+            "\"start_us\":1,\"dur_us\":5}\n");
+}
+
+TEST(TraceTest, RingDropsOldestAndCountsDrops) {
+  Tracer tracer(/*capacity=*/3);
+  tracer.set_clock_mode(ClockMode::kLogical);
+  for (int i = 0; i < 5; ++i) {
+    TraceSpan span("s", &tracer);
+  }
+  EXPECT_EQ(tracer.recorded(), 5);
+  EXPECT_EQ(tracer.dropped(), 2);
+  const std::vector<SpanRecord> spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  // Oldest-first snapshot of the 3 most recent spans (ticks 5..10).
+  EXPECT_EQ(spans.front().start_us, 5u);
+  EXPECT_EQ(spans.back().end_us, 10u);
+}
+
+TEST(TraceTest, DisabledTracerIsInert) {
+  Tracer tracer;
+  tracer.set_enabled(false);
+  { TraceSpan span("ignored", &tracer); }
+  EXPECT_EQ(tracer.recorded(), 0);
+  EXPECT_TRUE(tracer.Snapshot().empty());
+  tracer.set_enabled(true);
+  { TraceSpan span("seen", &tracer); }
+  EXPECT_EQ(tracer.recorded(), 1);
+}
+
+TEST(TraceTest, WallClockSpansHaveNonNegativeDurations) {
+  Tracer tracer;  // default kWall
+  {
+    TraceSpan span("timed", &tracer);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const std::vector<SpanRecord> spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_GE(spans[0].end_us, spans[0].start_us);
+  // 1ms sleep must register at wall-microsecond resolution.
+  EXPECT_GE(spans[0].end_us - spans[0].start_us, 500u);
+}
+
+TEST(TraceTest, ConcurrentSpansAllRecorded) {
+  Tracer tracer(/*capacity=*/100000);
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        TraceSpan span("worker", &tracer);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(tracer.recorded(), int64_t{kThreads} * kSpansPerThread);
+  EXPECT_EQ(tracer.dropped(), 0);
+}
+
+TEST(TraceTest, ClearRestartsTheLogicalClock) {
+  Tracer tracer;
+  tracer.set_clock_mode(ClockMode::kLogical);
+  { TraceSpan span("a", &tracer); }
+  tracer.Clear();
+  { TraceSpan span("b", &tracer); }
+  const std::vector<SpanRecord> spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].start_us, 1u);  // clock restarted, not continued
+}
+
+TEST(TraceTest, MacroUsesTheDefaultTracer) {
+  Tracer& tracer = Tracer::Default();
+  const int64_t before = tracer.recorded();
+  { DADER_TRACE_SPAN("macro.span"); }
+  EXPECT_EQ(tracer.recorded(), before + 1);
+}
+
+}  // namespace
+}  // namespace dader::obs

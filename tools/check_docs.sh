@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Cross-checks docs/OBSERVABILITY.md against the instrumentation in src/.
+#
+# Direction 1 (no stale docs): every backticked metric/span name in the doc
+# whose first segment is train./serve./threadpool. must appear as a string
+# literal somewhere under src/.
+# Direction 2 (no undocumented metrics): every such name registered in src/
+# (the first string argument of GetCounter/GetGauge/GetHistogram/LabeledName
+# and every TraceSpan/DADER_TRACE_SPAN name) must appear in the doc.
+#
+# Run from the repo root (the ctest entry sets WORKING_DIRECTORY to it).
+set -u
+
+DOC="docs/OBSERVABILITY.md"
+SRC="src"
+fail=0
+
+if [[ ! -f "$DOC" ]]; then
+  echo "check_docs: $DOC is missing" >&2
+  exit 1
+fi
+
+# Backticked dotted names in the doc, e.g. `serve.latency.total_ms`.
+doc_names=$(grep -oE '`(train|serve|threadpool)\.[a-z0-9._]+`' "$DOC" \
+  | tr -d '`' | sort -u)
+
+# Names registered in code: any string literal starting with one of the
+# instrumented prefixes.
+src_names=$(grep -rhoE '"(train|serve|threadpool)\.[a-z0-9._]+"' "$SRC" \
+  | tr -d '"' | sort -u)
+
+if [[ -z "$doc_names" ]]; then
+  echo "check_docs: no metric names found in $DOC" >&2
+  exit 1
+fi
+
+for name in $doc_names; do
+  if ! grep -qF "$name" <<<"$src_names"; then
+    echo "check_docs: documented name not found in $SRC: $name" >&2
+    fail=1
+  fi
+done
+
+for name in $src_names; do
+  if ! grep -qF "$name" <<<"$doc_names"; then
+    echo "check_docs: registered name not documented in $DOC: $name" >&2
+    fail=1
+  fi
+done
+
+if [[ $fail -ne 0 ]]; then
+  echo "check_docs: FAILED — keep docs/OBSERVABILITY.md and src/ in sync" >&2
+  exit 1
+fi
+echo "check_docs: OK ($(wc -l <<<"$doc_names") documented names all match src/)"
