@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "core/dader.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/csv.h"
 #include "util/string_util.h"
 #include "util/flags.h"
@@ -22,11 +24,18 @@ struct BenchEnv {
   core::ExperimentScale scale;
   std::string csv_path;   ///< machine-readable copy of the report
   std::string metrics_jsonl_path;  ///< metrics registry dump (empty = none)
+  std::string trace_jsonl_path;    ///< trace span dump (empty = none)
   uint64_t seed = 42;
 };
 
-/// \brief Parses --scale / --csv / --seed / --metrics_jsonl; honors
-/// $DADER_SCALE when --scale is not given. Exits on flag errors.
+/// \brief Parses --scale / --csv / --seed / --metrics_jsonl / --trace_jsonl /
+/// --trace_clock; honors $DADER_SCALE when --scale is not given. Exits on
+/// flag errors.
+///
+/// --trace_clock selects the default tracer's timestamp source:
+/// "wall" (default) for real durations when profiling, "logical" for the
+/// deterministic tick clock whose export is bit-identical across runs —
+/// use logical when diffing trace goldens (see src/obs/trace.h).
 inline BenchEnv ParseBenchArgs(int argc, char** argv,
                                const std::string& default_csv) {
   FlagParser flags;
@@ -34,6 +43,10 @@ inline BenchEnv ParseBenchArgs(int argc, char** argv,
   flags.DefineString("csv", default_csv, "CSV output path (empty = none)");
   flags.DefineString("metrics_jsonl", "",
                      "metrics registry JSONL dump path (empty = none)");
+  flags.DefineString("trace_jsonl", "",
+                     "trace span JSONL dump path (empty = none)");
+  flags.DefineString("trace_clock", "wall",
+                     "trace timestamp source: wall|logical");
   flags.DefineInt("seed", 42, "base seed");
   Status st = flags.Parse(argc, argv);
   if (!st.ok()) {
@@ -44,8 +57,35 @@ inline BenchEnv ParseBenchArgs(int argc, char** argv,
   env.scale = core::ResolveScale(flags.GetString("scale"));
   env.csv_path = flags.GetString("csv");
   env.metrics_jsonl_path = flags.GetString("metrics_jsonl");
+  env.trace_jsonl_path = flags.GetString("trace_jsonl");
   env.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  const std::string clock = flags.GetString("trace_clock");
+  if (clock == "logical") {
+    obs::Tracer::Default().set_clock_mode(obs::ClockMode::kLogical);
+  } else if (clock != "wall") {
+    std::fprintf(stderr, "--trace_clock must be wall or logical, got %s\n",
+                 clock.c_str());
+    std::exit(1);
+  }
   return env;
+}
+
+/// \brief Writes the default tracer's spans as JSON lines to
+/// env.trace_jsonl_path (no-op when the flag was not given). Call at the
+/// end of a bench, after the last traced phase finished.
+inline void DumpTraceIfRequested(const BenchEnv& env) {
+  if (env.trace_jsonl_path.empty()) return;
+  const auto& tracer = obs::Tracer::Default();
+  std::string error;
+  if (!obs::WriteTextFile(env.trace_jsonl_path, tracer.ToJsonLines(),
+                          &error)) {
+    std::fprintf(stderr, "trace write failed: %s\n", error.c_str());
+    return;
+  }
+  std::printf("[trace written to %s (%lld spans, %lld dropped)]\n",
+              env.trace_jsonl_path.c_str(),
+              static_cast<long long>(tracer.recorded()),
+              static_cast<long long>(tracer.dropped()));
 }
 
 /// \brief Collects rows and writes them to CSV at the end.

@@ -64,5 +64,6 @@ int main(int argc, char** argv) {
               "InvGAN+KD series, and lower learning rates should smooth the\n"
               "adversarial curve while delaying its best epoch.\n");
   csv.WriteIfRequested(env.csv_path);
+  DumpTraceIfRequested(env);
   return 0;
 }

@@ -69,5 +69,6 @@ int main(int argc, char** argv) {
               "during adaptation; InvGAN+KD stays high on both (Finding 4).\n"
               "The guard column shows when the stability layer intervened.\n");
   csv.WriteIfRequested(env.csv_path);
+  DumpTraceIfRequested(env);
   return 0;
 }

@@ -63,5 +63,6 @@ int main(int argc, char** argv) {
   std::printf("Finding 5: LM columns should dominate RNN columns, and the\n"
               "RNN's DA gains should be smaller than the LM's.\n");
   csv.WriteIfRequested(env.csv_path);
+  DumpTraceIfRequested(env);
   return 0;
 }

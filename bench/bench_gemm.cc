@@ -1,0 +1,211 @@
+// GEMM kernel benchmark: naive triple-loop vs. the blocked kernel layer
+// across the matrix shapes the model actually produces, plus the canonical
+// 256^3 square and a thread-scaling sweep. Emits BENCH_gemm.json with
+// per-shape ms and GFLOP/s for both paths so regressions are visible in CI
+// artifacts (see docs/PERF.md for how to read it).
+//
+//   ./bench_gemm [--json=BENCH_gemm.json] [--reps=7]
+//
+// Shape provenance (core/config.h smoke preset and config.cc full preset):
+// hidden_dim 32..64, ffn_dim 64..128, max_len 32..64, 4 heads, batch 16..32,
+// rnn_hidden 24..48. The entries below use the full-scale numbers, where the
+// kernels spend the most time.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "tensor/gemm.h"
+#include "util/flags.h"
+#include "util/string_util.h"
+#include "util/thread_pool.h"
+
+namespace dader {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+enum class Variant { kNN, kNT, kTN };
+
+const char* VariantName(Variant v) {
+  switch (v) {
+    case Variant::kNN: return "NN";
+    case Variant::kNT: return "NT";
+    case Variant::kTN: return "TN";
+  }
+  return "?";
+}
+
+struct ShapeCase {
+  const char* name;   // which model layer this shape comes from
+  Variant variant;
+  int64_t bsz, m, n, k;
+};
+
+// Forward projections, FFN, attention (batched over batch*heads), GRU gate
+// stack, matcher head, and the linear backward shapes (NT/TN). square_256
+// is the canonical size the perf smoke test and docs quote.
+const ShapeCase kCases[] = {
+    {"linear_qkv", Variant::kNN, 1, 2048, 64, 64},
+    {"linear_qkv_dA", Variant::kNT, 1, 2048, 64, 64},
+    {"linear_qkv_dB", Variant::kTN, 1, 64, 64, 2048},
+    {"ffn_up", Variant::kNN, 1, 2048, 128, 64},
+    {"ffn_down", Variant::kNN, 1, 2048, 64, 128},
+    {"attn_scores", Variant::kNT, 128, 64, 64, 16},
+    {"attn_ctx", Variant::kNN, 128, 64, 16, 64},
+    {"gru_step", Variant::kNN, 1, 32, 144, 112},
+    {"matcher_head", Variant::kNN, 1, 32, 2, 64},
+    {"square_256", Variant::kNN, 1, 256, 256, 256},
+};
+
+std::vector<float> RandomVec(size_t n, uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+  std::vector<float> v(n);
+  for (auto& x : v) x = dist(rng);
+  return v;
+}
+
+double BestOfMs(int reps, const std::function<void()>& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = Clock::now();
+    fn();
+    const std::chrono::duration<double, std::milli> ms = Clock::now() - t0;
+    if (ms.count() < best) best = ms.count();
+  }
+  return best;
+}
+
+void RunNaive(const ShapeCase& s, const float* a, const float* b, float* c) {
+  for (int64_t i = 0; i < s.bsz; ++i) {
+    const float* ai = a + i * s.m * s.k;
+    const float* bi = b + i * s.k * s.n;
+    float* ci = c + i * s.m * s.n;
+    switch (s.variant) {
+      case Variant::kNN: gemm::NaiveGemmNN(s.m, s.n, s.k, ai, bi, ci); break;
+      case Variant::kNT: gemm::NaiveGemmNT(s.m, s.n, s.k, ai, bi, ci); break;
+      case Variant::kTN: gemm::NaiveGemmTN(s.m, s.n, s.k, ai, bi, ci); break;
+    }
+  }
+}
+
+void RunBlocked(const ShapeCase& s, const float* a, const float* b, float* c,
+                const gemm::GemmOptions& options) {
+  switch (s.variant) {
+    case Variant::kNN:
+      gemm::BatchGemmNN(s.bsz, s.m, s.n, s.k, a, b, c, options);
+      break;
+    case Variant::kNT:
+      gemm::BatchGemmNT(s.bsz, s.m, s.n, s.k, a, b, c, options);
+      break;
+    case Variant::kTN:
+      gemm::BatchGemmTN(s.bsz, s.m, s.n, s.k, a, b, c, options);
+      break;
+  }
+}
+
+double Gflops(const ShapeCase& s, double ms) {
+  const double flops =
+      2.0 * static_cast<double>(s.bsz) * s.m * s.n * s.k;
+  return flops / (ms * 1e6);
+}
+
+}  // namespace
+
+int Main(int argc, char** argv) {
+  FlagParser flags;
+  flags.DefineString("json", "BENCH_gemm.json", "JSON output path (empty = none)");
+  flags.DefineInt("reps", 7, "timed repetitions per measurement (best-of)");
+  Status st = flags.Parse(argc, argv);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n%s", st.ToString().c_str(), flags.Help().c_str());
+    return 1;
+  }
+  const std::string json_path = flags.GetString("json");
+  const int reps = static_cast<int>(flags.GetInt("reps"));
+
+  std::string json = "{\n  \"shapes\": [\n";
+  std::printf("%-15s %-3s %5s %5s %5s %5s | %10s %10s %8s %8s %7s\n", "shape",
+              "var", "bsz", "m", "n", "k", "naive_ms", "blocked_ms",
+              "naive_GF", "blk_GF", "speedup");
+
+  bool first = true;
+  for (const ShapeCase& s : kCases) {
+    const auto a = RandomVec(static_cast<size_t>(s.bsz * s.m * s.k), 1);
+    const auto b = RandomVec(static_cast<size_t>(s.bsz * s.k * s.n), 2);
+    std::vector<float> c(static_cast<size_t>(s.bsz * s.m * s.n), 0.0f);
+
+    const double naive_ms =
+        BestOfMs(reps, [&] { RunNaive(s, a.data(), b.data(), c.data()); });
+    const double blocked_ms = BestOfMs(
+        reps, [&] { RunBlocked(s, a.data(), b.data(), c.data(), {}); });
+    const double speedup = naive_ms / blocked_ms;
+
+    std::printf("%-15s %-3s %5lld %5lld %5lld %5lld | %10.4f %10.4f %8.1f %8.1f %6.2fx\n",
+                s.name, VariantName(s.variant),
+                static_cast<long long>(s.bsz), static_cast<long long>(s.m),
+                static_cast<long long>(s.n), static_cast<long long>(s.k),
+                naive_ms, blocked_ms, Gflops(s, naive_ms),
+                Gflops(s, blocked_ms), speedup);
+
+    json += StrFormat(
+        "%s    {\"name\": \"%s\", \"variant\": \"%s\", \"bsz\": %lld, "
+        "\"m\": %lld, \"n\": %lld, \"k\": %lld, \"naive_ms\": %.5f, "
+        "\"blocked_ms\": %.5f, \"naive_gflops\": %.2f, "
+        "\"blocked_gflops\": %.2f, \"speedup\": %.3f}",
+        first ? "" : ",\n", s.name, VariantName(s.variant),
+        static_cast<long long>(s.bsz), static_cast<long long>(s.m),
+        static_cast<long long>(s.n), static_cast<long long>(s.k), naive_ms,
+        blocked_ms, Gflops(s, naive_ms), Gflops(s, blocked_ms), speedup);
+    first = false;
+  }
+  json += "\n  ],\n  \"threads_256\": [\n";
+
+  // Thread-scaling sweep at 256^3 on explicit pools (the default path uses
+  // the global pool; this isolates pool size as the only variable).
+  const ShapeCase sq = kCases[sizeof(kCases) / sizeof(kCases[0]) - 1];
+  const auto a = RandomVec(static_cast<size_t>(sq.m * sq.k), 3);
+  const auto b = RandomVec(static_cast<size_t>(sq.k * sq.n), 4);
+  std::vector<float> c(static_cast<size_t>(sq.m * sq.n), 0.0f);
+  double ms_1t = 0.0;
+  std::printf("\n%-10s %10s %8s %10s\n", "threads", "ms", "GF/s", "vs 1t");
+  first = true;
+  for (size_t threads : {1u, 2u, 4u}) {
+    ThreadPool pool(threads);
+    gemm::GemmOptions options;
+    options.pool = &pool;
+    options.parallel_min_flops = 1;  // always take the parallel path
+    const double ms = BestOfMs(reps, [&] {
+      gemm::GemmNN(sq.m, sq.n, sq.k, a.data(), b.data(), c.data(), options);
+    });
+    if (threads == 1) ms_1t = ms;
+    std::printf("%-10zu %10.4f %8.1f %9.2fx\n", threads, ms, Gflops(sq, ms),
+                ms_1t / ms);
+    json += StrFormat(
+        "%s    {\"threads\": %zu, \"ms\": %.5f, \"gflops\": %.2f, "
+        "\"speedup_vs_1t\": %.3f}",
+        first ? "" : ",\n", threads, ms, Gflops(sq, ms), ms_1t / ms);
+    first = false;
+  }
+  json += "\n  ]\n}\n";
+
+  if (!json_path.empty()) {
+    std::string error;
+    if (!obs::WriteTextFile(json_path, json, &error)) {
+      std::fprintf(stderr, "json write failed: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("[json written to %s]\n", json_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace dader
+
+int main(int argc, char** argv) { return dader::Main(argc, argv); }

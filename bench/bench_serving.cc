@@ -228,5 +228,6 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "metrics write failed: %s\n", error.c_str());
     }
   }
+  DumpTraceIfRequested(env);
   return 0;
 }

@@ -41,5 +41,6 @@ int main(int argc, char** argv) {
                 std::to_string(d.MatchRate())});
   }
   csv.WriteIfRequested(env.csv_path);
+  DumpTraceIfRequested(env);
   return 0;
 }

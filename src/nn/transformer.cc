@@ -38,7 +38,7 @@ Tensor MultiHeadSelfAttention::Forward(const Tensor& x,
   Tensor k = split_heads(k_->Forward(x));
   Tensor v = split_heads(v_->Forward(x));
 
-  Tensor scores = ops::BatchMatMul(q, ops::TransposeLast2(k));  // [B*H,L,L]
+  Tensor scores = ops::BatchMatMulNT(q, k);           // q · kᵀ, [B*H,L,L]
   scores = ops::MulScalar(scores, 1.0f / std::sqrt(static_cast<float>(head_dim_)));
 
   // Additive mask: -1e9 on padded key positions (constant, no grad).

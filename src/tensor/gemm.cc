@@ -1,0 +1,443 @@
+#include "tensor/gemm.h"
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/thread_pool.h"
+
+namespace dader::gemm {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tuning constants (measured on AVX-512 hardware with gcc 12 -O3
+// -march=native; see docs/PERF.md for the methodology and the numbers).
+// ---------------------------------------------------------------------------
+
+// Register tile: the microkernel keeps an MR x NR float accumulator block
+// live in vector registers. 8 x 32 = 16 zmm (or spills gracefully to ymm
+// pairs) and gives 16 independent FMA chains — enough to cover FMA latency.
+constexpr int kMR = 8;
+constexpr int kNR = 32;
+
+// Cache blocks: an MC x KC panel of A (64 KiB) stays L2-resident while a
+// KC x NC panel of B (512 KiB) streams through; both divide evenly by the
+// register tile so only the matrix edges take the tail path.
+constexpr int64_t kMC = 64;
+constexpr int64_t kKC = 256;
+constexpr int64_t kNC = 512;
+static_assert(kMC % kMR == 0 && kNC % kNR == 0);
+
+// Below this many FLOPs (2*m*n*k) the packing traffic costs more than the
+// register tiling saves; the call runs the naive kernel instead.
+constexpr int64_t kNaiveFlopsCutoff = 32'768;
+
+// The NT variant gets a far lower bar: its naive form is per-element dot
+// products, which gcc cannot vectorize (float reductions need -ffast-math),
+// so the packed kernel wins even on attention-scores-sized problems
+// (32x32x16 measures ~10x). Only trivially tiny NT calls stay naive.
+constexpr int64_t kNaiveFlopsCutoffNT = 2'048;
+
+// Per-thread packing scratch, sized once to the (fixed) block capacity.
+thread_local std::vector<float> t_apack;
+thread_local std::vector<float> t_bpack;
+
+enum class Trans { kN, kT };
+
+// ---------------------------------------------------------------------------
+// Packing. Panels are laid out depth-major: element (p, r) of an A panel at
+// apack[p*MR + r], element (p, j) of a B panel at bpack[p*NR + j], so the
+// microkernel reads both buffers strictly contiguously. Short panels are
+// zero-padded; padded lanes multiply into accumulator lanes that are never
+// stored back.
+// ---------------------------------------------------------------------------
+
+// Packs the mc x kc block of A at (row i0, depth p0) into MR-tall panels.
+// lda is the row stride of the stored matrix; for Trans::kT the matrix is
+// stored k x m and element (i, p) lives at a[p*lda + i].
+void PackA(Trans trans, const float* a, int64_t lda, int64_t i0, int64_t p0,
+           int64_t mc, int64_t kc, float* apack) {
+  for (int64_t ib = 0; ib < mc; ib += kMR) {
+    const int64_t mr = std::min<int64_t>(kMR, mc - ib);
+    float* panel = apack + ib * kc;
+    if (trans == Trans::kN) {
+      for (int64_t p = 0; p < kc; ++p) {
+        float* dst = panel + p * kMR;
+        const float* src = a + (i0 + ib) * lda + (p0 + p);
+        for (int64_t r = 0; r < mr; ++r) dst[r] = src[r * lda];
+        for (int64_t r = mr; r < kMR; ++r) dst[r] = 0.0f;
+      }
+    } else {
+      for (int64_t p = 0; p < kc; ++p) {
+        float* dst = panel + p * kMR;
+        const float* src = a + (p0 + p) * lda + (i0 + ib);
+        for (int64_t r = 0; r < mr; ++r) dst[r] = src[r];
+        for (int64_t r = mr; r < kMR; ++r) dst[r] = 0.0f;
+      }
+    }
+  }
+}
+
+// Packs the kc x nc block of B at (depth p0, column j0) into NR-wide
+// panels. For Trans::kT the matrix is stored n x k and element (p, j)
+// lives at b[j*ldb + p] — this pack is where the NT variant's
+// transposition happens, so the microkernel never does strided loads.
+void PackB(Trans trans, const float* b, int64_t ldb, int64_t p0, int64_t j0,
+           int64_t kc, int64_t nc, float* bpack) {
+  for (int64_t jb = 0; jb < nc; jb += kNR) {
+    const int64_t nr = std::min<int64_t>(kNR, nc - jb);
+    float* panel = bpack + jb * kc;
+    if (trans == Trans::kN) {
+      for (int64_t p = 0; p < kc; ++p) {
+        float* dst = panel + p * kNR;
+        const float* src = b + (p0 + p) * ldb + (j0 + jb);
+        for (int64_t j = 0; j < nr; ++j) dst[j] = src[j];
+        for (int64_t j = nr; j < kNR; ++j) dst[j] = 0.0f;
+      }
+    } else {
+      for (int64_t p = 0; p < kc; ++p) {
+        float* dst = panel + p * kNR;
+        const float* src = b + (j0 + jb) * ldb + (p0 + p);
+        for (int64_t j = 0; j < nr; ++j) dst[j] = src[j * ldb];
+        for (int64_t j = nr; j < kNR; ++j) dst[j] = 0.0f;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Microkernel: C_tile += Apanel * Bpanel over one KC depth block, with the
+// accumulator tile held in registers for the whole depth. The accumulators
+// initialize from C, and depth advances strictly ascending, so every output
+// element sees the exact same serial accumulation order no matter how the
+// surrounding blocks or row panels are partitioned — this is the bit-level
+// determinism contract of the layer.
+// ---------------------------------------------------------------------------
+
+inline void MicroKernel(int64_t kc, const float* apack, const float* bpack,
+                        float* c, int64_t ldc) {
+  float acc[kMR][kNR];
+  for (int r = 0; r < kMR; ++r)
+    for (int j = 0; j < kNR; ++j) acc[r][j] = c[r * ldc + j];
+  for (int64_t p = 0; p < kc; ++p) {
+    const float* bp = bpack + p * kNR;
+    const float* ap = apack + p * kMR;
+    for (int r = 0; r < kMR; ++r) {
+      const float av = ap[r];
+      for (int j = 0; j < kNR; ++j) acc[r][j] += av * bp[j];
+    }
+  }
+  for (int r = 0; r < kMR; ++r)
+    for (int j = 0; j < kNR; ++j) c[r * ldc + j] = acc[r][j];
+}
+
+// Edge tile (mr < MR and/or nr < NR): same structure and accumulation
+// order, runtime bounds.
+inline void MicroKernelTail(int64_t kc, int64_t mr, int64_t nr,
+                            const float* apack, const float* bpack, float* c,
+                            int64_t ldc) {
+  float acc[kMR][kNR];
+  for (int64_t r = 0; r < mr; ++r)
+    for (int64_t j = 0; j < nr; ++j) acc[r][j] = c[r * ldc + j];
+  for (int64_t p = 0; p < kc; ++p) {
+    const float* bp = bpack + p * kNR;
+    const float* ap = apack + p * kMR;
+    for (int64_t r = 0; r < mr; ++r) {
+      const float av = ap[r];
+      for (int64_t j = 0; j < nr; ++j) acc[r][j] += av * bp[j];
+    }
+  }
+  for (int64_t r = 0; r < mr; ++r)
+    for (int64_t j = 0; j < nr; ++j) c[r * ldc + j] = acc[r][j];
+}
+
+// ---------------------------------------------------------------------------
+// Blocked driver for one contiguous row range [i_begin, i_end) of C.
+// Thread tasks call this on disjoint MR-aligned ranges.
+// ---------------------------------------------------------------------------
+
+void BlockedRange(Trans ta, Trans tb, int64_t i_begin, int64_t i_end,
+                  int64_t n, int64_t k, const float* a, int64_t lda,
+                  const float* b, int64_t ldb, float* c, int64_t ldc) {
+  t_apack.resize(static_cast<size_t>(kMC) * kKC);
+  t_bpack.resize(static_cast<size_t>(kKC) * kNC);
+  float* apack = t_apack.data();
+  float* bpack = t_bpack.data();
+  for (int64_t jc = 0; jc < n; jc += kNC) {
+    const int64_t nc = std::min(kNC, n - jc);
+    for (int64_t pc = 0; pc < k; pc += kKC) {
+      const int64_t kc = std::min(kKC, k - pc);
+      PackB(tb, b, ldb, pc, jc, kc, nc, bpack);
+      for (int64_t ic = i_begin; ic < i_end; ic += kMC) {
+        const int64_t mc = std::min(kMC, i_end - ic);
+        PackA(ta, a, lda, ic, pc, mc, kc, apack);
+        for (int64_t ib = 0; ib < mc; ib += kMR) {
+          const int64_t mr = std::min<int64_t>(kMR, mc - ib);
+          for (int64_t jb = 0; jb < nc; jb += kNR) {
+            const int64_t nr = std::min<int64_t>(kNR, nc - jb);
+            float* ctile = c + (ic + ib) * ldc + jc + jb;
+            if (mr == kMR && nr == kNR) {
+              MicroKernel(kc, apack + ib * kc, bpack + jb * kc, ctile, ldc);
+            } else {
+              MicroKernelTail(kc, mr, nr, apack + ib * kc, bpack + jb * kc,
+                              ctile, ldc);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Naive kernels (seed implementations, also the small-problem fast path).
+// ---------------------------------------------------------------------------
+
+// C[m,n] += A[m,k] * B[k,n]; i-k-j loop order for streaming access.
+void NaiveNN(int64_t m, int64_t n, int64_t k, const float* a, const float* b,
+             float* c) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b + p * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+// C[m,n] += A[m,k] * B[n,k]^T: per-element dot products.
+void NaiveNT(int64_t m, int64_t n, int64_t k, const float* a, const float* b,
+             float* c) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      float acc = 0.0f;
+      for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] += acc;
+    }
+  }
+}
+
+// C[m,n] += A[k,m]^T * B[k,n]: rank-1 updates over the depth.
+void NaiveTN(int64_t m, int64_t n, int64_t k, const float* a, const float* b,
+             float* c) {
+  for (int64_t p = 0; p < k; ++p) {
+    const float* arow = a + p * m;
+    const float* brow = b + p * n;
+    for (int64_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c + i * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void RunNaive(Trans ta, Trans tb, int64_t m, int64_t n, int64_t k,
+              const float* a, const float* b, float* c) {
+  if (ta == Trans::kN && tb == Trans::kN) {
+    NaiveNN(m, n, k, a, b, c);
+  } else if (ta == Trans::kN) {
+    NaiveNT(m, n, k, a, b, c);
+  } else {
+    NaiveTN(m, n, k, a, b, c);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Instrumentation: wall duration per public call, bucketed by problem size
+// (see `tensor.gemm.ms` in docs/OBSERVABILITY.md).
+// ---------------------------------------------------------------------------
+
+const std::vector<double>& GemmLatencyBoundsMs() {
+  static const std::vector<double> kBounds = {0.01, 0.025, 0.05, 0.1, 0.25,
+                                              0.5,  1,     2.5,  5,   10,
+                                              25,   50,    100,  250};
+  return kBounds;
+}
+
+obs::Histogram* HistogramForFlops(double flops) {
+  static constexpr const char* kHelp =
+      "GEMM call duration, by FLOP-count shape class";
+  auto make = [](const char* cls) {
+    return obs::MetricsRegistry::Default().GetHistogram(
+        obs::LabeledName("tensor.gemm.ms", "class", cls), kHelp, "ms",
+        GemmLatencyBoundsMs());
+  };
+  static obs::Histogram* tiny = make("tiny");      // < 2 MFLOP
+  static obs::Histogram* small = make("small");    // < 32 MFLOP
+  static obs::Histogram* medium = make("medium");  // < 256 MFLOP
+  static obs::Histogram* large = make("large");
+  if (flops < 2e6) return tiny;
+  if (flops < 3.2e7) return small;
+  if (flops < 2.56e8) return medium;
+  return large;
+}
+
+class ScopedGemmTimer {
+ public:
+  explicit ScopedGemmTimer(double flops)
+      : histogram_(HistogramForFlops(flops)), start_(Clock::now()) {}
+  ~ScopedGemmTimer() {
+    histogram_->Observe(
+        std::chrono::duration<double, std::milli>(Clock::now() - start_)
+            .count());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  obs::Histogram* histogram_;
+  Clock::time_point start_;
+};
+
+// ---------------------------------------------------------------------------
+// Dispatch: naive below the cutoff, blocked above it, row-panel parallel
+// above the options threshold. Path choice depends only on the problem
+// shape and options — never on runtime state — so a given call site is
+// deterministic.
+// ---------------------------------------------------------------------------
+
+void Run(Trans ta, Trans tb, int64_t m, int64_t n, int64_t k, const float* a,
+         int64_t lda, const float* b, int64_t ldb, float* c, int64_t ldc,
+         const GemmOptions& options) {
+  if (m == 0 || n == 0 || k == 0) return;
+  const double flops = 2.0 * static_cast<double>(m) * n * k;
+  ScopedGemmTimer timer(flops);
+  const int64_t cutoff =
+      tb == Trans::kT ? kNaiveFlopsCutoffNT : kNaiveFlopsCutoff;
+  if (flops < cutoff || (ta == Trans::kN && tb == Trans::kN && m < 4)) {
+    // Tiny problems, and skinny NN products (a single served pair is
+    // m == 1), stream B exactly once in the naive kernel — packing it
+    // first would double the memory traffic.
+    RunNaive(ta, tb, m, n, k, a, b, c);
+    return;
+  }
+  ThreadPool* pool =
+      options.pool != nullptr ? options.pool : ThreadPool::Global();
+  int64_t tasks = 1;
+  if (flops >= static_cast<double>(options.parallel_min_flops) &&
+      pool->num_threads() > 1 && !ThreadPool::InWorkerThread()) {
+    tasks = std::min<int64_t>(static_cast<int64_t>(pool->num_threads()),
+                              (m + kMR - 1) / kMR);
+  }
+  if (tasks <= 1) {
+    BlockedRange(ta, tb, 0, m, n, k, a, lda, b, ldb, c, ldc);
+    return;
+  }
+  // MR-aligned row panels: tile boundaries then fall in the same places in
+  // every partition, which keeps the full-tile/tail-tile split — and with
+  // it the bit pattern of the result — identical across thread counts.
+  const int64_t rows_per_task =
+      ((m + tasks - 1) / tasks + kMR - 1) / kMR * kMR;
+  const int64_t chunks = (m + rows_per_task - 1) / rows_per_task;
+  ParallelChunks(pool, static_cast<size_t>(chunks), [&](size_t chunk) {
+    const int64_t i0 = static_cast<int64_t>(chunk) * rows_per_task;
+    const int64_t i1 = std::min(m, i0 + rows_per_task);
+    BlockedRange(ta, tb, i0, i1, n, k, a, lda, b, ldb, c, ldc);
+  });
+}
+
+void RunBatch(Trans ta, Trans tb, int64_t bsz, int64_t m, int64_t n,
+              int64_t k, const float* a, int64_t lda, const float* b,
+              int64_t ldb, float* c, int64_t ldc,
+              const GemmOptions& options) {
+  if (bsz == 0 || m == 0 || n == 0 || k == 0) return;
+  const double elem_flops = 2.0 * static_cast<double>(m) * n * k;
+  ScopedGemmTimer timer(elem_flops * static_cast<double>(bsz));
+  const int64_t elem_cutoff =
+      tb == Trans::kT ? kNaiveFlopsCutoffNT : kNaiveFlopsCutoff;
+  const int64_t a_step = m * k, b_step = k * n, c_step = m * n;
+  // One batch element, on whichever thread owns it.
+  auto run_element = [&](int64_t i) {
+    const float* ai = a + i * a_step;
+    const float* bi = b + i * b_step;
+    float* ci = c + i * c_step;
+    if (elem_flops < elem_cutoff ||
+        (ta == Trans::kN && tb == Trans::kN && m < 4)) {
+      RunNaive(ta, tb, m, n, k, ai, bi, ci);
+    } else {
+      BlockedRange(ta, tb, 0, m, n, k, ai, lda, bi, ldb, ci, ldc);
+    }
+  };
+  ThreadPool* pool =
+      options.pool != nullptr ? options.pool : ThreadPool::Global();
+  int64_t tasks = 1;
+  if (elem_flops * static_cast<double>(bsz) >=
+          static_cast<double>(options.parallel_min_flops) &&
+      pool->num_threads() > 1 && !ThreadPool::InWorkerThread()) {
+    tasks = std::min<int64_t>(static_cast<int64_t>(pool->num_threads()), bsz);
+  }
+  if (tasks <= 1) {
+    for (int64_t i = 0; i < bsz; ++i) run_element(i);
+    return;
+  }
+  const int64_t per_task = (bsz + tasks - 1) / tasks;
+  const int64_t chunks = (bsz + per_task - 1) / per_task;
+  ParallelChunks(pool, static_cast<size_t>(chunks), [&](size_t chunk) {
+    const int64_t begin = static_cast<int64_t>(chunk) * per_task;
+    const int64_t end = std::min(bsz, begin + per_task);
+    for (int64_t i = begin; i < end; ++i) run_element(i);
+  });
+}
+
+}  // namespace
+
+void GemmNN(int64_t m, int64_t n, int64_t k, const float* a, const float* b,
+            float* c, const GemmOptions& options) {
+  Run(Trans::kN, Trans::kN, m, n, k, a, /*lda=*/k, b, /*ldb=*/n, c,
+      /*ldc=*/n, options);
+}
+
+void GemmNT(int64_t m, int64_t n, int64_t k, const float* a, const float* b,
+            float* c, const GemmOptions& options) {
+  Run(Trans::kN, Trans::kT, m, n, k, a, /*lda=*/k, b, /*ldb=*/k, c,
+      /*ldc=*/n, options);
+}
+
+void GemmTN(int64_t m, int64_t n, int64_t k, const float* a, const float* b,
+            float* c, const GemmOptions& options) {
+  Run(Trans::kT, Trans::kN, m, n, k, a, /*lda=*/m, b, /*ldb=*/n, c,
+      /*ldc=*/n, options);
+}
+
+void BatchGemmNN(int64_t bsz, int64_t m, int64_t n, int64_t k, const float* a,
+                 const float* b, float* c, const GemmOptions& options) {
+  RunBatch(Trans::kN, Trans::kN, bsz, m, n, k, a, /*lda=*/k, b, /*ldb=*/n, c,
+           /*ldc=*/n, options);
+}
+
+void BatchGemmNT(int64_t bsz, int64_t m, int64_t n, int64_t k, const float* a,
+                 const float* b, float* c, const GemmOptions& options) {
+  RunBatch(Trans::kN, Trans::kT, bsz, m, n, k, a, /*lda=*/k, b, /*ldb=*/k, c,
+           /*ldc=*/n, options);
+}
+
+void BatchGemmTN(int64_t bsz, int64_t m, int64_t n, int64_t k, const float* a,
+                 const float* b, float* c, const GemmOptions& options) {
+  RunBatch(Trans::kT, Trans::kN, bsz, m, n, k, a, /*lda=*/m, b, /*ldb=*/n, c,
+           /*ldc=*/n, options);
+}
+
+void NaiveGemmNN(int64_t m, int64_t n, int64_t k, const float* a,
+                 const float* b, float* c) {
+  NaiveNN(m, n, k, a, b, c);
+}
+
+void NaiveGemmNT(int64_t m, int64_t n, int64_t k, const float* a,
+                 const float* b, float* c) {
+  NaiveNT(m, n, k, a, b, c);
+}
+
+void NaiveGemmTN(int64_t m, int64_t n, int64_t k, const float* a,
+                 const float* b, float* c) {
+  NaiveTN(m, n, k, a, b, c);
+}
+
+}  // namespace dader::gemm

@@ -1,0 +1,110 @@
+// Blocked, thread-parallel GEMM kernels for the tensor substrate.
+//
+// Every matrix product in the model zoo — the transformer and BiGRU feature
+// extractors, the MLP matcher, all six aligners — funnels through the three
+// accumulate kernels here (plus their batched forms). They replace the
+// single-threaded scalar loops that used to live in ops.cc.
+//
+// Design (see docs/PERF.md for the full writeup):
+//
+//   * Cache blocking: the classic MC/KC/NC three-level scheme. A KCxNC
+//     block of B is packed into contiguous NR-wide column panels, an MCxKC
+//     block of A into MR-tall row panels, and a register-tiled MRxNR
+//     microkernel runs over the packed panels. Packing gives the
+//     microkernel purely contiguous loads, which is what lets it
+//     auto-vectorize under -O3 -march=native; it is also how the NT and TN
+//     variants avoid strided scalar dot products — transposition happens
+//     in the pack, the microkernel is always the same.
+//   * Register tiling: the microkernel keeps an MRxNR accumulator tile in
+//     vector registers across the whole KC depth, eliminating the
+//     per-iteration C-row load/store traffic that capped the old i-k-j
+//     loop. There is no `a == 0.0f` skip branch: the old kernel's guard
+//     broke the compiler's ability to keep the loop body branch-free.
+//   * Threading: above GemmOptions::parallel_min_flops the M dimension is
+//     split into MR-aligned row panels distributed over a util::ThreadPool
+//     (batched variants split across the batch dimension instead). Each
+//     output row is owned by exactly one task and per-element accumulation
+//     order (k ascending) is independent of the partition, so results are
+//     bit-identical run-to-run AND across thread counts. Calls from inside
+//     a pool worker run serially (ThreadPool::InWorkerThread) — nested
+//     waits would deadlock.
+//   * Observability: every public call observes its wall duration into the
+//     `tensor.gemm.ms{class=...}` histograms (docs/OBSERVABILITY.md),
+//     where class buckets the problem by FLOP count.
+//
+// All kernels ACCUMULATE (C += ...) into row-major, fully packed (leading
+// dimension == column count) operands, matching how ops.cc uses them for
+// both forward products and backward gradient accumulation.
+
+#pragma once
+
+#include <cstdint>
+
+namespace dader {
+class ThreadPool;
+}
+
+namespace dader::gemm {
+
+/// \brief Execution knobs; the defaults are what ops.cc uses.
+struct GemmOptions {
+  /// Pool for row-panel / batch parallelism; null means ThreadPool::Global().
+  ThreadPool* pool = nullptr;
+  /// Minimum 2*m*n*k FLOP count before a call fans out to the pool;
+  /// below it the blocked kernel runs on the calling thread.
+  int64_t parallel_min_flops = 2'000'000;
+};
+
+// ---------------------------------------------------------------------------
+// Blocked kernels. Dimensions are always (m, n, k): C is m x n, k is the
+// contraction depth.
+// ---------------------------------------------------------------------------
+
+/// \brief C[m,n] += A[m,k] * B[k,n].
+void GemmNN(int64_t m, int64_t n, int64_t k, const float* a, const float* b,
+            float* c, const GemmOptions& options = {});
+
+/// \brief C[m,n] += A[m,k] * B[n,k]^T (B stored row-major n x k).
+/// The backward pass dA = dC * B^T is this shape.
+void GemmNT(int64_t m, int64_t n, int64_t k, const float* a, const float* b,
+            float* c, const GemmOptions& options = {});
+
+/// \brief C[m,n] += A[k,m]^T * B[k,n] (A stored row-major k x m).
+/// The backward pass dB = A^T * dC is this shape.
+void GemmTN(int64_t m, int64_t n, int64_t k, const float* a, const float* b,
+            float* c, const GemmOptions& options = {});
+
+// ---------------------------------------------------------------------------
+// Batched kernels: bsz independent products over contiguous slabs
+// (element i starts at offset i*m*k / i*k*n / i*m*n). Parallelism fans out
+// across the batch dimension; each element's product is serial, so the
+// determinism guarantee above carries over unchanged.
+// ---------------------------------------------------------------------------
+
+/// \brief C[i] += A[i] * B[i] with A[i] m x k, B[i] k x n.
+void BatchGemmNN(int64_t bsz, int64_t m, int64_t n, int64_t k, const float* a,
+                 const float* b, float* c, const GemmOptions& options = {});
+
+/// \brief C[i] += A[i] * B[i]^T with A[i] m x k, B[i] n x k.
+void BatchGemmNT(int64_t bsz, int64_t m, int64_t n, int64_t k, const float* a,
+                 const float* b, float* c, const GemmOptions& options = {});
+
+/// \brief C[i] += A[i]^T * B[i] with A[i] k x m, B[i] k x n.
+void BatchGemmTN(int64_t bsz, int64_t m, int64_t n, int64_t k, const float* a,
+                 const float* b, float* c, const GemmOptions& options = {});
+
+// ---------------------------------------------------------------------------
+// Naive reference kernels — the seed repo's original scalar loops, kept
+// verbatim (same signatures as above) as the correctness oracle for
+// tests/tensor/gemm_test.cc and the baseline for bench/bench_gemm.cc and
+// the `ctest -L perf` smoke test. Single-threaded, no instrumentation.
+// ---------------------------------------------------------------------------
+
+void NaiveGemmNN(int64_t m, int64_t n, int64_t k, const float* a,
+                 const float* b, float* c);
+void NaiveGemmNT(int64_t m, int64_t n, int64_t k, const float* a,
+                 const float* b, float* c);
+void NaiveGemmTN(int64_t m, int64_t n, int64_t k, const float* a,
+                 const float* b, float* c);
+
+}  // namespace dader::gemm

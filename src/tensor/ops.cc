@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tensor/gemm.h"
+
 namespace dader::ops {
 
 namespace {
@@ -219,76 +221,27 @@ Tensor Sqrt(const Tensor& a, float eps) {
       [](float, float y) { return 0.5f / y; });
 }
 
-namespace {
-
-// C[m,n] += A[m,k] * B[k,n]; i-k-j loop order for streaming access.
-void GemmAccumulate(const float* a, const float* b, float* c, int64_t m,
-                    int64_t k, int64_t n) {
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = a + i * k;
-    float* crow = c + i * n;
-    for (int64_t p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
-      const float* brow = b + p * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
-}
-
-// C[m,k] += A[m,n] * B^T where B is [k,n] (i.e. A * B transposed).
-void GemmAccumulateBT(const float* a, const float* b, float* c, int64_t m,
-                      int64_t n, int64_t k) {
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = a + i * n;
-    float* crow = c + i * k;
-    for (int64_t p = 0; p < k; ++p) {
-      const float* brow = b + p * n;
-      float acc = 0.0f;
-      for (int64_t j = 0; j < n; ++j) acc += arow[j] * brow[j];
-      crow[p] += acc;
-    }
-  }
-}
-
-// C[k,n] += A^T * B where A is [m,k], B is [m,n].
-void GemmAccumulateAT(const float* a, const float* b, float* c, int64_t m,
-                      int64_t k, int64_t n) {
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = a + i * k;
-    const float* brow = b + i * n;
-    for (int64_t p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
-      float* crow = c + p * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
-}
-
-}  // namespace
-
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   DADER_CHECK_EQ(a.rank(), 2u);
   DADER_CHECK_EQ(b.rank(), 2u);
   DADER_CHECK_EQ(a.dim(1), b.dim(0));
   const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   auto out = MakeOpNode({m, n}, {a.impl(), b.impl()});
-  GemmAccumulate(a.data(), b.data(), out->data.data(), m, k, n);
+  gemm::GemmNN(m, n, k, a.data(), b.data(), out->data.data());
   if (out->requires_grad) {
     ImplPtr pa = a.impl(), pb = b.impl();
     out->backward_fn = [pa, pb, m, k, n](const TensorImpl& self) {
       if (pa->requires_grad) {
         pa->EnsureGrad();
-        // dA = dC * B^T
-        GemmAccumulateBT(self.grad.data(), pb->data.data(), pa->grad.data(), m,
-                         n, k);
+        // dA[m,k] += dC[m,n] * B[k,n]^T
+        gemm::GemmNT(m, k, n, self.grad.data(), pb->data.data(),
+                     pa->grad.data());
       }
       if (pb->requires_grad) {
         pb->EnsureGrad();
-        // dB = A^T * dC
-        GemmAccumulateAT(pa->data.data(), self.grad.data(), pb->grad.data(), m,
-                         k, n);
+        // dB[k,n] += A[m,k]^T * dC[m,n]
+        gemm::GemmTN(k, n, m, pa->data.data(), self.grad.data(),
+                     pb->grad.data());
       }
     };
   }
@@ -302,26 +255,49 @@ Tensor BatchMatMul(const Tensor& a, const Tensor& b) {
   DADER_CHECK_EQ(a.dim(2), b.dim(1));
   const int64_t bsz = a.dim(0), m = a.dim(1), k = a.dim(2), n = b.dim(2);
   auto out = MakeOpNode({bsz, m, n}, {a.impl(), b.impl()});
-  for (int64_t i = 0; i < bsz; ++i) {
-    GemmAccumulate(a.data() + i * m * k, b.data() + i * k * n,
-                   out->data.data() + i * m * n, m, k, n);
-  }
+  gemm::BatchGemmNN(bsz, m, n, k, a.data(), b.data(), out->data.data());
   if (out->requires_grad) {
     ImplPtr pa = a.impl(), pb = b.impl();
     out->backward_fn = [pa, pb, bsz, m, k, n](const TensorImpl& self) {
-      for (int64_t i = 0; i < bsz; ++i) {
-        if (pa->requires_grad) {
-          pa->EnsureGrad();
-          GemmAccumulateBT(self.grad.data() + i * m * n,
-                           pb->data.data() + i * k * n,
-                           pa->grad.data() + i * m * k, m, n, k);
-        }
-        if (pb->requires_grad) {
-          pb->EnsureGrad();
-          GemmAccumulateAT(pa->data.data() + i * m * k,
-                           self.grad.data() + i * m * n,
-                           pb->grad.data() + i * k * n, m, k, n);
-        }
+      if (pa->requires_grad) {
+        pa->EnsureGrad();
+        // dA[i] += dC[i] * B[i]^T
+        gemm::BatchGemmNT(bsz, m, k, n, self.grad.data(), pb->data.data(),
+                          pa->grad.data());
+      }
+      if (pb->requires_grad) {
+        pb->EnsureGrad();
+        // dB[i] += A[i]^T * dC[i]
+        gemm::BatchGemmTN(bsz, k, n, m, pa->data.data(), self.grad.data(),
+                          pb->grad.data());
+      }
+    };
+  }
+  return Tensor::Wrap(std::move(out));
+}
+
+Tensor BatchMatMulNT(const Tensor& a, const Tensor& b) {
+  DADER_CHECK_EQ(a.rank(), 3u);
+  DADER_CHECK_EQ(b.rank(), 3u);
+  DADER_CHECK_EQ(a.dim(0), b.dim(0));
+  DADER_CHECK_EQ(a.dim(2), b.dim(2));
+  const int64_t bsz = a.dim(0), m = a.dim(1), k = a.dim(2), n = b.dim(1);
+  auto out = MakeOpNode({bsz, m, n}, {a.impl(), b.impl()});
+  gemm::BatchGemmNT(bsz, m, n, k, a.data(), b.data(), out->data.data());
+  if (out->requires_grad) {
+    ImplPtr pa = a.impl(), pb = b.impl();
+    out->backward_fn = [pa, pb, bsz, m, k, n](const TensorImpl& self) {
+      if (pa->requires_grad) {
+        pa->EnsureGrad();
+        // dA[i][m,k] += dC[i][m,n] * B[i][n,k]
+        gemm::BatchGemmNN(bsz, m, k, n, self.grad.data(), pb->data.data(),
+                          pa->grad.data());
+      }
+      if (pb->requires_grad) {
+        pb->EnsureGrad();
+        // dB[i][n,k] += dC[i][m,n]^T * A[i][m,k]
+        gemm::BatchGemmTN(bsz, n, k, m, self.grad.data(), pa->data.data(),
+                          pb->grad.data());
       }
     };
   }

@@ -62,6 +62,11 @@ Tensor MatMul(const Tensor& a, const Tensor& b);
 /// \brief [B,m,k] x [B,k,n] -> [B,m,n].
 Tensor BatchMatMul(const Tensor& a, const Tensor& b);
 
+/// \brief [B,m,k] x [B,n,k] -> [B,m,n], i.e. a · bᵀ per batch element
+/// without materializing the transpose. Attention scores (q · kᵀ) use this;
+/// the transposition happens inside the GEMM packing (see tensor/gemm.h).
+Tensor BatchMatMulNT(const Tensor& a, const Tensor& b);
+
 // ---------------------------------------------------------------------------
 // Shape manipulation
 // ---------------------------------------------------------------------------

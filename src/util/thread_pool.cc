@@ -7,6 +7,14 @@
 
 namespace dader {
 
+namespace {
+// Set for the lifetime of WorkerLoop; never reset (workers exit by
+// returning from the loop, and the thread ends with it).
+thread_local bool t_in_pool_worker = false;
+}  // namespace
+
+bool ThreadPool::InWorkerThread() { return t_in_pool_worker; }
+
 ThreadPool::ThreadPool(size_t num_threads) {
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::Default();
   m_tasks_ = metrics.GetCounter("threadpool.tasks.total",
@@ -72,6 +80,7 @@ std::string ThreadPool::last_exception() const {
 
 void ThreadPool::WorkerLoop() {
   using Clock = std::chrono::steady_clock;
+  t_in_pool_worker = true;
   for (;;) {
     Task task;
     {
@@ -123,7 +132,7 @@ ThreadPool* ThreadPool::Global() {
 void ParallelFor(size_t n, const std::function<void(size_t)>& fn, size_t grain) {
   ThreadPool* pool = ThreadPool::Global();
   const size_t workers = pool->num_threads();
-  if (workers <= 1 || n <= grain) {
+  if (workers <= 1 || n <= grain || ThreadPool::InWorkerThread()) {
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
@@ -138,6 +147,45 @@ void ParallelFor(size_t n, const std::function<void(size_t)>& fn, size_t grain) 
     });
   }
   pool->Wait();
+}
+
+void ParallelChunks(ThreadPool* pool, size_t chunks,
+                    const std::function<void(size_t)>& fn) {
+  if (chunks == 0) return;
+  if (pool == nullptr || pool->num_threads() <= 1 || chunks == 1 ||
+      ThreadPool::InWorkerThread()) {
+    for (size_t c = 0; c < chunks; ++c) fn(c);
+    return;
+  }
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t remaining = chunks;
+  // Decrements on scope exit so a throwing fn still counts as done (the
+  // exception itself propagates to the pool's containment in WorkerLoop).
+  // The notify happens under the lock: mu/cv live on the caller's stack,
+  // and an unlocked notify could touch the cv after the caller has already
+  // observed remaining == 0 and destroyed it.
+  struct Countdown {
+    std::mutex* mu;
+    std::condition_variable* cv;
+    size_t* remaining;
+    ~Countdown() {
+      std::lock_guard<std::mutex> lock(*mu);
+      if (--*remaining == 0) cv->notify_one();
+    }
+  };
+  for (size_t c = 0; c < chunks; ++c) {
+    const bool submitted = pool->Submit([&mu, &cv, &remaining, &fn, c] {
+      Countdown done{&mu, &cv, &remaining};
+      fn(c);
+    });
+    if (!submitted) {  // pool shut down mid-stream: finish inline
+      Countdown done{&mu, &cv, &remaining};
+      fn(c);
+    }
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&remaining] { return remaining == 0; });
 }
 
 }  // namespace dader

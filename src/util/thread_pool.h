@@ -60,6 +60,13 @@ class ThreadPool {
   /// \brief Process-wide default pool, sized to the hardware.
   static ThreadPool* Global();
 
+  /// \brief True when the calling thread is a worker of any ThreadPool.
+  /// Library code that parallelizes internally (e.g. the GEMM layer) checks
+  /// this and runs serially instead of blocking on nested parallel work: a
+  /// Wait issued from inside a worker can never finish, because the waiting
+  /// task itself counts as in flight.
+  static bool InWorkerThread();
+
  private:
   // A queued task plus its enqueue time (feeds threadpool.task.wait_ms).
   struct Task {
@@ -88,9 +95,22 @@ class ThreadPool {
 };
 
 /// \brief Runs fn(i) for i in [0, n), splitting the range across the global
-/// pool in contiguous chunks. Runs inline when the pool has one thread or
-/// the range is tiny. `fn` must be safe to call concurrently on disjoint i.
+/// pool in contiguous chunks. Runs inline when the pool has one thread, the
+/// range is tiny, or the caller is itself a pool worker. `fn` must be safe
+/// to call concurrently on disjoint i.
 void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
                  size_t grain = 1);
+
+/// \brief Runs fn(c) for every c in [0, chunks) on `pool` and blocks until
+/// all of those calls (and only those) have finished. Unlike Submit+Wait,
+/// completion is tracked by a per-call countdown, so concurrent callers
+/// sharing one pool never wait on each other's tasks and a saturated pool
+/// cannot livelock a waiter. Runs inline — plain serial loop, no
+/// synchronization — when `pool` is null, single-threaded, shut down, or
+/// when the caller is already a pool worker (see InWorkerThread). A task
+/// that throws still counts as completed (the pool contains and records the
+/// exception).
+void ParallelChunks(ThreadPool* pool, size_t chunks,
+                    const std::function<void(size_t)>& fn);
 
 }  // namespace dader

@@ -1,0 +1,63 @@
+// Release-mode performance guard for the blocked GEMM layer.
+//
+// Asserts that the cache-blocked kernel is not slower than the naive
+// triple loop at the canonical 256x256x256 size. The assertion is armed
+// only when CMake defines DADER_PERF_ENFORCE (Release build, no
+// sanitizers); in Debug or sanitizer builds timing comparisons are
+// meaningless, so the test skips. Run with `ctest -L perf`.
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "tensor/gemm.h"
+
+namespace dader {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double BestOfMs(int reps, const std::function<void()>& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = Clock::now();
+    fn();
+    const std::chrono::duration<double, std::milli> ms = Clock::now() - t0;
+    if (ms.count() < best) best = ms.count();
+  }
+  return best;
+}
+
+TEST(GemmPerfSmoke, BlockedNotSlowerThanNaiveAt256) {
+#ifndef DADER_PERF_ENFORCE
+  GTEST_SKIP() << "perf enforcement requires a Release, sanitizer-free build";
+#else
+  const int64_t n = 256;
+  std::mt19937 rng(42);
+  std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+  std::vector<float> a(static_cast<size_t>(n * n)), b(a), c(a.size(), 0.0f);
+  for (auto& x : a) x = dist(rng);
+  for (auto& x : b) x = dist(rng);
+
+  // Best-of-5 to shrug off scheduler noise; single-thread on both sides.
+  const double naive_ms = BestOfMs(5, [&] {
+    gemm::NaiveGemmNN(n, n, n, a.data(), b.data(), c.data());
+  });
+  const double blocked_ms = BestOfMs(5, [&] {
+    gemm::GemmNN(n, n, n, a.data(), b.data(), c.data());
+  });
+
+  RecordProperty("naive_ms", std::to_string(naive_ms));
+  RecordProperty("blocked_ms", std::to_string(blocked_ms));
+  EXPECT_LE(blocked_ms, naive_ms)
+      << "blocked GEMM regressed below the naive baseline at 256^3: "
+      << blocked_ms << "ms vs " << naive_ms << "ms";
+#endif
+}
+
+}  // namespace
+}  // namespace dader

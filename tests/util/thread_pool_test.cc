@@ -5,6 +5,8 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
+#include <vector>
 
 namespace dader {
 namespace {
@@ -103,6 +105,82 @@ TEST(ParallelForTest, RespectsGrainInline) {
   int count = 0;
   ParallelFor(4, [&count](size_t) { ++count; }, /*grain=*/8);
   EXPECT_EQ(count, 4);
+}
+
+TEST(InWorkerThreadTest, FalseOnCallerTrueInsideWorker) {
+  EXPECT_FALSE(ThreadPool::InWorkerThread());
+  ThreadPool pool(2);
+  std::atomic<bool> inside{false};
+  pool.Submit([&inside] { inside = ThreadPool::InWorkerThread(); });
+  pool.Wait();
+  EXPECT_TRUE(inside.load());
+  EXPECT_FALSE(ThreadPool::InWorkerThread());  // caller flag untouched
+}
+
+TEST(ParallelChunksTest, EachChunkExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  ParallelChunks(&pool, hits.size(),
+                 [&hits](size_t c) { hits[c].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelChunksTest, InlineWhenPoolNullOrSingleThreaded) {
+  std::vector<int> hits(8, 0);
+  ParallelChunks(nullptr, hits.size(), [&hits](size_t c) { hits[c] += 1; });
+  ThreadPool pool1(1);
+  ParallelChunks(&pool1, hits.size(), [&hits](size_t c) { hits[c] += 1; });
+  for (int h : hits) EXPECT_EQ(h, 2);
+}
+
+TEST(ParallelChunksTest, ZeroChunksReturnsImmediately) {
+  ThreadPool pool(2);
+  ParallelChunks(&pool, 0, [](size_t) { FAIL() << "must not be called"; });
+}
+
+// The GEMM layer calls ParallelChunks from code that may itself already be
+// running on a pool worker (e.g. serving handler -> forward pass). A nested
+// call must run inline instead of waiting on the pool — waiting from inside
+// a worker would deadlock.
+TEST(ParallelChunksTest, NestedCallFromWorkerRunsInline) {
+  ThreadPool pool(2);
+  std::atomic<int> inner{0};
+  std::atomic<bool> done{false};
+  pool.Submit([&] {
+    ParallelChunks(&pool, 16, [&inner](size_t) { inner.fetch_add(1); });
+    done = true;
+  });
+  pool.Wait();
+  EXPECT_TRUE(done.load());
+  EXPECT_EQ(inner.load(), 16);
+}
+
+// Two threads issuing ParallelChunks on the same pool concurrently must not
+// wait on each other's chunks (per-call countdown, not a global Wait).
+TEST(ParallelChunksTest, ConcurrentCallersComplete) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  std::vector<std::thread> callers;
+  for (int t = 0; t < 4; ++t) {
+    callers.emplace_back([&pool, &total] {
+      ParallelChunks(&pool, 32, [&total](size_t) { total.fetch_add(1); });
+    });
+  }
+  for (auto& th : callers) th.join();
+  EXPECT_EQ(total.load(), 4 * 32);
+}
+
+TEST(ParallelChunksTest, ThrowingChunkStillCounted) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  // Must return (not hang) even though one chunk throws; the pool's
+  // exception containment records it.
+  ParallelChunks(&pool, 8, [&ran](size_t c) {
+    if (c == 3) throw std::runtime_error("chunk boom");
+    ran.fetch_add(1);
+  });
+  EXPECT_EQ(ran.load(), 7);
+  EXPECT_GE(pool.exception_count(), 1u);
 }
 
 }  // namespace
