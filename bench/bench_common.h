@@ -25,6 +25,7 @@ struct BenchEnv {
   std::string csv_path;   ///< machine-readable copy of the report
   std::string metrics_jsonl_path;  ///< metrics registry dump (empty = none)
   std::string trace_jsonl_path;    ///< trace span dump (empty = none)
+  std::string json_path;  ///< structured results JSON (empty = none)
   uint64_t seed = 42;
 };
 
@@ -47,6 +48,9 @@ inline BenchEnv ParseBenchArgs(int argc, char** argv,
                      "trace span JSONL dump path (empty = none)");
   flags.DefineString("trace_clock", "wall",
                      "trace timestamp source: wall|logical");
+  flags.DefineString("json", "",
+                     "structured results JSON path (empty = none; e.g. "
+                     "bench_serving writes BENCH_serving.json)");
   flags.DefineInt("seed", 42, "base seed");
   Status st = flags.Parse(argc, argv);
   if (!st.ok()) {
@@ -58,6 +62,7 @@ inline BenchEnv ParseBenchArgs(int argc, char** argv,
   env.csv_path = flags.GetString("csv");
   env.metrics_jsonl_path = flags.GetString("metrics_jsonl");
   env.trace_jsonl_path = flags.GetString("trace_jsonl");
+  env.json_path = flags.GetString("json");
   env.seed = static_cast<uint64_t>(flags.GetInt("seed"));
   const std::string clock = flags.GetString("trace_clock");
   if (clock == "logical") {

@@ -1,19 +1,27 @@
 // Serving bench: throughput, latency percentiles, and overload behavior of
 // the fault-tolerant MatchService.
 //
-// Three experiments:
+// Five experiments:
 //   1. closed-loop throughput/latency vs max_batch (batching is the
 //      single-core throughput lever)
 //   2. open-loop overload: offered load above capacity must be shed by the
 //      bounded queue, never queued unboundedly (goodput stays flat, shed
 //      rate absorbs the excess)
 //   3. degraded-path cost: primary LM vs RNN fallback vs heuristic
+//   4. shard-count x feature-cache sweep on a repeat-heavy stream — the
+//      numbers behind the >= 2x guard in tests/perf/serving_perf_test.cc
+//   5. bursty arrivals against the adaptive batch-cap controller: the cap
+//      must grow under the bursts and hold still (converge) once the
+//      arrival pattern stabilizes
 //
 // At exit the process-wide metrics registry is dumped (Prometheus text
 // format); --metrics_jsonl=path additionally writes the JSON-lines export
-// (see docs/OBSERVABILITY.md).
+// (see docs/OBSERVABILITY.md). --json=BENCH_serving.json writes the
+// sweep + adaptive results as structured JSON (the checked-in
+// BENCH_serving.json is this file at the default smoke scale).
 //
 //   ./bench_serving [--scale=smoke|small|full] [--csv=serving.csv]
+//                   [--json=BENCH_serving.json]
 //                   [--metrics_jsonl=serving_metrics.jsonl]
 
 #include <algorithm>
@@ -24,6 +32,7 @@
 #include "obs/metrics.h"
 #include "util/fault.h"
 #include "serve/match_service.h"
+#include "serve/sharded_service.h"
 
 using namespace dader;
 
@@ -60,6 +69,25 @@ std::vector<serve::MatchRequest> MakeRequests(int n, Rng* rng) {
     request.b = data::Record(
         {"product item " + std::to_string(rng->NextDouble() < 0.5 ? id : id + 1),
          "10"});
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+// Repeat-heavy stream: `n` requests drawn from a small pool of unique
+// pairs — the shape of a matcher sitting behind a blocking stage that
+// keeps surfacing the same candidates. This is the workload the feature
+// cache is for.
+std::vector<serve::MatchRequest> MakeRepeatHeavyRequests(int n, int unique,
+                                                         Rng* rng) {
+  std::vector<serve::MatchRequest> requests;
+  requests.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    const int id = static_cast<int>(rng->NextInt(0, unique));
+    serve::MatchRequest request;
+    request.a = data::Record(
+        {"catalog entry " + std::to_string(id) + " deluxe", "10"});
+    request.b = data::Record({"catalog entry " + std::to_string(id), "10"});
     requests.push_back(std::move(request));
   }
   return requests;
@@ -209,6 +237,177 @@ int main(int argc, char** argv) {
                 std::to_string(lat.size()), "0", std::to_string(degraded),
                 StrFormat("%.1f", rps), StrFormat("%.3f", p50),
                 StrFormat("%.3f", Percentile(lat, 0.95))});
+  }
+
+  // -- 4. shard-count x feature-cache sweep ---------------------------------
+  // Closed loop over a repeat-heavy stream. On a single core the parallel
+  // shard forwards cannot add throughput; the win in the cached columns is
+  // the feature cache skipping the extractor on repeats. Decisions are
+  // bit-identical down every column (see ShardedMatchServiceTest).
+  // The sweep has its own request floor: splitting a smoke-sized stream
+  // four ways starves every shard's batcher and measures fixed costs, not
+  // steady-state throughput.
+  const int kSweepRequests = std::max(512, kRequests);
+  std::printf("\n== 4. shard-count x feature-cache sweep (%d requests, "
+              "repeat-heavy) ==\n", kSweepRequests);
+  std::printf("%-8s %-7s %12s %10s %10s %10s\n", "shards", "cache", "rps",
+              "p50 ms", "p95 ms", "hit rate");
+  struct SweepPoint {
+    int shards;
+    bool cache;
+    double rps, p50, p95, hit_ratio;
+    int64_t hits;
+  };
+  std::vector<SweepPoint> sweep;
+  {
+    Rng sweep_rng(env.seed + 400);
+    const std::vector<serve::MatchRequest> stream =
+        MakeRepeatHeavyRequests(kSweepRequests, /*unique=*/16, &sweep_rng);
+    for (int shards : {1, 2, 4}) {
+      for (bool cache : {false, true}) {
+        serve::ShardedServeConfig config;
+        config.num_shards = shards;
+        config.shard.queue_capacity = static_cast<size_t>(kSweepRequests);
+        config.shard.max_batch = 8;
+        config.shard.batch_wait_ms = 0.2;
+        config.shard.default_deadline_ms = 60000.0;
+        config.shard.seed = env.seed;
+        config.shard.feature_cache_capacity = cache ? 256 : 0;
+        data::Schema schema({"title", "price"});
+        auto service_or = serve::ShardedMatchService::Create(
+            config, schema, schema,
+            MakeModel(core::ExtractorKind::kLM, env.seed));
+        if (!service_or.ok()) {
+          std::fprintf(stderr, "shard sweep setup failed: %s\n",
+                       service_or.status().ToString().c_str());
+          return 1;
+        }
+        auto service = std::move(service_or).ValueOrDie();
+        Stopwatch timer;
+        const std::vector<serve::MatchResponse> responses =
+            service->MatchBatch(stream);
+        const double elapsed_s = timer.ElapsedSeconds();
+        std::vector<double> lat;
+        for (const auto& r : responses) {
+          if (r.status.ok()) lat.push_back(r.total_ms);
+        }
+        const serve::ServeStats stats = service->stats();
+        const int64_t lookups = stats.cache_hits + stats.cache_misses;
+        SweepPoint point;
+        point.shards = shards;
+        point.cache = cache;
+        point.rps = lat.size() / elapsed_s;
+        point.p50 = Percentile(lat, 0.5);
+        point.p95 = Percentile(lat, 0.95);
+        point.hits = stats.cache_hits;
+        point.hit_ratio =
+            lookups > 0 ? static_cast<double>(stats.cache_hits) / lookups : 0.0;
+        sweep.push_back(point);
+        service->Stop();
+        std::printf("%-8d %-7s %12.1f %10.2f %10.2f %9.0f%%\n", shards,
+                    cache ? "on" : "off", point.rps, point.p50, point.p95,
+                    point.hit_ratio * 100.0);
+        csv.AddRow({"shard_sweep",
+                    StrFormat("shards=%d cache=%s", shards,
+                              cache ? "on" : "off"),
+                    std::to_string(kSweepRequests), std::to_string(lat.size()), "0",
+                    "0", StrFormat("%.1f", point.rps),
+                    StrFormat("%.3f", point.p50),
+                    StrFormat("%.3f", point.p95)});
+      }
+    }
+  }
+  double speedup_4shard = 0.0;
+  for (const SweepPoint& p : sweep) {
+    if (p.shards == 4 && p.cache) speedup_4shard = p.rps / sweep[0].rps;
+  }
+  std::printf("4-shard cached vs 1-shard uncached: %.2fx\n", speedup_4shard);
+
+  // -- 5. bursty arrivals vs the adaptive batch cap -------------------------
+  // Open-loop bursts create queue pressure (cap should grow), then a calm
+  // closed-loop tail where the controller must hold the cap still. The
+  // convergence flag is the acceptance criterion: caps recorded over the
+  // final phase must not change.
+  std::printf("\n== 5. adaptive batch cap under bursty arrivals ==\n");
+  std::vector<int64_t> cap_trajectory;
+  int64_t adaptive_grows = 0, adaptive_shrinks = 0;
+  bool adaptive_converged = false;
+  {
+    Rng burst_rng(env.seed + 500);
+    serve::ServeConfig config;
+    config.queue_capacity = static_cast<size_t>(kRequests * 4);
+    config.max_batch = 2;  // start small: the bursts must earn the growth
+    config.batch_wait_ms = 0.2;
+    config.default_deadline_ms = 60000.0;
+    config.seed = env.seed;
+    config.adaptive.enabled = true;
+    config.adaptive.min_batch = 1;
+    config.adaptive.max_batch = 32;
+    config.adaptive.window = 4;
+    data::Schema schema({"title", "price"});
+    serve::MatchService service(config, schema, schema,
+                                MakeModel(core::ExtractorKind::kLM, env.seed));
+    cap_trajectory.push_back(service.batch_cap());
+    const int bursts = 6;
+    for (int b = 0; b < bursts; ++b) {
+      std::vector<std::future<serve::MatchResponse>> futures;
+      for (auto& request : MakeRequests(kRequests, &burst_rng)) {
+        futures.push_back(service.SubmitAsync(std::move(request)));
+      }
+      for (auto& f : futures) f.get();
+      cap_trajectory.push_back(service.batch_cap());
+    }
+    // Calm tail: single-request trickle, window means fall inside the
+    // dead band, the cap must not move.
+    const int64_t cap_before_tail = service.batch_cap();
+    for (int i = 0; i < 32; ++i) {
+      service.Match(MakeRequests(1, &burst_rng)[0]);
+    }
+    cap_trajectory.push_back(service.batch_cap());
+    adaptive_converged = service.batch_cap() == cap_before_tail;
+    adaptive_grows = service.batch_controller().grows();
+    adaptive_shrinks = service.batch_controller().shrinks();
+    std::printf("cap trajectory:");
+    for (int64_t cap : cap_trajectory) {
+      std::printf(" %lld", static_cast<long long>(cap));
+    }
+    std::printf("\ngrows=%lld shrinks=%lld converged=%s\n",
+                static_cast<long long>(adaptive_grows),
+                static_cast<long long>(adaptive_shrinks),
+                adaptive_converged ? "yes" : "no");
+  }
+
+  if (!env.json_path.empty()) {
+    std::string json = "{\n  \"sweep\": [\n";
+    for (size_t i = 0; i < sweep.size(); ++i) {
+      const SweepPoint& p = sweep[i];
+      json += StrFormat(
+          "    {\"shards\": %d, \"cache\": %s, \"requests\": %d, "
+          "\"rps\": %.1f, \"p50_ms\": %.3f, \"p95_ms\": %.3f, "
+          "\"cache_hits\": %lld, \"cache_hit_ratio\": %.3f}%s\n",
+          p.shards, p.cache ? "true" : "false", kSweepRequests, p.rps, p.p50, p.p95,
+          static_cast<long long>(p.hits), p.hit_ratio,
+          i + 1 < sweep.size() ? "," : "");
+    }
+    json += StrFormat(
+        "  ],\n  \"speedup_4shard_cached_vs_1shard_uncached\": %.2f,\n",
+        speedup_4shard);
+    json += "  \"adaptive\": {\"cap_trajectory\": [";
+    for (size_t i = 0; i < cap_trajectory.size(); ++i) {
+      json += StrFormat("%s%lld", i ? ", " : "",
+                        static_cast<long long>(cap_trajectory[i]));
+    }
+    json += StrFormat(
+        "], \"grows\": %lld, \"shrinks\": %lld, \"converged\": %s}\n}\n",
+        static_cast<long long>(adaptive_grows),
+        static_cast<long long>(adaptive_shrinks),
+        adaptive_converged ? "true" : "false");
+    std::string error;
+    if (obs::WriteTextFile(env.json_path, json, &error)) {
+      std::printf("[json written to %s]\n", env.json_path.c_str());
+    } else {
+      std::fprintf(stderr, "json write failed: %s\n", error.c_str());
+    }
   }
 
   csv.WriteIfRequested(env.csv_path);

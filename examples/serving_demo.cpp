@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/guard.h"
+#include "obs/http_exporter.h"
 #include "obs/metrics.h"
 #include "serve/match_service.h"
 #include "util/fault.h"
@@ -76,12 +77,26 @@ void PrintResponse(const char* tag, const serve::MatchResponse& r) {
 int main(int argc, char** argv) {
   FlagParser flags;
   flags.DefineInt("seed", 42, "model + serving seed");
+  flags.DefineInt("metrics_port",
+                  0, "serve GET /metrics on 127.0.0.1:<port> while the demo "
+                     "runs (0 = disabled; any other taken port fails)");
   Status st = flags.Parse(argc, argv);
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n%s", st.ToString().c_str(), flags.Help().c_str());
     return 1;
   }
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed"));
+
+  obs::HttpMetricsExporter exporter;
+  if (flags.GetInt("metrics_port") != 0) {
+    st = exporter.Start(static_cast<int>(flags.GetInt("metrics_port")));
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("scrape endpoint: http://127.0.0.1:%d/metrics\n\n",
+                exporter.port());
+  }
 
   FaultInjector fault;
   serve::ServeConfig config;

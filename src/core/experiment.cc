@@ -89,6 +89,19 @@ Result<DaModel> BuildModel(ExtractorKind kind, const ExperimentScale& scale,
   return model;
 }
 
+Result<DaModel> CloneModel(const DaModel& model, uint64_t seed) {
+  if (!model.extractor || !model.matcher) {
+    return Status::InvalidArgument("CloneModel requires a built model");
+  }
+  DaModel clone;
+  clone.extractor = model.extractor->CloneArchitecture(seed);
+  DADER_RETURN_NOT_OK(clone.extractor->CopyWeightsFrom(*model.extractor));
+  clone.matcher = std::make_unique<Matcher>(model.extractor->feature_dim(),
+                                            seed ^ 0x3aULL);
+  DADER_RETURN_NOT_OK(clone.matcher->CopyWeightsFrom(*model.matcher));
+  return clone;
+}
+
 Result<DaRunOutcome> RunSingleDa(AlignMethod method,
                                  const ExperimentScale& scale,
                                  const DaTask& task, DaModel* model,

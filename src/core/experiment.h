@@ -42,6 +42,14 @@ struct DaModel {
 Result<DaModel> BuildModel(ExtractorKind kind, const ExperimentScale& scale,
                            bool pretrained, uint64_t seed);
 
+/// \brief Deep-copies a loaded model: clones the architecture and copies
+/// every parameter tensor, so the replica's outputs are bit-identical to
+/// the original's. Used by sharded serving to stamp out per-shard replicas
+/// from one loaded checkpoint. `seed` only decorrelates any future
+/// stochastic use of the replica (dropout seeds); it does not affect the
+/// copied weights.
+Result<DaModel> CloneModel(const DaModel& model, uint64_t seed);
+
 /// \brief Result of one seeded DA run.
 struct DaRunOutcome {
   TrainResult train;

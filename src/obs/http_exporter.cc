@@ -1,0 +1,120 @@
+#include "obs/http_exporter.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace dader::obs {
+
+namespace {
+
+// Blocking full-buffer send; a scrape body is small enough that partial
+// writes are the only case worth handling.
+void SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return;  // peer went away; nothing useful to do
+    sent += static_cast<size_t>(n);
+  }
+}
+
+std::string HttpResponse(const std::string& status_line,
+                         const std::string& content_type,
+                         const std::string& body) {
+  return "HTTP/1.1 " + status_line +
+         "\r\nContent-Type: " + content_type +
+         "\r\nContent-Length: " + std::to_string(body.size()) +
+         "\r\nConnection: close\r\n\r\n" + body;
+}
+
+}  // namespace
+
+HttpMetricsExporter::~HttpMetricsExporter() { Stop(); }
+
+Status HttpMetricsExporter::Start(int port) {
+  if (running_.load()) {
+    return Status::InvalidArgument("metrics exporter already running");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IOError("socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::IOError("bind to 127.0.0.1:" + std::to_string(port) +
+                           " failed");
+  }
+  if (::listen(fd, 16) != 0) {
+    ::close(fd);
+    return Status::IOError("listen failed");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
+    return Status::IOError("getsockname failed");
+  }
+  port_ = static_cast<int>(ntohs(addr.sin_port));
+  listen_fd_ = fd;
+  running_.store(true);
+  // The loop gets its own copy of the fd: the thread must never read the
+  // member, which Stop() rewrites from another thread.
+  thread_ = std::thread([this, fd] { AcceptLoop(fd); });
+  DADER_LOG(Info) << "metrics exporter listening on http://127.0.0.1:"
+                  << port_ << "/metrics";
+  return Status::OK();
+}
+
+void HttpMetricsExporter::Stop() {
+  bool expected = true;
+  if (!running_.compare_exchange_strong(expected, false)) return;
+  // shutdown() unblocks the accept() in flight; close() releases the port.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (thread_.joinable()) thread_.join();
+  listen_fd_ = -1;  // after the join: the loop holds its own fd copy anyway
+}
+
+void HttpMetricsExporter::AcceptLoop(int listen_fd) {
+  while (running_.load()) {
+    const int client = ::accept(listen_fd, nullptr, nullptr);
+    if (client < 0) {
+      if (!running_.load()) return;  // Stop() closed the socket
+      continue;                      // transient (EINTR etc.)
+    }
+    // Read at most one small request head; we only need the request line.
+    char buf[2048];
+    const ssize_t n = ::recv(client, buf, sizeof(buf) - 1, 0);
+    std::string head(buf, n > 0 ? static_cast<size_t>(n) : 0);
+    const bool is_get = head.rfind("GET ", 0) == 0;
+    const size_t path_end = head.find(' ', 4);
+    const std::string path =
+        is_get && path_end != std::string::npos ? head.substr(4, path_end - 4)
+                                                : "";
+    if (is_get && path == "/metrics") {
+      SendAll(client,
+              HttpResponse("200 OK", "text/plain; version=0.0.4",
+                           MetricsRegistry::Default().ScrapeText()));
+    } else {
+      SendAll(client, HttpResponse("404 Not Found", "text/plain",
+                                   "only GET /metrics is served\n"));
+    }
+    ::close(client);
+  }
+}
+
+}  // namespace dader::obs

@@ -1,0 +1,57 @@
+// Minimal embedded HTTP listener serving the Prometheus text scrape.
+//
+// One background thread accepts loopback connections and answers
+// `GET /metrics` with MetricsRegistry::Default().ScrapeText(); every other
+// path is a 404. This is deliberately not a web server: one request per
+// connection, no keep-alive, no TLS, bounded request read — just enough
+// protocol for `curl http://127.0.0.1:<port>/metrics` and a Prometheus
+// scrape job. Binds 127.0.0.1 only; exposing process metrics beyond the
+// host is a deployment decision this layer refuses to make.
+//
+// Lifecycle: Start() binds + spawns the accept loop (port 0 picks an
+// ephemeral port, see port()); Stop() closes the listen socket, which
+// unblocks accept(), and joins the thread. Stop() is idempotent and runs
+// in the destructor.
+
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+#include "util/status.h"
+
+namespace dader::obs {
+
+/// \brief Background /metrics HTTP endpoint (see file comment).
+class HttpMetricsExporter {
+ public:
+  HttpMetricsExporter() = default;
+  ~HttpMetricsExporter();
+
+  HttpMetricsExporter(const HttpMetricsExporter&) = delete;
+  HttpMetricsExporter& operator=(const HttpMetricsExporter&) = delete;
+
+  /// \brief Binds 127.0.0.1:port (0 = ephemeral) and starts the accept
+  /// loop. Fails on bind errors or when already started.
+  Status Start(int port);
+
+  /// \brief Stops the accept loop and joins the thread. Idempotent.
+  void Stop();
+
+  /// \brief The bound port; meaningful after a successful Start().
+  int port() const { return port_; }
+  bool running() const { return running_.load(); }
+
+ private:
+  // Runs on thread_ with its own copy of the listen fd (the member is
+  // Stop()'s to rewrite).
+  void AcceptLoop(int listen_fd);
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace dader::obs

@@ -1,0 +1,102 @@
+#include "serve/adaptive_batch.h"
+
+#include <algorithm>
+#include <string>
+
+namespace dader::serve {
+
+namespace {
+
+std::string ShardLabel(const std::string& base, int shard) {
+  if (shard < 0) return base;
+  return obs::LabeledName(base, "shard", std::to_string(shard));
+}
+
+}  // namespace
+
+AdaptiveBatchController::AdaptiveBatchController(
+    const AdaptiveBatchConfig& config, int64_t initial_cap, int shard)
+    : config_(config),
+      cap_(std::clamp(initial_cap, std::max<int64_t>(1, config.min_batch),
+                      std::max<int64_t>(1, config.max_batch))) {
+  auto& reg = obs::MetricsRegistry::Default();
+  cap_gauge_ = reg.GetGauge(ShardLabel("serve.shard.batch_cap", shard),
+                            "Current adaptive batch cap of the shard",
+                            "requests");
+  grow_counter_ =
+      reg.GetCounter(ShardLabel("serve.shard.adapt.grow.total", shard),
+                     "Adaptive batch-cap doublings", "adjustments");
+  shrink_counter_ =
+      reg.GetCounter(ShardLabel("serve.shard.adapt.shrink.total", shard),
+                     "Adaptive batch-cap halvings", "adjustments");
+  if (!config_.enabled) cap_.store(initial_cap, std::memory_order_relaxed);
+  cap_gauge_->Set(static_cast<double>(cap()));
+}
+
+void AdaptiveBatchController::Observe(double queue_ms, double forward_ms,
+                                      int64_t batch_size) {
+  if (!config_.enabled) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  sum_queue_ms_ += queue_ms;
+  sum_forward_ms_ += forward_ms;
+  sum_batch_ += static_cast<double>(batch_size);
+  if (++samples_ < std::max(1, config_.window)) return;
+  const double inv = 1.0 / static_cast<double>(samples_);
+  DecideLocked(sum_queue_ms_ * inv, sum_forward_ms_ * inv, sum_batch_ * inv);
+  samples_ = 0;
+  sum_queue_ms_ = sum_forward_ms_ = sum_batch_ = 0.0;
+}
+
+void AdaptiveBatchController::DecideLocked(double mean_queue_ms,
+                                           double mean_forward_ms,
+                                           double mean_batch) {
+  if (cooldown_ > 0) {
+    // Refractory period: the previous adjustment must have a chance to
+    // show up in the signals before the next one, or grow/shrink would
+    // chase their own transient.
+    --cooldown_;
+    grow_streak_ = 0;
+    shrink_streak_ = 0;
+    return;
+  }
+  const int64_t cap = cap_.load(std::memory_order_relaxed);
+  const bool grow_signal =
+      mean_queue_ms >= config_.grow_queue_ms &&
+      mean_batch >=
+          config_.full_batch_fraction * static_cast<double>(cap) &&
+      cap < config_.max_batch;
+  const bool shrink_signal = mean_forward_ms >= config_.shrink_forward_ms &&
+                             mean_queue_ms <= config_.idle_queue_ms &&
+                             cap > config_.min_batch;
+  grow_streak_ = grow_signal ? grow_streak_ + 1 : 0;
+  shrink_streak_ = shrink_signal ? shrink_streak_ + 1 : 0;
+  if (grow_streak_ >= config_.hold_windows) {
+    cap_.store(std::min(cap * 2, config_.max_batch),
+               std::memory_order_relaxed);
+    ++grows_;
+    grow_counter_->Increment();
+    cap_gauge_->Set(static_cast<double>(this->cap()));
+    grow_streak_ = 0;
+    cooldown_ = config_.cooldown_windows;
+  } else if (shrink_streak_ >= config_.hold_windows) {
+    cap_.store(std::max(cap / 2, config_.min_batch),
+               std::memory_order_relaxed);
+    ++shrinks_;
+    shrink_counter_->Increment();
+    cap_gauge_->Set(static_cast<double>(this->cap()));
+    shrink_streak_ = 0;
+    cooldown_ = config_.cooldown_windows;
+  }
+}
+
+int64_t AdaptiveBatchController::grows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return grows_;
+}
+
+int64_t AdaptiveBatchController::shrinks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shrinks_;
+}
+
+}  // namespace dader::serve

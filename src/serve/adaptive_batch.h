@@ -1,0 +1,93 @@
+// Adaptive per-shard batch-cap controller.
+//
+// The static ServeConfig::max_batch is a compromise: too small and queue
+// wait dominates under load, too large and a single forward pass blows the
+// latency budget of everything it batched. This controller moves the cap
+// at runtime from the same signals the serve.latency.queue_ms /
+// serve.latency.forward_ms histograms record:
+//
+//   grow   (cap *= 2)  when the window-mean queue wait is high AND batches
+//                      are actually filling the current cap — queue
+//                      pressure that a bigger batch can drain;
+//   shrink (cap /= 2)  when the window-mean forward latency is high AND
+//                      the queue is near-idle — compute, not arrival rate,
+//                      dominates, so smaller batches cut tail latency.
+//
+// Oscillation is prevented by construction, not tuning luck:
+//   * a dead band between the grow and shrink conditions (high queue wait
+//     and idle queue cannot both hold);
+//   * decisions use window means of `window` batches, not single samples;
+//   * a condition must persist for `hold_windows` consecutive windows;
+//   * every adjustment starts a `cooldown_windows` refractory period.
+//
+// Threading: workers call Observe() after each batch and read cap() before
+// each dequeue. Observation/decision state is mutex-guarded; the cap itself
+// is an atomic so the hot-path read takes no lock. TSan-clean.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "obs/metrics.h"
+
+namespace dader::serve {
+
+/// \brief Tuning of the adaptive batch-cap controller.
+struct AdaptiveBatchConfig {
+  bool enabled = false;           ///< off = cap() stays at the initial value
+  int64_t min_batch = 1;          ///< lower clamp for shrink
+  int64_t max_batch = 128;        ///< upper clamp for grow
+  int window = 8;                 ///< batches averaged per decision window
+  double grow_queue_ms = 2.0;     ///< mean queue wait that signals pressure
+  double full_batch_fraction = 0.75;  ///< mean size/cap that counts as "full"
+  double shrink_forward_ms = 8.0; ///< mean forward latency that signals bloat
+  double idle_queue_ms = 0.5;     ///< mean queue wait that counts as idle
+  int hold_windows = 2;           ///< consecutive windows before acting
+  int cooldown_windows = 2;       ///< windows ignored after an adjustment
+};
+
+/// \brief Windowed hysteresis controller for one shard's batch cap.
+class AdaptiveBatchController {
+ public:
+  /// \param shard labels the serve.shard.batch_cap / serve.shard.adapt.*
+  ///   series; negative uses unlabeled shared series (unsharded service).
+  AdaptiveBatchController(const AdaptiveBatchConfig& config,
+                          int64_t initial_cap, int shard);
+
+  /// \brief Current batch cap; lock-free, read by workers per dequeue.
+  int64_t cap() const { return cap_.load(std::memory_order_relaxed); }
+
+  /// \brief Feeds one completed batch's signals; may adjust the cap at
+  /// window boundaries. No-op when the controller is disabled.
+  void Observe(double queue_ms, double forward_ms, int64_t batch_size);
+
+  int64_t grows() const;
+  int64_t shrinks() const;
+
+ private:
+  // Applies one window's means to the hysteresis state. Caller holds mu_.
+  void DecideLocked(double mean_queue_ms, double mean_forward_ms,
+                    double mean_batch);
+
+  const AdaptiveBatchConfig config_;
+  std::atomic<int64_t> cap_;
+
+  mutable std::mutex mu_;
+  int samples_ = 0;
+  double sum_queue_ms_ = 0.0;
+  double sum_forward_ms_ = 0.0;
+  double sum_batch_ = 0.0;
+  int grow_streak_ = 0;
+  int shrink_streak_ = 0;
+  int cooldown_ = 0;
+  int64_t grows_ = 0;
+  int64_t shrinks_ = 0;
+
+  obs::Gauge* cap_gauge_;
+  obs::Counter* grow_counter_;
+  obs::Counter* shrink_counter_;
+};
+
+}  // namespace dader::serve

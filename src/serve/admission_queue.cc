@@ -1,14 +1,28 @@
 #include "serve/admission_queue.h"
 
 #include <algorithm>
+#include <string>
 
 namespace dader::serve {
 
-AdmissionQueue::AdmissionQueue(size_t capacity)
-    : capacity_(capacity),
-      depth_gauge_(obs::MetricsRegistry::Default().GetGauge(
-          "serve.queue.depth", "Requests currently queued for batching",
-          "requests")) {}
+namespace {
+
+obs::Gauge* DepthGauge(int shard) {
+  auto& reg = obs::MetricsRegistry::Default();
+  if (shard < 0) {
+    return reg.GetGauge("serve.queue.depth",
+                        "Requests currently queued for batching", "requests");
+  }
+  return reg.GetGauge(
+      obs::LabeledName("serve.shard.queue.depth", "shard",
+                       std::to_string(shard)),
+      "Requests currently queued for batching on the shard", "requests");
+}
+
+}  // namespace
+
+AdmissionQueue::AdmissionQueue(size_t capacity, int shard)
+    : capacity_(capacity), depth_gauge_(DepthGauge(shard)) {}
 
 bool AdmissionQueue::TryPush(PendingRequest& req) {
   {

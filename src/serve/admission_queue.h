@@ -32,7 +32,10 @@ struct PendingRequest {
 /// \brief Thread-safe bounded MPMC queue with load shedding.
 class AdmissionQueue {
  public:
-  explicit AdmissionQueue(size_t capacity);
+  /// \param shard when non-negative, publishes depth to the per-shard
+  ///   serve.shard.queue.depth{shard=...} series instead of the shared
+  ///   serve.queue.depth.
+  explicit AdmissionQueue(size_t capacity, int shard = -1);
 
   /// \brief Enqueues; returns false (leaving `req` valid) when the queue is
   /// full or closed — the caller sheds the request.

@@ -1,0 +1,108 @@
+#include "serve/feature_cache.h"
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace dader::serve {
+
+namespace {
+
+// Process-wide cache metrics; all FeatureCache instances share the series
+// (same convention as serve.queue.depth — per-instance numbers live on the
+// accessors).
+struct CacheMetrics {
+  obs::Counter* hits;
+  obs::Counter* misses;
+  obs::Counter* evictions;
+  obs::Gauge* entries;
+};
+
+const CacheMetrics& Metrics() {
+  static const CacheMetrics metrics = [] {
+    auto& reg = obs::MetricsRegistry::Default();
+    CacheMetrics m;
+    m.hits = reg.GetCounter("serve.cache.hits.total",
+                            "Feature-cache lookups that skipped the extractor",
+                            "lookups");
+    m.misses = reg.GetCounter("serve.cache.misses.total",
+                              "Feature-cache lookups that ran the extractor",
+                              "lookups");
+    m.evictions = reg.GetCounter("serve.cache.evictions.total",
+                                 "LRU entries evicted to make room",
+                                 "entries");
+    m.entries = reg.GetGauge("serve.cache.entries",
+                             "Resident entries of the last-updated cache",
+                             "entries");
+    return m;
+  }();
+  return metrics;
+}
+
+}  // namespace
+
+FeatureCache::FeatureCache(size_t capacity) : capacity_(capacity) {
+  DADER_CHECK_GT(capacity, 0u);
+  Metrics();  // register the series before any worker touches them
+}
+
+std::optional<std::vector<float>> FeatureCache::Get(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    Metrics().misses->Increment();
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++hits_;
+  Metrics().hits->Increment();
+  return it->second->second;
+}
+
+void FeatureCache::Put(const std::string& key, std::vector<float> features) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = std::move(features);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (lru_.size() >= capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++evictions_;
+    Metrics().evictions->Increment();
+  }
+  lru_.emplace_front(key, std::move(features));
+  index_[key] = lru_.begin();
+  Metrics().entries->Set(static_cast<double>(lru_.size()));
+}
+
+void FeatureCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  Metrics().entries->Set(0.0);
+}
+
+size_t FeatureCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+int64_t FeatureCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+int64_t FeatureCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+int64_t FeatureCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+}  // namespace dader::serve

@@ -1,0 +1,69 @@
+// LRU cache of extractor features, keyed on the normalized tokenized pair.
+//
+// DADER's match probability is a pure function of the entity pair: the
+// encoder pads every pair to the same fixed max_len and the extractor's
+// per-pair feature row does not depend on what else shares the batch. That
+// makes the (pair -> feature row) mapping cacheable: on a hit the serving
+// path skips tokenization, encoding, and the full extractor forward — the
+// dominant cost — and only re-runs the tiny matcher head M on the cached
+// row. Entries are invalidated wholesale on hot reload (new weights mean
+// new features), which is why MatchService clears the cache inside the
+// same critical section that swaps the model.
+//
+// One cache per shard: the router pins a pair to its shard, so per-shard
+// caches see every repeat of "their" pairs while sharing no locks.
+//
+// Thread-safety: all operations take the internal mutex. Get() is a
+// copying read (a feature row is feature_dim floats) so the caller never
+// holds a reference into the cache.
+
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace dader::serve {
+
+/// \brief Thread-safe LRU map: pair key -> extractor feature row.
+class FeatureCache {
+ public:
+  /// \param capacity maximum resident entries; inserting past it evicts
+  ///   the least-recently-used entry. Must be positive.
+  explicit FeatureCache(size_t capacity);
+
+  /// \brief Returns a copy of the cached feature row and marks the entry
+  /// most-recently-used; nullopt on miss.
+  std::optional<std::vector<float>> Get(const std::string& key);
+
+  /// \brief Inserts (or refreshes) an entry, evicting the LRU entry when
+  /// at capacity.
+  void Put(const std::string& key, std::vector<float> features);
+
+  /// \brief Drops every entry (hot reload: old-weight features are stale).
+  void Clear();
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  int64_t hits() const;
+  int64_t misses() const;
+  int64_t evictions() const;
+
+ private:
+  using Entry = std::pair<std::string, std::vector<float>>;
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+  int64_t evictions_ = 0;
+};
+
+}  // namespace dader::serve

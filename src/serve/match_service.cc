@@ -10,6 +10,7 @@
 #include "obs/metrics.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
+#include "serve/router.h"
 #include "text/tokenizer.h"
 #include "util/fault.h"
 #include "util/logging.h"
@@ -159,10 +160,26 @@ MatchService::MatchService(ServeConfig config, data::Schema schema_a,
       primary_(std::move(primary)),
       fallback_(std::move(fallback)),
       canary_(BuildCanary(schema_a_, schema_b_)),
-      queue_(config_.queue_capacity),
+      cache_(config_.feature_cache_capacity > 0
+                 ? std::make_unique<FeatureCache>(
+                       config_.feature_cache_capacity)
+                 : nullptr),
+      adaptive_(config_.adaptive, std::max<int64_t>(1, config_.max_batch),
+                config_.shard_index),
+      queue_(config_.queue_capacity, config_.shard_index),
       breaker_(config_.breaker) {
   DADER_CHECK(primary_.extractor != nullptr);
   DADER_CHECK(primary_.matcher != nullptr);
+  if (config_.shard_index >= 0) {
+    auto& reg = obs::MetricsRegistry::Default();
+    const std::string shard = std::to_string(config_.shard_index);
+    shard_requests_ = reg.GetCounter(
+        obs::LabeledName("serve.shard.requests.total", "shard", shard),
+        "Requests admitted on the shard", "requests");
+    shard_degraded_ = reg.GetCounter(
+        obs::LabeledName("serve.shard.degraded.total", "shard", shard),
+        "Degraded OK responses served by the shard", "requests");
+  }
   primary_.extractor->SetTraining(false);
   primary_.matcher->SetTraining(false);
   if (fallback_ != nullptr) {
@@ -207,6 +224,7 @@ void MatchService::Respond(PendingRequest& pending, MatchResponse response) {
     if (response.degraded) {
       degraded_.fetch_add(1);
       Metrics().degraded->Increment();
+      if (shard_degraded_ != nullptr) shard_degraded_->Increment();
     }
   } else if (response.status.code() == StatusCode::kDeadlineExceeded) {
     deadline_expired_.fetch_add(1);
@@ -256,6 +274,7 @@ std::future<MatchResponse> MatchService::SubmitAsync(MatchRequest request) {
   }
   admitted_.fetch_add(1);
   Metrics().admitted->Increment();
+  if (shard_requests_ != nullptr) shard_requests_->Increment();
   return future;
 }
 
@@ -282,23 +301,78 @@ Result<std::vector<float>> MatchService::RunForward(
     int attempt, Rng* rng) {
   FaultInjector* fault = config_.fault;
   if (is_primary && fault != nullptr &&
-      fault->ShouldFire(FaultKind::kExtractorFault, batch_ordinal, attempt)) {
+      fault->ShouldFire(FaultKind::kExtractorFault, batch_ordinal, attempt,
+                        config_.shard_index)) {
     return Status::Unavailable("injected transient extractor fault");
   }
-  std::vector<size_t> indices(batch_data.size());
-  for (size_t i = 0; i < indices.size(); ++i) indices[i] = i;
-  const core::EncodedBatch encoded =
-      extractor->EncodePairs(batch_data, indices);
-  const Tensor features = extractor->Forward(encoded, rng).Detach();
+
+  const size_t n = batch_data.size();
+  const int64_t dim = extractor->feature_dim();
+  // Only the primary path may use the cache: fallback/canary extractors
+  // produce different feature spaces, and the caller already serializes
+  // primary forwards on model_mu_, which is what keeps cache contents
+  // coherent with the live weights.
+  FeatureCache* cache = is_primary ? cache_.get() : nullptr;
+  std::vector<std::string> keys;
+  std::vector<std::vector<float>> rows(n);
+  std::vector<size_t> miss_indices;
+  if (cache != nullptr) {
+    keys.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      const data::LabeledPair& pair = batch_data.pair(i);
+      keys.push_back(PairKey(pair.a, pair.b));
+      std::optional<std::vector<float>> hit = cache->Get(keys.back());
+      if (hit.has_value()) {
+        rows[i] = std::move(*hit);
+      } else {
+        miss_indices.push_back(i);
+      }
+    }
+  } else {
+    miss_indices.resize(n);
+    for (size_t i = 0; i < n; ++i) miss_indices[i] = i;
+  }
+
+  // Extractor forward over the misses only. The encoder pads every pair to
+  // the same fixed max_len, so a pair's feature row does not depend on its
+  // batch neighbors — a cached row is bit-identical to recomputing it.
+  if (!miss_indices.empty()) {
+    const core::EncodedBatch encoded =
+        extractor->EncodePairs(batch_data, miss_indices);
+    const Tensor miss_features = extractor->Forward(encoded, rng).Detach();
+    for (size_t j = 0; j < miss_indices.size(); ++j) {
+      std::vector<float>& row = rows[miss_indices[j]];
+      row.resize(static_cast<size_t>(dim));
+      for (int64_t d = 0; d < dim; ++d) {
+        row[static_cast<size_t>(d)] =
+            miss_features.at(static_cast<int64_t>(j), d);
+      }
+    }
+  }
+
+  std::vector<float> flat;
+  flat.reserve(n * static_cast<size_t>(dim));
+  for (const std::vector<float>& row : rows) {
+    flat.insert(flat.end(), row.begin(), row.end());
+  }
+  const Tensor features = Tensor::FromVector(
+      {static_cast<int64_t>(n), dim}, std::move(flat));
+
   std::vector<float> probs = matcher->PredictProbabilities(features, rng);
   if (is_primary && fault != nullptr &&
-      fault->ShouldFire(FaultKind::kExtractorNan, batch_ordinal, attempt)) {
+      fault->ShouldFire(FaultKind::kExtractorNan, batch_ordinal, attempt,
+                        config_.shard_index)) {
     for (float& p : probs) p = std::numeric_limits<float>::quiet_NaN();
   }
   for (float p : probs) {
     if (!std::isfinite(p)) {
       return Status::Internal("non-finite match probability from extractor");
     }
+  }
+  // Insert computed rows only after the finite check: a NaN-poisoned batch
+  // must never seed the cache (the retry would then "hit" the poison).
+  if (cache != nullptr) {
+    for (size_t i : miss_indices) cache->Put(keys[i], std::move(rows[i]));
   }
   return probs;
 }
@@ -307,7 +381,7 @@ void MatchService::WorkerLoop(int worker_index) {
   Rng rng = Rng(config_.seed).Fork(static_cast<uint64_t>(worker_index) + 1);
   for (;;) {
     std::vector<PendingRequest> batch = queue_.PopBatch(
-        static_cast<size_t>(std::max<int64_t>(1, config_.max_batch)),
+        static_cast<size_t>(std::max<int64_t>(1, adaptive_.cap())),
         config_.batch_wait_ms);
     if (batch.empty()) return;  // queue closed and drained
     obs::TraceSpan batch_span("serve.batch");
@@ -344,6 +418,7 @@ void MatchService::WorkerLoop(int worker_index) {
     std::vector<float> probs;
     bool primary_ok = false;
     int attempts = 0;
+    double forward_ms = 0.0;  // last forward duration, fed to the controller
     if (breaker_.AllowPrimary()) {
       for (int attempt = 0; attempt < config_.retry.max_attempts; ++attempt) {
         if (attempt > 0) {
@@ -367,6 +442,7 @@ void MatchService::WorkerLoop(int worker_index) {
           Metrics().retries->Increment();
         }
         ++attempts;
+        const Clock::time_point forward_start = Clock::now();
         Result<std::vector<float>> result = [&] {
           obs::ScopedLatency lat(Metrics().forward_ms, "serve.forward.primary");
           std::lock_guard<std::mutex> lock(model_mu_);
@@ -374,6 +450,7 @@ void MatchService::WorkerLoop(int worker_index) {
                             batch_data, /*is_primary=*/true, batch_ordinal,
                             attempt, &rng);
         }();
+        forward_ms = MsBetween(forward_start, Clock::now());
         if (result.ok()) {
           probs = std::move(result).ValueOrDie();
           primary_ok = true;
@@ -434,29 +511,38 @@ void MatchService::WorkerLoop(int worker_index) {
       }
       Respond(pending, std::move(response));
     }
+
+    // Feed the batch-cap controller: mean queue wait of the live requests
+    // plus the (final) primary forward duration. Degraded-only batches
+    // report forward_ms = 0 — the controller's shrink rule keys on primary
+    // compute, which a tripped breaker removes from the picture anyway.
+    double sum_queue_ms = 0.0;
+    for (const PendingRequest& pending : live) {
+      sum_queue_ms += MsBetween(pending.admitted_at, dequeued_at);
+    }
+    adaptive_.Observe(sum_queue_ms / static_cast<double>(live.size()),
+                      forward_ms, static_cast<int64_t>(live.size()));
   }
 }
 
-Status MatchService::ReloadModel(const std::string& path) {
-  obs::TraceSpan reload_span("serve.reload");
+Result<core::DaModel> MatchService::StageCheckpoint(const std::string& path) {
   // 1. Staging copies cloned from the live architecture; weight values are
   //    irrelevant — the checkpoint overwrites them or the reload fails.
-  std::unique_ptr<core::FeatureExtractor> staging_extractor;
-  std::unique_ptr<core::Matcher> staging_matcher;
+  core::DaModel staging;
   {
     std::lock_guard<std::mutex> lock(model_mu_);
-    staging_extractor =
+    staging.extractor =
         primary_.extractor->CloneArchitecture(config_.seed ^ 0x5e7f1eULL);
-    staging_matcher = std::make_unique<core::Matcher>(
+    staging.matcher = std::make_unique<core::Matcher>(
         primary_.extractor->feature_dim(), config_.seed ^ 0x5e7f2eULL);
   }
-  staging_extractor->SetTraining(false);
-  staging_matcher->SetTraining(false);
+  staging.extractor->SetTraining(false);
+  staging.matcher->SetTraining(false);
 
   // 2. Checkpoint validation: LoadModules verifies the CRC footer, the key
   //    universe, and every tensor shape before touching the staging modules.
   Status load_status = core::LoadModules(
-      path, {{"F", staging_extractor.get()}, {"M", staging_matcher.get()}});
+      path, {{"F", staging.extractor.get()}, {"M", staging.matcher.get()}});
   if (!load_status.ok()) {
     reload_rollbacks_.fetch_add(1);
     Metrics().reload_rollback->Increment();
@@ -465,12 +551,21 @@ Status MatchService::ReloadModel(const std::string& path) {
     return Status(load_status.code(),
                   "model reload rolled back: " + load_status.message());
   }
+  return staging;
+}
+
+Status MatchService::AdoptPrimary(core::DaModel staged) {
+  if (!staged.extractor || !staged.matcher) {
+    return Status::InvalidArgument("AdoptPrimary requires a staged model");
+  }
+  staged.extractor->SetTraining(false);
+  staged.matcher->SetTraining(false);
 
   // 3. Canary batch: the candidate must produce finite probabilities on the
   //    synthetic near-match / non-match pair before it may serve traffic.
   Rng canary_rng(config_.seed ^ 0xca9a12ULL);
   Result<std::vector<float>> canary_probs =
-      RunForward(staging_extractor.get(), staging_matcher.get(), canary_,
+      RunForward(staged.extractor.get(), staged.matcher.get(), canary_,
                  /*is_primary=*/false, /*batch_ordinal=*/0, /*attempt=*/0,
                  &canary_rng);
   if (!canary_probs.ok()) {
@@ -484,16 +579,27 @@ Status MatchService::ReloadModel(const std::string& path) {
   }
 
   // 4. Atomic swap under the model lock; in-flight batches finished on the
-  //    old model, subsequent batches use the new one.
+  //    old model, subsequent batches use the new one. The feature cache is
+  //    invalidated in the same critical section: a worker that dequeues
+  //    next sees either (old weights, old cache) or (new weights, empty
+  //    cache), never a mix.
   {
     std::lock_guard<std::mutex> lock(model_mu_);
-    primary_.extractor = std::move(staging_extractor);
-    primary_.matcher = std::move(staging_matcher);
+    primary_ = std::move(staged);
+    if (cache_ != nullptr) cache_->Clear();
   }
   reloads_.fetch_add(1);
   Metrics().reload_success->Increment();
-  DADER_LOG(Info) << "model reloaded from " << path;
   return Status::OK();
+}
+
+Status MatchService::ReloadModel(const std::string& path) {
+  obs::TraceSpan reload_span("serve.reload");
+  Result<core::DaModel> staged = StageCheckpoint(path);
+  if (!staged.ok()) return staged.status();
+  Status adopted = AdoptPrimary(std::move(staged).ValueOrDie());
+  if (adopted.ok()) DADER_LOG(Info) << "model reloaded from " << path;
+  return adopted;
 }
 
 ServeStats MatchService::stats() const {
@@ -508,6 +614,10 @@ ServeStats MatchService::stats() const {
   s.breaker_trips = breaker_.trips();
   s.reloads = reloads_.load();
   s.reload_rollbacks = reload_rollbacks_.load();
+  if (cache_ != nullptr) {
+    s.cache_hits = cache_->hits();
+    s.cache_misses = cache_->misses();
+  }
   return s;
 }
 

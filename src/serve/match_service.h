@@ -26,11 +26,25 @@
 // finite probabilities, and only then are the live modules swapped under
 // the model lock. Any failure rolls back — the old model keeps serving.
 //
+// Two optional perf mechanisms (both used by sharded serving, see
+// serve/sharded_service.h):
+//
+//   * Feature cache (ServeConfig::feature_cache_capacity > 0): primary
+//     batches look up each pair's extractor features by normalized token
+//     key first; hits skip encode + extractor entirely and only re-run the
+//     matcher head. Lookups and inserts happen inside the model-mutex
+//     critical section and AdoptPrimary clears the cache in the same
+//     section that swaps the weights, so cached features always match the
+//     live model.
+//   * Adaptive batch cap (ServeConfig::adaptive.enabled): a windowed
+//     hysteresis controller (serve/adaptive_batch.h) grows/shrinks the
+//     dequeue cap from observed queue wait and forward latency.
+//
 // Threading: N batcher workers pull from the queue; forward passes and the
 // model-pointer swap serialize on one model mutex (this repo targets a
-// single CPU core — batching, not parallel forwards, is the throughput
-// lever). All counters are atomics; the service is safe to drive from many
-// client threads.
+// single CPU core — batching and feature caching, not parallel forwards,
+// are the throughput levers). All counters are atomics; the service is
+// safe to drive from many client threads.
 
 #pragma once
 
@@ -46,6 +60,7 @@
 #include "core/experiment.h"
 #include "serve/admission_queue.h"
 #include "serve/circuit_breaker.h"
+#include "serve/feature_cache.h"
 #include "serve/match_types.h"
 
 namespace dader::serve {
@@ -83,7 +98,19 @@ class MatchService {
   /// \brief Validates the checkpoint at `path` in a staging copy, runs a
   /// canary batch, then atomically swaps the primary model. On any failure
   /// the live model is untouched and serving continues (rollback).
+  /// Equivalent to StageCheckpoint + AdoptPrimary.
   Status ReloadModel(const std::string& path);
+
+  /// \brief Reload phase 1: clones the live architecture and restores the
+  /// checkpoint into the clone under full validation, without touching the
+  /// serving model. The sharded service stages once and fans the staged
+  /// weights out to every replica.
+  Result<core::DaModel> StageCheckpoint(const std::string& path);
+
+  /// \brief Reload phase 2: canary-checks `staged`, then swaps it in as
+  /// the primary and invalidates the feature cache (old-weight features
+  /// must never meet new matcher weights) in the same critical section.
+  Status AdoptPrimary(core::DaModel staged);
 
   /// \brief Stops the workers; queued requests are still answered, then
   /// late submissions get Unavailable. Idempotent; called by the dtor.
@@ -93,6 +120,13 @@ class MatchService {
   BreakerState breaker_state() const { return breaker_.state(); }
   size_t queue_depth() const { return queue_.size(); }
   const ServeConfig& config() const { return config_; }
+  /// Current batch cap (== config().max_batch unless adaptive is enabled).
+  int64_t batch_cap() const { return adaptive_.cap(); }
+  const AdaptiveBatchController& batch_controller() const {
+    return adaptive_;
+  }
+  /// Null when the service was configured without a feature cache.
+  const FeatureCache* feature_cache() const { return cache_.get(); }
 
  private:
   void WorkerLoop(int worker_index);
@@ -113,14 +147,21 @@ class MatchService {
   data::Schema schema_a_;
   data::Schema schema_b_;
 
-  std::mutex model_mu_;  // guards the module pointers and forward passes
+  std::mutex model_mu_;  // guards the module pointers, forward passes, and
+                         // the cache's coherence with the live weights
   core::DaModel primary_;
   std::unique_ptr<core::DaModel> fallback_;
 
   data::ERDataset canary_;  // fixed synthetic pairs for reload validation
 
+  std::unique_ptr<FeatureCache> cache_;  // null = caching disabled
+  AdaptiveBatchController adaptive_;
   AdmissionQueue queue_;
   CircuitBreaker breaker_;
+
+  // Per-shard labeled series; null when config_.shard_index < 0.
+  obs::Counter* shard_requests_ = nullptr;
+  obs::Counter* shard_degraded_ = nullptr;
   std::vector<std::thread> workers_;
   std::atomic<bool> running_{true};
   std::atomic<int> batch_counter_{0};

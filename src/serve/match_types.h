@@ -7,6 +7,7 @@
 #include <future>
 
 #include "data/schema.h"
+#include "serve/adaptive_batch.h"
 #include "serve/circuit_breaker.h"
 #include "serve/retry.h"
 #include "util/status.h"
@@ -54,6 +55,8 @@ struct ServeStats {
   int64_t breaker_trips = 0;     ///< closed -> open transitions
   int64_t reloads = 0;           ///< successful ReloadModel swaps
   int64_t reload_rollbacks = 0;  ///< ReloadModel validations that failed
+  int64_t cache_hits = 0;        ///< feature-cache hits (extractor skipped)
+  int64_t cache_misses = 0;      ///< feature-cache misses (extractor ran)
 };
 
 /// \brief Tuning knobs of the MatchService.
@@ -69,6 +72,17 @@ struct ServeConfig {
   /// Optional fault injector consulted at the extractor forward site;
   /// null (the default) means no instrumented site ever fires.
   FaultInjector* fault = nullptr;
+  /// Runtime batch-cap controller; when enabled, max_batch is only the
+  /// initial cap and the controller moves it inside
+  /// [adaptive.min_batch, adaptive.max_batch].
+  AdaptiveBatchConfig adaptive;
+  /// Primary-path feature-cache entries; 0 (the default) disables the
+  /// cache. See serve/feature_cache.h for the exactness argument.
+  size_t feature_cache_capacity = 0;
+  /// Shard index of this service inside a ShardedMatchService: labels the
+  /// serve.shard.* metric series and scopes shard-filtered fault specs.
+  /// Negative (the default) means "not sharded" — unlabeled shared series.
+  int shard_index = -1;
 };
 
 }  // namespace dader::serve

@@ -1,0 +1,62 @@
+#include "serve/router.h"
+
+#include "text/tokenizer.h"
+#include "util/logging.h"
+
+namespace dader::serve {
+
+namespace {
+
+// ASCII unit/record separators: WordTokenize never emits control
+// characters, so these cannot collide with token content.
+constexpr char kTokenSep = '\x1f';
+constexpr char kRecordSep = '\x1e';
+
+void AppendRecordKey(const data::Record& record, std::string* key) {
+  for (const std::string& value : record.values()) {
+    for (const std::string& token : text::WordTokenize(value)) {
+      key->append(token);
+      key->push_back(kTokenSep);
+    }
+  }
+}
+
+}  // namespace
+
+std::string PairKey(const data::Record& a, const data::Record& b) {
+  std::string key;
+  AppendRecordKey(a, &key);
+  key.push_back(kRecordSep);
+  AppendRecordKey(b, &key);
+  return key;
+}
+
+uint64_t PairKeyHash(const data::Record& a, const data::Record& b) {
+  const std::string key = PairKey(a, b);
+  uint64_t h = 1469598103934665603ULL;  // FNV-1a offset basis
+  for (unsigned char c : key) {
+    h ^= static_cast<uint64_t>(c);
+    h *= 1099511628211ULL;  // FNV-1a prime
+  }
+  // Raw FNV-1a low bits carry little more than byte-parity information
+  // (the final multiply by an odd prime preserves parity), which
+  // degenerates under `% 2` sharding: for a self-pair every byte appears
+  // twice and its parity cancels. The splitmix64 finalizer avalanches the
+  // state so the low bits are safe for modulo routing.
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h;
+}
+
+int ShardForPair(const data::Record& a, const data::Record& b,
+                 int num_shards) {
+  DADER_CHECK_GT(num_shards, 0);
+  if (num_shards == 1) return 0;
+  return static_cast<int>(PairKeyHash(a, b) %
+                          static_cast<uint64_t>(num_shards));
+}
+
+}  // namespace dader::serve

@@ -1,0 +1,40 @@
+// Deterministic request routing for the sharded MatchService.
+//
+// A request's home shard is a pure function of its normalized entity-pair
+// key: both records are word-tokenized (lower-cased, punctuation split —
+// the same normalization the extractor's hashing vocabulary applies), the
+// tokens are joined with unambiguous separators, and the resulting key is
+// FNV-1a hashed modulo the shard count. Consequences the serving layer
+// relies on:
+//
+//   * Stability — the same pair always lands on the same shard, so its
+//     cached features are always found (the feature cache is per-shard and
+//     never needs cross-shard invalidation).
+//   * Formatting-insensitivity — "iPhone 12" and "IPHONE  12" produce the
+//     same key, so near-duplicate query spellings share a cache entry.
+//   * No coordination — routing reads no shared state; any client thread
+//     computes the shard without touching the shards themselves.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "data/schema.h"
+
+namespace dader::serve {
+
+/// \brief Canonical cache/routing key of a record pair: normalized word
+/// tokens with intra-record and inter-record separators that cannot occur
+/// inside a token.
+std::string PairKey(const data::Record& a, const data::Record& b);
+
+/// \brief FNV-1a (64-bit) hash of PairKey(a, b).
+uint64_t PairKeyHash(const data::Record& a, const data::Record& b);
+
+/// \brief Home shard of the pair in [0, num_shards). num_shards must be
+/// positive; 1 shard always routes to 0.
+int ShardForPair(const data::Record& a, const data::Record& b,
+                 int num_shards);
+
+}  // namespace dader::serve

@@ -1,0 +1,143 @@
+#include "serve/sharded_service.h"
+
+#include <utility>
+
+#include "obs/trace.h"
+#include "util/logging.h"
+
+namespace dader::serve {
+
+ShardedMatchService::ShardedMatchService(
+    std::vector<std::unique_ptr<MatchService>> shards)
+    : shards_(std::move(shards)) {}
+
+Result<std::unique_ptr<ShardedMatchService>> ShardedMatchService::Create(
+    ShardedServeConfig config, data::Schema schema_a, data::Schema schema_b,
+    core::DaModel primary, std::unique_ptr<core::DaModel> fallback) {
+  if (config.num_shards < 1) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  std::vector<std::unique_ptr<MatchService>> shards;
+  shards.reserve(static_cast<size_t>(config.num_shards));
+  for (int i = 0; i < config.num_shards; ++i) {
+    const bool last = i == config.num_shards - 1;
+    ServeConfig shard_config = config.shard;
+    shard_config.shard_index = i;
+    // Decorrelate retry jitter across shards; decisions are rng-free
+    // (dropout is off in serving), so this cannot affect match output.
+    shard_config.seed = config.shard.seed + static_cast<uint64_t>(i);
+
+    // The last shard adopts the original modules; the others serve deep
+    // copies. Replica weights are bit-identical either way.
+    core::DaModel replica;
+    if (last) {
+      replica = std::move(primary);
+    } else {
+      DADER_ASSIGN_OR_RETURN(replica,
+                             core::CloneModel(primary, shard_config.seed));
+    }
+    std::unique_ptr<core::DaModel> fallback_replica;
+    if (fallback != nullptr) {
+      if (last) {
+        fallback_replica = std::move(fallback);
+      } else {
+        core::DaModel clone;
+        DADER_ASSIGN_OR_RETURN(
+            clone, core::CloneModel(*fallback, shard_config.seed ^ 0xfbULL));
+        fallback_replica =
+            std::make_unique<core::DaModel>(std::move(clone));
+      }
+    }
+    shards.push_back(std::make_unique<MatchService>(
+        std::move(shard_config), schema_a, schema_b, std::move(replica),
+        std::move(fallback_replica)));
+  }
+  return std::unique_ptr<ShardedMatchService>(
+      new ShardedMatchService(std::move(shards)));
+}
+
+int ShardedMatchService::ShardFor(const MatchRequest& request) const {
+  return ShardForPair(request.a, request.b,
+                      static_cast<int>(shards_.size()));
+}
+
+std::future<MatchResponse> ShardedMatchService::SubmitAsync(
+    MatchRequest request) {
+  const int shard = ShardFor(request);
+  return shards_[static_cast<size_t>(shard)]->SubmitAsync(
+      std::move(request));
+}
+
+MatchResponse ShardedMatchService::Match(MatchRequest request) {
+  return SubmitAsync(std::move(request)).get();
+}
+
+std::vector<MatchResponse> ShardedMatchService::MatchBatch(
+    std::vector<MatchRequest> requests) {
+  std::vector<std::future<MatchResponse>> futures;
+  futures.reserve(requests.size());
+  for (MatchRequest& request : requests) {
+    futures.push_back(SubmitAsync(std::move(request)));
+  }
+  std::vector<MatchResponse> responses;
+  responses.reserve(futures.size());
+  for (auto& f : futures) responses.push_back(f.get());
+  return responses;
+}
+
+Status ShardedMatchService::ReloadModel(const std::string& path) {
+  obs::TraceSpan fanout_span("serve.reload.fanout");
+  // Stage + validate the checkpoint exactly once; every shard then adopts
+  // a deep copy of the validated staging model. Shard 0's canary runs
+  // first, so a bad-but-loadable checkpoint is rejected before any shard
+  // swaps.
+  DADER_ASSIGN_OR_RETURN(core::DaModel staged,
+                         shards_[0]->StageCheckpoint(path));
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    core::DaModel replica;
+    if (i + 1 == shards_.size()) {
+      replica = std::move(staged);
+    } else {
+      DADER_ASSIGN_OR_RETURN(
+          replica,
+          core::CloneModel(staged, shards_[i]->config().seed ^ 0x5e7fULL));
+    }
+    Status adopted = shards_[i]->AdoptPrimary(std::move(replica));
+    if (!adopted.ok()) {
+      // Deterministic canary on identical replicas: only i == 0 can get
+      // here, before any shard swapped. Guarded anyway.
+      DADER_LOG(Error) << "reload fan-out aborted at shard " << i << ": "
+                       << adopted.ToString();
+      return adopted;
+    }
+  }
+  DADER_LOG(Info) << "model reloaded on " << shards_.size()
+                  << " shard(s) from " << path;
+  return Status::OK();
+}
+
+void ShardedMatchService::Stop() {
+  for (auto& shard : shards_) shard->Stop();
+}
+
+ServeStats ShardedMatchService::stats() const {
+  ServeStats total;
+  for (const auto& shard : shards_) {
+    const ServeStats s = shard->stats();
+    total.admitted += s.admitted;
+    total.shed += s.shed;
+    total.completed += s.completed;
+    total.deadline_expired += s.deadline_expired;
+    total.degraded += s.degraded;
+    total.primary_failures += s.primary_failures;
+    total.retries += s.retries;
+    total.breaker_trips += s.breaker_trips;
+    total.reloads += s.reloads;
+    total.reload_rollbacks += s.reload_rollbacks;
+    total.cache_hits += s.cache_hits;
+    total.cache_misses += s.cache_misses;
+  }
+  return total;
+}
+
+}  // namespace dader::serve

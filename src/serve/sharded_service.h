@@ -1,0 +1,95 @@
+// Sharded MatchService: N independent MatchService replicas behind a
+// deterministic router.
+//
+//                        ShardForPair(a, b, N)
+//   client request ─────────────┬─────────────────────────────┐
+//                               v                             v
+//                    ┌─ shard 0 ────────────┐      ┌─ shard N-1 ──────────┐
+//                    │ admission queue      │      │ admission queue      │
+//                    │ worker pool + batcher│  ... │ worker pool + batcher│
+//                    │ circuit breaker      │      │ circuit breaker      │
+//                    │ feature cache        │      │ feature cache        │
+//                    │ model replica F+M    │      │ model replica F+M    │
+//                    └──────────────────────┘      └──────────────────────┘
+//
+// Every shard owns the full single-service machinery — bounded queue,
+// batcher workers, adaptive batch cap, circuit breaker, feature cache, and
+// a deep-copied model replica (core::CloneModel) — so shards share no
+// locks on the serving path and a fault storm on one shard trips only
+// that shard's breaker. Because replicas are bit-identical copies and the
+// extractor's per-pair features are batch-independent, the same request
+// stream produces bit-identical match decisions at any shard count; only
+// throughput and isolation change.
+//
+// Hot reload fans out: the checkpoint is staged and validated once
+// (StageCheckpoint on shard 0), then cloned and adopted shard by shard.
+// The canary is deterministic and every shard adopts an identical clone,
+// so the first adoption failing (shard 0) aborts the fan-out before any
+// replica swapped — in practice the fan-out is all-or-nothing.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/match_service.h"
+#include "serve/router.h"
+
+namespace dader::serve {
+
+/// \brief Configuration of the sharded service.
+struct ShardedServeConfig {
+  int num_shards = 1;
+  /// Per-shard template: every shard gets this config with its own
+  /// shard_index; queue capacity, worker count, batch caps, cache size,
+  /// breaker, and retry policy are all per shard.
+  ServeConfig shard;
+};
+
+/// \brief Router + N MatchService shards (see file comment).
+class ShardedMatchService {
+ public:
+  /// \brief Builds the shards: one shard adopts `primary` directly, the
+  /// rest get deep copies (core::CloneModel), likewise for the optional
+  /// fallback. Fails only if a replica cannot be cloned.
+  static Result<std::unique_ptr<ShardedMatchService>> Create(
+      ShardedServeConfig config, data::Schema schema_a, data::Schema schema_b,
+      core::DaModel primary,
+      std::unique_ptr<core::DaModel> fallback = nullptr);
+
+  /// \brief Routes to the pair's home shard and submits there. Shedding,
+  /// deadlines, and degradation are entirely the shard's business.
+  std::future<MatchResponse> SubmitAsync(MatchRequest request);
+
+  MatchResponse Match(MatchRequest request);
+  std::vector<MatchResponse> MatchBatch(std::vector<MatchRequest> requests);
+
+  /// \brief Home shard of a request; pure function of the pair key.
+  int ShardFor(const MatchRequest& request) const;
+
+  /// \brief Stages + validates the checkpoint once, then adopts a fresh
+  /// replica clone on every shard (canary per shard). See file comment for
+  /// the all-or-nothing argument.
+  Status ReloadModel(const std::string& path);
+
+  /// \brief Stops every shard. Idempotent.
+  void Stop();
+
+  /// \brief Sum of all shards' counters.
+  ServeStats stats() const;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  MatchService& shard(int i) { return *shards_[static_cast<size_t>(i)]; }
+  const MatchService& shard(int i) const {
+    return *shards_[static_cast<size_t>(i)];
+  }
+
+ private:
+  explicit ShardedMatchService(
+      std::vector<std::unique_ptr<MatchService>> shards);
+
+  std::vector<std::unique_ptr<MatchService>> shards_;
+};
+
+}  // namespace dader::serve

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <thread>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -304,6 +305,39 @@ class ScopedGemmTimer {
 // deterministic.
 // ---------------------------------------------------------------------------
 
+// Fan-out width for a problem of `flops` total work whose natural partition
+// count is `max_partitions` (row panels, or batch elements). Returns 1 —
+// stay serial — unless the problem clears the engage threshold AND every
+// task would still own at least min_flops_per_task of work AND there are
+// physical cores to run the tasks on. The decision depends only on the
+// shape, the options, and machine constants — never on runtime load — so a
+// given call site stays deterministic.
+int64_t PlanTasks(double flops, int64_t max_partitions,
+                  const ThreadPool* pool, const GemmOptions& options) {
+  if (flops < static_cast<double>(options.parallel_min_flops) ||
+      pool->num_threads() <= 1 || ThreadPool::InWorkerThread()) {
+    return 1;
+  }
+  int64_t tasks = std::min<int64_t>(
+      static_cast<int64_t>(pool->num_threads()), max_partitions);
+  if (options.respect_hardware_concurrency) {
+    // hardware_concurrency() == 0 means "unknown"; trust the pool then.
+    // Cached once: glibc answers via a /sys read, which costs tens of
+    // microseconds — real money against a sub-millisecond multiply.
+    static const auto hw =
+        static_cast<int64_t>(std::thread::hardware_concurrency());
+    if (hw > 0) tasks = std::min(tasks, hw);
+  }
+  if (options.min_flops_per_task > 0) {
+    tasks = std::min(
+        tasks, std::max<int64_t>(
+                   1, static_cast<int64_t>(
+                          flops / static_cast<double>(
+                                      options.min_flops_per_task))));
+  }
+  return tasks;
+}
+
 void Run(Trans ta, Trans tb, int64_t m, int64_t n, int64_t k, const float* a,
          int64_t lda, const float* b, int64_t ldb, float* c, int64_t ldc,
          const GemmOptions& options) {
@@ -321,12 +355,7 @@ void Run(Trans ta, Trans tb, int64_t m, int64_t n, int64_t k, const float* a,
   }
   ThreadPool* pool =
       options.pool != nullptr ? options.pool : ThreadPool::Global();
-  int64_t tasks = 1;
-  if (flops >= static_cast<double>(options.parallel_min_flops) &&
-      pool->num_threads() > 1 && !ThreadPool::InWorkerThread()) {
-    tasks = std::min<int64_t>(static_cast<int64_t>(pool->num_threads()),
-                              (m + kMR - 1) / kMR);
-  }
+  const int64_t tasks = PlanTasks(flops, (m + kMR - 1) / kMR, pool, options);
   if (tasks <= 1) {
     BlockedRange(ta, tb, 0, m, n, k, a, lda, b, ldb, c, ldc);
     return;
@@ -368,12 +397,8 @@ void RunBatch(Trans ta, Trans tb, int64_t bsz, int64_t m, int64_t n,
   };
   ThreadPool* pool =
       options.pool != nullptr ? options.pool : ThreadPool::Global();
-  int64_t tasks = 1;
-  if (elem_flops * static_cast<double>(bsz) >=
-          static_cast<double>(options.parallel_min_flops) &&
-      pool->num_threads() > 1 && !ThreadPool::InWorkerThread()) {
-    tasks = std::min<int64_t>(static_cast<int64_t>(pool->num_threads()), bsz);
-  }
+  const int64_t tasks =
+      PlanTasks(elem_flops * static_cast<double>(bsz), bsz, pool, options);
   if (tasks <= 1) {
     for (int64_t i = 0; i < bsz; ++i) run_element(i);
     return;

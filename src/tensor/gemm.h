@@ -22,7 +22,11 @@
 //     broke the compiler's ability to keep the loop body branch-free.
 //   * Threading: above GemmOptions::parallel_min_flops the M dimension is
 //     split into MR-aligned row panels distributed over a util::ThreadPool
-//     (batched variants split across the batch dimension instead). Each
+//     (batched variants split across the batch dimension instead). The
+//     fan-out width is additionally capped by min_flops_per_task and by
+//     std::thread::hardware_concurrency(), so mid-sized problems on narrow
+//     machines stay single-threaded instead of paying dispatch + redundant
+//     B-packing overhead for no parallel speedup. Each
 //     output row is owned by exactly one task and per-element accumulation
 //     order (k ascending) is independent of the partition, so results are
 //     bit-identical run-to-run AND across thread counts. Calls from inside
@@ -51,8 +55,20 @@ struct GemmOptions {
   /// Pool for row-panel / batch parallelism; null means ThreadPool::Global().
   ThreadPool* pool = nullptr;
   /// Minimum 2*m*n*k FLOP count before a call fans out to the pool;
-  /// below it the blocked kernel runs on the calling thread.
-  int64_t parallel_min_flops = 2'000'000;
+  /// below it the blocked kernel runs on the calling thread. Raised from
+  /// the original 2 MFLOP after BENCH_gemm.json showed fan-out losing to
+  /// serial at 256^3 (33 MFLOP) on narrow machines: each task redundantly
+  /// packs the full B panel, so small problems amortize nothing.
+  int64_t parallel_min_flops = 8'000'000;
+  /// Floor on FLOPs per spawned task: the fan-out width is capped at
+  /// flops / min_flops_per_task, so dispatch + redundant-packing overhead
+  /// stays a small fraction of useful work per task. <= 0 disables.
+  int64_t min_flops_per_task = 16'000'000;
+  /// Also cap the fan-out width at std::thread::hardware_concurrency():
+  /// oversubscribing physical cores always loses (the extra tasks just
+  /// interleave on one core and re-pack B for nothing). Tests that need to
+  /// force the parallel path on narrow machines set this to false.
+  bool respect_hardware_concurrency = true;
 };
 
 // ---------------------------------------------------------------------------

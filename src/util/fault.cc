@@ -60,7 +60,8 @@ bool FaultInjector::armed(FaultKind kind) const {
   return specs_[KindIndex(kind)].has_value();
 }
 
-bool FaultInjector::ShouldFire(FaultKind kind, int epoch, int step) {
+bool FaultInjector::ShouldFire(FaultKind kind, int epoch, int step,
+                               int shard) {
   std::lock_guard<std::mutex> lock(mu_);
   const int idx = KindIndex(kind);
   const std::optional<FaultSpec>& spec = specs_[idx];
@@ -68,6 +69,7 @@ bool FaultInjector::ShouldFire(FaultKind kind, int epoch, int step) {
   if (hits_[idx] >= spec->max_hits) return false;
   if (spec->epoch >= 0 && spec->epoch != epoch) return false;
   if (spec->step >= 0 && spec->step != step) return false;
+  if (spec->shard >= 0 && spec->shard != shard) return false;
   if (spec->probability < 1.0 && !rng_.NextBool(spec->probability)) {
     return false;
   }

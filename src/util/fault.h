@@ -42,11 +42,14 @@ const char* FaultKindName(FaultKind kind);
 ///
 /// The serving layer reuses the epoch/step filters with its own coordinates:
 /// `epoch` matches the batch ordinal and `step` the attempt ordinal, so a
-/// spec can target e.g. "the first attempt of every batch".
+/// spec can target e.g. "the first attempt of every batch". Sharded serving
+/// additionally reports its shard index, so a spec can confine a fault
+/// storm to one shard and tests can prove breaker isolation.
 struct FaultSpec {
   FaultKind kind = FaultKind::kNanGradient;
   int epoch = -1;           ///< fire only at this 1-based epoch (-1 = any)
   int step = -1;            ///< fire only at this 0-based step (-1 = any)
+  int shard = -1;           ///< fire only on this serving shard (-1 = any)
   int max_hits = 1;         ///< total firings before the spec disarms
   double probability = 1.0; ///< per-eligible-site firing probability
 };
@@ -70,8 +73,10 @@ class FaultInjector {
 
   /// \brief True when `kind` is armed, the site matches the spec's filters,
   /// the hit budget is not exhausted, and the probability draw succeeds.
-  /// A true return counts as one hit.
-  bool ShouldFire(FaultKind kind, int epoch = -1, int step = -1);
+  /// A true return counts as one hit. Sites that are not shard-scoped (the
+  /// trainer) omit `shard`; a shard-filtered spec then never matches them.
+  bool ShouldFire(FaultKind kind, int epoch = -1, int step = -1,
+                  int shard = -1);
 
   /// \brief Total firings of `kind` since the last Reset().
   int hits(FaultKind kind) const;

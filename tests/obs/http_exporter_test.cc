@@ -1,0 +1,91 @@
+// HttpMetricsExporter tests: a real loopback socket client fetches
+// /metrics and checks the exposition payload; unknown paths 404; Stop() is
+// idempotent and the port is reusable afterwards.
+
+#include "obs/http_exporter.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace dader::obs {
+namespace {
+
+// One-shot HTTP client: connect to 127.0.0.1:port, send the request, read
+// until the server closes the connection.
+std::string Fetch(int port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0)
+      << "connect to 127.0.0.1:" << port << " failed: " << strerror(errno);
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(HttpMetricsExporterTest, ServesScrapeTextOnMetricsPath) {
+  // A counter registered before the scrape must appear in the payload.
+  MetricsRegistry::Default()
+      .GetCounter("obs.http.test.total", "exporter test marker")
+      ->Increment();
+
+  HttpMetricsExporter exporter;
+  ASSERT_TRUE(exporter.Start(0).ok());  // ephemeral port
+  ASSERT_GT(exporter.port(), 0);
+  EXPECT_TRUE(exporter.running());
+
+  const std::string response =
+      Fetch(exporter.port(), "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(response.find("200 OK"), std::string::npos) << response;
+  EXPECT_NE(response.find("text/plain"), std::string::npos);
+  // ScrapeText sanitizes dotted names to Prometheus form.
+  EXPECT_NE(response.find("obs_http_test_total"), std::string::npos)
+      << "scrape payload is missing a registered counter";
+  exporter.Stop();
+  EXPECT_FALSE(exporter.running());
+}
+
+TEST(HttpMetricsExporterTest, UnknownPathIs404) {
+  HttpMetricsExporter exporter;
+  ASSERT_TRUE(exporter.Start(0).ok());
+  const std::string response =
+      Fetch(exporter.port(), "GET /debug/pprof HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(response.find("404"), std::string::npos) << response;
+}
+
+TEST(HttpMetricsExporterTest, StopIsIdempotentAndStartFailsWhileRunning) {
+  HttpMetricsExporter exporter;
+  ASSERT_TRUE(exporter.Start(0).ok());
+  EXPECT_FALSE(exporter.Start(0).ok()) << "double Start must be rejected";
+  exporter.Stop();
+  exporter.Stop();  // second Stop is a no-op
+  EXPECT_FALSE(exporter.running());
+}
+
+}  // namespace
+}  // namespace dader::obs

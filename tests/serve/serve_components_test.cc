@@ -1,14 +1,17 @@
 // Unit tests for the serving building blocks: retry backoff, the circuit
-// breaker state machine, the bounded admission queue, and the degraded-mode
-// similarity heuristic.
+// breaker state machine, the bounded admission queue, the degraded-mode
+// similarity heuristic, the feature LRU cache, and the adaptive batch-cap
+// controller.
 
 #include <gtest/gtest.h>
 
 #include <chrono>
 #include <thread>
 
+#include "serve/adaptive_batch.h"
 #include "serve/admission_queue.h"
 #include "serve/circuit_breaker.h"
+#include "serve/feature_cache.h"
 #include "serve/match_service.h"
 #include "serve/retry.h"
 
@@ -181,6 +184,130 @@ TEST(HeuristicTest, EmptyRecordsAreUncertain) {
   data::Record empty_a({""});
   data::Record empty_b({""});
   EXPECT_FLOAT_EQ(HeuristicMatchProbability(empty_a, empty_b), 0.5f);
+}
+
+TEST(FeatureCacheTest, HitMissAndCopySemantics) {
+  FeatureCache cache(4);
+  EXPECT_FALSE(cache.Get("a").has_value());
+  EXPECT_EQ(cache.misses(), 1);
+  cache.Put("a", {1.0f, 2.0f});
+  auto row = cache.Get("a");
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ(*row, (std::vector<float>{1.0f, 2.0f}));
+  // Get returns a copy: mutating it must not change the cached row.
+  (*row)[0] = 99.0f;
+  EXPECT_EQ((*cache.Get("a"))[0], 1.0f);
+  EXPECT_EQ(cache.hits(), 2);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(FeatureCacheTest, EvictsLeastRecentlyUsed) {
+  FeatureCache cache(2);
+  cache.Put("a", {1.0f});
+  cache.Put("b", {2.0f});
+  // Touch "a" so "b" becomes the LRU entry.
+  ASSERT_TRUE(cache.Get("a").has_value());
+  cache.Put("c", {3.0f});
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1);
+  EXPECT_TRUE(cache.Get("a").has_value());
+  EXPECT_FALSE(cache.Get("b").has_value()) << "LRU entry survived eviction";
+  EXPECT_TRUE(cache.Get("c").has_value());
+}
+
+TEST(FeatureCacheTest, PutRefreshesExistingEntryAndClearDropsAll) {
+  FeatureCache cache(2);
+  cache.Put("a", {1.0f});
+  cache.Put("b", {2.0f});
+  cache.Put("a", {10.0f});  // refresh, not insert: no eviction
+  EXPECT_EQ(cache.evictions(), 0);
+  EXPECT_EQ((*cache.Get("a"))[0], 10.0f);
+  // Refreshing "a" made it MRU, so inserting "c" evicts "b".
+  cache.Put("c", {3.0f});
+  EXPECT_FALSE(cache.Get("b").has_value());
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Get("a").has_value());
+}
+
+namespace {
+AdaptiveBatchConfig FastAdaptiveConfig() {
+  AdaptiveBatchConfig config;
+  config.enabled = true;
+  config.min_batch = 2;
+  config.max_batch = 32;
+  config.window = 2;
+  config.hold_windows = 2;
+  config.cooldown_windows = 2;
+  return config;
+}
+
+// Feeds `windows` full decision windows of identical samples.
+void FeedWindows(AdaptiveBatchController& controller, int windows,
+                 double queue_ms, double forward_ms, int64_t batch_size) {
+  for (int i = 0; i < windows * 2; ++i) {
+    controller.Observe(queue_ms, forward_ms, batch_size);
+  }
+}
+}  // namespace
+
+TEST(AdaptiveBatchTest, DisabledControllerNeverMoves) {
+  AdaptiveBatchConfig config;  // enabled = false
+  AdaptiveBatchController controller(config, 8, /*shard=*/-1);
+  FeedWindows(controller, 16, /*queue_ms=*/50.0, /*forward_ms=*/0.1, 8);
+  EXPECT_EQ(controller.cap(), 8);
+  EXPECT_EQ(controller.grows(), 0);
+  EXPECT_EQ(controller.shrinks(), 0);
+}
+
+TEST(AdaptiveBatchTest, GrowsUnderSustainedQueuePressure) {
+  AdaptiveBatchController controller(FastAdaptiveConfig(), 4, /*shard=*/0);
+  // High queue wait with full batches: pressure a bigger cap can drain.
+  // One window is not enough (hold_windows = 2)...
+  FeedWindows(controller, 1, /*queue_ms=*/10.0, /*forward_ms=*/1.0, 4);
+  EXPECT_EQ(controller.cap(), 4);
+  // ...a second consecutive window is.
+  FeedWindows(controller, 1, /*queue_ms=*/10.0, /*forward_ms=*/1.0, 4);
+  EXPECT_EQ(controller.cap(), 8);
+  EXPECT_EQ(controller.grows(), 1);
+}
+
+TEST(AdaptiveBatchTest, ShrinksWhenForwardDominatesIdleQueue) {
+  AdaptiveBatchController controller(FastAdaptiveConfig(), 16, /*shard=*/0);
+  // Slow forwards, near-empty queue: compute dominates, cap halves.
+  FeedWindows(controller, 2, /*queue_ms=*/0.1, /*forward_ms=*/20.0, 16);
+  EXPECT_EQ(controller.cap(), 8);
+  EXPECT_EQ(controller.shrinks(), 1);
+}
+
+TEST(AdaptiveBatchTest, DeadBandHoldsCapSteady) {
+  AdaptiveBatchController controller(FastAdaptiveConfig(), 8, /*shard=*/0);
+  // Moderate signals satisfy neither grow (queue too calm) nor shrink
+  // (queue not idle): the cap must not move, ever.
+  FeedWindows(controller, 32, /*queue_ms=*/1.0, /*forward_ms=*/4.0, 6);
+  EXPECT_EQ(controller.cap(), 8);
+  EXPECT_EQ(controller.grows(), 0);
+  EXPECT_EQ(controller.shrinks(), 0);
+}
+
+TEST(AdaptiveBatchTest, CooldownAndClampsPreventOscillation) {
+  auto config = FastAdaptiveConfig();
+  config.max_batch = 16;
+  AdaptiveBatchController controller(config, 8, /*shard=*/0);
+  FeedWindows(controller, 2, /*queue_ms=*/10.0, /*forward_ms=*/1.0, 8);
+  EXPECT_EQ(controller.cap(), 16);
+  // Immediately after a grow the controller is in cooldown: two more
+  // pressure windows change nothing...
+  FeedWindows(controller, 2, /*queue_ms=*/10.0, /*forward_ms=*/1.0, 16);
+  EXPECT_EQ(controller.cap(), 16);
+  // ...and even after cooldown the max_batch clamp holds.
+  FeedWindows(controller, 8, /*queue_ms=*/10.0, /*forward_ms=*/1.0, 16);
+  EXPECT_EQ(controller.cap(), 16);
+  EXPECT_EQ(controller.grows(), 1);
+  // Symmetric check at the bottom clamp.
+  AdaptiveBatchController floor_ctl(config, 4, /*shard=*/0);
+  FeedWindows(floor_ctl, 12, /*queue_ms=*/0.0, /*forward_ms=*/20.0, 1);
+  EXPECT_EQ(floor_ctl.cap(), config.min_batch);
 }
 
 }  // namespace

@@ -1,0 +1,321 @@
+// Sharded-serving tests: routing determinism (identical match decisions at
+// any shard count), stable shard assignment, feature-cache exactness and
+// reload invalidation, per-shard fault/breaker isolation, and hot-reload
+// fan-out across replicas.
+
+#include "serve/sharded_service.h"
+
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+
+#include <string>
+#include <vector>
+
+#include "core/guard.h"
+#include "serve/router.h"
+#include "util/fault.h"
+
+namespace dader::serve {
+namespace {
+
+using core::DaderConfig;
+
+DaderConfig TinyModelConfig() {
+  DaderConfig c;
+  c.vocab_size = 256;
+  c.max_len = 16;
+  c.hidden_dim = 8;
+  c.num_heads = 2;
+  c.num_layers = 1;
+  c.ffn_dim = 16;
+  c.rnn_hidden = 4;
+  c.dropout = 0.0f;
+  return c;
+}
+
+core::DaModel MakeModel(core::ExtractorKind kind, uint64_t seed) {
+  core::DaModel model;
+  model.extractor = core::MakeExtractor(kind, TinyModelConfig(), seed);
+  model.matcher =
+      std::make_unique<core::Matcher>(model.extractor->feature_dim(), seed + 1);
+  return model;
+}
+
+data::Schema TestSchema() { return data::Schema({"title", "price"}); }
+
+MatchRequest MakeRequest(const std::string& title_a,
+                         const std::string& title_b) {
+  MatchRequest request;
+  request.a = data::Record({title_a, "10"});
+  request.b = data::Record({title_b, "10"});
+  return request;
+}
+
+ServeConfig ShardTemplate() {
+  ServeConfig config;
+  config.queue_capacity = 64;
+  config.max_batch = 8;
+  config.batch_wait_ms = 0.5;
+  config.default_deadline_ms = 10000.0;  // latency is not under test
+  config.retry.base_backoff_ms = 1.0;
+  config.retry.max_backoff_ms = 4.0;
+  return config;
+}
+
+Result<std::unique_ptr<ShardedMatchService>> MakeSharded(
+    int num_shards, ServeConfig shard_template, uint64_t model_seed = 21) {
+  ShardedServeConfig config;
+  config.num_shards = num_shards;
+  config.shard = std::move(shard_template);
+  return ShardedMatchService::Create(config, TestSchema(), TestSchema(),
+                                     MakeModel(core::ExtractorKind::kLM,
+                                               model_seed));
+}
+
+// A request stream with repeats and case/spacing variants, wide enough to
+// touch several of 8 shards.
+std::vector<MatchRequest> TestStream() {
+  const std::vector<std::pair<std::string, std::string>> pairs = {
+      {"sony wh-1000xm4 headphones", "sony wh1000xm4"},
+      {"apple iphone 12 128gb", "apple iphone 12 128 gb"},
+      {"apple iphone 12 128gb", "makita cordless drill"},
+      {"canon eos r6 body", "canon eos r6"},
+      {"dell xps 13 9310", "dell xps13 9310 laptop"},
+      {"logitech mx master 3", "logitech mx master 3s"},
+      {"bosch gsr 12v drill", "canon eos r6"},
+      {"samsung galaxy s21", "samsung galaxy s21 5g"},
+  };
+  std::vector<MatchRequest> stream;
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    for (const auto& [a, b] : pairs) stream.push_back(MakeRequest(a, b));
+  }
+  return stream;
+}
+
+TEST(RouterTest, PairKeyNormalizesFormattingAndKeepsBoundaries) {
+  const data::Record a({"Apple iPhone  12", "10"});
+  const data::Record a_variant({"apple IPHONE 12", "10"});
+  const data::Record b({"makita drill", "10"});
+  // Case/extra-whitespace variants normalize to the same key...
+  EXPECT_EQ(PairKey(a, b), PairKey(a_variant, b));
+  EXPECT_EQ(PairKeyHash(a, b), PairKeyHash(a_variant, b));
+  // ...but token boundaries survive: "ab c" != "a bc".
+  const data::Record ab_c({"ab c", "10"});
+  const data::Record a_bc({"a bc", "10"});
+  EXPECT_NE(PairKey(ab_c, b), PairKey(a_bc, b));
+  // The pair is ordered: (a, b) and (b, a) are different questions.
+  EXPECT_NE(PairKey(a, b), PairKey(b, a));
+}
+
+TEST(RouterTest, ShardAssignmentIsStableAndInRange) {
+  const auto stream = TestStream();
+  for (int num_shards : {1, 2, 8}) {
+    for (const MatchRequest& request : stream) {
+      const int shard = ShardForPair(request.a, request.b, num_shards);
+      EXPECT_GE(shard, 0);
+      EXPECT_LT(shard, num_shards);
+      // Pure function of the pair: re-asking never moves the request.
+      EXPECT_EQ(shard, ShardForPair(request.a, request.b, num_shards));
+    }
+  }
+}
+
+// The core tentpole guarantee: the same request stream produces
+// bit-identical match decisions through 1, 2, and 8 shards. Replicas are
+// deep copies and the extractor's per-pair features are independent of
+// batch composition, so resharding may only change throughput, never
+// answers.
+TEST(ShardedMatchServiceTest, DecisionsBitIdenticalAcrossShardCounts) {
+  std::vector<std::vector<MatchResponse>> per_count;
+  std::vector<int> used_shards;
+  for (int num_shards : {1, 2, 8}) {
+    auto service_or = MakeSharded(num_shards, ShardTemplate());
+    ASSERT_TRUE(service_or.ok()) << service_or.status().ToString();
+    auto service = std::move(service_or).ValueOrDie();
+    EXPECT_EQ(service->num_shards(), num_shards);
+    per_count.push_back(service->MatchBatch(TestStream()));
+    int shards_touched = 0;
+    for (int i = 0; i < num_shards; ++i) {
+      if (service->shard(i).stats().admitted > 0) ++shards_touched;
+    }
+    used_shards.push_back(shards_touched);
+    service->Stop();
+  }
+  ASSERT_EQ(per_count.size(), 3u);
+  const std::vector<MatchResponse>& ref = per_count[0];
+  for (size_t c = 1; c < per_count.size(); ++c) {
+    ASSERT_EQ(per_count[c].size(), ref.size());
+    for (size_t i = 0; i < ref.size(); ++i) {
+      ASSERT_TRUE(per_count[c][i].status.ok())
+          << per_count[c][i].status.ToString();
+      EXPECT_EQ(per_count[c][i].label, ref[i].label) << "request " << i;
+      EXPECT_EQ(per_count[c][i].prob, ref[i].prob)
+          << "request " << i << " not bit-identical";
+      EXPECT_FALSE(per_count[c][i].degraded);
+    }
+  }
+  // The stream must actually have exercised the partitioning.
+  EXPECT_EQ(used_shards[0], 1);
+  EXPECT_GE(used_shards[2], 2) << "8-shard run never split the stream";
+}
+
+// Cache on vs cache off is invisible in the answers: a hit replays the
+// exact feature row the extractor produced, and the matcher head is
+// row-independent.
+TEST(ShardedMatchServiceTest, FeatureCacheKeepsDecisionsBitIdentical) {
+  ServeConfig with_cache = ShardTemplate();
+  with_cache.feature_cache_capacity = 64;
+
+  auto cached_or = MakeSharded(2, with_cache);
+  auto plain_or = MakeSharded(2, ShardTemplate());
+  ASSERT_TRUE(cached_or.ok() && plain_or.ok());
+  auto cached = std::move(cached_or).ValueOrDie();
+  auto plain = std::move(plain_or).ValueOrDie();
+
+  // Two passes over the stream: the second is all repeats, so the cached
+  // service must serve it mostly from feature hits.
+  const auto pass1_cached = cached->MatchBatch(TestStream());
+  const auto pass2_cached = cached->MatchBatch(TestStream());
+  const auto pass1_plain = plain->MatchBatch(TestStream());
+  const auto pass2_plain = plain->MatchBatch(TestStream());
+
+  ASSERT_EQ(pass1_cached.size(), pass1_plain.size());
+  for (size_t i = 0; i < pass1_cached.size(); ++i) {
+    ASSERT_TRUE(pass1_cached[i].status.ok());
+    ASSERT_TRUE(pass2_cached[i].status.ok());
+    EXPECT_EQ(pass1_cached[i].prob, pass1_plain[i].prob) << "pass 1, " << i;
+    EXPECT_EQ(pass2_cached[i].prob, pass2_plain[i].prob) << "pass 2, " << i;
+    EXPECT_EQ(pass1_cached[i].prob, pass2_cached[i].prob)
+        << "repeat lookup changed the answer, " << i;
+  }
+
+  const ServeStats stats = cached->stats();
+  EXPECT_GT(stats.cache_hits, 0) << "repeats never hit the cache";
+  EXPECT_GT(stats.cache_misses, 0);
+  EXPECT_EQ(plain->stats().cache_hits, 0);
+  cached->Stop();
+  plain->Stop();
+}
+
+// Breaker isolation: a fault storm confined to shard k (shard-filtered
+// FaultSpec) trips only shard k's breaker; the sibling shard keeps serving
+// primary traffic with no degradation.
+TEST(ShardedMatchServiceTest, ShardFaultDoesNotShedSiblingTraffic) {
+  FaultInjector fault;
+  ServeConfig shard_template = ShardTemplate();
+  shard_template.fault = &fault;
+  shard_template.retry.max_attempts = 1;  // fail fast into degraded
+  shard_template.breaker.failure_threshold = 1;
+  shard_template.breaker.cooldown_ms = 60000.0;  // stays open for the test
+
+  auto service_or = MakeSharded(2, shard_template);
+  ASSERT_TRUE(service_or.ok());
+  auto service = std::move(service_or).ValueOrDie();
+
+  // Find request templates that land on each shard.
+  std::vector<MatchRequest> on_shard[2];
+  for (int i = 0; i < 32; ++i) {
+    MatchRequest request = MakeRequest("widget model " + std::to_string(i),
+                                       "widget model " + std::to_string(i));
+    on_shard[service->ShardFor(request)].push_back(std::move(request));
+  }
+  ASSERT_FALSE(on_shard[0].empty());
+  ASSERT_FALSE(on_shard[1].empty());
+
+  const int victim = 0;
+  FaultSpec spec;
+  spec.kind = FaultKind::kExtractorFault;
+  spec.shard = victim;
+  spec.max_hits = 1000000;
+  fault.Arm(spec);
+
+  // Hammer the victim shard until its breaker opens, then verify the
+  // sibling still serves primary traffic.
+  for (const MatchRequest& request : on_shard[victim]) {
+    const MatchResponse r = service->Match(request);
+    ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+    EXPECT_TRUE(r.degraded) << "victim shard served primary through a fault";
+  }
+  EXPECT_EQ(service->shard(victim).breaker_state(), BreakerState::kOpen);
+
+  for (const MatchRequest& request : on_shard[1 - victim]) {
+    const MatchResponse r = service->Match(request);
+    ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+    EXPECT_FALSE(r.degraded) << "fault on shard " << victim
+                             << " leaked to the sibling shard";
+  }
+  EXPECT_EQ(service->shard(1 - victim).breaker_state(),
+            BreakerState::kClosed);
+  EXPECT_EQ(service->shard(1 - victim).stats().primary_failures, 0);
+  EXPECT_GT(service->shard(victim).stats().primary_failures, 0);
+  service->Stop();
+}
+
+// Hot reload fans out to every replica, and the feature cache cannot serve
+// stale old-weight features afterwards.
+TEST(ShardedMatchServiceTest, ReloadFansOutAndInvalidatesCaches) {
+  const std::string dir = testing::TempDir() + "/sharded_reload";
+  ::mkdir(dir.c_str(), 0755);
+  const std::string donor_path = dir + "/donor.ckpt";
+  const std::string corrupt_path = dir + "/corrupt.ckpt";
+
+  core::DaModel donor = MakeModel(core::ExtractorKind::kLM, 99);
+  ASSERT_TRUE(core::SaveModules(donor_path, {{"F", donor.extractor.get()},
+                                             {"M", donor.matcher.get()}})
+                  .ok());
+  ASSERT_TRUE(core::SaveModules(corrupt_path, {{"F", donor.extractor.get()},
+                                               {"M", donor.matcher.get()}})
+                  .ok());
+  ASSERT_TRUE(FaultInjector::CorruptByte(corrupt_path, 200).ok());
+
+  ServeConfig with_cache = ShardTemplate();
+  with_cache.feature_cache_capacity = 64;
+  auto service_or = MakeSharded(2, with_cache);
+  ASSERT_TRUE(service_or.ok());
+  auto service = std::move(service_or).ValueOrDie();
+
+  // Warm every shard's cache with probes that route to different shards.
+  std::vector<MatchRequest> probes;
+  for (int i = 0; probes.size() < 2 && i < 32; ++i) {
+    MatchRequest candidate = MakeRequest("probe item " + std::to_string(i),
+                                         "probe item " + std::to_string(i));
+    if (probes.empty() ||
+        service->ShardFor(candidate) != service->ShardFor(probes[0])) {
+      probes.push_back(std::move(candidate));
+    }
+  }
+  ASSERT_EQ(probes.size(), 2u);
+  std::vector<float> before;
+  for (const MatchRequest& probe : probes) {
+    const MatchResponse r = service->Match(probe);
+    ASSERT_TRUE(r.status.ok());
+    before.push_back(r.prob);
+  }
+
+  // A corrupt checkpoint is rejected before any shard swaps.
+  EXPECT_FALSE(service->ReloadModel(corrupt_path).ok());
+  for (size_t i = 0; i < probes.size(); ++i) {
+    EXPECT_EQ(service->Match(probes[i]).prob, before[i]);
+  }
+  EXPECT_EQ(service->stats().reloads, 0);
+
+  // A valid reload takes effect on every shard: the probes' answers come
+  // from the donor weights now, so the warmed cache entries cannot have
+  // been replayed.
+  ASSERT_TRUE(service->ReloadModel(donor_path).ok());
+  for (size_t i = 0; i < probes.size(); ++i) {
+    const MatchResponse r = service->Match(probes[i]);
+    ASSERT_TRUE(r.status.ok());
+    EXPECT_NE(r.prob, before[i])
+        << "shard " << service->ShardFor(probes[i])
+        << " still answers with pre-reload weights (stale cache?)";
+  }
+  for (int i = 0; i < service->num_shards(); ++i) {
+    EXPECT_EQ(service->shard(i).stats().reloads, 1) << "shard " << i;
+  }
+  service->Stop();
+}
+
+}  // namespace
+}  // namespace dader::serve

@@ -134,7 +134,11 @@ TEST(GemmDeterminismTest, BitIdenticalAcrossRunsAndThreadCounts) {
   auto run = [&](KernelFn kernel, ThreadPool* pool) {
     gemm::GemmOptions options;
     options.pool = pool;
-    options.parallel_min_flops = 1;  // force the parallel path
+    // Force the parallel path past all three auto-dispatch gates so the
+    // bit-identity claim is tested even on single-core machines.
+    options.parallel_min_flops = 1;
+    options.min_flops_per_task = 0;
+    options.respect_hardware_concurrency = false;
     std::vector<float> c(static_cast<size_t>(m * n), 0.0f);
     kernel(m, n, k, a.data(), b.data(), c.data(), options);
     return c;
@@ -161,6 +165,8 @@ TEST(GemmDeterminismTest, BatchParallelBitIdentical) {
     gemm::GemmOptions options;
     options.pool = pool;
     options.parallel_min_flops = 1;
+    options.min_flops_per_task = 0;
+    options.respect_hardware_concurrency = false;
     std::vector<float> c(static_cast<size_t>(bsz * m * n), 0.0f);
     gemm::BatchGemmNN(bsz, m, n, k, a.data(), b.data(), c.data(), options);
     return c;

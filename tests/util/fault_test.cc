@@ -74,6 +74,24 @@ TEST(FaultInjectorTest, EpochAndStepFiltersMatchExactSite) {
   EXPECT_EQ(fi.hits(FaultKind::kAbortStep), 1);
 }
 
+TEST(FaultInjectorTest, ShardFilterConfinesFaultToOneShard) {
+  FaultInjector fi;
+  FaultSpec spec;
+  spec.kind = FaultKind::kExtractorFault;
+  spec.shard = 2;
+  spec.max_hits = 100;
+  fi.Arm(spec);
+  for (int shard = 0; shard < 4; ++shard) {
+    EXPECT_EQ(fi.ShouldFire(FaultKind::kExtractorFault, -1, -1, shard),
+              shard == 2)
+        << "shard=" << shard;
+  }
+  // Sites that don't report a shard (e.g. the trainer) never match a
+  // shard-filtered spec.
+  EXPECT_FALSE(fi.ShouldFire(FaultKind::kExtractorFault, 1, 0));
+  EXPECT_EQ(fi.hits(FaultKind::kExtractorFault), 1);
+}
+
 TEST(FaultInjectorTest, IndependentKinds) {
   FaultInjector fi;
   FaultSpec spec;
