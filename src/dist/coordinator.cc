@@ -1,0 +1,304 @@
+#include "dist/coordinator.h"
+
+#include <utility>
+
+#include "util/check.h"
+#include "util/clock.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace dader::dist {
+
+namespace {
+
+// How many distinct nodes one Match call will try before giving up: the
+// routed node plus this many failovers.
+constexpr int kMaxFailovers = 2;
+
+uint64_t Mix(uint64_t x) {
+  SplitMix64 sm(x);
+  return sm.Next();
+}
+
+}  // namespace
+
+Coordinator::Coordinator(CoordinatorConfig config,
+                         std::vector<int> worker_ports)
+    : config_(config),
+      ports_(std::move(worker_ports)),
+      membership_(static_cast<int>(ports_.size()), config.membership) {
+  DADER_CHECK_GT(ports_.size(), 0u);
+  DADER_CHECK_GT(config_.channels_per_node, 0);
+  DADER_CHECK_GT(config_.max_inflight_per_node, 0);
+
+  SplitMix64 seeds(config_.seed);
+  for (size_t node = 0; node < ports_.size(); ++node) {
+    RpcChannelConfig hb;
+    hb.default_deadline_ms = config_.heartbeat_deadline_ms;
+    hb.reconnect = config_.reconnect;
+    hb.seed = seeds.Next();
+    hb.clock = config_.clock;
+    hb_channels_.push_back(
+        std::make_unique<RpcChannel>(ports_[node], hb));
+
+    std::vector<std::unique_ptr<RpcChannel>> pool;
+    for (int c = 0; c < config_.channels_per_node; ++c) {
+      RpcChannelConfig data;
+      data.default_deadline_ms = config_.match_deadline_ms;
+      data.reconnect = config_.reconnect;
+      data.seed = seeds.Next();
+      data.clock = config_.clock;
+      pool.push_back(std::make_unique<RpcChannel>(ports_[node], data));
+    }
+    data_channels_.push_back(std::move(pool));
+    rr_.push_back(std::make_unique<std::atomic<int64_t>>(0));
+    inflight_.push_back(std::make_unique<std::atomic<int64_t>>(0));
+  }
+
+  auto& reg = obs::MetricsRegistry::Default();
+  m_requests_ = reg.GetCounter("dist.route.requests.total",
+                               "Match requests routed by the coordinator",
+                               "requests");
+  m_rescued_ = reg.GetCounter(
+      "dist.route.rescued.total",
+      "Requests served by a survivor because their home node was dead",
+      "requests");
+  m_shed_ = reg.GetCounter(
+      "dist.route.shed.total",
+      "Requests shed Unavailable (fleet unroutable or node over capacity)",
+      "requests");
+  m_hb_sent_ = reg.GetCounter("dist.heartbeat.sent.total",
+                              "Heartbeat pings sent to workers", "probes");
+  m_reload_ok_ = reg.GetCounter("dist.reload.node.success.total",
+                                "Per-node checkpoint pushes that succeeded",
+                                "nodes");
+  m_reload_rollback_ = reg.GetCounter(
+      "dist.reload.node.rollback.total",
+      "Per-node checkpoint pushes that failed (worker rolled back)",
+      "nodes");
+}
+
+Coordinator::~Coordinator() { Stop(); }
+
+void Coordinator::Start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  hb_thread_ = std::thread([this] { HeartbeatLoop(); });
+}
+
+void Coordinator::Stop() {
+  running_.store(false);
+  if (hb_thread_.joinable()) hb_thread_.join();
+}
+
+void Coordinator::HeartbeatLoop() {
+  util::Clock* clock = config_.clock ? config_.clock : util::Clock::Real();
+  while (running_.load()) {
+    HeartbeatTick();
+    clock->SleepForMs(config_.heartbeat_period_ms);
+  }
+}
+
+void Coordinator::HeartbeatTick() {
+  obs::TraceSpan tick("dist.heartbeat.tick");
+  for (int node = 0; node < num_nodes(); ++node) {
+    m_hb_sent_->Increment();
+    Result<Frame> pong = hb_channels_[static_cast<size_t>(node)]->Call(
+        FrameType::kPing, "", config_.heartbeat_deadline_ms);
+    if (pong.ok() && pong.ValueOrDie().type == FrameType::kPong) {
+      membership_.OnHeartbeatOk(node);
+    } else {
+      membership_.OnHeartbeatMiss(node);
+    }
+  }
+  // Recovering nodes answer pings but earn traffic back through the
+  // warm-up canary: an end-to-end forward on the worker's live model.
+  for (int node = 0; node < num_nodes(); ++node) {
+    if (membership_.state(node) != NodeState::kCanary) continue;
+    obs::TraceSpan readmit("dist.readmit");
+    Result<Frame> reply = hb_channels_[static_cast<size_t>(node)]->Call(
+        FrameType::kCanary, "", config_.canary_deadline_ms);
+    bool ok = false;
+    if (reply.ok() && reply.ValueOrDie().type == FrameType::kCanaryReply) {
+      Status inner = Status::OK();
+      ok = DecodeStatus(reply.ValueOrDie().payload, &inner).ok() &&
+           inner.ok();
+    }
+    if (ok) {
+      membership_.OnCanaryOk(node);
+    } else {
+      membership_.OnCanaryFailure(node);
+    }
+  }
+}
+
+int Coordinator::RescueNode(uint64_t hash,
+                            const std::vector<bool>& skip) const {
+  // Deterministic probe sequence over the pair's own hash: while the
+  // membership view is stable every client maps a pair to the same
+  // survivor, so per-pair stickiness (and its cache locality) survives a
+  // node death.
+  const int n = num_nodes();
+  for (int probe = 1; probe <= 8 * n; ++probe) {
+    const int cand = static_cast<int>(
+        Mix(hash + static_cast<uint64_t>(probe)) % static_cast<uint64_t>(n));
+    if (skip[static_cast<size_t>(cand)]) continue;
+    if (!membership_.routable(cand)) continue;
+    return cand;
+  }
+  // The probe sequence can (rarely) keep landing on skipped nodes; fall
+  // back to a deterministic pick from whatever is routable.
+  std::vector<int> routable = membership_.RoutableNodes();
+  for (size_t i = 0; i < routable.size(); ++i) {
+    const int cand =
+        routable[(hash + i) % routable.size()];
+    if (!skip[static_cast<size_t>(cand)]) return cand;
+  }
+  return -1;
+}
+
+RouteDecision Coordinator::Route(const serve::MatchRequest& request) const {
+  RouteDecision decision;
+  decision.home =
+      serve::ShardForPair(request.a, request.b, num_nodes());
+  if (membership_.routable(decision.home)) {
+    decision.node = decision.home;
+    return decision;
+  }
+  std::vector<bool> skip(static_cast<size_t>(num_nodes()), false);
+  skip[static_cast<size_t>(decision.home)] = true;
+  decision.node =
+      RescueNode(serve::PairKeyHash(request.a, request.b), skip);
+  decision.rescued = decision.node >= 0;
+  return decision;
+}
+
+serve::MatchResponse Coordinator::Match(serve::MatchRequest request) {
+  m_requests_->Increment();
+  serve::MatchResponse response;
+
+  const RouteDecision first = Route(request);
+  if (first.node < 0) {
+    shed_.fetch_add(1);
+    m_shed_->Increment();
+    response.status =
+        Status::Unavailable("no routable worker node (fleet down)");
+    return response;
+  }
+
+  const uint64_t hash = serve::PairKeyHash(request.a, request.b);
+  const std::string payload = EncodeMatchRequest(request);
+  std::vector<bool> tried(static_cast<size_t>(num_nodes()), false);
+  int node = first.node;
+  bool rescued = first.rescued;
+  Status last = Status::Unavailable("never attempted");
+
+  for (int attempt = 0; attempt <= kMaxFailovers; ++attempt) {
+    auto& inflight = *inflight_[static_cast<size_t>(node)];
+    if (inflight.fetch_add(1) >= config_.max_inflight_per_node) {
+      // Past capacity we shed rather than dog-pile the rest of the fleet;
+      // the worker's own admission queue sheds its overload the same way.
+      inflight.fetch_sub(1);
+      shed_.fetch_add(1);
+      m_shed_->Increment();
+      response.status = Status::Unavailable(
+          "worker node " + std::to_string(node) + " over capacity");
+      return response;
+    }
+    Result<Frame> reply =
+        DataChannel(node).Call(FrameType::kMatch, payload,
+                               config_.match_deadline_ms);
+    inflight.fetch_sub(1);
+
+    if (reply.ok()) {
+      const Frame& frame = reply.ValueOrDie();
+      if (frame.type != FrameType::kMatchReply) {
+        response.status =
+            Status::Internal("unexpected reply frame: " +
+                             std::string(FrameTypeName(frame.type)));
+        return response;
+      }
+      Result<serve::MatchResponse> decoded =
+          DecodeMatchResponse(frame.payload);
+      if (!decoded.ok()) {
+        response.status = decoded.status();
+        return response;
+      }
+      routed_.fetch_add(1);
+      if (rescued) {
+        rescued_.fetch_add(1);
+        m_rescued_->Increment();
+      }
+      return std::move(decoded).ValueOrDie();
+    }
+
+    // Transport failure: evidence for membership (detection must not wait
+    // for the next heartbeat tick), then fail over along the same
+    // deterministic probe sequence.
+    last = reply.status();
+    membership_.OnHeartbeatMiss(node);
+    tried[static_cast<size_t>(node)] = true;
+    obs::TraceSpan recovery("dist.recovery");
+    const int next = RescueNode(hash, tried);
+    if (next < 0) break;
+    node = next;
+    rescued = true;
+  }
+
+  shed_.fetch_add(1);
+  m_shed_->Increment();
+  response.status = Status::Unavailable("match rpc failed after failover: " +
+                                        last.message());
+  return response;
+}
+
+std::vector<serve::MatchResponse> Coordinator::MatchBatch(
+    std::vector<serve::MatchRequest> requests) {
+  std::vector<serve::MatchResponse> responses;
+  responses.reserve(requests.size());
+  for (auto& request : requests) {
+    responses.push_back(Match(std::move(request)));
+  }
+  return responses;
+}
+
+Status Coordinator::RollingReload(const std::string& path) {
+  obs::TraceSpan roll("dist.reload.rolling");
+  for (int node = 0; node < num_nodes(); ++node) {
+    if (!membership_.routable(node)) {
+      DADER_LOG(Warning) << "dist reload: skipping unroutable node " << node
+                         << " (it will canary back in on old weights; "
+                            "re-push after it recovers)";
+      continue;
+    }
+    Result<Frame> reply =
+        DataChannel(node).Call(FrameType::kReload, path,
+                               config_.reload_deadline_ms);
+    Status pushed = Status::Unavailable("no reply");
+    if (!reply.ok()) {
+      pushed = reply.status();
+    } else if (reply.ValueOrDie().type != FrameType::kReloadReply) {
+      pushed = Status::Internal("unexpected reload reply frame");
+    } else {
+      Status inner = Status::OK();
+      Status wire = DecodeStatus(reply.ValueOrDie().payload, &inner);
+      pushed = wire.ok() ? inner : wire;
+    }
+    if (!pushed.ok()) {
+      m_reload_rollback_->Increment();
+      return Status(pushed.code(),
+                    "rolling reload aborted at node " + std::to_string(node) +
+                        " (worker rolled back): " + pushed.message());
+    }
+    m_reload_ok_->Increment();
+  }
+  return Status::OK();
+}
+
+RpcChannel& Coordinator::DataChannel(int node) {
+  auto& pool = data_channels_[static_cast<size_t>(node)];
+  const int64_t pick = rr_[static_cast<size_t>(node)]->fetch_add(1);
+  return *pool[static_cast<size_t>(pick % static_cast<int64_t>(pool.size()))];
+}
+
+}  // namespace dader::dist

@@ -1,0 +1,174 @@
+// Coordinator: heartbeat membership + degrade-don't-die routing over a
+// fixed roster of WorkerNodes.
+//
+//                          ┌──────────────── coordinator ───────────────┐
+//   client Match() ───────▶│ route: home = PairKeyHash % N              │
+//                          │   home dead? -> rescue permutation         │
+//                          │   survivor over capacity? -> shed          │
+//                          │ heartbeat thread: ping every node each     │
+//                          │   tick, feed MembershipTable; canary-probe │
+//                          │   recovering nodes                        │
+//                          └──────┬──────────────┬──────────────┬──────┘
+//                             loopback TCP    loopback TCP   loopback TCP
+//                          ┌─ node 0 ─┐   ┌─ node 1 ─┐   ┌─ node N-1 ─┐
+//                          │WorkerNode│   │WorkerNode│   │ WorkerNode │
+//
+// Routing invariants:
+//
+//   * The home node is serve::ShardForPair — the identical pure function
+//     the in-process ShardedMatchService uses, so moving a deployment from
+//     threads to processes reshuffles nothing.
+//   * A pair only leaves its home when the home is DEAD (not SUSPECT — one
+//     dropped heartbeat must not reshuffle the key space). The rescue node
+//     is drawn by a deterministic splitmix64 probe sequence over the
+//     pair's own hash, so while the membership view is stable every client
+//     sends a given pair to the same survivor (its cache keeps hitting),
+//     and because every worker serves a bit-identical model replica the
+//     rescued answer equals the answer the home would have given.
+//   * Degrade, don't die: overload sheds (Unavailable) only past the
+//     per-node in-flight cap instead of dog-piling survivors, and a fleet
+//     with zero routable nodes answers Unavailable rather than blocking.
+//
+// Failure evidence flows from both planes: the heartbeat thread reports
+// ping outcomes, and the data path reports transport failures (a reset
+// connection marks a miss immediately — detection does not wait for the
+// next tick). Recovery is deliberately slower than detection: a node that
+// answers pings again only re-enters the rotation after the warm-up canary
+// (kCanary -> MatchService::CanaryCheck) passes `readmit_canary_successes`
+// times in a row.
+//
+// RollingReload pushes a checkpoint node by node (routable nodes only).
+// Each worker stages, validates, and canaries locally — a bad push rolls
+// back on the worker and aborts the roll here, leaving a mixed fleet of
+// old+new weights. That is deliberate: both versions passed their canary,
+// and per-pair stickiness means each pair sees one version consistently.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dist/membership.h"
+#include "dist/rpc.h"
+#include "obs/trace.h"
+#include "serve/match_types.h"
+#include "serve/router.h"
+
+namespace dader::dist {
+
+/// \brief Coordinator tuning (per-node deadlines, cadence, capacity).
+struct CoordinatorConfig {
+  double heartbeat_period_ms = 25.0;    ///< tick cadence
+  double heartbeat_deadline_ms = 60.0;  ///< per-ping budget; miss beyond it
+  double match_deadline_ms = 1000.0;    ///< per-match RPC budget
+  double canary_deadline_ms = 2000.0;   ///< warm-up canary probe budget
+  double reload_deadline_ms = 20000.0;  ///< checkpoint restore is slow
+  MembershipConfig membership;
+  /// Data-path channels per node. One RpcChannel serializes; a small pool
+  /// lets concurrent clients pipeline, which is what lets the worker-side
+  /// batcher actually form batches.
+  int channels_per_node = 2;
+  /// In-flight match RPCs per node before new arrivals shed (Unavailable).
+  int max_inflight_per_node = 64;
+  serve::RetryPolicy reconnect;  ///< channel re-establishment backoff
+  uint64_t seed = 0xc00dULL;     ///< jitter seeds (per channel, derived)
+  /// Clock for heartbeat pacing and backoff sleeps; null = real. Socket
+  /// deadlines are always real-time.
+  util::Clock* clock = nullptr;
+};
+
+/// \brief Where a request went and why (exposed for tests/observability).
+struct RouteDecision {
+  int home = -1;         ///< ShardForPair home node
+  int node = -1;         ///< chosen node; -1 = nothing routable
+  bool rescued = false;  ///< true when node != home because home is dead
+};
+
+/// \brief Client-facing façade over N worker nodes (see file comment).
+class Coordinator {
+ public:
+  /// \param worker_ports loopback ports of nodes 0..N-1, in node order.
+  Coordinator(CoordinatorConfig config, std::vector<int> worker_ports);
+  ~Coordinator();
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  /// \brief Starts the heartbeat thread. Until the first tick every node
+  /// is presumed ALIVE (optimistic start; the data path will report
+  /// failures on its own).
+  void Start();
+
+  /// \brief Stops the heartbeat thread and closes every channel. Stop may
+  /// block up to one heartbeat period. Idempotent; dtor calls.
+  void Stop();
+
+  /// \brief Routes, calls the worker over RPC, and returns its answer.
+  /// Transport failures mark the node and fail over to the next rescue
+  /// candidate; only an unroutable/over-capacity fleet sheds.
+  serve::MatchResponse Match(serve::MatchRequest request);
+
+  /// \brief Convenience loop over Match (serial; concurrency is the
+  /// caller's business — see the channel-pool note in CoordinatorConfig).
+  std::vector<serve::MatchResponse> MatchBatch(
+      std::vector<serve::MatchRequest> requests);
+
+  /// \brief Pushes the checkpoint to every routable node in node order;
+  /// aborts on the first failure (that worker already rolled back).
+  Status RollingReload(const std::string& path);
+
+  /// \brief One synchronous heartbeat round (ping every node + canary
+  /// recovering ones). The background thread calls this every period;
+  /// tests call it directly for step-by-step determinism.
+  void HeartbeatTick();
+
+  /// \brief Routing decision for a request under the current membership
+  /// view — pure, no RPC.
+  RouteDecision Route(const serve::MatchRequest& request) const;
+
+  MembershipTable& membership() { return membership_; }
+  const MembershipTable& membership() const { return membership_; }
+  int num_nodes() const { return static_cast<int>(ports_.size()); }
+
+  int64_t routed() const { return routed_.load(); }
+  int64_t rescued() const { return rescued_.load(); }
+  int64_t shed() const { return shed_.load(); }
+
+ private:
+  void HeartbeatLoop();
+  /// Picks the rescue node for `hash` given nodes to skip; -1 when the
+  /// whole fleet is out.
+  int RescueNode(uint64_t hash, const std::vector<bool>& skip) const;
+  RpcChannel& DataChannel(int node);
+
+  CoordinatorConfig config_;
+  std::vector<int> ports_;
+  MembershipTable membership_;
+
+  // Heartbeats ride dedicated channels so data-path head-of-line blocking
+  // can never fake a miss.
+  std::vector<std::unique_ptr<RpcChannel>> hb_channels_;
+  std::vector<std::vector<std::unique_ptr<RpcChannel>>> data_channels_;
+  std::vector<std::unique_ptr<std::atomic<int64_t>>> rr_;        // pool pick
+  std::vector<std::unique_ptr<std::atomic<int64_t>>> inflight_;  // cap
+
+  std::thread hb_thread_;
+  std::atomic<bool> running_{false};
+
+  std::atomic<int64_t> routed_{0};
+  std::atomic<int64_t> rescued_{0};
+  std::atomic<int64_t> shed_{0};
+
+  obs::Counter* m_requests_;
+  obs::Counter* m_rescued_;
+  obs::Counter* m_shed_;
+  obs::Counter* m_hb_sent_;
+  obs::Counter* m_reload_ok_;
+  obs::Counter* m_reload_rollback_;
+};
+
+}  // namespace dader::dist

@@ -1,0 +1,191 @@
+#include "dist/membership.h"
+
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace dader::dist {
+
+const char* NodeStateName(NodeState state) {
+  switch (state) {
+    case NodeState::kAlive:
+      return "alive";
+    case NodeState::kSuspect:
+      return "suspect";
+    case NodeState::kDead:
+      return "dead";
+    case NodeState::kCanary:
+      return "canary";
+  }
+  return "?";
+}
+
+MembershipTable::MembershipTable(int num_nodes, MembershipConfig config)
+    : config_(config), nodes_(static_cast<size_t>(num_nodes)) {
+  DADER_CHECK_GT(num_nodes, 0);
+  DADER_CHECK_GT(config_.suspect_after_misses, 0);
+  DADER_CHECK_GE(config_.dead_after_misses, config_.suspect_after_misses);
+  DADER_CHECK_GT(config_.readmit_canary_successes, 0);
+  auto& reg = obs::MetricsRegistry::Default();
+  m_alive_ = reg.GetGauge("dist.membership.alive",
+                          "Workers currently routable (alive or suspect)",
+                          "nodes");
+  m_miss_ = reg.GetCounter("dist.heartbeat.miss.total",
+                           "Heartbeat probes that went unanswered", "probes");
+  m_to_alive_ = reg.GetCounter(
+      obs::LabeledName("dist.membership.transitions.total", "to", "alive"),
+      "Membership state transitions", "transitions");
+  m_to_suspect_ = reg.GetCounter(
+      obs::LabeledName("dist.membership.transitions.total", "to", "suspect"),
+      "Membership state transitions", "transitions");
+  m_to_dead_ = reg.GetCounter(
+      obs::LabeledName("dist.membership.transitions.total", "to", "dead"),
+      "Membership state transitions", "transitions");
+  m_to_canary_ = reg.GetCounter(
+      obs::LabeledName("dist.membership.transitions.total", "to", "canary"),
+      "Membership state transitions", "transitions");
+  m_readmit_ = reg.GetCounter(
+      "dist.readmit.total",
+      "Recovered workers re-admitted to full traffic after the warm-up canary",
+      "nodes");
+  m_readmit_fail_ = reg.GetCounter(
+      "dist.readmit.canary_fail.total",
+      "Warm-up canary failures that sent a recovering worker back to dead",
+      "probes");
+  PublishRoutableLocked();
+}
+
+void MembershipTable::TransitionLocked(int node, NodeState to) {
+  Node& n = nodes_[static_cast<size_t>(node)];
+  if (n.state == to) return;
+  DADER_LOG(Info) << "dist membership: node " << node << " "
+                  << NodeStateName(n.state) << " -> " << NodeStateName(to);
+  n.state = to;
+  switch (to) {
+    case NodeState::kAlive:
+      m_to_alive_->Increment();
+      break;
+    case NodeState::kSuspect:
+      m_to_suspect_->Increment();
+      break;
+    case NodeState::kDead:
+      m_to_dead_->Increment();
+      break;
+    case NodeState::kCanary:
+      m_to_canary_->Increment();
+      break;
+  }
+  PublishRoutableLocked();
+}
+
+void MembershipTable::PublishRoutableLocked() {
+  int routable = 0;
+  for (const Node& n : nodes_) {
+    if (n.state == NodeState::kAlive || n.state == NodeState::kSuspect) {
+      ++routable;
+    }
+  }
+  m_alive_->Set(static_cast<double>(routable));
+}
+
+void MembershipTable::OnHeartbeatOk(int node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Node& n = nodes_[static_cast<size_t>(node)];
+  n.misses = 0;
+  switch (n.state) {
+    case NodeState::kAlive:
+      break;
+    case NodeState::kSuspect:
+      TransitionLocked(node, NodeState::kAlive);
+      break;
+    case NodeState::kDead:
+      // Answering again is necessary but not sufficient: the node enters
+      // the re-admission canary and earns its traffic back.
+      n.canary_successes = 0;
+      TransitionLocked(node, NodeState::kCanary);
+      break;
+    case NodeState::kCanary:
+      break;  // only canary probes promote
+  }
+}
+
+void MembershipTable::OnHeartbeatMiss(int node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Node& n = nodes_[static_cast<size_t>(node)];
+  m_miss_->Increment();
+  ++n.misses;
+  switch (n.state) {
+    case NodeState::kAlive:
+      if (n.misses >= config_.dead_after_misses) {
+        TransitionLocked(node, NodeState::kDead);
+      } else if (n.misses >= config_.suspect_after_misses) {
+        TransitionLocked(node, NodeState::kSuspect);
+      }
+      break;
+    case NodeState::kSuspect:
+      if (n.misses >= config_.dead_after_misses) {
+        TransitionLocked(node, NodeState::kDead);
+      }
+      break;
+    case NodeState::kDead:
+      break;
+    case NodeState::kCanary:
+      // A recovering node that stops answering goes straight back to dead;
+      // there is no grace period for half-recovered workers.
+      n.canary_successes = 0;
+      TransitionLocked(node, NodeState::kDead);
+      break;
+  }
+}
+
+void MembershipTable::OnCanaryOk(int node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Node& n = nodes_[static_cast<size_t>(node)];
+  if (n.state != NodeState::kCanary) return;  // stale probe result
+  if (++n.canary_successes >= config_.readmit_canary_successes) {
+    m_readmit_->Increment();
+    TransitionLocked(node, NodeState::kAlive);
+  }
+}
+
+void MembershipTable::OnCanaryFailure(int node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Node& n = nodes_[static_cast<size_t>(node)];
+  if (n.state != NodeState::kCanary) return;
+  m_readmit_fail_->Increment();
+  n.canary_successes = 0;
+  TransitionLocked(node, NodeState::kDead);
+}
+
+NodeState MembershipTable::state(int node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return nodes_[static_cast<size_t>(node)].state;
+}
+
+bool MembershipTable::routable(int node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const NodeState s = nodes_[static_cast<size_t>(node)].state;
+  return s == NodeState::kAlive || s == NodeState::kSuspect;
+}
+
+std::vector<int> MembershipTable::RoutableNodes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<int> routable;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].state == NodeState::kAlive ||
+        nodes_[i].state == NodeState::kSuspect) {
+      routable.push_back(static_cast<int>(i));
+    }
+  }
+  return routable;
+}
+
+int MembershipTable::num_routable() const {
+  return static_cast<int>(RoutableNodes().size());
+}
+
+int MembershipTable::misses(int node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return nodes_[static_cast<size_t>(node)].misses;
+}
+
+}  // namespace dader::dist

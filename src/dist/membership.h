@@ -1,0 +1,112 @@
+// Worker-membership state machine of the distributed control plane.
+//
+// The coordinator probes every worker on a fixed heartbeat cadence and
+// feeds the outcomes into this table. Per node:
+//
+//             misses >= suspect_after        misses >= dead_after
+//   kAlive ───────────────────────▶ kSuspect ─────────────────▶ kDead
+//     ▲                                │                           │
+//     │            heartbeat ok        │                           │ heartbeat ok
+//     ├────────────────────────────────┘                           ▼
+//     │      canary successes >= readmit_canary_successes       kCanary
+//     └────────────────────────────────────────────────────────────┘
+//              (any canary failure or heartbeat miss → kDead)
+//
+// Degrade-don't-die routing reads exactly one bit per node — routable(), true
+// for kAlive and kSuspect. A SUSPECT node keeps its traffic (one dropped
+// heartbeat must not reshuffle the key space); only a DEAD node's keys are
+// rescued to survivors. A recovered node answers heartbeats again, which
+// moves it to kCanary: it still gets no regular traffic until the
+// coordinator's warm-up canary probes (MatchService::CanaryCheck over RPC)
+// pass `readmit_canary_successes` times in a row — a node that can ping but
+// not serve stays out of the rotation.
+//
+// The table never talks to sockets itself; the coordinator's heartbeat loop
+// drives it, and unit tests drive it directly (no threads, no clock — state
+// depends only on the event sequence).
+
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace dader::dist {
+
+/// \brief Node health states (see file comment).
+enum class NodeState { kAlive, kSuspect, kDead, kCanary };
+
+/// \brief "alive", "suspect", "dead", "canary".
+const char* NodeStateName(NodeState state);
+
+/// \brief Thresholds of the membership state machine.
+struct MembershipConfig {
+  int suspect_after_misses = 2;  ///< consecutive misses: ALIVE -> SUSPECT
+  int dead_after_misses = 4;     ///< consecutive misses: -> DEAD
+  /// Consecutive warm-up canary successes before a recovered node is
+  /// re-admitted to full traffic.
+  int readmit_canary_successes = 2;
+};
+
+/// \brief Thread-safe membership table for a fixed node roster.
+class MembershipTable {
+ public:
+  MembershipTable(int num_nodes, MembershipConfig config);
+
+  /// \brief A heartbeat answered. ALIVE/SUSPECT -> ALIVE; DEAD -> CANARY
+  /// (re-admission starts); CANARY stays (only canary probes promote).
+  void OnHeartbeatOk(int node);
+
+  /// \brief A heartbeat missed (timeout, reset, or refused connection).
+  /// Also reported by the data path on transport failures, so a crashed
+  /// node is usually SUSPECT before the next heartbeat tick even fires.
+  void OnHeartbeatMiss(int node);
+
+  /// \brief Warm-up canary outcome for a kCanary node. Enough consecutive
+  /// successes promote to kAlive; any failure demotes back to kDead.
+  void OnCanaryOk(int node);
+  void OnCanaryFailure(int node);
+
+  NodeState state(int node) const;
+
+  /// \brief True when the router may send regular traffic (ALIVE/SUSPECT).
+  bool routable(int node) const;
+
+  /// \brief Nodes currently routable, in index order.
+  std::vector<int> RoutableNodes() const;
+
+  int num_routable() const;
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+
+  /// \brief Consecutive misses of a node (0 after any success).
+  int misses(int node) const;
+
+ private:
+  struct Node {
+    NodeState state = NodeState::kAlive;
+    int misses = 0;
+    int canary_successes = 0;
+  };
+
+  // Applies a state change + metrics. Caller holds mu_.
+  void TransitionLocked(int node, NodeState to);
+  void PublishRoutableLocked();
+
+  MembershipConfig config_;
+  mutable std::mutex mu_;
+  std::vector<Node> nodes_;
+
+  obs::Gauge* m_alive_;
+  obs::Counter* m_miss_;
+  obs::Counter* m_to_alive_;
+  obs::Counter* m_to_suspect_;
+  obs::Counter* m_to_dead_;
+  obs::Counter* m_to_canary_;
+  obs::Counter* m_readmit_;
+  obs::Counter* m_readmit_fail_;
+};
+
+}  // namespace dader::dist

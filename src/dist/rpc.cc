@@ -1,0 +1,415 @@
+#include "dist/rpc.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace dader::dist {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double MsSince(SteadyClock::time_point start) {
+  return std::chrono::duration<double, std::milli>(SteadyClock::now() - start)
+      .count();
+}
+
+// RPC-client metrics; shared across channels (per-node distinctions live in
+// the coordinator's routing counters, not here).
+struct RpcMetrics {
+  obs::Histogram* latency_ms;
+  obs::Counter* retries;
+  obs::Counter* failures;
+  obs::Counter* reconnects;
+};
+
+const RpcMetrics& Metrics() {
+  static const RpcMetrics metrics = [] {
+    auto& reg = obs::MetricsRegistry::Default();
+    RpcMetrics m;
+    m.latency_ms =
+        reg.GetHistogram("dist.rpc.latency_ms",
+                         "Client-side RPC round-trip latency", "ms");
+    m.retries = reg.GetCounter(
+        "dist.rpc.retries.total",
+        "RPC send/connect attempts beyond the first within one call",
+        "retries");
+    m.failures = reg.GetCounter("dist.rpc.failures.total",
+                                "RPC calls that returned a transport error",
+                                "calls");
+    m.reconnects = reg.GetCounter(
+        "dist.rpc.reconnects.total",
+        "Channel connections re-established after a drop", "connections");
+    return m;
+  }();
+  return metrics;
+}
+
+// Reads exactly n bytes into buf within the poll budget. timeout_ms < 0
+// waits forever.
+Status RecvExact(int fd, char* buf, size_t n,
+                 SteadyClock::time_point deadline, bool has_deadline) {
+  size_t got = 0;
+  while (got < n) {
+    int poll_ms = -1;
+    if (has_deadline) {
+      const double remaining =
+          std::chrono::duration<double, std::milli>(deadline -
+                                                    SteadyClock::now())
+              .count();
+      if (remaining <= 0.0) {
+        return Status::DeadlineExceeded("rpc receive deadline expired");
+      }
+      poll_ms = static_cast<int>(std::min(remaining + 1.0, 3600000.0));
+    }
+    pollfd pfd{fd, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, poll_ms);
+    if (pr == 0) continue;  // re-check the deadline
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable("poll failed: " +
+                                 std::string(std::strerror(errno)));
+    }
+    const ssize_t r = ::recv(fd, buf + got, n - got, 0);
+    if (r == 0) return Status::Unavailable("connection closed by peer");
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable("recv failed: " +
+                                 std::string(std::strerror(errno)));
+    }
+    got += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<int> ListenLoopback(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IOError("socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::IOError("bind to 127.0.0.1:" + std::to_string(port) +
+                           " failed: " + std::strerror(errno));
+  }
+  if (::listen(fd, 64) != 0) {
+    ::close(fd);
+    return Status::IOError("listen failed");
+  }
+  return fd;
+}
+
+Result<int> BoundPort(int fd) {
+  sockaddr_in addr;
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return Status::IOError("getsockname failed");
+  }
+  return static_cast<int>(ntohs(addr.sin_port));
+}
+
+Result<int> ConnectLoopback(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IOError("socket() failed");
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::Unavailable("connect to 127.0.0.1:" +
+                               std::to_string(port) +
+                               " failed: " + std::strerror(errno));
+  }
+  // Frames are small and latency-sensitive; never wait for Nagle.
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+Status SendFrame(int fd, const Frame& frame) {
+  const std::string data = EncodeFrame(frame);
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return Status::Unavailable("send failed: connection lost");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<Frame> RecvFrame(int fd, double timeout_ms) {
+  const bool has_deadline = timeout_ms >= 0.0;
+  const SteadyClock::time_point deadline =
+      SteadyClock::now() + std::chrono::duration_cast<SteadyClock::duration>(
+                               std::chrono::duration<double, std::milli>(
+                                   has_deadline ? timeout_ms : 0.0));
+  char len_buf[4];
+  DADER_RETURN_NOT_OK(RecvExact(fd, len_buf, 4, deadline, has_deadline));
+  uint32_t length = 0;
+  for (int i = 0; i < 4; ++i) {
+    length |= static_cast<uint32_t>(static_cast<unsigned char>(len_buf[i]))
+              << (8 * i);
+  }
+  if (length < 9 || length > kMaxFrameBytes) {
+    return Status::OutOfRange("frame length " + std::to_string(length) +
+                              " outside protocol bounds");
+  }
+  std::string body(length, '\0');
+  DADER_RETURN_NOT_OK(
+      RecvExact(fd, body.data(), body.size(), deadline, has_deadline));
+  // Reassemble [len][body] for the codec's whole-frame validation.
+  std::string whole(len_buf, 4);
+  whole.append(body);
+  return DecodeFrame(whole);
+}
+
+// --- RpcServerConnection ---
+
+Status RpcServerConnection::Send(const Frame& frame) {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  if (!open_.load()) return Status::Unavailable("connection closed");
+  return SendFrame(fd_, frame);
+}
+
+void RpcServerConnection::ShutdownNow() {
+  open_.store(false);
+  // Linger off => RST, the honest version of the conn-reset fault. Failing
+  // that, a plain shutdown still surfaces as a peer EOF.
+  linger lg{1, 0};
+  ::setsockopt(fd_, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+  ::shutdown(fd_, SHUT_RDWR);
+}
+
+// --- RpcServer ---
+
+RpcServer::RpcServer(Handler handler) : handler_(std::move(handler)) {}
+
+RpcServer::~RpcServer() { Stop(); }
+
+Status RpcServer::Start(int port) {
+  if (running_.load()) {
+    return Status::InvalidArgument("rpc server already running");
+  }
+  int fd = -1;
+  DADER_ASSIGN_OR_RETURN(fd, ListenLoopback(port));
+  int bound = 0;
+  {
+    auto bound_or = BoundPort(fd);
+    if (!bound_or.ok()) {
+      ::close(fd);
+      return bound_or.status();
+    }
+    bound = bound_or.ValueOrDie();
+  }
+  listen_fd_ = fd;
+  port_ = bound;
+  running_.store(true);
+  accept_thread_ = std::thread([this, fd] { AcceptLoop(fd); });
+  return Status::OK();
+}
+
+void RpcServer::Stop() {
+  bool expected = true;
+  if (!running_.compare_exchange_strong(expected, false)) return;
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listen_fd_ = -1;
+
+  // Unblock every connection's read loop, then join. The loops close their
+  // own fds on exit (they own them; see ConnLoop).
+  std::vector<ConnEntry> conns;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns.swap(conns_);
+  }
+  for (ConnEntry& entry : conns) {
+    entry.conn->open_.store(false);
+    ::shutdown(entry.conn->fd_, SHUT_RDWR);
+  }
+  for (ConnEntry& entry : conns) {
+    if (entry.thread.joinable()) entry.thread.join();
+  }
+}
+
+void RpcServer::AcceptLoop(int listen_fd) {
+  while (running_.load()) {
+    const int client = ::accept(listen_fd, nullptr, nullptr);
+    if (client < 0) {
+      if (!running_.load()) return;
+      continue;  // EINTR etc.
+    }
+    const int one = 1;
+    ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_shared<RpcServerConnection>(client);
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    if (!running_.load()) {
+      // Stop() raced the accept; it will not see this connection, so close
+      // it here instead of leaking a thread.
+      ::close(client);
+      return;
+    }
+    ConnEntry entry;
+    entry.conn = conn;
+    entry.thread = std::thread([this, conn] { ConnLoop(conn); });
+    conns_.push_back(std::move(entry));
+  }
+}
+
+void RpcServer::ConnLoop(std::shared_ptr<RpcServerConnection> conn) {
+  while (conn->open_.load() && running_.load()) {
+    Result<Frame> frame = RecvFrame(conn->fd_, /*timeout_ms=*/-1.0);
+    if (!frame.ok()) break;  // peer went away or Stop() shut us down
+    if (!handler_(frame.ValueOrDie(), conn.get())) {
+      conn->ShutdownNow();
+      break;
+    }
+  }
+  conn->open_.store(false);
+  ::close(conn->fd_);
+}
+
+// --- RpcChannel ---
+
+RpcChannel::RpcChannel(int port, RpcChannelConfig config)
+    : port_(port),
+      config_(config),
+      backoff_(config.reconnect, config.seed, config.clock) {}
+
+RpcChannel::~RpcChannel() {
+  std::lock_guard<std::mutex> lock(mu_);
+  CloseLocked();
+}
+
+void RpcChannel::CloseLocked() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void RpcChannel::Disconnect() {
+  std::lock_guard<std::mutex> lock(mu_);
+  CloseLocked();
+}
+
+Status RpcChannel::EnsureConnectedLocked(double budget_ms) {
+  if (fd_ >= 0) return Status::OK();
+  const SteadyClock::time_point start = SteadyClock::now();
+  Status last = Status::Unavailable("never attempted");
+  const int max_attempts = std::max(1, config_.reconnect.max_attempts);
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) {
+      Metrics().retries->Increment();
+      const double delay =
+          std::min(backoff_.NextDelayMs(attempt),
+                   std::max(0.0, budget_ms - MsSince(start)));
+      backoff_.Sleep(delay);
+    }
+    if (MsSince(start) >= budget_ms) {
+      return Status::DeadlineExceeded("connect budget exhausted: " +
+                                      last.message());
+    }
+    Result<int> fd = ConnectLoopback(port_);
+    if (fd.ok()) {
+      fd_ = fd.ValueOrDie();
+      if (ever_connected_) {
+        reconnects_.fetch_add(1);
+        Metrics().reconnects->Increment();
+      }
+      ever_connected_ = true;
+      return Status::OK();
+    }
+    last = fd.status();
+  }
+  return last;
+}
+
+Result<Frame> RpcChannel::Call(FrameType type, std::string payload,
+                               double deadline_ms) {
+  const double budget =
+      deadline_ms > 0.0 ? deadline_ms : config_.default_deadline_ms;
+  const SteadyClock::time_point start = SteadyClock::now();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  const int max_attempts = std::max(1, config_.reconnect.max_attempts);
+  Status last = Status::Unavailable("never attempted");
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    const double remaining = budget - MsSince(start);
+    if (remaining <= 0.0) {
+      Metrics().failures->Increment();
+      return Status::DeadlineExceeded("rpc deadline expired: " +
+                                      last.message());
+    }
+    if (attempt > 0) {
+      Metrics().retries->Increment();
+      backoff_.Sleep(std::min(backoff_.NextDelayMs(attempt), remaining));
+    }
+    Status conn = EnsureConnectedLocked(budget - MsSince(start));
+    if (!conn.ok()) {
+      last = conn;
+      continue;
+    }
+    Frame frame;
+    frame.type = type;
+    frame.request_id = next_request_id_++;
+    frame.payload = payload;
+    Status sent = SendFrame(fd_, frame);
+    if (!sent.ok()) {
+      // Stale connection (peer restarted since the last call): drop it and
+      // let the next attempt reconnect.
+      CloseLocked();
+      last = sent;
+      continue;
+    }
+    Result<Frame> reply = RecvFrame(fd_, budget - MsSince(start));
+    if (!reply.ok()) {
+      // Both deadline and transport errors poison the connection: a late
+      // reply must never be matched to a future call.
+      CloseLocked();
+      if (reply.status().code() == StatusCode::kDeadlineExceeded) {
+        Metrics().failures->Increment();
+        return reply.status();
+      }
+      last = reply.status();
+      continue;
+    }
+    if (reply.ValueOrDie().request_id != frame.request_id) {
+      CloseLocked();
+      last = Status::Internal("rpc reply id mismatch");
+      continue;
+    }
+    Metrics().latency_ms->Observe(MsSince(start));
+    return reply;
+  }
+  Metrics().failures->Increment();
+  return last;
+}
+
+}  // namespace dader::dist

@@ -1,0 +1,179 @@
+// Loopback-TCP transport of the distributed serving plane.
+//
+// Deliberately minimal, like obs/http_exporter: IPv4 loopback only, blocking
+// sockets, length-prefixed frames (dist/wire.h), no TLS. Exposing the match
+// plane beyond the host is a deployment decision this layer refuses to
+// make; what it does take seriously is *failure*:
+//
+//   * every receive is bounded by a poll() deadline — a hung peer costs the
+//     caller its deadline, never a wedge;
+//   * the client channel re-establishes dropped connections with seeded
+//     backoff+jitter (serve::RetrySchedule, so tests replay the schedule);
+//   * a deadline that expires mid-call poisons the connection (a late reply
+//     could otherwise be mis-matched to the next call), so the channel
+//     closes and reconnects rather than trust it.
+//
+// Threading: RpcServer runs one accept thread plus one thread per live
+// connection; the expected peer count is "a coordinator", not "the
+// internet". RpcChannel serializes calls (one outstanding RPC per channel);
+// callers that want pipelining hold several channels (see
+// dist/coordinator.h).
+
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "dist/wire.h"
+#include "serve/retry.h"
+#include "util/status.h"
+
+namespace dader::dist {
+
+// --- low-level framed-socket helpers (exposed for tests) ---
+
+/// \brief Binds + listens on 127.0.0.1:port (0 = ephemeral); returns the fd.
+Result<int> ListenLoopback(int port);
+
+/// \brief The local port an fd is bound to.
+Result<int> BoundPort(int fd);
+
+/// \brief Blocking connect to 127.0.0.1:port.
+Result<int> ConnectLoopback(int port);
+
+/// \brief Sends one whole frame (handles partial writes). Unavailable on a
+/// closed/reset connection.
+Status SendFrame(int fd, const Frame& frame);
+
+/// \brief Receives one whole frame. `timeout_ms` < 0 waits forever (the
+/// server side: Stop() shutting the fd down unblocks the poll);
+/// DeadlineExceeded when the budget runs out mid-frame, Unavailable on EOF
+/// or reset.
+Result<Frame> RecvFrame(int fd, double timeout_ms);
+
+/// \brief One live server-side connection, handed to the frame handler.
+/// Send is mutex-serialized so a handler may reply from any thread.
+class RpcServerConnection {
+ public:
+  explicit RpcServerConnection(int fd) : fd_(fd) {}
+
+  Status Send(const Frame& frame);
+
+  /// \brief Hard-closes the peer (the conn-reset fault): the client sees a
+  /// reset/EOF, not a reply. The read loop then winds the connection down.
+  void ShutdownNow();
+
+  int fd() const { return fd_; }
+
+ private:
+  friend class RpcServer;
+  int fd_;
+  std::mutex write_mu_;
+  std::atomic<bool> open_{true};
+};
+
+/// \brief Accept loop + one read loop per connection.
+class RpcServer {
+ public:
+  /// Called once per received frame; return false to close the connection
+  /// (the conn-reset fault path). The handler may block (a routed match
+  /// rides the worker's own admission queue); heartbeats therefore arrive
+  /// on their own dedicated connection (see dist/coordinator.h).
+  using Handler = std::function<bool(const Frame&, RpcServerConnection*)>;
+
+  explicit RpcServer(Handler handler);
+  ~RpcServer();
+
+  RpcServer(const RpcServer&) = delete;
+  RpcServer& operator=(const RpcServer&) = delete;
+
+  /// \brief Binds 127.0.0.1:port (0 = ephemeral) and starts accepting.
+  Status Start(int port);
+
+  /// \brief Closes the listener and every connection, joins all threads.
+  /// Idempotent. This is also the node-crash fault: a "dead" worker is one
+  /// whose server stopped answering; Start() on the same port resurrects it.
+  void Stop();
+
+  int port() const { return port_; }
+  bool running() const { return running_.load(); }
+
+ private:
+  struct ConnEntry {
+    std::shared_ptr<RpcServerConnection> conn;
+    std::thread thread;
+  };
+
+  void AcceptLoop(int listen_fd);
+  void ConnLoop(std::shared_ptr<RpcServerConnection> conn);
+
+  Handler handler_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> running_{false};
+
+  std::mutex conns_mu_;
+  std::vector<ConnEntry> conns_;  // joined on Stop
+};
+
+/// \brief Reconnecting client channel configuration.
+struct RpcChannelConfig {
+  /// Per-call budget when the caller passes none; covers connect + send +
+  /// receive + any reconnect backoff inside the call.
+  double default_deadline_ms = 1000.0;
+  /// Backoff between reconnect attempts inside one call.
+  serve::RetryPolicy reconnect;
+  /// Jitter seed for the reconnect schedule (deterministic under test).
+  uint64_t seed = 0xd15cULL;
+  /// Clock for backoff sleeps; null = real. Socket deadlines are always
+  /// real-time (see util/clock.h).
+  util::Clock* clock = nullptr;
+};
+
+/// \brief One serialized request/reply channel to 127.0.0.1:port with
+/// automatic re-establishment. Thread-safe: calls from many threads simply
+/// queue on the channel mutex.
+class RpcChannel {
+ public:
+  RpcChannel(int port, RpcChannelConfig config);
+  ~RpcChannel();
+
+  RpcChannel(const RpcChannel&) = delete;
+  RpcChannel& operator=(const RpcChannel&) = delete;
+
+  /// \brief Full round trip: connect if needed (retrying with backoff
+  /// +jitter inside the deadline), send, await the matching reply.
+  /// `deadline_ms` <= 0 uses config.default_deadline_ms.
+  Result<Frame> Call(FrameType type, std::string payload,
+                     double deadline_ms = -1.0);
+
+  /// \brief Drops the current connection (next Call reconnects). Also the
+  /// test hook for "the network flaked".
+  void Disconnect();
+
+  int port() const { return port_; }
+
+  /// \brief Connections established after the first (re-establishments).
+  int64_t reconnects() const { return reconnects_.load(); }
+
+ private:
+  // Caller holds mu_. Returns OK with fd_ >= 0, or the last connect error.
+  Status EnsureConnectedLocked(double budget_ms);
+  void CloseLocked();
+
+  const int port_;
+  RpcChannelConfig config_;
+  serve::RetrySchedule backoff_;
+  std::mutex mu_;
+  int fd_ = -1;
+  bool ever_connected_ = false;
+  uint64_t next_request_id_ = 1;
+  std::atomic<int64_t> reconnects_{0};
+};
+
+}  // namespace dader::dist

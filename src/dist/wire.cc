@@ -1,0 +1,278 @@
+#include "dist/wire.h"
+
+#include <cstring>
+
+namespace dader::dist {
+
+namespace {
+
+// Header after the length prefix: type byte + request id.
+constexpr size_t kHeaderBytes = 1 + 8;
+
+bool KnownType(uint8_t t) {
+  return t >= static_cast<uint8_t>(FrameType::kPing) &&
+         t <= static_cast<uint8_t>(FrameType::kCanaryReply);
+}
+
+}  // namespace
+
+const char* FrameTypeName(FrameType type) {
+  switch (type) {
+    case FrameType::kPing:
+      return "ping";
+    case FrameType::kPong:
+      return "pong";
+    case FrameType::kMatch:
+      return "match";
+    case FrameType::kMatchReply:
+      return "match-reply";
+    case FrameType::kReload:
+      return "reload";
+    case FrameType::kReloadReply:
+      return "reload-reply";
+    case FrameType::kCanary:
+      return "canary";
+    case FrameType::kCanaryReply:
+      return "canary-reply";
+  }
+  return "?";
+}
+
+void WireWriter::PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+
+void WireWriter::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void WireWriter::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void WireWriter::PutF32(float v) {
+  uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU32(bits);
+}
+
+void WireWriter::PutF64(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void WireWriter::PutString(const std::string& s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  buf_.append(s);
+}
+
+Status WireReader::Need(size_t n) {
+  if (pos_ + n > data_.size()) {
+    return Status::OutOfRange("wire payload truncated: need " +
+                              std::to_string(n) + " bytes, have " +
+                              std::to_string(data_.size() - pos_));
+  }
+  return Status::OK();
+}
+
+Result<uint8_t> WireReader::GetU8() {
+  DADER_RETURN_NOT_OK(Need(1));
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+Result<uint32_t> WireReader::GetU32() {
+  DADER_RETURN_NOT_OK(Need(4));
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> WireReader::GetU64() {
+  DADER_RETURN_NOT_OK(Need(8));
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+Result<float> WireReader::GetF32() {
+  uint32_t bits = 0;
+  DADER_ASSIGN_OR_RETURN(bits, GetU32());
+  float v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Result<double> WireReader::GetF64() {
+  uint64_t bits = 0;
+  DADER_ASSIGN_OR_RETURN(bits, GetU64());
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Result<std::string> WireReader::GetString() {
+  uint32_t len = 0;
+  DADER_ASSIGN_OR_RETURN(len, GetU32());
+  if (len > kMaxFrameBytes) {
+    return Status::OutOfRange("wire string length " + std::to_string(len) +
+                              " exceeds the frame ceiling");
+  }
+  DADER_RETURN_NOT_OK(Need(len));
+  std::string s = data_.substr(pos_, len);
+  pos_ += len;
+  return s;
+}
+
+std::string EncodeFrame(const Frame& frame) {
+  WireWriter w;
+  w.PutU32(static_cast<uint32_t>(kHeaderBytes + frame.payload.size()));
+  w.PutU8(static_cast<uint8_t>(frame.type));
+  w.PutU64(frame.request_id);
+  std::string out = w.Take();
+  out.append(frame.payload);
+  return out;
+}
+
+Result<Frame> DecodeFrame(const std::string& data) {
+  WireReader r(data);
+  uint32_t length = 0;
+  DADER_ASSIGN_OR_RETURN(length, r.GetU32());
+  if (length < kHeaderBytes || length > kMaxFrameBytes) {
+    return Status::OutOfRange("frame length " + std::to_string(length) +
+                              " outside [" + std::to_string(kHeaderBytes) +
+                              ", " + std::to_string(kMaxFrameBytes) + "]");
+  }
+  if (r.remaining() != length) {
+    return Status::OutOfRange("frame body truncated: length prefix says " +
+                              std::to_string(length) + ", buffer holds " +
+                              std::to_string(r.remaining()));
+  }
+  uint8_t type = 0;
+  DADER_ASSIGN_OR_RETURN(type, r.GetU8());
+  if (!KnownType(type)) {
+    return Status::InvalidArgument("unknown frame type " +
+                                   std::to_string(static_cast<int>(type)));
+  }
+  Frame frame;
+  frame.type = static_cast<FrameType>(type);
+  DADER_ASSIGN_OR_RETURN(frame.request_id, r.GetU64());
+  frame.payload = data.substr(4 + kHeaderBytes);
+  return frame;
+}
+
+namespace {
+
+void PutRecord(WireWriter* w, const data::Record& record) {
+  w->PutU32(static_cast<uint32_t>(record.size()));
+  for (const std::string& value : record.values()) w->PutString(value);
+}
+
+Result<data::Record> GetRecord(WireReader* r) {
+  uint32_t n = 0;
+  DADER_ASSIGN_OR_RETURN(n, r->GetU32());
+  if (n > 1024) {
+    return Status::OutOfRange("record arity " + std::to_string(n) +
+                              " implausible; corrupt payload");
+  }
+  std::vector<std::string> values;
+  values.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string v;
+    DADER_ASSIGN_OR_RETURN(v, r->GetString());
+    values.push_back(std::move(v));
+  }
+  return data::Record(std::move(values));
+}
+
+}  // namespace
+
+std::string EncodeMatchRequest(const serve::MatchRequest& request) {
+  WireWriter w;
+  PutRecord(&w, request.a);
+  PutRecord(&w, request.b);
+  w.PutF64(request.deadline_ms);
+  return w.Take();
+}
+
+Result<serve::MatchRequest> DecodeMatchRequest(const std::string& payload) {
+  WireReader r(payload);
+  serve::MatchRequest request;
+  DADER_ASSIGN_OR_RETURN(request.a, GetRecord(&r));
+  DADER_ASSIGN_OR_RETURN(request.b, GetRecord(&r));
+  DADER_ASSIGN_OR_RETURN(request.deadline_ms, r.GetF64());
+  return request;
+}
+
+std::string EncodeMatchResponse(const serve::MatchResponse& response) {
+  WireWriter w;
+  w.PutU32(static_cast<uint32_t>(response.status.code()));
+  w.PutString(response.status.message());
+  w.PutU32(static_cast<uint32_t>(response.label + 1));  // -1 -> 0
+  w.PutF32(response.prob);
+  w.PutU8(response.degraded ? 1 : 0);
+  w.PutU32(static_cast<uint32_t>(response.attempts));
+  w.PutF64(response.queue_ms);
+  w.PutF64(response.total_ms);
+  return w.Take();
+}
+
+Result<serve::MatchResponse> DecodeMatchResponse(const std::string& payload) {
+  WireReader r(payload);
+  serve::MatchResponse response;
+  uint32_t code = 0;
+  std::string message;
+  DADER_ASSIGN_OR_RETURN(code, r.GetU32());
+  DADER_ASSIGN_OR_RETURN(message, r.GetString());
+  if (code > static_cast<uint32_t>(StatusCode::kUnavailable)) {
+    return Status::InvalidArgument("unknown status code on the wire: " +
+                                   std::to_string(code));
+  }
+  response.status = Status(static_cast<StatusCode>(code), std::move(message));
+  uint32_t label = 0;
+  DADER_ASSIGN_OR_RETURN(label, r.GetU32());
+  response.label = static_cast<int>(label) - 1;
+  DADER_ASSIGN_OR_RETURN(response.prob, r.GetF32());
+  uint8_t degraded = 0;
+  DADER_ASSIGN_OR_RETURN(degraded, r.GetU8());
+  response.degraded = degraded != 0;
+  uint32_t attempts = 0;
+  DADER_ASSIGN_OR_RETURN(attempts, r.GetU32());
+  response.attempts = static_cast<int>(attempts);
+  DADER_ASSIGN_OR_RETURN(response.queue_ms, r.GetF64());
+  DADER_ASSIGN_OR_RETURN(response.total_ms, r.GetF64());
+  return response;
+}
+
+std::string EncodeStatus(const Status& status) {
+  WireWriter w;
+  w.PutU32(static_cast<uint32_t>(status.code()));
+  w.PutString(status.message());
+  return w.Take();
+}
+
+Status DecodeStatus(const std::string& payload, Status* decoded) {
+  WireReader r(payload);
+  uint32_t code = 0;
+  std::string message;
+  DADER_ASSIGN_OR_RETURN(code, r.GetU32());
+  DADER_ASSIGN_OR_RETURN(message, r.GetString());
+  if (code > static_cast<uint32_t>(StatusCode::kUnavailable)) {
+    return Status::InvalidArgument("unknown status code on the wire: " +
+                                   std::to_string(code));
+  }
+  *decoded = Status(static_cast<StatusCode>(code), std::move(message));
+  return Status::OK();
+}
+
+}  // namespace dader::dist

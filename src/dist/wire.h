@@ -1,0 +1,118 @@
+// Wire protocol of the distributed serving plane: length-prefixed binary
+// frames over loopback TCP.
+//
+//   frame := [u32 length][u8 type][u64 request_id][payload ...]
+//
+// `length` counts everything after itself (type + id + payload) and is
+// bounded by kMaxFrameBytes, so a corrupt or adversarial length prefix can
+// never balloon a read. All integers are little-endian (the plane is
+// loopback-only by design — see dist/rpc.h — so there is no cross-endian
+// peer to negotiate with; the explicit encode keeps the format well-defined
+// anyway).
+//
+// Payload encoding is a flat Writer/Reader pair: u8/u32/u64/f32/f64 and
+// length-prefixed strings, with every Reader access bounds-checked and
+// returning Status instead of trusting the peer. On top of that sit the
+// typed codecs for the match request/response — the only structured
+// payloads the plane ships.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/match_types.h"
+#include "util/status.h"
+
+namespace dader::dist {
+
+/// \brief Frame types of the control/data plane.
+enum class FrameType : uint8_t {
+  kPing = 1,         ///< coordinator -> worker heartbeat probe
+  kPong = 2,         ///< worker -> coordinator heartbeat answer
+  kMatch = 3,        ///< routed match request (payload: EncodeMatchRequest)
+  kMatchReply = 4,   ///< match answer (payload: EncodeMatchResponse)
+  kReload = 5,       ///< rolling reload command (payload: checkpoint path)
+  kReloadReply = 6,  ///< reload outcome (payload: EncodeStatus)
+  kCanary = 7,       ///< re-admission warm-up probe (no payload)
+  kCanaryReply = 8,  ///< canary outcome (payload: EncodeStatus)
+};
+
+/// \brief "ping", "pong", "match", ... (unknown values stringify to "?").
+const char* FrameTypeName(FrameType type);
+
+/// \brief Hard ceiling on length-prefix values (1 MiB). Match payloads are
+/// a few hundred bytes; anything near the ceiling is a corrupt frame.
+inline constexpr uint32_t kMaxFrameBytes = 1u << 20;
+
+/// \brief One parsed frame.
+struct Frame {
+  FrameType type = FrameType::kPing;
+  uint64_t request_id = 0;
+  std::string payload;
+};
+
+/// \brief Serializes a frame (header + payload) into one contiguous buffer
+/// ready for a single send.
+std::string EncodeFrame(const Frame& frame);
+
+/// \brief Parses one frame out of `data` (which must hold a whole frame:
+/// the transport reads the length prefix first). Rejects short buffers,
+/// oversized lengths, and unknown types.
+Result<Frame> DecodeFrame(const std::string& data);
+
+/// \brief Appends little-endian scalars / length-prefixed strings.
+class WireWriter {
+ public:
+  void PutU8(uint8_t v);
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutF32(float v);
+  void PutF64(double v);
+  void PutString(const std::string& s);
+
+  std::string Take() { return std::move(buf_); }
+  const std::string& buffer() const { return buf_; }
+
+ private:
+  std::string buf_;
+};
+
+/// \brief Bounds-checked reader over an encoded payload.
+class WireReader {
+ public:
+  explicit WireReader(const std::string& data) : data_(data) {}
+
+  Result<uint8_t> GetU8();
+  Result<uint32_t> GetU32();
+  Result<uint64_t> GetU64();
+  Result<float> GetF32();
+  Result<double> GetF64();
+  Result<std::string> GetString();
+
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  Status Need(size_t n);
+
+  const std::string& data_;
+  size_t pos_ = 0;
+};
+
+// --- typed payload codecs ---
+
+std::string EncodeMatchRequest(const serve::MatchRequest& request);
+Result<serve::MatchRequest> DecodeMatchRequest(const std::string& payload);
+
+std::string EncodeMatchResponse(const serve::MatchResponse& response);
+Result<serve::MatchResponse> DecodeMatchResponse(const std::string& payload);
+
+/// \brief Status as (code, message) — used by reload/canary replies.
+/// Decode returns the *transport* verdict (corrupt payload etc.) and
+/// writes the shipped status to `decoded` (Result<Status> would be
+/// ambiguous — both roles are a Status).
+std::string EncodeStatus(const Status& status);
+Status DecodeStatus(const std::string& payload, Status* decoded);
+
+}  // namespace dader::dist

@@ -1,0 +1,184 @@
+#include "dist/worker.h"
+
+#include <utility>
+
+#include "util/clock.h"
+#include "util/logging.h"
+
+namespace dader::dist {
+
+Result<std::unique_ptr<WorkerNode>> WorkerNode::Create(
+    WorkerNodeConfig config, data::Schema schema_a, data::Schema schema_b,
+    core::DaModel primary, std::unique_ptr<core::DaModel> fallback) {
+  if (config.node_id < 0) {
+    return Status::InvalidArgument("worker node_id must be >= 0");
+  }
+  // The inner service is shard `node_id` of the fleet: its serve.shard.*
+  // series and extractor-level fault specs scope by the same index the
+  // node-level kinds use.
+  config.serve.shard_index = config.node_id;
+  auto service = std::make_unique<serve::MatchService>(
+      config.serve, std::move(schema_a), std::move(schema_b),
+      std::move(primary), std::move(fallback));
+  return std::unique_ptr<WorkerNode>(
+      new WorkerNode(std::move(config), std::move(service)));
+}
+
+WorkerNode::WorkerNode(WorkerNodeConfig config,
+                       std::unique_ptr<serve::MatchService> service)
+    : config_(config),
+      service_(std::move(service)),
+      server_([this](const Frame& frame, RpcServerConnection* conn) {
+        return HandleFrame(frame, conn);
+      }) {
+  auto& reg = obs::MetricsRegistry::Default();
+  m_requests_ = reg.GetCounter("dist.worker.requests.total",
+                               "Match frames handled by worker nodes",
+                               "requests");
+  m_faults_ = reg.GetCounter("dist.worker.faults.total",
+                             "Injected node faults fired on worker nodes",
+                             "faults");
+}
+
+WorkerNode::~WorkerNode() { Stop(); }
+
+Status WorkerNode::Start(int port) {
+  hung_.store(false);
+  DADER_RETURN_NOT_OK(server_.Start(port));
+  port_ = server_.port();
+  return Status::OK();
+}
+
+void WorkerNode::StopServer() {
+  {
+    std::lock_guard<std::mutex> lock(crash_mu_);
+    if (crash_thread_.joinable()) crash_thread_.join();
+  }
+  server_.Stop();
+}
+
+Status WorkerNode::Restart() {
+  StopServer();  // reaps a pending injected crash before rebinding
+  hung_.store(false);
+  return Start(port_);
+}
+
+void WorkerNode::Stop() {
+  StopServer();
+  service_->Stop();
+}
+
+void WorkerNode::CrashAsync() {
+  bool expected = false;
+  if (!crash_pending_.compare_exchange_strong(expected, true)) return;
+  std::lock_guard<std::mutex> lock(crash_mu_);
+  if (crash_thread_.joinable()) crash_thread_.join();  // a previous crash
+  crash_thread_ = std::thread([this] {
+    server_.Stop();
+    crash_pending_.store(false);
+  });
+}
+
+bool WorkerNode::HandleFrame(const Frame& frame, RpcServerConnection* conn) {
+  const int node = config_.node_id;
+  const int step = static_cast<int>(frames_.fetch_add(1));
+  FaultInjector* fault = config_.fault;
+  util::Clock* clock = config_.clock ? config_.clock : util::Clock::Real();
+
+  if (fault != nullptr) {
+    if (fault->ShouldFire(FaultKind::kNodeCrash, /*epoch=*/-1, step, node)) {
+      faults_fired_.fetch_add(1);
+      m_faults_->Increment();
+      DADER_LOG(Warning) << "dist worker " << node
+                         << ": injected node-crash at frame " << step;
+      CrashAsync();
+      return false;  // close this connection now; the rest follow
+    }
+    if (fault->ShouldFire(FaultKind::kNodeHang, /*epoch=*/-1, step, node)) {
+      faults_fired_.fetch_add(1);
+      m_faults_->Increment();
+      DADER_LOG(Warning) << "dist worker " << node
+                         << ": injected node-hang at frame " << step;
+      hung_.store(true);
+    }
+  }
+  if (hung_.load()) return true;  // swallow everything until Restart()
+
+  switch (frame.type) {
+    case FrameType::kPing: {
+      const int beat = static_cast<int>(heartbeats_.fetch_add(1));
+      if (fault != nullptr && fault->ShouldFire(FaultKind::kHeartbeatDrop,
+                                                /*epoch=*/-1, beat, node)) {
+        faults_fired_.fetch_add(1);
+        m_faults_->Increment();
+        return true;  // serve on, but look sick
+      }
+      Frame pong;
+      pong.type = FrameType::kPong;
+      pong.request_id = frame.request_id;
+      return conn->Send(pong).ok();
+    }
+
+    case FrameType::kMatch: {
+      if (fault != nullptr &&
+          fault->ShouldFire(FaultKind::kConnReset, /*epoch=*/-1, step, node)) {
+        faults_fired_.fetch_add(1);
+        m_faults_->Increment();
+        conn->ShutdownNow();
+        return false;
+      }
+      requests_served_.fetch_add(1);
+      m_requests_->Increment();
+      Frame reply;
+      reply.type = FrameType::kMatchReply;
+      reply.request_id = frame.request_id;
+      Result<serve::MatchRequest> request = DecodeMatchRequest(frame.payload);
+      serve::MatchResponse response;
+      if (request.ok()) {
+        response = service_->Match(std::move(request).ValueOrDie());
+      } else {
+        response.status = request.status();
+      }
+      if (fault != nullptr &&
+          fault->ShouldFire(FaultKind::kSlowNode, /*epoch=*/-1, step, node)) {
+        faults_fired_.fetch_add(1);
+        m_faults_->Increment();
+        clock->SleepForMs(fault->param_ms(FaultKind::kSlowNode));
+      }
+      reply.payload = EncodeMatchResponse(response);
+      return conn->Send(reply).ok();
+    }
+
+    case FrameType::kCanary: {
+      Frame reply;
+      reply.type = FrameType::kCanaryReply;
+      reply.request_id = frame.request_id;
+      reply.payload = EncodeStatus(service_->CanaryCheck());
+      return conn->Send(reply).ok();
+    }
+
+    case FrameType::kReload: {
+      Frame reply;
+      reply.type = FrameType::kReloadReply;
+      reply.request_id = frame.request_id;
+      // Payload is the checkpoint path; the worker's own staged reload
+      // validates, canaries, and rolls back locally on failure.
+      reply.payload = EncodeStatus(service_->ReloadModel(frame.payload));
+      return conn->Send(reply).ok();
+    }
+
+    case FrameType::kPong:
+    case FrameType::kMatchReply:
+    case FrameType::kReloadReply:
+    case FrameType::kCanaryReply:
+      // Reply types have no business arriving at a server; a peer that
+      // sends them is confused enough to drop.
+      DADER_LOG(Warning) << "dist worker " << node
+                         << ": unexpected reply-type frame "
+                         << FrameTypeName(frame.type);
+      return false;
+  }
+  return false;
+}
+
+}  // namespace dader::dist

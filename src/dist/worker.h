@@ -1,0 +1,134 @@
+// WorkerNode: one serving process of the distributed match plane.
+//
+// A worker owns a single-shard serve::MatchService plus an RpcServer and
+// answers the coordinator's frames:
+//
+//   kPing   -> kPong          (membership heartbeat; cheap, no model work)
+//   kMatch  -> kMatchReply    (decode request, ride the service's admission
+//                              queue / batcher / breaker, encode response)
+//   kCanary -> kCanaryReply   (MatchService::CanaryCheck — the re-admission
+//                              warm-up probe)
+//   kReload -> kReloadReply   (payload = checkpoint path; the worker's own
+//                              staged/canaried ReloadModel, so a bad push
+//                              rolls back *locally* and the reply tells the
+//                              coordinator to abort the roll)
+//
+// Fault injection: every received frame consults the node-scoped kinds of
+// util::FaultInjector with `shard` = the node id and `step` = this worker's
+// frame ordinal (heartbeat ordinal for kHeartbeatDrop), so a seeded spec
+// can target "node 2's 40th frame" reproducibly:
+//
+//   kNodeCrash     Stop()s the whole server from a helper thread (the conn
+//                  thread can't join itself) — the node goes dark exactly
+//                  like a killed process; Restart() resurrects it.
+//   kNodeHang      the worker keeps every connection open but stops
+//                  replying until Restart(); heartbeats time out, the
+//                  membership table walks it to DEAD.
+//   kHeartbeatDrop swallows kPing only — the node *serves* fine but looks
+//                  sick, exercising the SUSPECT-keeps-traffic rule.
+//   kConnReset     RSTs the connection mid-request (client sees a reset,
+//                  not a reply).
+//   kSlowNode      sleeps FaultSpec::param_ms before each reply.
+//
+// In-process by design: tests and the flagship `ctest -L dist` integration
+// run N WorkerNodes in one process over real loopback sockets — the wire,
+// the deadlines, and the failure modes are identical to separate processes,
+// but a "crash" is a deterministic injector decision instead of a kill(2)
+// race. examples/dist_demo.cpp shows the same node hosted standalone.
+
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "dist/rpc.h"
+#include "serve/match_service.h"
+#include "util/fault.h"
+
+namespace dader::dist {
+
+/// \brief Per-node settings beyond the inner service's ServeConfig.
+struct WorkerNodeConfig {
+  int node_id = 0;           ///< this node's index in the coordinator roster
+  serve::ServeConfig serve;  ///< inner single-shard service (shard_index is
+                             ///< overwritten with node_id)
+  /// Node-scoped fault injector; null = no faults. Shared with the inner
+  /// service via serve.fault for the extractor-level kinds.
+  FaultInjector* fault = nullptr;
+  /// Clock for slow-node delays; null = real.
+  util::Clock* clock = nullptr;
+};
+
+/// \brief RPC front-end + single-shard MatchService (see file comment).
+class WorkerNode {
+ public:
+  /// \brief Builds the inner service around `primary` (+ optional fallback)
+  /// and prepares the server; call Start() to begin listening.
+  static Result<std::unique_ptr<WorkerNode>> Create(
+      WorkerNodeConfig config, data::Schema schema_a, data::Schema schema_b,
+      core::DaModel primary, std::unique_ptr<core::DaModel> fallback = nullptr);
+
+  ~WorkerNode();
+
+  WorkerNode(const WorkerNode&) = delete;
+  WorkerNode& operator=(const WorkerNode&) = delete;
+
+  /// \brief Binds 127.0.0.1:port (0 = ephemeral) and serves. The bound
+  /// port is remembered so Restart() resurrects at the same address.
+  Status Start(int port = 0);
+
+  /// \brief Drops the listener and every connection (node-crash semantics).
+  /// The inner MatchService keeps its model and caches — a stopped node is
+  /// dark, not wiped. Idempotent.
+  void StopServer();
+
+  /// \brief Resurrects a stopped node on its original port and clears a
+  /// pending node-hang. The model state is whatever it was at the crash.
+  Status Restart();
+
+  /// \brief Full shutdown: server + inner service. Idempotent; dtor calls.
+  void Stop();
+
+  int port() const { return port_; }
+  bool running() const { return server_.running(); }
+  int node_id() const { return config_.node_id; }
+
+  serve::MatchService& service() { return *service_; }
+  const serve::MatchService& service() const { return *service_; }
+
+  /// \brief kMatch frames handled since construction.
+  int64_t requests_served() const { return requests_served_.load(); }
+  /// \brief Injected node faults fired on this worker.
+  int64_t faults_fired() const { return faults_fired_.load(); }
+
+ private:
+  WorkerNode(WorkerNodeConfig config,
+             std::unique_ptr<serve::MatchService> service);
+
+  bool HandleFrame(const Frame& frame, RpcServerConnection* conn);
+  /// Stops the server from a helper thread (a handler thread cannot join
+  /// itself through RpcServer::Stop).
+  void CrashAsync();
+
+  WorkerNodeConfig config_;
+  std::unique_ptr<serve::MatchService> service_;
+  RpcServer server_;
+  int port_ = 0;
+
+  std::atomic<int64_t> frames_{0};      // step coordinate for node faults
+  std::atomic<int64_t> heartbeats_{0};  // step coordinate for kHeartbeatDrop
+  std::atomic<int64_t> requests_served_{0};
+  std::atomic<int64_t> faults_fired_{0};
+  std::atomic<bool> hung_{false};
+
+  std::mutex crash_mu_;
+  std::thread crash_thread_;
+  std::atomic<bool> crash_pending_{false};
+
+  obs::Counter* m_requests_;
+  obs::Counter* m_faults_;
+};
+
+}  // namespace dader::dist

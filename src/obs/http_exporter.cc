@@ -106,9 +106,26 @@ void HttpMetricsExporter::AcceptLoop(int listen_fd) {
         is_get && path_end != std::string::npos ? head.substr(4, path_end - 4)
                                                 : "";
     if (is_get && path == "/metrics") {
+      // A throwing scrape handler must produce an HTTP error, not a dropped
+      // connection: scrapers distinguish "target broken" (503) from "target
+      // unreachable" (connect/reset), and a silent close reports the wrong
+      // one.
+      std::string body;
+      bool scrape_ok = true;
+      try {
+        body = handler_ ? handler_() : MetricsRegistry::Default().ScrapeText();
+      } catch (const std::exception& e) {
+        scrape_ok = false;
+        body = std::string("scrape handler failed: ") + e.what() + "\n";
+      } catch (...) {
+        scrape_ok = false;
+        body = "scrape handler failed: unknown exception\n";
+      }
       SendAll(client,
-              HttpResponse("200 OK", "text/plain; version=0.0.4",
-                           MetricsRegistry::Default().ScrapeText()));
+              scrape_ok
+                  ? HttpResponse("200 OK", "text/plain; version=0.0.4", body)
+                  : HttpResponse("503 Service Unavailable", "text/plain",
+                                 body));
     } else {
       SendAll(client, HttpResponse("404 Not Found", "text/plain",
                                    "only GET /metrics is served\n"));

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <string>
 #include <thread>
 
@@ -26,11 +27,23 @@ namespace dader::obs {
 /// \brief Background /metrics HTTP endpoint (see file comment).
 class HttpMetricsExporter {
  public:
+  /// Produces the scrape body; the default is
+  /// MetricsRegistry::Default().ScrapeText().
+  using ScrapeHandler = std::function<std::string()>;
+
   HttpMetricsExporter() = default;
   ~HttpMetricsExporter();
 
   HttpMetricsExporter(const HttpMetricsExporter&) = delete;
   HttpMetricsExporter& operator=(const HttpMetricsExporter&) = delete;
+
+  /// \brief Replaces the scrape body producer (call before Start()). A
+  /// handler that throws is answered with 503 + the exception text in the
+  /// body — never a silently dropped connection, which scrapers would
+  /// misread as a network problem rather than an application one.
+  void set_scrape_handler(ScrapeHandler handler) {
+    handler_ = std::move(handler);
+  }
 
   /// \brief Binds 127.0.0.1:port (0 = ephemeral) and starts the accept
   /// loop. Fails on bind errors or when already started.
@@ -50,6 +63,7 @@ class HttpMetricsExporter {
 
   int listen_fd_ = -1;
   int port_ = 0;
+  ScrapeHandler handler_;  // null = registry scrape; set before Start()
   std::thread thread_;
   std::atomic<bool> running_{false};
 };

@@ -71,6 +71,11 @@ void CircuitBreaker::OnSuccess() {
       failure_streak_ = 0;
       break;
     case BreakerState::kHalfOpen:
+      // Only the one admitted probe may advance the accounting. A stale
+      // success — a call admitted back when the breaker was still closed,
+      // or a double report for one probe — must not count, or concurrent
+      // successes could close the breaker without any real probing.
+      if (!probe_in_flight_) break;
       probe_in_flight_ = false;
       if (++probe_successes_ >= config_.half_open_successes) {
         state_ = BreakerState::kClosed;
@@ -97,6 +102,10 @@ void CircuitBreaker::OnFailure() {
       }
       break;
     case BreakerState::kHalfOpen:
+      // Same stale-report guard as OnSuccess: only the admitted probe's
+      // failure re-opens; a leftover failure report from the closed era
+      // must not cancel a probe it never was.
+      if (!probe_in_flight_) break;
       DADER_LOG(Warning) << "circuit breaker re-opened: probe failed";
       TripLocked();
       break;

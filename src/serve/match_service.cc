@@ -379,6 +379,15 @@ Result<std::vector<float>> MatchService::RunForward(
 
 void MatchService::WorkerLoop(int worker_index) {
   Rng rng = Rng(config_.seed).Fork(static_cast<uint64_t>(worker_index) + 1);
+  // Backoff jitter draws from the schedule's private stream, never from the
+  // forward rng above: the delay sequence is a pure function of (policy,
+  // seed, worker) and cannot be perturbed by batch composition. Sleeps go
+  // through the injected clock so tests replay retry storms in virtual time.
+  RetrySchedule retry_schedule(
+      config_.retry,
+      config_.seed ^ (0x9e3779b97f4a7c15ULL *
+                      (static_cast<uint64_t>(worker_index) + 1)),
+      config_.clock);
   for (;;) {
     std::vector<PendingRequest> batch = queue_.PopBatch(
         static_cast<size_t>(std::max<int64_t>(1, adaptive_.cap())),
@@ -422,17 +431,14 @@ void MatchService::WorkerLoop(int worker_index) {
     if (breaker_.AllowPrimary()) {
       for (int attempt = 0; attempt < config_.retry.max_attempts; ++attempt) {
         if (attempt > 0) {
-          double delay_ms = BackoffDelayMs(config_.retry, attempt, &rng);
+          double delay_ms = retry_schedule.NextDelayMs(attempt);
           now = Clock::now();
           double budget_ms = 0.0;
           for (const PendingRequest& pending : live) {
             budget_ms = std::max(budget_ms, MsBetween(now, pending.deadline));
           }
           delay_ms = std::min(delay_ms, std::max(0.0, budget_ms));
-          if (delay_ms > 0.0) {
-            std::this_thread::sleep_for(
-                std::chrono::duration<double, std::milli>(delay_ms));
-          }
+          retry_schedule.Sleep(delay_ms);
           // The breaker may have tripped on our own failure reports; stop
           // hammering the primary and serve this batch degraded.
           if (!breaker_.AllowPrimary()) break;
@@ -590,6 +596,22 @@ Status MatchService::AdoptPrimary(core::DaModel staged) {
   }
   reloads_.fetch_add(1);
   Metrics().reload_success->Increment();
+  return Status::OK();
+}
+
+Status MatchService::CanaryCheck() {
+  // is_primary=false: a health probe must not consult the fault injector or
+  // touch the feature cache; it exercises the real live weights only.
+  Rng canary_rng(config_.seed ^ 0xca9a21ULL);
+  std::lock_guard<std::mutex> lock(model_mu_);
+  Result<std::vector<float>> probs =
+      RunForward(primary_.extractor.get(), primary_.matcher.get(), canary_,
+                 /*is_primary=*/false, /*batch_ordinal=*/0, /*attempt=*/0,
+                 &canary_rng);
+  if (!probs.ok()) {
+    return Status(probs.status().code(),
+                  "canary check failed: " + probs.status().message());
+  }
   return Status::OK();
 }
 

@@ -112,6 +112,13 @@ class MatchService {
   /// must never meet new matcher weights) in the same critical section.
   Status AdoptPrimary(core::DaModel staged);
 
+  /// \brief Runs the reload-canary batch through the live primary and
+  /// requires finite probabilities — the same health probe a staged model
+  /// must pass before adoption, here aimed at the serving weights. The
+  /// dist control plane uses it as the re-admission warm-up check before a
+  /// recovered worker gets full traffic back.
+  Status CanaryCheck();
+
   /// \brief Stops the workers; queued requests are still answered, then
   /// late submissions get Unavailable. Idempotent; called by the dtor.
   void Stop();

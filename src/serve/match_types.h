@@ -14,6 +14,9 @@
 
 namespace dader {
 class FaultInjector;  // util/fault.h; only tests/benches arm one
+namespace util {
+class Clock;  // util/clock.h; tests inject a ManualClock
+}
 }
 
 namespace dader::serve {
@@ -72,6 +75,10 @@ struct ServeConfig {
   /// Optional fault injector consulted at the extractor forward site;
   /// null (the default) means no instrumented site ever fires.
   FaultInjector* fault = nullptr;
+  /// Clock driving retry-backoff sleeps; null uses the real steady clock.
+  /// Tests inject a util::ManualClock so retry timing is virtual and
+  /// deterministic (see serve/retry.h).
+  util::Clock* clock = nullptr;
   /// Runtime batch-cap controller; when enabled, max_batch is only the
   /// initial cap and the controller moves it inside
   /// [adaptive.min_batch, adaptive.max_batch].

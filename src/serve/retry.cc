@@ -18,4 +18,16 @@ double BackoffDelayMs(const RetryPolicy& policy, int attempt, Rng* rng) {
   return std::max(0.0, capped * scale);
 }
 
+RetrySchedule::RetrySchedule(RetryPolicy policy, uint64_t jitter_seed,
+                             util::Clock* clock)
+    : policy_(policy),
+      jitter_rng_(jitter_seed),
+      clock_(clock != nullptr ? clock : util::Clock::Real()) {}
+
+double RetrySchedule::NextDelayMs(int attempt) {
+  return BackoffDelayMs(policy_, attempt, &jitter_rng_);
+}
+
+void RetrySchedule::Sleep(double delay_ms) { clock_->SleepForMs(delay_ms); }
+
 }  // namespace dader::serve

@@ -9,6 +9,9 @@
 
 #pragma once
 
+#include <cstdint>
+
+#include "util/clock.h"
 #include "util/rng.h"
 
 namespace dader::serve {
@@ -25,5 +28,38 @@ struct RetryPolicy {
 /// Exponential in the attempt index, capped at max_backoff_ms, then scaled
 /// by a jitter factor drawn from `rng`.
 double BackoffDelayMs(const RetryPolicy& policy, int attempt, Rng* rng);
+
+/// \brief A retry policy bound to its own jitter stream and clock.
+///
+/// The jitter Rng is private to the schedule — it is never shared with the
+/// forward-pass or any other consumer — so the delay sequence is a pure
+/// function of (policy, seed): two schedules with the same seed produce the
+/// same delays no matter what else the process is doing. Sleeps go through
+/// the injected util::Clock, so a test with a ManualClock replays an entire
+/// retry storm in virtual time (no real sleeping, no timing flake). The
+/// dist control plane reuses the same pair for RPC reconnect backoff and
+/// heartbeat pacing.
+class RetrySchedule {
+ public:
+  /// \param clock null uses util::Clock::Real().
+  RetrySchedule(RetryPolicy policy, uint64_t jitter_seed,
+                util::Clock* clock = nullptr);
+
+  /// \brief Jittered backoff before retry `attempt` (1-based), advancing
+  /// the schedule's private jitter stream.
+  double NextDelayMs(int attempt);
+
+  /// \brief Sleeps `delay_ms` on the schedule's clock (callers cap the
+  /// delay by their own deadline budget first).
+  void Sleep(double delay_ms);
+
+  const RetryPolicy& policy() const { return policy_; }
+  util::Clock* clock() const { return clock_; }
+
+ private:
+  RetryPolicy policy_;
+  Rng jitter_rng_;
+  util::Clock* clock_;
+};
 
 }  // namespace dader::serve

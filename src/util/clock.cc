@@ -1,0 +1,54 @@
+#include "util/clock.h"
+
+#include <chrono>
+#include <thread>
+
+namespace dader::util {
+
+namespace {
+
+class RealClock : public Clock {
+ public:
+  double NowMs() override {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  void SleepForMs(double ms) override {
+    if (ms <= 0.0) return;
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+  }
+};
+
+}  // namespace
+
+Clock* Clock::Real() {
+  static RealClock clock;
+  return &clock;
+}
+
+double ManualClock::NowMs() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return now_ms_;
+}
+
+void ManualClock::SleepForMs(double ms) {
+  if (ms <= 0.0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  now_ms_ += ms;
+  slept_ms_ += ms;
+}
+
+void ManualClock::AdvanceMs(double ms) {
+  if (ms <= 0.0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  now_ms_ += ms;
+}
+
+double ManualClock::slept_ms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slept_ms_;
+}
+
+}  // namespace dader::util

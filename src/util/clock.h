@@ -1,0 +1,61 @@
+// Injectable time source for components that pace themselves with sleeps:
+// retry backoff, heartbeat loops, slow-node fault delays.
+//
+// Production code uses Clock::Real(), a steady_clock wrapper, so wall-clock
+// adjustments cannot wedge anything. Tests inject a ManualClock, whose
+// SleepForMs advances virtual time instead of blocking — a retry schedule
+// or heartbeat loop then "runs" instantly and deterministically, which is
+// what makes retry-timing and membership tests non-flaky by construction.
+// The same instance is shared between the serving retry path and the dist
+// control plane's heartbeats, so one injected clock drives both.
+//
+// Scope: a Clock governs pacing (when to sleep, for how long). Socket-level
+// deadlines (poll/recv timeouts) are inherently real-time and stay on the
+// OS clock regardless of the injected instance.
+
+#pragma once
+
+#include <mutex>
+
+namespace dader::util {
+
+/// \brief Monotonic time + sleep, injectable for tests.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// \brief Monotonic milliseconds since an arbitrary epoch.
+  virtual double NowMs() = 0;
+
+  /// \brief Pauses the caller for `ms` (no-op when ms <= 0).
+  virtual void SleepForMs(double ms) = 0;
+
+  /// \brief Process-wide steady-clock instance; never null.
+  static Clock* Real();
+};
+
+/// \brief Test clock: NowMs is a counter that only moves when told to.
+///
+/// SleepForMs advances the counter by the requested amount, so a loop that
+/// paces itself through this clock free-runs deterministically without ever
+/// touching the scheduler. Thread-safe.
+class ManualClock : public Clock {
+ public:
+  explicit ManualClock(double start_ms = 0.0) : now_ms_(start_ms) {}
+
+  double NowMs() override;
+  void SleepForMs(double ms) override;
+
+  /// \brief Moves time forward by `ms` (negative is ignored).
+  void AdvanceMs(double ms);
+
+  /// \brief Total virtual milliseconds slept through this clock.
+  double slept_ms() const;
+
+ private:
+  mutable std::mutex mu_;
+  double now_ms_;
+  double slept_ms_ = 0.0;
+};
+
+}  // namespace dader::util

@@ -33,6 +33,16 @@ const char* FaultKindName(FaultKind kind) {
       return "extractor-fault";
     case FaultKind::kExtractorNan:
       return "extractor-nan";
+    case FaultKind::kNodeCrash:
+      return "node-crash";
+    case FaultKind::kNodeHang:
+      return "node-hang";
+    case FaultKind::kHeartbeatDrop:
+      return "heartbeat-drop";
+    case FaultKind::kConnReset:
+      return "conn-reset";
+    case FaultKind::kSlowNode:
+      return "slow-node";
   }
   return "?";
 }
@@ -80,6 +90,12 @@ bool FaultInjector::ShouldFire(FaultKind kind, int epoch, int step,
 int FaultInjector::hits(FaultKind kind) const {
   std::lock_guard<std::mutex> lock(mu_);
   return hits_[KindIndex(kind)];
+}
+
+double FaultInjector::param_ms(FaultKind kind) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::optional<FaultSpec>& spec = specs_[KindIndex(kind)];
+  return spec.has_value() ? spec->param_ms : 0.0;
 }
 
 Status FaultInjector::TruncateFile(const std::string& path,

@@ -30,12 +30,21 @@ enum class FaultKind : int {
   kAbortStep = 2,         ///< abort the current epoch mid-step (crash model)
   kExtractorFault = 3,    ///< transient extractor failure during serving
   kExtractorNan = 4,      ///< extractor emits non-finite outputs (serving)
+  // Node-scoped kinds consulted by the distributed control plane
+  // (src/dist/): `shard` carries the node index, `step` the worker's frame
+  // or heartbeat ordinal, so a spec can target "node 2's 40th frame".
+  kNodeCrash = 5,     ///< worker drops its listener + connections (dies)
+  kNodeHang = 6,      ///< worker keeps connections but stops replying
+  kHeartbeatDrop = 7, ///< worker swallows heartbeat pings (still serves)
+  kConnReset = 8,     ///< worker resets the connection mid-request
+  kSlowNode = 9,      ///< worker delays each reply by FaultSpec::param_ms
 };
 
-inline constexpr int kNumFaultKinds = 5;
+inline constexpr int kNumFaultKinds = 10;
 
 /// \brief "nan-gradient", "corrupt-checkpoint", "abort-step",
-/// "extractor-fault", "extractor-nan".
+/// "extractor-fault", "extractor-nan", "node-crash", "node-hang",
+/// "heartbeat-drop", "conn-reset", "slow-node".
 const char* FaultKindName(FaultKind kind);
 
 /// \brief Where and how often one fault kind fires.
@@ -52,6 +61,9 @@ struct FaultSpec {
   int shard = -1;           ///< fire only on this serving shard (-1 = any)
   int max_hits = 1;         ///< total firings before the spec disarms
   double probability = 1.0; ///< per-eligible-site firing probability
+  /// Fault magnitude for kinds that need one (kSlowNode: per-reply delay in
+  /// milliseconds). Ignored by every other kind.
+  double param_ms = 0.0;
 };
 
 /// \brief Seeded, deterministic fault scheduler. One spec per kind.
@@ -80,6 +92,10 @@ class FaultInjector {
 
   /// \brief Total firings of `kind` since the last Reset().
   int hits(FaultKind kind) const;
+
+  /// \brief The armed spec's param_ms (0 when the kind is not armed).
+  /// Callers pair it with a true ShouldFire, e.g. the slow-node delay.
+  double param_ms(FaultKind kind) const;
 
   // --- file-corruption helpers (used with kCorruptCheckpoint) ---
 

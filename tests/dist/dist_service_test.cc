@@ -1,0 +1,462 @@
+// Distributed control-plane integration tests over real loopback TCP:
+// bit-identical answers through the wire, the flagship kill/resurrect
+// scenario (zero wrong answers, bounded shed, canary re-admission), every
+// injected node-fault kind, and the rolling reload with per-node rollback.
+//
+// Determinism: worker failures come from seeded FaultSpecs (node-scoped
+// kinds), and membership is driven by explicit HeartbeatTick() calls, so
+// the whole failure/recovery timeline is an event sequence, not a race.
+// One test (BackgroundHeartbeatDetectsCrash) exercises the real
+// heartbeat thread with spin-wait tolerances.
+
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/guard.h"
+#include "dist/coordinator.h"
+#include "dist/worker.h"
+#include "serve/router.h"
+#include "util/clock.h"
+#include "util/fault.h"
+
+namespace dader::dist {
+namespace {
+
+core::DaderConfig TinyModelConfig() {
+  core::DaderConfig c;
+  c.vocab_size = 256;
+  c.max_len = 16;
+  c.hidden_dim = 8;
+  c.num_heads = 2;
+  c.num_layers = 1;
+  c.ffn_dim = 16;
+  c.rnn_hidden = 4;
+  c.dropout = 0.0f;
+  return c;
+}
+
+core::DaModel MakeModel(uint64_t seed) {
+  core::DaModel model;
+  model.extractor =
+      core::MakeExtractor(core::ExtractorKind::kLM, TinyModelConfig(), seed);
+  model.matcher =
+      std::make_unique<core::Matcher>(model.extractor->feature_dim(), seed + 1);
+  return model;
+}
+
+data::Schema TestSchema() { return data::Schema({"title", "price"}); }
+
+serve::MatchRequest MakeRequest(const std::string& a, const std::string& b) {
+  serve::MatchRequest request;
+  request.a = data::Record({a, "10"});
+  request.b = data::Record({b, "10"});
+  return request;
+}
+
+std::vector<serve::MatchRequest> TestStream() {
+  const std::vector<std::pair<std::string, std::string>> pairs = {
+      {"sony wh-1000xm4 headphones", "sony wh1000xm4"},
+      {"apple iphone 12 128gb", "apple iphone 12 128 gb"},
+      {"apple iphone 12 128gb", "makita cordless drill"},
+      {"canon eos r6 body", "canon eos r6"},
+      {"dell xps 13 9310", "dell xps13 9310 laptop"},
+      {"logitech mx master 3", "logitech mx master 3s"},
+      {"bosch gsr 12v drill", "canon eos r6"},
+      {"samsung galaxy s21", "samsung galaxy s21 5g"},
+  };
+  std::vector<serve::MatchRequest> stream;
+  for (const auto& [a, b] : pairs) stream.push_back(MakeRequest(a, b));
+  return stream;
+}
+
+serve::ServeConfig WorkerServeTemplate() {
+  serve::ServeConfig config;
+  config.queue_capacity = 64;
+  config.max_batch = 8;
+  config.batch_wait_ms = 0.5;
+  config.default_deadline_ms = 10000.0;  // latency is not under test
+  config.retry.base_backoff_ms = 1.0;
+  config.retry.max_backoff_ms = 4.0;
+  return config;
+}
+
+constexpr uint64_t kModelSeed = 21;
+
+struct Fleet {
+  std::vector<std::unique_ptr<WorkerNode>> workers;
+  std::vector<int> ports;
+  // Reference single service on the same weights: whatever the fleet
+  // answers must be bit-identical to this.
+  std::unique_ptr<serve::MatchService> reference;
+};
+
+Fleet MakeFleet(int n, FaultInjector* fault) {
+  Fleet fleet;
+  core::DaModel base = MakeModel(kModelSeed);
+  for (int node = 0; node < n; ++node) {
+    auto replica = core::CloneModel(base, kModelSeed + 100 + node);
+    EXPECT_TRUE(replica.ok()) << replica.status().ToString();
+    WorkerNodeConfig config;
+    config.node_id = node;
+    config.serve = WorkerServeTemplate();
+    config.fault = fault;
+    auto worker = WorkerNode::Create(config, TestSchema(), TestSchema(),
+                                     std::move(replica).ValueOrDie());
+    EXPECT_TRUE(worker.ok()) << worker.status().ToString();
+    fleet.workers.push_back(std::move(worker).ValueOrDie());
+    EXPECT_TRUE(fleet.workers.back()->Start(0).ok());
+    fleet.ports.push_back(fleet.workers.back()->port());
+  }
+  fleet.reference = std::make_unique<serve::MatchService>(
+      WorkerServeTemplate(), TestSchema(), TestSchema(), std::move(base));
+  return fleet;
+}
+
+CoordinatorConfig TestCoordinatorConfig() {
+  CoordinatorConfig config;
+  config.heartbeat_deadline_ms = 500.0;
+  config.match_deadline_ms = 10000.0;
+  config.canary_deadline_ms = 10000.0;
+  config.membership.suspect_after_misses = 2;
+  config.membership.dead_after_misses = 3;
+  config.membership.readmit_canary_successes = 2;
+  config.reconnect.max_attempts = 2;
+  config.reconnect.base_backoff_ms = 1.0;
+  config.reconnect.max_backoff_ms = 4.0;
+  return config;
+}
+
+TEST(DistServiceTest, AnswersBitIdenticalToLocalServiceThroughTheWire) {
+  Fleet fleet = MakeFleet(3, nullptr);
+  Coordinator coordinator(TestCoordinatorConfig(), fleet.ports);
+
+  const auto stream = TestStream();
+  std::vector<int> homes;
+  for (const auto& request : stream) {
+    homes.push_back(coordinator.Route(request).node);
+    // Routing through processes is the identical pure function the
+    // in-process sharded service uses.
+    EXPECT_EQ(homes.back(),
+              serve::ShardForPair(request.a, request.b, 3));
+  }
+  for (const auto& request : stream) {
+    const serve::MatchResponse local = fleet.reference->Match(request);
+    const serve::MatchResponse remote = coordinator.Match(request);
+    ASSERT_TRUE(local.status.ok());
+    ASSERT_TRUE(remote.status.ok()) << remote.status.ToString();
+    EXPECT_EQ(remote.label, local.label);
+    EXPECT_EQ(remote.prob, local.prob) << "wire answer not bit-identical";
+    EXPECT_FALSE(remote.degraded);
+  }
+  EXPECT_EQ(coordinator.rescued(), 0);
+  EXPECT_EQ(coordinator.shed(), 0);
+  for (auto& worker : fleet.workers) worker->Stop();
+}
+
+// The flagship scenario: a worker dies mid-stream (seeded node-crash
+// fault), the fleet detects it within the miss threshold, survivors absorb
+// its keys with zero wrong answers, and the resurrected worker re-enters
+// only after the warm-up canary — then traffic goes home again.
+TEST(DistServiceTest, KillAndResurrectWorkerMidStream) {
+  FaultInjector fault(0xD15EA5EULL);
+  Fleet fleet = MakeFleet(3, &fault);
+  CoordinatorConfig config = TestCoordinatorConfig();
+  Coordinator coordinator(config, fleet.ports);
+
+  const auto stream = TestStream();
+  // Reference answers for every pair in the stream.
+  std::vector<float> expected;
+  for (const auto& request : stream) {
+    const auto r = fleet.reference->Match(request);
+    EXPECT_TRUE(r.status.ok());
+    expected.push_back(r.prob);
+  }
+  // Pick the victim: the home of stream[0].
+  const int victim = coordinator.Route(stream[0]).node;
+
+  int64_t ok_count = 0;
+  int64_t shed_count = 0;
+  int64_t wrong = 0;
+  auto pump_round = [&] {
+    for (size_t i = 0; i < stream.size(); ++i) {
+      const serve::MatchResponse r = coordinator.Match(stream[i]);
+      if (r.status.ok()) {
+        ++ok_count;
+        if (r.prob != expected[i]) ++wrong;
+      } else {
+        ++shed_count;
+      }
+    }
+  };
+
+  pump_round();  // healthy round
+  ASSERT_EQ(shed_count, 0);
+
+  // Arm the crash: the victim dies on its next frame, mid-stream.
+  FaultSpec crash;
+  crash.kind = FaultKind::kNodeCrash;
+  crash.shard = victim;
+  crash.max_hits = 1;
+  fault.Arm(crash);
+
+  pump_round();  // the round the node dies in
+  EXPECT_EQ(fault.hits(FaultKind::kNodeCrash), 1) << "crash never fired";
+  // The injected crash stops the server from a helper thread; give it a
+  // bounded moment to finish going dark.
+  for (int spin = 0;
+       spin < 200 && fleet.workers[static_cast<size_t>(victim)]->running();
+       ++spin) {
+    util::Clock::Real()->SleepForMs(10.0);
+  }
+  EXPECT_FALSE(fleet.workers[static_cast<size_t>(victim)]->running());
+
+  // Detection completes within the miss threshold: dead_after_misses
+  // heartbeat ticks are all it takes (data-path failures already
+  // contributed evidence during the crash round).
+  for (int tick = 0; tick < config.membership.dead_after_misses; ++tick) {
+    coordinator.HeartbeatTick();
+  }
+  ASSERT_EQ(coordinator.membership().state(victim), NodeState::kDead);
+
+  // Degraded rounds: survivors answer everything, bit-identically.
+  const int64_t rescued_before = coordinator.rescued();
+  for (int round = 0; round < 3; ++round) pump_round();
+  EXPECT_GT(coordinator.rescued(), rescued_before)
+      << "no request was rescued off the dead node";
+
+  // Resurrect. The node must NOT get traffic until the canary passes.
+  ASSERT_TRUE(
+      fleet.workers[static_cast<size_t>(victim)]->Restart().ok());
+  coordinator.HeartbeatTick();  // ping ok: DEAD -> CANARY, first canary ok
+  EXPECT_EQ(coordinator.membership().state(victim), NodeState::kCanary);
+  EXPECT_FALSE(coordinator.membership().routable(victim));
+  coordinator.HeartbeatTick();  // second canary ok: re-admitted
+  ASSERT_EQ(coordinator.membership().state(victim), NodeState::kAlive);
+
+  // Traffic goes home again and answers are still bit-identical.
+  EXPECT_EQ(coordinator.Route(stream[0]).node, victim);
+  pump_round();
+
+  EXPECT_EQ(wrong, 0) << wrong << " answers changed during the failure";
+  EXPECT_GT(ok_count, 0);
+  // Bounded shed: transport blips during the crash round may shed a
+  // handful, but the degrade path must absorb the vast majority.
+  const double shed_rate =
+      static_cast<double>(shed_count) /
+      static_cast<double>(ok_count + shed_count);
+  EXPECT_LT(shed_rate, 0.2) << shed_count << " of " << ok_count + shed_count
+                            << " requests shed";
+  for (auto& worker : fleet.workers) worker->Stop();
+}
+
+TEST(DistServiceTest, HeartbeatDropLooksSickButKeepsServing) {
+  FaultInjector fault(7);
+  Fleet fleet = MakeFleet(2, &fault);
+  CoordinatorConfig config = TestCoordinatorConfig();
+  Coordinator coordinator(config, fleet.ports);
+  coordinator.HeartbeatTick();  // establish heartbeat connections
+
+  FaultSpec drop;
+  drop.kind = FaultKind::kHeartbeatDrop;
+  drop.shard = 1;
+  drop.max_hits = 2;
+  fault.Arm(drop);
+
+  coordinator.HeartbeatTick();
+  coordinator.HeartbeatTick();
+  // Two swallowed pings: SUSPECT — and the SUSPECT-keeps-traffic rule
+  // means its keys did not move.
+  EXPECT_EQ(coordinator.membership().state(1), NodeState::kSuspect);
+  EXPECT_TRUE(coordinator.membership().routable(1));
+
+  const auto stream = TestStream();
+  for (const auto& request : stream) {
+    const auto r = coordinator.Match(request);
+    EXPECT_TRUE(r.status.ok()) << r.status.ToString();
+  }
+  EXPECT_EQ(coordinator.rescued(), 0) << "a suspect node lost its keys";
+
+  // The drop spec is exhausted; the next ping goes through and clears it.
+  coordinator.HeartbeatTick();
+  EXPECT_EQ(coordinator.membership().state(1), NodeState::kAlive);
+  for (auto& worker : fleet.workers) worker->Stop();
+}
+
+TEST(DistServiceTest, ConnResetAndHangFailOverWithCorrectAnswers) {
+  FaultInjector fault(11);
+  Fleet fleet = MakeFleet(2, &fault);
+  CoordinatorConfig config = TestCoordinatorConfig();
+  config.match_deadline_ms = 400.0;  // a hung call costs this, not forever
+  Coordinator coordinator(config, fleet.ports);
+
+  // Find a request homed on node 1 and its reference answer.
+  serve::MatchRequest probe;
+  float expected = 0.0f;
+  bool found = false;
+  for (int i = 0; i < 64 && !found; ++i) {
+    serve::MatchRequest candidate =
+        MakeRequest("widget model " + std::to_string(i),
+                    "widget model " + std::to_string(i));
+    if (coordinator.Route(candidate).node == 1) {
+      probe = candidate;
+      expected = fleet.reference->Match(candidate).prob;
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found);
+
+  // Reset every attempt: the channel's own transparent retry gets reset
+  // too, so the call fails over to the survivor — whose answer is the
+  // same bits.
+  FaultSpec reset;
+  reset.kind = FaultKind::kConnReset;
+  reset.shard = 1;
+  reset.max_hits = 8;  // outlasts the channel's reconnect attempts
+  fault.Arm(reset);
+  serve::MatchResponse r = coordinator.Match(probe);
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_EQ(r.prob, expected);
+  EXPECT_GE(fault.hits(FaultKind::kConnReset), 2);
+  EXPECT_GE(coordinator.rescued(), 1);
+  fault.Disarm(FaultKind::kConnReset);
+
+  // Hang: the node swallows the request; the deadline fires and the
+  // failover still produces the right bits.
+  FaultSpec hang;
+  hang.kind = FaultKind::kNodeHang;
+  hang.shard = 1;
+  hang.max_hits = 1;
+  fault.Arm(hang);
+  r = coordinator.Match(probe);
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_EQ(r.prob, expected);
+  EXPECT_EQ(fault.hits(FaultKind::kNodeHang), 1);
+
+  // Restart clears the hang so shutdown is orderly.
+  ASSERT_TRUE(fleet.workers[1]->Restart().ok());
+  for (auto& worker : fleet.workers) worker->Stop();
+}
+
+TEST(DistServiceTest, SlowNodeDelaysButAnswersCorrectly) {
+  FaultInjector fault(13);
+  Fleet fleet = MakeFleet(2, &fault);
+  Coordinator coordinator(TestCoordinatorConfig(), fleet.ports);
+
+  FaultSpec slow;
+  slow.kind = FaultKind::kSlowNode;
+  slow.shard = 1;
+  slow.max_hits = 2;
+  slow.param_ms = 20.0;
+  fault.Arm(slow);
+
+  const auto stream = TestStream();
+  for (const auto& request : stream) {
+    const auto local = fleet.reference->Match(request);
+    const auto remote = coordinator.Match(request);
+    ASSERT_TRUE(remote.status.ok()) << remote.status.ToString();
+    EXPECT_EQ(remote.prob, local.prob);
+  }
+  EXPECT_EQ(fault.hits(FaultKind::kSlowNode), 2);
+  EXPECT_EQ(coordinator.shed(), 0);
+  for (auto& worker : fleet.workers) worker->Stop();
+}
+
+TEST(DistServiceTest, FleetDownShedsUnavailableInsteadOfHanging) {
+  Fleet fleet = MakeFleet(1, nullptr);
+  CoordinatorConfig config = TestCoordinatorConfig();
+  config.match_deadline_ms = 300.0;
+  Coordinator coordinator(config, fleet.ports);
+
+  fleet.workers[0]->StopServer();
+  for (int tick = 0; tick < config.membership.dead_after_misses; ++tick) {
+    coordinator.HeartbeatTick();
+  }
+  ASSERT_EQ(coordinator.membership().num_routable(), 0);
+
+  const auto r = coordinator.Match(TestStream()[0]);
+  EXPECT_EQ(r.status.code(), StatusCode::kUnavailable);
+  EXPECT_GE(coordinator.shed(), 1);
+  for (auto& worker : fleet.workers) worker->Stop();
+}
+
+TEST(DistServiceTest, BackgroundHeartbeatDetectsCrash) {
+  Fleet fleet = MakeFleet(2, nullptr);
+  CoordinatorConfig config = TestCoordinatorConfig();
+  config.heartbeat_period_ms = 10.0;
+  config.heartbeat_deadline_ms = 200.0;
+  Coordinator coordinator(config, fleet.ports);
+  coordinator.Start();
+
+  fleet.workers[1]->StopServer();
+  // Spin-wait: the background thread must walk node 1 to DEAD on its own.
+  bool dead = false;
+  for (int spin = 0; spin < 500 && !dead; ++spin) {
+    dead = coordinator.membership().state(1) == NodeState::kDead;
+    util::Clock::Real()->SleepForMs(10.0);
+  }
+  EXPECT_TRUE(dead) << "background heartbeats never detected the crash";
+  coordinator.Stop();
+  for (auto& worker : fleet.workers) worker->Stop();
+}
+
+TEST(DistServiceTest, RollingReloadPushesEverywhereAndAbortsOnRollback) {
+  const std::string dir = testing::TempDir() + "/dist_reload";
+  ::mkdir(dir.c_str(), 0755);
+  const std::string donor_path = dir + "/donor.ckpt";
+  const std::string corrupt_path = dir + "/corrupt.ckpt";
+
+  core::DaModel donor = MakeModel(99);
+  ASSERT_TRUE(core::SaveModules(donor_path, {{"F", donor.extractor.get()},
+                                             {"M", donor.matcher.get()}})
+                  .ok());
+  ASSERT_TRUE(core::SaveModules(corrupt_path, {{"F", donor.extractor.get()},
+                                               {"M", donor.matcher.get()}})
+                  .ok());
+  ASSERT_TRUE(FaultInjector::CorruptByte(corrupt_path, 200).ok());
+
+  Fleet fleet = MakeFleet(2, nullptr);
+  Coordinator coordinator(TestCoordinatorConfig(), fleet.ports);
+
+  const auto stream = TestStream();
+  std::vector<float> before;
+  for (const auto& request : stream) {
+    const auto r = coordinator.Match(request);
+    ASSERT_TRUE(r.status.ok());
+    before.push_back(r.prob);
+  }
+
+  // A corrupt push aborts at node 0 (which rolled back locally) and no
+  // answer anywhere changes.
+  EXPECT_FALSE(coordinator.RollingReload(corrupt_path).ok());
+  for (size_t i = 0; i < stream.size(); ++i) {
+    EXPECT_EQ(coordinator.Match(stream[i]).prob, before[i]);
+  }
+  // The roll aborted at node 0: it rolled back locally, and node 1 was
+  // never touched.
+  EXPECT_EQ(fleet.workers[0]->service().stats().reload_rollbacks, 1);
+  EXPECT_EQ(fleet.workers[1]->service().stats().reload_rollbacks, 0);
+  for (auto& worker : fleet.workers) {
+    EXPECT_EQ(worker->service().stats().reloads, 0);
+  }
+
+  // A healthy push lands on every node; answers move off the old weights.
+  ASSERT_TRUE(coordinator.RollingReload(donor_path).ok());
+  for (size_t i = 0; i < stream.size(); ++i) {
+    const auto r = coordinator.Match(stream[i]);
+    ASSERT_TRUE(r.status.ok());
+    EXPECT_NE(r.prob, before[i]) << "request " << i
+                                 << " still answered by pre-push weights";
+  }
+  for (auto& worker : fleet.workers) {
+    EXPECT_EQ(worker->service().stats().reloads, 1);
+  }
+  for (auto& worker : fleet.workers) worker->Stop();
+}
+
+}  // namespace
+}  // namespace dader::dist

@@ -1,0 +1,130 @@
+// Membership state-machine tests: pure event-sequence driving, no sockets,
+// no clocks — the table's verdicts must depend only on the event order.
+
+#include "dist/membership.h"
+
+#include <gtest/gtest.h>
+
+namespace dader::dist {
+namespace {
+
+MembershipConfig TestConfig() {
+  MembershipConfig config;
+  config.suspect_after_misses = 2;
+  config.dead_after_misses = 4;
+  config.readmit_canary_successes = 2;
+  return config;
+}
+
+TEST(MembershipTest, StartsAllAliveAndRoutable) {
+  MembershipTable table(3, TestConfig());
+  EXPECT_EQ(table.num_nodes(), 3);
+  EXPECT_EQ(table.num_routable(), 3);
+  for (int node = 0; node < 3; ++node) {
+    EXPECT_EQ(table.state(node), NodeState::kAlive);
+    EXPECT_TRUE(table.routable(node));
+  }
+}
+
+TEST(MembershipTest, MissesWalkAliveThroughSuspectToDead) {
+  MembershipTable table(2, TestConfig());
+  table.OnHeartbeatMiss(0);
+  EXPECT_EQ(table.state(0), NodeState::kAlive) << "one miss must not demote";
+  table.OnHeartbeatMiss(0);
+  EXPECT_EQ(table.state(0), NodeState::kSuspect);
+  // The SUSPECT-keeps-traffic rule: a flapping heartbeat must not
+  // reshuffle the key space.
+  EXPECT_TRUE(table.routable(0));
+  table.OnHeartbeatMiss(0);
+  EXPECT_EQ(table.state(0), NodeState::kSuspect);
+  table.OnHeartbeatMiss(0);
+  EXPECT_EQ(table.state(0), NodeState::kDead);
+  EXPECT_FALSE(table.routable(0));
+  EXPECT_EQ(table.RoutableNodes(), std::vector<int>{1});
+  // The sibling never moved.
+  EXPECT_EQ(table.state(1), NodeState::kAlive);
+}
+
+TEST(MembershipTest, SuccessResetsTheMissCount) {
+  MembershipTable table(1, TestConfig());
+  table.OnHeartbeatMiss(0);
+  table.OnHeartbeatMiss(0);
+  EXPECT_EQ(table.state(0), NodeState::kSuspect);
+  table.OnHeartbeatOk(0);
+  EXPECT_EQ(table.state(0), NodeState::kAlive);
+  EXPECT_EQ(table.misses(0), 0);
+  // The streak starts over: two fresh misses to reach SUSPECT again.
+  table.OnHeartbeatMiss(0);
+  EXPECT_EQ(table.state(0), NodeState::kAlive);
+}
+
+TEST(MembershipTest, DeadNodeMustEarnTrafficBackThroughCanary) {
+  MembershipTable table(2, TestConfig());
+  for (int i = 0; i < 4; ++i) table.OnHeartbeatMiss(0);
+  ASSERT_EQ(table.state(0), NodeState::kDead);
+
+  // Answering a heartbeat again starts the canary, not full traffic.
+  table.OnHeartbeatOk(0);
+  EXPECT_EQ(table.state(0), NodeState::kCanary);
+  EXPECT_FALSE(table.routable(0)) << "canary node got traffic early";
+
+  // More heartbeat successes alone never promote.
+  table.OnHeartbeatOk(0);
+  table.OnHeartbeatOk(0);
+  EXPECT_EQ(table.state(0), NodeState::kCanary);
+
+  table.OnCanaryOk(0);
+  EXPECT_EQ(table.state(0), NodeState::kCanary) << "one success of two";
+  table.OnCanaryOk(0);
+  EXPECT_EQ(table.state(0), NodeState::kAlive);
+  EXPECT_TRUE(table.routable(0));
+}
+
+TEST(MembershipTest, CanaryFailureGoesStraightBackToDead) {
+  MembershipTable table(1, TestConfig());
+  for (int i = 0; i < 4; ++i) table.OnHeartbeatMiss(0);
+  table.OnHeartbeatOk(0);
+  ASSERT_EQ(table.state(0), NodeState::kCanary);
+  table.OnCanaryOk(0);
+  table.OnCanaryFailure(0);
+  EXPECT_EQ(table.state(0), NodeState::kDead);
+
+  // And the success streak reset with it: recovery needs a full fresh run.
+  table.OnHeartbeatOk(0);
+  ASSERT_EQ(table.state(0), NodeState::kCanary);
+  table.OnCanaryOk(0);
+  EXPECT_EQ(table.state(0), NodeState::kCanary);
+  table.OnCanaryOk(0);
+  EXPECT_EQ(table.state(0), NodeState::kAlive);
+}
+
+TEST(MembershipTest, CanaryNodeThatStopsAnsweringDies) {
+  MembershipTable table(1, TestConfig());
+  for (int i = 0; i < 4; ++i) table.OnHeartbeatMiss(0);
+  table.OnHeartbeatOk(0);
+  ASSERT_EQ(table.state(0), NodeState::kCanary);
+  table.OnHeartbeatMiss(0);
+  EXPECT_EQ(table.state(0), NodeState::kDead)
+      << "half-recovered nodes get no miss grace period";
+}
+
+TEST(MembershipTest, StaleCanaryResultsAreIgnored) {
+  MembershipTable table(1, TestConfig());
+  // Canary outcomes for a node that is not in kCanary are stale probes
+  // from a previous incarnation and must not move the state machine.
+  table.OnCanaryOk(0);
+  table.OnCanaryFailure(0);
+  EXPECT_EQ(table.state(0), NodeState::kAlive);
+}
+
+TEST(MembershipTest, DataPathMissesCountLikeHeartbeatMisses) {
+  // The data path reports transport failures through OnHeartbeatMiss, so a
+  // burst of failed calls can kill a node between ticks.
+  MembershipTable table(2, TestConfig());
+  for (int i = 0; i < 4; ++i) table.OnHeartbeatMiss(1);
+  EXPECT_EQ(table.state(1), NodeState::kDead);
+  EXPECT_EQ(table.num_routable(), 1);
+}
+
+}  // namespace
+}  // namespace dader::dist

@@ -1,0 +1,148 @@
+// Wire-codec tests: frame and payload round trips, and rejection of every
+// flavor of corrupt input a peer could ship.
+
+#include "dist/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace dader::dist {
+namespace {
+
+TEST(WireFrameTest, RoundTripsEveryType) {
+  for (uint8_t t = 1; t <= 8; ++t) {
+    Frame frame;
+    frame.type = static_cast<FrameType>(t);
+    frame.request_id = 0xDEADBEEFCAFE0000ULL + t;
+    frame.payload = std::string("payload-") + FrameTypeName(frame.type);
+    const std::string encoded = EncodeFrame(frame);
+    auto decoded = DecodeFrame(encoded);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded.ValueOrDie().type, frame.type);
+    EXPECT_EQ(decoded.ValueOrDie().request_id, frame.request_id);
+    EXPECT_EQ(decoded.ValueOrDie().payload, frame.payload);
+  }
+}
+
+TEST(WireFrameTest, RejectsCorruptFrames) {
+  Frame frame;
+  frame.type = FrameType::kMatch;
+  frame.request_id = 7;
+  frame.payload = "hello";
+  const std::string good = EncodeFrame(frame);
+
+  // Truncated body.
+  EXPECT_FALSE(DecodeFrame(good.substr(0, good.size() - 1)).ok());
+  // Unknown type byte (position 4, right after the length prefix).
+  std::string bad_type = good;
+  bad_type[4] = '\x7F';
+  EXPECT_FALSE(DecodeFrame(bad_type).ok());
+  // Length prefix pointing past the ceiling.
+  std::string bad_len = good;
+  bad_len[0] = '\xFF';
+  bad_len[1] = '\xFF';
+  bad_len[2] = '\xFF';
+  bad_len[3] = '\x7F';
+  EXPECT_FALSE(DecodeFrame(bad_len).ok());
+  // Empty buffer.
+  EXPECT_FALSE(DecodeFrame("").ok());
+}
+
+TEST(WireReaderTest, BoundsCheckedReadsNeverOverrun) {
+  WireWriter w;
+  w.PutU32(3);
+  const std::string buf = w.Take();
+  WireReader r(buf);
+  auto u32 = r.GetU32();
+  ASSERT_TRUE(u32.ok());
+  EXPECT_EQ(u32.ValueOrDie(), 3u);
+  // Nothing left: every further read fails cleanly.
+  EXPECT_FALSE(r.GetU8().ok());
+  EXPECT_FALSE(r.GetU64().ok());
+  EXPECT_FALSE(r.GetString().ok());
+}
+
+TEST(WireReaderTest, StringLengthIsCapped) {
+  WireWriter w;
+  w.PutU32(kMaxFrameBytes + 1);  // length prefix lies
+  const std::string buf = w.Take();
+  WireReader r(buf);
+  EXPECT_FALSE(r.GetString().ok());
+}
+
+TEST(MatchCodecTest, RequestRoundTrip) {
+  serve::MatchRequest request;
+  request.a = data::Record({"sony wh-1000xm4", "199"});
+  request.b = data::Record({"sony wh1000xm4 headphones", "205"});
+  request.deadline_ms = 123.5;
+
+  auto decoded = DecodeMatchRequest(EncodeMatchRequest(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.ValueOrDie().a.values(), request.a.values());
+  EXPECT_EQ(decoded.ValueOrDie().b.values(), request.b.values());
+  EXPECT_EQ(decoded.ValueOrDie().deadline_ms, request.deadline_ms);
+}
+
+TEST(MatchCodecTest, ResponseRoundTripIncludingErrorStatus) {
+  serve::MatchResponse response;
+  response.status = Status::DeadlineExceeded("too slow");
+  response.label = 1;
+  response.prob = 0.875f;
+  response.degraded = true;
+  response.attempts = 3;
+  response.queue_ms = 1.25;
+  response.total_ms = 9.5;
+
+  auto decoded = DecodeMatchResponse(EncodeMatchResponse(response));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.ValueOrDie().status.code(), response.status.code());
+  EXPECT_EQ(decoded.ValueOrDie().status.message(), "too slow");
+  EXPECT_EQ(decoded.ValueOrDie().label, 1);
+  EXPECT_EQ(decoded.ValueOrDie().prob, response.prob);  // bit-exact f32
+  EXPECT_TRUE(decoded.ValueOrDie().degraded);
+  EXPECT_EQ(decoded.ValueOrDie().attempts, 3);
+  EXPECT_EQ(decoded.ValueOrDie().queue_ms, 1.25);
+  EXPECT_EQ(decoded.ValueOrDie().total_ms, 9.5);
+}
+
+TEST(MatchCodecTest, DefaultLabelSurvives) {
+  serve::MatchResponse response;  // label = -1, the "no answer" sentinel
+  auto decoded = DecodeMatchResponse(EncodeMatchResponse(response));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.ValueOrDie().label, -1);
+}
+
+TEST(MatchCodecTest, RejectsTruncatedAndImplausiblePayloads) {
+  serve::MatchRequest request;
+  request.a = data::Record({"a", "b"});
+  request.b = data::Record({"c", "d"});
+  const std::string good = EncodeMatchRequest(request);
+  for (size_t cut = 0; cut < good.size(); ++cut) {
+    EXPECT_FALSE(DecodeMatchRequest(good.substr(0, cut)).ok())
+        << "truncation at " << cut << " decoded anyway";
+  }
+  // A record claiming 2^20 fields is corrupt, not big.
+  WireWriter w;
+  w.PutU32(1u << 20);
+  EXPECT_FALSE(DecodeMatchRequest(w.Take()).ok());
+}
+
+TEST(StatusCodecTest, RoundTripsCodesAndRejectsUnknown) {
+  for (const Status& s :
+       {Status::OK(), Status::Unavailable("down"),
+        Status::InvalidArgument("bad"), Status::DeadlineExceeded("late")}) {
+    Status decoded = Status::OK();
+    ASSERT_TRUE(DecodeStatus(EncodeStatus(s), &decoded).ok());
+    EXPECT_EQ(decoded.code(), s.code());
+    EXPECT_EQ(decoded.message(), s.message());
+  }
+  WireWriter w;
+  w.PutU32(999);
+  w.PutString("mystery");
+  Status decoded = Status::OK();
+  EXPECT_FALSE(DecodeStatus(w.Take(), &decoded).ok());
+}
+
+}  // namespace
+}  // namespace dader::dist

@@ -10,6 +10,7 @@
 #include <unistd.h>
 
 #include <cstring>
+#include <stdexcept>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -76,6 +77,42 @@ TEST(HttpMetricsExporterTest, UnknownPathIs404) {
   const std::string response =
       Fetch(exporter.port(), "GET /debug/pprof HTTP/1.1\r\nHost: x\r\n\r\n");
   EXPECT_NE(response.find("404"), std::string::npos) << response;
+}
+
+// Regression: a scrape handler that throws used to tear down the serving
+// thread with an unhandled exception. It must answer 503 with the error in
+// the body instead — the exporter outlives a poisoned registry.
+TEST(HttpMetricsExporterTest, ThrowingScrapeHandlerAnswers503WithBody) {
+  HttpMetricsExporter exporter;
+  exporter.set_scrape_handler([]() -> std::string {
+    throw std::runtime_error("registry poisoned");
+  });
+  ASSERT_TRUE(exporter.Start(0).ok());
+
+  const std::string response =
+      Fetch(exporter.port(), "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(response.find("503 Service Unavailable"), std::string::npos)
+      << response;
+  EXPECT_NE(response.find("scrape handler failed: registry poisoned"),
+            std::string::npos)
+      << "503 body must carry the handler's error";
+
+  // The serving thread survived the throw: the next scrape is answered.
+  const std::string again =
+      Fetch(exporter.port(), "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(again.find("503"), std::string::npos);
+  exporter.Stop();
+}
+
+TEST(HttpMetricsExporterTest, CustomScrapeHandlerReplacesRegistryText) {
+  HttpMetricsExporter exporter;
+  exporter.set_scrape_handler([] { return std::string("custom payload\n"); });
+  ASSERT_TRUE(exporter.Start(0).ok());
+  const std::string response =
+      Fetch(exporter.port(), "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(response.find("200 OK"), std::string::npos) << response;
+  EXPECT_NE(response.find("custom payload"), std::string::npos);
+  exporter.Stop();
 }
 
 TEST(HttpMetricsExporterTest, StopIsIdempotentAndStartFailsWhileRunning) {

@@ -54,6 +54,50 @@ TEST(RetryTest, JitterStaysInRangeAndIsSeeded) {
   }
 }
 
+TEST(RetryScheduleTest, SameSeedReplaysTheExactDelaySequence) {
+  RetryPolicy policy;
+  policy.base_backoff_ms = 4.0;
+  policy.max_backoff_ms = 64.0;
+  policy.jitter_frac = 0.5;
+  RetrySchedule a(policy, /*jitter_seed=*/0xBEEF);
+  RetrySchedule b(policy, /*jitter_seed=*/0xBEEF);
+  RetrySchedule other(policy, /*jitter_seed=*/0xF00D);
+  bool diverged = false;
+  for (int attempt = 1; attempt <= 8; ++attempt) {
+    const double da = a.NextDelayMs(attempt);
+    EXPECT_DOUBLE_EQ(da, b.NextDelayMs(attempt)) << "attempt " << attempt;
+    EXPECT_GE(da, 0.0);
+    EXPECT_LE(da, policy.max_backoff_ms);
+    if (da != other.NextDelayMs(attempt)) diverged = true;
+  }
+  EXPECT_TRUE(diverged) << "different seeds produced identical jitter";
+}
+
+TEST(RetryScheduleTest, ManualClockMakesSleepsVirtual) {
+  RetryPolicy policy;
+  policy.base_backoff_ms = 10.0;
+  policy.max_backoff_ms = 1000.0;
+  policy.jitter_frac = 0.0;
+  util::ManualClock clock;
+  RetrySchedule schedule(policy, 1, &clock);
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  double total = 0.0;
+  for (int attempt = 1; attempt <= 6; ++attempt) {
+    const double delay = schedule.NextDelayMs(attempt);
+    schedule.Sleep(delay);
+    total += delay;
+  }
+  const double wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - wall_start)
+                             .count();
+  // 10+20+...+320 = 630 virtual ms elapsed; essentially no real time did.
+  EXPECT_DOUBLE_EQ(clock.slept_ms(), total);
+  EXPECT_DOUBLE_EQ(total, 630.0);
+  EXPECT_GE(clock.NowMs(), 630.0);
+  EXPECT_LT(wall_ms, 500.0) << "ManualClock sleeps burned real time";
+}
+
 TEST(CircuitBreakerTest, TripsAfterFailureStreakAndBlocksWhileOpen) {
   BreakerConfig config;
   config.failure_threshold = 3;
@@ -115,6 +159,45 @@ TEST(CircuitBreakerTest, HalfOpenProbeFailureReopens) {
   EXPECT_EQ(breaker.state(), BreakerState::kOpen);
   EXPECT_EQ(breaker.trips(), 2);
   EXPECT_FALSE(breaker.AllowPrimary());  // cooldown restarted
+}
+
+// Regression: reports from calls admitted in an earlier state (stale
+// successes/failures) must not move the half-open accounting. Before the
+// probe_in_flight_ guard, two concurrent successes could close the breaker
+// off a single real probe — or off none.
+TEST(CircuitBreakerTest, StaleReportsCannotDoubleCloseOrRetrip) {
+  BreakerConfig config;
+  config.failure_threshold = 1;
+  config.cooldown_ms = 20.0;
+  config.half_open_successes = 2;
+  CircuitBreaker breaker(config);
+
+  ASSERT_TRUE(breaker.AllowPrimary());
+  breaker.OnFailure();
+  ASSERT_EQ(breaker.state(), BreakerState::kOpen);
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+
+  ASSERT_TRUE(breaker.AllowPrimary());  // the one admitted probe
+  breaker.OnSuccess();                  // 1 of 2: legitimate
+  ASSERT_EQ(breaker.state(), BreakerState::kHalfOpen);
+
+  // Stale successes (no probe admitted): without the in-flight guard the
+  // second one here would have closed the breaker.
+  breaker.OnSuccess();
+  breaker.OnSuccess();
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen)
+      << "stale successes closed the breaker without a probe";
+
+  // A stale failure likewise must not cancel a probe that never ran.
+  const int64_t trips_before = breaker.trips();
+  breaker.OnFailure();
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  EXPECT_EQ(breaker.trips(), trips_before);
+
+  // The real second probe still closes it.
+  ASSERT_TRUE(breaker.AllowPrimary());
+  breaker.OnSuccess();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
 }
 
 TEST(CircuitBreakerTest, StateNames) {

@@ -317,5 +317,61 @@ TEST(ShardedMatchServiceTest, ReloadFansOutAndInvalidatesCaches) {
   service->Stop();
 }
 
+// Direct per-shard cache accounting across a hot reload: every shard's
+// cache is populated by its own traffic, every shard's cache is emptied by
+// the reload (not just shard 0's), and re-asking after the reload is a
+// miss (features recomputed under the new weights), not a hit.
+TEST(ShardedMatchServiceTest, EveryShardsFeatureCacheInvalidatesOnReload) {
+  const std::string dir = testing::TempDir() + "/per_shard_cache_reload";
+  ::mkdir(dir.c_str(), 0755);
+  const std::string donor_path = dir + "/donor.ckpt";
+  core::DaModel donor = MakeModel(core::ExtractorKind::kLM, 77);
+  ASSERT_TRUE(core::SaveModules(donor_path, {{"F", donor.extractor.get()},
+                                             {"M", donor.matcher.get()}})
+                  .ok());
+
+  ServeConfig with_cache = ShardTemplate();
+  with_cache.feature_cache_capacity = 64;
+  auto service_or = MakeSharded(2, with_cache);
+  ASSERT_TRUE(service_or.ok());
+  auto service = std::move(service_or).ValueOrDie();
+
+  // Warm both shards.
+  std::vector<MatchRequest> warm;
+  for (int i = 0; i < 16; ++i) {
+    warm.push_back(MakeRequest("gadget " + std::to_string(i),
+                               "gadget " + std::to_string(i) + " pro"));
+  }
+  service->MatchBatch(warm);
+  for (int i = 0; i < service->num_shards(); ++i) {
+    const FeatureCache* cache = service->shard(i).feature_cache();
+    ASSERT_NE(cache, nullptr);
+    EXPECT_GT(cache->size(), 0u) << "shard " << i << " cache never warmed";
+  }
+  // Replay: all hits, proving the entries are live.
+  const int64_t hits_before = service->stats().cache_hits;
+  service->MatchBatch(warm);
+  EXPECT_EQ(service->stats().cache_hits - hits_before,
+            static_cast<int64_t>(warm.size()));
+
+  // The reload must empty EVERY shard's cache in the same swap.
+  ASSERT_TRUE(service->ReloadModel(donor_path).ok());
+  for (int i = 0; i < service->num_shards(); ++i) {
+    EXPECT_EQ(service->shard(i).feature_cache()->size(), 0u)
+        << "shard " << i << " kept old-weight features across the reload";
+  }
+
+  // Replaying the stream now misses (recomputed), then hits again.
+  const int64_t misses_before = service->stats().cache_misses;
+  service->MatchBatch(warm);
+  EXPECT_EQ(service->stats().cache_misses - misses_before,
+            static_cast<int64_t>(warm.size()));
+  const int64_t hits_after = service->stats().cache_hits;
+  service->MatchBatch(warm);
+  EXPECT_EQ(service->stats().cache_hits - hits_after,
+            static_cast<int64_t>(warm.size()));
+  service->Stop();
+}
+
 }  // namespace
 }  // namespace dader::serve

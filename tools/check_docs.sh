@@ -2,7 +2,7 @@
 # Cross-checks docs/OBSERVABILITY.md against the instrumentation in src/.
 #
 # Direction 1 (no stale docs): every backticked metric/span name in the doc
-# whose first segment is train./serve./tensor./threadpool. must appear as a string
+# whose first segment is train./serve./tensor./threadpool./dist. must appear as a string
 # literal somewhere under src/.
 # Direction 2 (no undocumented metrics): every such name registered in src/
 # (the first string argument of GetCounter/GetGauge/GetHistogram/LabeledName
@@ -21,12 +21,12 @@ if [[ ! -f "$DOC" ]]; then
 fi
 
 # Backticked dotted names in the doc, e.g. `serve.latency.total_ms`.
-doc_names=$(grep -oE '`(train|serve|tensor|threadpool)\.[a-z0-9._]+`' "$DOC" \
+doc_names=$(grep -oE '`(train|serve|tensor|threadpool|dist)\.[a-z0-9._]+`' "$DOC" \
   | tr -d '`' | sort -u)
 
 # Names registered in code: any string literal starting with one of the
 # instrumented prefixes.
-src_names=$(grep -rhoE '"(train|serve|tensor|threadpool)\.[a-z0-9._]+"' "$SRC" \
+src_names=$(grep -rhoE '"(train|serve|tensor|threadpool|dist)\.[a-z0-9._]+"' "$SRC" \
   | tr -d '"' | sort -u)
 
 if [[ -z "$doc_names" ]]; then
