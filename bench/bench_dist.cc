@@ -1,16 +1,21 @@
 // Distributed control-plane bench: what the loopback-TCP hop costs and what
 // degraded mode does to throughput.
 //
-// Three experiments:
+// Five experiments:
 //   1. wire tax: the same closed-loop stream through a local MatchService
 //      vs a 3-node coordinator fleet (frame encode + TCP round trip +
 //      decode per request, serial client)
 //   2. concurrent clients: K threads driving the coordinator — the
 //      per-node channel pool is what lets the worker-side batcher batch
-//   3. degraded fleet: one node dead, its keys rescued to survivors —
+//   3. serial Match loop vs pipelined MatchBatch over the same fleet:
+//      how much of the serial wire tax the per-node lane fan-out buys back
+//   4. degraded fleet: one node dead, its keys rescued to survivors —
 //      throughput and rescue share with N-1 nodes doing N nodes' work
+//   5. failover spike: the first post-failover round under replica groups
+//      (hot standby, mirrored cache) vs rescue-on-demand (cold survivor)
 //
 //   ./bench_dist [--scale=smoke|small|full] [--csv=dist.csv]
+//                [--json=BENCH_dist.json]
 
 #include <future>
 #include <memory>
@@ -19,7 +24,9 @@
 #include "bench/bench_common.h"
 #include "dist/coordinator.h"
 #include "dist/worker.h"
+#include "obs/metrics.h"
 #include "serve/match_service.h"
+#include "util/clock.h"
 #include "util/fault.h"
 
 using namespace dader;
@@ -78,7 +85,8 @@ struct Fleet {
   std::vector<int> ports;
 };
 
-Fleet MakeFleet(int nodes, int requests, uint64_t seed) {
+Fleet MakeFleet(int nodes, int requests, uint64_t seed,
+                size_t cache_capacity = 0) {
   Fleet fleet;
   core::DaModel base = MakeModel(seed);
   data::Schema schema({"title", "price"});
@@ -88,6 +96,7 @@ Fleet MakeFleet(int nodes, int requests, uint64_t seed) {
     dist::WorkerNodeConfig config;
     config.node_id = node;
     config.serve = WorkerConfig(requests, seed);
+    config.serve.feature_cache_capacity = cache_capacity;
     auto worker = dist::WorkerNode::Create(config, schema, schema,
                                            std::move(replica).ValueOrDie());
     if (!worker.ok()) std::exit(1);
@@ -105,6 +114,76 @@ dist::CoordinatorConfig CoordConfig(uint64_t seed) {
   config.max_inflight_per_node = 256;
   config.seed = seed;
   return config;
+}
+
+// One primary death under a given routing policy (replication 1 = PR 6's
+// rescue-on-demand, replication 2 = hot standby with mirrored warming):
+// warm the fleet, kill the home of stream[0], measure the FIRST
+// post-failover round — the spike window the replica groups exist for.
+struct FailoverResult {
+  int ok = 0;
+  double round_rps = 0.0;
+  long long cold_misses = 0;  ///< fleet-wide cache misses in that round
+  long long rescued = 0;
+  long long promoted = 0;
+};
+
+FailoverResult RunFailoverSpike(int replication, int requests, uint64_t seed,
+                                const std::vector<serve::MatchRequest>& stream) {
+  const int kNodes = 4;
+  Fleet fleet = MakeFleet(kNodes, requests, seed,
+                          /*cache_capacity=*/2 * stream.size() + 16);
+  dist::CoordinatorConfig config = CoordConfig(seed);
+  config.replication_factor = replication;
+  dist::Coordinator coordinator(config, fleet.ports);
+  coordinator.Start();  // heartbeats + (replication > 1) the warm mirror
+
+  FailoverResult out;
+  for (const auto& request : stream) {  // warm round: primaries cache keys
+    coordinator.Match(request);
+  }
+  if (replication > 1) {
+    // Wait for the mirror thread to warm the standbys.
+    for (int spin = 0;
+         spin < 2000 &&
+         coordinator.warm_sent() < static_cast<int64_t>(stream.size());
+         ++spin) {
+      util::Clock::Real()->SleepForMs(5.0);
+    }
+  }
+
+  const int victim = coordinator.Route(stream[0]).node;
+  fleet.workers[static_cast<size_t>(victim)]->StopServer();
+  for (int spin = 0;
+       spin < 2000 &&
+       coordinator.membership().state(victim) != dist::NodeState::kDead;
+       ++spin) {
+    util::Clock::Real()->SleepForMs(5.0);
+  }
+
+  auto fleet_misses = [&fleet] {
+    long long misses = 0;
+    for (auto& worker : fleet.workers) {
+      misses += worker->service().stats().cache_misses;
+    }
+    return misses;
+  };
+  const long long misses_before = fleet_misses();
+  const int64_t rescued_before = coordinator.rescued();
+  const int64_t promoted_before = coordinator.promoted();
+  Stopwatch timer;
+  for (const auto& request : stream) {
+    if (coordinator.Match(request).status.ok()) ++out.ok;
+  }
+  out.round_rps = out.ok / timer.ElapsedSeconds();
+  out.cold_misses = fleet_misses() - misses_before;
+  out.rescued = static_cast<long long>(coordinator.rescued() - rescued_before);
+  out.promoted =
+      static_cast<long long>(coordinator.promoted() - promoted_before);
+
+  coordinator.Stop();
+  for (auto& worker : fleet.workers) worker->Stop();
+  return out;
 }
 
 }  // namespace
@@ -138,6 +217,8 @@ int main(int argc, char** argv) {
     csv.AddRow({"wire_tax", "local", std::to_string(kRequests),
                 std::to_string(ok), "0", "0", StrFormat("%.1f", local_rps)});
   }
+  double serial_rps = 0.0;
+  double pipelined_rps = 0.0;
   {
     Fleet fleet = MakeFleet(kNodes, kRequests, env.seed);
     dist::Coordinator coordinator(CoordConfig(env.seed), fleet.ports);
@@ -146,11 +227,11 @@ int main(int argc, char** argv) {
     for (const auto& request : stream) {
       if (coordinator.Match(request).status.ok()) ++ok;
     }
-    const double rps = ok / timer.ElapsedSeconds();
+    serial_rps = ok / timer.ElapsedSeconds();
     std::printf("%-22s %12.1f %10d   (%.1f%% of local)\n", "coordinator+TCP",
-                rps, ok, 100.0 * rps / local_rps);
+                serial_rps, ok, 100.0 * serial_rps / local_rps);
     csv.AddRow({"wire_tax", "fleet_serial", std::to_string(kRequests),
-                std::to_string(ok), "0", "0", StrFormat("%.1f", rps)});
+                std::to_string(ok), "0", "0", StrFormat("%.1f", serial_rps)});
 
     std::printf("\n== 2. concurrent clients against the same fleet ==\n");
     std::printf("%-10s %12s %10s\n", "clients", "rps", "ok");
@@ -176,7 +257,29 @@ int main(int argc, char** argv) {
                   StrFormat("%.1f", crps)});
     }
 
-    std::printf("\n== 3. degraded fleet: node 0 dead, keys rescued ==\n");
+    std::printf("\n== 3. serial Match loop vs pipelined MatchBatch ==\n");
+    std::printf("%-22s %12s %10s\n", "path", "rps", "ok");
+    std::printf("%-22s %12.1f %10d\n", "serial loop (above)", serial_rps, ok);
+    {
+      std::vector<serve::MatchRequest> batch = stream;  // MatchBatch consumes
+      Stopwatch btimer;
+      const std::vector<serve::MatchResponse> responses =
+          coordinator.MatchBatch(std::move(batch));
+      int bok = 0;
+      for (const auto& r : responses) {
+        if (r.status.ok()) ++bok;
+      }
+      pipelined_rps = bok / btimer.ElapsedSeconds();
+      std::printf("%-22s %12.1f %10d   (%.1f%% of local, %.2fx serial)\n",
+                  "pipelined MatchBatch", pipelined_rps, bok,
+                  100.0 * pipelined_rps / local_rps,
+                  pipelined_rps / serial_rps);
+      csv.AddRow({"wire_tax", "fleet_pipelined", std::to_string(kRequests),
+                  std::to_string(bok), "0", "0",
+                  StrFormat("%.1f", pipelined_rps)});
+    }
+
+    std::printf("\n== 4. degraded fleet: node 0 dead, keys rescued ==\n");
     fleet.workers[0]->StopServer();
     // Walk node 0 to DEAD deterministically; the first data-path failures
     // would get there too, but ticks keep the measurement clean.
@@ -200,6 +303,56 @@ int main(int argc, char** argv) {
 
     coordinator.Stop();
     for (auto& worker : fleet.workers) worker->Stop();
+  }
+
+  std::printf("\n== 5. failover spike: first round after a primary dies ==\n");
+  std::printf("%-22s %12s %10s %8s %8s %8s\n", "policy", "rps", "ok",
+              "cold", "rescued", "promoted");
+  const FailoverResult replica =
+      RunFailoverSpike(/*replication=*/2, kRequests, env.seed, stream);
+  std::printf("%-22s %12.1f %10d %8lld %8lld %8lld\n", "replica groups (R=2)",
+              replica.round_rps, replica.ok, replica.cold_misses,
+              replica.rescued, replica.promoted);
+  csv.AddRow({"failover", "replica_groups", std::to_string(kRequests),
+              std::to_string(replica.ok), "0",
+              std::to_string(replica.rescued),
+              StrFormat("%.1f", replica.round_rps)});
+  const FailoverResult rescue =
+      RunFailoverSpike(/*replication=*/1, kRequests, env.seed, stream);
+  std::printf("%-22s %12.1f %10d %8lld %8lld %8lld\n", "rescue-on-demand",
+              rescue.round_rps, rescue.ok, rescue.cold_misses, rescue.rescued,
+              rescue.promoted);
+  csv.AddRow({"failover", "rescue_on_demand", std::to_string(kRequests),
+              std::to_string(rescue.ok), "0", std::to_string(rescue.rescued),
+              StrFormat("%.1f", rescue.round_rps)});
+
+  if (!env.json_path.empty()) {
+    std::string json = "{\n";
+    json += StrFormat(
+        "  \"wire_tax\": {\"requests\": %d, \"local_rps\": %.1f, "
+        "\"serial_rps\": %.1f, \"pipelined_rps\": %.1f, "
+        "\"serial_tax_pct\": %.1f, \"pipelined_tax_pct\": %.1f, "
+        "\"pipelined_speedup\": %.2f},\n",
+        kRequests, local_rps, serial_rps, pipelined_rps,
+        100.0 * (1.0 - serial_rps / local_rps),
+        100.0 * (1.0 - pipelined_rps / local_rps), pipelined_rps / serial_rps);
+    json += StrFormat(
+        "  \"failover_spike\": {\n"
+        "    \"replica_groups\": {\"rps\": %.1f, \"ok\": %d, "
+        "\"cold_misses\": %lld, \"rescued\": %lld, \"promoted\": %lld},\n"
+        "    \"rescue_on_demand\": {\"rps\": %.1f, \"ok\": %d, "
+        "\"cold_misses\": %lld, \"rescued\": %lld, \"promoted\": %lld}\n"
+        "  }\n",
+        replica.round_rps, replica.ok, replica.cold_misses, replica.rescued,
+        replica.promoted, rescue.round_rps, rescue.ok, rescue.cold_misses,
+        rescue.rescued, rescue.promoted);
+    json += "}\n";
+    std::string error;
+    if (obs::WriteTextFile(env.json_path, json, &error)) {
+      std::printf("[json written to %s]\n", env.json_path.c_str());
+    } else {
+      std::fprintf(stderr, "json write failed: %s\n", error.c_str());
+    }
   }
 
   csv.WriteIfRequested(env.csv_path);

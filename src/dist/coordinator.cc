@@ -1,5 +1,8 @@
 #include "dist/coordinator.h"
 
+#include <sys/stat.h>
+
+#include <map>
 #include <utility>
 
 #include "util/check.h"
@@ -11,13 +14,25 @@ namespace dader::dist {
 
 namespace {
 
-// How many distinct nodes one Match call will try before giving up: the
-// routed node plus this many failovers.
+// How many extra candidates one Match call will try beyond the group's own
+// members before giving up.
 constexpr int kMaxFailovers = 2;
 
 uint64_t Mix(uint64_t x) {
   SplitMix64 sm(x);
   return sm.Next();
+}
+
+bool SameMembership(const std::vector<NodeSnapshot>& a,
+                    const std::vector<NodeSnapshot>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].state != b[i].state || a[i].misses != b[i].misses ||
+        a[i].canary_successes != b[i].canary_successes) {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace
@@ -26,10 +41,14 @@ Coordinator::Coordinator(CoordinatorConfig config,
                          std::vector<int> worker_ports)
     : config_(config),
       ports_(std::move(worker_ports)),
-      membership_(static_cast<int>(ports_.size()), config.membership) {
+      membership_(static_cast<int>(ports_.size()), config.membership),
+      groups_(ReplicaGroupTable::Create(static_cast<int>(ports_.size()),
+                                        config.replication_factor)
+                  .ValueOrDie()) {
   DADER_CHECK_GT(ports_.size(), 0u);
   DADER_CHECK_GT(config_.channels_per_node, 0);
   DADER_CHECK_GT(config_.max_inflight_per_node, 0);
+  DADER_CHECK_GT(config_.checkpoint_every, 0);
 
   SplitMix64 seeds(config_.seed);
   for (size_t node = 0; node < ports_.size(); ++node) {
@@ -40,6 +59,14 @@ Coordinator::Coordinator(CoordinatorConfig config,
     hb.clock = config_.clock;
     hb_channels_.push_back(
         std::make_unique<RpcChannel>(ports_[node], hb));
+
+    RpcChannelConfig warm;
+    warm.default_deadline_ms = config_.match_deadline_ms;
+    warm.reconnect = config_.reconnect;
+    warm.seed = seeds.Next();
+    warm.clock = config_.clock;
+    warm_channels_.push_back(
+        std::make_unique<RpcChannel>(ports_[node], warm));
 
     std::vector<std::unique_ptr<RpcChannel>> pool;
     for (int c = 0; c < config_.channels_per_node; ++c) {
@@ -61,11 +88,25 @@ Coordinator::Coordinator(CoordinatorConfig config,
                                "requests");
   m_rescued_ = reg.GetCounter(
       "dist.route.rescued.total",
-      "Requests served by a survivor because their home node was dead",
+      "Requests served outside their home replica group because the whole "
+      "group was dead",
+      "requests");
+  m_promoted_ = reg.GetCounter(
+      "dist.replica.promotions.total",
+      "Requests served by a hot standby because the group primary was dead",
       "requests");
   m_shed_ = reg.GetCounter(
       "dist.route.shed.total",
       "Requests shed Unavailable (fleet unroutable or node over capacity)",
+      "requests");
+  m_warm_sent_ = reg.GetCounter(
+      "dist.replica.warm.sent.total",
+      "Served requests mirrored to standby replicas as warm traffic",
+      "requests");
+  m_warm_dropped_ = reg.GetCounter(
+      "dist.replica.warm.dropped.total",
+      "Warm mirrors dropped because the warm queue was full (best-effort "
+      "by design)",
       "requests");
   m_hb_sent_ = reg.GetCounter("dist.heartbeat.sent.total",
                               "Heartbeat pings sent to workers", "probes");
@@ -76,19 +117,110 @@ Coordinator::Coordinator(CoordinatorConfig config,
       "dist.reload.node.rollback.total",
       "Per-node checkpoint pushes that failed (worker rolled back)",
       "nodes");
+  m_reload_resume_ = reg.GetCounter(
+      "dist.reload.resume.total",
+      "Rolling reloads resumed from persisted state after a coordinator "
+      "restart",
+      "rolls");
+
+  RestoreFromJournal();
 }
 
 Coordinator::~Coordinator() { Stop(); }
+
+void Coordinator::RestoreFromJournal() {
+  if (config_.state_dir.empty()) return;
+  ::mkdir(config_.state_dir.c_str(), 0755);  // EEXIST is fine
+  journal_ = std::make_unique<CoordinatorJournal>(config_.state_dir,
+                                                  config_.fault);
+  Result<CoordinatorState> state =
+      journal_->Load(num_nodes(), groups_.replication_factor());
+  if (!state.ok()) {
+    if (state.status().code() != StatusCode::kNotFound) {
+      DADER_LOG(Error) << "dist coordinator: persisted state unusable ("
+                       << state.status().ToString() << "); starting fresh";
+    }
+    return;
+  }
+  const CoordinatorState& restored = state.ValueOrDie();
+  membership_.Restore(restored.membership);
+  reload_epoch_.store(restored.reload_epoch);
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    pending_ = restored.pending_reload;
+  }
+  {
+    std::lock_guard<std::mutex> lock(journal_mu_);
+    last_journaled_ = restored.membership;
+  }
+  DADER_LOG(Info) << "dist coordinator: resumed from " << config_.state_dir
+                  << " (reload epoch " << restored.reload_epoch
+                  << (restored.pending_reload.active
+                          ? ", roll in flight)"
+                          : ")");
+}
+
+CoordinatorState Coordinator::CurrentState() const {
+  CoordinatorState state;
+  state.num_nodes = num_nodes();
+  state.replication_factor = groups_.replication_factor();
+  state.reload_epoch = reload_epoch_.load();
+  state.membership = membership_.Snapshot();
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    state.pending_reload = pending_;
+  }
+  return state;
+}
+
+void Coordinator::JournalMembership() {
+  if (journal_ == nullptr) return;
+  std::vector<NodeSnapshot> snap = membership_.Snapshot();
+  std::lock_guard<std::mutex> lock(journal_mu_);
+  if (SameMembership(snap, last_journaled_)) return;
+  Status appended = journal_->AppendMembership(snap);
+  if (!appended.ok()) {
+    DADER_LOG(Error) << "dist coordinator: membership journal append "
+                        "failed: "
+                     << appended.ToString();
+    return;
+  }
+  last_journaled_ = std::move(snap);
+  if (++appends_since_checkpoint_ >= config_.checkpoint_every) {
+    Status cp = journal_->Checkpoint(CurrentState());
+    if (!cp.ok()) {
+      DADER_LOG(Error) << "dist coordinator: checkpoint failed: "
+                       << cp.ToString();
+    }
+    appends_since_checkpoint_ = 0;
+  }
+}
 
 void Coordinator::Start() {
   bool expected = false;
   if (!running_.compare_exchange_strong(expected, true)) return;
   hb_thread_ = std::thread([this] { HeartbeatLoop(); });
+  if (config_.mirror_warm && groups_.replication_factor() > 1) {
+    warm_thread_ = std::thread([this] { WarmLoop(); });
+  }
 }
 
 void Coordinator::Stop() {
   running_.store(false);
+  warm_cv_.notify_all();
   if (hb_thread_.joinable()) hb_thread_.join();
+  if (warm_thread_.joinable()) warm_thread_.join();
+  if (journal_ != nullptr) {
+    // Final checkpoint: the next coordinator resumes from here (including
+    // any roll still in flight).
+    std::lock_guard<std::mutex> lock(journal_mu_);
+    Status cp = journal_->Checkpoint(CurrentState());
+    if (!cp.ok()) {
+      DADER_LOG(Error) << "dist coordinator: final checkpoint failed: "
+                       << cp.ToString();
+    }
+    appends_since_checkpoint_ = 0;
+  }
 }
 
 void Coordinator::HeartbeatLoop() {
@@ -130,6 +262,9 @@ void Coordinator::HeartbeatTick() {
       membership_.OnCanaryFailure(node);
     }
   }
+  // Persist what this tick learned (canary streaks included) so a
+  // restarted coordinator resumes the same view.
+  JournalMembership();
 }
 
 int Coordinator::RescueNode(uint64_t hash,
@@ -137,7 +272,7 @@ int Coordinator::RescueNode(uint64_t hash,
   // Deterministic probe sequence over the pair's own hash: while the
   // membership view is stable every client maps a pair to the same
   // survivor, so per-pair stickiness (and its cache locality) survives a
-  // node death.
+  // group death.
   const int n = num_nodes();
   for (int probe = 1; probe <= 8 * n; ++probe) {
     const int cand = static_cast<int>(
@@ -157,16 +292,37 @@ int Coordinator::RescueNode(uint64_t hash,
   return -1;
 }
 
+int Coordinator::NextCandidate(uint64_t hash, int group,
+                               const std::vector<bool>& tried) const {
+  // Promotion order first: the standbys hold mirrored weights and warmed
+  // caches, so they are strictly better rescuers than a random survivor.
+  for (const int member : groups_.members(group)) {
+    if (tried[static_cast<size_t>(member)]) continue;
+    if (!membership_.routable(member)) continue;
+    return member;
+  }
+  std::vector<bool> skip = tried;
+  for (const int member : groups_.members(group)) {
+    skip[static_cast<size_t>(member)] = true;
+  }
+  return RescueNode(hash, skip);
+}
+
 RouteDecision Coordinator::Route(const serve::MatchRequest& request) const {
   RouteDecision decision;
-  decision.home =
-      serve::ShardForPair(request.a, request.b, num_nodes());
-  if (membership_.routable(decision.home)) {
-    decision.node = decision.home;
-    return decision;
+  const int group =
+      serve::ShardForPair(request.a, request.b, groups_.num_groups());
+  const std::vector<int>& members = groups_.members(group);
+  decision.home = members[0];
+  for (size_t rank = 0; rank < members.size(); ++rank) {
+    if (membership_.routable(members[rank])) {
+      decision.node = members[rank];
+      decision.promoted = rank > 0;
+      return decision;
+    }
   }
   std::vector<bool> skip(static_cast<size_t>(num_nodes()), false);
-  skip[static_cast<size_t>(decision.home)] = true;
+  for (const int member : members) skip[static_cast<size_t>(member)] = true;
   decision.node =
       RescueNode(serve::PairKeyHash(request.a, request.b), skip);
   decision.rescued = decision.node >= 0;
@@ -177,6 +333,8 @@ serve::MatchResponse Coordinator::Match(serve::MatchRequest request) {
   m_requests_->Increment();
   serve::MatchResponse response;
 
+  const int group =
+      serve::ShardForPair(request.a, request.b, groups_.num_groups());
   const RouteDecision first = Route(request);
   if (first.node < 0) {
     shed_.fetch_add(1);
@@ -190,10 +348,10 @@ serve::MatchResponse Coordinator::Match(serve::MatchRequest request) {
   const std::string payload = EncodeMatchRequest(request);
   std::vector<bool> tried(static_cast<size_t>(num_nodes()), false);
   int node = first.node;
-  bool rescued = first.rescued;
   Status last = Status::Unavailable("never attempted");
 
-  for (int attempt = 0; attempt <= kMaxFailovers; ++attempt) {
+  const int max_attempts = groups_.replication_factor() + kMaxFailovers;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
     auto& inflight = *inflight_[static_cast<size_t>(node)];
     if (inflight.fetch_add(1) >= config_.max_inflight_per_node) {
       // Past capacity we shed rather than dog-pile the rest of the fleet;
@@ -225,24 +383,32 @@ serve::MatchResponse Coordinator::Match(serve::MatchRequest request) {
         return response;
       }
       routed_.fetch_add(1);
-      if (rescued) {
+      const bool in_group = groups_.group_of(node) == group;
+      if (!in_group) {
         rescued_.fetch_add(1);
         m_rescued_->Increment();
+      } else if (node != first.home) {
+        promoted_.fetch_add(1);
+        m_promoted_->Increment();
+      }
+      if (in_group && config_.mirror_warm &&
+          groups_.replication_factor() > 1) {
+        EnqueueWarm(group, node, payload);
       }
       return std::move(decoded).ValueOrDie();
     }
 
     // Transport failure: evidence for membership (detection must not wait
-    // for the next heartbeat tick), then fail over along the same
-    // deterministic probe sequence.
+    // for the next heartbeat tick), then fail over — remaining group
+    // members in promotion order, then the rescue permutation.
     last = reply.status();
     membership_.OnHeartbeatMiss(node);
+    JournalMembership();
     tried[static_cast<size_t>(node)] = true;
     obs::TraceSpan recovery("dist.recovery");
-    const int next = RescueNode(hash, tried);
+    const int next = NextCandidate(hash, group, tried);
     if (next < 0) break;
     node = next;
-    rescued = true;
   }
 
   shed_.fetch_add(1);
@@ -252,19 +418,98 @@ serve::MatchResponse Coordinator::Match(serve::MatchRequest request) {
   return response;
 }
 
+void Coordinator::EnqueueWarm(int group, int served_node,
+                              const std::string& payload) {
+  {
+    std::lock_guard<std::mutex> lock(warm_mu_);
+    if (static_cast<int>(warm_queue_.size()) >=
+        config_.warm_queue_capacity) {
+      m_warm_dropped_->Increment();
+      return;
+    }
+    warm_queue_.push_back(WarmTask{group, served_node, payload});
+  }
+  warm_cv_.notify_one();
+}
+
+void Coordinator::WarmLoop() {
+  while (true) {
+    WarmTask task;
+    {
+      std::unique_lock<std::mutex> lock(warm_mu_);
+      warm_cv_.wait(lock, [this] {
+        return !warm_queue_.empty() || !running_.load();
+      });
+      if (warm_queue_.empty()) {
+        if (!running_.load()) return;
+        continue;
+      }
+      task = std::move(warm_queue_.front());
+      warm_queue_.pop_front();
+    }
+    for (const int member : groups_.members(task.group)) {
+      if (member == task.served_node) continue;
+      if (!membership_.routable(member)) continue;
+      // Best-effort: a failed warm is not membership evidence (the
+      // heartbeat plane owns that) and is not retried — the next served
+      // request mirrors again anyway.
+      Result<Frame> ack = warm_channels_[static_cast<size_t>(member)]->Call(
+          FrameType::kWarm, task.payload, config_.match_deadline_ms);
+      if (ack.ok() && ack.ValueOrDie().type == FrameType::kWarmAck) {
+        warm_sent_.fetch_add(1);
+        m_warm_sent_->Increment();
+      }
+    }
+  }
+}
+
 std::vector<serve::MatchResponse> Coordinator::MatchBatch(
     std::vector<serve::MatchRequest> requests) {
-  std::vector<serve::MatchResponse> responses;
-  responses.reserve(requests.size());
-  for (auto& request : requests) {
-    responses.push_back(Match(std::move(request)));
+  const size_t n = requests.size();
+  std::vector<serve::MatchResponse> responses(n);
+  if (n == 0) return responses;
+
+  // Group request indices by routed node, then fan each node's slice
+  // across up to channels_per_node lanes. Match() round-robins the node's
+  // channel pool, so concurrent lanes land on distinct connections and
+  // genuinely pipeline; failover semantics are Match()'s own.
+  std::map<int, std::vector<size_t>> by_node;
+  for (size_t i = 0; i < n; ++i) {
+    by_node[Route(requests[i]).node].push_back(i);
   }
+  std::vector<std::thread> lanes;
+  for (const auto& [node, indices] : by_node) {
+    const int lane_count =
+        node < 0 ? 1
+                 : std::min(static_cast<size_t>(config_.channels_per_node),
+                            indices.size());
+    for (int lane = 0; lane < static_cast<int>(lane_count); ++lane) {
+      lanes.emplace_back([this, &requests, &responses, &indices, lane,
+                          lane_count] {
+        for (size_t k = static_cast<size_t>(lane); k < indices.size();
+             k += static_cast<size_t>(lane_count)) {
+          const size_t i = indices[k];
+          responses[i] = Match(std::move(requests[i]));
+        }
+      });
+    }
+  }
+  for (std::thread& lane : lanes) lane.join();
   return responses;
 }
 
-Status Coordinator::RollingReload(const std::string& path) {
+Status Coordinator::RunReload(uint64_t epoch, const std::string& path) {
   obs::TraceSpan roll("dist.reload.rolling");
+  int acks_done = 0;
   for (int node = 0; node < num_nodes(); ++node) {
+    {
+      std::lock_guard<std::mutex> lock(pending_mu_);
+      if (pending_.active &&
+          node < static_cast<int>(pending_.acked.size()) &&
+          pending_.acked[static_cast<size_t>(node)]) {
+        continue;  // a previous coordinator already landed this node
+      }
+    }
     if (!membership_.routable(node)) {
       DADER_LOG(Warning) << "dist reload: skipping unroutable node " << node
                          << " (it will canary back in on old weights; "
@@ -286,13 +531,110 @@ Status Coordinator::RollingReload(const std::string& path) {
     }
     if (!pushed.ok()) {
       m_reload_rollback_->Increment();
+      // The roll is over (aborted), and the journal must say so — a
+      // restarted coordinator must not resume a roll whose checkpoint a
+      // worker just refused.
+      {
+        std::lock_guard<std::mutex> lock(pending_mu_);
+        pending_ = PendingReload{};
+      }
+      if (journal_ != nullptr) {
+        std::lock_guard<std::mutex> lock(journal_mu_);
+        Status logged = journal_->AppendReloadEnd(epoch, /*ok=*/false);
+        if (!logged.ok()) {
+          DADER_LOG(Error) << "dist reload: journal append failed: "
+                           << logged.ToString();
+        }
+      }
       return Status(pushed.code(),
                     "rolling reload aborted at node " + std::to_string(node) +
                         " (worker rolled back): " + pushed.message());
     }
     m_reload_ok_->Increment();
+    {
+      std::lock_guard<std::mutex> lock(pending_mu_);
+      if (pending_.active &&
+          node < static_cast<int>(pending_.acked.size())) {
+        pending_.acked[static_cast<size_t>(node)] = true;
+      }
+    }
+    if (journal_ != nullptr) {
+      std::lock_guard<std::mutex> lock(journal_mu_);
+      Status logged = journal_->AppendReloadAck(epoch, node);
+      if (!logged.ok()) {
+        DADER_LOG(Error) << "dist reload: journal append failed: "
+                         << logged.ToString();
+      }
+    }
+    ++acks_done;
+    if (config_.fault != nullptr &&
+        config_.fault->ShouldFire(FaultKind::kCoordinatorCrash,
+                                  /*epoch=*/-1, acks_done - 1)) {
+      // The injected coordinator death: the roll stops here with the end
+      // record never journaled, exactly what a real crash between node
+      // acks leaves behind. The pending state survives for the successor.
+      DADER_LOG(Warning) << "dist reload: injected coordinator crash after "
+                         << acks_done << " ack(s)";
+      return Status::Unavailable(
+          "coordinator crashed mid-reload (injected) after " +
+          std::to_string(acks_done) + " acks");
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    pending_ = PendingReload{};
+  }
+  if (journal_ != nullptr) {
+    std::lock_guard<std::mutex> lock(journal_mu_);
+    Status logged = journal_->AppendReloadEnd(epoch, /*ok=*/true);
+    if (!logged.ok()) {
+      DADER_LOG(Error) << "dist reload: journal append failed: "
+                       << logged.ToString();
+    }
   }
   return Status::OK();
+}
+
+Status Coordinator::RollingReload(const std::string& path) {
+  const uint64_t epoch = reload_epoch_.fetch_add(1) + 1;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    pending_.active = true;
+    pending_.reload_epoch = epoch;
+    pending_.checkpoint_path = path;
+    pending_.acked.assign(static_cast<size_t>(num_nodes()), false);
+  }
+  if (journal_ != nullptr) {
+    std::lock_guard<std::mutex> lock(journal_mu_);
+    Status logged = journal_->AppendReloadStart(epoch, path);
+    if (!logged.ok()) {
+      DADER_LOG(Error) << "dist reload: journal append failed: "
+                       << logged.ToString();
+    }
+  }
+  return RunReload(epoch, path);
+}
+
+bool Coordinator::HasPendingReload() const {
+  std::lock_guard<std::mutex> lock(pending_mu_);
+  return pending_.active;
+}
+
+Status Coordinator::ResumePendingReload() {
+  uint64_t epoch = 0;
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    if (!pending_.active) {
+      return Status::InvalidArgument("no pending reload to resume");
+    }
+    epoch = pending_.reload_epoch;
+    path = pending_.checkpoint_path;
+  }
+  m_reload_resume_->Increment();
+  DADER_LOG(Info) << "dist reload: resuming roll " << epoch
+                  << " from persisted state";
+  return RunReload(epoch, path);
 }
 
 RpcChannel& Coordinator::DataChannel(int node) {

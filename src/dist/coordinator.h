@@ -1,62 +1,73 @@
 // Coordinator: heartbeat membership + degrade-don't-die routing over a
-// fixed roster of WorkerNodes.
+// fixed roster of WorkerNodes, organized into replica groups, with durable
+// state so a coordinator restart resumes instead of re-learning the fleet.
 //
 //                          ┌──────────────── coordinator ───────────────┐
-//   client Match() ───────▶│ route: home = PairKeyHash % N              │
-//                          │   home dead? -> rescue permutation         │
+//   client Match() ───────▶│ route: group = PairKeyHash % S             │
+//                          │   pick first routable member in promotion  │
+//                          │   order (primary, then hot standbys)       │
+//                          │   whole group dead? -> rescue permutation  │
 //                          │   survivor over capacity? -> shed          │
+//                          │ warm thread: mirror served traffic to the  │
+//                          │   group's standbys (kWarm) so their caches │
+//                          │   are hot when promotion happens           │
 //                          │ heartbeat thread: ping every node each     │
 //                          │   tick, feed MembershipTable; canary-probe │
-//                          │   recovering nodes                        │
+//                          │   recovering nodes; journal changes        │
+//                          │ durable state: snapshot + journal          │
+//                          │   (dist/snapshot.h) in config.state_dir    │
 //                          └──────┬──────────────┬──────────────┬──────┘
 //                             loopback TCP    loopback TCP   loopback TCP
 //                          ┌─ node 0 ─┐   ┌─ node 1 ─┐   ┌─ node N-1 ─┐
 //                          │WorkerNode│   │WorkerNode│   │ WorkerNode │
 //
-// Routing invariants:
+// Replica groups (replication_factor = R, S = N/R groups): the strided
+// layout of dist/replica_group.h assigns group g the members {g, g+S,
+// g+2S, ...} in promotion order. R = 1 makes every group a single node and
+// reproduces the pre-replica routing bit for bit. With R > 1 a pair's home
+// group is ShardForPair(a, b, S); the request goes to the first *routable*
+// member in promotion order, so the death of a primary promotes its hot
+// standby instantly and deterministically — every client computes the same
+// promotion from the same membership view, per-pair stickiness holds, and
+// because standbys receive mirrored model pushes and warming traffic the
+// promoted node answers bit-identically with a warm cache. Only when an
+// entire group is out does the pre-existing splitmix64 rescue permutation
+// take over; only an unroutable fleet or an over-capacity survivor sheds.
 //
-//   * The home node is serve::ShardForPair — the identical pure function
-//     the in-process ShardedMatchService uses, so moving a deployment from
-//     threads to processes reshuffles nothing.
-//   * A pair only leaves its home when the home is DEAD (not SUSPECT — one
-//     dropped heartbeat must not reshuffle the key space). The rescue node
-//     is drawn by a deterministic splitmix64 probe sequence over the
-//     pair's own hash, so while the membership view is stable every client
-//     sends a given pair to the same survivor (its cache keeps hitting),
-//     and because every worker serves a bit-identical model replica the
-//     rescued answer equals the answer the home would have given.
-//   * Degrade, don't die: overload sheds (Unavailable) only past the
-//     per-node in-flight cap instead of dog-piling survivors, and a fleet
-//     with zero routable nodes answers Unavailable rather than blocking.
+// Durability (config.state_dir non-empty): membership — including canary
+// streaks — reload epoch, and any in-flight rolling reload are journaled
+// (dist/snapshot.h). A restarted coordinator replays them: recovered nodes
+// keep their canary progress, a roll interrupted between node acks resumes
+// from the last acked node (ResumePendingReload), and a torn current
+// snapshot falls back to the previous generation — never to re-canarying
+// the world.
 //
-// Failure evidence flows from both planes: the heartbeat thread reports
-// ping outcomes, and the data path reports transport failures (a reset
-// connection marks a miss immediately — detection does not wait for the
-// next tick). Recovery is deliberately slower than detection: a node that
-// answers pings again only re-enters the rotation after the warm-up canary
-// (kCanary -> MatchService::CanaryCheck) passes `readmit_canary_successes`
-// times in a row.
-//
-// RollingReload pushes a checkpoint node by node (routable nodes only).
-// Each worker stages, validates, and canaries locally — a bad push rolls
-// back on the worker and aborts the roll here, leaving a mixed fleet of
-// old+new weights. That is deliberate: both versions passed their canary,
-// and per-pair stickiness means each pair sees one version consistently.
+// RollingReload pushes a checkpoint node by node (routable nodes only),
+// journaling each ack; a bad push rolls back on the worker and aborts the
+// roll here, leaving a mixed fleet of old+new weights. That is deliberate:
+// both versions passed their canary, and per-pair stickiness means each
+// pair sees one version consistently.
 
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "dist/membership.h"
+#include "dist/replica_group.h"
 #include "dist/rpc.h"
+#include "dist/snapshot.h"
 #include "obs/trace.h"
 #include "serve/match_types.h"
 #include "serve/router.h"
+#include "util/fault.h"
 
 namespace dader::dist {
 
@@ -70,12 +81,29 @@ struct CoordinatorConfig {
   MembershipConfig membership;
   /// Data-path channels per node. One RpcChannel serializes; a small pool
   /// lets concurrent clients pipeline, which is what lets the worker-side
-  /// batcher actually form batches.
+  /// batcher actually form batches. MatchBatch fans out across the pool.
   int channels_per_node = 2;
   /// In-flight match RPCs per node before new arrivals shed (Unavailable).
   int max_inflight_per_node = 64;
+  /// Nodes per replica group; must divide the roster. 1 = no replication
+  /// (every group is one node; routing is the pre-replica behavior).
+  int replication_factor = 1;
+  /// Mirror served match traffic to the group's standbys as kWarm frames
+  /// so a promoted standby starts with a hot feature cache. Only matters
+  /// when replication_factor > 1.
+  bool mirror_warm = true;
+  /// Bounded warm-mirror queue; overflow drops the mirror (the primary's
+  /// answer was already returned — warming is best-effort by design).
+  int warm_queue_capacity = 128;
+  /// Directory for the durable snapshot + journal (dist/snapshot.h).
+  /// Empty = no durability (state lives and dies in RAM).
+  std::string state_dir;
+  /// Journaled membership appends between automatic checkpoints.
+  int checkpoint_every = 32;
   serve::RetryPolicy reconnect;  ///< channel re-establishment backoff
   uint64_t seed = 0xc00dULL;     ///< jitter seeds (per channel, derived)
+  /// Injector for kCoordinatorCrash / kSnapshotTorn; null = no faults.
+  FaultInjector* fault = nullptr;
   /// Clock for heartbeat pacing and backoff sleeps; null = real. Socket
   /// deadlines are always real-time.
   util::Clock* clock = nullptr;
@@ -83,9 +111,10 @@ struct CoordinatorConfig {
 
 /// \brief Where a request went and why (exposed for tests/observability).
 struct RouteDecision {
-  int home = -1;         ///< ShardForPair home node
-  int node = -1;         ///< chosen node; -1 = nothing routable
-  bool rescued = false;  ///< true when node != home because home is dead
+  int home = -1;          ///< the group's primary (promotion rank 0)
+  int node = -1;          ///< chosen node; -1 = nothing routable
+  bool promoted = false;  ///< served by a standby of the home group
+  bool rescued = false;   ///< whole group out; splitmix64 rescue chose node
 };
 
 /// \brief Client-facing façade over N worker nodes (see file comment).
@@ -98,32 +127,47 @@ class Coordinator {
   Coordinator(const Coordinator&) = delete;
   Coordinator& operator=(const Coordinator&) = delete;
 
-  /// \brief Starts the heartbeat thread. Until the first tick every node
-  /// is presumed ALIVE (optimistic start; the data path will report
-  /// failures on its own).
+  /// \brief Starts the heartbeat thread (and the warm-mirror thread when
+  /// replication is on). Until the first tick every node is presumed ALIVE
+  /// unless persisted state said otherwise (the data path reports failures
+  /// on its own).
   void Start();
 
-  /// \brief Stops the heartbeat thread and closes every channel. Stop may
-  /// block up to one heartbeat period. Idempotent; dtor calls.
+  /// \brief Stops the background threads, checkpoints durable state, and
+  /// closes every channel. Stop may block up to one heartbeat period.
+  /// Idempotent; dtor calls.
   void Stop();
 
   /// \brief Routes, calls the worker over RPC, and returns its answer.
-  /// Transport failures mark the node and fail over to the next rescue
-  /// candidate; only an unroutable/over-capacity fleet sheds.
+  /// Transport failures mark the node and fail over first to the group's
+  /// remaining members (promotion order), then to the rescue permutation;
+  /// only an unroutable/over-capacity fleet sheds.
   serve::MatchResponse Match(serve::MatchRequest request);
 
-  /// \brief Convenience loop over Match (serial; concurrency is the
-  /// caller's business — see the channel-pool note in CoordinatorConfig).
+  /// \brief Pipelined batch: requests are grouped by routed node and
+  /// issued concurrently across each node's channel pool (bounded by
+  /// channels_per_node lanes per node), so one slow node no longer
+  /// serializes the whole batch. Responses keep request order.
   std::vector<serve::MatchResponse> MatchBatch(
       std::vector<serve::MatchRequest> requests);
 
-  /// \brief Pushes the checkpoint to every routable node in node order;
-  /// aborts on the first failure (that worker already rolled back).
+  /// \brief Pushes the checkpoint to every routable node in node order,
+  /// journaling each ack; aborts on the first failure (that worker already
+  /// rolled back).
   Status RollingReload(const std::string& path);
 
+  /// \brief True when persisted state carries a roll interrupted between
+  /// node acks (a previous coordinator died mid-RollingReload).
+  bool HasPendingReload() const;
+
+  /// \brief Resumes the persisted in-flight roll from the last acked node:
+  /// already-acked nodes are not pushed again (no double reload).
+  Status ResumePendingReload();
+
   /// \brief One synchronous heartbeat round (ping every node + canary
-  /// recovering ones). The background thread calls this every period;
-  /// tests call it directly for step-by-step determinism.
+  /// recovering ones), journaling membership changes. The background
+  /// thread calls this every period; tests call it directly for
+  /// step-by-step determinism.
   void HeartbeatTick();
 
   /// \brief Routing decision for a request under the current membership
@@ -132,43 +176,92 @@ class Coordinator {
 
   MembershipTable& membership() { return membership_; }
   const MembershipTable& membership() const { return membership_; }
+  const ReplicaGroupTable& replica_groups() const { return groups_; }
   int num_nodes() const { return static_cast<int>(ports_.size()); }
+  uint64_t reload_epoch() const { return reload_epoch_.load(); }
 
   int64_t routed() const { return routed_.load(); }
   int64_t rescued() const { return rescued_.load(); }
+  int64_t promoted() const { return promoted_.load(); }
   int64_t shed() const { return shed_.load(); }
+  int64_t warm_sent() const { return warm_sent_.load(); }
 
  private:
+  struct WarmTask {
+    int group = 0;
+    int served_node = 0;
+    std::string payload;  ///< pre-encoded match request
+  };
+
   void HeartbeatLoop();
+  void WarmLoop();
+  /// Mirrors one served request to the group's other routable members.
+  void EnqueueWarm(int group, int served_node, const std::string& payload);
   /// Picks the rescue node for `hash` given nodes to skip; -1 when the
   /// whole fleet is out.
   int RescueNode(uint64_t hash, const std::vector<bool>& skip) const;
+  /// Next failover candidate: untried routable group members in promotion
+  /// order first, then the rescue permutation.
+  int NextCandidate(uint64_t hash, int group,
+                    const std::vector<bool>& tried) const;
   RpcChannel& DataChannel(int node);
+  /// Journals the membership table when it changed since the last append;
+  /// checkpoints every config_.checkpoint_every appends.
+  void JournalMembership();
+  /// Restores persisted state into the live tables (construction only).
+  void RestoreFromJournal();
+  CoordinatorState CurrentState() const;
+  /// Shared by RollingReload and ResumePendingReload: pushes `path` to
+  /// every routable node not yet acked in `pending`, journaling acks.
+  Status RunReload(uint64_t epoch, const std::string& path);
 
   CoordinatorConfig config_;
   std::vector<int> ports_;
   MembershipTable membership_;
+  ReplicaGroupTable groups_;
 
   // Heartbeats ride dedicated channels so data-path head-of-line blocking
-  // can never fake a miss.
+  // can never fake a miss; warm mirrors likewise so cache warming can
+  // never crowd out live traffic.
   std::vector<std::unique_ptr<RpcChannel>> hb_channels_;
+  std::vector<std::unique_ptr<RpcChannel>> warm_channels_;
   std::vector<std::vector<std::unique_ptr<RpcChannel>>> data_channels_;
   std::vector<std::unique_ptr<std::atomic<int64_t>>> rr_;        // pool pick
   std::vector<std::unique_ptr<std::atomic<int64_t>>> inflight_;  // cap
 
   std::thread hb_thread_;
+  std::thread warm_thread_;
   std::atomic<bool> running_{false};
+
+  std::mutex warm_mu_;
+  std::condition_variable warm_cv_;
+  std::deque<WarmTask> warm_queue_;
+
+  // Durable state (null journal_ = durability off).
+  std::unique_ptr<CoordinatorJournal> journal_;
+  mutable std::mutex journal_mu_;
+  std::vector<NodeSnapshot> last_journaled_;
+  int appends_since_checkpoint_ = 0;
+  std::atomic<uint64_t> reload_epoch_{0};
+  mutable std::mutex pending_mu_;
+  PendingReload pending_;
 
   std::atomic<int64_t> routed_{0};
   std::atomic<int64_t> rescued_{0};
+  std::atomic<int64_t> promoted_{0};
   std::atomic<int64_t> shed_{0};
+  std::atomic<int64_t> warm_sent_{0};
 
   obs::Counter* m_requests_;
   obs::Counter* m_rescued_;
+  obs::Counter* m_promoted_;
   obs::Counter* m_shed_;
+  obs::Counter* m_warm_sent_;
+  obs::Counter* m_warm_dropped_;
   obs::Counter* m_hb_sent_;
   obs::Counter* m_reload_ok_;
   obs::Counter* m_reload_rollback_;
+  obs::Counter* m_reload_resume_;
 };
 
 }  // namespace dader::dist

@@ -188,4 +188,25 @@ int MembershipTable::misses(int node) const {
   return nodes_[static_cast<size_t>(node)].misses;
 }
 
+std::vector<NodeSnapshot> MembershipTable::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<NodeSnapshot> out;
+  out.reserve(nodes_.size());
+  for (const Node& n : nodes_) {
+    out.push_back({n.state, n.misses, n.canary_successes});
+  }
+  return out;
+}
+
+void MembershipTable::Restore(const std::vector<NodeSnapshot>& nodes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  DADER_CHECK_EQ(nodes.size(), nodes_.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    nodes_[i].state = nodes[i].state;
+    nodes_[i].misses = nodes[i].misses;
+    nodes_[i].canary_successes = nodes[i].canary_successes;
+  }
+  PublishRoutableLocked();
+}
+
 }  // namespace dader::dist

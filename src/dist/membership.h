@@ -51,6 +51,16 @@ struct MembershipConfig {
   int readmit_canary_successes = 2;
 };
 
+/// \brief One node's full state-machine coordinates, exposed for the
+/// coordinator's durable snapshot (dist/snapshot.h). A restored table is
+/// indistinguishable from one that lived through the event sequence — a
+/// CANARY node keeps its success streak, a SUSPECT node its miss count.
+struct NodeSnapshot {
+  NodeState state = NodeState::kAlive;
+  int misses = 0;
+  int canary_successes = 0;
+};
+
 /// \brief Thread-safe membership table for a fixed node roster.
 class MembershipTable {
  public:
@@ -83,6 +93,15 @@ class MembershipTable {
 
   /// \brief Consecutive misses of a node (0 after any success).
   int misses(int node) const;
+
+  /// \brief One consistent read of every node's state-machine coordinates.
+  std::vector<NodeSnapshot> Snapshot() const;
+
+  /// \brief Adopts a previously snapshotted view wholesale (coordinator
+  /// restart). No transition counters fire — this is resuming, not
+  /// transitioning — but the routable gauge is republished. The snapshot
+  /// must cover exactly this roster.
+  void Restore(const std::vector<NodeSnapshot>& nodes);
 
  private:
   struct Node {

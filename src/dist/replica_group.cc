@@ -1,0 +1,43 @@
+#include "dist/replica_group.h"
+
+#include "util/check.h"
+
+namespace dader::dist {
+
+Result<ReplicaGroupTable> ReplicaGroupTable::Create(int num_nodes,
+                                                   int replication_factor) {
+  if (num_nodes <= 0) {
+    return Status::InvalidArgument("replica groups need a positive roster");
+  }
+  if (replication_factor <= 0) {
+    return Status::InvalidArgument("replication factor must be >= 1");
+  }
+  if (num_nodes % replication_factor != 0) {
+    return Status::InvalidArgument(
+        "roster of " + std::to_string(num_nodes) +
+        " nodes does not divide into groups of " +
+        std::to_string(replication_factor));
+  }
+  return ReplicaGroupTable(num_nodes, replication_factor);
+}
+
+ReplicaGroupTable::ReplicaGroupTable(int num_nodes, int replication_factor)
+    : num_nodes_(num_nodes),
+      replication_factor_(replication_factor),
+      num_groups_(num_nodes / replication_factor) {
+  members_.resize(static_cast<size_t>(num_groups_));
+  for (int group = 0; group < num_groups_; ++group) {
+    for (int rank = 0; rank < replication_factor_; ++rank) {
+      members_[static_cast<size_t>(group)].push_back(group +
+                                                     rank * num_groups_);
+    }
+  }
+}
+
+const std::vector<int>& ReplicaGroupTable::members(int group) const {
+  DADER_CHECK_GE(group, 0);
+  DADER_CHECK_LT(group, num_groups_);
+  return members_[static_cast<size_t>(group)];
+}
+
+}  // namespace dader::dist

@@ -1,0 +1,72 @@
+// Replica groups: a shard's keys get a hot standby instead of
+// rescue-on-demand.
+//
+// PR 6's coordinator treated every worker as its own shard: when a node
+// died, its keys were rescued to an arbitrary (deterministic) survivor
+// whose feature cache had never seen them — correct answers, cold caches,
+// a latency/shed spike exactly when the fleet is already degraded. Replica
+// groups trade capacity for failover quality: with replication factor R,
+// the N-node roster folds into S = N / R groups of R members each, every
+// member serving a bit-identical model replica of the same key range.
+//
+//   group g members (promotion order):  { g, g + S, g + 2S, ... }
+//
+// The strided layout means member k of every group lives on a different
+// "rack" of the roster: killing nodes 0..S-1 takes out every group's
+// primary but no group entirely. Member order IS the promotion order —
+// routing walks it and picks the first routable member, so when a primary
+// dies every client deterministically promotes the same standby (per-pair
+// stickiness and cache affinity survive the failover with no coordination).
+// The splitmix64 rescue permutation remains the backstop for the case
+// replica groups cannot help with: the whole group is out.
+//
+// With R = 1 the table is the identity (S = N, every node its own group)
+// and routing degenerates to exactly the PR 6 behavior.
+//
+// The table is immutable after construction and reads no shared state —
+// any thread computes group membership without synchronization. Liveness
+// is the MembershipTable's business; this table only answers "who could
+// serve shard s, in what order".
+
+#pragma once
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace dader::dist {
+
+/// \brief Deterministic node -> group assignment (see file comment).
+class ReplicaGroupTable {
+ public:
+  /// \param num_nodes roster size N; must be a positive multiple of
+  /// `replication_factor` (a partial group would have a different
+  /// durability story than its siblings — refuse instead of guessing).
+  /// \param replication_factor members per group R >= 1.
+  static Result<ReplicaGroupTable> Create(int num_nodes,
+                                          int replication_factor);
+
+  int num_nodes() const { return num_nodes_; }
+  int num_groups() const { return num_groups_; }
+  int replication_factor() const { return replication_factor_; }
+
+  /// \brief Members of `group` in promotion order (primary first). The
+  /// returned reference lives as long as the table.
+  const std::vector<int>& members(int group) const;
+
+  /// \brief The group owning `node`.
+  int group_of(int node) const { return node % num_groups_; }
+
+  /// \brief Promotion rank of `node` inside its group (0 = primary).
+  int rank_of(int node) const { return node / num_groups_; }
+
+ private:
+  ReplicaGroupTable(int num_nodes, int replication_factor);
+
+  int num_nodes_;
+  int replication_factor_;
+  int num_groups_;
+  std::vector<std::vector<int>> members_;  // [group][rank] -> node
+};
+
+}  // namespace dader::dist

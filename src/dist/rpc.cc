@@ -33,6 +33,7 @@ struct RpcMetrics {
   obs::Counter* retries;
   obs::Counter* failures;
   obs::Counter* reconnects;
+  obs::Counter* late_replies;
 };
 
 const RpcMetrics& Metrics() {
@@ -52,15 +53,21 @@ const RpcMetrics& Metrics() {
     m.reconnects = reg.GetCounter(
         "dist.rpc.reconnects.total",
         "Channel connections re-established after a drop", "connections");
+    m.late_replies = reg.GetCounter(
+        "dist.rpc.late_reply.total",
+        "Late replies to deadline-abandoned calls discarded by request id "
+        "(the connection stays up)",
+        "replies");
     return m;
   }();
   return metrics;
 }
 
 // Reads exactly n bytes into buf within the poll budget. timeout_ms < 0
-// waits forever.
+// waits forever. Sets *consumed_any once any byte has landed.
 Status RecvExact(int fd, char* buf, size_t n,
-                 SteadyClock::time_point deadline, bool has_deadline) {
+                 SteadyClock::time_point deadline, bool has_deadline,
+                 bool* consumed_any = nullptr) {
   size_t got = 0;
   while (got < n) {
     int poll_ms = -1;
@@ -90,6 +97,7 @@ Status RecvExact(int fd, char* buf, size_t n,
                                  std::string(std::strerror(errno)));
     }
     got += static_cast<size_t>(r);
+    if (consumed_any != nullptr && got > 0) *consumed_any = true;
   }
   return Status::OK();
 }
@@ -163,14 +171,15 @@ Status SendFrame(int fd, const Frame& frame) {
   return Status::OK();
 }
 
-Result<Frame> RecvFrame(int fd, double timeout_ms) {
+Result<Frame> RecvFrame(int fd, double timeout_ms, bool* consumed_any) {
   const bool has_deadline = timeout_ms >= 0.0;
   const SteadyClock::time_point deadline =
       SteadyClock::now() + std::chrono::duration_cast<SteadyClock::duration>(
                                std::chrono::duration<double, std::milli>(
                                    has_deadline ? timeout_ms : 0.0));
   char len_buf[4];
-  DADER_RETURN_NOT_OK(RecvExact(fd, len_buf, 4, deadline, has_deadline));
+  DADER_RETURN_NOT_OK(
+      RecvExact(fd, len_buf, 4, deadline, has_deadline, consumed_any));
   uint32_t length = 0;
   for (int i = 0; i < 4; ++i) {
     length |= static_cast<uint32_t>(static_cast<unsigned char>(len_buf[i]))
@@ -181,8 +190,8 @@ Result<Frame> RecvFrame(int fd, double timeout_ms) {
                               " outside protocol bounds");
   }
   std::string body(length, '\0');
-  DADER_RETURN_NOT_OK(
-      RecvExact(fd, body.data(), body.size(), deadline, has_deadline));
+  DADER_RETURN_NOT_OK(RecvExact(fd, body.data(), body.size(), deadline,
+                                has_deadline, consumed_any));
   // Reassemble [len][body] for the codec's whole-frame validation.
   std::string whole(len_buf, 4);
   whole.append(body);
@@ -312,6 +321,7 @@ void RpcChannel::CloseLocked() {
     ::close(fd_);
     fd_ = -1;
   }
+  abandoned_pending_ = 0;  // a new connection owes us nothing
 }
 
 void RpcChannel::Disconnect() {
@@ -388,25 +398,50 @@ Result<Frame> RpcChannel::Call(FrameType type, std::string payload,
       last = sent;
       continue;
     }
-    Result<Frame> reply = RecvFrame(fd_, budget - MsSince(start));
-    if (!reply.ok()) {
-      // Both deadline and transport errors poison the connection: a late
-      // reply must never be matched to a future call.
-      CloseLocked();
-      if (reply.status().code() == StatusCode::kDeadlineExceeded) {
-        Metrics().failures->Increment();
-        return reply.status();
+    // Receive until our reply arrives, discarding late replies to calls a
+    // previous deadline abandoned (they are tagged with an older request
+    // id — the stream stays framed, so discard costs nothing).
+    while (true) {
+      bool consumed = false;
+      Result<Frame> reply =
+          RecvFrame(fd_, budget - MsSince(start), &consumed);
+      if (!reply.ok()) {
+        if (reply.status().code() == StatusCode::kDeadlineExceeded &&
+            !consumed) {
+          // The peer is slow, not broken: nothing of the reply has hit the
+          // wire yet, so the framing is intact. Keep the connection and
+          // remember that one more stale reply may show up later.
+          ++abandoned_pending_;
+          Metrics().failures->Increment();
+          return reply.status();
+        }
+        // Mid-frame deadline or transport error: the stream cannot be
+        // trusted, poison the connection.
+        CloseLocked();
+        if (reply.status().code() == StatusCode::kDeadlineExceeded) {
+          Metrics().failures->Increment();
+          return reply.status();
+        }
+        last = reply.status();
+        break;
       }
-      last = reply.status();
-      continue;
-    }
-    if (reply.ValueOrDie().request_id != frame.request_id) {
+      const uint64_t got_id = reply.ValueOrDie().request_id;
+      if (got_id == frame.request_id) {
+        Metrics().latency_ms->Observe(MsSince(start));
+        return reply;
+      }
+      if (got_id < frame.request_id && abandoned_pending_ > 0) {
+        // A late reply to an abandoned call: drop it and keep waiting for
+        // ours on the same (healthy) connection.
+        --abandoned_pending_;
+        late_replies_.fetch_add(1);
+        Metrics().late_replies->Increment();
+        continue;
+      }
       CloseLocked();
       last = Status::Internal("rpc reply id mismatch");
-      continue;
+      break;
     }
-    Metrics().latency_ms->Observe(MsSince(start));
-    return reply;
   }
   Metrics().failures->Increment();
   return last;

@@ -9,9 +9,13 @@
 //     caller its deadline, never a wedge;
 //   * the client channel re-establishes dropped connections with seeded
 //     backoff+jitter (serve::RetrySchedule, so tests replay the schedule);
-//   * a deadline that expires mid-call poisons the connection (a late reply
-//     could otherwise be mis-matched to the next call), so the channel
-//     closes and reconnects rather than trust it.
+//   * a deadline that expires *mid-frame* poisons the connection (the
+//     stream framing is torn, nothing after it can be trusted), but a
+//     deadline that expires before the reply's first byte keeps the
+//     connection: the peer is slow, not broken. The abandoned request id is
+//     remembered and its late reply — tagged with that id — is discarded by
+//     a later call instead of being mis-matched or punished with teardown
+//     (counted as dist.rpc.late_reply.total).
 //
 // Threading: RpcServer runs one accept thread plus one thread per live
 // connection; the expected peer count is "a coordinator", not "the
@@ -52,8 +56,11 @@ Status SendFrame(int fd, const Frame& frame);
 /// \brief Receives one whole frame. `timeout_ms` < 0 waits forever (the
 /// server side: Stop() shutting the fd down unblocks the poll);
 /// DeadlineExceeded when the budget runs out mid-frame, Unavailable on EOF
-/// or reset.
-Result<Frame> RecvFrame(int fd, double timeout_ms);
+/// or reset. `consumed_any`, when non-null, is set true once any byte of
+/// the frame has been read — a deadline that expires with nothing consumed
+/// left the stream framing intact (the peer is slow, not broken).
+Result<Frame> RecvFrame(int fd, double timeout_ms,
+                        bool* consumed_any = nullptr);
 
 /// \brief One live server-side connection, handed to the frame handler.
 /// Send is mutex-serialized so a handler may reply from any thread.
@@ -161,6 +168,10 @@ class RpcChannel {
   /// \brief Connections established after the first (re-establishments).
   int64_t reconnects() const { return reconnects_.load(); }
 
+  /// \brief Late replies to abandoned (deadline-expired) calls that were
+  /// discarded by request id instead of poisoning the connection.
+  int64_t late_replies() const { return late_replies_.load(); }
+
  private:
   // Caller holds mu_. Returns OK with fd_ >= 0, or the last connect error.
   Status EnsureConnectedLocked(double budget_ms);
@@ -173,7 +184,12 @@ class RpcChannel {
   int fd_ = -1;
   bool ever_connected_ = false;
   uint64_t next_request_id_ = 1;
+  /// Calls abandoned at the deadline on the *current* connection whose
+  /// replies may still arrive; replies with a smaller request id than the
+  /// in-flight call are theirs and are discarded, not a protocol error.
+  int abandoned_pending_ = 0;
   std::atomic<int64_t> reconnects_{0};
+  std::atomic<int64_t> late_replies_{0};
 };
 
 }  // namespace dader::dist

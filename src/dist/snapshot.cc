@@ -1,0 +1,484 @@
+#include "dist/snapshot.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "dist/wire.h"
+#include "util/io.h"
+#include "util/logging.h"
+
+namespace dader::dist {
+
+namespace {
+
+constexpr const char kSnapMagic[] = "DADER_COORD";
+constexpr uint32_t kSnapVersion = 1;
+
+// Journal record types.
+constexpr uint8_t kRecMembership = 1;
+constexpr uint8_t kRecReloadStart = 2;
+constexpr uint8_t kRecReloadAck = 3;
+constexpr uint8_t kRecReloadEnd = 4;
+
+// A journal record is a full membership table or a reload event — tens of
+// bytes. Anything bigger is a corrupt length field.
+constexpr uint32_t kMaxRecordBytes = 1u << 16;
+
+Result<NodeState> DecodeNodeState(uint32_t raw) {
+  if (raw > static_cast<uint32_t>(NodeState::kCanary)) {
+    return Status::InvalidArgument("unknown node state " +
+                                   std::to_string(raw) + " in snapshot");
+  }
+  return static_cast<NodeState>(raw);
+}
+
+// Applies one parsed journal record to `state`. Unknown types are a replay
+// error (a newer coordinator wrote a record this one cannot honor).
+Status ApplyRecord(uint64_t seq, uint8_t type, WireReader* reader,
+                   CoordinatorState* state) {
+  switch (type) {
+    case kRecMembership: {
+      DADER_ASSIGN_OR_RETURN(uint32_t n, reader->GetU32());
+      if (n != static_cast<uint32_t>(state->num_nodes)) {
+        return Status::InvalidArgument(
+            "journal membership record covers " + std::to_string(n) +
+            " nodes, state has " + std::to_string(state->num_nodes));
+      }
+      std::vector<NodeSnapshot> nodes;
+      nodes.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        DADER_ASSIGN_OR_RETURN(uint32_t raw_state, reader->GetU32());
+        DADER_ASSIGN_OR_RETURN(NodeState s, DecodeNodeState(raw_state));
+        DADER_ASSIGN_OR_RETURN(uint32_t misses, reader->GetU32());
+        DADER_ASSIGN_OR_RETURN(uint32_t canary, reader->GetU32());
+        nodes.push_back(
+            {s, static_cast<int>(misses), static_cast<int>(canary)});
+      }
+      state->membership = std::move(nodes);
+      break;
+    }
+    case kRecReloadStart: {
+      DADER_ASSIGN_OR_RETURN(uint64_t epoch, reader->GetU64());
+      DADER_ASSIGN_OR_RETURN(std::string path, reader->GetString());
+      state->reload_epoch = epoch;
+      state->pending_reload.active = true;
+      state->pending_reload.reload_epoch = epoch;
+      state->pending_reload.checkpoint_path = std::move(path);
+      state->pending_reload.acked.assign(
+          static_cast<size_t>(state->num_nodes), false);
+      break;
+    }
+    case kRecReloadAck: {
+      DADER_ASSIGN_OR_RETURN(uint64_t epoch, reader->GetU64());
+      DADER_ASSIGN_OR_RETURN(uint32_t node, reader->GetU32());
+      if (node >= static_cast<uint32_t>(state->num_nodes)) {
+        return Status::InvalidArgument("journal ack for node " +
+                                       std::to_string(node) +
+                                       " outside the roster");
+      }
+      if (state->pending_reload.active &&
+          state->pending_reload.reload_epoch == epoch) {
+        state->pending_reload.acked[node] = true;
+      }
+      break;
+    }
+    case kRecReloadEnd: {
+      DADER_ASSIGN_OR_RETURN(uint64_t epoch, reader->GetU64());
+      DADER_ASSIGN_OR_RETURN(uint8_t ok, reader->GetU8());
+      (void)ok;
+      if (state->pending_reload.active &&
+          state->pending_reload.reload_epoch == epoch) {
+        state->pending_reload = PendingReload{};
+      }
+      break;
+    }
+    default:
+      return Status::InvalidArgument("unknown journal record type " +
+                                     std::to_string(type) + " at seq " +
+                                     std::to_string(seq));
+  }
+  state->last_seq = seq;
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveCoordinatorSnapshot(const std::string& path,
+                               const CoordinatorState& state) {
+  const std::string tmp = path + ".tmp";
+  Status write_status = [&]() -> Status {
+    DADER_ASSIGN_OR_RETURN(BinaryWriter w,
+                           BinaryWriter::Open(tmp, kSnapMagic, kSnapVersion));
+    w.WriteU32(static_cast<uint32_t>(state.num_nodes));
+    w.WriteU32(static_cast<uint32_t>(state.replication_factor));
+    w.WriteU64(state.reload_epoch);
+    w.WriteU64(state.last_seq);
+    w.WriteU32(static_cast<uint32_t>(state.membership.size()));
+    for (const NodeSnapshot& n : state.membership) {
+      w.WriteU32(static_cast<uint32_t>(n.state));
+      w.WriteU32(static_cast<uint32_t>(n.misses));
+      w.WriteU32(static_cast<uint32_t>(n.canary_successes));
+    }
+    w.WriteU32(state.pending_reload.active ? 1 : 0);
+    w.WriteU64(state.pending_reload.reload_epoch);
+    w.WriteString(state.pending_reload.checkpoint_path);
+    w.WriteU32(static_cast<uint32_t>(state.pending_reload.acked.size()));
+    for (const bool acked : state.pending_reload.acked) {
+      w.WriteU32(acked ? 1 : 0);
+    }
+    return w.WriteCrcFooterAndClose();
+  }();
+  if (!write_status.ok()) {
+    std::remove(tmp.c_str());
+    return write_status;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("cannot rename " + tmp + " to " + path);
+  }
+  return Status::OK();
+}
+
+Result<CoordinatorState> LoadCoordinatorSnapshot(const std::string& path) {
+  DADER_ASSIGN_OR_RETURN(BinaryReader r,
+                         BinaryReader::Open(path, kSnapMagic, kSnapVersion));
+  CoordinatorState state;
+  DADER_ASSIGN_OR_RETURN(uint32_t num_nodes, r.ReadU32());
+  DADER_ASSIGN_OR_RETURN(uint32_t replication, r.ReadU32());
+  state.num_nodes = static_cast<int>(num_nodes);
+  state.replication_factor = static_cast<int>(replication);
+  DADER_ASSIGN_OR_RETURN(state.reload_epoch, r.ReadU64());
+  DADER_ASSIGN_OR_RETURN(state.last_seq, r.ReadU64());
+  DADER_ASSIGN_OR_RETURN(uint32_t n, r.ReadU32());
+  if (n != num_nodes) {
+    return Status::InvalidArgument("snapshot " + path + " claims " +
+                                   std::to_string(num_nodes) +
+                                   " nodes but carries " + std::to_string(n));
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    DADER_ASSIGN_OR_RETURN(uint32_t raw_state, r.ReadU32());
+    DADER_ASSIGN_OR_RETURN(NodeState s, DecodeNodeState(raw_state));
+    DADER_ASSIGN_OR_RETURN(uint32_t misses, r.ReadU32());
+    DADER_ASSIGN_OR_RETURN(uint32_t canary, r.ReadU32());
+    state.membership.push_back(
+        {s, static_cast<int>(misses), static_cast<int>(canary)});
+  }
+  DADER_ASSIGN_OR_RETURN(uint32_t active, r.ReadU32());
+  state.pending_reload.active = active != 0;
+  DADER_ASSIGN_OR_RETURN(state.pending_reload.reload_epoch, r.ReadU64());
+  DADER_ASSIGN_OR_RETURN(state.pending_reload.checkpoint_path,
+                         r.ReadString());
+  DADER_ASSIGN_OR_RETURN(uint32_t acked_n, r.ReadU32());
+  if (acked_n > num_nodes) {
+    return Status::InvalidArgument("snapshot " + path +
+                                   " has an oversized ack set");
+  }
+  for (uint32_t i = 0; i < acked_n; ++i) {
+    DADER_ASSIGN_OR_RETURN(uint32_t acked, r.ReadU32());
+    state.pending_reload.acked.push_back(acked != 0);
+  }
+  // Reject any bit-flip before anyone trusts the payload.
+  DADER_RETURN_NOT_OK(r.VerifyCrcFooter(path));
+  return state;
+}
+
+CoordinatorJournal::CoordinatorJournal(std::string dir, FaultInjector* fault)
+    : dir_(std::move(dir)), fault_(fault) {
+  auto& reg = obs::MetricsRegistry::Default();
+  m_snapshot_writes_ = reg.GetCounter(
+      "dist.snapshot.writes.total",
+      "Coordinator state snapshots written (atomic, CRC-tagged)", "writes");
+  m_snapshot_fallback_ = reg.GetCounter(
+      "dist.snapshot.fallback.total",
+      "Loads that fell back to the previous snapshot generation because the "
+      "current one was corrupt or torn",
+      "loads");
+  m_journal_records_ = reg.GetCounter(
+      "dist.snapshot.journal.records.total",
+      "Records appended to the coordinator event journal", "records");
+  m_journal_replayed_ = reg.GetCounter(
+      "dist.snapshot.journal.replayed.total",
+      "Journal records replayed on coordinator restart", "records");
+  m_journal_torn_ = reg.GetCounter(
+      "dist.snapshot.journal.torn.total",
+      "Journal replays that hit a torn/corrupt tail record and stopped "
+      "cleanly before it",
+      "replays");
+}
+
+CoordinatorJournal::~CoordinatorJournal() {
+  if (journal_ != nullptr) std::fclose(journal_);
+}
+
+Status CoordinatorJournal::OpenJournalForAppend() {
+  if (journal_ != nullptr) return Status::OK();
+  journal_ = std::fopen(journal_path().c_str(), "ab");
+  if (journal_ == nullptr) {
+    return Status::IOError("cannot open journal " + journal_path());
+  }
+  return Status::OK();
+}
+
+Status CoordinatorJournal::AppendRecord(const std::string& payload) {
+  DADER_RETURN_NOT_OK(OpenJournalForAppend());
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  const uint32_t crc = UpdateCrc32(0, payload.data(), payload.size());
+  char header[8];
+  for (int i = 0; i < 4; ++i) {
+    header[i] = static_cast<char>((len >> (8 * i)) & 0xFF);
+    header[4 + i] = static_cast<char>((crc >> (8 * i)) & 0xFF);
+  }
+  if (std::fwrite(header, 1, sizeof(header), journal_) != sizeof(header) ||
+      std::fwrite(payload.data(), 1, payload.size(), journal_) !=
+          payload.size()) {
+    return Status::IOError("journal append failed");
+  }
+  // Flush per record: the journal exists precisely for the crash case.
+  if (std::fflush(journal_) != 0) {
+    return Status::IOError("journal flush failed");
+  }
+  m_journal_records_->Increment();
+  return Status::OK();
+}
+
+Status CoordinatorJournal::AppendMembership(
+    const std::vector<NodeSnapshot>& nodes) {
+  WireWriter w;
+  w.PutU64(next_seq_++);
+  w.PutU8(kRecMembership);
+  w.PutU32(static_cast<uint32_t>(nodes.size()));
+  for (const NodeSnapshot& n : nodes) {
+    w.PutU32(static_cast<uint32_t>(n.state));
+    w.PutU32(static_cast<uint32_t>(n.misses));
+    w.PutU32(static_cast<uint32_t>(n.canary_successes));
+  }
+  return AppendRecord(w.Take());
+}
+
+Status CoordinatorJournal::AppendReloadStart(
+    uint64_t reload_epoch, const std::string& checkpoint_path) {
+  WireWriter w;
+  w.PutU64(next_seq_++);
+  w.PutU8(kRecReloadStart);
+  w.PutU64(reload_epoch);
+  w.PutString(checkpoint_path);
+  return AppendRecord(w.Take());
+}
+
+Status CoordinatorJournal::AppendReloadAck(uint64_t reload_epoch, int node) {
+  WireWriter w;
+  w.PutU64(next_seq_++);
+  w.PutU8(kRecReloadAck);
+  w.PutU64(reload_epoch);
+  w.PutU32(static_cast<uint32_t>(node));
+  return AppendRecord(w.Take());
+}
+
+Status CoordinatorJournal::AppendReloadEnd(uint64_t reload_epoch, bool ok) {
+  WireWriter w;
+  w.PutU64(next_seq_++);
+  w.PutU8(kRecReloadEnd);
+  w.PutU64(reload_epoch);
+  w.PutU8(ok ? 1 : 0);
+  return AppendRecord(w.Take());
+}
+
+Result<CoordinatorState> CoordinatorJournal::Load(int expected_nodes,
+                                                  int expected_replication) {
+  // Best available snapshot generation: current, else previous. A corrupt
+  // current generation is survivable evidence, not a reason to re-canary
+  // the world.
+  CoordinatorState state;
+  bool have_snapshot = false;
+  if (FileExists(snap_path())) {
+    Result<CoordinatorState> current = LoadCoordinatorSnapshot(snap_path());
+    if (current.ok()) {
+      state = std::move(current).ValueOrDie();
+      have_snapshot = true;
+    } else {
+      DADER_LOG(Warning) << "dist snapshot: current generation unreadable ("
+                         << current.status().ToString()
+                         << "); trying previous";
+      m_snapshot_fallback_->Increment();
+    }
+  }
+  if (!have_snapshot && FileExists(prev_snap_path())) {
+    Result<CoordinatorState> prev =
+        LoadCoordinatorSnapshot(prev_snap_path());
+    if (prev.ok()) {
+      state = std::move(prev).ValueOrDie();
+      have_snapshot = true;
+    } else {
+      DADER_LOG(Warning) << "dist snapshot: previous generation unreadable ("
+                         << prev.status().ToString() << ")";
+    }
+  }
+  const bool have_journal = FileExists(journal_path());
+  if (!have_snapshot && !have_journal) {
+    return Status::NotFound("no coordinator state in " + dir_);
+  }
+  if (!have_snapshot) {
+    // Journal-only boot: the coordinator died before its first checkpoint.
+    state.num_nodes = expected_nodes;
+    state.replication_factor = expected_replication;
+    state.membership.assign(static_cast<size_t>(expected_nodes),
+                            NodeSnapshot{});
+  }
+  if (state.num_nodes != expected_nodes ||
+      state.replication_factor != expected_replication) {
+    return Status::InvalidArgument(
+        "persisted coordinator state in " + dir_ + " covers " +
+        std::to_string(state.num_nodes) + " nodes x" +
+        std::to_string(state.replication_factor) +
+        ", this coordinator runs " + std::to_string(expected_nodes) +
+        " nodes x" + std::to_string(expected_replication));
+  }
+
+  // Replay journal records past the snapshot. A torn tail (crash mid-append)
+  // stops the replay cleanly at the last whole record.
+  current_snap_seq_ = state.last_seq;
+  uint64_t replay_seq = state.last_seq;
+  if (have_journal) {
+    std::FILE* f = std::fopen(journal_path().c_str(), "rb");
+    if (f == nullptr) {
+      return Status::IOError("cannot open journal " + journal_path());
+    }
+    while (true) {
+      unsigned char header[8];
+      const size_t got = std::fread(header, 1, sizeof(header), f);
+      if (got == 0) break;  // clean EOF
+      uint32_t len = 0, crc = 0;
+      if (got == sizeof(header)) {
+        for (int i = 0; i < 4; ++i) {
+          len |= static_cast<uint32_t>(header[i]) << (8 * i);
+          crc |= static_cast<uint32_t>(header[4 + i]) << (8 * i);
+        }
+      }
+      if (got != sizeof(header) || len == 0 || len > kMaxRecordBytes) {
+        m_journal_torn_->Increment();
+        DADER_LOG(Warning) << "dist journal: torn header at tail; replay "
+                              "stops at seq "
+                           << replay_seq;
+        break;
+      }
+      std::string payload(len, '\0');
+      if (std::fread(payload.data(), 1, len, f) != len ||
+          UpdateCrc32(0, payload.data(), payload.size()) != crc) {
+        m_journal_torn_->Increment();
+        DADER_LOG(Warning) << "dist journal: torn/corrupt record at tail; "
+                              "replay stops at seq "
+                           << replay_seq;
+        break;
+      }
+      WireReader reader(payload);
+      uint64_t seq = 0;
+      uint8_t type = 0;
+      {
+        auto seq_or = reader.GetU64();
+        auto type_or = seq_or.ok() ? reader.GetU8() : Result<uint8_t>(
+                                                          seq_or.status());
+        if (!seq_or.ok() || !type_or.ok()) {
+          m_journal_torn_->Increment();
+          break;
+        }
+        seq = seq_or.ValueOrDie();
+        type = type_or.ValueOrDie();
+      }
+      if (seq <= state.last_seq) continue;  // snapshot already covers it
+      Status applied = ApplyRecord(seq, type, &reader, &state);
+      if (!applied.ok()) {
+        std::fclose(f);
+        return applied;
+      }
+      replay_seq = seq;
+      m_journal_replayed_->Increment();
+    }
+    std::fclose(f);
+  }
+  next_seq_ = std::max(replay_seq, state.last_seq) + 1;
+  return state;
+}
+
+Status CoordinatorJournal::Checkpoint(CoordinatorState state) {
+  state.last_seq = next_seq_ - 1;
+  const uint64_t rotated_last_seq = current_snap_seq_;
+
+  // Rotate: the current generation becomes the fallback before the new one
+  // exists, so there is never a moment with zero intact generations.
+  if (FileExists(snap_path())) {
+    if (std::rename(snap_path().c_str(), prev_snap_path().c_str()) != 0) {
+      return Status::IOError("cannot rotate " + snap_path() + " to " +
+                             prev_snap_path());
+    }
+  }
+  DADER_RETURN_NOT_OK(SaveCoordinatorSnapshot(snap_path(), state));
+  m_snapshot_writes_->Increment();
+  const int step = checkpoints_++;
+  if (fault_ != nullptr &&
+      fault_->ShouldFire(FaultKind::kSnapshotTorn, /*epoch=*/-1, step)) {
+    // The torn-write fault: the snapshot exists but its payload is damaged,
+    // exactly what a crash between write and durable rename leaves behind.
+    DADER_LOG(Warning) << "dist snapshot: injected snapshot-torn at write "
+                       << step;
+    DADER_RETURN_NOT_OK(FaultInjector::CorruptByte(snap_path(), 16));
+  }
+
+  // Compact the journal down to what the rotated generation still needs —
+  // a fallback load of .prev must find every record past its last_seq.
+  if (journal_ != nullptr) {
+    std::fclose(journal_);
+    journal_ = nullptr;
+  }
+  std::vector<std::string> keep;
+  if (FileExists(journal_path())) {
+    std::FILE* f = std::fopen(journal_path().c_str(), "rb");
+    if (f != nullptr) {
+      while (true) {
+        unsigned char header[8];
+        if (std::fread(header, 1, sizeof(header), f) != sizeof(header)) break;
+        uint32_t len = 0;
+        for (int i = 0; i < 4; ++i) {
+          len |= static_cast<uint32_t>(header[i]) << (8 * i);
+        }
+        if (len == 0 || len > kMaxRecordBytes) break;
+        std::string payload(len, '\0');
+        if (std::fread(payload.data(), 1, len, f) != len) break;
+        WireReader reader(payload);
+        auto seq_or = reader.GetU64();
+        if (!seq_or.ok()) break;
+        if (seq_or.ValueOrDie() > rotated_last_seq) {
+          keep.push_back(std::string(reinterpret_cast<char*>(header),
+                                     sizeof(header)) +
+                         payload);
+        }
+      }
+      std::fclose(f);
+    }
+    const std::string tmp = journal_path() + ".tmp";
+    std::FILE* out = std::fopen(tmp.c_str(), "wb");
+    if (out == nullptr) {
+      return Status::IOError("cannot rewrite journal " + journal_path());
+    }
+    for (const std::string& record : keep) {
+      if (std::fwrite(record.data(), 1, record.size(), out) !=
+          record.size()) {
+        std::fclose(out);
+        std::remove(tmp.c_str());
+        return Status::IOError("journal compaction write failed");
+      }
+    }
+    if (std::fflush(out) != 0 || std::fclose(out) != 0) {
+      std::remove(tmp.c_str());
+      return Status::IOError("journal compaction flush failed");
+    }
+    if (std::rename(tmp.c_str(), journal_path().c_str()) != 0) {
+      std::remove(tmp.c_str());
+      return Status::IOError("cannot swap compacted journal into place");
+    }
+  }
+  current_snap_seq_ = state.last_seq;
+  prev_last_seq_ = rotated_last_seq;
+  return Status::OK();
+}
+
+}  // namespace dader::dist

@@ -1,0 +1,145 @@
+// Durable coordinator state: atomic CRC-tagged snapshots + an append-only
+// event journal, so a restarted coordinator resumes instead of re-learning
+// the fleet.
+//
+// PR 6's coordinator held all membership/epoch state in RAM; a coordinator
+// crash re-canaried the world (every node back through the warm-up gauntlet,
+// a paused rolling reload lost forever). This unit persists three things:
+//
+//   * the membership table — per-node state, miss count, AND canary streak,
+//     so a node that was two probes into re-admission stays two probes in;
+//   * the reload epoch and any in-flight rolling reload (checkpoint path +
+//     per-node ack set), so a restarted coordinator pushes only the nodes
+//     the dead one never reached;
+//   * the replica-group shape (roster size, replication factor), rejected
+//     at load when it does not match the restarting coordinator's config —
+//     resuming someone else's fleet is worse than starting fresh.
+//
+// Durability layering (the SaveTensors v2 pattern, one level up):
+//
+//   state.snap       full CoordinatorState; magic + version + CRC-32
+//                    footer, written tmp-then-rename so a reader never
+//                    sees a half-written file
+//   state.snap.prev  the previous generation, rotated on every checkpoint
+//   state.journal    append-only records since the *previous* snapshot;
+//                    each record is [u32 len][u32 crc][payload] so a torn
+//                    tail is detected and replay stops cleanly before it
+//
+// Load order: current snapshot; if missing/corrupt (kSnapshotTorn fault, a
+// crash mid-rename, a flipped bit) fall back to the previous snapshot —
+// never to an empty state while any generation survives. Journal records
+// carry monotonic sequence numbers and replay is idempotent, so whichever
+// snapshot loads, records with seq <= its last_seq are skipped and the
+// rest rebuild the lost tail. The journal is rewritten (not truncated) at
+// checkpoint time to keep only records the .prev generation still needs.
+
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "dist/membership.h"
+#include "obs/metrics.h"
+#include "util/fault.h"
+#include "util/status.h"
+
+namespace dader::dist {
+
+/// \brief An in-flight rolling reload (present when a coordinator died
+/// between node acks).
+struct PendingReload {
+  bool active = false;
+  uint64_t reload_epoch = 0;  ///< which roll this is (monotonic)
+  std::string checkpoint_path;
+  std::vector<bool> acked;  ///< per-node: this roll already landed here
+};
+
+/// \brief Everything a restarted coordinator needs to resume.
+struct CoordinatorState {
+  int num_nodes = 0;
+  int replication_factor = 1;
+  uint64_t reload_epoch = 0;  ///< last roll started (0 = never)
+  std::vector<NodeSnapshot> membership;
+  PendingReload pending_reload;
+  uint64_t last_seq = 0;  ///< journal sequence this state includes
+};
+
+/// \brief Writes `state` to `path` atomically (tmp + rename), CRC-tagged.
+Status SaveCoordinatorSnapshot(const std::string& path,
+                               const CoordinatorState& state);
+
+/// \brief Reads a snapshot back; corrupt/torn/missing files are a non-OK
+/// status, never a partial state.
+Result<CoordinatorState> LoadCoordinatorSnapshot(const std::string& path);
+
+/// \brief The coordinator's durable store: snapshot rotation + journal.
+///
+/// Thread-compatibility: the coordinator serializes all writes through its
+/// own journal mutex here; Load() runs before any writer exists.
+class CoordinatorJournal {
+ public:
+  /// \param dir directory for state.snap / state.snap.prev / state.journal
+  ///   (must exist; the coordinator owns creating it).
+  /// \param fault optional injector for kSnapshotTorn; null = no faults.
+  CoordinatorJournal(std::string dir, FaultInjector* fault = nullptr);
+  ~CoordinatorJournal();
+
+  CoordinatorJournal(const CoordinatorJournal&) = delete;
+  CoordinatorJournal& operator=(const CoordinatorJournal&) = delete;
+
+  /// \brief Replays persisted state: best available snapshot + journal
+  /// records past it. NotFound when no generation exists (first boot).
+  /// `expected_nodes`/`expected_replication` guard against resuming a
+  /// different fleet's state.
+  Result<CoordinatorState> Load(int expected_nodes, int expected_replication);
+
+  /// \brief Appends one membership record (the full table — a handful of
+  /// bytes — so replay needs no per-event diffing).
+  Status AppendMembership(const std::vector<NodeSnapshot>& nodes);
+
+  /// \brief Journals the start of rolling reload `reload_epoch` pushing
+  /// `checkpoint_path`.
+  Status AppendReloadStart(uint64_t reload_epoch,
+                           const std::string& checkpoint_path);
+
+  /// \brief Journals "node acked this roll" — the resume cursor.
+  Status AppendReloadAck(uint64_t reload_epoch, int node);
+
+  /// \brief Journals the end of a roll (ok or aborted); clears the
+  /// pending-reload state on replay.
+  Status AppendReloadEnd(uint64_t reload_epoch, bool ok);
+
+  /// \brief Writes a full snapshot (rotating the previous generation) and
+  /// compacts the journal down to records the .prev generation still
+  /// needs. `state.last_seq` is stamped here.
+  Status Checkpoint(CoordinatorState state);
+
+  const std::string& dir() const { return dir_; }
+  uint64_t next_seq() const { return next_seq_; }
+
+  /// \brief Snapshot file paths (exposed for tests and fault tooling).
+  std::string snap_path() const { return dir_ + "/state.snap"; }
+  std::string prev_snap_path() const { return dir_ + "/state.snap.prev"; }
+  std::string journal_path() const { return dir_ + "/state.journal"; }
+
+ private:
+  Status AppendRecord(const std::string& payload);
+  Status OpenJournalForAppend();
+
+  std::string dir_;
+  FaultInjector* fault_;
+  std::FILE* journal_ = nullptr;
+  uint64_t next_seq_ = 1;
+  uint64_t current_snap_seq_ = 0;  ///< last_seq of the on-disk state.snap
+  uint64_t prev_last_seq_ = 0;     ///< last_seq of the .prev generation
+  int checkpoints_ = 0;            ///< step coordinate for kSnapshotTorn
+
+  obs::Counter* m_snapshot_writes_;
+  obs::Counter* m_snapshot_fallback_;
+  obs::Counter* m_journal_records_;
+  obs::Counter* m_journal_replayed_;
+  obs::Counter* m_journal_torn_;
+};
+
+}  // namespace dader::dist

@@ -1,0 +1,293 @@
+#include "dist/supervisor.h"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/prctl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace dader::dist {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double MsSince(SteadyClock::time_point start) {
+  return std::chrono::duration<double, std::milli>(SteadyClock::now() - start)
+      .count();
+}
+
+// Reads the child's stdout until one "READY <port>" line arrives (the
+// binary prints nothing else to stdout). Returns the port.
+Result<int> AwaitReadyLine(int fd, double timeout_ms) {
+  const SteadyClock::time_point start = SteadyClock::now();
+  std::string line;
+  char ch = 0;
+  while (true) {
+    const double remaining = timeout_ms - MsSince(start);
+    if (remaining <= 0.0) {
+      return Status::DeadlineExceeded(
+          "worker process never reported READY within " +
+          std::to_string(timeout_ms) + " ms");
+    }
+    pollfd pfd{fd, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, static_cast<int>(remaining) + 1);
+    if (pr == 0) continue;
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("poll on worker stdout failed: " +
+                             std::string(std::strerror(errno)));
+    }
+    const ssize_t r = ::read(fd, &ch, 1);
+    if (r == 0) {
+      return Status::Unavailable(
+          "worker process exited before reporting READY");
+    }
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("read from worker stdout failed");
+    }
+    if (ch == '\n') {
+      int port = 0;
+      if (std::sscanf(line.c_str(), "READY %d", &port) == 1 && port > 0) {
+        return port;
+      }
+      return Status::Internal("unexpected worker handshake line: " + line);
+    }
+    line.push_back(ch);
+    if (line.size() > 256) {
+      return Status::Internal("worker handshake line never terminated");
+    }
+  }
+}
+
+}  // namespace
+
+WorkerSupervisor::WorkerSupervisor(WorkerSupervisorConfig config)
+    : config_(std::move(config)),
+      backoff_(config_.restart_backoff, config_.seed) {
+  port_.store(config_.port);
+  auto& reg = obs::MetricsRegistry::Default();
+  m_spawn_ = reg.GetCounter("dist.supervisor.spawn.total",
+                            "Worker processes spawned (first launches and "
+                            "respawns)",
+                            "processes");
+  m_restart_ = reg.GetCounter(
+      "dist.supervisor.restart.total",
+      "Worker processes respawned after an unexpected exit", "processes");
+  m_exit_ = reg.GetCounter("dist.supervisor.exit.total",
+                           "Worker process exits observed (reaped)",
+                           "processes");
+}
+
+WorkerSupervisor::~WorkerSupervisor() { Stop(); }
+
+Status WorkerSupervisor::SpawnLocked() {
+  int in_pipe[2];   // supervisor writes -> child stdin
+  int out_pipe[2];  // child stdout -> supervisor reads
+  if (::pipe(in_pipe) != 0) {
+    return Status::IOError("pipe() failed: " +
+                           std::string(std::strerror(errno)));
+  }
+  if (::pipe(out_pipe) != 0) {
+    ::close(in_pipe[0]);
+    ::close(in_pipe[1]);
+    return Status::IOError("pipe() failed: " +
+                           std::string(std::strerror(errno)));
+  }
+
+  std::vector<std::string> args;
+  args.push_back(config_.binary_path);
+  args.push_back("--node_id=" + std::to_string(config_.node_id));
+  args.push_back("--seed=" + std::to_string(config_.model_seed));
+  args.push_back("--port=" + std::to_string(port_.load()));
+  for (const std::string& extra : config_.extra_args) args.push_back(extra);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(in_pipe[0]);
+    ::close(in_pipe[1]);
+    ::close(out_pipe[0]);
+    ::close(out_pipe[1]);
+    return Status::IOError("fork() failed: " +
+                           std::string(std::strerror(errno)));
+  }
+  if (pid == 0) {
+    // Child. A dying supervisor must never leak a worker: the kernel
+    // delivers SIGKILL the moment our parent exits.
+    ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+    if (::getppid() == 1) _exit(127);  // parent died before prctl armed
+    ::dup2(in_pipe[0], STDIN_FILENO);
+    ::dup2(out_pipe[1], STDOUT_FILENO);
+    ::close(in_pipe[0]);
+    ::close(in_pipe[1]);
+    ::close(out_pipe[0]);
+    ::close(out_pipe[1]);
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+    ::execv(argv[0], argv.data());
+    _exit(127);  // exec failed; the parent sees the exit via waitpid
+  }
+
+  // Supervisor side.
+  ::close(in_pipe[0]);
+  ::close(out_pipe[1]);
+  stdin_fd_ = in_pipe[1];
+  pid_.store(pid);
+  m_spawn_->Increment();
+
+  Result<int> ready = AwaitReadyLine(out_pipe[0], config_.ready_timeout_ms);
+  ::close(out_pipe[0]);  // one line is all the channel carries
+  if (!ready.ok()) {
+    KillAndReapLocked();
+    return Status(ready.status().code(),
+                  "worker " + std::to_string(config_.node_id) +
+                      " handshake failed: " + ready.status().message());
+  }
+  // Pin the port: every respawn rebinds the same address so coordinator
+  // channels reconnect without re-configuration.
+  port_.store(ready.ValueOrDie());
+  alive_.store(true);
+  DADER_LOG(Info) << "dist supervisor: worker " << config_.node_id
+                  << " ready as pid " << pid << " on port "
+                  << ready.ValueOrDie();
+  return Status::OK();
+}
+
+void WorkerSupervisor::KillAndReapLocked() {
+  const pid_t pid = pid_.load();
+  if (pid > 0) {
+    ::kill(pid, SIGKILL);
+    int status = 0;
+    while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+    }
+    m_exit_->Increment();
+    pid_.store(-1);
+  }
+  if (stdin_fd_ >= 0) {
+    ::close(stdin_fd_);
+    stdin_fd_ = -1;
+  }
+  alive_.store(false);
+}
+
+Status WorkerSupervisor::Start() {
+  std::lock_guard<std::mutex> lock(spawn_mu_);
+  if (pid_.load() > 0) {
+    return Status::InvalidArgument("supervisor already has a live child");
+  }
+  stopping_.store(false);
+  DADER_RETURN_NOT_OK(SpawnLocked());
+  if (monitor_.joinable()) monitor_.join();  // a finished previous monitor
+  monitor_ = std::thread([this] { MonitorLoop(); });
+  return Status::OK();
+}
+
+Status WorkerSupervisor::Kill() {
+  const pid_t pid = pid_.load();
+  if (pid <= 0) return Status::InvalidArgument("no child to kill");
+  DADER_LOG(Warning) << "dist supervisor: killing worker "
+                     << config_.node_id << " (pid " << pid << ")";
+  if (::kill(pid, SIGKILL) != 0) {
+    return Status::IOError("kill failed: " +
+                           std::string(std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+void WorkerSupervisor::MonitorLoop() {
+  while (true) {
+    const pid_t pid = pid_.load();
+    if (pid <= 0) return;
+    int status = 0;
+    pid_t reaped = -1;
+    do {
+      reaped = ::waitpid(pid, &status, 0);
+    } while (reaped < 0 && errno == EINTR);
+    {
+      std::lock_guard<std::mutex> lock(spawn_mu_);
+      m_exit_->Increment();
+      alive_.store(false);
+      pid_.store(-1);
+      if (stdin_fd_ >= 0) {
+        ::close(stdin_fd_);
+        stdin_fd_ = -1;
+      }
+    }
+    exited_cv_.notify_all();
+    if (stopping_.load() || !config_.auto_restart) return;
+
+    DADER_LOG(Warning) << "dist supervisor: worker " << config_.node_id
+                       << " exited unexpectedly (status " << status
+                       << "); restarting";
+    bool respawned = false;
+    const int max_attempts = std::max(1, config_.restart_backoff.max_attempts);
+    for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+      backoff_.Sleep(backoff_.NextDelayMs(attempt));
+      if (stopping_.load()) return;
+      std::lock_guard<std::mutex> lock(spawn_mu_);
+      if (stopping_.load()) return;
+      Status spawned = SpawnLocked();
+      if (spawned.ok()) {
+        restarts_.fetch_add(1);
+        m_restart_->Increment();
+        respawned = true;
+        break;
+      }
+      DADER_LOG(Warning) << "dist supervisor: respawn attempt " << attempt
+                         << " failed: " << spawned.ToString();
+    }
+    if (!respawned) {
+      DADER_LOG(Error) << "dist supervisor: worker " << config_.node_id
+                       << " gave up after " << max_attempts
+                       << " respawn attempts";
+      return;
+    }
+  }
+}
+
+void WorkerSupervisor::Stop() {
+  stopping_.store(true);
+  {
+    std::lock_guard<std::mutex> lock(spawn_mu_);
+    if (stdin_fd_ >= 0) {
+      // EOF on stdin is the graceful-shutdown signal.
+      ::close(stdin_fd_);
+      stdin_fd_ = -1;
+    }
+  }
+  // Bounded grace: the monitor reaps the exit; past the grace we escalate.
+  {
+    std::unique_lock<std::mutex> lock(spawn_mu_);
+    const bool exited = exited_cv_.wait_for(
+        lock,
+        std::chrono::milliseconds(
+            static_cast<int64_t>(config_.stop_grace_ms)),
+        [this] { return pid_.load() <= 0; });
+    if (!exited) {
+      const pid_t pid = pid_.load();
+      if (pid > 0) {
+        DADER_LOG(Warning) << "dist supervisor: worker " << config_.node_id
+                           << " ignored EOF; escalating to SIGKILL";
+        ::kill(pid, SIGKILL);
+      }
+    }
+  }
+  if (monitor_.joinable()) monitor_.join();
+  // Belt and braces: if Start() failed mid-way or the monitor never ran,
+  // there may still be a child to reap.
+  std::lock_guard<std::mutex> lock(spawn_mu_);
+  KillAndReapLocked();
+}
+
+}  // namespace dader::dist

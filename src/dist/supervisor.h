@@ -1,0 +1,130 @@
+// WorkerSupervisor: a real OS process per worker node.
+//
+// PR 6's "node crash" was an in-process RpcServer::Stop — honest about
+// sockets, dishonest about blast radius (a crashed worker cannot corrupt
+// the coordinator's heap when it *is* the coordinator's heap). This unit
+// closes that gap: the supervisor fork/execs the `dader_worker` binary
+// (tools/dader_worker.cc), so killing a node is kill(2) on a process whose
+// address space the test harness does not share.
+//
+// Lifecycle per child:
+//
+//   spawn:    fork/exec with two pipes — stdin (held open by the
+//             supervisor; EOF is the graceful-shutdown signal) and stdout
+//             (the child prints exactly one "READY <port>" line once its
+//             RpcServer is listening, which is how an ephemeral port
+//             travels back). The child arms prctl(PR_SET_PDEATHSIG,
+//             SIGKILL) so a dying supervisor can never leak an orphan.
+//   monitor:  one thread blocks in waitpid. An *expected* exit (Stop)
+//             just reaps. An unexpected exit triggers a seeded-backoff
+//             respawn on the same port — the port is pinned after the
+//             first bind, so the coordinator's channels reconnect to the
+//             resurrected node without re-configuration, and the node
+//             re-enters traffic through the normal CANARY re-admission.
+//   Kill():   SIGKILL, the honest crash fault. The monitor restarts it
+//             (when auto_restart) exactly as it would a real crash.
+//   Stop():   close stdin (EOF), give the child a bounded grace period,
+//             then SIGKILL; always reaps. No CI run leaves a dader_worker
+//             behind.
+//
+// Determinism note: the worker binary builds its model from a seed, and
+// seeded construction is bit-deterministic (tests assert it), so replicas
+// across process boundaries answer identically without any weight
+// shipping.
+
+#pragma once
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "serve/retry.h"
+#include "util/status.h"
+
+namespace dader::dist {
+
+/// \brief How to spawn and babysit one worker process.
+struct WorkerSupervisorConfig {
+  std::string binary_path;  ///< the dader_worker executable
+  int node_id = 0;
+  uint64_t model_seed = 21;  ///< child rebuilds its model from this seed
+  /// Port to request; 0 binds ephemeral on the first spawn and pins the
+  /// bound port for every respawn.
+  int port = 0;
+  double ready_timeout_ms = 15000.0;  ///< budget for the READY handshake
+  double stop_grace_ms = 3000.0;      ///< EOF-to-SIGKILL grace in Stop()
+  bool auto_restart = true;           ///< respawn after unexpected exits
+  serve::RetryPolicy restart_backoff{/*max_attempts=*/5,
+                                     /*base_backoff_ms=*/20.0,
+                                     /*max_backoff_ms=*/500.0,
+                                     /*jitter_frac=*/0.5};
+  uint64_t seed = 0x5afeULL;  ///< backoff jitter seed
+  /// Extra argv entries appended verbatim (tests pass model-shape flags).
+  std::vector<std::string> extra_args;
+};
+
+/// \brief Owns one dader_worker child process (see file comment).
+class WorkerSupervisor {
+ public:
+  explicit WorkerSupervisor(WorkerSupervisorConfig config);
+  ~WorkerSupervisor();
+
+  WorkerSupervisor(const WorkerSupervisor&) = delete;
+  WorkerSupervisor& operator=(const WorkerSupervisor&) = delete;
+
+  /// \brief Spawns the child, waits for READY, starts the monitor thread.
+  Status Start();
+
+  /// \brief SIGKILLs the child — the process-level crash fault. With
+  /// auto_restart the monitor respawns it after backoff; without, the node
+  /// stays down until Start() is called again.
+  Status Kill();
+
+  /// \brief Graceful shutdown: stdin EOF, bounded grace, SIGKILL fallback,
+  /// reap, join the monitor. Idempotent; the dtor calls it.
+  void Stop();
+
+  /// \brief The child's serving port (pinned after the first handshake).
+  int port() const { return port_.load(); }
+
+  /// \brief True between a successful handshake and the child's exit.
+  bool alive() const { return alive_.load(); }
+
+  pid_t pid() const { return pid_.load(); }
+
+  /// \brief Respawns performed after unexpected exits.
+  int64_t restarts() const { return restarts_.load(); }
+
+ private:
+  /// Forks/execs one child and completes the READY handshake. Caller holds
+  /// spawn_mu_.
+  Status SpawnLocked();
+  /// SIGKILL + reap whatever child exists. Caller holds spawn_mu_.
+  void KillAndReapLocked();
+  void MonitorLoop();
+
+  WorkerSupervisorConfig config_;
+  serve::RetrySchedule backoff_;
+
+  std::mutex spawn_mu_;
+  std::condition_variable exited_cv_;
+  std::atomic<pid_t> pid_{-1};
+  int stdin_fd_ = -1;  ///< write end the child reads; closing = EOF
+  std::atomic<int> port_{0};
+  std::atomic<bool> alive_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<int64_t> restarts_{0};
+  std::thread monitor_;
+
+  obs::Counter* m_spawn_;
+  obs::Counter* m_restart_;
+  obs::Counter* m_exit_;
+};
+
+}  // namespace dader::dist

@@ -11,7 +11,7 @@ constexpr size_t kHeaderBytes = 1 + 8;
 
 bool KnownType(uint8_t t) {
   return t >= static_cast<uint8_t>(FrameType::kPing) &&
-         t <= static_cast<uint8_t>(FrameType::kCanaryReply);
+         t <= static_cast<uint8_t>(FrameType::kWarmAck);
 }
 
 }  // namespace
@@ -34,6 +34,10 @@ const char* FrameTypeName(FrameType type) {
       return "canary";
     case FrameType::kCanaryReply:
       return "canary-reply";
+    case FrameType::kWarm:
+      return "warm";
+    case FrameType::kWarmAck:
+      return "warm-ack";
   }
   return "?";
 }

@@ -37,6 +37,9 @@ enum class FrameType : uint8_t {
   kReloadReply = 6,  ///< reload outcome (payload: EncodeStatus)
   kCanary = 7,       ///< re-admission warm-up probe (no payload)
   kCanaryReply = 8,  ///< canary outcome (payload: EncodeStatus)
+  kWarm = 9,         ///< standby feature-warming mirror (payload:
+                     ///< EncodeMatchRequest; answer is discarded)
+  kWarmAck = 10,     ///< warm acknowledged (no payload)
 };
 
 /// \brief "ping", "pong", "match", ... (unknown values stringify to "?").

@@ -149,6 +149,20 @@ bool WorkerNode::HandleFrame(const Frame& frame, RpcServerConnection* conn) {
       return conn->Send(reply).ok();
     }
 
+    case FrameType::kWarm: {
+      // Standby warming: run the full match path so the feature cache and
+      // batcher see the same traffic the primary sees, but the answer is
+      // nobody's business — the coordinator only wants the ack.
+      Frame reply;
+      reply.type = FrameType::kWarmAck;
+      reply.request_id = frame.request_id;
+      Result<serve::MatchRequest> request = DecodeMatchRequest(frame.payload);
+      if (request.ok()) {
+        (void)service_->Match(std::move(request).ValueOrDie());
+      }
+      return conn->Send(reply).ok();
+    }
+
     case FrameType::kCanary: {
       Frame reply;
       reply.type = FrameType::kCanaryReply;
@@ -171,6 +185,7 @@ bool WorkerNode::HandleFrame(const Frame& frame, RpcServerConnection* conn) {
     case FrameType::kMatchReply:
     case FrameType::kReloadReply:
     case FrameType::kCanaryReply:
+    case FrameType::kWarmAck:
       // Reply types have no business arriving at a server; a peer that
       // sends them is confused enough to drop.
       DADER_LOG(Warning) << "dist worker " << node

@@ -8,6 +8,8 @@
 //                              queue / batcher / breaker, encode response)
 //   kCanary -> kCanaryReply   (MatchService::CanaryCheck — the re-admission
 //                              warm-up probe)
+//   kWarm   -> kWarmAck       (replica-standby warming: runs the full match
+//                              path so caches stay hot, answer discarded)
 //   kReload -> kReloadReply   (payload = checkpoint path; the worker's own
 //                              staged/canaried ReloadModel, so a bad push
 //                              rolls back *locally* and the reply tells the

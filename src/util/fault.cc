@@ -43,6 +43,10 @@ const char* FaultKindName(FaultKind kind) {
       return "conn-reset";
     case FaultKind::kSlowNode:
       return "slow-node";
+    case FaultKind::kSnapshotTorn:
+      return "snapshot-torn";
+    case FaultKind::kCoordinatorCrash:
+      return "coordinator-crash";
   }
   return "?";
 }

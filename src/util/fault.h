@@ -38,13 +38,19 @@ enum class FaultKind : int {
   kHeartbeatDrop = 7, ///< worker swallows heartbeat pings (still serves)
   kConnReset = 8,     ///< worker resets the connection mid-request
   kSlowNode = 9,      ///< worker delays each reply by FaultSpec::param_ms
+  // Coordinator-durability kinds consulted by the snapshot/journal layer
+  // (src/dist/snapshot.h): `step` carries the write ordinal.
+  kSnapshotTorn = 10,      ///< corrupt the just-written coordinator snapshot
+  kCoordinatorCrash = 11,  ///< coordinator dies mid-operation (rolling reload
+                           ///< abandons the roll without journaling the end)
 };
 
-inline constexpr int kNumFaultKinds = 10;
+inline constexpr int kNumFaultKinds = 12;
 
 /// \brief "nan-gradient", "corrupt-checkpoint", "abort-step",
 /// "extractor-fault", "extractor-nan", "node-crash", "node-hang",
-/// "heartbeat-drop", "conn-reset", "slow-node".
+/// "heartbeat-drop", "conn-reset", "slow-node", "snapshot-torn",
+/// "coordinator-crash".
 const char* FaultKindName(FaultKind kind);
 
 /// \brief Where and how often one fault kind fires.

@@ -95,7 +95,7 @@ struct Fleet {
   std::unique_ptr<serve::MatchService> reference;
 };
 
-Fleet MakeFleet(int n, FaultInjector* fault) {
+Fleet MakeFleet(int n, FaultInjector* fault, size_t cache_capacity = 0) {
   Fleet fleet;
   core::DaModel base = MakeModel(kModelSeed);
   for (int node = 0; node < n; ++node) {
@@ -104,6 +104,7 @@ Fleet MakeFleet(int n, FaultInjector* fault) {
     WorkerNodeConfig config;
     config.node_id = node;
     config.serve = WorkerServeTemplate();
+    config.serve.feature_cache_capacity = cache_capacity;
     config.fault = fault;
     auto worker = WorkerNode::Create(config, TestSchema(), TestSchema(),
                                      std::move(replica).ValueOrDie());
@@ -455,6 +456,252 @@ TEST(DistServiceTest, RollingReloadPushesEverywhereAndAbortsOnRollback) {
   for (auto& worker : fleet.workers) {
     EXPECT_EQ(worker->service().stats().reloads, 1);
   }
+  for (auto& worker : fleet.workers) worker->Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Replica groups
+
+TEST(DistServiceTest, MatchBatchPipelinedKeepsOrderAndBits) {
+  Fleet fleet = MakeFleet(3, nullptr);
+  Coordinator coordinator(TestCoordinatorConfig(), fleet.ports);
+
+  auto stream = TestStream();
+  std::vector<float> expected;
+  for (const auto& request : stream) {
+    expected.push_back(fleet.reference->Match(request).prob);
+  }
+  std::vector<serve::MatchResponse> responses =
+      coordinator.MatchBatch(std::move(stream));
+  ASSERT_EQ(responses.size(), expected.size());
+  for (size_t i = 0; i < responses.size(); ++i) {
+    ASSERT_TRUE(responses[i].status.ok()) << responses[i].status.ToString();
+    EXPECT_EQ(responses[i].prob, expected[i])
+        << "pipelined batch reordered or changed answer " << i;
+  }
+  for (auto& worker : fleet.workers) worker->Stop();
+}
+
+// What one primary-death costs, measured the same way under both routing
+// policies. `cold_misses` counts fleet-wide feature-cache misses during the
+// first post-failover round: the hot-standby claim is exactly that this is
+// zero (mirrored warming already cached the dead node's keys on its
+// standby), while rescue-on-demand pays a cold cache at the worst time.
+struct FailoverOutcome {
+  int64_t wrong = 0;
+  int64_t shed = 0;
+  int64_t ok = 0;
+  int64_t rescued = 0;
+  int64_t promoted = 0;
+  int64_t cold_misses = 0;
+};
+
+FailoverOutcome RunPrimaryDeathScenario(int replication_factor) {
+  Fleet fleet = MakeFleet(4, nullptr, /*cache_capacity=*/64);
+  CoordinatorConfig config = TestCoordinatorConfig();
+  config.replication_factor = replication_factor;
+  config.heartbeat_period_ms = 10.0;
+  Coordinator coordinator(config, fleet.ports);
+  coordinator.Start();  // background heartbeats + the warm-mirror thread
+
+  const auto stream = TestStream();
+  std::vector<float> expected;
+  for (const auto& request : stream) {
+    expected.push_back(fleet.reference->Match(request).prob);
+  }
+
+  FailoverOutcome out;
+  auto pump_round = [&] {
+    for (size_t i = 0; i < stream.size(); ++i) {
+      const serve::MatchResponse r = coordinator.Match(stream[i]);
+      if (r.status.ok()) {
+        ++out.ok;
+        if (r.prob != expected[i]) ++out.wrong;
+      } else {
+        ++out.shed;
+      }
+    }
+  };
+  auto fleet_misses = [&] {
+    int64_t misses = 0;
+    for (auto& worker : fleet.workers) {
+      misses += worker->service().stats().cache_misses;
+    }
+    return misses;
+  };
+
+  pump_round();  // healthy: warms every primary's cache
+  if (replication_factor > 1) {
+    // Wait for the mirror thread to land the served keys on the standbys.
+    for (int spin = 0;
+         spin < 500 &&
+         coordinator.warm_sent() < static_cast<int64_t>(stream.size());
+         ++spin) {
+      util::Clock::Real()->SleepForMs(10.0);
+    }
+    EXPECT_GE(coordinator.warm_sent(), static_cast<int64_t>(stream.size()))
+        << "warm mirroring never reached the standbys";
+  }
+
+  // Kill the primary of stream[0]'s home and let the background heartbeat
+  // walk it to DEAD before measuring the degraded rounds.
+  const int victim = coordinator.Route(stream[0]).node;
+  fleet.workers[static_cast<size_t>(victim)]->StopServer();
+  for (int spin = 0;
+       spin < 500 && coordinator.membership().state(victim) != NodeState::kDead;
+       ++spin) {
+    util::Clock::Real()->SleepForMs(10.0);
+  }
+  EXPECT_EQ(coordinator.membership().state(victim), NodeState::kDead);
+
+  if (replication_factor > 1) {
+    // Deterministic promotion: the standby is the next member of the home
+    // group in the strided layout, not an arbitrary rescue survivor.
+    const RouteDecision d = coordinator.Route(stream[0]);
+    EXPECT_EQ(d.home, victim);
+    EXPECT_TRUE(d.promoted);
+    EXPECT_FALSE(d.rescued);
+    EXPECT_EQ(d.node, victim + coordinator.replica_groups().num_groups());
+  }
+
+  const int64_t misses_before = fleet_misses();
+  pump_round();  // first post-failover round: the cold-cache window
+  out.cold_misses = fleet_misses() - misses_before;
+  pump_round();  // steady degraded state
+  out.rescued = coordinator.rescued();
+  out.promoted = coordinator.promoted();
+
+  coordinator.Stop();
+  for (auto& worker : fleet.workers) worker->Stop();
+  return out;
+}
+
+// The replica-group flagship: killing a primary promotes its hot standby —
+// zero wrong answers, zero shed, zero rescues, and a warm cache — where
+// rescue-on-demand serves the same keys correctly but cold.
+TEST(DistServiceTest, ReplicaFailoverPromotesHotStandby) {
+  const FailoverOutcome replicated = RunPrimaryDeathScenario(2);
+  EXPECT_EQ(replicated.wrong, 0);
+  EXPECT_EQ(replicated.shed, 0);
+  EXPECT_EQ(replicated.rescued, 0)
+      << "in-group promotion should make rescue unnecessary";
+  EXPECT_GE(replicated.promoted, 2);
+  EXPECT_EQ(replicated.cold_misses, 0)
+      << "promoted standby served from a cold cache despite mirroring";
+
+  const FailoverOutcome rescue_only = RunPrimaryDeathScenario(1);
+  EXPECT_EQ(rescue_only.wrong, 0);
+  EXPECT_GE(rescue_only.rescued, 1);
+  EXPECT_GT(rescue_only.cold_misses, replicated.cold_misses)
+      << "rescue-on-demand should pay the cold cache replica groups avoid";
+}
+
+// ---------------------------------------------------------------------------
+// Durable coordinator handoff
+
+std::string FreshStateDir(const std::string& name) {
+  const std::string dir = testing::TempDir() + name;
+  ::mkdir(dir.c_str(), 0755);
+  for (const char* file :
+       {"/state.snap", "/state.snap.prev", "/state.journal"}) {
+    std::remove((dir + file).c_str());
+  }
+  return dir;
+}
+
+// Satellite (c): the coordinator dies between node acks mid-roll; its
+// successor restores the pending roll from disk and resumes from the last
+// acked node — no node reloads twice, no epoch is left stuck.
+TEST(DistServiceTest, CoordinatorCrashMidReloadResumesFromLastAckedNode) {
+  const std::string dir = FreshStateDir("dist_resume");
+  const std::string donor_path = dir + "/donor.ckpt";
+  core::DaModel donor = MakeModel(99);
+  ASSERT_TRUE(core::SaveModules(donor_path, {{"F", donor.extractor.get()},
+                                             {"M", donor.matcher.get()}})
+                  .ok());
+
+  FaultInjector fault(0xC0DEULL);
+  Fleet fleet = MakeFleet(2, nullptr);
+  CoordinatorConfig config = TestCoordinatorConfig();
+  config.state_dir = dir;
+  config.fault = &fault;
+
+  const auto stream = TestStream();
+  std::vector<float> before;
+  {
+    Coordinator first(config, fleet.ports);
+    for (const auto& request : stream) {
+      const auto r = first.Match(request);
+      ASSERT_TRUE(r.status.ok());
+      before.push_back(r.prob);
+    }
+
+    // Die after journaling node 0's ack, before touching node 1.
+    FaultSpec crash;
+    crash.kind = FaultKind::kCoordinatorCrash;
+    crash.step = 0;
+    crash.max_hits = 1;
+    fault.Arm(crash);
+    EXPECT_FALSE(first.RollingReload(donor_path).ok());
+    EXPECT_EQ(fault.hits(FaultKind::kCoordinatorCrash), 1);
+    EXPECT_EQ(fleet.workers[0]->service().stats().reloads, 1);
+    EXPECT_EQ(fleet.workers[1]->service().stats().reloads, 0);
+  }  // dtor = the crash boundary; durable state is all that survives
+
+  Coordinator second(config, fleet.ports);
+  EXPECT_EQ(second.reload_epoch(), 1u) << "reload epoch lost in the handoff";
+  ASSERT_TRUE(second.HasPendingReload());
+  ASSERT_TRUE(second.ResumePendingReload().ok());
+  EXPECT_FALSE(second.HasPendingReload()) << "epoch left stuck after resume";
+
+  // Resume pushed only the node the dead coordinator never reached.
+  EXPECT_EQ(fleet.workers[0]->service().stats().reloads, 1)
+      << "node 0 reloaded twice";
+  EXPECT_EQ(fleet.workers[1]->service().stats().reloads, 1);
+  for (size_t i = 0; i < stream.size(); ++i) {
+    const auto r = second.Match(stream[i]);
+    ASSERT_TRUE(r.status.ok());
+    EXPECT_NE(r.prob, before[i]) << "request " << i
+                                 << " still answered by pre-push weights";
+  }
+  for (auto& worker : fleet.workers) worker->Stop();
+}
+
+// A node two probes into canary re-admission must stay two probes in
+// across a coordinator restart — even when the current snapshot is torn
+// and the successor restores from the previous generation + journal tail.
+TEST(DistServiceTest, CanaryStreakSurvivesRestartAndTornSnapshot) {
+  const std::string dir = FreshStateDir("dist_canary_streak");
+  Fleet fleet = MakeFleet(2, nullptr);
+  CoordinatorConfig config = TestCoordinatorConfig();
+  config.state_dir = dir;
+  config.checkpoint_every = 1;  // several generations -> .prev exists
+
+  {
+    Coordinator first(config, fleet.ports);
+    first.HeartbeatTick();
+    fleet.workers[1]->StopServer();
+    for (int tick = 0; tick < config.membership.dead_after_misses; ++tick) {
+      first.HeartbeatTick();
+    }
+    ASSERT_EQ(first.membership().state(1), NodeState::kDead);
+
+    ASSERT_TRUE(fleet.workers[1]->Restart().ok());
+    first.HeartbeatTick();  // ping ok: DEAD -> CANARY, first canary success
+    ASSERT_EQ(first.membership().state(1), NodeState::kCanary);
+    first.Stop();
+  }
+
+  // Tear the current snapshot: restore must fall back, not start fresh.
+  ASSERT_TRUE(FaultInjector::CorruptByte(dir + "/state.snap", 16).ok());
+  Coordinator second(config, fleet.ports);
+  EXPECT_EQ(second.membership().state(1), NodeState::kCanary)
+      << "restart forgot the node was mid-canary";
+  EXPECT_FALSE(second.membership().routable(1));
+  // One more success completes readmit_canary_successes = 2: the streak
+  // carried over. (A forgetful coordinator would need two fresh probes.)
+  second.HeartbeatTick();
+  EXPECT_EQ(second.membership().state(1), NodeState::kAlive);
   for (auto& worker : fleet.workers) worker->Stop();
 }
 

@@ -1,0 +1,69 @@
+// Replica-group layout invariants: strided membership, promotion order,
+// the R = 1 identity degeneration, and rejection of rosters the
+// replication factor does not divide.
+
+#include "dist/replica_group.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dader::dist {
+namespace {
+
+TEST(ReplicaGroupTest, StridedLayoutCoversTheRosterExactlyOnce) {
+  auto table = ReplicaGroupTable::Create(/*num_nodes=*/6,
+                                         /*replication_factor=*/2);
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  const ReplicaGroupTable& groups = table.ValueOrDie();
+  EXPECT_EQ(groups.num_groups(), 3);
+
+  std::set<int> seen;
+  for (int g = 0; g < groups.num_groups(); ++g) {
+    const std::vector<int>& members = groups.members(g);
+    ASSERT_EQ(static_cast<int>(members.size()), 2);
+    for (int rank = 0; rank < 2; ++rank) {
+      // Strided: member k of group g is node g + k*S.
+      EXPECT_EQ(members[rank], g + rank * groups.num_groups());
+      EXPECT_TRUE(seen.insert(members[rank]).second)
+          << "node " << members[rank] << " assigned twice";
+      EXPECT_EQ(groups.group_of(members[rank]), g);
+      EXPECT_EQ(groups.rank_of(members[rank]), rank);
+    }
+  }
+  EXPECT_EQ(static_cast<int>(seen.size()), 6) << "roster not covered";
+}
+
+TEST(ReplicaGroupTest, PromotionOrderIsMemberOrder) {
+  auto table = ReplicaGroupTable::Create(9, 3).ValueOrDie();
+  // Group 1 of a 9-node / R=3 roster: primary 1, standbys 4 and 7.
+  const std::vector<int>& members = table.members(1);
+  ASSERT_EQ(members.size(), 3u);
+  EXPECT_EQ(members[0], 1);
+  EXPECT_EQ(members[1], 4);
+  EXPECT_EQ(members[2], 7);
+}
+
+TEST(ReplicaGroupTest, ReplicationFactorOneIsTheIdentity) {
+  auto table = ReplicaGroupTable::Create(5, 1).ValueOrDie();
+  EXPECT_EQ(table.num_groups(), 5);
+  for (int node = 0; node < 5; ++node) {
+    ASSERT_EQ(table.members(node).size(), 1u);
+    EXPECT_EQ(table.members(node)[0], node);
+    EXPECT_EQ(table.group_of(node), node);
+    EXPECT_EQ(table.rank_of(node), 0);
+  }
+}
+
+TEST(ReplicaGroupTest, RejectsIndivisibleAndDegenerateShapes) {
+  EXPECT_FALSE(ReplicaGroupTable::Create(5, 2).ok())
+      << "partial groups must be refused, not guessed at";
+  EXPECT_FALSE(ReplicaGroupTable::Create(0, 1).ok());
+  EXPECT_FALSE(ReplicaGroupTable::Create(4, 0).ok());
+  EXPECT_FALSE(ReplicaGroupTable::Create(4, -2).ok());
+  EXPECT_FALSE(ReplicaGroupTable::Create(2, 4).ok())
+      << "more replicas than nodes";
+}
+
+}  // namespace
+}  // namespace dader::dist

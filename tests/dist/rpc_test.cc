@@ -14,6 +14,8 @@
 #include <memory>
 #include <string>
 
+#include "util/clock.h"
+
 namespace dader::dist {
 namespace {
 
@@ -105,6 +107,37 @@ TEST(RpcTest, HandlerReturningFalseResetsTheConnection) {
   RpcChannel retrying(server.port(), FastChannel());
   auto ok = retrying.Call(FrameType::kPing, "y");
   ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  server.Stop();
+}
+
+TEST(RpcTest, LateReplyIsDiscardedWithoutPoisoningTheConnection) {
+  // First reply arrives after the caller's deadline; the connection is
+  // healthy, just slow. The old behavior tore it down (and the reconnect
+  // re-sent through a fresh socket); the fix keeps the socket, abandons
+  // the request id, and discards the stale reply when it finally lands.
+  std::atomic<int> frames{0};
+  RpcServer server([&frames](const Frame& frame, RpcServerConnection* conn) {
+    if (frames.fetch_add(1) == 0) {
+      util::Clock::Real()->SleepForMs(300.0);
+    }
+    return EchoHandler(frame, conn);
+  });
+  ASSERT_TRUE(server.Start(0).ok());
+
+  RpcChannel channel(server.port(), FastChannel());
+  auto slow = channel.Call(FrameType::kPing, "slow", /*deadline_ms=*/50.0);
+  ASSERT_FALSE(slow.ok());
+  EXPECT_EQ(slow.status().code(), StatusCode::kDeadlineExceeded);
+
+  // The next call must ride the SAME connection: the stale reply for the
+  // abandoned id is skipped, the fresh reply is matched, nothing reconnects.
+  auto next = channel.Call(FrameType::kPing, "next");
+  ASSERT_TRUE(next.ok()) << next.status().ToString();
+  EXPECT_EQ(next.ValueOrDie().payload, "next");
+  EXPECT_EQ(next.ValueOrDie().type, FrameType::kPong);
+  EXPECT_EQ(channel.late_replies(), 1);
+  EXPECT_EQ(channel.reconnects(), 0)
+      << "a healthy-but-slow connection was poisoned";
   server.Stop();
 }
 

@@ -1,0 +1,241 @@
+// Durable coordinator state: snapshot save/load roundtrips, CRC rejection
+// of flipped bits, journal append + replay, torn-tail detection, snapshot
+// rotation with fallback to the previous generation (the kSnapshotTorn
+// fault), and journal compaction across checkpoints.
+
+#include "dist/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/fault.h"
+
+namespace dader::dist {
+namespace {
+
+std::string FreshDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + name;
+  ::mkdir(dir.c_str(), 0755);
+  // Scrub leftovers from a previous run so NotFound tests stay honest.
+  for (const char* file :
+       {"/state.snap", "/state.snap.prev", "/state.journal"}) {
+    std::remove((dir + file).c_str());
+  }
+  return dir;
+}
+
+CoordinatorState SampleState() {
+  CoordinatorState state;
+  state.num_nodes = 4;
+  state.replication_factor = 2;
+  state.reload_epoch = 3;
+  state.membership.resize(4);
+  state.membership[0].state = NodeState::kAlive;
+  state.membership[1].state = NodeState::kSuspect;
+  state.membership[1].misses = 2;
+  state.membership[2].state = NodeState::kDead;
+  state.membership[2].misses = 5;
+  state.membership[3].state = NodeState::kCanary;
+  state.membership[3].canary_successes = 1;
+  state.pending_reload.active = true;
+  state.pending_reload.reload_epoch = 3;
+  state.pending_reload.checkpoint_path = "/tmp/ckpt_v3";
+  state.pending_reload.acked = {true, true, false, false};
+  state.last_seq = 17;
+  return state;
+}
+
+void ExpectSameState(const CoordinatorState& got, const CoordinatorState& want) {
+  EXPECT_EQ(got.num_nodes, want.num_nodes);
+  EXPECT_EQ(got.replication_factor, want.replication_factor);
+  EXPECT_EQ(got.reload_epoch, want.reload_epoch);
+  EXPECT_EQ(got.last_seq, want.last_seq);
+  ASSERT_EQ(got.membership.size(), want.membership.size());
+  for (size_t i = 0; i < want.membership.size(); ++i) {
+    EXPECT_EQ(got.membership[i].state, want.membership[i].state) << "node " << i;
+    EXPECT_EQ(got.membership[i].misses, want.membership[i].misses);
+    EXPECT_EQ(got.membership[i].canary_successes,
+              want.membership[i].canary_successes);
+  }
+  EXPECT_EQ(got.pending_reload.active, want.pending_reload.active);
+  EXPECT_EQ(got.pending_reload.reload_epoch, want.pending_reload.reload_epoch);
+  EXPECT_EQ(got.pending_reload.checkpoint_path,
+            want.pending_reload.checkpoint_path);
+  EXPECT_EQ(got.pending_reload.acked, want.pending_reload.acked);
+}
+
+TEST(SnapshotTest, SaveLoadRoundTripsIncludingPendingReload) {
+  const std::string dir = FreshDir("snap_roundtrip");
+  const std::string path = dir + "/state.snap";
+  const CoordinatorState state = SampleState();
+  ASSERT_TRUE(SaveCoordinatorSnapshot(path, state).ok());
+
+  auto loaded = LoadCoordinatorSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectSameState(loaded.ValueOrDie(), state);
+}
+
+TEST(SnapshotTest, FlippedBitFailsTheCrcNeverAPartialState) {
+  const std::string dir = FreshDir("snap_crc");
+  const std::string path = dir + "/state.snap";
+  ASSERT_TRUE(SaveCoordinatorSnapshot(path, SampleState()).ok());
+  // Flip one payload byte past the header; only the CRC can catch this.
+  ASSERT_TRUE(FaultInjector::CorruptByte(path, 20).ok());
+  EXPECT_FALSE(LoadCoordinatorSnapshot(path).ok());
+}
+
+TEST(SnapshotTest, MissingSnapshotIsNotFound) {
+  const std::string dir = FreshDir("snap_missing");
+  EXPECT_FALSE(LoadCoordinatorSnapshot(dir + "/state.snap").ok());
+}
+
+TEST(JournalTest, AppendThenReplayRebuildsTheState) {
+  const std::string dir = FreshDir("journal_replay");
+  {
+    CoordinatorJournal journal(dir);
+    std::vector<NodeSnapshot> nodes(2);
+    nodes[1].state = NodeState::kDead;
+    nodes[1].misses = 3;
+    ASSERT_TRUE(journal.AppendMembership(nodes).ok());
+    ASSERT_TRUE(journal.AppendReloadStart(1, "/tmp/ckpt_a").ok());
+    ASSERT_TRUE(journal.AppendReloadAck(1, 0).ok());
+  }  // coordinator "dies" here; no snapshot was ever checkpointed
+
+  CoordinatorJournal successor(dir);
+  auto loaded = successor.Load(/*expected_nodes=*/2, /*expected_replication=*/1);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const CoordinatorState& state = loaded.ValueOrDie();
+  EXPECT_EQ(state.membership[1].state, NodeState::kDead);
+  EXPECT_EQ(state.membership[1].misses, 3);
+  EXPECT_EQ(state.reload_epoch, 1u);
+  EXPECT_TRUE(state.pending_reload.active);
+  EXPECT_EQ(state.pending_reload.checkpoint_path, "/tmp/ckpt_a");
+  ASSERT_EQ(state.pending_reload.acked.size(), 2u);
+  EXPECT_TRUE(state.pending_reload.acked[0]);
+  EXPECT_FALSE(state.pending_reload.acked[1]);
+}
+
+TEST(JournalTest, ReloadEndClearsThePendingRollOnReplay) {
+  const std::string dir = FreshDir("journal_end");
+  {
+    CoordinatorJournal journal(dir);
+    ASSERT_TRUE(journal.AppendReloadStart(1, "/tmp/ckpt_a").ok());
+    ASSERT_TRUE(journal.AppendReloadAck(1, 0).ok());
+    ASSERT_TRUE(journal.AppendReloadAck(1, 1).ok());
+    ASSERT_TRUE(journal.AppendReloadEnd(1, /*ok=*/true).ok());
+  }
+  CoordinatorJournal successor(dir);
+  auto loaded = successor.Load(2, 1);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_FALSE(loaded.ValueOrDie().pending_reload.active);
+  EXPECT_EQ(loaded.ValueOrDie().reload_epoch, 1u);
+}
+
+TEST(JournalTest, TornTailStopsReplayCleanlyKeepingThePrefix) {
+  const std::string dir = FreshDir("journal_torn");
+  {
+    CoordinatorJournal journal(dir);
+    std::vector<NodeSnapshot> nodes(2);
+    nodes[0].state = NodeState::kSuspect;
+    nodes[0].misses = 1;
+    ASSERT_TRUE(journal.AppendMembership(nodes).ok());
+    ASSERT_TRUE(journal.AppendReloadStart(1, "/tmp/ckpt_a").ok());
+  }
+  // Tear the last record mid-payload: a crash between write and flush.
+  ASSERT_TRUE(FaultInjector::TruncateFile(dir + "/state.journal", 0.9).ok());
+  CoordinatorJournal successor(dir);
+  auto loaded = successor.Load(2, 1);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  // The intact prefix survives; the torn reload-start record does not.
+  EXPECT_EQ(loaded.ValueOrDie().membership[0].state, NodeState::kSuspect);
+  EXPECT_FALSE(loaded.ValueOrDie().pending_reload.active);
+}
+
+TEST(JournalTest, FleetShapeMismatchIsRejected) {
+  const std::string dir = FreshDir("journal_shape");
+  {
+    CoordinatorJournal journal(dir);
+    ASSERT_TRUE(journal.Checkpoint(SampleState()).ok());  // 4 nodes, R=2
+  }
+  CoordinatorJournal successor(dir);
+  EXPECT_FALSE(successor.Load(/*expected_nodes=*/8,
+                              /*expected_replication=*/2).ok())
+      << "resuming a different fleet's state must be refused";
+}
+
+TEST(JournalTest, CheckpointRotatesAndTornCurrentFallsBackToPrev) {
+  const std::string dir = FreshDir("journal_fallback");
+  FaultInjector fault;
+  {
+    CoordinatorJournal journal(dir, &fault);
+    CoordinatorState gen1 = SampleState();
+    gen1.reload_epoch = 1;
+    gen1.pending_reload.active = false;
+    ASSERT_TRUE(journal.Checkpoint(gen1).ok());  // becomes .prev next time
+
+    // Arm the torn-snapshot fault for the second checkpoint only.
+    FaultSpec spec;
+    spec.kind = FaultKind::kSnapshotTorn;
+    spec.step = 1;  // checkpoint ordinal 1 (the second one)
+    fault.Arm(spec);
+
+    CoordinatorState gen2 = SampleState();
+    gen2.reload_epoch = 2;
+    ASSERT_TRUE(journal.Checkpoint(gen2).ok());
+    EXPECT_EQ(fault.hits(FaultKind::kSnapshotTorn), 1);
+  }
+  // The current snapshot is corrupt; load must fall back to the previous
+  // generation (epoch 1) — never to an empty state.
+  CoordinatorJournal successor(dir);
+  auto loaded = successor.Load(4, 2);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.ValueOrDie().reload_epoch, 1u);
+}
+
+TEST(JournalTest, CompactionKeepsRecordsThePrevGenerationNeeds) {
+  const std::string dir = FreshDir("journal_compact");
+  {
+    CoordinatorJournal journal(dir);
+    std::vector<NodeSnapshot> nodes(2);
+    ASSERT_TRUE(journal.AppendMembership(nodes).ok());  // seq 1
+
+    CoordinatorState ckpt;
+    ckpt.num_nodes = 2;
+    ckpt.replication_factor = 1;
+    ckpt.membership = nodes;
+    ASSERT_TRUE(journal.Checkpoint(ckpt).ok());
+
+    // Post-checkpoint tail: these must survive compaction and replay.
+    nodes[1].state = NodeState::kDead;
+    nodes[1].misses = 4;
+    ASSERT_TRUE(journal.AppendMembership(nodes).ok());
+
+    CoordinatorState ckpt2 = ckpt;
+    ckpt2.membership = nodes;
+    ASSERT_TRUE(journal.Checkpoint(ckpt2).ok());
+  }
+  // Corrupt the *current* snapshot by hand: replay from .prev + journal
+  // tail must still land on the post-checkpoint membership.
+  ASSERT_TRUE(FaultInjector::CorruptByte(dir + "/state.snap", 20).ok());
+  CoordinatorJournal successor(dir);
+  auto loaded = successor.Load(2, 1);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.ValueOrDie().membership[1].state, NodeState::kDead);
+  EXPECT_EQ(loaded.ValueOrDie().membership[1].misses, 4);
+}
+
+TEST(JournalTest, FreshDirectoryIsNotFound) {
+  const std::string dir = FreshDir("journal_fresh");
+  CoordinatorJournal journal(dir);
+  auto loaded = journal.Load(2, 1);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace dader::dist

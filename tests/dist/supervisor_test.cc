@@ -1,0 +1,243 @@
+// Process-isolated workers: the supervisor fork/execs the real
+// dader_worker binary, so these tests exercise kill(2) on an OS process
+// the test harness does not share an address space with.
+//
+// Skipped under TSan: fork() from a multithreaded TSan runtime is
+// unsupported (the sanitizer's interceptors do not survive the exec), and
+// the same scenarios run in the plain build of `ctest -L dist`.
+
+#include "dist/supervisor.h"
+
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <memory>
+#include <string>
+
+#include "core/experiment.h"
+#include "core/feature_extractor.h"
+#include "dist/coordinator.h"
+#include "dist/rpc.h"
+#include "dist/wire.h"
+#include "serve/match_service.h"
+
+#if defined(__SANITIZE_THREAD__)
+#define DADER_UNDER_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define DADER_UNDER_TSAN 1
+#endif
+#endif
+
+#ifndef DADER_WORKER_BIN
+#error "build must define DADER_WORKER_BIN (see tests/CMakeLists.txt)"
+#endif
+
+namespace dader::dist {
+namespace {
+
+#if defined(DADER_UNDER_TSAN)
+#define SKIP_UNDER_TSAN()                                                  \
+  GTEST_SKIP() << "fork/exec of dader_worker is unsupported under TSan; " \
+                  "this scenario runs in the plain dist suite"
+#else
+#define SKIP_UNDER_TSAN() (void)0
+#endif
+
+core::DaderConfig TinyModelConfig() {
+  core::DaderConfig c;
+  c.vocab_size = 256;
+  c.max_len = 16;
+  c.hidden_dim = 8;
+  c.num_heads = 2;
+  c.num_layers = 1;
+  c.ffn_dim = 16;
+  c.rnn_hidden = 4;
+  c.dropout = 0.0f;
+  return c;
+}
+
+// The same seeded model the dader_worker binary builds from --seed=21:
+// seeded construction is bit-deterministic, which is what lets replicas
+// agree across a process boundary without shipping weights.
+std::unique_ptr<serve::MatchService> ReferenceService() {
+  core::DaModel model;
+  model.extractor =
+      core::MakeExtractor(core::ExtractorKind::kLM, TinyModelConfig(), 21);
+  model.matcher =
+      std::make_unique<core::Matcher>(model.extractor->feature_dim(), 22);
+  serve::ServeConfig config;
+  config.default_deadline_ms = 10000.0;
+  data::Schema schema({"title", "price"});
+  return std::make_unique<serve::MatchService>(config, schema, schema,
+                                               std::move(model));
+}
+
+serve::MatchRequest MakeRequest(const std::string& a, const std::string& b) {
+  serve::MatchRequest request;
+  request.a = data::Record({a, "10"});
+  request.b = data::Record({b, "10"});
+  return request;
+}
+
+WorkerSupervisorConfig TestSupervisorConfig() {
+  WorkerSupervisorConfig config;
+  config.binary_path = DADER_WORKER_BIN;
+  config.model_seed = 21;
+  config.restart_backoff.base_backoff_ms = 5.0;
+  config.restart_backoff.max_backoff_ms = 50.0;
+  return config;
+}
+
+RpcChannelConfig TestChannel() {
+  RpcChannelConfig config;
+  config.default_deadline_ms = 10000.0;
+  config.reconnect.max_attempts = 8;
+  config.reconnect.base_backoff_ms = 5.0;
+  config.reconnect.max_backoff_ms = 100.0;
+  return config;
+}
+
+serve::MatchResponse CallMatch(RpcChannel& channel,
+                               const serve::MatchRequest& request) {
+  auto reply = channel.Call(FrameType::kMatch, EncodeMatchRequest(request));
+  EXPECT_TRUE(reply.ok()) << reply.status().ToString();
+  if (!reply.ok()) return serve::MatchResponse{};
+  auto response = DecodeMatchResponse(reply.ValueOrDie().payload);
+  EXPECT_TRUE(response.ok()) << response.status().ToString();
+  return response.ok() ? std::move(response).ValueOrDie()
+                       : serve::MatchResponse{};
+}
+
+TEST(SupervisorTest, SpawnedProcessServesBitIdenticalMatches) {
+  SKIP_UNDER_TSAN();
+  WorkerSupervisor supervisor(TestSupervisorConfig());
+  ASSERT_TRUE(supervisor.Start().ok());
+  ASSERT_TRUE(supervisor.alive());
+  ASSERT_GT(supervisor.port(), 0);
+  ASSERT_GT(supervisor.pid(), 0);
+
+  std::unique_ptr<serve::MatchService> reference = ReferenceService();
+  RpcChannel channel(supervisor.port(), TestChannel());
+  const auto request = MakeRequest("sony wh-1000xm4", "sony wh1000xm4");
+  serve::MatchResponse over_wire = CallMatch(channel, request);
+  serve::MatchResponse local = reference->Match(request);
+  ASSERT_TRUE(over_wire.status.ok()) << over_wire.status.ToString();
+  EXPECT_EQ(over_wire.label, local.label);
+  EXPECT_EQ(over_wire.prob, local.prob)
+      << "cross-process replica answered differently from the same seed";
+
+  supervisor.Stop();
+  EXPECT_FALSE(supervisor.alive());
+}
+
+TEST(SupervisorTest, KillRespawnsOnTheSamePortAndServesAgain) {
+  SKIP_UNDER_TSAN();
+  WorkerSupervisor supervisor(TestSupervisorConfig());
+  ASSERT_TRUE(supervisor.Start().ok());
+  const int port = supervisor.port();
+  const pid_t first_pid = supervisor.pid();
+
+  ASSERT_TRUE(supervisor.Kill().ok());
+  // The monitor reaps and respawns with backoff; wait for the new child
+  // (restarts() is bumped right after the handshake, so wait for both).
+  for (int spin = 0;
+       spin < 2000 && !(supervisor.alive() && supervisor.restarts() >= 1);
+       ++spin) {
+    usleep(5000);
+  }
+  ASSERT_TRUE(supervisor.alive()) << "monitor never respawned the child";
+  EXPECT_EQ(supervisor.port(), port) << "respawn must pin the port";
+  EXPECT_NE(supervisor.pid(), first_pid);
+  EXPECT_GE(supervisor.restarts(), 1);
+
+  RpcChannel channel(port, TestChannel());
+  serve::MatchResponse response =
+      CallMatch(channel, MakeRequest("canon eos r6 body", "canon eos r6"));
+  EXPECT_TRUE(response.status.ok()) << response.status.ToString();
+  supervisor.Stop();
+}
+
+TEST(SupervisorTest, CrashedProcessReentersTheFleetViaCanary) {
+  SKIP_UNDER_TSAN();
+  // auto_restart off: an immediate respawn would beat the heartbeat to the
+  // DEAD verdict and the node would heal from SUSPECT, skipping the path
+  // under test. The crash/down window is driven explicitly instead.
+  WorkerSupervisorConfig sup_config = TestSupervisorConfig();
+  sup_config.auto_restart = false;
+  WorkerSupervisor supervisor(sup_config);
+  ASSERT_TRUE(supervisor.Start().ok());
+
+  CoordinatorConfig config;
+  config.heartbeat_deadline_ms = 500.0;
+  config.match_deadline_ms = 10000.0;
+  config.canary_deadline_ms = 10000.0;
+  config.membership.suspect_after_misses = 1;
+  config.membership.dead_after_misses = 2;
+  config.membership.readmit_canary_successes = 2;
+  config.reconnect.max_attempts = 2;
+  config.reconnect.base_backoff_ms = 1.0;
+  config.reconnect.max_backoff_ms = 4.0;
+  Coordinator coordinator(config, {supervisor.port()});
+
+  coordinator.HeartbeatTick();
+  ASSERT_EQ(coordinator.membership().state(0), NodeState::kAlive);
+
+  // Crash the real process and wait until the monitor has reaped it.
+  ASSERT_TRUE(supervisor.Kill().ok());
+  for (int spin = 0; spin < 2000 && supervisor.pid() > 0; ++spin) {
+    usleep(2000);
+  }
+  ASSERT_LE(supervisor.pid(), 0) << "crash was never reaped";
+  for (int tick = 0;
+       tick < 20 && coordinator.membership().state(0) != NodeState::kDead;
+       ++tick) {
+    coordinator.HeartbeatTick();
+    usleep(2000);
+  }
+  EXPECT_EQ(coordinator.membership().state(0), NodeState::kDead);
+
+  // Relaunch on the pinned port; re-admission must come back through
+  // CANARY, not jump straight to ALIVE.
+  ASSERT_TRUE(supervisor.Start().ok());
+  ASSERT_TRUE(supervisor.alive());
+  bool saw_canary = false;
+  for (int tick = 0;
+       tick < 20 && coordinator.membership().state(0) != NodeState::kAlive;
+       ++tick) {
+    coordinator.HeartbeatTick();
+    saw_canary |= coordinator.membership().state(0) == NodeState::kCanary;
+    usleep(2000);
+  }
+  EXPECT_TRUE(saw_canary) << "re-admission skipped the canary gauntlet";
+  EXPECT_EQ(coordinator.membership().state(0), NodeState::kAlive);
+  coordinator.Stop();
+  supervisor.Stop();
+}
+
+TEST(SupervisorTest, StopReapsTheChildNoOrphanSurvives) {
+  SKIP_UNDER_TSAN();
+  pid_t pid = -1;
+  {
+    WorkerSupervisor supervisor(TestSupervisorConfig());
+    ASSERT_TRUE(supervisor.Start().ok());
+    pid = supervisor.pid();
+    ASSERT_GT(pid, 0);
+    supervisor.Stop();
+  }
+  // The child must be gone *and reaped*: no process with that pid (or at
+  // worst a recycled one that is not our child), and no zombie waiting.
+  errno = 0;
+  EXPECT_EQ(::waitpid(pid, nullptr, WNOHANG), -1);
+  EXPECT_EQ(errno, ECHILD) << "supervisor left an unreaped child behind";
+  if (::kill(pid, 0) == 0) {
+    FAIL() << "pid " << pid << " still running after Stop()";
+  }
+}
+
+}  // namespace
+}  // namespace dader::dist

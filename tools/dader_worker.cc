@@ -1,0 +1,184 @@
+// dader_worker: one worker node of the distributed match plane as a real
+// OS process, spawned and babysat by dist::WorkerSupervisor.
+//
+// Contract with the supervisor (src/dist/supervisor.h):
+//
+//   * stdout carries exactly one line — "READY <port>" — once the
+//     RpcServer is listening (this is how an ephemeral port travels back;
+//     everything chatty goes to stderr via the logger);
+//   * stdin EOF is the graceful-shutdown signal (the supervisor closes its
+//     end of the pipe; no signal-handler gymnastics needed);
+//   * SIGKILL is the crash fault — no cleanup runs, which is the point;
+//   * PR_SET_PDEATHSIG re-armed here as a second line of defense: if the
+//     supervisor dies, the kernel kills this process, so CI can never
+//     accumulate orphan workers.
+//
+// The model is rebuilt from --seed: seeded construction is
+// bit-deterministic (the dist tests assert replicas answer identically),
+// so no weight shipping is needed for replicas to agree across process
+// boundaries. The model shape flags default to the dist test fixture's
+// tiny config; production deployments would pass a checkpoint instead.
+
+#include <sys/prctl.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/experiment.h"
+#include "core/feature_extractor.h"
+#include "core/matcher.h"
+#include "dist/worker.h"
+#include "util/logging.h"
+
+namespace {
+
+struct Flags {
+  int node_id = 0;
+  uint64_t seed = 21;
+  int port = 0;  // 0 = ephemeral
+  std::string schema = "title,price";
+  int vocab = 256;
+  int max_len = 16;
+  int hidden = 8;
+  int heads = 2;
+  int layers = 1;
+  int ffn = 16;
+  int rnn = 4;
+};
+
+bool ParseInt(const std::string& value, int* out) {
+  char* end = nullptr;
+  const long v = std::strtol(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0') return false;
+  *out = static_cast<int>(v);
+  return true;
+}
+
+bool ParseFlags(int argc, char** argv, Flags* flags) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const size_t eq = arg.find('=');
+    if (arg.rfind("--", 0) != 0 || eq == std::string::npos) {
+      std::fprintf(stderr, "dader_worker: bad argument %s\n", arg.c_str());
+      return false;
+    }
+    const std::string key = arg.substr(2, eq - 2);
+    const std::string value = arg.substr(eq + 1);
+    if (key == "seed") {
+      flags->seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "schema") {
+      flags->schema = value;
+    } else {
+      int parsed = 0;
+      if (!ParseInt(value, &parsed)) {
+        std::fprintf(stderr, "dader_worker: bad value for --%s\n",
+                     key.c_str());
+        return false;
+      }
+      if (key == "node_id") flags->node_id = parsed;
+      else if (key == "port") flags->port = parsed;
+      else if (key == "vocab") flags->vocab = parsed;
+      else if (key == "max_len") flags->max_len = parsed;
+      else if (key == "hidden") flags->hidden = parsed;
+      else if (key == "heads") flags->heads = parsed;
+      else if (key == "layers") flags->layers = parsed;
+      else if (key == "ffn") flags->ffn = parsed;
+      else if (key == "rnn") flags->rnn = parsed;
+      else {
+        std::fprintf(stderr, "dader_worker: unknown flag --%s\n",
+                     key.c_str());
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<std::string> SplitFields(const std::string& spec) {
+  std::vector<std::string> fields;
+  std::string field;
+  for (const char c : spec) {
+    if (c == ',') {
+      fields.push_back(field);
+      field.clear();
+    } else {
+      field.push_back(c);
+    }
+  }
+  fields.push_back(field);
+  return fields;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Second line of defense against orphans (the supervisor arms this
+  // between fork and exec too, but a future non-supervisor launcher may
+  // not).
+  ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+
+  Flags flags;
+  if (!ParseFlags(argc, argv, &flags)) return 2;
+
+  namespace core = dader::core;
+  namespace dist = dader::dist;
+
+  core::DaderConfig mc;
+  mc.vocab_size = flags.vocab;
+  mc.max_len = flags.max_len;
+  mc.hidden_dim = flags.hidden;
+  mc.num_heads = flags.heads;
+  mc.num_layers = flags.layers;
+  mc.ffn_dim = flags.ffn;
+  mc.rnn_hidden = flags.rnn;
+  mc.dropout = 0.0f;
+
+  core::DaModel model;
+  model.extractor =
+      core::MakeExtractor(core::ExtractorKind::kLM, mc, flags.seed);
+  model.matcher = std::make_unique<core::Matcher>(
+      model.extractor->feature_dim(), flags.seed + 1);
+
+  dist::WorkerNodeConfig config;
+  config.node_id = flags.node_id;
+  config.serve.queue_capacity = 64;
+  config.serve.max_batch = 8;
+  config.serve.batch_wait_ms = 0.5;
+  config.serve.default_deadline_ms = 10000.0;
+
+  dader::data::Schema schema(SplitFields(flags.schema));
+  auto worker = dist::WorkerNode::Create(config, schema, schema,
+                                         std::move(model));
+  if (!worker.ok()) {
+    std::fprintf(stderr, "dader_worker: create failed: %s\n",
+                 worker.status().ToString().c_str());
+    return 1;
+  }
+  dader::Status started = worker.ValueOrDie()->Start(flags.port);
+  if (!started.ok()) {
+    std::fprintf(stderr, "dader_worker: start failed: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+
+  // The one line stdout ever carries.
+  std::printf("READY %d\n", worker.ValueOrDie()->port());
+  std::fflush(stdout);
+
+  // Serve until the supervisor closes our stdin (EOF = graceful stop).
+  char buf[64];
+  while (true) {
+    const ssize_t r = ::read(STDIN_FILENO, buf, sizeof(buf));
+    if (r == 0) break;            // EOF: supervisor says stop
+    if (r < 0 && errno != EINTR) break;
+  }
+  worker.ValueOrDie()->Stop();
+  return 0;
+}
