@@ -1,0 +1,376 @@
+// End-to-end dedup bench: the first true raw-records-in, clusters-out
+// workload (ROADMAP "blocking + candidate generation").
+//
+// Three experiments:
+//   1. blocking at scale — a >= 100k-record synthetic domain through the
+//      inverted index, MinHash/LSH, and the combined deduplicated stream:
+//      records/sec, pair-reduction ratio vs the cross product, and
+//      candidate recall vs generator ground truth (the recall budget that
+//      bounds everything downstream)
+//   2. recall vs candidate budget — sweeping the per-probe candidate cap:
+//      the curve that justifies the default budget
+//   3. end-to-end dedup — a DA-adapted matcher (MMD, labeled source ->
+//      unlabeled target, no target labels) behind the blocking stage:
+//      candidates stream through a bounded window into a 2-shard
+//      ShardedMatchService, accepted matches union-find into entity
+//      clusters; records/sec and end-to-end F1 vs gold
+//
+// --json=BENCH_dedup.json writes the structured results (the checked-in
+// BENCH_dedup.json is this file at the default smoke scale). At exit the
+// process-wide metrics registry (block.* / serve.* series) is dumped in
+// Prometheus text format; see docs/BENCHMARKS.md for the JSON schema.
+//
+//   ./bench_dedup [--scale=smoke|small|full] [--csv=dedup.csv]
+//                 [--json=BENCH_dedup.json] [--metrics_jsonl=PATH]
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "block/pipeline.h"
+#include "data/generators.h"
+#include "obs/metrics.h"
+#include "serve/sharded_service.h"
+#include "util/thread_pool.h"
+
+using namespace dader;
+
+namespace {
+
+struct BlockRun {
+  std::string generator;
+  int64_t candidates = 0;
+  int64_t duplicates = 0;
+  double recall = 0.0;
+  double reduction = 0.0;
+  double seconds = 0.0;
+  double records_per_sec = 0.0;
+};
+
+BlockRun RunBlocking(const std::string& label,
+                     const data::GeneratedTables& tables,
+                     const block::CandidateGenConfig& config) {
+  const double records =
+      static_cast<double>(tables.a.size() + tables.b.size());
+  const double cross = static_cast<double>(tables.a.size()) *
+                       static_cast<double>(tables.b.size());
+  Stopwatch timer;
+  block::CandidateStats stats;
+  const auto candidates =
+      block::CollectCandidates(tables.a, tables.b, config, &stats);
+  BlockRun run;
+  run.generator = label;
+  run.seconds = timer.ElapsedSeconds();
+  run.candidates = stats.emitted;
+  run.duplicates = stats.duplicates;
+  run.recall = block::CandidateRecall(candidates, tables.gold_matches);
+  run.reduction = stats.emitted > 0
+                      ? cross / static_cast<double>(stats.emitted)
+                      : cross;
+  run.records_per_sec = records / run.seconds;
+  std::printf("%-10s %12lld %10lld %8.4f %12.0fx %10.2fs %12.0f\n",
+              label.c_str(), static_cast<long long>(run.candidates),
+              static_cast<long long>(run.duplicates), run.recall,
+              run.reduction, run.seconds, run.records_per_sec);
+  return run;
+}
+
+core::DaModel TrainedMatcher(const std::string& source,
+                             const std::string& target,
+                             const core::ExperimentScale& scale,
+                             uint64_t seed, double* train_seconds,
+                             double* holdout_f1) {
+  Stopwatch timer;
+  auto task = core::BuildDaTask(source, target, scale).ValueOrDie();
+  auto model =
+      core::BuildModel(core::ExtractorKind::kLM, scale, /*pretrained=*/true,
+                       seed)
+          .ValueOrDie();
+  auto outcome =
+      core::RunSingleDa(core::AlignMethod::kMMD, scale, task, &model)
+          .ValueOrDie();
+  *train_seconds = timer.ElapsedSeconds();
+  *holdout_f1 = outcome.test_f1;
+  return model;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchEnv env = bench::ParseBenchArgs(argc, argv, "dedup.csv");
+
+  // Entity counts per stage. The blocking-at-scale stage must cross the
+  // 100k-record line even at smoke scale — that is the workload the
+  // subsystem exists for; only the matcher-bound stages shrink with scale.
+  const bool smoke = env.scale.name == "smoke";
+  const bool small = env.scale.name == "small";
+  const int64_t scale_entities = smoke ? 60000 : small ? 120000 : 400000;
+  const int64_t budget_entities = smoke ? 8000 : small ? 16000 : 40000;
+  const int64_t e2e_entities = smoke ? 1000 : small ? 2500 : 6000;
+  // WA is the headline blocking corpus: like its real counterpart it
+  // carries a model-number key, the evidence blocking systems live on.
+  // AB is the stress corpus — the same products behind Abt-Buy-style
+  // noise (30% word drops, no reliable key), reported alongside as the
+  // hard-domain datapoint.
+  const std::string dataset = "WA";
+  const std::string hard_dataset = "AB";
+
+  bench::CsvReport csv({"experiment", "setting", "records", "candidates",
+                        "recall", "reduction", "records_per_sec", "f1"});
+
+  // ------------------------------------------------------------------
+  std::printf("== 1. blocking at scale: %s x %lld entities ==\n",
+              dataset.c_str(), static_cast<long long>(scale_entities));
+  Stopwatch gen_timer;
+  auto tables =
+      data::GenerateTables(dataset, scale_entities, env.seed).ValueOrDie();
+  const size_t records = tables.a.size() + tables.b.size();
+  std::printf(
+      "generated %zu records (A=%zu, B=%zu, %zu gold matches) in %.1fs\n",
+      records, tables.a.size(), tables.b.size(), tables.gold_matches.size(),
+      gen_timer.ElapsedSeconds());
+  std::printf("%-10s %12s %10s %8s %12s %10s %12s\n", "generator",
+              "candidates", "dupes", "recall", "reduction", "time",
+              "records/s");
+
+  block::CandidateGenConfig index_only;
+  index_only.use_lsh = false;
+  block::CandidateGenConfig lsh_only;
+  lsh_only.use_index = false;
+  lsh_only.sign_threads = 4;
+  lsh_only.minhash.max_bucket_size = 256;
+  block::CandidateGenConfig combined;
+  combined.sign_threads = 4;
+  combined.minhash.max_bucket_size = 256;
+
+  const BlockRun index_run = RunBlocking("index", tables, index_only);
+  const BlockRun lsh_run = RunBlocking("lsh", tables, lsh_only);
+  const BlockRun combined_run = RunBlocking("combined", tables, combined);
+  for (const BlockRun* r : {&index_run, &lsh_run, &combined_run}) {
+    csv.AddRow({"scale", r->generator, std::to_string(records),
+                std::to_string(r->candidates), StrFormat("%.4f", r->recall),
+                StrFormat("%.0f", r->reduction),
+                StrFormat("%.0f", r->records_per_sec), ""});
+  }
+
+  std::printf("-- hard domain: %s (noisy views, no reliable key) --\n",
+              hard_dataset.c_str());
+  auto hard_tables =
+      data::GenerateTables(hard_dataset, scale_entities, env.seed)
+          .ValueOrDie();
+  const size_t hard_records = hard_tables.a.size() + hard_tables.b.size();
+  const BlockRun hard_run = RunBlocking("combined", hard_tables, combined);
+  csv.AddRow({"scale_hard", hard_run.generator, std::to_string(hard_records),
+              std::to_string(hard_run.candidates),
+              StrFormat("%.4f", hard_run.recall),
+              StrFormat("%.0f", hard_run.reduction),
+              StrFormat("%.0f", hard_run.records_per_sec), ""});
+
+  // ------------------------------------------------------------------
+  std::printf("\n== 2. recall vs candidate budget (%lld entities) ==\n",
+              static_cast<long long>(budget_entities));
+  auto budget_tables =
+      data::GenerateTables(dataset, budget_entities, env.seed + 1)
+          .ValueOrDie();
+  const size_t budget_records =
+      budget_tables.a.size() + budget_tables.b.size();
+  std::printf("%-10s %12s %8s %12s\n", "budget", "candidates", "recall",
+              "reduction");
+  struct BudgetPoint {
+    size_t budget;
+    BlockRun run;
+  };
+  std::vector<BudgetPoint> budget_curve;
+  for (size_t budget : {4u, 8u, 16u, 32u, 64u}) {
+    block::CandidateGenConfig config;
+    config.index.max_candidates_per_probe = budget;
+    config.sign_threads = 4;
+    Stopwatch timer;
+    block::CandidateStats stats;
+    const auto candidates = block::CollectCandidates(
+        budget_tables.a, budget_tables.b, config, &stats);
+    BlockRun run;
+    run.generator = StrFormat("budget=%zu", budget);
+    run.candidates = stats.emitted;
+    run.recall =
+        block::CandidateRecall(candidates, budget_tables.gold_matches);
+    run.reduction = static_cast<double>(budget_tables.a.size()) *
+                    static_cast<double>(budget_tables.b.size()) /
+                    static_cast<double>(std::max<int64_t>(stats.emitted, 1));
+    run.seconds = timer.ElapsedSeconds();
+    run.records_per_sec = static_cast<double>(budget_records) / run.seconds;
+    budget_curve.push_back({budget, run});
+    std::printf("%-10zu %12lld %8.4f %12.0fx\n", budget,
+                static_cast<long long>(run.candidates), run.recall,
+                run.reduction);
+    csv.AddRow({"budget", run.generator, std::to_string(budget_records),
+                std::to_string(run.candidates), StrFormat("%.4f", run.recall),
+                StrFormat("%.0f", run.reduction),
+                StrFormat("%.0f", run.records_per_sec), ""});
+  }
+
+  // ------------------------------------------------------------------
+  // Adaptation direction: labeled source = the hard domain, unlabeled
+  // target = the corpus being deduped (no target labels anywhere — the
+  // paper's scenario).
+  std::printf("\n== 3. end-to-end dedup: %s -> %s (MMD), %lld entities ==\n",
+              hard_dataset.c_str(), dataset.c_str(),
+              static_cast<long long>(e2e_entities));
+  auto e2e_tables =
+      data::GenerateTables(dataset, e2e_entities, env.seed + 2).ValueOrDie();
+  const size_t e2e_records = e2e_tables.a.size() + e2e_tables.b.size();
+  double train_seconds = 0.0;
+  double holdout_f1 = 0.0;
+  core::DaModel model = TrainedMatcher(hard_dataset, dataset, env.scale,
+                                       env.seed, &train_seconds, &holdout_f1);
+  std::printf("adapted matcher in %.1fs (held-out pair F1 %.1f)\n",
+              train_seconds, holdout_f1 * 100);
+
+  serve::ShardedServeConfig serve_config;
+  serve_config.num_shards = 2;
+  serve_config.shard.queue_capacity = 256;
+  serve_config.shard.max_batch = 32;
+  serve_config.shard.batch_wait_ms = 0.2;
+  serve_config.shard.default_deadline_ms = 120000.0;
+  serve_config.shard.num_workers = 1;
+  serve_config.shard.feature_cache_capacity = 4096;
+  serve_config.shard.seed = env.seed;
+  auto service =
+      serve::ShardedMatchService::Create(serve_config, e2e_tables.a.schema(),
+                                         e2e_tables.b.schema(),
+                                         std::move(model))
+          .ValueOrDie();
+
+  block::DedupConfig dedup_config;
+  dedup_config.queue_capacity = 2048;
+  dedup_config.max_in_flight = 256;  // <= 2 shards x 256 queue slots
+  dedup_config.deadline_ms = 120000.0;
+  dedup_config.candidates.sign_threads = 4;
+  Stopwatch e2e_timer;
+  auto result = block::RunDedup(e2e_tables.a, e2e_tables.b,
+                                &e2e_tables.gold_matches, service.get(),
+                                dedup_config)
+                    .ValueOrDie();
+  const double e2e_seconds = e2e_timer.ElapsedSeconds();
+  const serve::ServeStats serve_stats = service->stats();
+  service->Stop();
+  const double e2e_rps = static_cast<double>(e2e_records) / e2e_seconds;
+  std::printf(
+      "records=%zu candidates=%lld (reduction %.0fx, recall %.4f) "
+      "matches=%lld clusters=%zu\n",
+      e2e_records, static_cast<long long>(result.candidates.emitted),
+      result.pair_reduction, result.candidate_recall,
+      static_cast<long long>(result.matches), result.clusters);
+  std::printf(
+      "end-to-end: P=%.3f R=%.3f F1=%.3f in %.1fs (%.0f records/s, "
+      "cache hits %lld/%lld)\n",
+      result.precision, result.recall, result.f1, e2e_seconds, e2e_rps,
+      static_cast<long long>(serve_stats.cache_hits),
+      static_cast<long long>(serve_stats.cache_hits +
+                             serve_stats.cache_misses));
+  csv.AddRow({"e2e", hard_dataset + "_to_" + dataset,
+              std::to_string(e2e_records),
+              std::to_string(result.candidates.emitted),
+              StrFormat("%.4f", result.candidate_recall),
+              StrFormat("%.0f", result.pair_reduction),
+              StrFormat("%.0f", e2e_rps), StrFormat("%.4f", result.f1)});
+  csv.WriteIfRequested(env.csv_path);
+
+  // ------------------------------------------------------------------
+  if (!env.json_path.empty()) {
+    std::string json = "{\n";
+    json += StrFormat(
+        "  \"scale\": {\"dataset\": \"%s\", \"entities\": %lld, "
+        "\"records\": %zu, \"gold_matches\": %zu, \"generators\": [\n",
+        dataset.c_str(), static_cast<long long>(scale_entities), records,
+        tables.gold_matches.size());
+    bool first = true;
+    for (const BlockRun* r : {&index_run, &lsh_run, &combined_run}) {
+      json += StrFormat(
+          "    %s{\"generator\": \"%s\", \"candidates\": %lld, "
+          "\"duplicates\": %lld, \"recall\": %.4f, "
+          "\"pair_reduction\": %.1f, \"seconds\": %.3f, "
+          "\"records_per_sec\": %.1f}",
+          first ? "" : ", ", r->generator.c_str(),
+          static_cast<long long>(r->candidates),
+          static_cast<long long>(r->duplicates), r->recall, r->reduction,
+          r->seconds, r->records_per_sec);
+      json += "\n";
+      first = false;
+    }
+    json += "  ]},\n";
+    json += StrFormat(
+        "  \"scale_hard\": {\"dataset\": \"%s\", \"entities\": %lld, "
+        "\"records\": %zu, \"gold_matches\": %zu, \"generator\": "
+        "\"combined\", \"candidates\": %lld, \"recall\": %.4f, "
+        "\"pair_reduction\": %.1f, \"seconds\": %.3f, "
+        "\"records_per_sec\": %.1f},\n",
+        hard_dataset.c_str(), static_cast<long long>(scale_entities),
+        hard_records, hard_tables.gold_matches.size(),
+        static_cast<long long>(hard_run.candidates), hard_run.recall,
+        hard_run.reduction, hard_run.seconds, hard_run.records_per_sec);
+    json += "  \"budget_curve\": [\n";
+    for (size_t i = 0; i < budget_curve.size(); ++i) {
+      const auto& point = budget_curve[i];
+      json += StrFormat(
+          "    %s{\"max_candidates_per_probe\": %zu, \"records\": %zu, "
+          "\"candidates\": %lld, \"recall\": %.4f, "
+          "\"pair_reduction\": %.1f}\n",
+          i ? ", " : "", point.budget, budget_records,
+          static_cast<long long>(point.run.candidates), point.run.recall,
+          point.run.reduction);
+    }
+    json += StrFormat(
+        "  ],\n  \"e2e\": {\"source\": \"%s\", \"target\": \"%s\", "
+        "\"align\": \"MMD\", \"entities\": %lld, \"records\": %zu, "
+        "\"shards\": %d, \"candidates\": %lld, \"pair_reduction\": %.1f, "
+        "\"candidate_recall\": %.4f, \"matches\": %lld, \"clusters\": %zu, "
+        "\"precision\": %.4f, \"recall\": %.4f, \"f1\": %.4f, "
+        "\"train_seconds\": %.1f, \"dedup_seconds\": %.1f, "
+        "\"records_per_sec\": %.1f, \"cache_hits\": %lld, "
+        "\"cache_misses\": %lld, \"holdout_pair_f1\": %.4f}\n",
+        hard_dataset.c_str(), dataset.c_str(),
+        static_cast<long long>(e2e_entities), e2e_records,
+        service->num_shards(), static_cast<long long>(result.candidates.emitted),
+        result.pair_reduction, result.candidate_recall,
+        static_cast<long long>(result.matches), result.clusters,
+        result.precision, result.recall, result.f1, train_seconds,
+        e2e_seconds, e2e_rps, static_cast<long long>(serve_stats.cache_hits),
+        static_cast<long long>(serve_stats.cache_misses), holdout_f1);
+    json += "}\n";
+    std::string error;
+    if (obs::WriteTextFile(env.json_path, json, &error)) {
+      std::printf("[json written to %s]\n", env.json_path.c_str());
+    } else {
+      std::fprintf(stderr, "json write failed: %s\n", error.c_str());
+    }
+  }
+
+  if (!env.metrics_jsonl_path.empty()) {
+    std::string error;
+    if (obs::WriteTextFile(env.metrics_jsonl_path,
+                           obs::MetricsRegistry::Default().ToJsonLines(),
+                           &error)) {
+      std::printf("[metrics written to %s]\n",
+                  env.metrics_jsonl_path.c_str());
+    } else {
+      std::fprintf(stderr, "metrics write failed: %s\n", error.c_str());
+    }
+  }
+  bench::DumpTraceIfRequested(env);
+  std::printf("\n== metrics (block.* excerpt) ==\n");
+  const std::string scrape = obs::MetricsRegistry::Default().ScrapeText();
+  // Print only the block_ series; the full dump is bench_serving's job.
+  size_t pos = 0;
+  while (pos < scrape.size()) {
+    size_t end = scrape.find('\n', pos);
+    if (end == std::string::npos) end = scrape.size();
+    const std::string line = scrape.substr(pos, end - pos);
+    if (line.rfind("block_", 0) == 0 || line.find(" block_") != std::string::npos) {
+      std::printf("%s\n", line.c_str());
+    }
+    pos = end + 1;
+  }
+  return 0;
+}

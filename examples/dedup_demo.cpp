@@ -1,0 +1,157 @@
+// Dedup demo: raw records in, entity clusters out.
+//
+// The full src/block pipeline on a small generated corpus:
+//
+//   1. generate two dirty views of the same product catalog (tables A and
+//      B with gold matches)
+//   2. adapt a matcher for the target domain: labeled AB source, unlabeled
+//      WA target, MMD alignment at smoke scale (the paper's scenario — no
+//      target labels anywhere)
+//   3. blocking — inverted index (df-capped, idf-scored probes) + MinHash/
+//      LSH band buckets, merged into one deduplicated candidate stream
+//      that flows through a bounded queue into a 2-shard
+//      ShardedMatchService via a bounded in-flight window (backpressure,
+//      never load-shed)
+//   4. accepted matches union-find into entity clusters
+//
+// The demo prints the blocking win (pair-reduction ratio at measured
+// candidate recall), the cluster output, and a few sample clusters with
+// the underlying record text so the result is inspectable.
+//
+//   ./dedup_demo [--entities=400] [--seed=42]
+
+#include <cstdio>
+#include <string>
+
+#include "block/pipeline.h"
+#include "core/dader.h"
+#include "data/generators.h"
+#include "obs/metrics.h"
+#include "serve/sharded_service.h"
+#include "util/flags.h"
+
+using namespace dader;
+
+namespace {
+
+std::string RecordText(const data::Table& table, size_t row) {
+  std::string out;
+  for (const auto& value : table.row(row).values()) {
+    if (value.empty()) continue;
+    if (!out.empty()) out += " | ";
+    out += value;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  flags.DefineInt("entities", 400, "distinct entities behind the two tables");
+  flags.DefineInt("seed", 42, "corpus + model seed");
+  Status st = flags.Parse(argc, argv);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n%s", st.ToString().c_str(), flags.Help().c_str());
+    return 1;
+  }
+  const int64_t entities = flags.GetInt("entities");
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed"));
+
+  std::printf("== 1. two dirty views of one catalog ==\n");
+  auto tables = data::GenerateTables("WA", entities, seed).ValueOrDie();
+  std::printf("  table A: %zu records, table B: %zu records, "
+              "%zu gold matches\n",
+              tables.a.size(), tables.b.size(), tables.gold_matches.size());
+  std::printf("  A[0]: %s\n", RecordText(tables.a, 0).c_str());
+  std::printf("  B[0]: %s\n", RecordText(tables.b, 0).c_str());
+
+  std::printf("\n== 2. adapt a matcher: AB (labeled) -> WA (unlabeled), "
+              "MMD ==\n");
+  const core::ExperimentScale scale = core::SmokeScale();
+  auto task = core::BuildDaTask("AB", "WA", scale).ValueOrDie();
+  auto model = core::BuildModel(core::ExtractorKind::kLM, scale,
+                                /*pretrained=*/true, seed)
+                   .ValueOrDie();
+  auto outcome =
+      core::RunSingleDa(core::AlignMethod::kMMD, scale, task, &model)
+          .ValueOrDie();
+  std::printf("  adapted; held-out target pair F1 %.1f (smoke scale)\n",
+              outcome.test_f1 * 100);
+
+  std::printf("\n== 3-4. block -> stream -> match -> cluster ==\n");
+  serve::ShardedServeConfig serve_config;
+  serve_config.num_shards = 2;
+  serve_config.shard.queue_capacity = 128;
+  serve_config.shard.max_batch = 16;
+  serve_config.shard.batch_wait_ms = 0.2;
+  serve_config.shard.default_deadline_ms = 60000.0;
+  serve_config.shard.num_workers = 1;
+  serve_config.shard.feature_cache_capacity = 1024;
+  serve_config.shard.seed = seed;
+  auto service = serve::ShardedMatchService::Create(
+                     serve_config, tables.a.schema(), tables.b.schema(),
+                     std::move(model))
+                     .ValueOrDie();
+
+  block::DedupConfig config;
+  config.queue_capacity = 256;
+  config.max_in_flight = 128;  // <= 2 shards x 128 queue slots: no shedding
+  auto result = block::RunDedup(tables.a, tables.b, &tables.gold_matches,
+                                service.get(), config)
+                    .ValueOrDie();
+  service->Stop();
+
+  std::printf("  candidates: %lld of %lld possible pairs "
+              "(%.0fx reduction, candidate recall %.3f)\n",
+              static_cast<long long>(result.candidates.emitted),
+              static_cast<long long>(tables.a.size()) *
+                  static_cast<long long>(tables.b.size()),
+              result.pair_reduction, result.candidate_recall);
+  std::printf("  generator split: index=%lld lsh=%lld, duplicates "
+              "suppressed=%lld\n",
+              static_cast<long long>(result.candidates.index_candidates),
+              static_cast<long long>(result.candidates.lsh_candidates),
+              static_cast<long long>(result.candidates.duplicates));
+  std::printf("  matcher: %lld responses, %lld accepted matches\n",
+              static_cast<long long>(result.responses_ok),
+              static_cast<long long>(result.matches));
+  std::printf("  clusters: %zu entity clusters covering %zu records\n",
+              result.clusters, result.clustered_records);
+  std::printf("  timing: blocking %.1fms, total %.1fms\n", result.block_ms,
+              result.match_ms);
+
+  std::printf("\n== sample clusters ==\n");
+  const uint32_t b_offset = static_cast<uint32_t>(tables.a.size());
+  size_t shown = 0;
+  for (const auto& cluster : result.entity_clusters) {
+    if (shown == 3) break;
+    std::printf("  cluster %zu:\n", shown);
+    for (uint32_t id : cluster) {
+      const bool from_a = id < b_offset;
+      std::printf("    %s[%u]: %s\n", from_a ? "A" : "B",
+                  from_a ? id : id - b_offset,
+                  from_a ? RecordText(tables.a, id).c_str()
+                         : RecordText(tables.b, id - b_offset).c_str());
+    }
+    ++shown;
+  }
+  if (result.entity_clusters.empty()) {
+    std::printf("  (no clusters: the smoke-scale matcher accepted no pairs "
+                "this run — try another --seed)\n");
+  }
+
+  // Exit-time dump of the block.* series this run produced (Prometheus
+  // text exposition format; docs/OBSERVABILITY.md lists every name).
+  std::printf("\n== block.* metrics ==\n");
+  const std::string scrape = obs::MetricsRegistry::Default().ScrapeText();
+  size_t pos = 0;
+  while (pos < scrape.size()) {
+    size_t end = scrape.find('\n', pos);
+    if (end == std::string::npos) end = scrape.size();
+    const std::string line = scrape.substr(pos, end - pos);
+    if (line.rfind("block_", 0) == 0) std::printf("%s\n", line.c_str());
+    pos = end + 1;
+  }
+  return 0;
+}

@@ -1,0 +1,191 @@
+#include "block/candidate_stream.h"
+
+#include <unordered_set>
+
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "util/check.h"
+#include "util/thread_pool.h"
+
+namespace dader::block {
+
+namespace {
+
+struct StreamMetrics {
+  obs::Counter* index_candidates;
+  obs::Counter* lsh_candidates;
+  obs::Counter* duplicates;
+  obs::Counter* emitted;
+  obs::Gauge* queue_depth;
+  obs::Histogram* gen_ms;
+};
+
+StreamMetrics& Metrics() {
+  static StreamMetrics m = [] {
+    auto& reg = obs::MetricsRegistry::Default();
+    StreamMetrics metrics;
+    metrics.index_candidates = reg.GetCounter(
+        "block.candidates.index.total",
+        "Candidate pairs surfaced by inverted-index probes", "pairs");
+    metrics.lsh_candidates = reg.GetCounter(
+        "block.candidates.lsh.total",
+        "Candidate pairs surfaced by LSH band-bucket collisions", "pairs");
+    metrics.duplicates = reg.GetCounter(
+        "block.candidates.duplicate.total",
+        "Candidate re-emits suppressed by the dedup stage "
+        "((b,a) mirrors and index/LSH overlap)",
+        "pairs");
+    metrics.emitted = reg.GetCounter(
+        "block.candidates.emitted.total",
+        "Unique candidate pairs streamed to the matcher", "pairs");
+    metrics.queue_depth = reg.GetGauge(
+        "block.queue.depth", "Bounded candidate-queue depth", "pairs");
+    metrics.gen_ms = reg.GetHistogram(
+        "block.candidates.gen_ms",
+        "One GenerateCandidates pass (both generators, dedup included)",
+        "ms");
+    return metrics;
+  }();
+  return m;
+}
+
+uint64_t PairBits(uint32_t a, uint32_t b) {
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+}  // namespace
+
+CandidateStats GenerateCandidates(const data::Table& a, const data::Table& b,
+                                  const CandidateGenConfig& config,
+                                  const std::function<bool(Candidate)>& emit) {
+  obs::ScopedLatency lat(Metrics().gen_ms, "block.candidates");
+  CandidateStats stats;
+  std::unordered_set<uint64_t> seen;
+  bool stopped = false;
+  auto emit_unique = [&](uint32_t ra, uint32_t rb) {
+    if (stopped) return;
+    if (!seen.insert(PairBits(ra, rb)).second) {
+      ++stats.duplicates;
+      Metrics().duplicates->Increment();
+      return;
+    }
+    ++stats.emitted;
+    Metrics().emitted->Increment();
+    if (!emit({ra, rb})) stopped = true;
+  };
+
+  if (config.use_index) {
+    InvertedIndex index(config.index);
+    index.Build(b);
+    for (size_t i = 0; i < a.size() && !stopped; ++i) {
+      const auto scored = index.Probe(a.row(i));
+      stats.index_candidates += static_cast<int64_t>(scored.size());
+      Metrics().index_candidates->Add(static_cast<int64_t>(scored.size()));
+      for (const auto& c : scored) {
+        emit_unique(static_cast<uint32_t>(i), c.id);
+        if (stopped) break;
+      }
+    }
+  }
+
+  if (config.use_lsh && !stopped) {
+    MinHasher hasher(config.minhash);
+    std::unique_ptr<ThreadPool> pool;
+    if (config.sign_threads > 1) {
+      pool = std::make_unique<ThreadPool>(config.sign_threads);
+    }
+    // One index over the union of both tables: A rows keep their ids, B
+    // rows are offset by |A|.
+    LshIndex lsh(config.minhash);
+    const uint32_t b_offset = static_cast<uint32_t>(a.size());
+    const auto sigs_a = hasher.SignTable(a, pool.get());
+    const auto sigs_b = hasher.SignTable(b, pool.get());
+    for (uint32_t i = 0; i < sigs_a.size(); ++i) lsh.Insert(i, sigs_a[i]);
+    for (uint32_t j = 0; j < sigs_b.size(); ++j) {
+      lsh.Insert(b_offset + j, sigs_b[j]);
+    }
+    lsh.ForEachBucket([&](const std::vector<uint32_t>& ids) {
+      if (stopped) return;
+      for (size_t x = 0; x < ids.size(); ++x) {
+        for (size_t y = x + 1; y < ids.size(); ++y) {
+          const bool x_in_a = ids[x] < b_offset;
+          const bool y_in_a = ids[y] < b_offset;
+          if (x_in_a == y_in_a) continue;  // within-table: not linkage
+          // Canonical orientation: the A row first, whatever order the
+          // bucket produced — this is where (b,a) mirrors collapse.
+          const uint32_t ra = x_in_a ? ids[x] : ids[y];
+          const uint32_t rb = (x_in_a ? ids[y] : ids[x]) - b_offset;
+          ++stats.lsh_candidates;
+          Metrics().lsh_candidates->Increment();
+          emit_unique(ra, rb);
+          if (stopped) return;
+        }
+      }
+    });
+  }
+  return stats;
+}
+
+std::vector<Candidate> CollectCandidates(const data::Table& a,
+                                         const data::Table& b,
+                                         const CandidateGenConfig& config,
+                                         CandidateStats* stats) {
+  std::vector<Candidate> out;
+  CandidateStats s = GenerateCandidates(a, b, config, [&](Candidate c) {
+    out.push_back(c);
+    return true;
+  });
+  if (stats != nullptr) *stats = s;
+  return out;
+}
+
+double CandidateRecall(const std::vector<Candidate>& candidates,
+                       const std::vector<std::pair<size_t, size_t>>& gold) {
+  if (gold.empty()) return 1.0;
+  std::unordered_set<uint64_t> cand;
+  cand.reserve(candidates.size() * 2);
+  for (const auto& c : candidates) cand.insert(PairBits(c.a, c.b));
+  size_t hit = 0;
+  for (const auto& [ga, gb] : gold) {
+    hit += cand.count(PairBits(static_cast<uint32_t>(ga),
+                               static_cast<uint32_t>(gb)));
+  }
+  return static_cast<double>(hit) / static_cast<double>(gold.size());
+}
+
+CandidateQueue::CandidateQueue(size_t capacity) : capacity_(capacity) {
+  DADER_CHECK_GT(capacity, 0u);
+}
+
+bool CandidateQueue::Push(Candidate candidate) {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_full_.wait(lock,
+                 [this] { return closed_ || items_.size() < capacity_; });
+  if (closed_) return false;
+  items_.push_back(candidate);
+  Metrics().queue_depth->Set(static_cast<double>(items_.size()));
+  not_empty_.notify_one();
+  return true;
+}
+
+std::optional<Candidate> CandidateQueue::Pop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+  if (items_.empty()) return std::nullopt;  // closed and drained
+  Candidate out = items_.front();
+  items_.pop_front();
+  Metrics().queue_depth->Set(static_cast<double>(items_.size()));
+  not_full_.notify_one();
+  return out;
+}
+
+void CandidateQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+}  // namespace dader::block

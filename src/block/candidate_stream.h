@@ -1,0 +1,110 @@
+// Candidate generation + the bounded stream that carries candidates to
+// the matcher.
+//
+// GenerateCandidates merges both generators — inverted-index probes
+// (A records against an index over B) and LSH band buckets over the union
+// of both tables — into a single deduplicated stream of cross-table
+// (A row, B row) pairs:
+//
+//   * Orientation is canonical. An LSH bucket holds union ids, so the
+//     same pair can surface as (a,b) from one band and (b,a) from another;
+//     both normalize to (A row, B row) before the dedup check, so the
+//     router downstream never sees a mirrored duplicate (PairKey is
+//     orientation-sensitive — a mirror would double match work AND split
+//     the pair's feature-cache entries across two shards).
+//   * Every unique pair is emitted exactly once even when the index and
+//     LSH both find it (block.candidates.duplicate.total counts the
+//     suppressed re-emits).
+//   * Within-table bucket cohabitants (A-A, B-B) are skipped: this stage
+//     links two tables; the generated corpora have no within-table
+//     duplicates by construction.
+//
+// CandidateQueue is the bounded producer/consumer handoff: the blocking
+// stage pushes (blocking when full — candidate generation must not run
+// unboundedly ahead of the matcher), the pipeline consumer pops and
+// submits. Close() lets the consumer drain and stop.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+
+#include "block/inverted_index.h"
+#include "block/minhash.h"
+#include "data/schema.h"
+
+namespace dader::block {
+
+/// \brief One cross-table candidate: row `a` of table A vs row `b` of B.
+struct Candidate {
+  uint32_t a = 0;
+  uint32_t b = 0;
+};
+
+/// \brief Knobs of the merged candidate generator.
+struct CandidateGenConfig {
+  IndexConfig index;
+  MinHashConfig minhash;
+  bool use_index = true;
+  bool use_lsh = true;
+  /// Threads for MinHash signing (0 = sequential; signatures are
+  /// bit-identical at any count).
+  size_t sign_threads = 0;
+};
+
+/// \brief Counters of one GenerateCandidates run.
+struct CandidateStats {
+  int64_t index_candidates = 0;  ///< pairs surfaced by index probes
+  int64_t lsh_candidates = 0;    ///< pairs surfaced by LSH band buckets
+  int64_t duplicates = 0;        ///< suppressed re-emits (mirrors + overlap)
+  int64_t emitted = 0;           ///< unique pairs handed to `emit`
+};
+
+/// \brief Streams deduplicated candidates into `emit`; stops early (and
+/// returns what was counted so far) when `emit` returns false. Runs on the
+/// caller's thread.
+CandidateStats GenerateCandidates(const data::Table& a, const data::Table& b,
+                                  const CandidateGenConfig& config,
+                                  const std::function<bool(Candidate)>& emit);
+
+/// \brief Convenience: all candidates as a vector (tests, benches).
+std::vector<Candidate> CollectCandidates(const data::Table& a,
+                                         const data::Table& b,
+                                         const CandidateGenConfig& config,
+                                         CandidateStats* stats = nullptr);
+
+/// \brief Fraction of gold (a,b) pairs present in `candidates`; 1.0 when
+/// gold is empty.
+double CandidateRecall(const std::vector<Candidate>& candidates,
+                       const std::vector<std::pair<size_t, size_t>>& gold);
+
+/// \brief Bounded blocking MPMC queue of candidates (see file comment).
+class CandidateQueue {
+ public:
+  explicit CandidateQueue(size_t capacity);
+
+  /// \brief Blocks while full; false (candidate dropped) after Close().
+  bool Push(Candidate candidate);
+
+  /// \brief Blocks while empty and open; nullopt once closed and drained.
+  std::optional<Candidate> Pop();
+
+  /// \brief Wakes every waiter; further Push calls fail, Pop drains.
+  void Close();
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<Candidate> items_;
+  bool closed_ = false;
+};
+
+}  // namespace dader::block

@@ -1,0 +1,97 @@
+#include "block/inverted_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/metrics.h"
+#include "obs/profile.h"
+
+namespace dader::block {
+
+namespace {
+
+struct IndexMetrics {
+  obs::Counter* df_capped;
+  obs::Histogram* build_ms;
+};
+
+IndexMetrics& Metrics() {
+  static IndexMetrics m = [] {
+    auto& reg = obs::MetricsRegistry::Default();
+    IndexMetrics metrics;
+    metrics.df_capped = reg.GetCounter(
+        "block.postings.df_capped.total",
+        "Posting lists dropped by the inverted-index df cap", "lists");
+    metrics.build_ms = reg.GetHistogram(
+        "block.index.build_ms", "One InvertedIndex::Build over a table", "ms");
+    return metrics;
+  }();
+  return m;
+}
+
+}  // namespace
+
+void InvertedIndex::Build(const data::Table& table) {
+  obs::ScopedLatency lat(Metrics().build_ms, "block.index.build");
+  postings_.clear();
+  num_rows_ = table.size();
+  num_capped_ = 0;
+  for (size_t row = 0; row < table.size(); ++row) {
+    for (auto& tok : RecordTokens(table.row(row), config_.tokenize)) {
+      postings_[std::move(tok)].push_back(static_cast<uint32_t>(row));
+    }
+  }
+  for (auto it = postings_.begin(); it != postings_.end();) {
+    if (it->second.size() > config_.df_cap) {
+      it = postings_.erase(it);
+      ++num_capped_;
+    } else {
+      ++it;
+    }
+  }
+  Metrics().df_capped->Add(static_cast<int64_t>(num_capped_));
+}
+
+std::vector<ScoredCandidate> InvertedIndex::Probe(
+    const data::Record& record) const {
+  struct Overlap {
+    uint32_t count = 0;
+    double score = 0.0;
+  };
+  std::unordered_map<uint32_t, Overlap> overlap;
+  for (const auto& tok : RecordTokens(record, config_.tokenize)) {
+    auto it = postings_.find(tok);
+    if (it == postings_.end()) continue;
+    // Idf weight: a rare token (a model code, df 2) is near-proof of a
+    // match; a pool word shared by a thousand rows is weak evidence. The
+    // budget cut below must rank on this, not on raw counts.
+    const double idf = std::log1p(static_cast<double>(num_rows_) /
+                                  static_cast<double>(it->second.size()));
+    for (uint32_t id : it->second) {
+      Overlap& o = overlap[id];
+      ++o.count;
+      o.score += idf;
+    }
+  }
+  std::vector<ScoredCandidate> out;
+  out.reserve(overlap.size());
+  for (const auto& [id, o] : overlap) {
+    if (o.count >= config_.min_shared_tokens) {
+      out.push_back({id, o.count, o.score});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ScoredCandidate& x, const ScoredCandidate& y) {
+              if (x.score != y.score) return x.score > y.score;
+              if (x.shared_tokens != y.shared_tokens) {
+                return x.shared_tokens > y.shared_tokens;
+              }
+              return x.id < y.id;
+            });
+  if (out.size() > config_.max_candidates_per_probe) {
+    out.resize(config_.max_candidates_per_probe);
+  }
+  return out;
+}
+
+}  // namespace dader::block

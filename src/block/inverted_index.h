@@ -1,0 +1,80 @@
+// Token-based inverted index: the high-precision half of candidate
+// generation (the high-recall half is MinHash/LSH, src/block/minhash.h;
+// src/block/candidate_stream.h merges and deduplicates the two).
+//
+// Build indexes one table: token -> posting list of row ids. Posting lists
+// whose document frequency exceeds `df_cap` are dropped after the build —
+// a token carried by hundreds of records ("the", a ubiquitous brand) has
+// no discriminative power and would otherwise dominate probe cost: with
+// the cap, probing one record touches at most |tokens| * df_cap postings.
+//
+// Probe scores every co-posted row by summed token idf — each shared
+// token contributes log1p(num_rows / df), so one shared model code (df 2)
+// outranks a shared ubiquitous brand (df 1200); a raw shared count would
+// tie them and let the budget cut drop the real match. Rows with at least
+// `min_shared_tokens` shared tokens are kept and the top
+// `max_candidates_per_probe` by (score desc, count desc, id asc) returned
+// — the per-record candidate budget that the recall-vs-budget curve in
+// bench_dedup sweeps.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "block/tokenize.h"
+#include "data/schema.h"
+
+namespace dader::block {
+
+/// \brief Inverted-index configuration.
+struct IndexConfig {
+  TokenizeConfig tokenize;
+  /// Posting lists longer than this are dropped after Build (stop tokens).
+  size_t df_cap = 512;
+  /// Minimum shared qualifying tokens for a probe candidate. One shared
+  /// token is meaningful evidence under idf scoring (a shared model code
+  /// alone is near-proof); raise to 2 to require corroboration when the
+  /// corpus has no key-like tokens.
+  size_t min_shared_tokens = 1;
+  /// Per-probe candidate budget (top-scored rows kept).
+  size_t max_candidates_per_probe = 64;
+};
+
+/// \brief One scored candidate row of a probe.
+struct ScoredCandidate {
+  uint32_t id = 0;             ///< row index in the indexed table
+  uint32_t shared_tokens = 0;  ///< qualifying tokens shared with the probe
+  double score = 0.0;          ///< summed idf of the shared tokens
+};
+
+/// \brief Df-capped token -> posting-list index over one table.
+class InvertedIndex {
+ public:
+  explicit InvertedIndex(IndexConfig config = {}) : config_(std::move(config)) {}
+
+  /// \brief Indexes rows 0..table.size()-1, then applies the df cap.
+  /// Replaces any previous contents.
+  void Build(const data::Table& table);
+
+  /// \brief Candidates of one probe record (see file comment for scoring
+  /// and budget). Deterministic: ties broken by ascending row id.
+  std::vector<ScoredCandidate> Probe(const data::Record& record) const;
+
+  /// \brief Distinct tokens resident after the df cap.
+  size_t num_tokens() const { return postings_.size(); }
+  /// \brief Posting lists dropped by the df cap during the last Build.
+  size_t num_capped() const { return num_capped_; }
+
+  const IndexConfig& config() const { return config_; }
+
+ private:
+  IndexConfig config_;
+  std::unordered_map<std::string, std::vector<uint32_t>> postings_;
+  size_t num_rows_ = 0;
+  size_t num_capped_ = 0;
+};
+
+}  // namespace dader::block

@@ -1,0 +1,142 @@
+#include "block/minhash.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+#include "util/thread_pool.h"
+
+namespace dader::block {
+
+namespace {
+
+constexpr uint64_t kEmptyRow = ~0ULL;
+
+obs::Histogram* SignHistogram() {
+  static obs::Histogram* h = obs::MetricsRegistry::Default().GetHistogram(
+      "block.sign_ms", "One MinHasher::SignTable pass over a table", "ms");
+  return h;
+}
+
+// SplitMix64 finalizer: a full-avalanche 64-bit mixer. Keyed per hash row,
+// it acts as that row's "permutation" of the token-hash space.
+uint64_t Mix(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+MinHasher::MinHasher(MinHashConfig config) : config_(std::move(config)) {
+  DADER_CHECK_GT(config_.num_hashes, 0u);
+  DADER_CHECK_GT(config_.bands, 0u);
+  DADER_CHECK_EQ(config_.num_hashes % config_.bands, 0u);
+  Rng rng(config_.seed);
+  keys_.reserve(config_.num_hashes);
+  for (size_t i = 0; i < config_.num_hashes; ++i) {
+    keys_.push_back(rng.NextUint64());
+  }
+}
+
+std::vector<uint64_t> MinHasher::Signature(const data::Record& record) const {
+  std::vector<uint64_t> sig(config_.num_hashes, kEmptyRow);
+  for (const auto& tok : RecordTokens(record, config_.tokenize)) {
+    const uint64_t h = Fnv1a64(tok);
+    for (size_t i = 0; i < keys_.size(); ++i) {
+      sig[i] = std::min(sig[i], Mix(h ^ keys_[i]));
+    }
+  }
+  return sig;
+}
+
+std::vector<std::vector<uint64_t>> MinHasher::SignTable(
+    const data::Table& table, ThreadPool* pool) const {
+  obs::ScopedLatency lat(SignHistogram(), "block.sign");
+  std::vector<std::vector<uint64_t>> out(table.size());
+  if (pool == nullptr || pool->num_threads() <= 1 || table.size() < 2) {
+    for (size_t i = 0; i < table.size(); ++i) {
+      out[i] = Signature(table.row(i));
+    }
+    return out;
+  }
+  // Contiguous row chunks, one task each; every task writes only its own
+  // slots, so the result is identical to the sequential loop.
+  const size_t chunks = std::min(table.size(), pool->num_threads() * 4);
+  const size_t chunk_size = (table.size() + chunks - 1) / chunks;
+  for (size_t begin = 0; begin < table.size(); begin += chunk_size) {
+    const size_t end = std::min(begin + chunk_size, table.size());
+    pool->Submit([this, &table, &out, begin, end] {
+      for (size_t i = begin; i < end; ++i) {
+        out[i] = Signature(table.row(i));
+      }
+    });
+  }
+  pool->Wait();
+  return out;
+}
+
+bool MinHasher::IsEmptySignature(const std::vector<uint64_t>& signature) {
+  return std::all_of(signature.begin(), signature.end(),
+                     [](uint64_t v) { return v == kEmptyRow; });
+}
+
+double MinHasher::EstimateJaccard(const std::vector<uint64_t>& a,
+                                  const std::vector<uint64_t>& b) {
+  DADER_CHECK_EQ(a.size(), b.size());
+  DADER_CHECK(!a.empty());
+  size_t agree = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == b[i]) ++agree;
+  }
+  return static_cast<double>(agree) / static_cast<double>(a.size());
+}
+
+LshIndex::LshIndex(const MinHashConfig& config)
+    : config_(config), rows_per_band_(config.num_hashes / config.bands) {
+  DADER_CHECK_GT(config_.bands, 0u);
+  DADER_CHECK_EQ(config_.num_hashes % config_.bands, 0u);
+}
+
+void LshIndex::Insert(uint32_t id, const std::vector<uint64_t>& signature) {
+  DADER_CHECK_EQ(signature.size(), config_.num_hashes);
+  if (MinHasher::IsEmptySignature(signature)) return;
+  for (size_t band = 0; band < config_.bands; ++band) {
+    // FNV-1a over the band's rows, seeded by the band index so identical
+    // row values in different bands land in different buckets.
+    uint64_t h = 0xcbf29ce484222325ULL ^ (band * 0x100000001b3ULL);
+    for (size_t r = 0; r < rows_per_band_; ++r) {
+      uint64_t v = signature[band * rows_per_band_ + r];
+      for (int byte = 0; byte < 8; ++byte) {
+        h ^= (v >> (byte * 8)) & 0xffULL;
+        h *= 0x100000001b3ULL;
+      }
+    }
+    buckets_[h].push_back(id);
+  }
+}
+
+void LshIndex::ForEachBucket(
+    const std::function<void(const std::vector<uint32_t>&)>& visit) const {
+  num_oversize_ = 0;
+  std::vector<uint64_t> keys;
+  keys.reserve(buckets_.size());
+  for (const auto& [key, ids] : buckets_) {
+    if (ids.size() >= 2) keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end());
+  for (uint64_t key : keys) {
+    const auto& ids = buckets_.at(key);
+    if (ids.size() > config_.max_bucket_size) {
+      ++num_oversize_;
+      continue;
+    }
+    visit(ids);
+  }
+}
+
+}  // namespace dader::block

@@ -1,0 +1,110 @@
+// MinHash signatures + banded LSH: the high-recall half of candidate
+// generation (see src/block/inverted_index.h for the other half).
+//
+// Signature: num_hashes seeded "permutations", each realized as a keyed
+// 64-bit mixer over the FNV-1a hash of every token; signature row i is the
+// minimum mixed value. Two records' signatures agree on row i with
+// probability equal to their token-set Jaccard similarity, so the mean
+// row agreement estimates Jaccard (EstimateJaccard).
+//
+// Banding: the signature is split into `bands` bands of num_hashes/bands
+// rows; each band hashes to a bucket (deterministic FNV over the band's
+// rows + the band index). Records sharing any band bucket become
+// candidates — the classic S-curve: a pair with Jaccard s collides with
+// probability 1 - (1 - s^r)^b for r rows/band and b bands (the bound
+// tests/block/minhash_test.cc checks on a seeded corpus).
+//
+// Determinism: signatures depend only on (config.seed, token set), never
+// on thread schedule — SignTable distributes rows over a thread pool and
+// writes each signature into its own slot, so the result is bit-identical
+// at any thread count (asserted in the block test suite, TSan-clean).
+//
+// Token-less records (all attributes NULL/whitespace — see tokenize.h) get
+// the sentinel signature (all ~0) and are never inserted into any bucket:
+// without that guard every empty record would collide with every other in
+// every band.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "block/tokenize.h"
+#include "data/schema.h"
+
+namespace dader {
+class ThreadPool;  // util/thread_pool.h
+}
+
+namespace dader::block {
+
+/// \brief MinHash/LSH configuration. num_hashes must be a positive
+/// multiple of bands.
+struct MinHashConfig {
+  size_t num_hashes = 64;
+  size_t bands = 16;  ///< rows per band = num_hashes / bands
+  /// Band buckets larger than this are skipped by ForEachBucket — a bucket
+  /// of k records implies O(k^2) pairs, and such mega-buckets are stop-
+  /// token artifacts with no discriminative value (mirrors the index's
+  /// df cap).
+  size_t max_bucket_size = 64;
+  uint64_t seed = 0x5eedULL;
+  TokenizeConfig tokenize;
+};
+
+/// \brief Seeded signature generator (see file comment).
+class MinHasher {
+ public:
+  explicit MinHasher(MinHashConfig config);
+
+  /// \brief Signature of one record; the all-~0 sentinel when the record
+  /// has no tokens.
+  std::vector<uint64_t> Signature(const data::Record& record) const;
+
+  /// \brief Signatures of every row; parallel over `pool` when given,
+  /// bit-identical to the sequential result at any thread count.
+  std::vector<std::vector<uint64_t>> SignTable(const data::Table& table,
+                                               ThreadPool* pool = nullptr) const;
+
+  /// \brief True when the signature is the token-less sentinel.
+  static bool IsEmptySignature(const std::vector<uint64_t>& signature);
+
+  /// \brief Mean row agreement of two signatures — the Jaccard estimate.
+  static double EstimateJaccard(const std::vector<uint64_t>& a,
+                                const std::vector<uint64_t>& b);
+
+  const MinHashConfig& config() const { return config_; }
+
+ private:
+  MinHashConfig config_;
+  std::vector<uint64_t> keys_;  ///< one mixing key per hash row
+};
+
+/// \brief Banded LSH bucket index over signatures.
+class LshIndex {
+ public:
+  explicit LshIndex(const MinHashConfig& config);
+
+  /// \brief Buckets `id` by every band of its signature; sentinel
+  /// (token-less) signatures are skipped entirely.
+  void Insert(uint32_t id, const std::vector<uint64_t>& signature);
+
+  /// \brief Visits every band bucket with >= 2 members, skipping buckets
+  /// larger than max_bucket_size (counted in num_oversize_buckets()).
+  /// Deterministic order: buckets sorted by key, ids in insertion order.
+  void ForEachBucket(
+      const std::function<void(const std::vector<uint32_t>&)>& visit) const;
+
+  size_t num_buckets() const { return buckets_.size(); }
+  size_t num_oversize_buckets() const { return num_oversize_; }
+
+ private:
+  MinHashConfig config_;
+  size_t rows_per_band_;
+  std::unordered_map<uint64_t, std::vector<uint32_t>> buckets_;
+  mutable size_t num_oversize_ = 0;
+};
+
+}  // namespace dader::block

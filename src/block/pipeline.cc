@@ -1,0 +1,179 @@
+#include "block/pipeline.h"
+
+#include <chrono>
+#include <thread>
+#include <unordered_set>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace dader::block {
+
+namespace {
+
+struct PipelineMetrics {
+  obs::Counter* unions;
+  obs::Gauge* pair_reduction;
+  obs::Gauge* candidate_recall;
+};
+
+PipelineMetrics& Metrics() {
+  static PipelineMetrics m = [] {
+    auto& reg = obs::MetricsRegistry::Default();
+    PipelineMetrics metrics;
+    metrics.unions = reg.GetCounter(
+        "block.cluster.unions.total",
+        "Accepted matches merged into entity clusters", "unions");
+    metrics.pair_reduction = reg.GetGauge(
+        "block.pair_reduction.ratio",
+        "Cross product over emitted candidates of the last dedup run",
+        "ratio");
+    metrics.candidate_recall = reg.GetGauge(
+        "block.candidate_recall",
+        "Candidate recall vs gold of the last dedup run (when gold known)",
+        "fraction");
+    return metrics;
+  }();
+  return m;
+}
+
+double ElapsedMs(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+uint64_t PairBits(uint32_t a, uint32_t b) {
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+}  // namespace
+
+Result<DedupResult> RunDedup(
+    const data::Table& a, const data::Table& b,
+    const std::vector<std::pair<size_t, size_t>>* gold,
+    serve::ShardedMatchService* service, const DedupConfig& config) {
+  if (service == nullptr) {
+    return Status::InvalidArgument("RunDedup: service must not be null");
+  }
+  if (a.size() == 0 || b.size() == 0) {
+    return Status::InvalidArgument("RunDedup: both tables must be non-empty");
+  }
+  obs::TraceSpan run_span("block.run");
+  DedupResult result;
+  result.records_a = a.size();
+  result.records_b = b.size();
+
+  // Producer: the blocking stage, pushing into the bounded queue. The
+  // stats are written before the queue closes, so the consumer-side read
+  // below happens strictly after (join is the synchronization point).
+  CandidateQueue queue(config.queue_capacity);
+  CandidateStats producer_stats;
+  double producer_ms = 0.0;
+  const auto start = std::chrono::steady_clock::now();
+  std::thread producer([&] {
+    const auto producer_start = std::chrono::steady_clock::now();
+    producer_stats = GenerateCandidates(
+        a, b, config.candidates, [&](Candidate c) { return queue.Push(c); });
+    producer_ms = ElapsedMs(producer_start);
+    queue.Close();
+  });
+
+  // Consumer: stream candidates into the sharded matcher behind a bounded
+  // in-flight window; accepted matches become union-find edges.
+  std::vector<Candidate> submitted_pairs;
+  {
+    obs::TraceSpan match_span("block.match");
+    serve::StreamSubmitter::Options submit_options;
+    submit_options.max_in_flight = config.max_in_flight;
+    serve::StreamSubmitter submitter(
+        service, submit_options,
+        [&](size_t index, const serve::MatchRequest&,
+            const serve::MatchResponse& response) {
+          if (!response.status.ok()) {
+            ++result.responses_failed;
+            return;
+          }
+          ++result.responses_ok;
+          if (response.label == 1) {
+            result.matched_pairs.push_back(submitted_pairs[index]);
+          }
+        });
+    for (std::optional<Candidate> c = queue.Pop(); c.has_value();
+         c = queue.Pop()) {
+      serve::MatchRequest request;
+      request.a = a.row(c->a);
+      request.b = b.row(c->b);
+      request.deadline_ms = config.deadline_ms;
+      submitted_pairs.push_back(*c);
+      submitter.Submit(std::move(request));
+    }
+    submitter.Drain();
+  }
+  producer.join();
+  result.candidates = producer_stats;
+  // The stages overlap; block_ms is the producer's own wall time (push
+  // waits included), match_ms the end-to-end wall of both.
+  result.block_ms = producer_ms;
+  result.match_ms = ElapsedMs(start);
+  result.matches = static_cast<int64_t>(result.matched_pairs.size());
+
+  // Clustering: union ids 0..|A|-1 are A rows, |A|.. are B rows.
+  {
+    obs::TraceSpan cluster_span("block.cluster");
+    UnionFind uf(a.size() + b.size());
+    const uint32_t b_offset = static_cast<uint32_t>(a.size());
+    for (const auto& m : result.matched_pairs) {
+      if (uf.Union(m.a, b_offset + m.b)) Metrics().unions->Increment();
+    }
+    result.entity_clusters = uf.Clusters(/*min_size=*/2);
+    result.clusters = result.entity_clusters.size();
+    for (const auto& cluster : result.entity_clusters) {
+      result.clustered_records += cluster.size();
+    }
+  }
+
+  const double cross =
+      static_cast<double>(a.size()) * static_cast<double>(b.size());
+  result.pair_reduction =
+      result.candidates.emitted > 0
+          ? cross / static_cast<double>(result.candidates.emitted)
+          : cross;
+  Metrics().pair_reduction->Set(result.pair_reduction);
+
+  if (gold != nullptr && !gold->empty()) {
+    std::unordered_set<uint64_t> gold_set;
+    gold_set.reserve(gold->size() * 2);
+    for (const auto& [ga, gb] : *gold) {
+      gold_set.insert(PairBits(static_cast<uint32_t>(ga),
+                               static_cast<uint32_t>(gb)));
+    }
+    size_t candidate_hits = 0;
+    for (const auto& c : submitted_pairs) {
+      candidate_hits += gold_set.count(PairBits(c.a, c.b));
+    }
+    result.candidate_recall =
+        static_cast<double>(candidate_hits) / static_cast<double>(gold->size());
+    Metrics().candidate_recall->Set(result.candidate_recall);
+
+    int64_t tp = 0;
+    for (const auto& m : result.matched_pairs) {
+      tp += static_cast<int64_t>(gold_set.count(PairBits(m.a, m.b)));
+    }
+    const int64_t fp = result.matches - tp;
+    const int64_t fn = static_cast<int64_t>(gold->size()) - tp;
+    result.precision =
+        tp + fp > 0 ? static_cast<double>(tp) / static_cast<double>(tp + fp)
+                    : 0.0;
+    result.recall =
+        tp + fn > 0 ? static_cast<double>(tp) / static_cast<double>(tp + fn)
+                    : 0.0;
+    result.f1 = result.precision + result.recall > 0
+                    ? 2 * result.precision * result.recall /
+                          (result.precision + result.recall)
+                    : 0.0;
+  }
+  return result;
+}
+
+}  // namespace dader::block

@@ -1,0 +1,89 @@
+// The end-to-end dedup pipeline: raw records in, entity clusters out.
+//
+//   table A ─┐   ┌ inverted index (df-capped postings)  ┐
+//            ├──>│                                       ├─ dedup ─> bounded
+//   table B ─┘   └ MinHash signatures + banded LSH      ┘   queue
+//                                                              │ producer thread
+//                                                              v
+//                               StreamSubmitter (bounded in-flight window)
+//                                                              │
+//                                                              v
+//                                    ShardedMatchService (pair-key router,
+//                                    per-shard queue/batcher/cache/breaker)
+//                                                              │ accepted matches
+//                                                              v
+//                                              union-find ─> entity clusters
+//
+// The blocking stage runs on a producer thread pushing into the bounded
+// CandidateQueue; the calling thread consumes, streams into the sharded
+// matcher through a bounded in-flight window, and unions accepted matches
+// into clusters. Two bounds — the queue and the submit window — keep
+// memory flat no matter how far candidate generation outpaces matching.
+//
+// When gold matches are supplied the result carries candidate recall
+// (the ceiling blocking imposes on everything downstream), match-level
+// precision/recall/F1, and the pair-reduction ratio (cross product over
+// emitted candidates) — the numbers bench_dedup records in
+// BENCH_dedup.json.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "block/candidate_stream.h"
+#include "block/union_find.h"
+#include "serve/sharded_service.h"
+#include "serve/stream_submit.h"
+#include "util/status.h"
+
+namespace dader::block {
+
+/// \brief End-to-end pipeline configuration.
+struct DedupConfig {
+  CandidateGenConfig candidates;
+  /// Bounded candidate-queue capacity between blocking and matching.
+  size_t queue_capacity = 1024;
+  /// In-flight window into the sharded service. Keep it at or below the
+  /// sum of the shards' admission-queue capacities or the excess is shed.
+  size_t max_in_flight = 64;
+  /// Per-request deadline; streaming tolerates queueing, so this defaults
+  /// far above the serving default.
+  double deadline_ms = 30000.0;
+};
+
+/// \brief Everything one RunDedup produced (counters + quality measures).
+struct DedupResult {
+  size_t records_a = 0;
+  size_t records_b = 0;
+  CandidateStats candidates;
+  int64_t responses_ok = 0;      ///< candidates the matcher answered OK
+  int64_t responses_failed = 0;  ///< shed/expired/failed candidates
+  int64_t matches = 0;           ///< accepted (label == 1) pairs
+  size_t clusters = 0;           ///< entity clusters with >= 2 members
+  size_t clustered_records = 0;  ///< records inside those clusters
+  /// Cross product |A|*|B| over emitted candidates (the blocking win).
+  double pair_reduction = 0.0;
+  /// vs gold, when provided; negative otherwise.
+  double candidate_recall = -1.0;
+  double precision = -1.0;
+  double recall = -1.0;
+  double f1 = -1.0;
+  /// Wall-clock split: candidate generation vs everything downstream.
+  double block_ms = 0.0;
+  double match_ms = 0.0;
+  /// Accepted-match edges, canonical (A row, B row) — cluster input.
+  std::vector<Candidate> matched_pairs;
+  /// Clusters over union ids: A rows keep their ids, B rows offset by
+  /// |A| (ids ascending inside a cluster, clusters by smallest member).
+  std::vector<std::vector<uint32_t>> entity_clusters;
+};
+
+/// \brief Runs the full pipeline (see file comment). `gold` may be null;
+/// `service` must be started and outlive the call.
+Result<DedupResult> RunDedup(
+    const data::Table& a, const data::Table& b,
+    const std::vector<std::pair<size_t, size_t>>* gold,
+    serve::ShardedMatchService* service, const DedupConfig& config);
+
+}  // namespace dader::block

@@ -1,0 +1,60 @@
+#include "block/tokenize.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+#include "obs/metrics.h"
+#include "text/tokenizer.h"
+
+namespace dader::block {
+
+namespace {
+
+obs::Counter* TokensCounter() {
+  static obs::Counter* counter = obs::MetricsRegistry::Default().GetCounter(
+      "block.tokens.total",
+      "Normalized tokens emitted by the blocking tokenizer", "tokens");
+  return counter;
+}
+
+bool HasAlnum(const std::string& token) {
+  return std::any_of(token.begin(), token.end(), [](char ch) {
+    return std::isalnum(static_cast<unsigned char>(ch)) != 0;
+  });
+}
+
+}  // namespace
+
+std::vector<std::string> RecordTokens(const data::Record& record,
+                                      const TokenizeConfig& config) {
+  std::set<std::string> tokens;
+  for (const auto& value : record.values()) {
+    // NULL (empty) and whitespace-only values contribute nothing; checked
+    // up front so the tokenizer never sees them.
+    const bool blank =
+        std::all_of(value.begin(), value.end(), [](char ch) {
+          return std::isspace(static_cast<unsigned char>(ch)) != 0;
+        });
+    if (blank) continue;
+    for (auto& tok : text::WordTokenize(value)) {
+      if (tok.size() < config.min_token_length) continue;
+      if (!HasAlnum(tok)) continue;  // "--", "..", etc. are not keys
+      if (config.qgram > 0 && tok.size() > config.qgram) {
+        for (size_t i = 0; i + config.qgram <= tok.size(); ++i) {
+          std::string gram;
+          gram.reserve(config.qgram + 1);
+          gram.push_back('\x01');
+          gram.append(tok, i, config.qgram);
+          tokens.insert(std::move(gram));
+        }
+      }
+      tokens.insert(std::move(tok));
+    }
+  }
+  std::vector<std::string> out(tokens.begin(), tokens.end());
+  TokensCounter()->Add(static_cast<int64_t>(out.size()));
+  return out;
+}
+
+}  // namespace dader::block

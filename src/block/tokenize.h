@@ -1,0 +1,46 @@
+// Blocking-key tokenization: the shared normalization under both candidate
+// generators (inverted index and MinHash — src/block/inverted_index.h,
+// src/block/minhash.h).
+//
+// Records are reduced to a deduplicated set of normalized tokens: every
+// attribute value is lower-cased and word-tokenized exactly like the
+// extractor's hashing vocabulary (text::WordTokenize), then filtered so
+// that no empty, whitespace-only, or bare-punctuation fragment ever
+// becomes a blocking key. This matters at the edges: NULL attributes are
+// empty strings in this codebase (data/schema.h), and a record whose
+// attributes are all NULL/whitespace must produce *zero* tokens — an
+// empty-token posting list would otherwise glue every sparse record into
+// one giant candidate block.
+//
+// Optional q-grams widen recall against typo-style noise: each word token
+// of length > q additionally emits its character q-grams, marked with a
+// leading '\x01' byte so a q-gram can never collide with a whole word.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/schema.h"
+
+namespace dader::block {
+
+/// \brief Normalization knobs shared by both candidate generators.
+struct TokenizeConfig {
+  /// Tokens shorter than this are dropped (2 removes the single-character
+  /// punctuation tokens text::WordTokenize emits).
+  size_t min_token_length = 2;
+  /// When > 0, word tokens longer than `qgram` also emit their character
+  /// q-grams of this size (marked, see file comment). 0 disables.
+  size_t qgram = 0;
+};
+
+/// \brief Distinct normalized tokens of a record, sorted ascending.
+///
+/// Empty / whitespace-only / punctuation-only attribute values contribute
+/// nothing; the result may be empty (callers must treat a token-less
+/// record as unblockable rather than indexing an empty key).
+std::vector<std::string> RecordTokens(const data::Record& record,
+                                      const TokenizeConfig& config);
+
+}  // namespace dader::block

@@ -1,0 +1,54 @@
+#include "block/union_find.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.h"
+
+namespace dader::block {
+
+UnionFind::UnionFind(size_t n)
+    : parent_(n), size_(n, 1), num_components_(n) {
+  for (size_t i = 0; i < n; ++i) parent_[i] = static_cast<uint32_t>(i);
+}
+
+uint32_t UnionFind::Find(uint32_t x) const {
+  DADER_CHECK_LT(x, parent_.size());
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // path halving
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool UnionFind::Union(uint32_t x, uint32_t y) {
+  uint32_t rx = Find(x);
+  uint32_t ry = Find(y);
+  if (rx == ry) return false;
+  if (size_[rx] < size_[ry]) std::swap(rx, ry);
+  parent_[ry] = rx;
+  size_[rx] += size_[ry];
+  --num_components_;
+  return true;
+}
+
+std::vector<std::vector<uint32_t>> UnionFind::Clusters(size_t min_size) const {
+  // map keyed by root keeps the output deterministic; roots are then
+  // re-sorted by smallest member.
+  std::map<uint32_t, std::vector<uint32_t>> by_root;
+  for (uint32_t i = 0; i < parent_.size(); ++i) {
+    by_root[Find(i)].push_back(i);
+  }
+  std::vector<std::vector<uint32_t>> out;
+  for (auto& [root, members] : by_root) {
+    if (members.size() < min_size) continue;
+    out.push_back(std::move(members));  // members already ascending
+  }
+  std::sort(out.begin(), out.end(),
+            [](const std::vector<uint32_t>& a, const std::vector<uint32_t>& b) {
+              return a.front() < b.front();
+            });
+  return out;
+}
+
+}  // namespace dader::block

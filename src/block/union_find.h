@@ -1,0 +1,44 @@
+// Disjoint-set forest for entity clustering: accepted matches are union
+// edges, clusters are the resulting components (path halving + union by
+// size, effectively O(alpha(n)) per operation).
+//
+// tests/block/union_find_test.cc checks Clusters() against brute-force
+// connected components on seeded random graphs.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dader::block {
+
+/// \brief Union-find over element ids 0..n-1.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n);
+
+  /// \brief Representative of x's component (path halving).
+  uint32_t Find(uint32_t x) const;
+
+  /// \brief Merges the components of x and y; false when already merged.
+  bool Union(uint32_t x, uint32_t y);
+
+  /// \brief True when x and y share a component.
+  bool Connected(uint32_t x, uint32_t y) const { return Find(x) == Find(y); }
+
+  size_t size() const { return parent_.size(); }
+  /// \brief Number of components (singletons included).
+  size_t num_components() const { return num_components_; }
+
+  /// \brief All components with at least `min_size` members. Deterministic:
+  /// clusters ordered by their smallest member, members ascending.
+  std::vector<std::vector<uint32_t>> Clusters(size_t min_size = 2) const;
+
+ private:
+  mutable std::vector<uint32_t> parent_;
+  std::vector<uint32_t> size_;
+  size_t num_components_;
+};
+
+}  // namespace dader::block

@@ -1,0 +1,75 @@
+#include "serve/stream_submit.h"
+
+#include "obs/metrics.h"
+#include "util/check.h"
+
+namespace dader::serve {
+
+namespace {
+
+struct StreamMetrics {
+  obs::Counter* submitted;
+  obs::Counter* backpressure_waits;
+  obs::Gauge* inflight;
+};
+
+StreamMetrics& Metrics() {
+  static StreamMetrics m = [] {
+    auto& reg = obs::MetricsRegistry::Default();
+    StreamMetrics metrics;
+    metrics.submitted = reg.GetCounter(
+        "serve.stream.submitted.total",
+        "Requests submitted through a StreamSubmitter window", "requests");
+    metrics.backpressure_waits = reg.GetCounter(
+        "serve.stream.backpressure_waits.total",
+        "Submit calls that blocked on a full in-flight window", "waits");
+    metrics.inflight = reg.GetGauge(
+        "serve.stream.inflight",
+        "Outstanding requests of the most recently active StreamSubmitter",
+        "requests");
+    return metrics;
+  }();
+  return m;
+}
+
+}  // namespace
+
+StreamSubmitter::StreamSubmitter(ShardedMatchService* service, Options options,
+                                 Callback on_response)
+    : service_(service),
+      options_(options),
+      on_response_(std::move(on_response)) {
+  DADER_CHECK(service_ != nullptr);
+  DADER_CHECK_GT(options_.max_in_flight, 0u);
+}
+
+StreamSubmitter::~StreamSubmitter() { Drain(); }
+
+void StreamSubmitter::Submit(MatchRequest request) {
+  if (window_.size() >= options_.max_in_flight) {
+    Metrics().backpressure_waits->Increment();
+    CompleteOldest();
+  }
+  InFlight entry;
+  entry.index = static_cast<size_t>(submitted_);
+  entry.request = request;  // copy kept for the callback
+  entry.future = service_->SubmitAsync(std::move(request));
+  window_.push_back(std::move(entry));
+  ++submitted_;
+  Metrics().submitted->Increment();
+  Metrics().inflight->Set(static_cast<double>(window_.size()));
+}
+
+void StreamSubmitter::Drain() {
+  while (!window_.empty()) CompleteOldest();
+}
+
+void StreamSubmitter::CompleteOldest() {
+  InFlight entry = std::move(window_.front());
+  window_.pop_front();
+  Metrics().inflight->Set(static_cast<double>(window_.size()));
+  const MatchResponse response = entry.future.get();
+  if (on_response_) on_response_(entry.index, entry.request, response);
+}
+
+}  // namespace dader::serve

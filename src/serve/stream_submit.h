@@ -1,0 +1,79 @@
+// Bounded streaming submission into a ShardedMatchService.
+//
+// A blocking stage produces candidates far faster than the matcher can
+// score them; submitting every candidate with SubmitAsync would park the
+// whole stream inside the shards' admission queues (or shed most of it).
+// StreamSubmitter keeps at most `max_in_flight` requests outstanding:
+// Submit() hands the request to the pair's home shard and, once the
+// window is full, completes the oldest outstanding request first — the
+// producer's own thread becomes the backpressure.
+//
+// Responses are delivered to the callback in submission order, on the
+// submitting thread (inside Submit/Drain). The class is intentionally
+// single-producer: one upstream stream, one window, no locks of its own —
+// all concurrency lives in the service behind it. Use one StreamSubmitter
+// per producing thread.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+
+#include "serve/sharded_service.h"
+
+namespace dader::serve {
+
+/// \brief Single-producer bounded-window submitter (see file comment).
+class StreamSubmitter {
+ public:
+  struct Options {
+    /// Maximum outstanding requests before Submit blocks on the oldest.
+    size_t max_in_flight = 128;
+  };
+
+  /// \brief `on_response(index, request, response)` runs on the submitting
+  /// thread, in submission order; `index` counts submissions from 0.
+  using Callback = std::function<void(
+      size_t index, const MatchRequest& request, const MatchResponse& response)>;
+
+  /// \brief `service` must outlive the submitter.
+  StreamSubmitter(ShardedMatchService* service, Options options,
+                  Callback on_response);
+
+  /// \brief Destructor drains outstanding requests (callbacks still run).
+  ~StreamSubmitter();
+
+  StreamSubmitter(const StreamSubmitter&) = delete;
+  StreamSubmitter& operator=(const StreamSubmitter&) = delete;
+
+  /// \brief Submits one request; blocks (completing the oldest
+  /// outstanding request) when the window is full.
+  void Submit(MatchRequest request);
+
+  /// \brief Completes every outstanding request.
+  void Drain();
+
+  /// \brief Requests submitted so far.
+  int64_t submitted() const { return submitted_; }
+  /// \brief Currently outstanding requests.
+  size_t in_flight() const { return window_.size(); }
+
+ private:
+  struct InFlight {
+    size_t index;
+    MatchRequest request;  // kept for the callback
+    std::future<MatchResponse> future;
+  };
+
+  void CompleteOldest();
+
+  ShardedMatchService* service_;
+  Options options_;
+  Callback on_response_;
+  std::deque<InFlight> window_;
+  int64_t submitted_ = 0;
+};
+
+}  // namespace dader::serve

@@ -1,0 +1,147 @@
+#include "block/candidate_stream.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "data/generators.h"
+
+namespace dader::block {
+namespace {
+
+data::Table MakeTable(const std::string& name,
+                      const std::vector<std::string>& titles) {
+  data::Table t(name, data::Schema({"title"}));
+  for (const auto& title : titles) t.AddRow(data::Record({title}));
+  return t;
+}
+
+TEST(CandidateStreamTest, EmitsEachUniquePairOnce) {
+  // A pair both generators find must be emitted exactly once.
+  data::Table a = MakeTable("A", {"canon eos r6 mirrorless camera body"});
+  data::Table b = MakeTable("B", {"canon eos r6 mirrorless camera kit"});
+  CandidateGenConfig config;
+  config.index.min_shared_tokens = 2;
+  CandidateStats stats;
+  const auto candidates = CollectCandidates(a, b, config, &stats);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0].a, 0u);
+  EXPECT_EQ(candidates[0].b, 0u);
+  EXPECT_EQ(stats.emitted, 1);
+  // Index found it and LSH found it again (identical token prefix =>
+  // near-certain band collision): the re-emit must land in duplicates.
+  EXPECT_GT(stats.index_candidates, 0);
+  EXPECT_EQ(stats.index_candidates + stats.lsh_candidates,
+            stats.emitted + stats.duplicates);
+}
+
+TEST(CandidateStreamTest, MirroredOrientationCollapses) {
+  // LSH-only: buckets hold union ids in insertion order, so the pair can
+  // surface in either orientation depending on band — all orientations
+  // must canonicalize to (A row, B row).
+  data::Table a = MakeTable(
+      "A", {"sony wh 1000xm4 wireless headphones", "dell xps 13 laptop"});
+  data::Table b = MakeTable(
+      "B", {"dell xps 13 laptop", "sony wh 1000xm4 wireless headphones"});
+  CandidateGenConfig config;
+  config.use_index = false;
+  config.use_lsh = true;
+  CandidateStats stats;
+  const auto candidates = CollectCandidates(a, b, config, &stats);
+  std::set<std::pair<uint32_t, uint32_t>> unique;
+  for (const auto& c : candidates) {
+    EXPECT_LT(c.a, a.size());
+    EXPECT_LT(c.b, b.size());
+    EXPECT_TRUE(unique.insert({c.a, c.b}).second)
+        << "duplicate pair (" << c.a << "," << c.b << ") reached the output";
+  }
+  // The two identical cross-table pairs must both be present, exactly once.
+  EXPECT_TRUE(unique.count({0, 1}));
+  EXPECT_TRUE(unique.count({1, 0}));
+  // Identical records collide in every band (16 by default): all re-emits
+  // beyond the first are deduplicated, in whatever orientation they came.
+  EXPECT_GT(stats.duplicates, 0);
+}
+
+TEST(CandidateStreamTest, WithinTableBucketPairsAreSkipped) {
+  // Two identical records inside table A must not produce an A-A pair.
+  data::Table a = MakeTable("A", {"lg c1 55 inch oled tv",
+                                  "lg c1 55 inch oled tv"});
+  data::Table b = MakeTable("B", {"bose revolve bluetooth speaker"});
+  CandidateGenConfig config;
+  config.use_index = false;
+  config.use_lsh = true;
+  const auto candidates = CollectCandidates(a, b, config, nullptr);
+  EXPECT_TRUE(candidates.empty());
+}
+
+TEST(CandidateStreamTest, EmitFalseStopsGeneration) {
+  auto tables =
+      data::GenerateTables("AB", /*n_entities=*/80, /*seed=*/5).ValueOrDie();
+  CandidateGenConfig config;
+  int emitted = 0;
+  const CandidateStats stats = GenerateCandidates(
+      tables.a, tables.b, config, [&](Candidate) { return ++emitted < 3; });
+  EXPECT_EQ(emitted, 3);
+  EXPECT_EQ(stats.emitted, 3);
+}
+
+TEST(CandidateStreamTest, RecallOnGeneratedTables) {
+  auto tables =
+      data::GenerateTables("AB", /*n_entities=*/300, /*seed=*/11).ValueOrDie();
+  CandidateGenConfig config;
+  CandidateStats stats;
+  const auto candidates =
+      CollectCandidates(tables.a, tables.b, config, &stats);
+  const double recall = CandidateRecall(candidates, tables.gold_matches);
+  EXPECT_GE(recall, 0.9) << "blocking recall collapsed on generated tables";
+  // Blocking must actually block: far fewer candidates than cross product.
+  EXPECT_LT(static_cast<double>(stats.emitted),
+            0.25 * static_cast<double>(tables.a.size()) *
+                static_cast<double>(tables.b.size()));
+}
+
+TEST(CandidateQueueTest, BoundedBlockingHandoff) {
+  CandidateQueue queue(/*capacity=*/2);
+  std::atomic<int> pushed{0};
+  std::thread producer([&] {
+    for (uint32_t i = 0; i < 6; ++i) {
+      ASSERT_TRUE(queue.Push({i, i}));
+      pushed.fetch_add(1);
+    }
+    queue.Close();
+  });
+  // Give the producer a moment: it must stall at the capacity bound.
+  while (pushed.load() < 2) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_LE(pushed.load(), 3);  // 2 queued + at most 1 in flight past wait
+  std::vector<uint32_t> seen;
+  for (auto c = queue.Pop(); c.has_value(); c = queue.Pop()) {
+    seen.push_back(c->a);
+  }
+  producer.join();
+  ASSERT_EQ(seen.size(), 6u);
+  for (uint32_t i = 0; i < 6; ++i) EXPECT_EQ(seen[i], i);  // FIFO
+}
+
+TEST(CandidateQueueTest, CloseUnblocksProducerAndDrainsConsumer) {
+  CandidateQueue queue(1);
+  ASSERT_TRUE(queue.Push({1, 2}));
+  std::thread producer([&] {
+    // Queue is full: this Push blocks until Close, then reports failure.
+    EXPECT_FALSE(queue.Push({3, 4}));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  queue.Close();
+  producer.join();
+  // The item queued before Close still drains.
+  auto c = queue.Pop();
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->a, 1u);
+  EXPECT_FALSE(queue.Pop().has_value());
+}
+
+}  // namespace
+}  // namespace dader::block

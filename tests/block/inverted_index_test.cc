@@ -1,0 +1,96 @@
+#include "block/inverted_index.h"
+
+#include <gtest/gtest.h>
+
+#include "data/schema.h"
+
+namespace dader::block {
+namespace {
+
+data::Table MakeTable(const std::vector<std::vector<std::string>>& rows) {
+  data::Table table("T", data::Schema({"title", "extra"}));
+  for (const auto& row : rows) table.AddRow(data::Record(row));
+  return table;
+}
+
+TEST(InvertedIndexTest, RareSharedTokenOutranksCommonOnes) {
+  // Rows 0..3 share the ubiquitous tokens; row 4 shares only the rare
+  // model code with the probe. Idf scoring must put row 4 first — a raw
+  // shared-token count would rank it last.
+  auto table = MakeTable({
+      {"acme widget deluxe", "red"},
+      {"acme widget deluxe", "blue"},
+      {"acme widget deluxe", "green"},
+      {"acme widget deluxe", "black"},
+      {"zx9981 gadget", "unrelated"},
+  });
+  InvertedIndex index;
+  index.Build(table);
+  auto hits = index.Probe(data::Record({"zx9981 acme widget", ""}));
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0].id, 4u);
+  EXPECT_EQ(hits[0].shared_tokens, 1u);
+  // The common-token rows follow, each sharing two tokens.
+  ASSERT_GE(hits.size(), 2u);
+  EXPECT_EQ(hits[1].shared_tokens, 2u);
+  EXPECT_GT(hits[0].score, hits[1].score);
+}
+
+TEST(InvertedIndexTest, DfCapDropsStopTokens) {
+  std::vector<std::vector<std::string>> rows;
+  for (int i = 0; i < 10; ++i) {
+    rows.push_back({"common token" + std::to_string(i), ""});
+  }
+  IndexConfig config;
+  config.df_cap = 4;
+  InvertedIndex index(config);
+  index.Build(MakeTable(rows));
+  EXPECT_GE(index.num_capped(), 1u);  // "common" (df 10) dropped
+  // A probe carrying only the capped token finds nothing.
+  EXPECT_TRUE(index.Probe(data::Record({"common", ""})).empty());
+  // The rare per-row token still resolves.
+  auto hits = index.Probe(data::Record({"token3", ""}));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].id, 3u);
+}
+
+TEST(InvertedIndexTest, MinSharedTokensFiltersWeakCandidates) {
+  auto table = MakeTable({
+      {"alpha beta gamma", ""},
+      {"alpha delta epsilon", ""},
+  });
+  IndexConfig config;
+  config.min_shared_tokens = 2;
+  InvertedIndex index(config);
+  index.Build(table);
+  auto hits = index.Probe(data::Record({"alpha beta", ""}));
+  ASSERT_EQ(hits.size(), 1u);  // row 1 shares only "alpha"
+  EXPECT_EQ(hits[0].id, 0u);
+  EXPECT_EQ(hits[0].shared_tokens, 2u);
+}
+
+TEST(InvertedIndexTest, BudgetTruncatesDeterministically) {
+  std::vector<std::vector<std::string>> rows;
+  for (int i = 0; i < 8; ++i) rows.push_back({"shared", ""});
+  IndexConfig config;
+  config.max_candidates_per_probe = 3;
+  InvertedIndex index(config);
+  index.Build(MakeTable(rows));
+  auto hits = index.Probe(data::Record({"shared", ""}));
+  ASSERT_EQ(hits.size(), 3u);
+  // Identical scores: ties break by ascending row id.
+  EXPECT_EQ(hits[0].id, 0u);
+  EXPECT_EQ(hits[1].id, 1u);
+  EXPECT_EQ(hits[2].id, 2u);
+}
+
+TEST(InvertedIndexTest, RebuildReplacesPreviousContents) {
+  InvertedIndex index;
+  index.Build(MakeTable({{"first corpus", ""}}));
+  index.Build(MakeTable({{"second corpus", ""}}));
+  EXPECT_TRUE(index.Probe(data::Record({"first", ""})).empty());
+  EXPECT_EQ(index.Probe(data::Record({"second", ""})).size(), 1u);
+}
+
+}  // namespace
+}  // namespace dader::block

@@ -1,0 +1,183 @@
+#include "block/minhash.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "block/candidate_stream.h"
+#include "data/generators.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace dader::block {
+namespace {
+
+data::Table MakeTable(const std::vector<std::string>& titles) {
+  data::Table t("T", data::Schema({"title"}));
+  for (const auto& title : titles) t.AddRow(data::Record({title}));
+  return t;
+}
+
+TEST(MinHashTest, IdenticalRecordsIdenticalSignatures) {
+  MinHasher hasher((MinHashConfig()));
+  data::Record a({"canon eos r6 camera body"});
+  data::Record b({"canon eos r6 camera body"});
+  EXPECT_EQ(hasher.Signature(a), hasher.Signature(b));
+}
+
+TEST(MinHashTest, SeedChangesSignature) {
+  MinHashConfig c1;
+  MinHashConfig c2;
+  c2.seed = c1.seed + 1;
+  data::Record r({"canon eos r6 camera body"});
+  EXPECT_NE(MinHasher(c1).Signature(r), MinHasher(c2).Signature(r));
+}
+
+TEST(MinHashTest, TokenlessRecordGetsSentinelAndIsNeverBucketed) {
+  MinHashConfig config;
+  MinHasher hasher(config);
+  const auto sig = hasher.Signature(data::Record({"", "   ", " . "}));
+  EXPECT_TRUE(MinHasher::IsEmptySignature(sig));
+
+  // Two token-less records must NOT collide in any band: the index skips
+  // sentinel signatures entirely.
+  LshIndex lsh(config);
+  lsh.Insert(0, sig);
+  lsh.Insert(1, hasher.Signature(data::Record({"\t"})));
+  size_t pairs = 0;
+  lsh.ForEachBucket([&](const std::vector<uint32_t>&) { ++pairs; });
+  EXPECT_EQ(pairs, 0u);
+  EXPECT_EQ(lsh.num_buckets(), 0u);
+}
+
+TEST(MinHashTest, JaccardEstimateTracksTrueSimilarity) {
+  // Two records sharing half their tokens: true Jaccard 1/3.
+  data::Record a({"alpha beta gamma delta"});
+  data::Record b({"alpha beta epsilon zeta"});
+  MinHashConfig config;
+  config.num_hashes = 256;  // tighter estimate
+  config.bands = 32;
+  MinHasher hasher(config);
+  const double est =
+      MinHasher::EstimateJaccard(hasher.Signature(a), hasher.Signature(b));
+  EXPECT_NEAR(est, 1.0 / 3.0, 0.12);  // ~3 sigma at 256 hashes
+}
+
+TEST(MinHashTest, SignTableDeterministicAcrossThreadCounts) {
+  auto tables =
+      data::GenerateTables("AB", /*n_entities=*/120, /*seed=*/9).ValueOrDie();
+  MinHasher hasher((MinHashConfig()));
+  const auto sequential = hasher.SignTable(tables.a, nullptr);
+  for (size_t threads : {2u, 4u, 7u}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(hasher.SignTable(tables.a, &pool), sequential)
+        << "thread count " << threads << " changed signatures";
+  }
+}
+
+// The banded-LSH collision bound: a pair with Jaccard s collides with
+// probability p(s) = 1 - (1 - s^r)^b. On a seeded corpus of high-similarity
+// pairs, observed band-collision recall must be at or above the bound
+// evaluated at the corpus's *minimum* pair similarity (minus sampling
+// slack).
+TEST(MinHashTest, LshBandCollisionRecallBound) {
+  const std::vector<std::string> base = {
+      "apple iphone 12 pro max 256gb silver unlocked smartphone",
+      "canon eos r6 mark ii mirrorless camera body 24mp kit",
+      "dell xps 13 9310 laptop 16gb ram 512gb ssd touch",
+      "sony wh 1000xm4 wireless noise cancelling headphones black",
+      "samsung galaxy tab s7 plus 128gb wifi tablet bronze",
+      "bose soundlink revolve ii bluetooth speaker triple black",
+      "lg c1 55 inch oled 4k smart tv webos",
+      "nikon z6 ii full frame mirrorless camera 24 70mm",
+  };
+  // Each pair: the base record and a lightly perturbed copy (one token
+  // swapped out of ~9 -> Jaccard ~ 8/10 = 0.8).
+  std::vector<std::string> left;
+  std::vector<std::string> right;
+  Rng rng(31);
+  for (int copy = 0; copy < 8; ++copy) {
+    for (const auto& s : base) {
+      left.push_back(s + " v" + std::to_string(copy));
+      std::string perturbed = s + " v" + std::to_string(copy);
+      perturbed.replace(perturbed.find(' '), 1, " x");  // mutate one token
+      right.push_back(perturbed);
+    }
+  }
+  const data::Table ta = MakeTable(left);
+  const data::Table tb = MakeTable(right);
+
+  MinHashConfig config;
+  config.num_hashes = 64;
+  config.bands = 16;  // r=4: p(0.6) = 1-(1-0.1296)^16 ~= 0.89
+  config.seed = 1234;
+  MinHasher hasher(config);
+
+  // Measure the corpus's minimum true pair similarity via the estimate
+  // with many hashes (256) as ground truth proxy.
+  MinHashConfig wide = config;
+  wide.num_hashes = 512;
+  wide.bands = 64;
+  MinHasher wide_hasher(wide);
+  double min_sim = 1.0;
+  for (size_t i = 0; i < left.size(); ++i) {
+    min_sim = std::min(
+        min_sim, MinHasher::EstimateJaccard(
+                     wide_hasher.Signature(ta.row(i)),
+                     wide_hasher.Signature(tb.row(i))));
+  }
+  ASSERT_GT(min_sim, 0.5);
+
+  // Count gold pairs (i, i) that collide in at least one band.
+  LshIndex lsh(config);
+  const uint32_t offset = static_cast<uint32_t>(ta.size());
+  for (uint32_t i = 0; i < ta.size(); ++i) {
+    lsh.Insert(i, hasher.Signature(ta.row(i)));
+  }
+  for (uint32_t j = 0; j < tb.size(); ++j) {
+    lsh.Insert(offset + j, hasher.Signature(tb.row(j)));
+  }
+  std::set<std::pair<uint32_t, uint32_t>> collided;
+  lsh.ForEachBucket([&](const std::vector<uint32_t>& ids) {
+    for (size_t x = 0; x < ids.size(); ++x) {
+      for (size_t y = x + 1; y < ids.size(); ++y) {
+        const uint32_t lo = std::min(ids[x], ids[y]);
+        const uint32_t hi = std::max(ids[x], ids[y]);
+        if (lo < offset && hi >= offset) collided.insert({lo, hi - offset});
+      }
+    }
+  });
+  size_t hits = 0;
+  for (uint32_t i = 0; i < ta.size(); ++i) {
+    hits += collided.count({i, i});
+  }
+  const double recall =
+      static_cast<double>(hits) / static_cast<double>(ta.size());
+
+  const double rows = static_cast<double>(config.num_hashes / config.bands);
+  const double bound =
+      1.0 - std::pow(1.0 - std::pow(min_sim, rows),
+                     static_cast<double>(config.bands));
+  // 64 pairs of sampling noise: allow 10 points of slack under the bound.
+  EXPECT_GE(recall, bound - 0.10)
+      << "band-collision recall " << recall << " fell below the S-curve "
+      << "bound " << bound << " at min similarity " << min_sim;
+}
+
+TEST(MinHashTest, OversizeBucketsAreSkippedAndCounted) {
+  MinHashConfig config;
+  config.max_bucket_size = 3;
+  MinHasher hasher(config);
+  LshIndex lsh(config);
+  // Five identical records: every band bucket holds all five.
+  const auto sig = hasher.Signature(data::Record({"same same same tokens"}));
+  for (uint32_t i = 0; i < 5; ++i) lsh.Insert(i, sig);
+  size_t visited = 0;
+  lsh.ForEachBucket([&](const std::vector<uint32_t>&) { ++visited; });
+  EXPECT_EQ(visited, 0u);
+  EXPECT_EQ(lsh.num_oversize_buckets(), config.bands);
+}
+
+}  // namespace
+}  // namespace dader::block

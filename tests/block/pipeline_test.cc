@@ -1,0 +1,160 @@
+#include "block/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/feature_extractor.h"
+#include "core/matcher.h"
+#include "data/generators.h"
+
+namespace dader::block {
+namespace {
+
+core::DaderConfig TinyModelConfig() {
+  core::DaderConfig c;
+  c.vocab_size = 512;
+  c.max_len = 24;
+  c.hidden_dim = 16;
+  c.num_heads = 2;
+  c.num_layers = 1;
+  c.ffn_dim = 32;
+  c.rnn_hidden = 8;
+  c.dropout = 0.0f;
+  return c;
+}
+
+core::DaModel TinyModel(uint64_t seed) {
+  core::DaModel model;
+  model.extractor =
+      core::MakeExtractor(core::ExtractorKind::kLM, TinyModelConfig(), seed);
+  model.matcher =
+      std::make_unique<core::Matcher>(model.extractor->feature_dim(), seed + 1);
+  return model;
+}
+
+std::unique_ptr<serve::ShardedMatchService> MakeService(
+    const data::GeneratedTables& tables, int num_shards) {
+  serve::ShardedServeConfig config;
+  config.num_shards = num_shards;
+  config.shard.queue_capacity = 64;
+  config.shard.max_batch = 16;
+  config.shard.batch_wait_ms = 0.2;
+  config.shard.default_deadline_ms = 60000.0;
+  config.shard.num_workers = 1;
+  config.shard.feature_cache_capacity = 256;
+  config.shard.seed = 42;
+  auto service = serve::ShardedMatchService::Create(
+      config, tables.a.schema(), tables.b.schema(), TinyModel(7));
+  service.status().CheckOK();
+  return std::move(service).ValueOrDie();
+}
+
+TEST(DedupPipelineTest, EndToEndInvariantsOnGeneratedTables) {
+  auto tables =
+      data::GenerateTables("AB", /*n_entities=*/250, /*seed=*/13).ValueOrDie();
+  auto service = MakeService(tables, /*num_shards=*/2);
+
+  DedupConfig config;
+  config.queue_capacity = 128;
+  config.max_in_flight = 64;  // <= 2 shards * 64 queue slots
+  auto result_or =
+      RunDedup(tables.a, tables.b, &tables.gold_matches, service.get(),
+               config);
+  ASSERT_TRUE(result_or.ok()) << result_or.status().ToString();
+  const DedupResult& result = result_or.ValueOrDie();
+  service->Stop();
+
+  EXPECT_EQ(result.records_a, tables.a.size());
+  EXPECT_EQ(result.records_b, tables.b.size());
+
+  // Every emitted candidate got exactly one response, none were shed
+  // (the in-flight window is below the shards' queue capacity).
+  EXPECT_EQ(result.responses_ok + result.responses_failed,
+            result.candidates.emitted);
+  EXPECT_EQ(result.responses_failed, 0);
+  EXPECT_EQ(service->stats().admitted, result.candidates.emitted);
+
+  // Blocking did its job on the generated corpus. The reduction floor is
+  // modest because it scales with corpus size and this is a 250-entity
+  // toy table; bench_dedup guards the at-scale ratio.
+  EXPECT_GE(result.candidate_recall, 0.9);
+  EXPECT_GT(result.pair_reduction, 2.0);
+  EXPECT_EQ(result.candidates.index_candidates + result.candidates.lsh_candidates,
+            result.candidates.emitted + result.candidates.duplicates);
+
+  // Cluster bookkeeping is consistent with the accepted matches.
+  EXPECT_EQ(result.matches,
+            static_cast<int64_t>(result.matched_pairs.size()));
+  size_t member_total = 0;
+  std::set<uint32_t> all_members;
+  for (const auto& cluster : result.entity_clusters) {
+    EXPECT_GE(cluster.size(), 2u);
+    member_total += cluster.size();
+    for (uint32_t id : cluster) {
+      EXPECT_LT(id, tables.a.size() + tables.b.size());
+      EXPECT_TRUE(all_members.insert(id).second) << "clusters overlap";
+    }
+  }
+  EXPECT_EQ(result.clustered_records, member_total);
+  EXPECT_EQ(result.clusters, result.entity_clusters.size());
+
+  // Every accepted match's endpoints landed in the same cluster.
+  const uint32_t b_offset = static_cast<uint32_t>(tables.a.size());
+  for (const auto& m : result.matched_pairs) {
+    uint32_t cluster_of_a = UINT32_MAX;
+    uint32_t cluster_of_b = UINT32_MAX;
+    for (uint32_t c = 0; c < result.entity_clusters.size(); ++c) {
+      const auto& members = result.entity_clusters[c];
+      if (std::binary_search(members.begin(), members.end(), m.a)) {
+        cluster_of_a = c;
+      }
+      if (std::binary_search(members.begin(), members.end(), b_offset + m.b)) {
+        cluster_of_b = c;
+      }
+    }
+    EXPECT_NE(cluster_of_a, UINT32_MAX);
+    EXPECT_EQ(cluster_of_a, cluster_of_b);
+  }
+}
+
+TEST(DedupPipelineTest, DeterministicAcrossRuns) {
+  auto tables =
+      data::GenerateTables("AB", /*n_entities=*/120, /*seed=*/3).ValueOrDie();
+  DedupConfig config;
+  config.max_in_flight = 32;
+
+  auto run = [&] {
+    auto service = MakeService(tables, /*num_shards=*/2);
+    auto result = RunDedup(tables.a, tables.b, &tables.gold_matches,
+                           service.get(), config)
+                      .ValueOrDie();
+    service->Stop();
+    return result;
+  };
+  const DedupResult r1 = run();
+  const DedupResult r2 = run();
+  EXPECT_EQ(r1.candidates.emitted, r2.candidates.emitted);
+  EXPECT_EQ(r1.matches, r2.matches);
+  EXPECT_EQ(r1.clusters, r2.clusters);
+  ASSERT_EQ(r1.matched_pairs.size(), r2.matched_pairs.size());
+  for (size_t i = 0; i < r1.matched_pairs.size(); ++i) {
+    EXPECT_EQ(r1.matched_pairs[i].a, r2.matched_pairs[i].a);
+    EXPECT_EQ(r1.matched_pairs[i].b, r2.matched_pairs[i].b);
+  }
+}
+
+TEST(DedupPipelineTest, RejectsEmptyInputs) {
+  auto tables =
+      data::GenerateTables("AB", /*n_entities=*/40, /*seed=*/2).ValueOrDie();
+  auto service = MakeService(tables, 1);
+  data::Table empty("E", tables.a.schema());
+  DedupConfig config;
+  EXPECT_FALSE(RunDedup(empty, tables.b, nullptr, service.get(), config).ok());
+  EXPECT_FALSE(RunDedup(tables.a, empty, nullptr, service.get(), config).ok());
+  EXPECT_FALSE(RunDedup(tables.a, tables.b, nullptr, nullptr, config).ok());
+  service->Stop();
+}
+
+}  // namespace
+}  // namespace dader::block

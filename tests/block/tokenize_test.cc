@@ -1,0 +1,87 @@
+#include "block/tokenize.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace dader::block {
+namespace {
+
+TEST(TokenizeTest, BasicNormalization) {
+  data::Record r({"Samsung Galaxy S21", "  499.99 "});
+  const auto tokens = RecordTokens(r, TokenizeConfig{});
+  EXPECT_NE(std::find(tokens.begin(), tokens.end(), "samsung"), tokens.end());
+  EXPECT_NE(std::find(tokens.begin(), tokens.end(), "galaxy"), tokens.end());
+  EXPECT_NE(std::find(tokens.begin(), tokens.end(), "s21"), tokens.end());
+  EXPECT_NE(std::find(tokens.begin(), tokens.end(), "499"), tokens.end());
+  // Sorted + deduplicated.
+  EXPECT_TRUE(std::is_sorted(tokens.begin(), tokens.end()));
+  EXPECT_EQ(std::adjacent_find(tokens.begin(), tokens.end()), tokens.end());
+}
+
+TEST(TokenizeTest, EmptyAndWhitespaceAttributesEmitNothing) {
+  // NULL attributes are empty strings (data/schema.h); none of these may
+  // ever become a posting key.
+  data::Record r({"", "   ", "\t\n  ", " . , !! "});
+  EXPECT_TRUE(RecordTokens(r, TokenizeConfig{}).empty());
+}
+
+TEST(TokenizeTest, NoEmptyOrWhitespaceTokensEverEmitted) {
+  data::Record r({"  mixed   content  ", "", "a-b--c", "  x  "});
+  for (const auto& tok : RecordTokens(r, TokenizeConfig{})) {
+    EXPECT_FALSE(tok.empty());
+    EXPECT_EQ(tok.find(' '), std::string::npos) << tok;
+    EXPECT_EQ(tok.find('\t'), std::string::npos) << tok;
+  }
+}
+
+TEST(TokenizeTest, MinTokenLengthFiltersPunctuationAndShortTokens) {
+  data::Record r({"a b cd - ! ef"});
+  TokenizeConfig config;
+  config.min_token_length = 2;
+  const auto tokens = RecordTokens(r, config);
+  EXPECT_EQ(tokens, (std::vector<std::string>{"cd", "ef"}));
+}
+
+TEST(TokenizeTest, PurePunctuationNeverQualifies) {
+  // "--" and ".." meet min_token_length 1 but carry no alnum content;
+  // WordTokenize splits them into single chars, and the alnum filter must
+  // hold even at min length 1.
+  data::Record r({"-- .. !!"});
+  TokenizeConfig config;
+  config.min_token_length = 1;
+  EXPECT_TRUE(RecordTokens(r, config).empty());
+}
+
+TEST(TokenizeTest, QgramsAreMarkedAndWhitespaceFree) {
+  data::Record r({"galaxy"});
+  TokenizeConfig config;
+  config.qgram = 3;
+  const auto tokens = RecordTokens(r, config);
+  // Whole word plus its 3-grams, each marked with \x01.
+  EXPECT_NE(std::find(tokens.begin(), tokens.end(), "galaxy"), tokens.end());
+  EXPECT_NE(std::find(tokens.begin(), tokens.end(),
+                      std::string("\x01") + "gal"),
+            tokens.end());
+  EXPECT_NE(std::find(tokens.begin(), tokens.end(),
+                      std::string("\x01") + "axy"),
+            tokens.end());
+  for (const auto& tok : tokens) {
+    EXPECT_EQ(tok.find(' '), std::string::npos);
+  }
+  // A marked q-gram can never equal a whole word from another record.
+  data::Record gal({"gal"});
+  TokenizeConfig plain;
+  const auto word_tokens = RecordTokens(gal, plain);
+  EXPECT_EQ(word_tokens, (std::vector<std::string>{"gal"}));
+}
+
+TEST(TokenizeTest, Deterministic) {
+  data::Record r({"Canon EOS R6 Mark II", "body only, 24.2 MP"});
+  TokenizeConfig config;
+  config.qgram = 4;
+  EXPECT_EQ(RecordTokens(r, config), RecordTokens(r, config));
+}
+
+}  // namespace
+}  // namespace dader::block

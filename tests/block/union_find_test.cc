@@ -1,0 +1,104 @@
+#include "block/union_find.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace dader::block {
+namespace {
+
+// Brute-force connected components by label propagation to a fixed point.
+std::vector<std::vector<uint32_t>> BruteForceComponents(
+    size_t n, const std::vector<std::pair<uint32_t, uint32_t>>& edges,
+    size_t min_size) {
+  std::vector<uint32_t> label(n);
+  for (size_t i = 0; i < n; ++i) label[i] = static_cast<uint32_t>(i);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [x, y] : edges) {
+      const uint32_t m = std::min(label[x], label[y]);
+      if (label[x] != m || label[y] != m) {
+        label[x] = label[y] = m;
+        changed = true;
+      }
+    }
+  }
+  std::vector<std::vector<uint32_t>> components;
+  for (uint32_t root = 0; root < n; ++root) {
+    std::vector<uint32_t> members;
+    for (uint32_t i = 0; i < n; ++i) {
+      if (label[i] == root) members.push_back(i);
+    }
+    if (members.size() >= min_size) components.push_back(std::move(members));
+  }
+  std::sort(components.begin(), components.end(),
+            [](const auto& a, const auto& b) { return a.front() < b.front(); });
+  return components;
+}
+
+TEST(UnionFindTest, BasicUnionAndFind) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.num_components(), 5u);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_TRUE(uf.Union(3, 4));
+  EXPECT_FALSE(uf.Union(1, 0));  // already merged
+  EXPECT_EQ(uf.num_components(), 3u);
+  EXPECT_TRUE(uf.Connected(0, 1));
+  EXPECT_FALSE(uf.Connected(0, 3));
+  EXPECT_TRUE(uf.Union(1, 4));
+  EXPECT_TRUE(uf.Connected(0, 3));
+  EXPECT_EQ(uf.num_components(), 2u);
+}
+
+TEST(UnionFindTest, ClustersFiltersSingletons) {
+  UnionFind uf(6);
+  uf.Union(0, 2);
+  uf.Union(2, 4);
+  const auto clusters = uf.Clusters(/*min_size=*/2);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0], (std::vector<uint32_t>{0, 2, 4}));
+  // min_size=1 includes the singletons.
+  EXPECT_EQ(uf.Clusters(1).size(), 4u);
+}
+
+TEST(UnionFindTest, TransitiveChainsMatchDedupSemantics) {
+  // a1-b1, a2-b1 must chain a1,a2,b1 into one entity (the reason dedup
+  // clusters with union-find rather than keeping raw pairs).
+  UnionFind uf(4);  // a1=0, a2=1, b1=2, b2=3
+  uf.Union(0, 2);
+  uf.Union(1, 2);
+  const auto clusters = uf.Clusters(2);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0], (std::vector<uint32_t>{0, 1, 2}));
+}
+
+TEST(UnionFindTest, MatchesBruteForceOnSeededRandomGraphs) {
+  Rng rng(77);
+  for (int trial = 0; trial < 30; ++trial) {
+    const size_t n = static_cast<size_t>(rng.NextInt(2, 40));
+    const size_t num_edges = static_cast<size_t>(rng.NextInt(0, 60));
+    std::vector<std::pair<uint32_t, uint32_t>> edges;
+    UnionFind uf(n);
+    for (size_t e = 0; e < num_edges; ++e) {
+      const auto x = static_cast<uint32_t>(rng.NextBelow(n));
+      const auto y = static_cast<uint32_t>(rng.NextBelow(n));
+      edges.emplace_back(x, y);
+      uf.Union(x, y);
+    }
+    for (size_t min_size : {1u, 2u, 3u}) {
+      EXPECT_EQ(uf.Clusters(min_size),
+                BruteForceComponents(n, edges, min_size))
+          << "trial " << trial << " n=" << n << " edges=" << num_edges
+          << " min_size=" << min_size;
+    }
+    // Component count cross-check (singletons included).
+    EXPECT_EQ(uf.num_components(), BruteForceComponents(n, edges, 1).size());
+  }
+}
+
+}  // namespace
+}  // namespace dader::block

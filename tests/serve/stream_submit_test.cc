@@ -1,0 +1,114 @@
+#include "serve/stream_submit.h"
+
+#include <gtest/gtest.h>
+
+#include "core/feature_extractor.h"
+#include "core/matcher.h"
+
+namespace dader::serve {
+namespace {
+
+core::DaderConfig TinyConfig() {
+  core::DaderConfig c;
+  c.vocab_size = 256;
+  c.max_len = 16;
+  c.hidden_dim = 8;
+  c.num_heads = 2;
+  c.num_layers = 1;
+  c.ffn_dim = 16;
+  c.rnn_hidden = 8;
+  c.dropout = 0.0f;
+  return c;
+}
+
+core::DaModel TinyModel(uint64_t seed) {
+  core::DaModel model;
+  model.extractor =
+      core::MakeExtractor(core::ExtractorKind::kLM, TinyConfig(), seed);
+  model.matcher =
+      std::make_unique<core::Matcher>(model.extractor->feature_dim(), seed + 1);
+  return model;
+}
+
+std::unique_ptr<ShardedMatchService> TinyService(size_t queue_capacity) {
+  ShardedServeConfig config;
+  config.num_shards = 2;
+  config.shard.queue_capacity = queue_capacity;
+  config.shard.max_batch = 8;
+  config.shard.batch_wait_ms = 0.2;
+  config.shard.default_deadline_ms = 60000.0;
+  config.shard.num_workers = 1;
+  data::Schema schema({"title"});
+  auto service =
+      ShardedMatchService::Create(config, schema, schema, TinyModel(5));
+  service.status().CheckOK();
+  return std::move(service).ValueOrDie();
+}
+
+MatchRequest Req(int id) {
+  MatchRequest r;
+  r.a = data::Record({"item " + std::to_string(id)});
+  r.b = data::Record({"item " + std::to_string(id)});
+  r.deadline_ms = 60000.0;
+  return r;
+}
+
+TEST(StreamSubmitterTest, DeliversEveryResponseInSubmissionOrder) {
+  auto service = TinyService(/*queue_capacity=*/64);
+  std::vector<size_t> order;
+  int64_t ok = 0;
+  {
+    StreamSubmitter::Options options;
+    options.max_in_flight = 8;
+    StreamSubmitter submitter(
+        service.get(), options,
+        [&](size_t index, const MatchRequest&, const MatchResponse& response) {
+          order.push_back(index);
+          if (response.status.ok()) ++ok;
+        });
+    for (int i = 0; i < 40; ++i) submitter.Submit(Req(i));
+    submitter.Drain();
+    EXPECT_EQ(submitter.submitted(), 40);
+    EXPECT_EQ(submitter.in_flight(), 0u);
+  }
+  service->Stop();
+  ASSERT_EQ(order.size(), 40u);
+  for (size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+  EXPECT_EQ(ok, 40);
+}
+
+TEST(StreamSubmitterTest, WindowBoundsInFlightRequests) {
+  auto service = TinyService(/*queue_capacity=*/64);
+  StreamSubmitter::Options options;
+  options.max_in_flight = 4;
+  size_t max_seen = 0;
+  StreamSubmitter submitter(service.get(), options,
+                            [](size_t, const MatchRequest&,
+                               const MatchResponse&) {});
+  for (int i = 0; i < 32; ++i) {
+    submitter.Submit(Req(i));
+    max_seen = std::max(max_seen, submitter.in_flight());
+  }
+  submitter.Drain();
+  service->Stop();
+  EXPECT_LE(max_seen, options.max_in_flight);
+}
+
+TEST(StreamSubmitterTest, DestructorDrains) {
+  auto service = TinyService(/*queue_capacity=*/64);
+  int64_t responses = 0;
+  {
+    StreamSubmitter submitter(
+        service.get(), {},
+        [&](size_t, const MatchRequest&, const MatchResponse&) {
+          ++responses;
+        });
+    for (int i = 0; i < 10; ++i) submitter.Submit(Req(i));
+    // No explicit Drain: the destructor must complete the window.
+  }
+  service->Stop();
+  EXPECT_EQ(responses, 10);
+}
+
+}  // namespace
+}  // namespace dader::serve

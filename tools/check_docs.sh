@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
-# Cross-checks docs/OBSERVABILITY.md against the instrumentation in src/.
+# Cross-checks docs/OBSERVABILITY.md against the instrumentation in src/,
+# and link-checks the repo's markdown docs.
 #
 # Direction 1 (no stale docs): every backticked metric/span name in the doc
-# whose first segment is train./serve./tensor./threadpool./dist. must appear as a string
-# literal somewhere under src/.
+# whose first segment is train./serve./tensor./threadpool./dist./block.
+# must appear as a string literal somewhere under src/.
 # Direction 2 (no undocumented metrics): every such name registered in src/
 # (the first string argument of GetCounter/GetGauge/GetHistogram/LabeledName
 # and every TraceSpan/DADER_TRACE_SPAN name) must appear in the doc.
+# Direction 3 (no dead links): every relative markdown link target in
+# README.md and docs/*.md must exist on disk.
 #
 # Run from the repo root (the ctest entry sets WORKING_DIRECTORY to it).
 set -u
@@ -21,12 +24,12 @@ if [[ ! -f "$DOC" ]]; then
 fi
 
 # Backticked dotted names in the doc, e.g. `serve.latency.total_ms`.
-doc_names=$(grep -oE '`(train|serve|tensor|threadpool|dist)\.[a-z0-9._]+`' "$DOC" \
+doc_names=$(grep -oE '`(train|serve|tensor|threadpool|dist|block)\.[a-z0-9._]+`' "$DOC" \
   | tr -d '`' | sort -u)
 
 # Names registered in code: any string literal starting with one of the
 # instrumented prefixes.
-src_names=$(grep -rhoE '"(train|serve|tensor|threadpool|dist)\.[a-z0-9._]+"' "$SRC" \
+src_names=$(grep -rhoE '"(train|serve|tensor|threadpool|dist|block)\.[a-z0-9._]+"' "$SRC" \
   | tr -d '"' | sort -u)
 
 if [[ -z "$doc_names" ]]; then
@@ -48,8 +51,31 @@ for name in $src_names; do
   fi
 done
 
+# Direction 3: dead relative links. Markdown inline links whose target is
+# a relative path (no scheme, no pure #anchor) must resolve from the
+# linking file's directory. Anchors are stripped before the check.
+links_checked=0
+for md in README.md docs/*.md; do
+  [[ -f "$md" ]] || continue
+  base=$(dirname "$md")
+  while IFS= read -r target; do
+    [[ -z "$target" ]] && continue
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    path="${target%%#*}"
+    [[ -z "$path" ]] && continue
+    links_checked=$((links_checked + 1))
+    if [[ ! -e "$base/$path" && ! -e "$path" ]]; then
+      echo "check_docs: dead link in $md: $target" >&2
+      fail=1
+    fi
+  done < <(grep -oE '\]\(([^)]+)\)' "$md" | sed -E 's/^\]\(//; s/\)$//')
+done
+
 if [[ $fail -ne 0 ]]; then
-  echo "check_docs: FAILED — keep docs/OBSERVABILITY.md and src/ in sync" >&2
+  echo "check_docs: FAILED — keep docs/ and src/ in sync" >&2
   exit 1
 fi
-echo "check_docs: OK ($(wc -l <<<"$doc_names") documented names all match src/)"
+echo "check_docs: OK ($(wc -l <<<"$doc_names") documented names match src/," \
+  "$links_checked relative links resolve)"
