@@ -1,26 +1,48 @@
-// GEMM kernel benchmark: naive triple-loop vs. the blocked kernel layer
-// across the matrix shapes the model actually produces, plus the canonical
-// 256^3 square and a thread-scaling sweep. Emits BENCH_gemm.json with
-// per-shape ms and GFLOP/s for both paths so regressions are visible in CI
-// artifacts (see docs/PERF.md for how to read it).
+// GEMM kernel benchmark: naive triple-loop vs. the runtime-dispatched
+// kernel layer across the matrix shapes the model actually produces, plus
+// the canonical 256^3 square and a thread-scaling sweep. Emits
+// BENCH_gemm.json (schema: docs/BENCHMARKS.md) so regressions are visible
+// in CI artifacts.
 //
 //   ./bench_gemm [--json=BENCH_gemm.json] [--reps=7]
+//
+// Three timings per shape:
+//   * naive_ms     — the seed repo's scalar loops (gemm::NaiveGemm*), the
+//                    fixed baseline every PR is compared against.
+//   * blocked_ms   — GemmForcePath::kBlocked: the packed cache-blocked
+//                    path only, i.e. the pre-dispatch behavior (what PR-8
+//                    shipped, now running the active tier's microkernel).
+//   * dispatch_ms  — the shipped auto path: the per-ISA direct/blocked
+//                    break-even decides, batched shapes take the
+//                    batch-strided small-GEMM path. This is what ops.cc
+//                    actually gets, so "speedup" is quoted against it.
+// blocked_ms vs dispatch_ms is the before/after for the batch-strided
+// small-GEMM work: shapes where the direct kernels win show dispatch
+// beating forced-blocked (attn_ctx, matcher_head); shapes past the
+// break-even show the two within noise of each other.
+//
+// Per shape the benchmark also records which path the dispatcher picked
+// (read back from the tensor.gemm.kernel.calls{path=...} counters — the
+// bench is also a smoke test that the obs wiring fires) and the active ISA
+// tier, so a JSON diff between machines explains itself.
 //
 // Shape provenance (core/config.h smoke preset and config.cc full preset):
 // hidden_dim 32..64, ffn_dim 64..128, max_len 32..64, 4 heads, batch 16..32,
 // rnn_hidden 24..48. The entries below use the full-scale numbers, where the
 // kernels spend the most time.
 
-#include <memory>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <functional>
+#include <memory>
 #include <random>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "tensor/cpu_dispatch.h"
 #include "tensor/gemm.h"
 #include "util/flags.h"
 #include "util/string_util.h"
@@ -96,8 +118,8 @@ void RunNaive(const ShapeCase& s, const float* a, const float* b, float* c) {
   }
 }
 
-void RunBlocked(const ShapeCase& s, const float* a, const float* b, float* c,
-                const gemm::GemmOptions& options) {
+void RunDispatched(const ShapeCase& s, const float* a, const float* b,
+                   float* c, const gemm::GemmOptions& options) {
   switch (s.variant) {
     case Variant::kNN:
       gemm::BatchGemmNN(s.bsz, s.m, s.n, s.k, a, b, c, options);
@@ -117,6 +139,30 @@ double Gflops(const ShapeCase& s, double ms) {
   return flops / (ms * 1e6);
 }
 
+// Which dispatch path did the auto tier choice take for this shape? Read
+// back from the obs counters the kernel layer increments — doubles as a
+// smoke test that the tensor.gemm.kernel.* wiring fires.
+const char* ObservedPath(const ShapeCase& s, const float* a, const float* b,
+                         float* c) {
+  auto& reg = obs::MetricsRegistry::Default();
+  obs::Counter* paths[3] = {
+      reg.GetCounter(obs::LabeledName("tensor.gemm.kernel.calls", "path",
+                                      "direct")),
+      reg.GetCounter(obs::LabeledName("tensor.gemm.kernel.calls", "path",
+                                      "blocked")),
+      reg.GetCounter(obs::LabeledName("tensor.gemm.kernel.calls", "path",
+                                      "blocked_mt")),
+  };
+  const char* names[3] = {"direct", "blocked", "blocked_mt"};
+  int64_t before[3];
+  for (int i = 0; i < 3; ++i) before[i] = paths[i]->value();
+  RunDispatched(s, a, b, c, {});
+  for (int i = 0; i < 3; ++i) {
+    if (paths[i]->value() > before[i]) return names[i];
+  }
+  return "unknown";
+}
+
 }  // namespace
 
 int Main(int argc, char** argv) {
@@ -131,10 +177,17 @@ int Main(int argc, char** argv) {
   const std::string json_path = flags.GetString("json");
   const int reps = static_cast<int>(flags.GetInt("reps"));
 
-  std::string json = "{\n  \"shapes\": [\n";
-  std::printf("%-15s %-3s %5s %5s %5s %5s | %10s %10s %8s %8s %7s\n", "shape",
-              "var", "bsz", "m", "n", "k", "naive_ms", "blocked_ms",
-              "naive_GF", "blk_GF", "speedup");
+  const unsigned hw = std::thread::hardware_concurrency();
+  const char* isa = cpu::IsaName(cpu::ActiveIsa());
+  std::printf("isa=%s hardware_concurrency=%u\n\n", isa, hw);
+  std::string json = StrFormat(
+      "{\n  \"host\": {\"isa\": \"%s\", \"hardware_concurrency\": %u},\n"
+      "  \"shapes\": [\n",
+      isa, hw);
+
+  std::printf("%-15s %-3s %5s %5s %5s %5s %-10s | %9s %9s %9s %8s %7s %7s\n",
+              "shape", "var", "bsz", "m", "n", "k", "path", "naive_ms",
+              "blk_ms", "disp_ms", "disp_GF", "speedup", "vs_blk");
 
   bool first = true;
   for (const ShapeCase& s : kCases) {
@@ -142,28 +195,46 @@ int Main(int argc, char** argv) {
     const auto b = RandomVec(static_cast<size_t>(s.bsz * s.k * s.n), 2);
     std::vector<float> c(static_cast<size_t>(s.bsz * s.m * s.n), 0.0f);
 
-    const double naive_ms =
-        BestOfMs(reps, [&] { RunNaive(s, a.data(), b.data(), c.data()); });
-    const double blocked_ms = BestOfMs(
-        reps, [&] { RunBlocked(s, a.data(), b.data(), c.data(), {}); });
-    const double speedup = naive_ms / blocked_ms;
+    const char* path = ObservedPath(s, a.data(), b.data(), c.data());
+    gemm::GemmOptions forced_blocked;
+    forced_blocked.force_path = gemm::GemmForcePath::kBlocked;
 
-    std::printf("%-15s %-3s %5lld %5lld %5lld %5lld | %10.4f %10.4f %8.1f %8.1f %6.2fx\n",
-                s.name, VariantName(s.variant),
-                static_cast<long long>(s.bsz), static_cast<long long>(s.m),
-                static_cast<long long>(s.n), static_cast<long long>(s.k),
-                naive_ms, blocked_ms, Gflops(s, naive_ms),
-                Gflops(s, blocked_ms), speedup);
+    // Interleave the three paths per rep so ambient scheduler drift in a
+    // shared container lands on all of them alike.
+    double naive_ms = 1e300, blocked_ms = 1e300, dispatch_ms = 1e300;
+    for (int rep = 0; rep < reps; ++rep) {
+      naive_ms = std::min(naive_ms, BestOfMs(1, [&] {
+        RunNaive(s, a.data(), b.data(), c.data());
+      }));
+      blocked_ms = std::min(blocked_ms, BestOfMs(1, [&] {
+        RunDispatched(s, a.data(), b.data(), c.data(), forced_blocked);
+      }));
+      dispatch_ms = std::min(dispatch_ms, BestOfMs(1, [&] {
+        RunDispatched(s, a.data(), b.data(), c.data(), {});
+      }));
+    }
+    const double speedup = naive_ms / dispatch_ms;
+    const double vs_blocked = blocked_ms / dispatch_ms;
+
+    std::printf(
+        "%-15s %-3s %5lld %5lld %5lld %5lld %-10s | %9.4f %9.4f %9.4f "
+        "%8.1f %6.2fx %6.2fx\n",
+        s.name, VariantName(s.variant), static_cast<long long>(s.bsz),
+        static_cast<long long>(s.m), static_cast<long long>(s.n),
+        static_cast<long long>(s.k), path, naive_ms, blocked_ms, dispatch_ms,
+        Gflops(s, dispatch_ms), speedup, vs_blocked);
 
     json += StrFormat(
         "%s    {\"name\": \"%s\", \"variant\": \"%s\", \"bsz\": %lld, "
-        "\"m\": %lld, \"n\": %lld, \"k\": %lld, \"naive_ms\": %.5f, "
-        "\"blocked_ms\": %.5f, \"naive_gflops\": %.2f, "
-        "\"blocked_gflops\": %.2f, \"speedup\": %.3f}",
+        "\"m\": %lld, \"n\": %lld, \"k\": %lld, \"path\": \"%s\", "
+        "\"naive_ms\": %.5f, \"blocked_ms\": %.5f, \"dispatch_ms\": %.5f, "
+        "\"naive_gflops\": %.2f, \"dispatch_gflops\": %.2f, "
+        "\"speedup\": %.3f, \"vs_blocked\": %.3f}",
         first ? "" : ",\n", s.name, VariantName(s.variant),
         static_cast<long long>(s.bsz), static_cast<long long>(s.m),
-        static_cast<long long>(s.n), static_cast<long long>(s.k), naive_ms,
-        blocked_ms, Gflops(s, naive_ms), Gflops(s, blocked_ms), speedup);
+        static_cast<long long>(s.n), static_cast<long long>(s.k), path,
+        naive_ms, blocked_ms, dispatch_ms, Gflops(s, naive_ms),
+        Gflops(s, dispatch_ms), speedup, vs_blocked);
     first = false;
   }
   json += "\n  ],\n  \"threads_256\": [\n";
@@ -175,16 +246,18 @@ int Main(int argc, char** argv) {
   // produced the 2t/4t < 1.0x regression this file once recorded: on a
   // machine without spare cores the extra tasks only add overhead. With
   // auto dispatch the floor is 1.0x by construction (worst case the plan
-  // is identical to 1-thread).
+  // is identical to 1-thread). On hosts where hardware_concurrency caps
+  // below a sweep width the wider pools resolve to the same serial plan —
+  // the recorded hardware_concurrency says whether scaling was possible.
   const ShapeCase sq = kCases[sizeof(kCases) / sizeof(kCases[0]) - 1];
   const auto a = RandomVec(static_cast<size_t>(sq.m * sq.k), 3);
   const auto b = RandomVec(static_cast<size_t>(sq.k * sq.n), 4);
   std::vector<float> c(static_cast<size_t>(sq.m * sq.n), 0.0f);
-  // Reps are interleaved across the pool widths (1t, 2t, 4t, 1t, ...)
+  // Reps are interleaved across the pool widths (1t, 2t, 4t, 8t, 1t, ...)
   // rather than measured in back-to-back blocks: in a shared container
   // ambient scheduler drift between blocks is larger than the effect
   // being measured, and interleaving lands it on every width alike.
-  const std::vector<size_t> widths = {1u, 2u, 4u};
+  const std::vector<size_t> widths = {1u, 2u, 4u, 8u};
   std::vector<std::unique_ptr<ThreadPool>> pools;
   for (size_t threads : widths) {
     pools.push_back(std::make_unique<ThreadPool>(threads));

@@ -1,0 +1,180 @@
+#include "tensor/cpu_dispatch.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "tensor/gemm_kernels.h"
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace dader::cpu {
+
+namespace {
+
+// -1 = no override; otherwise the pinned Isa value. ForceIsa is a test
+// hook, but the load sits on the GEMM hot path, so it is a relaxed atomic
+// rather than a mutex.
+std::atomic<int> g_forced{-1};
+
+bool ProbeHost(Isa isa) {
+  switch (isa) {
+    case Isa::kPortable:
+      return true;
+#if defined(__x86_64__) || defined(__i386__)
+    case Isa::kAvx2:
+      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+    case Isa::kAvx512:
+      return __builtin_cpu_supports("avx512f");
+#else
+    case Isa::kAvx2:
+    case Isa::kAvx512:
+      return false;
+#endif
+  }
+  return false;
+}
+
+// Parses a DADER_CPU_ISA value; returns false on unrecognized text.
+bool ParseIsa(const char* text, Isa* out) {
+  if (text == nullptr) return false;
+  if (std::strcmp(text, "portable") == 0) {
+    *out = Isa::kPortable;
+  } else if (std::strcmp(text, "avx2") == 0) {
+    *out = Isa::kAvx2;
+  } else if (std::strcmp(text, "avx512") == 0) {
+    *out = Isa::kAvx512;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+// Environment/probe resolution, computed once. ForceIsa bypasses this
+// cache, so tests can flip tiers without re-exec.
+Isa ResolveDefault() {
+  Isa best = BestSupported();
+  const char* env = std::getenv("DADER_CPU_ISA");
+  if (env != nullptr && env[0] != '\0') {
+    Isa wanted;
+    if (!ParseIsa(env, &wanted)) {
+      DADER_LOG(Warning) << "DADER_CPU_ISA=\"" << env
+                      << "\" not one of portable|avx2|avx512; using "
+                      << IsaName(best);
+    } else if (static_cast<int>(wanted) > static_cast<int>(best)) {
+      DADER_LOG(Warning) << "DADER_CPU_ISA=" << IsaName(wanted)
+                      << " exceeds what this host/build supports; clamping to "
+                      << IsaName(best);
+    } else {
+      return wanted;
+    }
+  }
+  return best;
+}
+
+const GemmKernels* TableFor(Isa isa) {
+  switch (isa) {
+    case Isa::kAvx512:
+      return internal::Avx512Kernels();
+    case Isa::kAvx2:
+      return internal::Avx2Kernels();
+    case Isa::kPortable:
+      return internal::PortableKernels();
+  }
+  return nullptr;
+}
+
+// Registration-time sanity: the blocked driver sizes packing scratch and
+// tail buffers from these fields and assumes even cache-block divisibility.
+const GemmKernels* Validate(const GemmKernels* table) {
+  if (table == nullptr) return nullptr;
+  DADER_CHECK(table->mr > 0 && table->mr <= kMaxMr);
+  DADER_CHECK(table->nr > 0 && table->nr <= kMaxNr);
+  DADER_CHECK(table->mc % table->mr == 0);
+  DADER_CHECK(table->nc % table->nr == 0);
+  DADER_CHECK(table->microkernel != nullptr);
+  DADER_CHECK(table->small_nn != nullptr && table->small_nt != nullptr &&
+              table->small_tn != nullptr);
+  return table;
+}
+
+}  // namespace
+
+const char* IsaName(Isa isa) {
+  switch (isa) {
+    case Isa::kPortable:
+      return "portable";
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kAvx512:
+      return "avx512";
+  }
+  return "?";
+}
+
+bool HostSupports(Isa isa) {
+  static const bool avx2 = ProbeHost(Isa::kAvx2);
+  static const bool avx512 = ProbeHost(Isa::kAvx512);
+  switch (isa) {
+    case Isa::kPortable:
+      return true;
+    case Isa::kAvx2:
+      return avx2;
+    case Isa::kAvx512:
+      return avx512;
+  }
+  return false;
+}
+
+bool CompiledWith(Isa isa) { return TableFor(isa) != nullptr; }
+
+Isa BestSupported() {
+  static const Isa best = [] {
+    for (Isa isa : {Isa::kAvx512, Isa::kAvx2}) {
+      if (HostSupports(isa) && CompiledWith(isa)) return isa;
+    }
+    return Isa::kPortable;
+  }();
+  return best;
+}
+
+Isa ActiveIsa() {
+  const int forced = g_forced.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<Isa>(forced);
+  static const Isa resolved = ResolveDefault();
+  return resolved;
+}
+
+void ForceIsa(Isa isa) {
+  Isa clamped = isa;
+  if (static_cast<int>(clamped) > static_cast<int>(BestSupported())) {
+    DADER_LOG(Warning) << "ForceIsa(" << IsaName(isa)
+                    << ") unsupported on this host/build; clamping to "
+                    << IsaName(BestSupported());
+    clamped = BestSupported();
+  }
+  g_forced.store(static_cast<int>(clamped), std::memory_order_relaxed);
+}
+
+void ClearForcedIsa() { g_forced.store(-1, std::memory_order_relaxed); }
+
+const GemmKernels& KernelsFor(Isa isa) {
+  static const GemmKernels* portable = Validate(TableFor(Isa::kPortable));
+  static const GemmKernels* avx2 = Validate(TableFor(Isa::kAvx2));
+  static const GemmKernels* avx512 = Validate(TableFor(Isa::kAvx512));
+  DADER_CHECK(portable != nullptr);
+  const GemmKernels* table = portable;
+  if (isa == Isa::kAvx512 && avx512 != nullptr && HostSupports(Isa::kAvx512)) {
+    table = avx512;
+  } else if (isa >= Isa::kAvx2 && avx2 != nullptr &&
+             HostSupports(Isa::kAvx2)) {
+    // An avx512 request on an avx2-only host/build degrades one step, not
+    // all the way to portable.
+    table = avx2;
+  }
+  return *table;
+}
+
+const GemmKernels& ActiveKernels() { return KernelsFor(ActiveIsa()); }
+
+}  // namespace dader::cpu

@@ -1,0 +1,133 @@
+// Runtime CPU-capability dispatch for the GEMM kernel layer.
+//
+// The blocked GEMM in gemm.cc used to rely on gcc auto-vectorizing one
+// portable 8x32 register tile under `-march=native` — which pins the binary
+// to the build host's ISA and leaves nothing to select at runtime. This
+// layer replaces that with explicit SIMD-intrinsic microkernels compiled
+// into dedicated translation units with per-file ISA flags
+// (`-mavx512f` / `-mavx2 -mfma`, see src/tensor/CMakeLists.txt), selected
+// at runtime through a function-pointer table:
+//
+//   * `Isa` names the three tiers: kPortable (plain C++, any CPU),
+//     kAvx2 (AVX2 + FMA), kAvx512 (AVX-512F).
+//   * Detection probes the host once via `__builtin_cpu_supports` (cpuid
+//     under the hood); non-x86 builds compile the probe away and always
+//     report the portable tier.
+//   * `DADER_CPU_ISA=portable|avx2|avx512` overrides the probe — for
+//     testing each tier on capable hosts, and for pinning a fleet to a
+//     common tier so heterogeneous machines produce identical bits.
+//     Requests the host cannot run are clamped down to the best supported
+//     tier (with a one-time warning), never trusted blindly.
+//   * `GemmKernels` is the per-tier table: microkernel geometry
+//     (MR x NR register tile, MC/KC/NC cache blocks), the packed
+//     microkernel, the direct (unpacked) small-GEMM kernels, and the
+//     measured direct-vs-blocked break-even cutoffs gemm.cc dispatches on.
+//
+// Determinism contract (see docs/PERF.md): within one tier, results are
+// bit-identical across thread counts and run-to-run. Across tiers, results
+// may differ in the last ulps — the tiers contract multiplies and adds into
+// FMA differently and reduce dot products in different orders — which is
+// why the tier choice is process-stable (cached on first use) and
+// overridable, never per-call adaptive.
+
+#pragma once
+
+#include <cstdint>
+
+namespace dader::cpu {
+
+/// \brief ISA tiers, ordered worst to best; detection picks the highest
+/// tier the host supports that was also compiled in.
+enum class Isa : int { kPortable = 0, kAvx2 = 1, kAvx512 = 2 };
+
+/// \brief "portable", "avx2", "avx512" — stable names used by the
+/// `DADER_CPU_ISA` override, BENCH_gemm.json, and the
+/// `tensor.gemm.kernel.isa_calls` counter labels.
+const char* IsaName(Isa isa);
+
+/// \brief True when the running CPU can execute `isa` (cpuid probe;
+/// kPortable is always true).
+bool HostSupports(Isa isa);
+
+/// \brief True when the kernel TU for `isa` was built with the matching
+/// compiler flags (a non-x86 or flag-stripped build still links, it just
+/// registers no SIMD tiers).
+bool CompiledWith(Isa isa);
+
+/// \brief Highest tier that is both compiled in and host-supported.
+Isa BestSupported();
+
+/// \brief The tier every GEMM call dispatches through. Resolution order:
+/// ForceIsa() override, else `DADER_CPU_ISA` env override (clamped to
+/// BestSupported), else BestSupported. Cached after the first call except
+/// for ForceIsa, which takes effect immediately.
+Isa ActiveIsa();
+
+/// \brief Test hook: pin ActiveIsa() to `isa` (clamped to BestSupported —
+/// forcing a tier the host cannot run would SIGILL). Thread-safe, but
+/// intended for test setup, not concurrent flipping mid-GEMM.
+void ForceIsa(Isa isa);
+
+/// \brief Clears the ForceIsa override; ActiveIsa() re-resolves from the
+/// environment/probe.
+void ClearForcedIsa();
+
+/// \brief Per-tier kernel table. One immutable instance per compiled tier;
+/// gemm.cc reads geometry for packing/blocking and calls the function
+/// pointers on the hot path.
+struct GemmKernels {
+  Isa isa;
+
+  // Register-tile geometry. Packing lays A out in mr-tall and B in nr-wide
+  // depth-major panels, so these drive the pack routines as well as the
+  // microkernel. Bounded by kMaxMr/kMaxNr (the driver's tail scratch).
+  int mr;
+  int nr;
+
+  // Cache blocks; mc % mr == 0 and nc % nr == 0 (checked at registration).
+  int64_t mc;
+  int64_t kc;
+  int64_t nc;
+
+  // C_tile(mr x nr, row stride ldc) += Apanel * Bpanel over one kc-deep
+  // block. apack is mr-tall depth-major (element (p, r) at apack[p*mr+r]),
+  // bpack nr-wide depth-major. Accumulators stay in registers for the whole
+  // depth; p advances strictly ascending (the determinism contract).
+  void (*microkernel)(int64_t kc, const float* apack, const float* bpack,
+                      float* c, int64_t ldc);
+
+  // Direct small-GEMM kernels: no packing, operands row-major and fully
+  // packed (lda=k or m, ldb=n or k, ldc=n — the only layout the public
+  // entry points produce). These are the small-problem tier: below the
+  // blocked break-even they skip panel packing entirely, and the batched
+  // path strides them across a whole batch per dispatch.
+  void (*small_nn)(int64_t m, int64_t n, int64_t k, const float* a,
+                   const float* b, float* c);
+  void (*small_nt)(int64_t m, int64_t n, int64_t k, const float* a,
+                   const float* b, float* c);
+  void (*small_tn)(int64_t m, int64_t n, int64_t k, const float* a,
+                   const float* b, float* c);
+
+  // Measured direct-vs-blocked break-even, in FLOPs (2*m*n*k): below the
+  // cutoff the direct kernel wins (packing amortizes nothing), above it
+  // the blocked path wins. Per variant because the direct NT kernel (dot
+  // products) behaves very differently from NN/TN (row streaming). See
+  // docs/PERF.md "Dispatch tiers" for the measurement methodology.
+  int64_t direct_cutoff_nn;
+  int64_t direct_cutoff_nt;
+  int64_t direct_cutoff_tn;
+};
+
+// Upper bounds on any tier's register tile; the blocked driver's tail
+// scratch is sized to these and registration enforces them.
+inline constexpr int kMaxMr = 8;
+inline constexpr int kMaxNr = 32;
+
+/// \brief Table for `isa`, falling back to the portable tier when `isa`
+/// was not compiled in or the host cannot run it.
+const GemmKernels& KernelsFor(Isa isa);
+
+/// \brief KernelsFor(ActiveIsa()) — what the GEMM hot path uses.
+const GemmKernels& ActiveKernels();
+
+}  // namespace dader::cpu

@@ -6,184 +6,130 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "tensor/cpu_dispatch.h"
+#include "tensor/gemm_kernels.h"
 #include "util/thread_pool.h"
 
 namespace dader::gemm {
 
 namespace {
 
-// ---------------------------------------------------------------------------
-// Tuning constants (measured on AVX-512 hardware with gcc 12 -O3
-// -march=native; see docs/PERF.md for the methodology and the numbers).
-// ---------------------------------------------------------------------------
+enum class Trans { kN, kT };
 
-// Register tile: the microkernel keeps an MR x NR float accumulator block
-// live in vector registers. 8 x 32 = 16 zmm (or spills gracefully to ymm
-// pairs) and gives 16 independent FMA chains — enough to cover FMA latency.
-constexpr int kMR = 8;
-constexpr int kNR = 32;
-
-// Cache blocks: an MC x KC panel of A (64 KiB) stays L2-resident while a
-// KC x NC panel of B (512 KiB) streams through; both divide evenly by the
-// register tile so only the matrix edges take the tail path.
-constexpr int64_t kMC = 64;
-constexpr int64_t kKC = 256;
-constexpr int64_t kNC = 512;
-static_assert(kMC % kMR == 0 && kNC % kNR == 0);
-
-// Below this many FLOPs (2*m*n*k) the packing traffic costs more than the
-// register tiling saves; the call runs the naive kernel instead.
-constexpr int64_t kNaiveFlopsCutoff = 32'768;
-
-// The NT variant gets a far lower bar: its naive form is per-element dot
-// products, which gcc cannot vectorize (float reductions need -ffast-math),
-// so the packed kernel wins even on attention-scores-sized problems
-// (32x32x16 measures ~10x). Only trivially tiny NT calls stay naive.
-constexpr int64_t kNaiveFlopsCutoffNT = 2'048;
-
-// Per-thread packing scratch, sized once to the (fixed) block capacity.
+// Per-thread packing scratch, sized lazily to the active tier's block
+// capacity (tiers differ in geometry, so the size is not a constant here).
 thread_local std::vector<float> t_apack;
 thread_local std::vector<float> t_bpack;
 
-enum class Trans { kN, kT };
-
 // ---------------------------------------------------------------------------
 // Packing. Panels are laid out depth-major: element (p, r) of an A panel at
-// apack[p*MR + r], element (p, j) of a B panel at bpack[p*NR + j], so the
+// apack[p*mr + r], element (p, j) of a B panel at bpack[p*nr + j], so the
 // microkernel reads both buffers strictly contiguously. Short panels are
 // zero-padded; padded lanes multiply into accumulator lanes that are never
-// stored back.
+// stored back. Panel heights/widths come from the active tier's table.
 // ---------------------------------------------------------------------------
 
-// Packs the mc x kc block of A at (row i0, depth p0) into MR-tall panels.
+// Packs the mc x kc block of A at (row i0, depth p0) into mr-tall panels.
 // lda is the row stride of the stored matrix; for Trans::kT the matrix is
 // stored k x m and element (i, p) lives at a[p*lda + i].
-void PackA(Trans trans, const float* a, int64_t lda, int64_t i0, int64_t p0,
-           int64_t mc, int64_t kc, float* apack) {
-  for (int64_t ib = 0; ib < mc; ib += kMR) {
-    const int64_t mr = std::min<int64_t>(kMR, mc - ib);
+void PackA(Trans trans, int mr, const float* a, int64_t lda, int64_t i0,
+           int64_t p0, int64_t mc, int64_t kc, float* apack) {
+  for (int64_t ib = 0; ib < mc; ib += mr) {
+    const int64_t rows = std::min<int64_t>(mr, mc - ib);
     float* panel = apack + ib * kc;
     if (trans == Trans::kN) {
       for (int64_t p = 0; p < kc; ++p) {
-        float* dst = panel + p * kMR;
+        float* dst = panel + p * mr;
         const float* src = a + (i0 + ib) * lda + (p0 + p);
-        for (int64_t r = 0; r < mr; ++r) dst[r] = src[r * lda];
-        for (int64_t r = mr; r < kMR; ++r) dst[r] = 0.0f;
+        for (int64_t r = 0; r < rows; ++r) dst[r] = src[r * lda];
+        for (int64_t r = rows; r < mr; ++r) dst[r] = 0.0f;
       }
     } else {
       for (int64_t p = 0; p < kc; ++p) {
-        float* dst = panel + p * kMR;
+        float* dst = panel + p * mr;
         const float* src = a + (p0 + p) * lda + (i0 + ib);
-        for (int64_t r = 0; r < mr; ++r) dst[r] = src[r];
-        for (int64_t r = mr; r < kMR; ++r) dst[r] = 0.0f;
+        for (int64_t r = 0; r < rows; ++r) dst[r] = src[r];
+        for (int64_t r = rows; r < mr; ++r) dst[r] = 0.0f;
       }
     }
   }
 }
 
-// Packs the kc x nc block of B at (depth p0, column j0) into NR-wide
+// Packs the kc x nc block of B at (depth p0, column j0) into nr-wide
 // panels. For Trans::kT the matrix is stored n x k and element (p, j)
 // lives at b[j*ldb + p] — this pack is where the NT variant's
 // transposition happens, so the microkernel never does strided loads.
-void PackB(Trans trans, const float* b, int64_t ldb, int64_t p0, int64_t j0,
-           int64_t kc, int64_t nc, float* bpack) {
-  for (int64_t jb = 0; jb < nc; jb += kNR) {
-    const int64_t nr = std::min<int64_t>(kNR, nc - jb);
+void PackB(Trans trans, int nr, const float* b, int64_t ldb, int64_t p0,
+           int64_t j0, int64_t kc, int64_t nc, float* bpack) {
+  for (int64_t jb = 0; jb < nc; jb += nr) {
+    const int64_t cols = std::min<int64_t>(nr, nc - jb);
     float* panel = bpack + jb * kc;
     if (trans == Trans::kN) {
       for (int64_t p = 0; p < kc; ++p) {
-        float* dst = panel + p * kNR;
+        float* dst = panel + p * nr;
         const float* src = b + (p0 + p) * ldb + (j0 + jb);
-        for (int64_t j = 0; j < nr; ++j) dst[j] = src[j];
-        for (int64_t j = nr; j < kNR; ++j) dst[j] = 0.0f;
+        for (int64_t j = 0; j < cols; ++j) dst[j] = src[j];
+        for (int64_t j = cols; j < nr; ++j) dst[j] = 0.0f;
       }
     } else {
       for (int64_t p = 0; p < kc; ++p) {
-        float* dst = panel + p * kNR;
+        float* dst = panel + p * nr;
         const float* src = b + (j0 + jb) * ldb + (p0 + p);
-        for (int64_t j = 0; j < nr; ++j) dst[j] = src[j * ldb];
-        for (int64_t j = nr; j < kNR; ++j) dst[j] = 0.0f;
+        for (int64_t j = 0; j < cols; ++j) dst[j] = src[j * ldb];
+        for (int64_t j = cols; j < nr; ++j) dst[j] = 0.0f;
       }
     }
   }
 }
 
 // ---------------------------------------------------------------------------
-// Microkernel: C_tile += Apanel * Bpanel over one KC depth block, with the
-// accumulator tile held in registers for the whole depth. The accumulators
-// initialize from C, and depth advances strictly ascending, so every output
-// element sees the exact same serial accumulation order no matter how the
-// surrounding blocks or row panels are partitioned — this is the bit-level
-// determinism contract of the layer.
+// Blocked driver for one rectangular cell [i_begin, i_end) x [j_begin,
+// j_end) of C. Thread tasks call this on disjoint cells whose boundaries
+// are mr/nr-aligned, which keeps tile geometry — and with it the per-element
+// accumulation sequence — identical to the serial full-matrix walk.
+//
+// Edge tiles run the SAME tier microkernel on an mr x nr stack scratch
+// (zero-padded, valid C region copied in and out) instead of a separate
+// scalar tail kernel: one microkernel per tier means every element of C
+// sees one code path, so full/tail tiling cannot introduce cross-partition
+// bit differences.
 // ---------------------------------------------------------------------------
 
-inline void MicroKernel(int64_t kc, const float* apack, const float* bpack,
-                        float* c, int64_t ldc) {
-  float acc[kMR][kNR];
-  for (int r = 0; r < kMR; ++r)
-    for (int j = 0; j < kNR; ++j) acc[r][j] = c[r * ldc + j];
-  for (int64_t p = 0; p < kc; ++p) {
-    const float* bp = bpack + p * kNR;
-    const float* ap = apack + p * kMR;
-    for (int r = 0; r < kMR; ++r) {
-      const float av = ap[r];
-      for (int j = 0; j < kNR; ++j) acc[r][j] += av * bp[j];
-    }
-  }
-  for (int r = 0; r < kMR; ++r)
-    for (int j = 0; j < kNR; ++j) c[r * ldc + j] = acc[r][j];
-}
-
-// Edge tile (mr < MR and/or nr < NR): same structure and accumulation
-// order, runtime bounds.
-inline void MicroKernelTail(int64_t kc, int64_t mr, int64_t nr,
-                            const float* apack, const float* bpack, float* c,
-                            int64_t ldc) {
-  float acc[kMR][kNR];
-  for (int64_t r = 0; r < mr; ++r)
-    for (int64_t j = 0; j < nr; ++j) acc[r][j] = c[r * ldc + j];
-  for (int64_t p = 0; p < kc; ++p) {
-    const float* bp = bpack + p * kNR;
-    const float* ap = apack + p * kMR;
-    for (int64_t r = 0; r < mr; ++r) {
-      const float av = ap[r];
-      for (int64_t j = 0; j < nr; ++j) acc[r][j] += av * bp[j];
-    }
-  }
-  for (int64_t r = 0; r < mr; ++r)
-    for (int64_t j = 0; j < nr; ++j) c[r * ldc + j] = acc[r][j];
-}
-
-// ---------------------------------------------------------------------------
-// Blocked driver for one contiguous row range [i_begin, i_end) of C.
-// Thread tasks call this on disjoint MR-aligned ranges.
-// ---------------------------------------------------------------------------
-
-void BlockedRange(Trans ta, Trans tb, int64_t i_begin, int64_t i_end,
-                  int64_t n, int64_t k, const float* a, int64_t lda,
-                  const float* b, int64_t ldb, float* c, int64_t ldc) {
-  t_apack.resize(static_cast<size_t>(kMC) * kKC);
-  t_bpack.resize(static_cast<size_t>(kKC) * kNC);
+void BlockedCell(const cpu::GemmKernels& kk, Trans ta, Trans tb,
+                 int64_t i_begin, int64_t i_end, int64_t j_begin,
+                 int64_t j_end, int64_t k, const float* a, int64_t lda,
+                 const float* b, int64_t ldb, float* c, int64_t ldc) {
+  const int mr = kk.mr, nr = kk.nr;
+  t_apack.resize(static_cast<size_t>(kk.mc) * kk.kc);
+  t_bpack.resize(static_cast<size_t>(kk.kc) * kk.nc);
   float* apack = t_apack.data();
   float* bpack = t_bpack.data();
-  for (int64_t jc = 0; jc < n; jc += kNC) {
-    const int64_t nc = std::min(kNC, n - jc);
-    for (int64_t pc = 0; pc < k; pc += kKC) {
-      const int64_t kc = std::min(kKC, k - pc);
-      PackB(tb, b, ldb, pc, jc, kc, nc, bpack);
-      for (int64_t ic = i_begin; ic < i_end; ic += kMC) {
-        const int64_t mc = std::min(kMC, i_end - ic);
-        PackA(ta, a, lda, ic, pc, mc, kc, apack);
-        for (int64_t ib = 0; ib < mc; ib += kMR) {
-          const int64_t mr = std::min<int64_t>(kMR, mc - ib);
-          for (int64_t jb = 0; jb < nc; jb += kNR) {
-            const int64_t nr = std::min<int64_t>(kNR, nc - jb);
+  float tail[cpu::kMaxMr * cpu::kMaxNr];
+  for (int64_t jc = j_begin; jc < j_end; jc += kk.nc) {
+    const int64_t nc = std::min(kk.nc, j_end - jc);
+    for (int64_t pc = 0; pc < k; pc += kk.kc) {
+      const int64_t kc = std::min(kk.kc, k - pc);
+      PackB(tb, nr, b, ldb, pc, jc, kc, nc, bpack);
+      for (int64_t ic = i_begin; ic < i_end; ic += kk.mc) {
+        const int64_t mc = std::min(kk.mc, i_end - ic);
+        PackA(ta, mr, a, lda, ic, pc, mc, kc, apack);
+        for (int64_t ib = 0; ib < mc; ib += mr) {
+          const int64_t mrr = std::min<int64_t>(mr, mc - ib);
+          for (int64_t jb = 0; jb < nc; jb += nr) {
+            const int64_t nrr = std::min<int64_t>(nr, nc - jb);
             float* ctile = c + (ic + ib) * ldc + jc + jb;
-            if (mr == kMR && nr == kNR) {
-              MicroKernel(kc, apack + ib * kc, bpack + jb * kc, ctile, ldc);
+            if (mrr == mr && nrr == nr) {
+              kk.microkernel(kc, apack + ib * kc, bpack + jb * kc, ctile,
+                             ldc);
             } else {
-              MicroKernelTail(kc, mr, nr, apack + ib * kc, bpack + jb * kc,
-                              ctile, ldc);
+              for (int64_t r = 0; r < mr * nr; ++r) tail[r] = 0.0f;
+              for (int64_t r = 0; r < mrr; ++r)
+                for (int64_t j = 0; j < nrr; ++j)
+                  tail[r * nr + j] = ctile[r * ldc + j];
+              kk.microkernel(kc, apack + ib * kc, bpack + jb * kc, tail, nr);
+              for (int64_t r = 0; r < mrr; ++r)
+                for (int64_t j = 0; j < nrr; ++j)
+                  ctile[r * ldc + j] = tail[r * nr + j];
             }
           }
         }
@@ -193,68 +139,9 @@ void BlockedRange(Trans ta, Trans tb, int64_t i_begin, int64_t i_end,
 }
 
 // ---------------------------------------------------------------------------
-// Naive kernels (seed implementations, also the small-problem fast path).
-// ---------------------------------------------------------------------------
-
-// C[m,n] += A[m,k] * B[k,n]; i-k-j loop order for streaming access.
-void NaiveNN(int64_t m, int64_t n, int64_t k, const float* a, const float* b,
-             float* c) {
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = a + i * k;
-    float* crow = c + i * n;
-    for (int64_t p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
-      const float* brow = b + p * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
-}
-
-// C[m,n] += A[m,k] * B[n,k]^T: per-element dot products.
-void NaiveNT(int64_t m, int64_t n, int64_t k, const float* a, const float* b,
-             float* c) {
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = a + i * k;
-    float* crow = c + i * n;
-    for (int64_t j = 0; j < n; ++j) {
-      const float* brow = b + j * k;
-      float acc = 0.0f;
-      for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-      crow[j] += acc;
-    }
-  }
-}
-
-// C[m,n] += A[k,m]^T * B[k,n]: rank-1 updates over the depth.
-void NaiveTN(int64_t m, int64_t n, int64_t k, const float* a, const float* b,
-             float* c) {
-  for (int64_t p = 0; p < k; ++p) {
-    const float* arow = a + p * m;
-    const float* brow = b + p * n;
-    for (int64_t i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* crow = c + i * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
-}
-
-void RunNaive(Trans ta, Trans tb, int64_t m, int64_t n, int64_t k,
-              const float* a, const float* b, float* c) {
-  if (ta == Trans::kN && tb == Trans::kN) {
-    NaiveNN(m, n, k, a, b, c);
-  } else if (ta == Trans::kN) {
-    NaiveNT(m, n, k, a, b, c);
-  } else {
-    NaiveTN(m, n, k, a, b, c);
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Instrumentation: wall duration per public call, bucketed by problem size
-// (see `tensor.gemm.ms` in docs/OBSERVABILITY.md).
+// Instrumentation: wall duration per public call bucketed by problem size
+// (`tensor.gemm.ms`), plus per-dispatch-path and per-ISA-tier call counters
+// (`tensor.gemm.kernel.*`); see docs/OBSERVABILITY.md.
 // ---------------------------------------------------------------------------
 
 const std::vector<double>& GemmLatencyBoundsMs() {
@@ -298,20 +185,93 @@ class ScopedGemmTimer {
   Clock::time_point start_;
 };
 
+// Which execution tier a call resolved to. kDirectPath = the unpacked
+// small-GEMM kernel, kBlocked = serial packed kernel, kBlockedMt = packed
+// kernel fanned out over the pool.
+enum class Path { kDirect, kBlocked, kBlockedMt };
+
+void CountCall(Path path, cpu::Isa isa) {
+  auto& reg = obs::MetricsRegistry::Default();
+  static constexpr const char* kPathHelp =
+      "GEMM calls by dispatch path (direct small-kernel vs blocked vs "
+      "multi-threaded blocked)";
+  static constexpr const char* kIsaHelp =
+      "GEMM calls by the SIMD ISA tier that executed them";
+  static obs::Counter* direct = reg.GetCounter(
+      obs::LabeledName("tensor.gemm.kernel.calls", "path", "direct"),
+      kPathHelp, "calls");
+  static obs::Counter* blocked = reg.GetCounter(
+      obs::LabeledName("tensor.gemm.kernel.calls", "path", "blocked"),
+      kPathHelp, "calls");
+  static obs::Counter* blocked_mt = reg.GetCounter(
+      obs::LabeledName("tensor.gemm.kernel.calls", "path", "blocked_mt"),
+      kPathHelp, "calls");
+  static obs::Counter* isa_calls[] = {
+      reg.GetCounter(obs::LabeledName("tensor.gemm.kernel.isa_calls", "isa",
+                                      "portable"),
+                     kIsaHelp, "calls"),
+      reg.GetCounter(
+          obs::LabeledName("tensor.gemm.kernel.isa_calls", "isa", "avx2"),
+          kIsaHelp, "calls"),
+      reg.GetCounter(
+          obs::LabeledName("tensor.gemm.kernel.isa_calls", "isa", "avx512"),
+          kIsaHelp, "calls"),
+  };
+  switch (path) {
+    case Path::kDirect:
+      direct->Increment();
+      break;
+    case Path::kBlocked:
+      blocked->Increment();
+      break;
+    case Path::kBlockedMt:
+      blocked_mt->Increment();
+      break;
+  }
+  isa_calls[static_cast<int>(isa)]->Increment();
+}
+
 // ---------------------------------------------------------------------------
-// Dispatch: naive below the cutoff, blocked above it, row-panel parallel
-// above the options threshold. Path choice depends only on the problem
-// shape and options — never on runtime state — so a given call site is
-// deterministic.
+// Dispatch. Tier choice depends only on the problem shape, the options, and
+// the (process-stable) active ISA — never on runtime load — so a given call
+// site is deterministic.
 // ---------------------------------------------------------------------------
 
+int64_t DirectCutoff(const cpu::GemmKernels& kk, Trans ta, Trans tb) {
+  if (ta == Trans::kT) return kk.direct_cutoff_tn;
+  return tb == Trans::kT ? kk.direct_cutoff_nt : kk.direct_cutoff_nn;
+}
+
+void RunDirect(const cpu::GemmKernels& kk, Trans ta, Trans tb, int64_t m,
+               int64_t n, int64_t k, const float* a, const float* b,
+               float* c) {
+  if (ta == Trans::kN && tb == Trans::kN) {
+    kk.small_nn(m, n, k, a, b, c);
+  } else if (ta == Trans::kN) {
+    kk.small_nt(m, n, k, a, b, c);
+  } else {
+    kk.small_tn(m, n, k, a, b, c);
+  }
+}
+
+// True when the call should take the direct (unpacked) small-kernel path:
+// below the tier's measured packing break-even, or a skinny NN/TN product
+// (a single served pair is m == 1) that streams B exactly once either way.
+bool WantsDirect(const cpu::GemmKernels& kk, Trans ta, Trans tb, int64_t m,
+                 double flops, const GemmOptions& options) {
+  if (options.force_path == GemmForcePath::kDirect) return true;
+  if (options.force_path == GemmForcePath::kBlocked) return false;
+  if (flops < static_cast<double>(DirectCutoff(kk, ta, tb))) return true;
+  return tb == Trans::kN && m < 4;
+}
+
 // Fan-out width for a problem of `flops` total work whose natural partition
-// count is `max_partitions` (row panels, or batch elements). Returns 1 —
-// stay serial — unless the problem clears the engage threshold AND every
-// task would still own at least min_flops_per_task of work AND there are
-// physical cores to run the tasks on. The decision depends only on the
-// shape, the options, and machine constants — never on runtime load — so a
-// given call site stays deterministic.
+// count is `max_partitions` (register-tile-aligned cells, or batch
+// elements). Returns 1 — stay serial — unless the problem clears the engage
+// threshold AND every task would still own at least min_flops_per_task of
+// work AND there are physical cores to run the tasks on. The decision
+// depends only on the shape, the options, and machine constants — never on
+// runtime load — so a given call site stays deterministic.
 int64_t PlanTasks(double flops, int64_t max_partitions,
                   const ThreadPool* pool, const GemmOptions& options) {
   if (flops < static_cast<double>(options.parallel_min_flops) ||
@@ -338,39 +298,76 @@ int64_t PlanTasks(double flops, int64_t max_partitions,
   return tasks;
 }
 
+// 2D (M x N) task grid for the parallel blocked path. Cell boundaries are
+// mr/nr-aligned (bit-identity across partitionings, see BlockedCell), and
+// the grid is over-decomposed up to kGrainFactor cells per planned task so
+// ParallelChunks' dynamic pickup can absorb uneven scheduling — the old
+// one-row-panel-strip-per-task split gave every thread exactly one huge
+// chunk, so a single preempted worker serialized the whole call.
+struct Grid {
+  int64_t gm, gn;          // cells along M / N
+  int64_t rows_per_cell;   // mr-aligned
+  int64_t cols_per_cell;   // nr-aligned
+};
+
+constexpr int64_t kGrainFactor = 4;
+
+Grid PlanGrid(const cpu::GemmKernels& kk, int64_t m, int64_t n,
+              int64_t tasks) {
+  // Floors: a cell narrower than 2 register tiles per side re-packs panels
+  // for trivial work. Prefer splitting M (cells share packed B traffic
+  // poorly, but B panels are streamed once per row block anyway); split N
+  // only once M alone cannot feed the requested grain.
+  const int64_t max_gm = std::max<int64_t>(1, m / (2 * kk.mr));
+  const int64_t max_gn = std::max<int64_t>(1, n / (2 * kk.nr));
+  const int64_t target = std::min(tasks * kGrainFactor, max_gm * max_gn);
+  int64_t gm = std::min(max_gm, target);
+  int64_t gn = std::min(max_gn, (target + gm - 1) / gm);
+  Grid grid;
+  grid.rows_per_cell =
+      ((m + gm - 1) / gm + kk.mr - 1) / kk.mr * kk.mr;
+  grid.cols_per_cell =
+      ((n + gn - 1) / gn + kk.nr - 1) / kk.nr * kk.nr;
+  grid.gm = (m + grid.rows_per_cell - 1) / grid.rows_per_cell;
+  grid.gn = (n + grid.cols_per_cell - 1) / grid.cols_per_cell;
+  return grid;
+}
+
 void Run(Trans ta, Trans tb, int64_t m, int64_t n, int64_t k, const float* a,
          int64_t lda, const float* b, int64_t ldb, float* c, int64_t ldc,
          const GemmOptions& options) {
   if (m == 0 || n == 0 || k == 0) return;
+  const cpu::GemmKernels& kk = cpu::ActiveKernels();
   const double flops = 2.0 * static_cast<double>(m) * n * k;
   ScopedGemmTimer timer(flops);
-  const int64_t cutoff =
-      tb == Trans::kT ? kNaiveFlopsCutoffNT : kNaiveFlopsCutoff;
-  if (flops < cutoff || (ta == Trans::kN && tb == Trans::kN && m < 4)) {
-    // Tiny problems, and skinny NN products (a single served pair is
-    // m == 1), stream B exactly once in the naive kernel — packing it
-    // first would double the memory traffic.
-    RunNaive(ta, tb, m, n, k, a, b, c);
+  if (WantsDirect(kk, ta, tb, m, flops, options)) {
+    CountCall(Path::kDirect, kk.isa);
+    RunDirect(kk, ta, tb, m, n, k, a, b, c);
     return;
   }
   ThreadPool* pool =
       options.pool != nullptr ? options.pool : ThreadPool::Global();
-  const int64_t tasks = PlanTasks(flops, (m + kMR - 1) / kMR, pool, options);
+  const int64_t max_cells =
+      ((m + kk.mr - 1) / kk.mr) * ((n + kk.nr - 1) / kk.nr);
+  const int64_t tasks = PlanTasks(flops, max_cells, pool, options);
   if (tasks <= 1) {
-    BlockedRange(ta, tb, 0, m, n, k, a, lda, b, ldb, c, ldc);
+    CountCall(Path::kBlocked, kk.isa);
+    BlockedCell(kk, ta, tb, 0, m, 0, n, k, a, lda, b, ldb, c, ldc);
     return;
   }
-  // MR-aligned row panels: tile boundaries then fall in the same places in
-  // every partition, which keeps the full-tile/tail-tile split — and with
-  // it the bit pattern of the result — identical across thread counts.
-  const int64_t rows_per_task =
-      ((m + tasks - 1) / tasks + kMR - 1) / kMR * kMR;
-  const int64_t chunks = (m + rows_per_task - 1) / rows_per_task;
-  ParallelChunks(pool, static_cast<size_t>(chunks), [&](size_t chunk) {
-    const int64_t i0 = static_cast<int64_t>(chunk) * rows_per_task;
-    const int64_t i1 = std::min(m, i0 + rows_per_task);
-    BlockedRange(ta, tb, i0, i1, n, k, a, lda, b, ldb, c, ldc);
-  });
+  CountCall(Path::kBlockedMt, kk.isa);
+  const Grid grid = PlanGrid(kk, m, n, tasks);
+  ParallelChunks(pool, static_cast<size_t>(grid.gm * grid.gn),
+                 [&](size_t cell) {
+                   const int64_t ci = static_cast<int64_t>(cell) / grid.gn;
+                   const int64_t cj = static_cast<int64_t>(cell) % grid.gn;
+                   const int64_t i0 = ci * grid.rows_per_cell;
+                   const int64_t i1 = std::min(m, i0 + grid.rows_per_cell);
+                   const int64_t j0 = cj * grid.cols_per_cell;
+                   const int64_t j1 = std::min(n, j0 + grid.cols_per_cell);
+                   BlockedCell(kk, ta, tb, i0, i1, j0, j1, k, a, lda, b, ldb,
+                               c, ldc);
+                 });
 }
 
 void RunBatch(Trans ta, Trans tb, int64_t bsz, int64_t m, int64_t n,
@@ -378,37 +375,48 @@ void RunBatch(Trans ta, Trans tb, int64_t bsz, int64_t m, int64_t n,
               int64_t ldb, float* c, int64_t ldc,
               const GemmOptions& options) {
   if (bsz == 0 || m == 0 || n == 0 || k == 0) return;
+  const cpu::GemmKernels& kk = cpu::ActiveKernels();
   const double elem_flops = 2.0 * static_cast<double>(m) * n * k;
-  ScopedGemmTimer timer(elem_flops * static_cast<double>(bsz));
-  const int64_t elem_cutoff =
-      tb == Trans::kT ? kNaiveFlopsCutoffNT : kNaiveFlopsCutoff;
+  const double total_flops = elem_flops * static_cast<double>(bsz);
+  ScopedGemmTimer timer(total_flops);
   const int64_t a_step = m * k, b_step = k * n, c_step = m * n;
-  // One batch element, on whichever thread owns it.
-  auto run_element = [&](int64_t i) {
-    const float* ai = a + i * a_step;
-    const float* bi = b + i * b_step;
-    float* ci = c + i * c_step;
-    if (elem_flops < elem_cutoff ||
-        (ta == Trans::kN && tb == Trans::kN && m < 4)) {
-      RunNaive(ta, tb, m, n, k, ai, bi, ci);
-    } else {
-      BlockedRange(ta, tb, 0, m, n, k, ai, lda, bi, ldb, ci, ldc);
-    }
-  };
+  const bool direct = WantsDirect(kk, ta, tb, m, elem_flops, options);
   ThreadPool* pool =
       options.pool != nullptr ? options.pool : ThreadPool::Global();
-  const int64_t tasks =
-      PlanTasks(elem_flops * static_cast<double>(bsz), bsz, pool, options);
+  const int64_t tasks = PlanTasks(total_flops, bsz, pool, options);
+  CountCall(tasks > 1 ? Path::kBlockedMt
+                      : (direct ? Path::kDirect : Path::kBlocked),
+            kk.isa);
+  // Batch-strided execution: the tier/path decision, the pool plan, and
+  // (on the direct path) all packing setup happen ONCE per call; each task
+  // then strides a contiguous run of batch elements through the chosen
+  // kernel. Before this existed, attention-shaped batches paid full
+  // blocked-GEMM setup (scratch sizing + panel packing) per 64x16x64
+  // element — the attn_ctx 1.7x plateau in BENCH_gemm.json.
+  auto run_span = [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      const float* ai = a + i * a_step;
+      const float* bi = b + i * b_step;
+      float* ci = c + i * c_step;
+      if (direct) {
+        RunDirect(kk, ta, tb, m, n, k, ai, bi, ci);
+      } else {
+        BlockedCell(kk, ta, tb, 0, m, 0, n, k, ai, lda, bi, ldb, ci, ldc);
+      }
+    }
+  };
   if (tasks <= 1) {
-    for (int64_t i = 0; i < bsz; ++i) run_element(i);
+    run_span(0, bsz);
     return;
   }
-  const int64_t per_task = (bsz + tasks - 1) / tasks;
+  // Over-decompose across the batch like the 2D grid does across cells,
+  // so a straggler element does not pin the whole call to one task.
+  const int64_t chunk_target = std::min(bsz, tasks * kGrainFactor);
+  const int64_t per_task = (bsz + chunk_target - 1) / chunk_target;
   const int64_t chunks = (bsz + per_task - 1) / per_task;
   ParallelChunks(pool, static_cast<size_t>(chunks), [&](size_t chunk) {
     const int64_t begin = static_cast<int64_t>(chunk) * per_task;
-    const int64_t end = std::min(bsz, begin + per_task);
-    for (int64_t i = begin; i < end; ++i) run_element(i);
+    run_span(begin, std::min(bsz, begin + per_task));
   });
 }
 
@@ -450,19 +458,23 @@ void BatchGemmTN(int64_t bsz, int64_t m, int64_t n, int64_t k, const float* a,
            /*ldc=*/n, options);
 }
 
+// The naive oracle is the portable tier's small-kernel set (the seed repo's
+// original scalar loops, moved verbatim to microkernel_portable.cc): one
+// copy of the code serves as correctness baseline, benchmark baseline, and
+// portable direct path alike.
 void NaiveGemmNN(int64_t m, int64_t n, int64_t k, const float* a,
                  const float* b, float* c) {
-  NaiveNN(m, n, k, a, b, c);
+  cpu::internal::PortableKernels()->small_nn(m, n, k, a, b, c);
 }
 
 void NaiveGemmNT(int64_t m, int64_t n, int64_t k, const float* a,
                  const float* b, float* c) {
-  NaiveNT(m, n, k, a, b, c);
+  cpu::internal::PortableKernels()->small_nt(m, n, k, a, b, c);
 }
 
 void NaiveGemmTN(int64_t m, int64_t n, int64_t k, const float* a,
                  const float* b, float* c) {
-  NaiveTN(m, n, k, a, b, c);
+  cpu::internal::PortableKernels()->small_tn(m, n, k, a, b, c);
 }
 
 }  // namespace dader::gemm

@@ -1,4 +1,5 @@
-// Blocked, thread-parallel GEMM kernels for the tensor substrate.
+// Blocked, thread-parallel GEMM kernels for the tensor substrate, with
+// runtime CPU-capability dispatch.
 //
 // Every matrix product in the model zoo — the transformer and BiGRU feature
 // extractors, the MLP matcher, all six aligners — funnels through the three
@@ -7,34 +8,45 @@
 //
 // Design (see docs/PERF.md for the full writeup):
 //
-//   * Cache blocking: the classic MC/KC/NC three-level scheme. A KCxNC
-//     block of B is packed into contiguous NR-wide column panels, an MCxKC
-//     block of A into MR-tall row panels, and a register-tiled MRxNR
-//     microkernel runs over the packed panels. Packing gives the
-//     microkernel purely contiguous loads, which is what lets it
-//     auto-vectorize under -O3 -march=native; it is also how the NT and TN
-//     variants avoid strided scalar dot products — transposition happens
-//     in the pack, the microkernel is always the same.
-//   * Register tiling: the microkernel keeps an MRxNR accumulator tile in
-//     vector registers across the whole KC depth, eliminating the
-//     per-iteration C-row load/store traffic that capped the old i-k-j
-//     loop. There is no `a == 0.0f` skip branch: the old kernel's guard
-//     broke the compiler's ability to keep the loop body branch-free.
-//   * Threading: above GemmOptions::parallel_min_flops the M dimension is
-//     split into MR-aligned row panels distributed over a util::ThreadPool
+//   * Runtime ISA dispatch (tensor/cpu_dispatch.h): every call executes
+//     through a per-tier kernel table — explicit AVX-512F or AVX2+FMA
+//     intrinsic microkernels, or the portable auto-vectorized fallback —
+//     selected once per process by cpuid probe and overridable via
+//     DADER_CPU_ISA. The SIMD kernels live in dedicated TUs compiled with
+//     per-file ISA flags, so the rest of the binary never emits an
+//     instruction the host might lack.
+//   * Two execution tiers per call, split at a per-ISA measured break-even:
+//     - Direct: an unpacked SIMD kernel (row-streaming FMA for NN/TN,
+//       lane-wide dot products for NT and narrow-N shapes). No packing, no
+//       scratch — this is where small and skinny shapes (matcher head, GRU
+//       step, single served pairs) stop losing their time to setup.
+//     - Blocked: the classic BLIS-style MC/KC/NC cache-blocked path. A
+//       KCxNC block of B is packed into NR-wide column panels, an MCxKC
+//       block of A into MR-tall row panels, and the tier's register-tiled
+//       MRxNR microkernel runs over the packed panels. Packing is where
+//       the NT and TN variants transpose, so the microkernel is always the
+//       same contiguous-load loop.
+//   * Batch-strided small GEMM: the batched entry points decide the tier
+//     once per CALL, then stride whole runs of batch elements through the
+//     chosen kernel — attention-shaped batches (128 x 64x16x64) no longer
+//     pay per-element dispatch and packing setup.
+//   * Threading: above GemmOptions::parallel_min_flops the output is split
+//     into a 2D (M x N) grid of register-tile-aligned cells, over-decomposed
+//     ~4 cells per planned task and distributed via util::ThreadPool
 //     (batched variants split across the batch dimension instead). The
-//     fan-out width is additionally capped by min_flops_per_task and by
+//     fan-out width is capped by min_flops_per_task and by
 //     std::thread::hardware_concurrency(), so mid-sized problems on narrow
-//     machines stay single-threaded instead of paying dispatch + redundant
-//     B-packing overhead for no parallel speedup. Each
-//     output row is owned by exactly one task and per-element accumulation
-//     order (k ascending) is independent of the partition, so results are
-//     bit-identical run-to-run AND across thread counts. Calls from inside
-//     a pool worker run serially (ThreadPool::InWorkerThread) — nested
-//     waits would deadlock.
+//     machines stay single-threaded instead of paying dispatch overhead for
+//     no parallel speedup. Each output element is owned by exactly one cell,
+//     cell boundaries are register-tile-aligned, and per-element
+//     accumulation order (k ascending) is independent of the partition, so
+//     results are bit-identical run-to-run AND across thread counts within
+//     an ISA tier. Calls from inside a pool worker run serially
+//     (ThreadPool::InWorkerThread) — nested waits would deadlock.
 //   * Observability: every public call observes its wall duration into the
-//     `tensor.gemm.ms{class=...}` histograms (docs/OBSERVABILITY.md),
-//     where class buckets the problem by FLOP count.
+//     `tensor.gemm.ms{class=...}` histograms and counts its dispatch path
+//     and ISA tier in `tensor.gemm.kernel.calls{path=...}` /
+//     `tensor.gemm.kernel.isa_calls{isa=...}` (docs/OBSERVABILITY.md).
 //
 // All kernels ACCUMULATE (C += ...) into row-major, fully packed (leading
 // dimension == column count) operands, matching how ops.cc uses them for
@@ -50,15 +62,21 @@ class ThreadPool;
 
 namespace dader::gemm {
 
+/// \brief Overrides the direct-vs-blocked tier choice. kAuto (production)
+/// dispatches on the active ISA's measured break-even; the forced values
+/// exist for benchmarks, threshold tuning, and the perf guards, which need
+/// to measure one tier in isolation.
+enum class GemmForcePath { kAuto, kDirect, kBlocked };
+
 /// \brief Execution knobs; the defaults are what ops.cc uses.
 struct GemmOptions {
-  /// Pool for row-panel / batch parallelism; null means ThreadPool::Global().
+  /// Pool for cell / batch parallelism; null means ThreadPool::Global().
   ThreadPool* pool = nullptr;
   /// Minimum 2*m*n*k FLOP count before a call fans out to the pool;
   /// below it the blocked kernel runs on the calling thread. Raised from
   /// the original 2 MFLOP after BENCH_gemm.json showed fan-out losing to
   /// serial at 256^3 (33 MFLOP) on narrow machines: each task redundantly
-  /// packs the full B panel, so small problems amortize nothing.
+  /// packs B panels, so small problems amortize nothing.
   int64_t parallel_min_flops = 8'000'000;
   /// Floor on FLOPs per spawned task: the fan-out width is capped at
   /// flops / min_flops_per_task, so dispatch + redundant-packing overhead
@@ -66,9 +84,12 @@ struct GemmOptions {
   int64_t min_flops_per_task = 16'000'000;
   /// Also cap the fan-out width at std::thread::hardware_concurrency():
   /// oversubscribing physical cores always loses (the extra tasks just
-  /// interleave on one core and re-pack B for nothing). Tests that need to
-  /// force the parallel path on narrow machines set this to false.
+  /// interleave on one core and re-pack panels for nothing). Tests that
+  /// need to force the parallel path on narrow machines set this to false.
   bool respect_hardware_concurrency = true;
+  /// Direct/blocked tier override for benchmarks and tests; leave kAuto in
+  /// production code.
+  GemmForcePath force_path = GemmForcePath::kAuto;
 };
 
 // ---------------------------------------------------------------------------
@@ -92,9 +113,10 @@ void GemmTN(int64_t m, int64_t n, int64_t k, const float* a, const float* b,
 
 // ---------------------------------------------------------------------------
 // Batched kernels: bsz independent products over contiguous slabs
-// (element i starts at offset i*m*k / i*k*n / i*m*n). Parallelism fans out
-// across the batch dimension; each element's product is serial, so the
-// determinism guarantee above carries over unchanged.
+// (element i starts at offset i*m*k / i*k*n / i*m*n). The execution tier is
+// chosen once per call and elements stride through it in contiguous runs;
+// parallelism fans out across the batch dimension. Each element's product
+// is serial, so the determinism guarantee above carries over unchanged.
 // ---------------------------------------------------------------------------
 
 /// \brief C[i] += A[i] * B[i] with A[i] m x k, B[i] k x n.
@@ -111,9 +133,10 @@ void BatchGemmTN(int64_t bsz, int64_t m, int64_t n, int64_t k, const float* a,
 
 // ---------------------------------------------------------------------------
 // Naive reference kernels — the seed repo's original scalar loops, kept
-// verbatim (same signatures as above) as the correctness oracle for
-// tests/tensor/gemm_test.cc and the baseline for bench/bench_gemm.cc and
-// the `ctest -L perf` smoke test. Single-threaded, no instrumentation.
+// verbatim (now housed in microkernel_portable.cc as the portable tier's
+// direct kernels) as the correctness oracle for tests/tensor/gemm_test.cc
+// and the baseline for bench/bench_gemm.cc and the `ctest -L perf` guards.
+// Single-threaded, no instrumentation, never SIMD-dispatched.
 // ---------------------------------------------------------------------------
 
 void NaiveGemmNN(int64_t m, int64_t n, int64_t k, const float* a,

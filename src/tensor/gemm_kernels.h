@@ -1,0 +1,24 @@
+// Internal registration interface between cpu_dispatch.cc and the per-ISA
+// microkernel translation units. Each TU returns its kernel table, or null
+// when it was compiled without the matching ISA flags (non-x86 build, or a
+// toolchain that lacks them) — cpu_dispatch treats null as "tier absent"
+// and falls back down the ladder. Not part of the public tensor API.
+
+#pragma once
+
+#include "tensor/cpu_dispatch.h"
+
+namespace dader::cpu::internal {
+
+// Always non-null: the portable tier is plain C++ and compiles everywhere.
+// Its small_* kernels double as the repo's naive reference loops (the
+// correctness oracle gemm.h exposes as NaiveGemm*).
+const GemmKernels* PortableKernels();
+
+// Null unless the TU was built with -mavx2 -mfma.
+const GemmKernels* Avx2Kernels();
+
+// Null unless the TU was built with -mavx512f.
+const GemmKernels* Avx512Kernels();
+
+}  // namespace dader::cpu::internal

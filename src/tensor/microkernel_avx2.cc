@@ -1,0 +1,246 @@
+// AVX2+FMA GEMM kernel tier.
+//
+// Compiled with -mavx2 -mfma regardless of the global architecture flags
+// (src/tensor/CMakeLists.txt); cpu_dispatch routes here when the host has
+// AVX2+FMA but not AVX-512F, or when DADER_CPU_ISA=avx2 pins the tier.
+// Mirrors the AVX-512 TU's three kernels at 8-lane width — see
+// microkernel_avx512.cc for the design commentary; only the differences
+// are noted here:
+//
+//   * The register tile is 6x16 (12 ymm accumulators + 2 B vectors + 1
+//     broadcast = 15 of 16 architectural ymm registers) — an 8x32 tile
+//     would spill. Packing follows the table geometry, so the tile change
+//     is invisible outside this TU.
+//   * AVX2 has no lane masks; edge columns use _mm256_maskload_ps /
+//     _mm256_maskstore_ps with a sign-bit mask vector instead.
+//
+// Within-tier determinism is the same contract as every other tier:
+// identical lane-wise operation sequence per shape, so bits never depend
+// on thread count.
+
+#include "tensor/gemm_kernels.h"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace dader::cpu::internal {
+
+namespace {
+
+constexpr int kMr = 6;
+constexpr int kNr = 16;
+
+// Sign-bit lane mask for _mm256_maskload_ps: lanes [0, count) active.
+__m256i TailMask(int64_t count) {
+  alignas(32) int32_t lanes[8];
+  for (int i = 0; i < 8; ++i) lanes[i] = i < count ? -1 : 0;
+  return _mm256_load_si256(reinterpret_cast<const __m256i*>(lanes));
+}
+
+float Hsum(__m256 v) {
+  __m128 lo = _mm256_castps256_ps128(v);
+  lo = _mm_add_ps(lo, _mm256_extractf128_ps(v, 1));
+  lo = _mm_hadd_ps(lo, lo);
+  lo = _mm_hadd_ps(lo, lo);
+  return _mm_cvtss_f32(lo);
+}
+
+void MicroKernelAvx2(int64_t kc, const float* apack, const float* bpack,
+                     float* c, int64_t ldc) {
+  __m256 acc[kMr][2];
+  for (int r = 0; r < kMr; ++r) {
+    acc[r][0] = _mm256_loadu_ps(c + r * ldc);
+    acc[r][1] = _mm256_loadu_ps(c + r * ldc + 8);
+  }
+  for (int64_t p = 0; p < kc; ++p) {
+    const __m256 b0 = _mm256_loadu_ps(bpack + p * kNr);
+    const __m256 b1 = _mm256_loadu_ps(bpack + p * kNr + 8);
+    const float* ap = apack + p * kMr;
+    for (int r = 0; r < kMr; ++r) {
+      const __m256 av = _mm256_set1_ps(ap[r]);
+      acc[r][0] = _mm256_fmadd_ps(av, b0, acc[r][0]);
+      acc[r][1] = _mm256_fmadd_ps(av, b1, acc[r][1]);
+    }
+  }
+  for (int r = 0; r < kMr; ++r) {
+    _mm256_storeu_ps(c + r * ldc, acc[r][0]);
+    _mm256_storeu_ps(c + r * ldc + 8, acc[r][1]);
+  }
+}
+
+// See DirectRowStream in microkernel_avx512.cc; 8-lane column chunks,
+// six-row accumulator fan (matching the tile height keeps register use
+// within the 16-ymm budget alongside the mask and broadcast).
+void DirectRowStream(int64_t m, int64_t n, int64_t k, const float* a,
+                     int64_t sr, int64_t sp, const float* b, float* c) {
+  for (int64_t j0 = 0; j0 < n; j0 += 8) {
+    const int64_t nr = n - j0 < 8 ? n - j0 : 8;
+    const bool full = nr == 8;
+    const __m256i mask = TailMask(nr);
+    int64_t i = 0;
+    for (; i + kMr <= m; i += kMr) {
+      __m256 acc[kMr];
+      for (int r = 0; r < kMr; ++r) {
+        float* crow = c + (i + r) * n + j0;
+        acc[r] = full ? _mm256_loadu_ps(crow)
+                      : _mm256_maskload_ps(crow, mask);
+      }
+      for (int64_t p = 0; p < k; ++p) {
+        const float* brow = b + p * n + j0;
+        const __m256 bv =
+            full ? _mm256_loadu_ps(brow) : _mm256_maskload_ps(brow, mask);
+        for (int r = 0; r < kMr; ++r) {
+          const __m256 av = _mm256_set1_ps(a[(i + r) * sr + p * sp]);
+          acc[r] = _mm256_fmadd_ps(av, bv, acc[r]);
+        }
+      }
+      for (int r = 0; r < kMr; ++r) {
+        float* crow = c + (i + r) * n + j0;
+        if (full) {
+          _mm256_storeu_ps(crow, acc[r]);
+        } else {
+          _mm256_maskstore_ps(crow, mask, acc[r]);
+        }
+      }
+    }
+    for (; i < m; ++i) {
+      float* crow = c + i * n + j0;
+      __m256 acc =
+          full ? _mm256_loadu_ps(crow) : _mm256_maskload_ps(crow, mask);
+      for (int64_t p = 0; p < k; ++p) {
+        const float* brow = b + p * n + j0;
+        const __m256 bv =
+            full ? _mm256_loadu_ps(brow) : _mm256_maskload_ps(brow, mask);
+        acc = _mm256_fmadd_ps(_mm256_set1_ps(a[i * sr + p * sp]), bv, acc);
+      }
+      if (full) {
+        _mm256_storeu_ps(crow, acc);
+      } else {
+        _mm256_maskstore_ps(crow, mask, acc);
+      }
+    }
+  }
+}
+
+// See DirectDots in microkernel_avx512.cc; 8-lane vectors, four-column fan.
+void DirectDots(int64_t m, int64_t n, int64_t k, const float* a,
+                const float* bt, float* c) {
+  const int64_t ktail = k & 7;
+  const __m256i kmask = TailMask(ktail);
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    int64_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      __m256 acc0 = _mm256_setzero_ps(), acc1 = _mm256_setzero_ps();
+      __m256 acc2 = _mm256_setzero_ps(), acc3 = _mm256_setzero_ps();
+      const float* b0 = bt + (j + 0) * k;
+      const float* b1 = bt + (j + 1) * k;
+      const float* b2 = bt + (j + 2) * k;
+      const float* b3 = bt + (j + 3) * k;
+      int64_t p = 0;
+      for (; p + 8 <= k; p += 8) {
+        const __m256 av = _mm256_loadu_ps(arow + p);
+        acc0 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b0 + p), acc0);
+        acc1 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b1 + p), acc1);
+        acc2 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b2 + p), acc2);
+        acc3 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b3 + p), acc3);
+      }
+      if (ktail != 0) {
+        const __m256 av = _mm256_maskload_ps(arow + p, kmask);
+        acc0 = _mm256_fmadd_ps(av, _mm256_maskload_ps(b0 + p, kmask), acc0);
+        acc1 = _mm256_fmadd_ps(av, _mm256_maskload_ps(b1 + p, kmask), acc1);
+        acc2 = _mm256_fmadd_ps(av, _mm256_maskload_ps(b2 + p, kmask), acc2);
+        acc3 = _mm256_fmadd_ps(av, _mm256_maskload_ps(b3 + p, kmask), acc3);
+      }
+      crow[j + 0] += Hsum(acc0);
+      crow[j + 1] += Hsum(acc1);
+      crow[j + 2] += Hsum(acc2);
+      crow[j + 3] += Hsum(acc3);
+    }
+    for (; j < n; ++j) {
+      __m256 acc = _mm256_setzero_ps();
+      const float* brow = bt + j * k;
+      int64_t p = 0;
+      for (; p + 8 <= k; p += 8) {
+        acc = _mm256_fmadd_ps(_mm256_loadu_ps(arow + p),
+                              _mm256_loadu_ps(brow + p), acc);
+      }
+      if (ktail != 0) {
+        acc = _mm256_fmadd_ps(_mm256_maskload_ps(arow + p, kmask),
+                              _mm256_maskload_ps(brow + p, kmask), acc);
+      }
+      crow[j] += Hsum(acc);
+    }
+  }
+}
+
+// Below this N the row-stream kernel wastes most of its 8 lanes; transpose
+// B and use k-long dots instead (same rationale as the AVX-512 tier, at
+// half the lane width). n/k-only, never m — see the AVX-512 tier for why
+// an m-dependent kernel choice breaks solo-vs-batched bit equality.
+constexpr int64_t kNarrowN = 4;
+
+thread_local std::vector<float> t_btrans;
+
+void SmallNN(int64_t m, int64_t n, int64_t k, const float* a, const float* b,
+             float* c) {
+  if (n < kNarrowN) {
+    t_btrans.resize(static_cast<size_t>(n) * k);
+    float* bt = t_btrans.data();
+    for (int64_t p = 0; p < k; ++p)
+      for (int64_t j = 0; j < n; ++j) bt[j * k + p] = b[p * n + j];
+    DirectDots(m, n, k, a, bt, c);
+    return;
+  }
+  DirectRowStream(m, n, k, a, /*sr=*/k, /*sp=*/1, b, c);
+}
+
+void SmallNT(int64_t m, int64_t n, int64_t k, const float* a, const float* b,
+             float* c) {
+  DirectDots(m, n, k, a, b, c);
+}
+
+void SmallTN(int64_t m, int64_t n, int64_t k, const float* a, const float* b,
+             float* c) {
+  DirectRowStream(m, n, k, a, /*sr=*/1, /*sp=*/m, b, c);
+}
+
+// Break-evens measured with DADER_CPU_ISA=avx2 on the same container as
+// the AVX-512 tier (the tuner pins the tier, so the numbers reflect these
+// kernels, not the host's best): NN and TN cross between 64^3 (0.5 MF,
+// direct) and 96^3 (1.8 MF, blocked); NT goes packed from 16^3 up, same
+// horizontal-reduce rationale as the AVX-512 table.
+const GemmKernels kTable = {
+    /*isa=*/Isa::kAvx2,
+    /*mr=*/kMr,
+    /*nr=*/kNr,
+    /*mc=*/60,
+    /*kc=*/256,
+    /*nc=*/512,
+    /*microkernel=*/&MicroKernelAvx2,
+    /*small_nn=*/&SmallNN,
+    /*small_nt=*/&SmallNT,
+    /*small_tn=*/&SmallTN,
+    /*direct_cutoff_nn=*/1'200'000,
+    /*direct_cutoff_nt=*/4'096,
+    /*direct_cutoff_tn=*/1'200'000,
+};
+
+}  // namespace
+
+const GemmKernels* Avx2Kernels() { return &kTable; }
+
+}  // namespace dader::cpu::internal
+
+#else  // !(__AVX2__ && __FMA__)
+
+namespace dader::cpu::internal {
+const GemmKernels* Avx2Kernels() { return nullptr; }
+}  // namespace dader::cpu::internal
+
+#endif

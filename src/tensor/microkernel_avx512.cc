@@ -1,0 +1,238 @@
+// AVX-512F GEMM kernel tier.
+//
+// This TU is compiled with -mavx512f regardless of the global architecture
+// flags (see src/tensor/CMakeLists.txt), so the binary as a whole still
+// loads on older CPUs; cpu_dispatch only routes here after a runtime cpuid
+// probe confirms AVX-512F. When the toolchain cannot build AVX-512 code
+// the file degrades to a null registration and the dispatch ladder skips
+// the tier.
+//
+// Three kernels:
+//   * MicroKernel — the packed 8x32 register tile: 16 zmm accumulators
+//     (8 rows x 2 vectors), loaded from C, FMA-updated over the whole KC
+//     depth with strictly ascending p, stored once. Identical math to the
+//     portable tile, but the FMAs, and therefore the last-ulp rounding,
+//     are guaranteed rather than left to the auto-vectorizer.
+//   * DirectRowStream — the unpacked small-GEMM kernel for NN/TN: streams
+//     B rows through masked 16-lane FMAs into 8 row accumulators, reading
+//     A in place (row-major or transposed via strides). No packing, so
+//     sub-break-even shapes skip the blocked path's setup entirely.
+//   * DirectDots — the unpacked NT kernel: 16-lane FMA dot products with a
+//     four-wide accumulator fan and a single reduce per output. Also backs
+//     narrow-N NN/TN shapes (e.g. the 32x2x64 matcher head) after an
+//     on-the-fly transpose of B into per-thread scratch: with n < 8 the
+//     row-stream kernel would waste 14+ of 16 lanes, while k-long dots use
+//     every lane.
+//
+// Determinism: for a fixed shape every kernel performs the identical
+// sequence of lane-wise operations no matter which thread runs it, so
+// results are bit-identical across thread counts and run-to-run within
+// this tier. Reductions (DirectDots) and FMA contraction differ from the
+// portable tier's ordering, which is why cross-tier bits may differ in the
+// last ulps — see docs/PERF.md.
+
+#include "tensor/gemm_kernels.h"
+
+#if defined(__AVX512F__)
+
+#include <immintrin.h>
+
+#include <cstdint>
+#include <vector>
+
+// gcc 12's -Wmaybe-uninitialized false-positives on the masked-load
+// builtins' undefined passthrough operand inside avx512fintrin.h; the
+// maskz_ forms zero those lanes by definition.
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+
+namespace dader::cpu::internal {
+
+namespace {
+
+constexpr int kMr = 8;
+constexpr int kNr = 32;
+
+void MicroKernelAvx512(int64_t kc, const float* apack, const float* bpack,
+                       float* c, int64_t ldc) {
+  __m512 acc[kMr][2];
+  for (int r = 0; r < kMr; ++r) {
+    acc[r][0] = _mm512_loadu_ps(c + r * ldc);
+    acc[r][1] = _mm512_loadu_ps(c + r * ldc + 16);
+  }
+  for (int64_t p = 0; p < kc; ++p) {
+    const __m512 b0 = _mm512_loadu_ps(bpack + p * kNr);
+    const __m512 b1 = _mm512_loadu_ps(bpack + p * kNr + 16);
+    const float* ap = apack + p * kMr;
+    for (int r = 0; r < kMr; ++r) {
+      const __m512 av = _mm512_set1_ps(ap[r]);
+      acc[r][0] = _mm512_fmadd_ps(av, b0, acc[r][0]);
+      acc[r][1] = _mm512_fmadd_ps(av, b1, acc[r][1]);
+    }
+  }
+  for (int r = 0; r < kMr; ++r) {
+    _mm512_storeu_ps(c + r * ldc, acc[r][0]);
+    _mm512_storeu_ps(c + r * ldc + 16, acc[r][1]);
+  }
+}
+
+// C[i, j0:j0+16(masked)] += sum_p A(i, p) * B[p, j0:...] for 8 rows at a
+// time; A(i, p) = a[i*sr + p*sp] covers both row-major A (sr=k, sp=1) and
+// transposed A (sr=1, sp=m). Eight accumulator chains cover FMA latency.
+void DirectRowStream(int64_t m, int64_t n, int64_t k, const float* a,
+                     int64_t sr, int64_t sp, const float* b, float* c) {
+  for (int64_t j0 = 0; j0 < n; j0 += 16) {
+    const int64_t nr = n - j0 < 16 ? n - j0 : 16;
+    const __mmask16 mask =
+        nr == 16 ? static_cast<__mmask16>(0xFFFF)
+                 : static_cast<__mmask16>((1u << nr) - 1u);
+    int64_t i = 0;
+    for (; i + kMr <= m; i += kMr) {
+      __m512 acc[kMr];
+      for (int r = 0; r < kMr; ++r)
+        acc[r] = _mm512_maskz_loadu_ps(mask, c + (i + r) * n + j0);
+      for (int64_t p = 0; p < k; ++p) {
+        const __m512 bv = _mm512_maskz_loadu_ps(mask, b + p * n + j0);
+        for (int r = 0; r < kMr; ++r) {
+          const __m512 av = _mm512_set1_ps(a[(i + r) * sr + p * sp]);
+          acc[r] = _mm512_fmadd_ps(av, bv, acc[r]);
+        }
+      }
+      for (int r = 0; r < kMr; ++r)
+        _mm512_mask_storeu_ps(c + (i + r) * n + j0, mask, acc[r]);
+    }
+    for (; i < m; ++i) {
+      __m512 acc = _mm512_maskz_loadu_ps(mask, c + i * n + j0);
+      for (int64_t p = 0; p < k; ++p) {
+        const __m512 bv = _mm512_maskz_loadu_ps(mask, b + p * n + j0);
+        acc = _mm512_fmadd_ps(_mm512_set1_ps(a[i * sr + p * sp]), bv, acc);
+      }
+      _mm512_mask_storeu_ps(c + i * n + j0, mask, acc);
+    }
+  }
+}
+
+// C[m,n] += A[m,k] * Bt[n,k]^T as dot products: four output columns per
+// pass, each with its own 16-lane accumulator, one reduce per output.
+void DirectDots(int64_t m, int64_t n, int64_t k, const float* a,
+                const float* bt, float* c) {
+  const int64_t ktail = k & 15;
+  const __mmask16 kmask = static_cast<__mmask16>((1u << ktail) - 1u);
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    int64_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      __m512 acc0 = _mm512_setzero_ps(), acc1 = _mm512_setzero_ps();
+      __m512 acc2 = _mm512_setzero_ps(), acc3 = _mm512_setzero_ps();
+      const float* b0 = bt + (j + 0) * k;
+      const float* b1 = bt + (j + 1) * k;
+      const float* b2 = bt + (j + 2) * k;
+      const float* b3 = bt + (j + 3) * k;
+      int64_t p = 0;
+      for (; p + 16 <= k; p += 16) {
+        const __m512 av = _mm512_loadu_ps(arow + p);
+        acc0 = _mm512_fmadd_ps(av, _mm512_loadu_ps(b0 + p), acc0);
+        acc1 = _mm512_fmadd_ps(av, _mm512_loadu_ps(b1 + p), acc1);
+        acc2 = _mm512_fmadd_ps(av, _mm512_loadu_ps(b2 + p), acc2);
+        acc3 = _mm512_fmadd_ps(av, _mm512_loadu_ps(b3 + p), acc3);
+      }
+      if (ktail != 0) {
+        const __m512 av = _mm512_maskz_loadu_ps(kmask, arow + p);
+        acc0 = _mm512_fmadd_ps(av, _mm512_maskz_loadu_ps(kmask, b0 + p), acc0);
+        acc1 = _mm512_fmadd_ps(av, _mm512_maskz_loadu_ps(kmask, b1 + p), acc1);
+        acc2 = _mm512_fmadd_ps(av, _mm512_maskz_loadu_ps(kmask, b2 + p), acc2);
+        acc3 = _mm512_fmadd_ps(av, _mm512_maskz_loadu_ps(kmask, b3 + p), acc3);
+      }
+      crow[j + 0] += _mm512_reduce_add_ps(acc0);
+      crow[j + 1] += _mm512_reduce_add_ps(acc1);
+      crow[j + 2] += _mm512_reduce_add_ps(acc2);
+      crow[j + 3] += _mm512_reduce_add_ps(acc3);
+    }
+    for (; j < n; ++j) {
+      __m512 acc = _mm512_setzero_ps();
+      const float* brow = bt + j * k;
+      int64_t p = 0;
+      for (; p + 16 <= k; p += 16) {
+        acc = _mm512_fmadd_ps(_mm512_loadu_ps(arow + p),
+                              _mm512_loadu_ps(brow + p), acc);
+      }
+      if (ktail != 0) {
+        acc = _mm512_fmadd_ps(_mm512_maskz_loadu_ps(kmask, arow + p),
+                              _mm512_maskz_loadu_ps(kmask, brow + p), acc);
+      }
+      crow[j] += _mm512_reduce_add_ps(acc);
+    }
+  }
+}
+
+// Narrow-N threshold: below this the row-stream kernel wastes most of its
+// 16 lanes and the transpose-to-dots path wins (measured: the 32x2x64
+// matcher head runs ~4x faster through dots). The rule must depend on n
+// and k only, NEVER on m: the same logical row served solo (m=1) or
+// inside a batch (m=5) has to take the same kernel, or its bits change
+// with batching — the dist pipelined-vs-serial test caught exactly that.
+constexpr int64_t kNarrowN = 8;
+
+thread_local std::vector<float> t_btrans;
+
+void SmallNN(int64_t m, int64_t n, int64_t k, const float* a, const float* b,
+             float* c) {
+  if (n < kNarrowN) {
+    t_btrans.resize(static_cast<size_t>(n) * k);
+    float* bt = t_btrans.data();
+    for (int64_t p = 0; p < k; ++p)
+      for (int64_t j = 0; j < n; ++j) bt[j * k + p] = b[p * n + j];
+    DirectDots(m, n, k, a, bt, c);
+    return;
+  }
+  DirectRowStream(m, n, k, a, /*sr=*/k, /*sp=*/1, b, c);
+}
+
+void SmallNT(int64_t m, int64_t n, int64_t k, const float* a, const float* b,
+             float* c) {
+  DirectDots(m, n, k, a, b, c);
+}
+
+void SmallTN(int64_t m, int64_t n, int64_t k, const float* a, const float* b,
+             float* c) {
+  DirectRowStream(m, n, k, a, /*sr=*/1, /*sp=*/m, b, c);
+}
+
+// Direct-vs-blocked break-evens measured on the AVX-512 container this
+// repo benches on (docs/PERF.md "Dispatch tiers"). Cube sweeps put the NN
+// cross between 160^3 (8.2 MF, direct 160 vs 154 GF/s) and 192^3 (14 MF,
+// direct 129 vs blocked 161); TN crosses between 96^3 (1.8 MF) and 128^3
+// (4.2 MF). NT is the outlier: the packed path wins from 16^3 (8 KF) up
+// because DirectDots pays a horizontal reduce per output, so only
+// truly tiny products (single served pairs) stay direct. Skinny shapes
+// (2048x64x64, 64x64x2048) favor direct somewhat past the cube cross, but
+// the table's contract is a flops-only cutoff, so cubes calibrate it.
+const GemmKernels kTable = {
+    /*isa=*/Isa::kAvx512,
+    /*mr=*/kMr,
+    /*nr=*/kNr,
+    /*mc=*/64,
+    /*kc=*/256,
+    /*nc=*/512,
+    /*microkernel=*/&MicroKernelAvx512,
+    /*small_nn=*/&SmallNN,
+    /*small_nt=*/&SmallNT,
+    /*small_tn=*/&SmallTN,
+    /*direct_cutoff_nn=*/12'000'000,
+    /*direct_cutoff_nt=*/4'096,
+    /*direct_cutoff_tn=*/3'000'000,
+};
+
+}  // namespace
+
+const GemmKernels* Avx512Kernels() { return &kTable; }
+
+}  // namespace dader::cpu::internal
+
+#else  // !defined(__AVX512F__)
+
+namespace dader::cpu::internal {
+const GemmKernels* Avx512Kernels() { return nullptr; }
+}  // namespace dader::cpu::internal
+
+#endif

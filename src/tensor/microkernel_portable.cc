@@ -1,0 +1,116 @@
+// Portable GEMM kernel tier: plain C++, compiles and runs on any CPU.
+//
+// The microkernel is the 8x32 register tile the blocked layer shipped with
+// before the runtime-dispatch split: a branch-free rank-1-update loop that
+// gcc/clang auto-vectorize under -O3 (and contract into FMA when the build
+// targets an FMA-capable ISA). It stays the fallback when the host lacks
+// AVX2, when the SIMD TUs were not compiled in (non-x86), or when
+// DADER_CPU_ISA=portable pins the process here.
+//
+// The small_* kernels of this tier are the repo's original naive loops —
+// kept verbatim, because they are also the correctness oracle the tests
+// and benchmarks compare every other tier against (gemm.cc re-exports them
+// as NaiveGemm*). Keeping oracle and portable-small-tier the same code
+// means "portable direct path" and "naive baseline" cannot drift apart.
+
+#include <cstdint>
+
+#include "tensor/gemm_kernels.h"
+
+namespace dader::cpu::internal {
+
+namespace {
+
+constexpr int kMr = 8;
+constexpr int kNr = 32;
+
+// C_tile += Apanel * Bpanel over one kc depth block, accumulators live in
+// (spilled-to-stack or vector) registers for the whole depth. Depth `p`
+// ascends strictly, which is what the cross-thread bit-identity contract
+// rests on.
+void MicroKernelPortable(int64_t kc, const float* apack, const float* bpack,
+                         float* c, int64_t ldc) {
+  float acc[kMr][kNr];
+  for (int r = 0; r < kMr; ++r)
+    for (int j = 0; j < kNr; ++j) acc[r][j] = c[r * ldc + j];
+  for (int64_t p = 0; p < kc; ++p) {
+    const float* bp = bpack + p * kNr;
+    const float* ap = apack + p * kMr;
+    for (int r = 0; r < kMr; ++r) {
+      const float av = ap[r];
+      for (int j = 0; j < kNr; ++j) acc[r][j] += av * bp[j];
+    }
+  }
+  for (int r = 0; r < kMr; ++r)
+    for (int j = 0; j < kNr; ++j) c[r * ldc + j] = acc[r][j];
+}
+
+// C[m,n] += A[m,k] * B[k,n]; i-k-j loop order for streaming access.
+void NaiveNN(int64_t m, int64_t n, int64_t k, const float* a, const float* b,
+             float* c) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b + p * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+// C[m,n] += A[m,k] * B[n,k]^T: per-element dot products.
+void NaiveNT(int64_t m, int64_t n, int64_t k, const float* a, const float* b,
+             float* c) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      float acc = 0.0f;
+      for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] += acc;
+    }
+  }
+}
+
+// C[m,n] += A[k,m]^T * B[k,n]: rank-1 updates over the depth.
+void NaiveTN(int64_t m, int64_t n, int64_t k, const float* a, const float* b,
+             float* c) {
+  for (int64_t p = 0; p < k; ++p) {
+    const float* arow = a + p * m;
+    const float* brow = b + p * n;
+    for (int64_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c + i * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+// Cutoffs carried over from the pre-dispatch layer (measured for naive vs
+// blocked, docs/PERF.md): NN/TN below 32768 flops lose to packing traffic;
+// naive NT is a scalar-reduction cliff, so almost everything should block.
+const GemmKernels kTable = {
+    /*isa=*/Isa::kPortable,
+    /*mr=*/kMr,
+    /*nr=*/kNr,
+    /*mc=*/64,
+    /*kc=*/256,
+    /*nc=*/512,
+    /*microkernel=*/&MicroKernelPortable,
+    /*small_nn=*/&NaiveNN,
+    /*small_nt=*/&NaiveNT,
+    /*small_tn=*/&NaiveTN,
+    /*direct_cutoff_nn=*/32'768,
+    /*direct_cutoff_nt=*/2'048,
+    /*direct_cutoff_tn=*/32'768,
+};
+
+}  // namespace
+
+const GemmKernels* PortableKernels() { return &kTable; }
+
+}  // namespace dader::cpu::internal

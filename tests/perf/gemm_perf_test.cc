@@ -1,16 +1,26 @@
-// Release-mode performance guard for the blocked GEMM layer.
+// Release-mode performance guards for the dispatched GEMM layer.
 //
-// Asserts that the cache-blocked kernel is not slower than the naive
-// triple loop at the canonical 256x256x256 size. The assertion is armed
-// only when CMake defines DADER_PERF_ENFORCE (Release build, no
-// sanitizers); in Debug or sanitizer builds timing comparisons are
-// meaningless, so the test skips. Run with `ctest -L perf`.
+// Guards, canonical 256x256x256 unless noted:
+//   * the kernel layer is never slower than the naive triple loop — at
+//     256^3 and across every shape bench_gemm tracks;
+//   * a 2-thread pool never makes 256^3 slower than 1-thread (auto
+//     thresholds), and actually scales >= 1.5x when the host has >= 2
+//     cores to scale onto (skipped with a reason otherwise — a
+//     single-core container resolves both pools to the same serial plan);
+//   * the batch-strided direct path keeps the attention-context batch
+//     >= 2x over the packed-only path it replaced (the PR-8 behavior,
+//     reachable via GemmForcePath::kBlocked).
+//
+// Assertions are armed only when CMake defines DADER_PERF_ENFORCE
+// (Release build, no sanitizers); in Debug or sanitizer builds timing
+// comparisons are meaningless, so the tests skip. Run with `ctest -L perf`.
 
 #include <chrono>
 #include <cstdint>
 #include <functional>
 #include <random>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "gtest/gtest.h"
@@ -100,6 +110,169 @@ TEST(GemmPerfSmoke, TwoThreadPoolNotSlowerAt256) {
       << "2-thread pool regressed 256^3 GEMM: " << two_ms << "ms vs "
       << one_ms << "ms single-thread (speedup "
       << one_ms / two_ms << "x, expected >= 1.0x)";
+#endif
+}
+
+// The 2D (M x N) cell grid must actually buy parallel speedup where
+// parallelism exists: >= 1.5x from a 2-thread pool at 256^3. Forcing the
+// fan-out past the auto gates is deliberate here — the point is the
+// partitioning quality, not the dispatch policy (the test above owns
+// "never slower"). Only meaningful with a second core to scale onto.
+TEST(GemmPerfSmoke, TwoThreadsScaleAt256) {
+#ifndef DADER_PERF_ENFORCE
+  GTEST_SKIP() << "perf enforcement requires a Release, sanitizer-free build";
+#else
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw < 2) {
+    GTEST_SKIP() << "host reports " << hw
+                 << " hardware thread(s); 2-thread scaling cannot be "
+                    "demonstrated on a single-core machine";
+  }
+  const int64_t n = 256;
+  std::mt19937 rng(44);
+  std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+  std::vector<float> a(static_cast<size_t>(n * n)), b(a), c(a.size(), 0.0f);
+  for (auto& x : a) x = dist(rng);
+  for (auto& x : b) x = dist(rng);
+
+  ThreadPool pool1(1), pool2(2);
+  auto run_with = [&](ThreadPool* pool) {
+    gemm::GemmOptions options;
+    options.pool = pool;
+    // Force the cell fan-out so pool width is the only variable.
+    options.parallel_min_flops = 1;
+    options.min_flops_per_task = 0;
+    options.respect_hardware_concurrency = false;
+    gemm::GemmNN(n, n, n, a.data(), b.data(), c.data(), options);
+  };
+  double one_ms = 1e300, two_ms = 1e300;
+  for (int rep = 0; rep < 9; ++rep) {
+    one_ms = std::min(one_ms, BestOfMs(1, [&] { run_with(&pool1); }));
+    two_ms = std::min(two_ms, BestOfMs(1, [&] { run_with(&pool2); }));
+  }
+
+  RecordProperty("one_thread_ms", std::to_string(one_ms));
+  RecordProperty("two_thread_ms", std::to_string(two_ms));
+  EXPECT_LE(two_ms * 1.5, one_ms)
+      << "2-thread 256^3 GEMM below the 1.5x scaling floor: " << two_ms
+      << "ms vs " << one_ms << "ms single-thread (speedup " << one_ms / two_ms
+      << "x)";
+#endif
+}
+
+// The batch-strided direct small-GEMM path vs the packed-only path it
+// replaced: the attention-context batch (128 x 64x16x64, the shape that
+// used to plateau at 1.7x naive) must hold >= 2x over forcing every
+// element through the blocked kernel. Both sides run in-process on the
+// same machine, so the floor is host-independent.
+TEST(GemmPerfSmoke, BatchedAttnCtxTwiceForcedBlocked) {
+#ifndef DADER_PERF_ENFORCE
+  GTEST_SKIP() << "perf enforcement requires a Release, sanitizer-free build";
+#else
+  const int64_t bsz = 128, m = 64, n = 16, k = 64;
+  std::mt19937 rng(45);
+  std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+  std::vector<float> a(static_cast<size_t>(bsz * m * k));
+  std::vector<float> b(static_cast<size_t>(bsz * k * n));
+  std::vector<float> c(static_cast<size_t>(bsz * m * n), 0.0f);
+  for (auto& x : a) x = dist(rng);
+  for (auto& x : b) x = dist(rng);
+
+  gemm::GemmOptions blocked;
+  blocked.force_path = gemm::GemmForcePath::kBlocked;
+  double dispatch_ms = 1e300, blocked_ms = 1e300;
+  for (int rep = 0; rep < 9; ++rep) {
+    dispatch_ms = std::min(dispatch_ms, BestOfMs(1, [&] {
+      gemm::BatchGemmNN(bsz, m, n, k, a.data(), b.data(), c.data());
+    }));
+    blocked_ms = std::min(blocked_ms, BestOfMs(1, [&] {
+      gemm::BatchGemmNN(bsz, m, n, k, a.data(), b.data(), c.data(), blocked);
+    }));
+  }
+
+  RecordProperty("dispatch_ms", std::to_string(dispatch_ms));
+  RecordProperty("forced_blocked_ms", std::to_string(blocked_ms));
+  EXPECT_LE(dispatch_ms * 2.0, blocked_ms)
+      << "batched attn_ctx dispatch below the 2x floor over the packed-only "
+         "path: "
+      << dispatch_ms << "ms vs " << blocked_ms << "ms (ratio "
+      << blocked_ms / dispatch_ms << "x)";
+#endif
+}
+
+// Every shape bench_gemm tracks must go through the dispatched layer at
+// least as fast as the naive loops (5% slack for timer noise on the
+// sub-microsecond shapes). This is the guard that caught the matcher-head
+// 0.98x regression: a dispatch cutoff that routes a shape to the wrong
+// tier shows up here before it ships.
+TEST(GemmPerfSmoke, NoBenchShapeSlowerThanNaive) {
+#ifndef DADER_PERF_ENFORCE
+  GTEST_SKIP() << "perf enforcement requires a Release, sanitizer-free build";
+#else
+  enum class V { kNN, kNT, kTN };
+  struct Shape {
+    const char* name;
+    V v;
+    int64_t bsz, m, n, k;
+  };
+  // Mirrors bench/bench_gemm.cc kCases.
+  const Shape shapes[] = {
+      {"linear_qkv", V::kNN, 1, 2048, 64, 64},
+      {"linear_qkv_dA", V::kNT, 1, 2048, 64, 64},
+      {"linear_qkv_dB", V::kTN, 1, 64, 64, 2048},
+      {"ffn_up", V::kNN, 1, 2048, 128, 64},
+      {"ffn_down", V::kNN, 1, 2048, 64, 128},
+      {"attn_scores", V::kNT, 128, 64, 64, 16},
+      {"attn_ctx", V::kNN, 128, 64, 16, 64},
+      {"gru_step", V::kNN, 1, 32, 144, 112},
+      {"matcher_head", V::kNN, 1, 32, 2, 64},
+      {"square_256", V::kNN, 1, 256, 256, 256},
+  };
+  std::mt19937 rng(46);
+  std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+  for (const Shape& s : shapes) {
+    std::vector<float> a(static_cast<size_t>(s.bsz * s.m * s.k));
+    std::vector<float> b(static_cast<size_t>(s.bsz * s.k * s.n));
+    std::vector<float> c(static_cast<size_t>(s.bsz * s.m * s.n), 0.0f);
+    for (auto& x : a) x = dist(rng);
+    for (auto& x : b) x = dist(rng);
+    auto naive = [&] {
+      for (int64_t i = 0; i < s.bsz; ++i) {
+        const float* ai = a.data() + i * s.m * s.k;
+        const float* bi = b.data() + i * s.k * s.n;
+        float* ci = c.data() + i * s.m * s.n;
+        switch (s.v) {
+          case V::kNN: gemm::NaiveGemmNN(s.m, s.n, s.k, ai, bi, ci); break;
+          case V::kNT: gemm::NaiveGemmNT(s.m, s.n, s.k, ai, bi, ci); break;
+          case V::kTN: gemm::NaiveGemmTN(s.m, s.n, s.k, ai, bi, ci); break;
+        }
+      }
+    };
+    auto dispatched = [&] {
+      switch (s.v) {
+        case V::kNN:
+          gemm::BatchGemmNN(s.bsz, s.m, s.n, s.k, a.data(), b.data(),
+                            c.data());
+          break;
+        case V::kNT:
+          gemm::BatchGemmNT(s.bsz, s.m, s.n, s.k, a.data(), b.data(),
+                            c.data());
+          break;
+        case V::kTN:
+          gemm::BatchGemmTN(s.bsz, s.m, s.n, s.k, a.data(), b.data(),
+                            c.data());
+          break;
+      }
+    };
+    double naive_ms = 1e300, dispatch_ms = 1e300;
+    for (int rep = 0; rep < 7; ++rep) {
+      naive_ms = std::min(naive_ms, BestOfMs(1, naive));
+      dispatch_ms = std::min(dispatch_ms, BestOfMs(1, dispatched));
+    }
+    EXPECT_LE(dispatch_ms, naive_ms * 1.05)
+        << s.name << " dispatched slower than naive: " << dispatch_ms
+        << "ms vs " << naive_ms << "ms";
+  }
 #endif
 }
 

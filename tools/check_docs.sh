@@ -51,6 +51,25 @@ for name in $src_names; do
   fi
 done
 
+# Direction 2b: the GEMM kernel dispatch counters (`tensor.gemm.kernel.*`)
+# are label-valued — the base name alone doesn't tell an operator what can
+# appear on the wire. Every label value the dispatcher can emit must be
+# documented verbatim, and must still exist as a literal in the emitting
+# source (so a renamed enum shows up here, not in a dashboard).
+kernel_src="$SRC/tensor/gemm.cc"
+for pair in 'path:direct' 'path:blocked' 'path:blocked_mt' \
+            'isa:portable' 'isa:avx2' 'isa:avx512'; do
+  key="${pair%%:*}"; value="${pair##*:}"
+  if ! grep -qE "\`$value\`" "$DOC"; then
+    echo "check_docs: tensor.gemm.kernel label value not documented in $DOC: $key=$value" >&2
+    fail=1
+  fi
+  if ! grep -qF "\"$value\"" "$kernel_src"; then
+    echo "check_docs: documented tensor.gemm.kernel label value not emitted by $kernel_src: $key=$value" >&2
+    fail=1
+  fi
+done
+
 # Direction 3: dead relative links. Markdown inline links whose target is
 # a relative path (no scheme, no pure #anchor) must resolve from the
 # linking file's directory. Anchors are stripped before the check.
