@@ -44,6 +44,7 @@
 #include "obs/metrics.h"
 #include "tensor/cpu_dispatch.h"
 #include "tensor/gemm.h"
+#include "tensor/qgemm.h"
 #include "util/flags.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
@@ -237,7 +238,91 @@ int Main(int argc, char** argv) {
         Gflops(s, dispatch_ms), speedup, vs_blocked);
     first = false;
   }
-  json += "\n  ],\n  \"threads_256\": [\n";
+  // --- int8 quantized GEMM vs the fp32 dispatch on serving shapes -------
+  // The shapes the quantized serving path actually runs (8 pairs x 32
+  // tokens through the hidden-64 serving model; see bench_serving). The
+  // expected ratio is tier-dependent: vpdpbusd (VNNI) quadruples the MAC
+  // density over fp32 FMA, while the maddubs tiers' int16 pair step lands
+  // them near parity — the recorded isa/vnni fields say which regime a
+  // JSON came from.
+  json += "\n  ],\n";
+  {
+    const bool vnni = cpu::HostSupportsVnni();
+    const cpu::QGemmKernels& qk = cpu::ActiveQKernels();
+    std::printf("\nint8 qgemm (isa=%s vnni=%s)\n", cpu::IsaName(qk.isa),
+                vnni ? "yes" : "no");
+    json += StrFormat(
+        "  \"qgemm\": {\"isa\": \"%s\", \"vnni\": %s, \"shapes\": [\n",
+        cpu::IsaName(qk.isa), vnni ? "true" : "false");
+    struct QShape {
+      const char* name;
+      int64_t m, n, k;
+    };
+    const QShape qshapes[] = {
+        {"serve_qkv", 256, 64, 64},
+        {"serve_ffn_up", 256, 128, 64},
+        {"serve_ffn_down", 256, 64, 128},
+        {"square_256", 256, 256, 256},
+    };
+    std::printf("%-15s %9s %9s %8s\n", "shape", "fp32_ms", "int8_ms",
+                "speedup");
+    first = true;
+    for (const QShape& s : qshapes) {
+      const auto fa = RandomVec(static_cast<size_t>(s.m * s.k), 5);
+      const auto fb = RandomVec(static_cast<size_t>(s.k * s.n), 6);
+      std::vector<float> fc(static_cast<size_t>(s.m * s.n), 0.0f);
+
+      const int64_t lda = qgemm::PaddedLda(s.k);
+      std::mt19937 qrng(7);
+      std::uniform_int_distribution<int> adist(0, 255), bdist(-127, 127);
+      std::vector<uint8_t> qa(static_cast<size_t>(s.m * lda), 0);
+      std::vector<int8_t> qb(static_cast<size_t>(s.k * s.n));
+      std::vector<int32_t> qc(static_cast<size_t>(s.m * s.n));
+      for (int64_t i = 0; i < s.m; ++i) {
+        for (int64_t p = 0; p < s.k; ++p) {
+          qa[i * lda + p] = static_cast<uint8_t>(adist(qrng));
+        }
+      }
+      for (auto& x : qb) x = static_cast<int8_t>(bdist(qrng));
+      const int32_t bound = qgemm::MaddubsPairBound(qb.data(), s.k, s.n);
+
+      double fp32_ms = 1e300, int8_ms = 1e300;
+      for (int rep = 0; rep < reps; ++rep) {
+        fp32_ms = std::min(fp32_ms, BestOfMs(1, [&] {
+          gemm::GemmNN(s.m, s.n, s.k, fa.data(), fb.data(), fc.data());
+        }));
+        int8_ms = std::min(int8_ms, BestOfMs(1, [&] {
+          qgemm::QGemmNN(s.m, s.n, s.k, qa.data(), lda, qb.data(), qc.data(),
+                         255, bound);
+        }));
+      }
+      std::printf("%-15s %9.4f %9.4f %7.2fx\n", s.name, fp32_ms, int8_ms,
+                  fp32_ms / int8_ms);
+      json += StrFormat(
+          "%s    {\"name\": \"%s\", \"m\": %lld, \"n\": %lld, \"k\": %lld, "
+          "\"fp32_ms\": %.5f, \"int8_ms\": %.5f, \"speedup\": %.3f}",
+          first ? "" : ",\n", s.name, static_cast<long long>(s.m),
+          static_cast<long long>(s.n), static_cast<long long>(s.k), fp32_ms,
+          int8_ms, fp32_ms / int8_ms);
+      first = false;
+    }
+    json += "\n  ]},\n";
+  }
+
+  // On a single-core host every pool width resolves to the serial plan, so
+  // the sweep cannot say anything about scaling — record why instead of
+  // leaving readers to wonder about four identical rows.
+  if (hw <= 1) {
+    json +=
+        "  \"threads_256_skip_reason\": \"single-core host "
+        "(hardware_concurrency=1): auto dispatch resolves every pool width "
+        "to the serial plan, so the sweep measures overhead, not "
+        "scaling\",\n";
+    std::printf(
+        "\n[threads_256: single-core host, sweep records the serial plan "
+        "at every width]\n");
+  }
+  json += "  \"threads_256\": [\n";
 
   // Thread-scaling sweep at 256^3 on explicit pools (the default path uses
   // the global pool; this isolates pool size as the only variable). The

@@ -1,7 +1,7 @@
 // Serving bench: throughput, latency percentiles, and overload behavior of
 // the fault-tolerant MatchService.
 //
-// Five experiments:
+// Six experiments:
 //   1. closed-loop throughput/latency vs max_batch (batching is the
 //      single-core throughput lever)
 //   2. open-loop overload: offered load above capacity must be shed by the
@@ -13,6 +13,9 @@
 //   5. bursty arrivals against the adaptive batch-cap controller: the cap
 //      must grow under the bursts and hold still (converge) once the
 //      arrival pattern stabilizes
+//   6. quantized (--quantize, int8) vs fp32 serving throughput per shard
+//      count and feature-cache setting on a Linear-dominated model — the
+//      numbers behind the >= 1.5x guard in tests/perf/qgemm_perf_test.cc
 //
 // At exit the process-wide metrics registry is dumped (Prometheus text
 // format); --metrics_jsonl=path additionally writes the JSON-lines export
@@ -377,6 +380,126 @@ int main(int argc, char** argv) {
                 adaptive_converged ? "yes" : "no");
   }
 
+  // -- 6. quantized vs fp32 serving sweep -----------------------------------
+  // The --quantize before/after, per shard count and feature-cache setting,
+  // on a Linear-dominated model (hidden 64 / ffn 128 — the regime int8
+  // GEMM accelerates; the hidden-16 model above spends its time outside
+  // the Linears). Cache-off rows run the full forward per request, where
+  // quantization pays; cache-on rows mostly skip the extractor on the
+  // repeat-heavy stream, so the quantized win shrinks toward the
+  // matcher-head share. Uses agreement gate 0: the bench model is
+  // untrained (probabilities near 0.5, argmax agreement is a coin flip);
+  // accuracy gates live in the quant test suite on trained models.
+  std::printf("\n== 6. quantized vs fp32 serving sweep ==\n");
+  std::printf("%-8s %-7s %-9s %12s %10s %10s\n", "shards", "cache", "weights",
+              "rps", "p50 ms", "p95 ms");
+  struct QuantPoint {
+    int shards;
+    bool cache;
+    bool quantized;
+    double rps, p50, p95;
+  };
+  std::vector<QuantPoint> quant_sweep;
+  {
+    core::DaderConfig quant_model_config;
+    quant_model_config.vocab_size = 1024;
+    quant_model_config.max_len = 32;
+    quant_model_config.hidden_dim = 64;
+    quant_model_config.num_heads = 2;
+    quant_model_config.num_layers = 2;
+    quant_model_config.ffn_dim = 128;
+    quant_model_config.rnn_hidden = 16;
+    quant_model_config.dropout = 0.0f;
+    auto make_quant_model = [&](uint64_t seed) {
+      core::DaModel model;
+      model.extractor = core::MakeExtractor(core::ExtractorKind::kLM,
+                                            quant_model_config, seed);
+      model.matcher = std::make_unique<core::Matcher>(
+          model.extractor->feature_dim(), seed + 1);
+      return model;
+    };
+    data::Schema schema({"title", "price"});
+    data::ERDataset calib("calib", "serve", schema, schema);
+    for (int i = 0; i < 48; ++i) {
+      calib.AddPair({data::Record({"calib widget model " + std::to_string(i) +
+                                       " pro edition",
+                                   std::to_string(i)}),
+                     data::Record({"calib widget model " + std::to_string(i),
+                                   std::to_string(i)}),
+                     /*label=*/-1});
+    }
+    const int kQuantRequests = std::max(128, kRequests);
+    Rng quant_rng(env.seed + 600);
+    const std::vector<serve::MatchRequest> stream =
+        MakeRepeatHeavyRequests(kQuantRequests, /*unique=*/16, &quant_rng);
+    for (int shards : {1, 2}) {
+      for (bool cache : {false, true}) {
+        for (bool quantize : {false, true}) {
+          serve::ShardedServeConfig config;
+          config.num_shards = shards;
+          config.shard.queue_capacity = static_cast<size_t>(kQuantRequests);
+          config.shard.max_batch = 8;
+          config.shard.batch_wait_ms = 0.2;
+          config.shard.default_deadline_ms = 60000.0;
+          config.shard.seed = env.seed;
+          config.shard.feature_cache_capacity = cache ? 256 : 0;
+          config.shard.quantize = quantize;
+          config.shard.quant_calib = quantize ? &calib : nullptr;
+          config.shard.quant_min_agreement = 0.0;
+          auto service_or = serve::ShardedMatchService::Create(
+              config, schema, schema, make_quant_model(env.seed));
+          if (!service_or.ok()) {
+            std::fprintf(stderr, "quant sweep setup failed: %s\n",
+                         service_or.status().ToString().c_str());
+            return 1;
+          }
+          auto service = std::move(service_or).ValueOrDie();
+          if (quantize && service->stats().quant_calibrations == 0) {
+            std::fprintf(stderr, "quant sweep: quantization did not engage\n");
+            return 1;
+          }
+          Stopwatch timer;
+          const std::vector<serve::MatchResponse> responses =
+              service->MatchBatch(stream);
+          const double elapsed_s = timer.ElapsedSeconds();
+          std::vector<double> lat;
+          for (const auto& r : responses) {
+            if (r.status.ok()) lat.push_back(r.total_ms);
+          }
+          QuantPoint point;
+          point.shards = shards;
+          point.cache = cache;
+          point.quantized = quantize;
+          point.rps = lat.size() / elapsed_s;
+          point.p50 = Percentile(lat, 0.5);
+          point.p95 = Percentile(lat, 0.95);
+          quant_sweep.push_back(point);
+          service->Stop();
+          std::printf("%-8d %-7s %-9s %12.1f %10.2f %10.2f\n", shards,
+                      cache ? "on" : "off", quantize ? "int8" : "fp32",
+                      point.rps, point.p50, point.p95);
+          csv.AddRow({"quant_sweep",
+                      StrFormat("shards=%d cache=%s weights=%s", shards,
+                                cache ? "on" : "off",
+                                quantize ? "int8" : "fp32"),
+                      std::to_string(kQuantRequests),
+                      std::to_string(lat.size()), "0", "0",
+                      StrFormat("%.1f", point.rps),
+                      StrFormat("%.3f", point.p50),
+                      StrFormat("%.3f", point.p95)});
+        }
+      }
+    }
+  }
+  double quant_speedup_uncached = 0.0;
+  for (size_t i = 0; i + 1 < quant_sweep.size(); i += 2) {
+    // Points come in fp32/int8 neighbor pairs per (shards, cache) cell.
+    if (quant_sweep[i].shards == 1 && !quant_sweep[i].cache) {
+      quant_speedup_uncached = quant_sweep[i + 1].rps / quant_sweep[i].rps;
+    }
+  }
+  std::printf("1-shard uncached int8 vs fp32: %.2fx\n", quant_speedup_uncached);
+
   if (!env.json_path.empty()) {
     std::string json = "{\n  \"sweep\": [\n";
     for (size_t i = 0; i < sweep.size(); ++i) {
@@ -392,6 +515,19 @@ int main(int argc, char** argv) {
     json += StrFormat(
         "  ],\n  \"speedup_4shard_cached_vs_1shard_uncached\": %.2f,\n",
         speedup_4shard);
+    json += "  \"quant_sweep\": [\n";
+    for (size_t i = 0; i < quant_sweep.size(); ++i) {
+      const QuantPoint& p = quant_sweep[i];
+      json += StrFormat(
+          "    {\"shards\": %d, \"cache\": %s, \"quantized\": %s, "
+          "\"rps\": %.1f, \"p50_ms\": %.3f, \"p95_ms\": %.3f}%s\n",
+          p.shards, p.cache ? "true" : "false",
+          p.quantized ? "true" : "false", p.rps, p.p50, p.p95,
+          i + 1 < quant_sweep.size() ? "," : "");
+    }
+    json += StrFormat(
+        "  ],\n  \"quant_speedup_1shard_uncached\": %.2f,\n",
+        quant_speedup_uncached);
     json += "  \"adaptive\": {\"cap_trajectory\": [";
     for (size_t i = 0; i < cap_trajectory.size(); ++i) {
       json += StrFormat("%s%lld", i ? ", " : "",

@@ -12,7 +12,12 @@
 //   5. hot model reload: a corrupt checkpoint is rejected and rolled back,
 //      a valid one is swapped in with zero downtime
 //
-//   ./serving_demo [--seed=42]
+//   ./serving_demo [--seed=42] [--quantize]
+//
+// With --quantize the primary serves through the int8 path: the model is
+// calibrated on a small synthetic pair set at startup, gated on fp32
+// agreement, and hot reloads re-calibrate the staged weights before the
+// canary (a bad calibration rolls the reload back).
 
 #include <sys/stat.h>
 
@@ -54,6 +59,27 @@ core::DaModel MakeModel(core::ExtractorKind kind, uint64_t seed) {
   return model;
 }
 
+// Synthetic product pairs for int8 calibration: near-duplicates and clear
+// non-matches, enough batches to cover the activation ranges the demo
+// traffic exercises.
+data::ERDataset BuildCalibration(const data::Schema& schema) {
+  data::ERDataset calib("demo-calib", "serve", schema, schema);
+  const char* items[] = {"apple iphone 12 128gb", "makita cordless drill",
+                         "sony wh-1000xm4 headphones", "canon eos r6 body",
+                         "dell xps 13 laptop", "bosch rotary hammer",
+                         "logitech mx master 3", "samsung galaxy s21"};
+  const int n = static_cast<int>(sizeof(items) / sizeof(items[0]));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      calib.AddPair({data::Record({items[i], std::to_string(10 + i)}),
+                     data::Record({std::string(items[j]) + " new",
+                                   std::to_string(10 + j)}),
+                     /*label=*/-1});
+    }
+  }
+  return calib;
+}
+
 serve::MatchRequest Pair(const std::string& a, const std::string& b) {
   serve::MatchRequest request;
   request.a = data::Record({a, "99"});
@@ -77,6 +103,8 @@ void PrintResponse(const char* tag, const serve::MatchResponse& r) {
 int main(int argc, char** argv) {
   FlagParser flags;
   flags.DefineInt("seed", 42, "model + serving seed");
+  flags.DefineBool("quantize", false,
+                   "serve the primary through the calibrated int8 path");
   flags.DefineInt("metrics_port",
                   0, "serve GET /metrics on 127.0.0.1:<port> while the demo "
                      "runs (0 = disabled; any other taken port fails)");
@@ -112,6 +140,11 @@ int main(int argc, char** argv) {
   config.fault = &fault;
 
   data::Schema schema({"title", "price"});
+  const data::ERDataset calib = BuildCalibration(schema);
+  if (flags.GetBool("quantize")) {
+    config.quantize = true;
+    config.quant_calib = &calib;
+  }
   serve::MatchService service(
       config, schema, schema, MakeModel(core::ExtractorKind::kLM, seed),
       std::make_unique<core::DaModel>(
@@ -204,6 +237,13 @@ int main(int argc, char** argv) {
               static_cast<long long>(stats.breaker_trips),
               static_cast<long long>(stats.reloads),
               static_cast<long long>(stats.reload_rollbacks));
+  if (flags.GetBool("quantize")) {
+    std::printf("  int8: serving_quantized=%s calibrations=%lld "
+                "quant_rollbacks=%lld\n",
+                service.primary_quantized() ? "yes" : "no",
+                static_cast<long long>(stats.quant_calibrations),
+                static_cast<long long>(stats.quant_rollbacks));
+  }
 
   // Exit-time metrics dump: everything the process observed, in the
   // Prometheus text exposition format (see docs/OBSERVABILITY.md).

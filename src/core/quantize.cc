@@ -1,0 +1,167 @@
+#include "core/quantize.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "core/evaluator.h"
+#include "nn/layers.h"
+#include "util/rng.h"
+
+namespace dader::core {
+
+namespace {
+
+std::vector<nn::Linear*> CollectLinears(nn::Module* root) {
+  std::vector<nn::Linear*> out;
+  root->Apply([&out](nn::Module* m) {
+    if (auto* linear = dynamic_cast<nn::Linear*>(m)) out.push_back(linear);
+  });
+  return out;
+}
+
+std::vector<nn::Linear*> CollectLinears(DaModel* model) {
+  std::vector<nn::Linear*> all = CollectLinears(model->extractor.get());
+  std::vector<nn::Linear*> m = CollectLinears(model->matcher.get());
+  all.insert(all.end(), m.begin(), m.end());
+  return all;
+}
+
+// First `want` indices, or everything when the dataset is smaller. An
+// `offset` lets the agreement check prefer pairs the calibration pass
+// never saw.
+std::vector<size_t> SliceIndices(size_t dataset_size, int64_t offset,
+                                 int64_t want) {
+  std::vector<size_t> idx;
+  if (dataset_size == 0 || want <= 0) return idx;
+  const size_t start =
+      offset > 0 && static_cast<size_t>(offset) < dataset_size
+          ? static_cast<size_t>(offset)
+          : 0;
+  for (size_t i = start; i < dataset_size && idx.size() < static_cast<size_t>(want);
+       ++i) {
+    idx.push_back(i);
+  }
+  // Wrap to the front if the tail was short.
+  for (size_t i = 0; i < start && idx.size() < static_cast<size_t>(want); ++i) {
+    idx.push_back(i);
+  }
+  return idx;
+}
+
+}  // namespace
+
+Result<QuantizeReport> QuantizeDaModel(DaModel* model,
+                                       const data::ERDataset& calib,
+                                       const QuantizeOptions& options) {
+  if (model == nullptr || model->extractor == nullptr ||
+      model->matcher == nullptr) {
+    return Status::InvalidArgument("QuantizeDaModel: null model");
+  }
+  if (calib.size() == 0) {
+    return Status::InvalidArgument(
+        "QuantizeDaModel: empty calibration dataset");
+  }
+  std::vector<nn::Linear*> linears = CollectLinears(model);
+  if (linears.empty()) {
+    return Status::InvalidArgument(
+        "QuantizeDaModel: model has no Linear layers");
+  }
+  ClearQuantization(model);
+
+  const data::ERDataset calib_slice =
+      calib.Subset(SliceIndices(calib.size(), 0, options.calib_pairs));
+  const data::ERDataset eval_slice = calib.Subset(
+      SliceIndices(calib.size(), options.calib_pairs, options.eval_pairs));
+
+  // 1) Observed fp32 pass: every Linear records its input range.
+  Rng rng(options.seed);
+  for (nn::Linear* l : linears) {
+    l->ResetObserver();
+    l->SetCalibrating(true);
+  }
+  Predict(model->extractor.get(), model->matcher.get(), calib_slice,
+          options.batch_size, &rng);
+  for (nn::Linear* l : linears) l->SetCalibrating(false);
+
+  // fp32 reference predictions before any state is attached.
+  Rng rng_fp32(options.seed + 1);
+  const Prediction fp32 =
+      Predict(model->extractor.get(), model->matcher.get(), eval_slice,
+              options.batch_size, &rng_fp32);
+
+  // 2) Quantize weights against the observed ranges and attach.
+  for (nn::Linear* l : linears) {
+    const Tensor w = l->weight();
+    const Tensor b = l->bias();
+    l->AttachQuantState(quant::QuantizeLinearWeights(
+        w.data(), l->in_features(), l->out_features(),
+        b.defined() ? b.data() : nullptr, l->observer().min_v,
+        l->observer().max_v));
+  }
+
+  // 3) Acceptance: quantized labels must agree with fp32 on almost every
+  // held-out pair, else roll back to fp32 and fail.
+  Rng rng_q(options.seed + 1);
+  const Prediction quantized =
+      Predict(model->extractor.get(), model->matcher.get(), eval_slice,
+              options.batch_size, &rng_q);
+  int64_t same = 0;
+  for (size_t i = 0; i < fp32.labels.size(); ++i) {
+    if (fp32.labels[i] == quantized.labels[i]) ++same;
+  }
+  QuantizeReport report;
+  report.linears = static_cast<int64_t>(linears.size());
+  report.eval_pairs = static_cast<int64_t>(fp32.labels.size());
+  report.agreement = fp32.labels.empty()
+                         ? 0.0
+                         : static_cast<double>(same) /
+                               static_cast<double>(fp32.labels.size());
+  if (report.agreement < options.min_agreement) {
+    ClearQuantization(model);
+    return Status::InvalidArgument(
+        "quantized model agrees with fp32 on only " +
+        std::to_string(report.agreement) + " of " +
+        std::to_string(report.eval_pairs) + " pairs (need " +
+        std::to_string(options.min_agreement) + "); rolled back to fp32");
+  }
+  return report;
+}
+
+bool IsQuantized(const DaModel& model) {
+  bool any = false;
+  auto probe = [&any](nn::Module* m) {
+    auto* linear = dynamic_cast<nn::Linear*>(m);
+    if (linear != nullptr && linear->quant_state() != nullptr) any = true;
+  };
+  if (model.extractor != nullptr) model.extractor->Apply(probe);
+  if (model.matcher != nullptr) model.matcher->Apply(probe);
+  return any;
+}
+
+void ClearQuantization(DaModel* model) {
+  for (nn::Linear* l : CollectLinears(model)) {
+    l->AttachQuantState(nullptr);
+    l->SetCalibrating(false);
+  }
+}
+
+Result<DaModel> CloneQuantized(const DaModel& model, uint64_t seed) {
+  DADER_ASSIGN_OR_RETURN(DaModel clone, CloneModel(model, seed));
+  // CloneModel reproduces the architecture, so both trees enumerate their
+  // Linears in the same order; share the frozen state pairwise.
+  std::vector<nn::Linear*> src =
+      CollectLinears(const_cast<DaModel*>(&model));
+  std::vector<nn::Linear*> dst = CollectLinears(&clone);
+  if (src.size() != dst.size()) {
+    return Status::Internal("CloneQuantized: layer count mismatch (" +
+                            std::to_string(src.size()) + " vs " +
+                            std::to_string(dst.size()) + ")");
+  }
+  for (size_t i = 0; i < src.size(); ++i) {
+    dst[i]->AttachQuantState(src[i]->quant_state());
+  }
+  return clone;
+}
+
+}  // namespace dader::core

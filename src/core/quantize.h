@@ -1,0 +1,63 @@
+// Post-training int8 quantization of a (Feature Extractor, Matcher) model.
+//
+// The serving-side entry point of the quantized inference path: given a
+// loaded fp32 model and a handful of calibration pairs, QuantizeDaModel
+// (1) runs an observed eval pass recording each Linear's input activation
+// range, (2) derives per-output-channel weight scales and per-tensor
+// activation scales and attaches frozen int8 state to every Linear in both
+// modules (see tensor/quant.h for the scheme), and (3) verifies the result
+// against the fp32 model on held-out pairs — if predicted labels agree on
+// fewer than `min_agreement` of them, quantization is rolled back and an
+// error returned, so a badly calibrated model can never serve. Serving
+// wires that error into the canary path: a quantize failure during
+// hot-reload rejects the checkpoint like any other canary failure.
+
+#pragma once
+
+#include <cstdint>
+
+#include "core/experiment.h"
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace dader::core {
+
+/// \brief Calibration / acceptance knobs for QuantizeDaModel.
+struct QuantizeOptions {
+  /// Pairs drawn from the calibration set for the range-observation pass.
+  int64_t calib_pairs = 64;
+  /// Pairs (drawn after the calibration slice when available) checked for
+  /// fp32-vs-int8 label agreement.
+  int64_t eval_pairs = 256;
+  int64_t batch_size = 32;
+  /// Minimum label-agreement fraction; below it the model is rolled back
+  /// to fp32 and an error returned.
+  double min_agreement = 0.99;
+  uint64_t seed = 17;
+};
+
+/// \brief What quantization measured; returned on success.
+struct QuantizeReport {
+  int64_t linears = 0;      ///< Linear layers quantized (extractor+matcher)
+  int64_t eval_pairs = 0;   ///< pairs in the agreement check
+  double agreement = 0.0;   ///< fp32-vs-int8 label agreement in [0, 1]
+};
+
+/// \brief Calibrates on `calib` and attaches int8 state to every Linear of
+/// `model`. On any failure the model is left fully fp32.
+Result<QuantizeReport> QuantizeDaModel(DaModel* model,
+                                       const data::ERDataset& calib,
+                                       const QuantizeOptions& options = {});
+
+/// \brief True if any Linear in the model carries int8 state.
+bool IsQuantized(const DaModel& model);
+
+/// \brief Detaches all int8 state (back to pure fp32 inference).
+void ClearQuantization(DaModel* model);
+
+/// \brief CloneModel plus sharing of the source's frozen int8 state, so a
+/// per-shard replica serves quantized without re-calibrating. The state is
+/// immutable and shared by pointer — no weight duplication.
+Result<DaModel> CloneQuantized(const DaModel& model, uint64_t seed);
+
+}  // namespace dader::core

@@ -17,6 +17,20 @@ Linear::Linear(int64_t in_features, int64_t out_features, Rng* rng, bool bias)
 Tensor Linear::Forward(const Tensor& x) const {
   DADER_CHECK_GE(x.rank(), 1u);
   DADER_CHECK_EQ(x.shape().back(), in_);
+  // Int8 path: eval-mode only, and never while a calibration pass needs the
+  // fp32 activations observed. The output is a plain value tensor — serving
+  // forwards never backprop, so skipping the tape is free.
+  if (quant_ != nullptr && !training() && !calibrating_) {
+    const int64_t rows = x.numel() / in_;
+    std::vector<float> out(static_cast<size_t>(rows * out_));
+    quant::QLinearForward(*quant_, x.data(), rows, out.data());
+    Shape out_shape(x.shape().begin(), x.shape().end() - 1);
+    out_shape.push_back(out_);
+    return Tensor::FromVector(std::move(out_shape), std::move(out));
+  }
+  if (calibrating_ && !training()) {
+    observer_.Observe(x.data(), x.numel());
+  }
   Tensor flat = x;
   const bool needs_reshape = x.rank() != 2;
   Shape orig = x.shape();

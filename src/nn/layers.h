@@ -6,16 +6,25 @@
 
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "nn/module.h"
 #include "tensor/ops.h"
 #include "tensor/nn_ops.h"
+#include "tensor/quant.h"
 #include "util/rng.h"
 
 namespace dader::nn {
 
 /// \brief Fully connected layer y = x W + b over the last dimension.
+///
+/// Int8 inference: after post-training calibration (core/quantize.h), a
+/// frozen quant::QuantizedLinear can be attached. An eval-mode Forward then
+/// runs the dispatched int8 GEMM and returns a plain (tape-free) tensor;
+/// training-mode forwards always use the fp32 parameters, so quantization
+/// never touches gradients. The attached state is shared — CloneModel'd
+/// replicas point at the same immutable object.
 class Linear : public Module {
  public:
   Linear(int64_t in_features, int64_t out_features, Rng* rng,
@@ -27,10 +36,35 @@ class Linear : public Module {
   int64_t in_features() const { return in_; }
   int64_t out_features() const { return out_; }
 
+  /// \brief Fp32 parameters ([in, out] and [out]; bias may be undefined).
+  Tensor weight() const { return weight_; }
+  Tensor bias() const { return bias_; }
+
+  /// \brief Attaches (or, with null, detaches) frozen int8 state. The
+  /// caller guarantees shape agreement with this layer.
+  void AttachQuantState(std::shared_ptr<const quant::QuantizedLinear> q) {
+    if (q != nullptr) {
+      DADER_CHECK(q->in == in_ && q->out == out_);
+    }
+    quant_ = std::move(q);
+  }
+  const std::shared_ptr<const quant::QuantizedLinear>& quant_state() const {
+    return quant_;
+  }
+
+  /// \brief While true, eval-mode fp32 forwards feed their inputs to the
+  /// range observer (the calibration pass of core/quantize.h).
+  void SetCalibrating(bool on) { calibrating_ = on; }
+  const quant::RangeObserver& observer() const { return observer_; }
+  void ResetObserver() { observer_ = quant::RangeObserver(); }
+
  private:
   int64_t in_, out_;
   Tensor weight_;  // [in, out]
   Tensor bias_;    // [out] or undefined
+  std::shared_ptr<const quant::QuantizedLinear> quant_;
+  bool calibrating_ = false;
+  mutable quant::RangeObserver observer_;
 };
 
 /// \brief Learnable layer normalization over the last dimension.

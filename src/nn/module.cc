@@ -70,6 +70,11 @@ int64_t Module::NumParameters() const {
   return total;
 }
 
+void Module::Apply(const std::function<void(Module*)>& fn) {
+  fn(this);
+  for (auto& [name, child] : children_) child->Apply(fn);
+}
+
 Tensor Module::RegisterParameter(const std::string& name, Tensor t) {
   DADER_CHECK(t.defined());
   DADER_CHECK_MSG(t.requires_grad(), name.c_str());

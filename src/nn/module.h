@@ -4,6 +4,7 @@
 
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -51,6 +52,10 @@ class Module {
 
   /// \brief Total number of scalar parameters.
   int64_t NumParameters() const;
+
+  /// \brief Calls `fn` on this module and every descendant, parents first.
+  /// Used by the quantizer to find all Linear layers in a model tree.
+  void Apply(const std::function<void(Module*)>& fn);
 
  protected:
   /// \brief Registers an owned parameter tensor under `name`.

@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "core/guard.h"
+#include "core/quantize.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
@@ -82,6 +83,35 @@ const ServeMetrics& Metrics() {
     m.batch_size = reg.GetHistogram(
         "serve.batch.size", "Live requests per worker batch", "requests",
         std::vector<double>{1, 2, 4, 8, 16, 32, 64, 128});
+    return m;
+  }();
+  return metrics;
+}
+
+// Quantized-serving metrics (`serve.quant.*`, docs/OBSERVABILITY.md),
+// shared across services like ServeMetrics.
+struct QuantServeMetrics {
+  obs::Counter* calibrations;
+  obs::Counter* rollbacks;
+  obs::Histogram* agreement;
+};
+
+const QuantServeMetrics& QuantMetrics() {
+  static const QuantServeMetrics metrics = [] {
+    auto& reg = obs::MetricsRegistry::Default();
+    QuantServeMetrics m;
+    m.calibrations = reg.GetCounter(
+        "serve.quant.calibrations.total",
+        "Accepted serving-side int8 calibrations (model now serves int8)",
+        "calibrations");
+    m.rollbacks = reg.GetCounter(
+        "serve.quant.rollbacks.total",
+        "Int8 calibrations rolled back to fp32 (agreement gate or error)",
+        "rollbacks");
+    m.agreement = reg.GetHistogram(
+        "serve.quant.agreement",
+        "Fp32-vs-int8 label agreement of accepted calibrations", "fraction",
+        std::vector<double>{0.9, 0.95, 0.98, 0.99, 0.995, 0.999, 1.0});
     return m;
   }();
   return metrics;
@@ -182,6 +212,21 @@ MatchService::MatchService(ServeConfig config, data::Schema schema_a,
   }
   primary_.extractor->SetTraining(false);
   primary_.matcher->SetTraining(false);
+  // Startup quantization is best-effort: a failed calibration falls back to
+  // fp32 serving (counted as a quant rollback) instead of refusing to come
+  // up. A sharded Create may hand us an already-quantized replica — skip.
+  if (config_.quantize && !core::IsQuantized(primary_)) {
+    Status quantized = QuantizeForServing(config_, &primary_);
+    if (quantized.ok()) {
+      quant_calibrations_.fetch_add(1);
+    } else {
+      quant_rollbacks_.fetch_add(1);
+      DADER_LOG(Warning) << "startup quantization rolled back, serving fp32: "
+                         << quantized.ToString();
+    }
+  } else if (config_.quantize) {
+    quant_calibrations_.fetch_add(1);
+  }
   if (fallback_ != nullptr) {
     DADER_CHECK(fallback_->extractor != nullptr);
     DADER_CHECK(fallback_->matcher != nullptr);
@@ -567,6 +612,27 @@ Status MatchService::AdoptPrimary(core::DaModel staged) {
   staged.extractor->SetTraining(false);
   staged.matcher->SetTraining(false);
 
+  // 2b. Quantization rides the reload validation path: the staged weights
+  // are calibrated before the canary, so the canary exercises the int8
+  // model that would actually serve, and a bad calibration (agreement gate)
+  // rejects the checkpoint like any other validation failure. The sharded
+  // fan-out pre-quantizes the staged model once; its shared-state clones
+  // arrive here already quantized and skip.
+  if (config_.quantize && !core::IsQuantized(staged)) {
+    Status quantized = QuantizeForServing(config_, &staged);
+    if (!quantized.ok()) {
+      quant_rollbacks_.fetch_add(1);
+      reload_rollbacks_.fetch_add(1);
+      Metrics().reload_rollback->Increment();
+      DADER_LOG(Error) << "model reload rejected (quantization): "
+                       << quantized.ToString();
+      return Status(quantized.code(),
+                    "model reload rolled back: quantization failed: " +
+                        quantized.message());
+    }
+    quant_calibrations_.fetch_add(1);
+  }
+
   // 3. Canary batch: the candidate must produce finite probabilities on the
   //    synthetic near-match / non-match pair before it may serve traffic.
   Rng canary_rng(config_.seed ^ 0xca9a12ULL);
@@ -615,6 +681,31 @@ Status MatchService::CanaryCheck() {
   return Status::OK();
 }
 
+Status MatchService::QuantizeForServing(const ServeConfig& config,
+                                        core::DaModel* model) {
+  if (config.quant_calib == nullptr) {
+    return Status::InvalidArgument(
+        "ServeConfig.quantize requires quant_calib calibration pairs");
+  }
+  core::QuantizeOptions qopts;
+  qopts.min_agreement = config.quant_min_agreement;
+  qopts.seed = config.seed ^ 0x9a47ULL;
+  Result<core::QuantizeReport> report =
+      core::QuantizeDaModel(model, *config.quant_calib, qopts);
+  if (!report.ok()) {
+    QuantMetrics().rollbacks->Increment();
+    return report.status();
+  }
+  QuantMetrics().calibrations->Increment();
+  QuantMetrics().agreement->Observe(report.ValueOrDie().agreement);
+  return Status::OK();
+}
+
+bool MatchService::primary_quantized() {
+  std::lock_guard<std::mutex> lock(model_mu_);
+  return core::IsQuantized(primary_);
+}
+
 Status MatchService::ReloadModel(const std::string& path) {
   obs::TraceSpan reload_span("serve.reload");
   Result<core::DaModel> staged = StageCheckpoint(path);
@@ -640,6 +731,8 @@ ServeStats MatchService::stats() const {
     s.cache_hits = cache_->hits();
     s.cache_misses = cache_->misses();
   }
+  s.quant_calibrations = quant_calibrations_.load();
+  s.quant_rollbacks = quant_rollbacks_.load();
   return s;
 }
 

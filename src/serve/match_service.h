@@ -123,6 +123,17 @@ class MatchService {
   /// late submissions get Unavailable. Idempotent; called by the dtor.
   void Stop();
 
+  /// \brief Applies `config`'s quantization knobs to `model` (calibrate,
+  /// attach int8 state, run the fp32-agreement gate), updating the shared
+  /// serve.quant.* metric series. OK = the model serves int8; any error =
+  /// the model was left fully fp32. Exposed so the sharded service can
+  /// quantize a staged model once and fan out shared-state clones.
+  static Status QuantizeForServing(const ServeConfig& config,
+                                   core::DaModel* model);
+
+  /// \brief True while the live primary carries int8 state.
+  bool primary_quantized();
+
   ServeStats stats() const;
   BreakerState breaker_state() const { return breaker_.state(); }
   size_t queue_depth() const { return queue_.size(); }
@@ -183,6 +194,8 @@ class MatchService {
   std::atomic<int64_t> retries_{0};
   std::atomic<int64_t> reloads_{0};
   std::atomic<int64_t> reload_rollbacks_{0};
+  std::atomic<int64_t> quant_calibrations_{0};
+  std::atomic<int64_t> quant_rollbacks_{0};
 };
 
 }  // namespace dader::serve

@@ -14,6 +14,9 @@
 
 namespace dader {
 class FaultInjector;  // util/fault.h; only tests/benches arm one
+namespace data {
+class ERDataset;  // data/dataset.h; quantization calibration pairs
+}
 namespace util {
 class Clock;  // util/clock.h; tests inject a ManualClock
 }
@@ -60,6 +63,8 @@ struct ServeStats {
   int64_t reload_rollbacks = 0;  ///< ReloadModel validations that failed
   int64_t cache_hits = 0;        ///< feature-cache hits (extractor skipped)
   int64_t cache_misses = 0;      ///< feature-cache misses (extractor ran)
+  int64_t quant_calibrations = 0;  ///< accepted int8 calibrations
+  int64_t quant_rollbacks = 0;     ///< calibrations rolled back to fp32
 };
 
 /// \brief Tuning knobs of the MatchService.
@@ -90,6 +95,18 @@ struct ServeConfig {
   /// serve.shard.* metric series and scopes shard-filtered fault specs.
   /// Negative (the default) means "not sharded" — unlabeled shared series.
   int shard_index = -1;
+  /// Serve the primary through the int8 quantized path (core/quantize.h).
+  /// Requires `quant_calib`; calibration failure at startup is non-fatal
+  /// (the service falls back to fp32 and counts a calibration rollback),
+  /// while a failure during hot-reload rejects the staged checkpoint.
+  bool quantize = false;
+  /// Labeled pairs used to calibrate activation ranges and run the
+  /// fp32-vs-int8 agreement gate. Must outlive the service. Null with
+  /// quantize=true is a construction error.
+  const data::ERDataset* quant_calib = nullptr;
+  /// Minimum fp32-vs-int8 label agreement on held-out calibration pairs;
+  /// below it quantization is rolled back.
+  double quant_min_agreement = 0.99;
 };
 
 }  // namespace dader::serve

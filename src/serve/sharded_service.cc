@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "core/quantize.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 
@@ -16,6 +17,20 @@ Result<std::unique_ptr<ShardedMatchService>> ShardedMatchService::Create(
     core::DaModel primary, std::unique_ptr<core::DaModel> fallback) {
   if (config.num_shards < 1) {
     return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  // Quantize the loaded model once, before any replica is stamped out:
+  // every shard then shares the same frozen int8 state (CloneQuantized)
+  // instead of re-calibrating per shard. Startup calibration failure is
+  // non-fatal — the fleet serves fp32 and each shard counts a rollback
+  // (the per-shard ctor retries, fails the same deterministic gate, and
+  // falls back).
+  if (config.shard.quantize) {
+    Status quantized =
+        MatchService::QuantizeForServing(config.shard, &primary);
+    if (!quantized.ok()) {
+      DADER_LOG(Warning) << "sharded startup quantization rolled back: "
+                         << quantized.ToString();
+    }
   }
   std::vector<std::unique_ptr<MatchService>> shards;
   shards.reserve(static_cast<size_t>(config.num_shards));
@@ -33,8 +48,9 @@ Result<std::unique_ptr<ShardedMatchService>> ShardedMatchService::Create(
     if (last) {
       replica = std::move(primary);
     } else {
+      // CloneQuantized == CloneModel plus sharing any attached int8 state.
       DADER_ASSIGN_OR_RETURN(replica,
-                             core::CloneModel(primary, shard_config.seed));
+                             core::CloneQuantized(primary, shard_config.seed));
     }
     std::unique_ptr<core::DaModel> fallback_replica;
     if (fallback != nullptr) {
@@ -93,6 +109,21 @@ Status ShardedMatchService::ReloadModel(const std::string& path) {
   // swaps.
   DADER_ASSIGN_OR_RETURN(core::DaModel staged,
                          shards_[0]->StageCheckpoint(path));
+  // Quantize the staged model once; replicas share the state. Unlike
+  // startup, a reload-time calibration failure rejects the checkpoint
+  // (shard 0's AdoptPrimary would hit the same deterministic gate) — the
+  // old model keeps serving on every shard.
+  if (shards_[0]->config().quantize) {
+    Status quantized =
+        MatchService::QuantizeForServing(shards_[0]->config(), &staged);
+    if (!quantized.ok()) {
+      DADER_LOG(Error) << "reload fan-out aborted (quantization): "
+                       << quantized.ToString();
+      return Status(quantized.code(),
+                    "model reload rolled back: quantization failed: " +
+                        quantized.message());
+    }
+  }
   for (size_t i = 0; i < shards_.size(); ++i) {
     core::DaModel replica;
     if (i + 1 == shards_.size()) {
@@ -100,7 +131,7 @@ Status ShardedMatchService::ReloadModel(const std::string& path) {
     } else {
       DADER_ASSIGN_OR_RETURN(
           replica,
-          core::CloneModel(staged, shards_[i]->config().seed ^ 0x5e7fULL));
+          core::CloneQuantized(staged, shards_[i]->config().seed ^ 0x5e7fULL));
     }
     Status adopted = shards_[i]->AdoptPrimary(std::move(replica));
     if (!adopted.ok()) {
@@ -136,6 +167,8 @@ ServeStats ShardedMatchService::stats() const {
     total.reload_rollbacks += s.reload_rollbacks;
     total.cache_hits += s.cache_hits;
     total.cache_misses += s.cache_misses;
+    total.quant_calibrations += s.quant_calibrations;
+    total.quant_rollbacks += s.quant_rollbacks;
   }
   return total;
 }

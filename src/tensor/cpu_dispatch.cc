@@ -35,6 +35,25 @@ bool ProbeHost(Isa isa) {
   return false;
 }
 
+bool ProbeVnni() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx512vnni") != 0;
+#else
+  return false;
+#endif
+}
+
+bool ProbeAvx512Bw() {
+#if defined(__x86_64__) || defined(__i386__)
+  // The int8 512-bit kernels use BW byte/word ops and their VL (128-bit)
+  // forms; every BW part ships VL, but probe both anyway.
+  return __builtin_cpu_supports("avx512bw") != 0 &&
+         __builtin_cpu_supports("avx512vl") != 0;
+#else
+  return false;
+#endif
+}
+
 // Parses a DADER_CPU_ISA value; returns false on unrecognized text.
 bool ParseIsa(const char* text, Isa* out) {
   if (text == nullptr) return false;
@@ -176,5 +195,49 @@ const GemmKernels& KernelsFor(Isa isa) {
 }
 
 const GemmKernels& ActiveKernels() { return KernelsFor(ActiveIsa()); }
+
+bool HostSupportsVnni() {
+  static const bool vnni = ProbeVnni();
+  return vnni;
+}
+
+bool HostSupportsAvx512Bw() {
+  static const bool bw = ProbeAvx512Bw();
+  return bw;
+}
+
+namespace {
+
+// Int8 registration sanity — same role as Validate() for the fp32 tables.
+const QGemmKernels* ValidateQ(const QGemmKernels* table) {
+  if (table == nullptr) return nullptr;
+  DADER_CHECK(table->exact != nullptr);
+  DADER_CHECK(table->fast != nullptr);
+  DADER_CHECK(table->direct != nullptr);
+  DADER_CHECK(table->direct_cutoff >= 0);
+  return table;
+}
+
+}  // namespace
+
+const QGemmKernels& QKernelsFor(Isa isa) {
+  static const QGemmKernels* portable = ValidateQ(internal::PortableQKernels());
+  static const QGemmKernels* avx2 = ValidateQ(internal::Avx2QKernels());
+  static const QGemmKernels* avx512 = ValidateQ(internal::Avx512QKernels());
+  DADER_CHECK(portable != nullptr);
+  const QGemmKernels* table = portable;
+  // The 512-bit int8 kernels need the BW subset at runtime, not just F —
+  // an F-only host degrades the int8 tier one step while fp32 stays at 512.
+  if (isa == Isa::kAvx512 && avx512 != nullptr && HostSupports(Isa::kAvx512) &&
+      HostSupportsAvx512Bw()) {
+    table = avx512;
+  } else if (isa >= Isa::kAvx2 && avx2 != nullptr &&
+             HostSupports(Isa::kAvx2)) {
+    table = avx2;
+  }
+  return *table;
+}
+
+const QGemmKernels& ActiveQKernels() { return QKernelsFor(ActiveIsa()); }
 
 }  // namespace dader::cpu

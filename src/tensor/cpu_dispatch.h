@@ -130,4 +130,70 @@ const GemmKernels& KernelsFor(Isa isa);
 /// \brief KernelsFor(ActiveIsa()) — what the GEMM hot path uses.
 const GemmKernels& ActiveKernels();
 
+// ---------------------------------------------------------------------------
+// Int8 GEMM tier (the quantized-inference path, see tensor/qgemm.h).
+// ---------------------------------------------------------------------------
+
+/// \brief AVX-512VNNI sub-feature probe. The int8 AVX-512 tier upgrades its
+/// kernels to `vpdpbusd` when this is true; without it the tier runs the
+/// 512-bit `maddubs` acc16 fast path + exact `madd` fallback instead.
+bool HostSupportsVnni();
+
+/// \brief AVX512BW sub-feature probe. The 512-bit int8 kernels need byte/
+/// word instructions beyond AVX-512F; an F-only host (Knights-era) degrades
+/// the int8 tier to AVX2 even though the fp32 tier stays at AVX-512.
+bool HostSupportsAvx512Bw();
+
+// Every int8 kernel may read rows of A in 4-byte groups, so the driver
+// rounds each row's allocated stride up to a multiple of this and
+// zero-fills the tail (u8 zero contributes nothing to any dot product).
+inline constexpr int64_t kQGemmKPad = 4;
+
+/// \brief One int8 GEMM kernel: C[m,n] (int32, fully overwritten) =
+/// A(u8)[m,k] (row stride `lda` >= k, tail zero-padded per kQGemmKPad) times
+/// B(s8)[k,n] (dense row-major). Kernels pack B into their own layout
+/// internally (thread-local scratch); B is small and static at serve time,
+/// so per-call packing amortizes over the m rows.
+using QGemmFn = void (*)(int64_t m, int64_t n, int64_t k, const uint8_t* a,
+                         int64_t lda, const int8_t* b, int32_t* c);
+
+/// \brief Per-tier int8 kernel table. Unlike the fp32 tiers, every int8
+/// kernel — fast, exact, and direct, on every tier — produces bit-identical
+/// int32 accumulators whenever the saturation guard admits the fast path:
+/// integer math has one right answer, so results are bit-identical across
+/// tiers AND thread counts (stronger than the fp32 within-tier contract).
+struct QGemmKernels {
+  Isa isa;
+
+  // Always-correct int32 accumulation (widening multiplies, no intermediate
+  // saturation). The requantize fallback when the acc16 guard fails.
+  QGemmFn exact;
+
+  // Acc16 fast path (`maddubs` pair-products in s16). Saturates when some
+  // |a0*w0 + a1*w1| exceeds 32767 — callers must check the precomputed
+  // pair bound (qgemm::MaddubsPairBound) against the batch's max activation
+  // before using it, unless fast_is_exact.
+  QGemmFn fast;
+
+  // True when `fast` never saturates (portable scalar; AVX-512 with VNNI,
+  // where vpdpbusd widens to int32 internally) — the driver then skips the
+  // saturation guard entirely.
+  bool fast_is_exact;
+
+  // Unpacked small-problem kernel and its break-even in int8 products
+  // (m*n*k): below the cutoff, packing B amortizes nothing and the direct
+  // kernel wins (the analog of the fp32 direct-vs-blocked cutoffs). All
+  // paths are bit-exact, so the cutoff may key on m without breaking
+  // solo-vs-batched equality.
+  QGemmFn direct;
+  int64_t direct_cutoff;
+};
+
+/// \brief Int8 table for `isa`, degrading down the ladder (AVX-512 without
+/// the BW subset degrades to AVX2, anything else to portable).
+const QGemmKernels& QKernelsFor(Isa isa);
+
+/// \brief QKernelsFor(ActiveIsa()) — what the int8 hot path uses.
+const QGemmKernels& ActiveQKernels();
+
 }  // namespace dader::cpu

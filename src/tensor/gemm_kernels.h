@@ -21,4 +21,22 @@ const GemmKernels* Avx2Kernels();
 // Null unless the TU was built with -mavx512f.
 const GemmKernels* Avx512Kernels();
 
+// Int8 tables, same registration scheme. The portable table is always
+// non-null; its exact kernel doubles as the correctness oracle qgemm.h
+// exposes as NaiveQGemmNN.
+const QGemmKernels* PortableQKernels();
+
+// Null unless built with -mavx2.
+const QGemmKernels* Avx2QKernels();
+
+// Null unless built with -mavx512f -mavx512bw. When the VNNI TU below is
+// also compiled and the host supports avx512_vnni, this table's fast/exact
+// pointers are the vpdpbusd kernel (fast_is_exact).
+const QGemmKernels* Avx512QKernels();
+
+// Null unless built with -mavx512vnni (plus f/bw). Never registered
+// directly with the dispatch ladder: Avx512QKernels() folds it in after a
+// runtime HostSupportsVnni() probe.
+const QGemmKernels* Avx512VnniQKernels();
+
 }  // namespace dader::cpu::internal

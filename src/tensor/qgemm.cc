@@ -1,0 +1,181 @@
+#include "tensor/qgemm.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "tensor/gemm_kernels.h"
+#include "util/check.h"
+#include "util/thread_pool.h"
+
+namespace dader::qgemm {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Instrumentation (`tensor.qgemm.*`, see docs/OBSERVABILITY.md): wall
+// duration per public call, plus per-dispatch-path and per-ISA counters.
+// The "exact" path counter is the saturation-fallback signal — with a
+// VNNI or portable tier it stays at zero because fast never saturates.
+// ---------------------------------------------------------------------------
+
+obs::Histogram* QGemmHistogram() {
+  static obs::Histogram* h = obs::MetricsRegistry::Default().GetHistogram(
+      "tensor.qgemm.ms", "Int8 GEMM call duration", "ms",
+      std::vector<double>{0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+                          25, 50});
+  return h;
+}
+
+class ScopedQGemmTimer {
+ public:
+  ScopedQGemmTimer() : start_(Clock::now()) {}
+  ~ScopedQGemmTimer() {
+    QGemmHistogram()->Observe(
+        std::chrono::duration<double, std::milli>(Clock::now() - start_)
+            .count());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+enum class Path { kDirect, kFast, kExact };
+
+void CountQCall(Path path, cpu::Isa isa) {
+  auto& reg = obs::MetricsRegistry::Default();
+  static constexpr const char* kPathHelp =
+      "Int8 GEMM calls by kernel path (direct unpacked vs acc16 fast vs "
+      "exact widening fallback; 'exact' counts saturation-guard fallbacks)";
+  static constexpr const char* kIsaHelp =
+      "Int8 GEMM calls by the SIMD ISA tier that executed them";
+  static obs::Counter* direct = reg.GetCounter(
+      obs::LabeledName("tensor.qgemm.kernel.calls", "path", "direct"),
+      kPathHelp, "calls");
+  static obs::Counter* fast = reg.GetCounter(
+      obs::LabeledName("tensor.qgemm.kernel.calls", "path", "fast"),
+      kPathHelp, "calls");
+  static obs::Counter* exact = reg.GetCounter(
+      obs::LabeledName("tensor.qgemm.kernel.calls", "path", "exact"),
+      kPathHelp, "calls");
+  static obs::Counter* isa_calls[] = {
+      reg.GetCounter(obs::LabeledName("tensor.qgemm.kernel.isa_calls", "isa",
+                                      "portable"),
+                     kIsaHelp, "calls"),
+      reg.GetCounter(
+          obs::LabeledName("tensor.qgemm.kernel.isa_calls", "isa", "avx2"),
+          kIsaHelp, "calls"),
+      reg.GetCounter(
+          obs::LabeledName("tensor.qgemm.kernel.isa_calls", "isa", "avx512"),
+          kIsaHelp, "calls"),
+  };
+  switch (path) {
+    case Path::kDirect:
+      direct->Increment();
+      break;
+    case Path::kFast:
+      fast->Increment();
+      break;
+    case Path::kExact:
+      exact->Increment();
+      break;
+  }
+  isa_calls[static_cast<int>(isa)]->Increment();
+}
+
+// Deterministic fan-out width: same inputs -> same task count. Irrelevant
+// to the result bits (integer math), only to wall time.
+int64_t PlanTasks(int64_t m, int64_t products, ThreadPool* pool,
+                  const QGemmOptions& options) {
+  if (pool == nullptr || pool->num_threads() <= 1 ||
+      ThreadPool::InWorkerThread() ||
+      products < options.parallel_min_products) {
+    return 1;
+  }
+  int64_t limit = static_cast<int64_t>(pool->num_threads());
+  if (options.respect_hardware_concurrency) {
+    const int64_t hw =
+        static_cast<int64_t>(std::thread::hardware_concurrency());
+    if (hw > 0) limit = std::min(limit, hw);
+  }
+  if (options.min_products_per_task > 0) {
+    limit = std::min(limit, products / options.min_products_per_task);
+  }
+  return std::max<int64_t>(1, std::min(limit, m));
+}
+
+}  // namespace
+
+int32_t MaddubsPairBound(const int8_t* b, int64_t k, int64_t n) {
+  int32_t bound = 0;
+  for (int64_t p = 0; p < k; p += 2) {
+    const int8_t* row0 = b + p * n;
+    const int8_t* row1 = p + 1 < k ? b + (p + 1) * n : nullptr;
+    for (int64_t j = 0; j < n; ++j) {
+      int32_t sum = std::abs(static_cast<int32_t>(row0[j]));
+      if (row1 != nullptr) sum += std::abs(static_cast<int32_t>(row1[j]));
+      bound = std::max(bound, sum);
+    }
+  }
+  return bound;
+}
+
+void NaiveQGemmNN(int64_t m, int64_t n, int64_t k, const uint8_t* a,
+                  int64_t lda, const int8_t* b, int32_t* c) {
+  cpu::internal::PortableQKernels()->exact(m, n, k, a, lda, b, c);
+}
+
+void QGemmNN(int64_t m, int64_t n, int64_t k, const uint8_t* a, int64_t lda,
+             const int8_t* b, int32_t* c, int32_t a_max, int32_t pair_bound,
+             const QGemmOptions& options) {
+  if (m <= 0 || n <= 0) return;
+  DADER_CHECK(lda >= PaddedLda(k));
+  if (k <= 0) {
+    std::fill(c, c + m * n, 0);
+    return;
+  }
+  const cpu::QGemmKernels& kk = cpu::ActiveQKernels();
+  const int64_t products = m * n * k;
+  ScopedQGemmTimer timer;
+
+  cpu::QGemmFn kernel;
+  Path path;
+  if (options.force == QGemmForce::kDirect ||
+      (options.force == QGemmForce::kAuto && products < kk.direct_cutoff)) {
+    kernel = kk.direct;
+    path = Path::kDirect;
+  } else if (options.force == QGemmForce::kFast ||
+             (options.force == QGemmForce::kAuto &&
+              (kk.fast_is_exact ||
+               static_cast<int64_t>(a_max) * pair_bound <= 32767))) {
+    kernel = kk.fast;
+    path = Path::kFast;
+  } else {
+    kernel = kk.exact;
+    path = Path::kExact;
+  }
+  CountQCall(path, kk.isa);
+
+  ThreadPool* pool = options.pool != nullptr ? options.pool
+                                             : ThreadPool::Global();
+  const int64_t tasks = PlanTasks(m, products, pool, options);
+  if (tasks <= 1) {
+    kernel(m, n, k, a, lda, b, c);
+    return;
+  }
+  // Row fan-out: kernels treat rows independently and accumulate in int32,
+  // so any split produces the same bits as the serial call. Each task packs
+  // B into its own thread-local scratch (redundant work, same trade as the
+  // fp32 blocked path).
+  ParallelChunks(pool, static_cast<size_t>(tasks), [&](size_t t) {
+    const int64_t r0 = static_cast<int64_t>(t) * m / tasks;
+    const int64_t r1 = (static_cast<int64_t>(t) + 1) * m / tasks;
+    if (r1 > r0) {
+      kernel(r1 - r0, n, k, a + r0 * lda, lda, b, c + r0 * n);
+    }
+  });
+}
+
+}  // namespace dader::qgemm

@@ -1,0 +1,81 @@
+// Int8 GEMM entry points: u8 activations x s8 weights -> int32 accumulators.
+//
+// This is the kernel substrate of the post-training-quantization serving
+// path (tensor/quant.h dequantizes the int32 output back to fp32). The
+// dispatch structure mirrors gemm.h: a per-ISA kernel table
+// (cpu::QKernelsFor), a direct unpacked kernel below a measured cutoff, and
+// pool fan-out over rows for large problems — but the determinism contract
+// is stronger than fp32's: integer accumulation has one right answer, so
+// results are bit-identical across ISA tiers, thread counts, and the
+// fast/exact kernel choice (see the saturation guard below).
+//
+// Acc16 fast path and the saturation guard: the AVX2/AVX-512 `maddubs`
+// kernels form u8*s8 products pairwise in saturating int16 before widening.
+// A pair sum |a0*w0 + a1*w1| > 32767 would clip — so callers precompute
+// MaddubsPairBound(B) once per weight matrix (weights are static at serve
+// time) and pass the batch's max activation value; the driver admits the
+// fast kernel only when a_max * pair_bound <= 32767, a deterministic
+// integer check, and otherwise falls back to the exact widening kernel.
+// AVX-512VNNI and the portable tier widen to int32 directly, so their fast
+// path is unconditionally exact and the guard short-circuits.
+
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/cpu_dispatch.h"
+
+namespace dader {
+class ThreadPool;
+}
+
+namespace dader::qgemm {
+
+/// \brief Kernel-choice override for tests and benches; production callers
+/// leave kAuto (direct-cutoff dispatch + saturation-guarded fast path).
+enum class QGemmForce { kAuto, kFast, kExact, kDirect };
+
+/// \brief Execution knobs; thresholds are in int8 products (m*n*k), the
+/// int8 analog of gemm.h's FLOP thresholds (one product = 2 int ops).
+struct QGemmOptions {
+  /// Pool for row fan-out; null means ThreadPool::Global().
+  ThreadPool* pool = nullptr;
+  /// Minimum m*n*k before a call fans out to the pool; each task re-packs
+  /// B into its own thread-local scratch, so small problems amortize
+  /// nothing (same rationale as gemm's parallel_min_flops).
+  int64_t parallel_min_products = 4'000'000;
+  /// Floor on products per spawned task; <= 0 disables the cap.
+  int64_t min_products_per_task = 8'000'000;
+  /// Cap fan-out at std::thread::hardware_concurrency(); tests that force
+  /// the parallel path on narrow machines set this false.
+  bool respect_hardware_concurrency = true;
+  QGemmForce force = QGemmForce::kAuto;
+};
+
+/// \brief Max over all columns and aligned activation pairs of
+/// |w[p][j]| + |w[p+1][j]| (p even; a trailing odd row pairs with zero).
+/// The acc16 fast path is admissible for a batch with max activation value
+/// a_max iff a_max * bound <= 32767. Compute once per weight matrix.
+int32_t MaddubsPairBound(const int8_t* b, int64_t k, int64_t n);
+
+/// \brief Row stride the driver requires of A: k rounded up to
+/// cpu::kQGemmKPad. Bytes [k, PaddedLda(k)) of every row must be zero.
+inline int64_t PaddedLda(int64_t k) {
+  return (k + cpu::kQGemmKPad - 1) / cpu::kQGemmKPad * cpu::kQGemmKPad;
+}
+
+/// \brief C[m,n] (int32, fully overwritten) = A(u8)[m,k] * B(s8)[k,n].
+/// `a` has row stride `lda` == PaddedLda(k) with zeroed tail bytes; `b` is
+/// dense row-major. `a_max` is the largest value present in A (255 is
+/// always safe); `pair_bound` is MaddubsPairBound(b, k, n) (passing
+/// 32768 or more disables the fast path unconditionally).
+void QGemmNN(int64_t m, int64_t n, int64_t k, const uint8_t* a, int64_t lda,
+             const int8_t* b, int32_t* c, int32_t a_max, int32_t pair_bound,
+             const QGemmOptions& options = {});
+
+/// \brief Portable scalar oracle (always exact); the reference the SIMD
+/// tiers are tested against bit-for-bit.
+void NaiveQGemmNN(int64_t m, int64_t n, int64_t k, const uint8_t* a,
+                  int64_t lda, const int8_t* b, int32_t* c);
+
+}  // namespace dader::qgemm

@@ -1,0 +1,263 @@
+// AVX2 int8 GEMM tier: u8 activations x s8 weights -> int32.
+//
+// Compiled with -mavx2 regardless of the global architecture flags
+// (src/tensor/CMakeLists.txt); cpu_dispatch routes int8 calls here when the
+// host has AVX2 but not AVX-512BW. Three kernels:
+//
+//   * Fast (acc16): B packed as [8 cols x 4 k] 32-byte groups;
+//     `vpmaddubsw` forms u8*s8 pair products saturating in s16 (lane 2j and
+//     2j+1 both belong to column j), then `vpmaddwd` against ones widens
+//     and folds the two pair sums into one s32 per column. The s16 step
+//     saturates when some |a0*w0 + a1*w1| > 32767 — the driver admits this
+//     kernel only when max_activation * MaddubsPairBound(B) stays inside
+//     s16 (a deterministic integer check), in which case the result is
+//     bit-identical to the exact kernel.
+//   * Exact: B packed as [8 cols x 2 k] 16-byte groups, sign-extended to
+//     s16 at use (`vpmovsxbw`); activations broadcast as a zero-extended
+//     (a0, a1) s16 pair. `vpmaddwd` multiplies s16 x s16 into s32 before
+//     adding, so nothing can saturate (u8*s8 <= 255*127 fits s16 products'
+//     s32 sums with room to spare).
+//   * Direct: unpacked B for small problems; interleaves two consecutive B
+//     rows with `vpunpcklbw` to reuse the exact kernel's madd form without
+//     a packing pass.
+//
+// All three produce the same int32 bits (when the fast guard holds), so the
+// int8 determinism contract is cross-tier and cross-thread-count — see
+// cpu_dispatch.h.
+
+#include "tensor/gemm_kernels.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace dader::cpu::internal {
+
+namespace {
+
+// Sign-bit lane mask for _mm256_maskstore_epi32: lanes [0, count) active.
+__m256i TailMask32(int64_t count) {
+  alignas(32) int32_t lanes[8];
+  for (int i = 0; i < 8; ++i) lanes[i] = i < count ? -1 : 0;
+  return _mm256_load_si256(reinterpret_cast<const __m256i*>(lanes));
+}
+
+thread_local std::vector<int8_t> t_bpack;
+
+// Packs B[k,n] (row-major s8) into 32-byte groups of 8 columns x 4
+// consecutive k, zero-padded in both directions; group (q, jb) starts at
+// bpack[(q * nblocks + jb) * 32], byte jj*4 + kk holds B[4q+kk, 8jb+jj].
+int8_t* PackQuads(int64_t n, int64_t k, const int8_t* b, int64_t* nblocks,
+                  int64_t* nquads) {
+  *nblocks = (n + 7) / 8;
+  *nquads = (k + 3) / 4;
+  t_bpack.assign(static_cast<size_t>(*nblocks * *nquads * 32), 0);
+  int8_t* bp = t_bpack.data();
+  for (int64_t p = 0; p < k; ++p) {
+    const int64_t q = p / 4, kk = p % 4;
+    const int8_t* brow = b + p * n;
+    for (int64_t j = 0; j < n; ++j) {
+      bp[((q * *nblocks + j / 8) * 32) + (j % 8) * 4 + kk] = brow[j];
+    }
+  }
+  return bp;
+}
+
+// Same, 16-byte groups of 8 columns x 2 consecutive k (the exact kernel's
+// layout); byte jj*2 + kk holds B[2p2+kk, 8jb+jj].
+int8_t* PackPairs(int64_t n, int64_t k, const int8_t* b, int64_t* nblocks,
+                  int64_t* npairs) {
+  *nblocks = (n + 7) / 8;
+  *npairs = (k + 1) / 2;
+  t_bpack.assign(static_cast<size_t>(*nblocks * *npairs * 16), 0);
+  int8_t* bp = t_bpack.data();
+  for (int64_t p = 0; p < k; ++p) {
+    const int64_t p2 = p / 2, kk = p % 2;
+    const int8_t* brow = b + p * n;
+    for (int64_t j = 0; j < n; ++j) {
+      bp[((p2 * *nblocks + j / 8) * 16) + (j % 8) * 2 + kk] = brow[j];
+    }
+  }
+  return bp;
+}
+
+constexpr int kRows = 6;  // row fan per column block (6 acc + b + a = 8 ymm)
+
+void QGemmFastAvx2(int64_t m, int64_t n, int64_t k, const uint8_t* a,
+                   int64_t lda, const int8_t* b, int32_t* c) {
+  int64_t nblocks = 0, nquads = 0;
+  const int8_t* bp = PackQuads(n, k, b, &nblocks, &nquads);
+  const __m256i ones = _mm256_set1_epi16(1);
+  for (int64_t jb = 0; jb < nblocks; ++jb) {
+    const int64_t j0 = jb * 8;
+    const int64_t nr = n - j0 < 8 ? n - j0 : 8;
+    const bool full = nr == 8;
+    const __m256i mask = TailMask32(nr);
+    const int8_t* bcol = bp + jb * 32;
+    int64_t i = 0;
+    for (; i + kRows <= m; i += kRows) {
+      __m256i acc[kRows];
+      for (int r = 0; r < kRows; ++r) acc[r] = _mm256_setzero_si256();
+      for (int64_t q = 0; q < nquads; ++q) {
+        const __m256i bv = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(bcol + q * nblocks * 32));
+        for (int r = 0; r < kRows; ++r) {
+          const __m256i av = _mm256_set1_epi32(
+              *reinterpret_cast<const int32_t*>(a + (i + r) * lda + q * 4));
+          acc[r] = _mm256_add_epi32(
+              acc[r],
+              _mm256_madd_epi16(_mm256_maddubs_epi16(av, bv), ones));
+        }
+      }
+      for (int r = 0; r < kRows; ++r) {
+        int32_t* crow = c + (i + r) * n + j0;
+        if (full) {
+          _mm256_storeu_si256(reinterpret_cast<__m256i*>(crow), acc[r]);
+        } else {
+          _mm256_maskstore_epi32(crow, mask, acc[r]);
+        }
+      }
+    }
+    for (; i < m; ++i) {
+      __m256i acc = _mm256_setzero_si256();
+      for (int64_t q = 0; q < nquads; ++q) {
+        const __m256i bv = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(bcol + q * nblocks * 32));
+        const __m256i av = _mm256_set1_epi32(
+            *reinterpret_cast<const int32_t*>(a + i * lda + q * 4));
+        acc = _mm256_add_epi32(
+            acc, _mm256_madd_epi16(_mm256_maddubs_epi16(av, bv), ones));
+      }
+      int32_t* crow = c + i * n + j0;
+      if (full) {
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(crow), acc);
+      } else {
+        _mm256_maskstore_epi32(crow, mask, acc);
+      }
+    }
+  }
+}
+
+void QGemmExactAvx2(int64_t m, int64_t n, int64_t k, const uint8_t* a,
+                    int64_t lda, const int8_t* b, int32_t* c) {
+  int64_t nblocks = 0, npairs = 0;
+  const int8_t* bp = PackPairs(n, k, b, &nblocks, &npairs);
+  for (int64_t jb = 0; jb < nblocks; ++jb) {
+    const int64_t j0 = jb * 8;
+    const int64_t nr = n - j0 < 8 ? n - j0 : 8;
+    const bool full = nr == 8;
+    const __m256i mask = TailMask32(nr);
+    const int8_t* bcol = bp + jb * 16;
+    int64_t i = 0;
+    for (; i + kRows <= m; i += kRows) {
+      __m256i acc[kRows];
+      for (int r = 0; r < kRows; ++r) acc[r] = _mm256_setzero_si256();
+      for (int64_t p2 = 0; p2 < npairs; ++p2) {
+        const __m256i bv = _mm256_cvtepi8_epi16(_mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(bcol + p2 * nblocks * 16)));
+        for (int r = 0; r < kRows; ++r) {
+          const uint8_t* ap = a + (i + r) * lda + p2 * 2;
+          const __m256i av = _mm256_set1_epi32(
+              static_cast<int32_t>(ap[0]) |
+              (static_cast<int32_t>(ap[1]) << 16));
+          acc[r] = _mm256_add_epi32(acc[r], _mm256_madd_epi16(av, bv));
+        }
+      }
+      for (int r = 0; r < kRows; ++r) {
+        int32_t* crow = c + (i + r) * n + j0;
+        if (full) {
+          _mm256_storeu_si256(reinterpret_cast<__m256i*>(crow), acc[r]);
+        } else {
+          _mm256_maskstore_epi32(crow, mask, acc[r]);
+        }
+      }
+    }
+    for (; i < m; ++i) {
+      __m256i acc = _mm256_setzero_si256();
+      for (int64_t p2 = 0; p2 < npairs; ++p2) {
+        const __m256i bv = _mm256_cvtepi8_epi16(_mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(bcol + p2 * nblocks * 16)));
+        const uint8_t* ap = a + i * lda + p2 * 2;
+        const __m256i av =
+            _mm256_set1_epi32(static_cast<int32_t>(ap[0]) |
+                              (static_cast<int32_t>(ap[1]) << 16));
+        acc = _mm256_add_epi32(acc, _mm256_madd_epi16(av, bv));
+      }
+      int32_t* crow = c + i * n + j0;
+      if (full) {
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(crow), acc);
+      } else {
+        _mm256_maskstore_epi32(crow, mask, acc);
+      }
+    }
+  }
+}
+
+// Unpacked small-problem kernel: streams B row pairs directly, interleaving
+// them on the fly. Column chunks that don't fill 8 lanes fall back to
+// scalar, as do the trailing columns of the very last B row (whose 8-byte
+// load would otherwise run past the buffer).
+void QGemmDirectAvx2(int64_t m, int64_t n, int64_t k, const uint8_t* a,
+                     int64_t lda, const int8_t* b, int32_t* c) {
+  const int64_t nvec = n & ~int64_t{7};
+  for (int64_t i = 0; i < m; ++i) {
+    const uint8_t* arow = a + i * lda;
+    int32_t* crow = c + i * n;
+    for (int64_t j0 = 0; j0 < nvec; j0 += 8) {
+      __m256i acc = _mm256_setzero_si256();
+      for (int64_t p = 0; p < k; p += 2) {
+        const __m128i b0 = _mm_loadl_epi64(
+            reinterpret_cast<const __m128i*>(b + p * n + j0));
+        const __m128i b1 =
+            p + 1 < k ? _mm_loadl_epi64(
+                            reinterpret_cast<const __m128i*>(b + (p + 1) * n +
+                                                             j0))
+                      : _mm_setzero_si128();
+        const __m256i bv = _mm256_cvtepi8_epi16(_mm_unpacklo_epi8(b0, b1));
+        // arow is zero-padded past k, so the second byte of a trailing odd
+        // pair is 0 and contributes nothing.
+        const __m256i av = _mm256_set1_epi32(
+            static_cast<int32_t>(arow[p]) |
+            (static_cast<int32_t>(p + 1 < lda ? arow[p + 1] : 0) << 16));
+        acc = _mm256_add_epi32(acc, _mm256_madd_epi16(av, bv));
+      }
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(crow + j0), acc);
+    }
+    for (int64_t j = nvec; j < n; ++j) {
+      int32_t sum = 0;
+      for (int64_t p = 0; p < k; ++p) {
+        sum += static_cast<int32_t>(arow[p]) * static_cast<int32_t>(b[p * n + j]);
+      }
+      crow[j] = sum;
+    }
+  }
+}
+
+// Break-even measured with DADER_CPU_ISA=avx2 (bench_gemm int8 section):
+// below ~1-2 rows at the serving head shapes the packing pass costs more
+// than it saves; in m*n*k products that lands near 16K.
+const QGemmKernels kTable = {
+    /*isa=*/Isa::kAvx2,
+    /*exact=*/&QGemmExactAvx2,
+    /*fast=*/&QGemmFastAvx2,
+    /*fast_is_exact=*/false,
+    /*direct=*/&QGemmDirectAvx2,
+    /*direct_cutoff=*/16'384,
+};
+
+}  // namespace
+
+const QGemmKernels* Avx2QKernels() { return &kTable; }
+
+}  // namespace dader::cpu::internal
+
+#else  // !__AVX2__
+
+namespace dader::cpu::internal {
+const QGemmKernels* Avx2QKernels() { return nullptr; }
+}  // namespace dader::cpu::internal
+
+#endif

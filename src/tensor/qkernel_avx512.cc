@@ -1,0 +1,221 @@
+// AVX-512 int8 GEMM tier: the AVX2 kernels at 16-lane width.
+//
+// Compiled with -mavx512f -mavx512bw -mavx512vl (the byte/word instructions
+// and their 128-bit forms live outside AVX-512F; cpu_dispatch degrades an
+// F-only host's int8 tier to AVX2 while its fp32 tier stays at 512). See
+// qkernel_avx2.cc for the kernel design commentary — only the differences
+// are noted here:
+//
+//   * Column blocks are 16 wide (one zmm of int32 accumulators); edge
+//     columns use real lane masks (__mmask16) instead of the AVX2
+//     sign-bit-vector workaround, on loads and stores both.
+//   * When the host also supports AVX-512VNNI, Avx512QKernels() swaps the
+//     fast/exact pair for the `vpdpbusd` kernel from qkernel_avx512vnni.cc
+//     at first use: dpbusd widens u8*s8 products to int32 internally, so
+//     there is no acc16 saturation hazard and fast_is_exact holds. The
+//     direct small-problem kernel stays the madd form either way.
+
+#include "tensor/gemm_kernels.h"
+
+#if defined(__AVX512F__) && defined(__AVX512BW__) && defined(__AVX512VL__)
+
+#include <immintrin.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace dader::cpu::internal {
+
+namespace {
+
+thread_local std::vector<int8_t> t_bpack;
+
+// B[k,n] -> 64-byte groups of 16 columns x 4 consecutive k (byte jj*4 + kk
+// of group (q, jb) holds B[4q+kk, 16jb+jj]), zero-padded both ways.
+int8_t* PackQuads(int64_t n, int64_t k, const int8_t* b, int64_t* nblocks,
+                  int64_t* nquads) {
+  *nblocks = (n + 15) / 16;
+  *nquads = (k + 3) / 4;
+  t_bpack.assign(static_cast<size_t>(*nblocks * *nquads * 64), 0);
+  int8_t* bp = t_bpack.data();
+  for (int64_t p = 0; p < k; ++p) {
+    const int64_t q = p / 4, kk = p % 4;
+    const int8_t* brow = b + p * n;
+    for (int64_t j = 0; j < n; ++j) {
+      bp[((q * *nblocks + j / 16) * 64) + (j % 16) * 4 + kk] = brow[j];
+    }
+  }
+  return bp;
+}
+
+// 32-byte groups of 16 columns x 2 consecutive k (the exact kernel's
+// layout); byte jj*2 + kk holds B[2p2+kk, 16jb+jj].
+int8_t* PackPairs(int64_t n, int64_t k, const int8_t* b, int64_t* nblocks,
+                  int64_t* npairs) {
+  *nblocks = (n + 15) / 16;
+  *npairs = (k + 1) / 2;
+  t_bpack.assign(static_cast<size_t>(*nblocks * *npairs * 32), 0);
+  int8_t* bp = t_bpack.data();
+  for (int64_t p = 0; p < k; ++p) {
+    const int64_t p2 = p / 2, kk = p % 2;
+    const int8_t* brow = b + p * n;
+    for (int64_t j = 0; j < n; ++j) {
+      bp[((p2 * *nblocks + j / 16) * 32) + (j % 16) * 2 + kk] = brow[j];
+    }
+  }
+  return bp;
+}
+
+constexpr int kRows = 6;
+
+void QGemmFastAvx512(int64_t m, int64_t n, int64_t k, const uint8_t* a,
+                     int64_t lda, const int8_t* b, int32_t* c) {
+  int64_t nblocks = 0, nquads = 0;
+  const int8_t* bp = PackQuads(n, k, b, &nblocks, &nquads);
+  const __m512i ones = _mm512_set1_epi16(1);
+  for (int64_t jb = 0; jb < nblocks; ++jb) {
+    const int64_t j0 = jb * 16;
+    const int64_t nr = n - j0 < 16 ? n - j0 : 16;
+    const __mmask16 mask = static_cast<__mmask16>((1u << nr) - 1u);
+    const int8_t* bcol = bp + jb * 64;
+    int64_t i = 0;
+    for (; i + kRows <= m; i += kRows) {
+      __m512i acc[kRows];
+      for (int r = 0; r < kRows; ++r) acc[r] = _mm512_setzero_si512();
+      for (int64_t q = 0; q < nquads; ++q) {
+        const __m512i bv = _mm512_loadu_si512(bcol + q * nblocks * 64);
+        for (int r = 0; r < kRows; ++r) {
+          const __m512i av = _mm512_set1_epi32(
+              *reinterpret_cast<const int32_t*>(a + (i + r) * lda + q * 4));
+          acc[r] = _mm512_add_epi32(
+              acc[r],
+              _mm512_madd_epi16(_mm512_maddubs_epi16(av, bv), ones));
+        }
+      }
+      for (int r = 0; r < kRows; ++r) {
+        _mm512_mask_storeu_epi32(c + (i + r) * n + j0, mask, acc[r]);
+      }
+    }
+    for (; i < m; ++i) {
+      __m512i acc = _mm512_setzero_si512();
+      for (int64_t q = 0; q < nquads; ++q) {
+        const __m512i bv = _mm512_loadu_si512(bcol + q * nblocks * 64);
+        const __m512i av = _mm512_set1_epi32(
+            *reinterpret_cast<const int32_t*>(a + i * lda + q * 4));
+        acc = _mm512_add_epi32(
+            acc, _mm512_madd_epi16(_mm512_maddubs_epi16(av, bv), ones));
+      }
+      _mm512_mask_storeu_epi32(c + i * n + j0, mask, acc);
+    }
+  }
+}
+
+void QGemmExactAvx512(int64_t m, int64_t n, int64_t k, const uint8_t* a,
+                      int64_t lda, const int8_t* b, int32_t* c) {
+  int64_t nblocks = 0, npairs = 0;
+  const int8_t* bp = PackPairs(n, k, b, &nblocks, &npairs);
+  for (int64_t jb = 0; jb < nblocks; ++jb) {
+    const int64_t j0 = jb * 16;
+    const int64_t nr = n - j0 < 16 ? n - j0 : 16;
+    const __mmask16 mask = static_cast<__mmask16>((1u << nr) - 1u);
+    const int8_t* bcol = bp + jb * 32;
+    int64_t i = 0;
+    for (; i + kRows <= m; i += kRows) {
+      __m512i acc[kRows];
+      for (int r = 0; r < kRows; ++r) acc[r] = _mm512_setzero_si512();
+      for (int64_t p2 = 0; p2 < npairs; ++p2) {
+        const __m512i bv = _mm512_cvtepi8_epi16(_mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(bcol + p2 * nblocks * 32)));
+        for (int r = 0; r < kRows; ++r) {
+          const uint8_t* ap = a + (i + r) * lda + p2 * 2;
+          const __m512i av = _mm512_set1_epi32(
+              static_cast<int32_t>(ap[0]) |
+              (static_cast<int32_t>(ap[1]) << 16));
+          acc[r] = _mm512_add_epi32(acc[r], _mm512_madd_epi16(av, bv));
+        }
+      }
+      for (int r = 0; r < kRows; ++r) {
+        _mm512_mask_storeu_epi32(c + (i + r) * n + j0, mask, acc[r]);
+      }
+    }
+    for (; i < m; ++i) {
+      __m512i acc = _mm512_setzero_si512();
+      for (int64_t p2 = 0; p2 < npairs; ++p2) {
+        const __m512i bv = _mm512_cvtepi8_epi16(_mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(bcol + p2 * nblocks * 32)));
+        const uint8_t* ap = a + i * lda + p2 * 2;
+        const __m512i av =
+            _mm512_set1_epi32(static_cast<int32_t>(ap[0]) |
+                              (static_cast<int32_t>(ap[1]) << 16));
+        acc = _mm512_add_epi32(acc, _mm512_madd_epi16(av, bv));
+      }
+      _mm512_mask_storeu_epi32(c + i * n + j0, mask, acc);
+    }
+  }
+}
+
+// Unpacked small-problem kernel; masked 128-bit byte loads make B row
+// tails safe (no overrun on the last row), so the whole n range is
+// vectorized.
+void QGemmDirectAvx512(int64_t m, int64_t n, int64_t k, const uint8_t* a,
+                       int64_t lda, const int8_t* b, int32_t* c) {
+  for (int64_t j0 = 0; j0 < n; j0 += 16) {
+    const int64_t nr = n - j0 < 16 ? n - j0 : 16;
+    const __mmask16 mask = static_cast<__mmask16>((1u << nr) - 1u);
+    for (int64_t i = 0; i < m; ++i) {
+      const uint8_t* arow = a + i * lda;
+      __m512i acc = _mm512_setzero_si512();
+      for (int64_t p = 0; p < k; p += 2) {
+        const __m128i b0 = _mm_maskz_loadu_epi8(mask, b + p * n + j0);
+        const __m128i b1 = p + 1 < k
+                               ? _mm_maskz_loadu_epi8(mask, b + (p + 1) * n + j0)
+                               : _mm_setzero_si128();
+        const __m256i bi = _mm256_set_m128i(_mm_unpackhi_epi8(b0, b1),
+                                            _mm_unpacklo_epi8(b0, b1));
+        const __m512i bv = _mm512_cvtepi8_epi16(bi);
+        // arow is zero-padded past k (kQGemmKPad), so an odd trailing pair
+        // reads a 0 for its second activation.
+        const __m512i av = _mm512_set1_epi32(
+            static_cast<int32_t>(arow[p]) |
+            (static_cast<int32_t>(p + 1 < lda ? arow[p + 1] : 0) << 16));
+        acc = _mm512_add_epi32(acc, _mm512_madd_epi16(av, bv));
+      }
+      _mm512_mask_storeu_epi32(c + i * n + j0, mask, acc);
+    }
+  }
+}
+
+const QGemmKernels kBaseTable = {
+    /*isa=*/Isa::kAvx512,
+    /*exact=*/&QGemmExactAvx512,
+    /*fast=*/&QGemmFastAvx512,
+    /*fast_is_exact=*/false,
+    /*direct=*/&QGemmDirectAvx512,
+    /*direct_cutoff=*/16'384,
+};
+
+}  // namespace
+
+const QGemmKernels* Avx512QKernels() {
+  static const QGemmKernels table = [] {
+    QGemmKernels t = kBaseTable;
+    const QGemmKernels* vnni = Avx512VnniQKernels();
+    if (vnni != nullptr && HostSupportsVnni()) {
+      t.exact = vnni->exact;
+      t.fast = vnni->fast;
+      t.fast_is_exact = true;
+    }
+    return t;
+  }();
+  return &table;
+}
+
+}  // namespace dader::cpu::internal
+
+#else  // !(__AVX512F__ && __AVX512BW__ && __AVX512VL__)
+
+namespace dader::cpu::internal {
+const QGemmKernels* Avx512QKernels() { return nullptr; }
+}  // namespace dader::cpu::internal
+
+#endif

@@ -1,0 +1,109 @@
+// AVX-512VNNI int8 GEMM kernel: one `vpdpbusd` per 16-column quad.
+//
+// dpbusd multiplies four u8 x s8 byte pairs per int32 lane and accumulates
+// the widened sum directly into the lane — the whole maddubs/madd/add
+// sequence of the acc16 path collapses into a single instruction with no
+// intermediate s16, so this kernel is exact for any operand values and
+// registers as both the fast and the exact kernel (fast_is_exact). Uses
+// the same 16x4 quad pack layout as qkernel_avx512.cc's fast kernel.
+//
+// Never registered with the dispatch ladder directly: qkernel_avx512.cc
+// folds these pointers into the AVX-512 table after a runtime
+// HostSupportsVnni() probe, so a BW-only host still gets the maddubs tier.
+
+#include "tensor/gemm_kernels.h"
+
+#if defined(__AVX512F__) && defined(__AVX512BW__) && defined(__AVX512VL__) && \
+    defined(__AVX512VNNI__)
+
+#include <immintrin.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace dader::cpu::internal {
+
+namespace {
+
+thread_local std::vector<int8_t> t_bpack;
+
+// Same layout as qkernel_avx512.cc's PackQuads (separate anonymous copy —
+// the TUs must stay independently compilable with their own ISA flags).
+int8_t* PackQuads(int64_t n, int64_t k, const int8_t* b, int64_t* nblocks,
+                  int64_t* nquads) {
+  *nblocks = (n + 15) / 16;
+  *nquads = (k + 3) / 4;
+  t_bpack.assign(static_cast<size_t>(*nblocks * *nquads * 64), 0);
+  int8_t* bp = t_bpack.data();
+  for (int64_t p = 0; p < k; ++p) {
+    const int64_t q = p / 4, kk = p % 4;
+    const int8_t* brow = b + p * n;
+    for (int64_t j = 0; j < n; ++j) {
+      bp[((q * *nblocks + j / 16) * 64) + (j % 16) * 4 + kk] = brow[j];
+    }
+  }
+  return bp;
+}
+
+constexpr int kRows = 6;  // 6 independent dpbusd chains per column block
+
+void QGemmVnni(int64_t m, int64_t n, int64_t k, const uint8_t* a, int64_t lda,
+               const int8_t* b, int32_t* c) {
+  int64_t nblocks = 0, nquads = 0;
+  const int8_t* bp = PackQuads(n, k, b, &nblocks, &nquads);
+  for (int64_t jb = 0; jb < nblocks; ++jb) {
+    const int64_t j0 = jb * 16;
+    const int64_t nr = n - j0 < 16 ? n - j0 : 16;
+    const __mmask16 mask = static_cast<__mmask16>((1u << nr) - 1u);
+    const int8_t* bcol = bp + jb * 64;
+    int64_t i = 0;
+    for (; i + kRows <= m; i += kRows) {
+      __m512i acc[kRows];
+      for (int r = 0; r < kRows; ++r) acc[r] = _mm512_setzero_si512();
+      for (int64_t q = 0; q < nquads; ++q) {
+        const __m512i bv = _mm512_loadu_si512(bcol + q * nblocks * 64);
+        for (int r = 0; r < kRows; ++r) {
+          const __m512i av = _mm512_set1_epi32(
+              *reinterpret_cast<const int32_t*>(a + (i + r) * lda + q * 4));
+          acc[r] = _mm512_dpbusd_epi32(acc[r], av, bv);
+        }
+      }
+      for (int r = 0; r < kRows; ++r) {
+        _mm512_mask_storeu_epi32(c + (i + r) * n + j0, mask, acc[r]);
+      }
+    }
+    for (; i < m; ++i) {
+      __m512i acc = _mm512_setzero_si512();
+      for (int64_t q = 0; q < nquads; ++q) {
+        const __m512i bv = _mm512_loadu_si512(bcol + q * nblocks * 64);
+        const __m512i av = _mm512_set1_epi32(
+            *reinterpret_cast<const int32_t*>(a + i * lda + q * 4));
+        acc = _mm512_dpbusd_epi32(acc, av, bv);
+      }
+      _mm512_mask_storeu_epi32(c + i * n + j0, mask, acc);
+    }
+  }
+}
+
+const QGemmKernels kTable = {
+    /*isa=*/Isa::kAvx512,
+    /*exact=*/&QGemmVnni,
+    /*fast=*/&QGemmVnni,
+    /*fast_is_exact=*/true,
+    /*direct=*/&QGemmVnni,
+    /*direct_cutoff=*/0,
+};
+
+}  // namespace
+
+const QGemmKernels* Avx512VnniQKernels() { return &kTable; }
+
+}  // namespace dader::cpu::internal
+
+#else  // !(__AVX512F__ && __AVX512BW__ && __AVX512VL__ && __AVX512VNNI__)
+
+namespace dader::cpu::internal {
+const QGemmKernels* Avx512VnniQKernels() { return nullptr; }
+}  // namespace dader::cpu::internal
+
+#endif

@@ -1,0 +1,50 @@
+// Portable int8 GEMM tier: plain C++ u8 x s8 -> int32, any CPU.
+//
+// Integer accumulation has exactly one right answer, so this TU is also the
+// correctness oracle the SIMD int8 tiers are tested against bit-for-bit
+// (qgemm.h exposes the exact kernel as NaiveQGemmNN). There is no acc16
+// shortcut to take in scalar code — every product widens to int32 on the
+// spot — so fast == exact and the table advertises fast_is_exact.
+
+#include <cstdint>
+
+#include "tensor/gemm_kernels.h"
+
+namespace dader::cpu::internal {
+
+namespace {
+
+void QGemmPortable(int64_t m, int64_t n, int64_t k, const uint8_t* a,
+                   int64_t lda, const int8_t* b, int32_t* c) {
+  for (int64_t i = 0; i < m; ++i) {
+    const uint8_t* arow = a + i * lda;
+    int32_t* crow = c + i * n;
+    for (int64_t j = 0; j < n; ++j) crow[j] = 0;
+    for (int64_t p = 0; p < k; ++p) {
+      const int32_t av = static_cast<int32_t>(arow[p]);
+      if (av == 0) continue;
+      const int8_t* brow = b + p * n;
+      for (int64_t j = 0; j < n; ++j) {
+        crow[j] += av * static_cast<int32_t>(brow[j]);
+      }
+    }
+  }
+}
+
+const QGemmKernels kTable = {
+    /*isa=*/Isa::kPortable,
+    /*exact=*/&QGemmPortable,
+    /*fast=*/&QGemmPortable,
+    /*fast_is_exact=*/true,
+    /*direct=*/&QGemmPortable,
+    // The scalar kernel never packs, so there is no packed tier to cross
+    // over to; the cutoff is irrelevant and set to 0 (always "blocked",
+    // which is the same function).
+    /*direct_cutoff=*/0,
+};
+
+}  // namespace
+
+const QGemmKernels* PortableQKernels() { return &kTable; }
+
+}  // namespace dader::cpu::internal

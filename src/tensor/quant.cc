@@ -1,0 +1,121 @@
+#include "tensor/quant.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "util/check.h"
+
+namespace dader::quant {
+
+namespace {
+
+// Round-half-away-from-zero, the rounding both quantizers use. lrintf's
+// result would depend on the ambient FP rounding mode; this is a fixed
+// function of the input, which the bit-identity contract requires.
+int32_t RoundAway(float v) {
+  return static_cast<int32_t>(v >= 0.0f ? v + 0.5f : v - 0.5f);
+}
+
+thread_local std::vector<uint8_t> t_aq;
+thread_local std::vector<int32_t> t_acc;
+
+}  // namespace
+
+void RangeObserver::Observe(const float* x, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    const float v = x[i];
+    if (std::isfinite(v)) {
+      min_v = std::min(min_v, v);
+      max_v = std::max(max_v, v);
+    }
+  }
+  count += n;
+}
+
+ActQuant ActQuantFromRange(float min_v, float max_v) {
+  ActQuant q;
+  const float lo = std::min(min_v, 0.0f);
+  const float hi = std::max(max_v, 0.0f);
+  if (hi - lo <= 0.0f) return q;  // all-zero stream: scale 1, zp 0
+  q.scale = (hi - lo) / 255.0f;
+  // zp from the unrounded ratio: dividing by the already-rounded scale
+  // double-rounds (e.g. [-1, 1] lands at 127.499992 instead of 127.5).
+  q.zero_point = std::clamp(RoundAway(-lo * 255.0f / (hi - lo)), 0, 255);
+  return q;
+}
+
+std::shared_ptr<const QuantizedLinear> QuantizeLinearWeights(
+    const float* w, int64_t in, int64_t out, const float* bias, float act_min,
+    float act_max) {
+  DADER_CHECK(in > 0 && out > 0);
+  auto q = std::make_shared<QuantizedLinear>();
+  q->in = in;
+  q->out = out;
+  q->weight_q.resize(static_cast<size_t>(in * out));
+  q->weight_scale.assign(static_cast<size_t>(out), 1.0f);
+  q->col_sum.assign(static_cast<size_t>(out), 0);
+  if (bias != nullptr) q->bias.assign(bias, bias + out);
+  q->act = ActQuantFromRange(act_min, act_max);
+
+  for (int64_t j = 0; j < out; ++j) {
+    float amax = 0.0f;
+    for (int64_t p = 0; p < in; ++p) {
+      amax = std::max(amax, std::abs(w[p * out + j]));
+    }
+    if (amax > 0.0f) q->weight_scale[j] = amax / 127.0f;
+  }
+  for (int64_t p = 0; p < in; ++p) {
+    for (int64_t j = 0; j < out; ++j) {
+      const int32_t v =
+          std::clamp(RoundAway(w[p * out + j] / q->weight_scale[j]), -127, 127);
+      q->weight_q[p * out + j] = static_cast<int8_t>(v);
+      q->col_sum[j] += v;
+    }
+  }
+  q->pair_bound = qgemm::MaddubsPairBound(q->weight_q.data(), in, out);
+  return q;
+}
+
+void QLinearForward(const QuantizedLinear& q, const float* x, int64_t m,
+                    float* y, const qgemm::QGemmOptions& options) {
+  DADER_CHECK(m >= 0);
+  if (m == 0) return;
+  const int64_t k = q.in;
+  const int64_t n = q.out;
+  const int64_t lda = qgemm::PaddedLda(k);
+  t_aq.assign(static_cast<size_t>(m * lda), 0);
+  t_acc.resize(static_cast<size_t>(m * n));
+
+  // Quantize the batch; out-of-calibration values clamp to the u8 range.
+  // a_max feeds the acc16 saturation guard — the padded zero tail never
+  // raises it past any real activation.
+  const float inv_scale = 1.0f / q.act.scale;
+  const int32_t zp = q.act.zero_point;
+  int32_t a_max = 0;
+  for (int64_t i = 0; i < m; ++i) {
+    const float* xr = x + i * k;
+    uint8_t* ar = t_aq.data() + i * lda;
+    for (int64_t p = 0; p < k; ++p) {
+      const int32_t v = std::clamp(RoundAway(xr[p] * inv_scale) + zp, 0, 255);
+      ar[p] = static_cast<uint8_t>(v);
+      a_max = std::max(a_max, v);
+    }
+  }
+
+  qgemm::QGemmNN(m, n, k, t_aq.data(), lda, q.weight_q.data(), t_acc.data(),
+                 a_max, q.pair_bound, options);
+
+  const float* bias = q.bias.empty() ? nullptr : q.bias.data();
+  for (int64_t i = 0; i < m; ++i) {
+    const int32_t* accr = t_acc.data() + i * n;
+    float* yr = y + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      const float deq = q.act.scale * q.weight_scale[j] *
+                        static_cast<float>(accr[j] - zp * q.col_sum[j]);
+      yr[j] = bias != nullptr ? deq + bias[j] : deq;
+    }
+  }
+}
+
+}  // namespace dader::quant

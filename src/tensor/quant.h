@@ -1,0 +1,83 @@
+// Post-training int8 quantization state for Linear layers.
+//
+// Scheme (the standard asymmetric-activation / symmetric-weight recipe):
+//
+//   * Weights get per-output-channel symmetric s8 scales:
+//     ws[j] = max_i |W[i,j]| / 127, wq[i,j] = clamp(round(W[i,j]/ws[j])).
+//     Per-channel scales matter because ER models mix embedding-fed and
+//     gate-fed Linears whose channel ranges differ by orders of magnitude.
+//   * Activations get one per-tensor asymmetric u8 scale calibrated from a
+//     few observed batches: the range is widened to include 0 so padding
+//     and ReLU zeros quantize exactly to the zero point.
+//
+// The int32 GEMM output dequantizes in closed form:
+//
+//   y[i,j] = act.scale * ws[j] * (acc[i,j] - zp * colsum[j]) + bias[j]
+//
+// where colsum[j] = sum_p wq[p,j] folds the activation zero point out of
+// the matmul (A_q = A/s + zp, so zp contributes zp * colsum per column).
+// Bias stays fp32 — it is added after dequantization, so quantization error
+// comes only from the two rounding steps.
+//
+// Determinism: quantized forwards are bit-identical across ISA tiers and
+// thread counts (integer GEMM, see qgemm.h), and the dequant arithmetic is
+// a fixed per-element float expression evaluated in one order.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "tensor/qgemm.h"
+
+namespace dader::quant {
+
+/// \brief Streaming min/max tracker used during calibration. Starts at
+/// [0, 0] so the calibrated range always contains zero.
+struct RangeObserver {
+  float min_v = 0.0f;
+  float max_v = 0.0f;
+  int64_t count = 0;
+
+  void Observe(const float* x, int64_t n);
+};
+
+/// \brief Per-tensor asymmetric u8 activation quantizer parameters.
+struct ActQuant {
+  float scale = 1.0f;
+  int32_t zero_point = 0;  // in [0, 255]
+};
+
+/// \brief Derives scale/zero-point from a calibrated range. The range is
+/// clamped to include 0; a degenerate (empty) range yields scale 1, zp 0.
+ActQuant ActQuantFromRange(float min_v, float max_v);
+
+/// \brief Frozen int8 state for one Linear layer. Weight layout matches
+/// nn::Linear::weight_ ([in, out] row-major), which is exactly the dense
+/// B[k,n] operand QGemmNN expects — no transpose at quantization time.
+struct QuantizedLinear {
+  int64_t in = 0;
+  int64_t out = 0;
+  std::vector<int8_t> weight_q;     // [in, out]
+  std::vector<float> weight_scale;  // [out], per output channel
+  std::vector<int32_t> col_sum;     // [out], sum_p weight_q[p, j]
+  std::vector<float> bias;          // [out] fp32; empty means zero bias
+  ActQuant act;                     // input-activation quantizer
+  int32_t pair_bound = 0;           // MaddubsPairBound(weight_q) cache
+};
+
+/// \brief Quantizes an fp32 weight matrix `w` ([in, out] row-major) with
+/// optional `bias` ([out], nullable) against the calibrated input range
+/// [act_min, act_max]. Never fails: zero columns get scale 1.
+std::shared_ptr<const QuantizedLinear> QuantizeLinearWeights(
+    const float* w, int64_t in, int64_t out, const float* bias, float act_min,
+    float act_max);
+
+/// \brief y[m, out] = dequant(QGemmNN(quant(x[m, in]), weight_q)) + bias.
+/// Quantizes the batch to u8 (tracking the batch max for the acc16 guard),
+/// runs the dispatched int8 GEMM, and dequantizes into `y`.
+void QLinearForward(const QuantizedLinear& q, const float* x, int64_t m,
+                    float* y, const qgemm::QGemmOptions& options = {});
+
+}  // namespace dader::quant

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "tensor/qgemm.h"
 #include "util/io.h"
 
 namespace dader {
@@ -10,29 +11,117 @@ namespace {
 constexpr const char kMagic[] = "DADER_TENSORS";
 // v2: CRC-32 footer over the whole payload, written via an atomic
 // temp-file-then-rename so readers never observe a half-written file.
-// v1 files (no footer) are rejected by the version check; the only v1
-// producer (the pre-train cache) regenerates on load failure.
-constexpr uint32_t kVersion = 2;
+// v3: per-entry dtype tag (kDtypeF32 | kDtypeQLinear) between the name and
+// the payload, enabling int8 quantized-Linear entries. The writer emits v2
+// whenever no quantized entries are present, so fp32-only files stay
+// readable by pre-v3 binaries. v1 files (no footer) are rejected by the
+// version check; the only v1 producer (the pre-train cache) regenerates on
+// load failure.
+constexpr uint32_t kVersionDense = 2;
+constexpr uint32_t kVersionQuant = 3;
 // A checkpoint holds at most a few hundred named tensors; anything beyond
 // this is a corrupt count field, not a real collection.
 constexpr uint64_t kMaxTensors = 1ULL << 20;
+
+constexpr uint32_t kDtypeF32 = 0;
+constexpr uint32_t kDtypeQLinear = 1;
+
+void WriteDense(BinaryWriter& w, const Tensor& tensor) {
+  std::vector<int64_t> shape(tensor.shape().begin(), tensor.shape().end());
+  w.WriteI64s(shape);
+  w.WriteFloats(tensor.vec());
+}
+
+Result<Tensor> ReadDense(BinaryReader& r, const std::string& name,
+                         const std::string& path) {
+  DADER_ASSIGN_OR_RETURN(std::vector<int64_t> shape, r.ReadI64s());
+  DADER_ASSIGN_OR_RETURN(std::vector<float> data, r.ReadFloats());
+  for (int64_t dim : shape) {
+    if (dim < 0) {
+      return Status::InvalidArgument("negative dimension in tensor '" + name +
+                                     "' in " + path);
+    }
+  }
+  Shape s(shape.begin(), shape.end());
+  if (NumElements(s) != static_cast<int64_t>(data.size())) {
+    return Status::InvalidArgument("corrupt tensor '" + name + "' in " + path +
+                                   ": shape/payload size mismatch");
+  }
+  return Tensor::FromVector(std::move(s), std::move(data));
+}
+
+void WriteQLinear(BinaryWriter& w, const quant::QuantizedLinear& q) {
+  w.WriteI64(q.in);
+  w.WriteI64(q.out);
+  w.WriteI8s(q.weight_q);
+  w.WriteFloats(q.weight_scale);
+  w.WriteFloats(q.bias);
+  w.WriteF32(q.act.scale);
+  w.WriteU32(static_cast<uint32_t>(q.act.zero_point));
+}
+
+Result<std::shared_ptr<const quant::QuantizedLinear>> ReadQLinear(
+    BinaryReader& r, const std::string& name, const std::string& path) {
+  auto q = std::make_shared<quant::QuantizedLinear>();
+  DADER_ASSIGN_OR_RETURN(q->in, r.ReadI64());
+  DADER_ASSIGN_OR_RETURN(q->out, r.ReadI64());
+  DADER_ASSIGN_OR_RETURN(q->weight_q, r.ReadI8s());
+  DADER_ASSIGN_OR_RETURN(q->weight_scale, r.ReadFloats());
+  DADER_ASSIGN_OR_RETURN(q->bias, r.ReadFloats());
+  DADER_ASSIGN_OR_RETURN(q->act.scale, r.ReadF32());
+  DADER_ASSIGN_OR_RETURN(uint32_t zp, r.ReadU32());
+  q->act.zero_point = static_cast<int32_t>(zp);
+  const std::string what = "quantized entry '" + name + "' in " + path;
+  if (q->in <= 0 || q->out <= 0 ||
+      static_cast<int64_t>(q->weight_q.size()) != q->in * q->out ||
+      static_cast<int64_t>(q->weight_scale.size()) != q->out ||
+      (!q->bias.empty() &&
+       static_cast<int64_t>(q->bias.size()) != q->out) ||
+      q->act.zero_point < 0 || q->act.zero_point > 255 ||
+      !(q->act.scale > 0.0f)) {
+    return Status::InvalidArgument("corrupt " + what);
+  }
+  // col_sum and pair_bound are derived state: recompute instead of trusting
+  // the file, so they can never disagree with the weights.
+  q->col_sum.assign(static_cast<size_t>(q->out), 0);
+  for (int64_t p = 0; p < q->in; ++p) {
+    for (int64_t j = 0; j < q->out; ++j) {
+      q->col_sum[j] += q->weight_q[p * q->out + j];
+    }
+  }
+  q->pair_bound = qgemm::MaddubsPairBound(q->weight_q.data(), q->in, q->out);
+  return std::shared_ptr<const quant::QuantizedLinear>(std::move(q));
+}
+
 }  // namespace
 
-Status SaveTensors(const std::string& path,
-                   const std::map<std::string, Tensor>& tensors) {
+Status SaveTensorFile(const std::string& path, const TensorFile& file) {
+  const uint32_t version =
+      file.quant.empty() ? kVersionDense : kVersionQuant;
   const std::string tmp = path + ".tmp";
   Status write_status = [&]() -> Status {
     DADER_ASSIGN_OR_RETURN(BinaryWriter w,
-                           BinaryWriter::Open(tmp, kMagic, kVersion));
-    w.WriteU64(tensors.size());
-    for (const auto& [name, tensor] : tensors) {
+                           BinaryWriter::Open(tmp, kMagic, version));
+    w.WriteU64(file.dense.size() + file.quant.size());
+    for (const auto& [name, tensor] : file.dense) {
       if (!tensor.defined()) {
         return Status::InvalidArgument("undefined tensor '" + name + "'");
       }
+      if (file.quant.count(name) != 0) {
+        return Status::InvalidArgument("name '" + name +
+                                       "' is both dense and quantized");
+      }
       w.WriteString(name);
-      std::vector<int64_t> shape(tensor.shape().begin(), tensor.shape().end());
-      w.WriteI64s(shape);
-      w.WriteFloats(tensor.vec());
+      if (version >= kVersionQuant) w.WriteU32(kDtypeF32);
+      WriteDense(w, tensor);
+    }
+    for (const auto& [name, q] : file.quant) {
+      if (q == nullptr) {
+        return Status::InvalidArgument("null quantized entry '" + name + "'");
+      }
+      w.WriteString(name);
+      w.WriteU32(kDtypeQLinear);
+      WriteQLinear(w, *q);
     }
     return w.WriteCrcFooterAndClose();
   }();
@@ -47,40 +136,62 @@ Status SaveTensors(const std::string& path,
   return Status::OK();
 }
 
-Result<std::map<std::string, Tensor>> LoadTensors(const std::string& path) {
-  DADER_ASSIGN_OR_RETURN(BinaryReader r,
-                         BinaryReader::Open(path, kMagic, kVersion));
+Result<TensorFile> LoadTensorFile(const std::string& path) {
+  uint32_t version = 0;
+  DADER_ASSIGN_OR_RETURN(
+      BinaryReader r,
+      BinaryReader::OpenVersionRange(path, kMagic, kVersionDense,
+                                     kVersionQuant, &version));
   DADER_ASSIGN_OR_RETURN(uint64_t count, r.ReadU64());
   if (count > kMaxTensors) {
-    return Status::InvalidArgument(
-        "implausible tensor count " + std::to_string(count) + " in " + path +
-        " (corrupt header?)");
+    return Status::InvalidArgument("implausible tensor count " +
+                                   std::to_string(count) + " in " + path +
+                                   " (corrupt header?)");
   }
-  std::map<std::string, Tensor> out;
+  TensorFile out;
   for (uint64_t i = 0; i < count; ++i) {
     DADER_ASSIGN_OR_RETURN(std::string name, r.ReadString());
-    DADER_ASSIGN_OR_RETURN(std::vector<int64_t> shape, r.ReadI64s());
-    DADER_ASSIGN_OR_RETURN(std::vector<float> data, r.ReadFloats());
-    for (int64_t dim : shape) {
-      if (dim < 0) {
-        return Status::InvalidArgument("negative dimension in tensor '" +
-                                       name + "' in " + path);
-      }
+    uint32_t dtype = kDtypeF32;
+    if (version >= kVersionQuant) {
+      DADER_ASSIGN_OR_RETURN(dtype, r.ReadU32());
     }
-    Shape s(shape.begin(), shape.end());
-    if (NumElements(s) != static_cast<int64_t>(data.size())) {
-      return Status::InvalidArgument("corrupt tensor '" + name + "' in " +
-                                     path + ": shape/payload size mismatch");
-    }
-    if (!out.emplace(name, Tensor::FromVector(std::move(s), std::move(data)))
-             .second) {
+    const bool duplicate =
+        out.dense.count(name) != 0 || out.quant.count(name) != 0;
+    if (duplicate) {
       return Status::InvalidArgument("duplicate tensor name '" + name +
+                                     "' in " + path);
+    }
+    if (dtype == kDtypeF32) {
+      DADER_ASSIGN_OR_RETURN(Tensor t, ReadDense(r, name, path));
+      out.dense.emplace(name, std::move(t));
+    } else if (dtype == kDtypeQLinear) {
+      DADER_ASSIGN_OR_RETURN(auto q, ReadQLinear(r, name, path));
+      out.quant.emplace(name, std::move(q));
+    } else {
+      return Status::InvalidArgument("unknown dtype tag " +
+                                     std::to_string(dtype) + " for '" + name +
                                      "' in " + path);
     }
   }
   // Reject any bit-flip in the payload (and files missing the footer).
   DADER_RETURN_NOT_OK(r.VerifyCrcFooter(path));
   return out;
+}
+
+Status SaveTensors(const std::string& path,
+                   const std::map<std::string, Tensor>& tensors) {
+  TensorFile file;
+  file.dense = tensors;
+  return SaveTensorFile(path, file);
+}
+
+Result<std::map<std::string, Tensor>> LoadTensors(const std::string& path) {
+  DADER_ASSIGN_OR_RETURN(TensorFile file, LoadTensorFile(path));
+  if (!file.quant.empty()) {
+    return Status::InvalidArgument(
+        path + " carries quantized entries; load it with LoadTensorFile");
+  }
+  return std::move(file.dense);
 }
 
 }  // namespace dader

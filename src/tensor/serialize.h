@@ -1,24 +1,53 @@
 // Persistence for named tensor collections (model checkpoints).
 //
 // Used by the MLM pre-trainer to cache pre-trained extractor weights so
-// every bench sees the same "pre-trained language model".
+// every bench sees the same "pre-trained language model", and by the
+// quantized serving path to persist calibrated int8 layer state.
+//
+// On-disk versions: v2 files hold only fp32 tensors (shape + data per
+// entry); v3 adds a per-entry dtype tag so int8 quantized-Linear state
+// (weights + per-channel scales + activation quantizer) can ride in the
+// same file. SaveTensorFile writes v2 whenever there are no quantized
+// entries — a file without int8 payload is bit-identical to what the v2
+// writer produced, so old readers keep working. Both versions end in a
+// CRC-32 footer and are written via atomic temp-file-then-rename; a torn
+// or bit-flipped file fails VerifyCrcFooter and the caller regenerates.
 
 #pragma once
 
 #include <map>
+#include <memory>
 #include <string>
 
+#include "tensor/quant.h"
 #include "tensor/tensor.h"
 #include "util/status.h"
 
 namespace dader {
 
-/// \brief Writes name -> tensor pairs to `path` (magic-tagged binary format).
+/// \brief A named collection of fp32 tensors plus quantized Linear states.
+struct TensorFile {
+  std::map<std::string, Tensor> dense;
+  std::map<std::string, std::shared_ptr<const quant::QuantizedLinear>> quant;
+};
+
+/// \brief Writes `file` to `path`; v2 when file.quant is empty, v3
+/// otherwise. Derived quant fields (col_sum, pair_bound) are not stored —
+/// LoadTensorFile recomputes them, so they can never disagree with the
+/// weights.
+Status SaveTensorFile(const std::string& path, const TensorFile& file);
+
+/// \brief Reads a v2 or v3 tensor file.
+Result<TensorFile> LoadTensorFile(const std::string& path);
+
+/// \brief Writes name -> tensor pairs to `path` (magic-tagged binary
+/// format). Equivalent to SaveTensorFile with no quantized entries.
 Status SaveTensors(const std::string& path,
                    const std::map<std::string, Tensor>& tensors);
 
 /// \brief Reads a tensor collection previously written by SaveTensors.
 /// Loaded tensors do not require grad; copy into parameters as needed.
+/// Fails on files carrying quantized entries — use LoadTensorFile there.
 Result<std::map<std::string, Tensor>> LoadTensors(const std::string& path);
 
 }  // namespace dader

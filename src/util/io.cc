@@ -57,6 +57,10 @@ void BinaryWriter::WriteI64s(const std::vector<int64_t>& v) {
   WriteU64(v.size());
   WriteRaw(v.data(), v.size() * sizeof(int64_t));
 }
+void BinaryWriter::WriteI8s(const std::vector<int8_t>& v) {
+  WriteU64(v.size());
+  WriteRaw(v.data(), v.size());
+}
 
 Status BinaryWriter::Close() {
   out_.flush();
@@ -89,6 +93,30 @@ Result<BinaryReader> BinaryReader::Open(const std::string& path,
         "version mismatch in " + path + ": expected " +
         std::to_string(expected_version) + ", got " + std::to_string(version));
   }
+  return r;
+}
+
+Result<BinaryReader> BinaryReader::OpenVersionRange(const std::string& path,
+                                                    const std::string& magic,
+                                                    uint32_t min_version,
+                                                    uint32_t max_version,
+                                                    uint32_t* version_out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  BinaryReader r(std::move(in));
+  DADER_ASSIGN_OR_RETURN(std::string got_magic, r.ReadString());
+  if (got_magic != magic) {
+    return Status::InvalidArgument("bad magic in " + path + ": expected '" +
+                                   magic + "', got '" + got_magic + "'");
+  }
+  DADER_ASSIGN_OR_RETURN(uint32_t version, r.ReadU32());
+  if (version < min_version || version > max_version) {
+    return Status::InvalidArgument(
+        "version mismatch in " + path + ": expected " +
+        std::to_string(min_version) + ".." + std::to_string(max_version) +
+        ", got " + std::to_string(version));
+  }
+  if (version_out != nullptr) *version_out = version;
   return r;
 }
 
@@ -143,6 +171,13 @@ Result<std::vector<int64_t>> BinaryReader::ReadI64s() {
   if (n > (1ULL << 34)) return Status::InvalidArgument("int array too large");
   std::vector<int64_t> v(n);
   DADER_RETURN_NOT_OK(ReadRaw(v.data(), n * sizeof(int64_t)));
+  return v;
+}
+Result<std::vector<int8_t>> BinaryReader::ReadI8s() {
+  DADER_ASSIGN_OR_RETURN(uint64_t n, ReadU64());
+  if (n > (1ULL << 34)) return Status::InvalidArgument("int8 array too large");
+  std::vector<int8_t> v(n);
+  DADER_RETURN_NOT_OK(ReadRaw(v.data(), n));
   return v;
 }
 

@@ -36,6 +36,7 @@ class BinaryWriter {
   void WriteString(const std::string& s);
   void WriteFloats(const std::vector<float>& v);
   void WriteI64s(const std::vector<int64_t>& v);
+  void WriteI8s(const std::vector<int8_t>& v);
 
   /// \brief Flushes and reports any stream error.
   Status Close();
@@ -65,6 +66,15 @@ class BinaryReader {
                                    const std::string& magic,
                                    uint32_t expected_version);
 
+  /// \brief Like Open but accepts any version in [min_version, max_version]
+  /// and reports which one the file carries through `version_out`. Used by
+  /// formats that stay readable across revisions (tensor files v2/v3).
+  static Result<BinaryReader> OpenVersionRange(const std::string& path,
+                                               const std::string& magic,
+                                               uint32_t min_version,
+                                               uint32_t max_version,
+                                               uint32_t* version_out);
+
   Result<uint32_t> ReadU32();
   Result<uint64_t> ReadU64();
   Result<int64_t> ReadI64();
@@ -72,6 +82,7 @@ class BinaryReader {
   Result<std::string> ReadString();
   Result<std::vector<float>> ReadFloats();
   Result<std::vector<int64_t>> ReadI64s();
+  Result<std::vector<int8_t>> ReadI8s();
 
   /// \brief Reads the 4-byte CRC footer (not itself checksummed) and
   /// compares it against the running CRC of everything read so far.

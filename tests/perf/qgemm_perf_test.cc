@@ -1,0 +1,249 @@
+// Release-mode performance guards for the int8 quantized path.
+//
+// Guards:
+//   * the dispatched int8 GEMM is >= 2x the dispatched fp32 GEMM on the
+//     serving-model Linear shapes (qkv / ffn at serving batch sizes) —
+//     enforced on the AVX-512VNNI tier, where vpdpbusd quadruples the
+//     per-instruction MAC density over fp32 FMA. On hosts without VNNI the
+//     maddubs tiers land near ~1.3x fp32 (the int16 pair step halves their
+//     density), which funds a quality win (cheaper serving at equal
+//     accuracy) but not a 2x floor, so the guard skips with that reason;
+//   * end-to-end quantized serving sustains >= 1.5x the fp32 throughput of
+//     the same service on an uncached unique-pair workload (the
+//     Linear-dominated hidden-64 serving model; see bench_serving).
+//
+// Armed only under DADER_PERF_ENFORCE (Release, no sanitizers); skips
+// elsewhere. Run with `ctest -L perf`.
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/guard.h"
+#include "gtest/gtest.h"
+#include "serve/match_service.h"
+#include "tensor/cpu_dispatch.h"
+#include "tensor/gemm.h"
+#include "tensor/qgemm.h"
+
+namespace dader {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double BestOfMs(int reps, const std::function<void()>& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = Clock::now();
+    fn();
+    const std::chrono::duration<double, std::milli> ms = Clock::now() - t0;
+    if (ms.count() < best) best = ms.count();
+  }
+  return best;
+}
+
+bool VnniTierActive() {
+  const cpu::QGemmKernels& kk = cpu::ActiveQKernels();
+  return kk.isa == cpu::Isa::kAvx512 && kk.fast_is_exact &&
+         cpu::HostSupportsVnni();
+}
+
+TEST(QGemmPerfSmoke, Int8TwiceFp32OnServingShapesWithVnni) {
+#ifndef DADER_PERF_ENFORCE
+  GTEST_SKIP() << "perf enforcement requires a Release, sanitizer-free build";
+#else
+  if (!VnniTierActive()) {
+    GTEST_SKIP() << "int8 >= 2x fp32 requires the AVX-512VNNI tier (host isa: "
+                 << cpu::IsaName(cpu::ActiveQKernels().isa)
+                 << ", vnni=" << (cpu::HostSupportsVnni() ? "yes" : "no")
+                 << "); the maddubs tiers target parity-or-better, not 2x";
+  }
+  struct Shape {
+    const char* name;
+    int64_t m, n, k;
+    bool enforce;
+  };
+  // The serving model's Linear layers at serving batch sizes: 8 pairs x 32
+  // tokens through a hidden-64 transformer (see bench_serving). The 2x
+  // floor binds on these; square_256 is recorded for cross-reference with
+  // the fp32 guards but not enforced — it is not a serving shape, and the
+  // measured ratio hovers right at 2x there (the pack step amortizes worse
+  // as k grows past the serving dims).
+  const Shape shapes[] = {
+      {"serve_qkv", 256, 64, 64, true},
+      {"serve_ffn_up", 256, 128, 64, true},
+      {"serve_ffn_down", 256, 64, 128, true},
+      {"square_256", 256, 256, 256, false},
+  };
+  std::mt19937 rng(47);
+  for (const Shape& s : shapes) {
+    std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+    std::vector<float> fa(static_cast<size_t>(s.m * s.k));
+    std::vector<float> fb(static_cast<size_t>(s.k * s.n));
+    std::vector<float> fc(static_cast<size_t>(s.m * s.n), 0.0f);
+    for (auto& x : fa) x = dist(rng);
+    for (auto& x : fb) x = dist(rng);
+
+    const int64_t lda = qgemm::PaddedLda(s.k);
+    std::uniform_int_distribution<int> adist(0, 255), bdist(-127, 127);
+    std::vector<uint8_t> qa(static_cast<size_t>(s.m * lda), 0);
+    std::vector<int8_t> qb(static_cast<size_t>(s.k * s.n));
+    std::vector<int32_t> qc(static_cast<size_t>(s.m * s.n));
+    for (int64_t i = 0; i < s.m; ++i) {
+      for (int64_t p = 0; p < s.k; ++p) {
+        qa[i * lda + p] = static_cast<uint8_t>(adist(rng));
+      }
+    }
+    for (auto& x : qb) x = static_cast<int8_t>(bdist(rng));
+    const int32_t bound = qgemm::MaddubsPairBound(qb.data(), s.k, s.n);
+
+    // One call is ~10us on these shapes — too close to the clock/scheduler
+    // noise floor to time alone. Each rep times a block of kInner calls
+    // and the best block is kept, interleaving fp32/int8 so ambient drift
+    // lands on both alike.
+    constexpr int kInner = 16;
+    double fp32_ms = 1e300, int8_ms = 1e300;
+    for (int rep = 0; rep < 15; ++rep) {
+      fp32_ms = std::min(fp32_ms, BestOfMs(1, [&] {
+        for (int it = 0; it < kInner; ++it) {
+          gemm::GemmNN(s.m, s.n, s.k, fa.data(), fb.data(), fc.data());
+        }
+      }) / kInner);
+      int8_ms = std::min(int8_ms, BestOfMs(1, [&] {
+        for (int it = 0; it < kInner; ++it) {
+          qgemm::QGemmNN(s.m, s.n, s.k, qa.data(), lda, qb.data(), qc.data(),
+                         255, bound);
+        }
+      }) / kInner);
+    }
+    RecordProperty(std::string(s.name) + "_fp32_ms", std::to_string(fp32_ms));
+    RecordProperty(std::string(s.name) + "_int8_ms", std::to_string(int8_ms));
+    if (s.enforce) {
+      EXPECT_LE(int8_ms * 2.0, fp32_ms)
+          << s.name << " int8 GEMM below the 2x floor over fp32: " << int8_ms
+          << "ms vs " << fp32_ms << "ms (ratio " << fp32_ms / int8_ms << "x)";
+    }
+  }
+#endif
+}
+
+core::DaderConfig ServingModelConfig() {
+  // Linear-dominated serving model: hidden 64 / ffn 128 puts most forward
+  // FLOPs in the layers the int8 path accelerates.
+  core::DaderConfig c;
+  c.vocab_size = 1024;
+  c.max_len = 32;
+  c.hidden_dim = 64;
+  c.num_heads = 2;
+  c.num_layers = 2;
+  c.ffn_dim = 128;
+  c.rnn_hidden = 16;
+  c.dropout = 0.0f;
+  return c;
+}
+
+core::DaModel MakeServingModel(uint64_t seed) {
+  core::DaModel model;
+  model.extractor =
+      core::MakeExtractor(core::ExtractorKind::kLM, ServingModelConfig(), seed);
+  model.matcher = std::make_unique<core::Matcher>(
+      model.extractor->feature_dim(), seed + 1);
+  return model;
+}
+
+data::ERDataset UniquePairs(const data::Schema& schema, int count,
+                            const char* tag) {
+  data::ERDataset pairs("perf-pairs", "serve", schema, schema);
+  for (int i = 0; i < count; ++i) {
+    pairs.AddPair({data::Record({std::string(tag) + " widget model " +
+                                     std::to_string(i) + " pro edition",
+                                 std::to_string(i)}),
+                   data::Record({std::string(tag) + " widget model " +
+                                     std::to_string(i),
+                                 std::to_string(i)}),
+                   /*label=*/-1});
+  }
+  return pairs;
+}
+
+TEST(QGemmPerfSmoke, QuantizedServingAtLeast1p5xFp32) {
+#ifndef DADER_PERF_ENFORCE
+  GTEST_SKIP() << "perf enforcement requires a Release, sanitizer-free build";
+#else
+  if (!VnniTierActive()) {
+    GTEST_SKIP() << "the 1.5x serving floor presumes the VNNI int8 tier "
+                    "(host isa: "
+                 << cpu::IsaName(cpu::ActiveQKernels().isa)
+                 << ", vnni=" << (cpu::HostSupportsVnni() ? "yes" : "no")
+                 << ")";
+  }
+  const data::Schema schema({"title", "price"});
+  const data::ERDataset calib = UniquePairs(schema, 48, "calib");
+  const data::ERDataset workload_src = UniquePairs(schema, 96, "serve");
+
+  std::vector<serve::MatchRequest> workload;
+  for (const auto& pair : workload_src.pairs()) {
+    serve::MatchRequest request;
+    request.a = pair.a;
+    request.b = pair.b;
+    workload.push_back(std::move(request));
+  }
+
+  auto run_ms = [&](serve::MatchService& service) {
+    double best = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+      const auto t0 = Clock::now();
+      const auto responses = service.MatchBatch(workload);
+      const std::chrono::duration<double, std::milli> ms = Clock::now() - t0;
+      for (const auto& r : responses) {
+        EXPECT_TRUE(r.status.ok()) << r.status.ToString();
+      }
+      best = std::min(best, ms.count());
+    }
+    return best;
+  };
+
+  serve::ServeConfig config;
+  config.queue_capacity = 512;
+  config.max_batch = 8;
+  config.batch_wait_ms = 0.2;
+  config.default_deadline_ms = 120000.0;
+
+  double fp32_ms = 0.0, int8_ms = 0.0;
+  {
+    serve::MatchService fp32_service(config, schema, schema,
+                                     MakeServingModel(/*seed=*/31));
+    fp32_ms = run_ms(fp32_service);
+    fp32_service.Stop();
+  }
+  {
+    serve::ServeConfig qconfig = config;
+    qconfig.quantize = true;
+    qconfig.quant_calib = &calib;
+    // Speed guard, not an accuracy gate: the untrained model's probabilities
+    // sit near 0.5, where argmax agreement is a coin flip. The quant suite
+    // owns the >= 99% agreement bound on trained models.
+    qconfig.quant_min_agreement = 0.0;
+    serve::MatchService int8_service(qconfig, schema, schema,
+                                     MakeServingModel(/*seed=*/31));
+    ASSERT_TRUE(int8_service.primary_quantized())
+        << "quantization did not engage; the comparison is vacuous";
+    int8_ms = run_ms(int8_service);
+    int8_service.Stop();
+  }
+
+  RecordProperty("fp32_ms", std::to_string(fp32_ms));
+  RecordProperty("int8_ms", std::to_string(int8_ms));
+  EXPECT_LE(int8_ms * 1.5, fp32_ms)
+      << "quantized serving is only " << fp32_ms / int8_ms
+      << "x fp32 (" << int8_ms << "ms vs " << fp32_ms << "ms), expected >= "
+         "1.5x";
+#endif
+}
+
+}  // namespace
+}  // namespace dader

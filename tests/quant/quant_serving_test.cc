@@ -1,0 +1,313 @@
+// Serving-level int8 quantization tests: the --quantize path through
+// MatchService and ShardedMatchService.
+//
+// Covered contracts:
+//   * startup quantization engages (primary_quantized, calibration counter)
+//     and the service answers requests from the int8 model;
+//   * a failed startup gate is non-fatal: the service falls back to fp32
+//     and bumps quant_rollbacks (bad calibration must never take serving
+//     down);
+//   * hot reload carries quantization through the canary: an adopted
+//     checkpoint serves int8 again, and a reload whose quantization gate
+//     fails is rejected with the old model still serving;
+//   * the sharded service quantizes once and fans shared int8 state out to
+//     every replica, for both Create and ReloadModel.
+//
+// These use untrained tiny models, whose probabilities sit near 0.5 —
+// argmax agreement between fp32 and int8 is a coin flip there, so every
+// engaged gate here uses quant_min_agreement = 0. The >= 99% agreement and
+// F1 bounds on *trained* models live in quantize_model_test.cc.
+
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/guard.h"
+#include "core/quantize.h"
+#include "serve/match_service.h"
+#include "serve/sharded_service.h"
+
+namespace dader::serve {
+namespace {
+
+using core::DaderConfig;
+
+DaderConfig TinyModelConfig() {
+  DaderConfig c;
+  c.vocab_size = 256;
+  c.max_len = 16;
+  c.hidden_dim = 8;
+  c.num_heads = 2;
+  c.num_layers = 1;
+  c.ffn_dim = 16;
+  c.rnn_hidden = 4;
+  c.dropout = 0.0f;
+  return c;
+}
+
+core::DaModel MakeModel(uint64_t seed) {
+  core::DaModel model;
+  model.extractor =
+      core::MakeExtractor(core::ExtractorKind::kLM, TinyModelConfig(), seed);
+  model.matcher =
+      std::make_unique<core::Matcher>(model.extractor->feature_dim(), seed + 1);
+  return model;
+}
+
+data::Schema TestSchema() { return data::Schema({"title", "price"}); }
+
+MatchRequest MakeRequest(const std::string& title_a,
+                         const std::string& title_b) {
+  MatchRequest request;
+  request.a = data::Record({title_a, "10"});
+  request.b = data::Record({title_b, "10"});
+  return request;
+}
+
+// Unlabeled product pairs for range calibration.
+const data::ERDataset& CalibPairs() {
+  static const data::ERDataset* calib = [] {
+    auto* d = new data::ERDataset("calib", "serve", TestSchema(), TestSchema());
+    for (int i = 0; i < 32; ++i) {
+      d->AddPair({data::Record({"acme widget model " + std::to_string(i) +
+                                    " pro edition",
+                                std::to_string(i)}),
+                  data::Record({"acme widget model " + std::to_string(i),
+                                std::to_string(i)}),
+                  /*label=*/-1});
+    }
+    return d;
+  }();
+  return *calib;
+}
+
+ServeConfig QuantServeConfig(double min_agreement = 0.0) {
+  ServeConfig config;
+  config.queue_capacity = 64;
+  config.max_batch = 8;
+  config.batch_wait_ms = 0.5;
+  config.default_deadline_ms = 10000.0;  // latency is not under test
+  config.retry.base_backoff_ms = 1.0;
+  config.retry.max_backoff_ms = 4.0;
+  config.quantize = true;
+  config.quant_calib = &CalibPairs();
+  config.quant_min_agreement = min_agreement;
+  return config;
+}
+
+std::vector<MatchRequest> SmallWorkload() {
+  std::vector<MatchRequest> requests;
+  for (int i = 0; i < 10; ++i) {
+    requests.push_back(MakeRequest("sony camera a" + std::to_string(i),
+                                   "sony camera a" + std::to_string(i)));
+  }
+  return requests;
+}
+
+std::string TempDir(const std::string& tag) {
+  const std::string dir = testing::TempDir() + "/quant_serving_" + tag;
+  ::mkdir(dir.c_str(), 0755);
+  return dir;
+}
+
+TEST(QuantServingTest, StartupQuantizationServesInt8) {
+  MatchService service(QuantServeConfig(), TestSchema(), TestSchema(),
+                       MakeModel(21));
+  EXPECT_TRUE(service.primary_quantized());
+
+  const auto responses = service.MatchBatch(SmallWorkload());
+  ASSERT_EQ(responses.size(), 10u);
+  for (const auto& r : responses) {
+    ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+    EXPECT_GE(r.prob, 0.0f);
+    EXPECT_LE(r.prob, 1.0f);
+  }
+  const ServeStats stats = service.stats();
+  EXPECT_EQ(stats.quant_calibrations, 1);
+  EXPECT_EQ(stats.quant_rollbacks, 0);
+  EXPECT_EQ(stats.completed, 10);
+}
+
+TEST(QuantServingTest, QuantizedMatchesDedicatedQuantizedModelExactly) {
+  // The service's int8 forward is the same deterministic path as a
+  // directly quantized model: probabilities agree bitwise.
+  core::DaModel reference = MakeModel(21);
+  {
+    const ServeConfig config = QuantServeConfig();
+    ASSERT_TRUE(MatchService::QuantizeForServing(config, &reference).ok());
+  }
+  MatchService service(QuantServeConfig(), TestSchema(), TestSchema(),
+                       MakeModel(21));
+  ASSERT_TRUE(service.primary_quantized());
+
+  MatchService reference_service(QuantServeConfig(), TestSchema(),
+                                 TestSchema(), std::move(reference));
+  ASSERT_TRUE(reference_service.primary_quantized());
+
+  auto workload = SmallWorkload();
+  const auto a = service.MatchBatch(workload);
+  const auto b = reference_service.MatchBatch(workload);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_TRUE(a[i].status.ok());
+    ASSERT_TRUE(b[i].status.ok());
+    EXPECT_EQ(a[i].prob, b[i].prob) << "request " << i;
+    EXPECT_EQ(a[i].label, b[i].label) << "request " << i;
+  }
+}
+
+TEST(QuantServingTest, FailedStartupGateFallsBackToFp32) {
+  // min_agreement > 1 cannot be met; startup must roll back to fp32 and
+  // keep serving.
+  MatchService service(QuantServeConfig(/*min_agreement=*/1.1), TestSchema(),
+                       TestSchema(), MakeModel(21));
+  EXPECT_FALSE(service.primary_quantized());
+
+  const auto responses = service.MatchBatch(SmallWorkload());
+  for (const auto& r : responses) {
+    ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  }
+  const ServeStats stats = service.stats();
+  EXPECT_EQ(stats.quant_calibrations, 0);
+  EXPECT_EQ(stats.quant_rollbacks, 1);
+}
+
+TEST(QuantServingTest, MissingCalibrationDataIsARollback) {
+  ServeConfig config = QuantServeConfig();
+  config.quant_calib = nullptr;
+  MatchService service(std::move(config), TestSchema(), TestSchema(),
+                       MakeModel(21));
+  EXPECT_FALSE(service.primary_quantized());
+  EXPECT_EQ(service.stats().quant_rollbacks, 1);
+
+  const auto responses = service.MatchBatch(SmallWorkload());
+  for (const auto& r : responses) {
+    ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  }
+}
+
+TEST(QuantServingTest, ReloadCarriesQuantizationThroughCanary) {
+  const std::string dir = TempDir("reload");
+  const std::string ckpt = dir + "/donor.ckpt";
+  core::DaModel donor = MakeModel(99);
+  ASSERT_TRUE(core::SaveModules(ckpt, {{"F", donor.extractor.get()},
+                                       {"M", donor.matcher.get()}})
+                  .ok());
+
+  MatchService service(QuantServeConfig(), TestSchema(), TestSchema(),
+                       MakeModel(21));
+  ASSERT_TRUE(service.primary_quantized());
+
+  const Status reloaded = service.ReloadModel(ckpt);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.ToString();
+  // The adopted checkpoint serves int8 again: reload re-calibrated.
+  EXPECT_TRUE(service.primary_quantized());
+  const ServeStats stats = service.stats();
+  EXPECT_EQ(stats.reloads, 1);
+  EXPECT_EQ(stats.reload_rollbacks, 0);
+  EXPECT_EQ(stats.quant_calibrations, 2);
+
+  const auto responses = service.MatchBatch(SmallWorkload());
+  for (const auto& r : responses) {
+    ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  }
+}
+
+TEST(QuantServingTest, ReloadRejectedWhenQuantizationGateFails) {
+  const std::string dir = TempDir("reject");
+  const std::string ckpt = dir + "/donor.ckpt";
+  core::DaModel donor = MakeModel(99);
+  ASSERT_TRUE(core::SaveModules(ckpt, {{"F", donor.extractor.get()},
+                                       {"M", donor.matcher.get()}})
+                  .ok());
+
+  // Impossible gate: startup already rolled back to fp32 (rollback #1);
+  // the reload must hit the same gate on the staged model and be rejected
+  // with the old model untouched.
+  MatchService service(QuantServeConfig(/*min_agreement=*/1.1), TestSchema(),
+                       TestSchema(), MakeModel(21));
+  ASSERT_FALSE(service.primary_quantized());
+
+  const auto before = service.MatchBatch(SmallWorkload());
+  EXPECT_FALSE(service.ReloadModel(ckpt).ok());
+  const ServeStats stats = service.stats();
+  EXPECT_EQ(stats.reloads, 0);
+  EXPECT_EQ(stats.reload_rollbacks, 1);
+  EXPECT_GE(stats.quant_rollbacks, 2);
+
+  // Old fp32 model still serving, bit-identical to before the attempt.
+  const auto after = service.MatchBatch(SmallWorkload());
+  ASSERT_EQ(before.size(), after.size());
+  for (size_t i = 0; i < before.size(); ++i) {
+    ASSERT_TRUE(after[i].status.ok());
+    EXPECT_EQ(before[i].prob, after[i].prob) << "request " << i;
+  }
+}
+
+TEST(QuantServingTest, ShardedCreateSharesInt8StateAcrossReplicas) {
+  ShardedServeConfig config;
+  config.num_shards = 3;
+  config.shard = QuantServeConfig();
+  auto service = ShardedMatchService::Create(config, TestSchema(), TestSchema(),
+                                             MakeModel(21))
+                     .ValueOrDie();
+
+  // Every shard reports quantized; the state was calibrated once at Create
+  // and shared, so each shard's ctor only counts adoption.
+  const ServeStats stats = service->stats();
+  EXPECT_EQ(stats.quant_calibrations, 3);
+  EXPECT_EQ(stats.quant_rollbacks, 0);
+
+  // Identical duplicate requests must agree regardless of which replica
+  // served them — shared int8 state keeps shards bit-identical.
+  std::vector<MatchRequest> workload;
+  for (int i = 0; i < 8; ++i) {
+    workload.push_back(MakeRequest("canon eos r6 body " + std::to_string(i),
+                                   "canon eos r6 " + std::to_string(i)));
+  }
+  const auto first = service->MatchBatch(workload);
+  const auto second = service->MatchBatch(workload);
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    ASSERT_TRUE(first[i].status.ok()) << first[i].status.ToString();
+    ASSERT_TRUE(second[i].status.ok()) << second[i].status.ToString();
+    EXPECT_EQ(first[i].prob, second[i].prob) << "request " << i;
+  }
+  service->Stop();
+}
+
+TEST(QuantServingTest, ShardedReloadQuantizesOnceAndFansOut) {
+  const std::string dir = TempDir("sharded");
+  const std::string ckpt = dir + "/donor.ckpt";
+  core::DaModel donor = MakeModel(99);
+  ASSERT_TRUE(core::SaveModules(ckpt, {{"F", donor.extractor.get()},
+                                       {"M", donor.matcher.get()}})
+                  .ok());
+
+  ShardedServeConfig config;
+  config.num_shards = 2;
+  config.shard = QuantServeConfig();
+  auto service = ShardedMatchService::Create(config, TestSchema(), TestSchema(),
+                                             MakeModel(21))
+                     .ValueOrDie();
+
+  const Status reloaded = service->ReloadModel(ckpt);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.ToString();
+  const ServeStats stats = service->stats();
+  EXPECT_EQ(stats.reloads, 2);
+  EXPECT_EQ(stats.reload_rollbacks, 0);
+  EXPECT_EQ(stats.quant_rollbacks, 0);
+
+  const auto responses = service->MatchBatch(SmallWorkload());
+  for (const auto& r : responses) {
+    ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  }
+  service->Stop();
+}
+
+}  // namespace
+}  // namespace dader::serve

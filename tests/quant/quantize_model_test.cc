@@ -1,0 +1,230 @@
+// Accuracy guards for int8 post-training quantization (core/quantize.h).
+//
+// The load-bearing guarantee: on a model actually trained on the paper's
+// WA -> AB adaptation task, the quantized model (a) agrees with fp32 on
+// >= 99% of held-out pairs and (b) moves target-test F1 by at most 0.01.
+// Plus the state-machine contracts around it: rollback on a failed
+// agreement gate restores bit-identical fp32 behavior, ClearQuantization
+// detaches, and CloneQuantized shares (not copies) the frozen int8 state.
+//
+// Training happens once (static setup) and every test works on
+// CloneModel copies, so the suite stays cheap and the trained weights are
+// identical across tests.
+
+#include "core/quantize.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/evaluator.h"
+#include "core/experiment.h"
+#include "nn/layers.h"
+
+namespace dader::core {
+namespace {
+
+ExperimentScale TinyScale() {
+  ExperimentScale s;
+  s.name = "quant-test";
+  s.model.vocab_size = 512;
+  s.model.max_len = 24;
+  s.model.hidden_dim = 16;
+  s.model.num_heads = 2;
+  s.model.num_layers = 1;
+  s.model.ffn_dim = 32;
+  s.model.rnn_hidden = 8;
+  s.model.batch_size = 16;
+  s.model.epochs = 3;
+  s.model.gan_pretrain_epochs = 2;
+  s.model.dropout = 0.0f;
+  s.data_scale = 0.01;
+  s.min_pairs = 70;
+  s.num_seeds = 1;
+  s.valid_fraction = 0.2;
+  return s;
+}
+
+struct TrainedSetup {
+  DaTask task;
+  DaModel model;  // trained fp32 weights; tests clone, never mutate
+};
+
+// Trains one WA -> AB model (source-only) a single time for the whole
+// suite; each test clones it so quantization state never leaks across
+// tests.
+const TrainedSetup& Trained() {
+  static const TrainedSetup* setup = [] {
+    auto* s = new TrainedSetup;
+    const ExperimentScale scale = TinyScale();
+    s->task = BuildDaTask("WA", "AB", scale, /*data_seed=*/5).ValueOrDie();
+    s->model =
+        BuildModel(ExtractorKind::kLM, scale, /*pretrained=*/false, 11)
+            .ValueOrDie();
+    RunSingleDa(AlignMethod::kNoDA, scale, s->task, &s->model).ValueOrDie();
+    return s;
+  }();
+  return *setup;
+}
+
+DaModel FreshClone(uint64_t seed = 3) {
+  return CloneModel(Trained().model, seed).ValueOrDie();
+}
+
+QuantizeOptions TestOptions() {
+  QuantizeOptions options;
+  options.calib_pairs = 48;
+  options.eval_pairs = 256;
+  options.batch_size = 16;
+  options.min_agreement = 0.99;
+  return options;
+}
+
+std::vector<const quant::QuantizedLinear*> QuantStates(const DaModel& model) {
+  std::vector<const quant::QuantizedLinear*> states;
+  auto probe = [&states](nn::Module* m) {
+    if (auto* linear = dynamic_cast<nn::Linear*>(m)) {
+      states.push_back(linear->quant_state().get());
+    }
+  };
+  model.extractor->Apply(probe);
+  model.matcher->Apply(probe);
+  return states;
+}
+
+TEST(QuantizeModelTest, TrainedAgreementAtLeast99PercentAndF1Within001) {
+  const TrainedSetup& t = Trained();
+  DaModel model = FreshClone();
+
+  Rng rng_fp32(7);
+  const ErMetrics fp32 = Evaluate(model.extractor.get(), model.matcher.get(),
+                                  t.task.target_test, 16, &rng_fp32);
+
+  // Calibrate on source pairs (the data the NoDA model was fit to, so its
+  // probabilities are polarized); the gate evaluates on pairs after the
+  // calibration slice.
+  const auto report =
+      QuantizeDaModel(&model, t.task.source, TestOptions()).ValueOrDie();
+  EXPECT_TRUE(IsQuantized(model));
+  EXPECT_GT(report.linears, 0);
+  EXPECT_GT(report.eval_pairs, 0);
+  EXPECT_GE(report.agreement, 0.99)
+      << "int8 argmax disagrees with fp32 too often on held-out WA pairs";
+
+  Rng rng_int8(7);
+  const ErMetrics int8 = Evaluate(model.extractor.get(), model.matcher.get(),
+                                  t.task.target_test, 16, &rng_int8);
+  EXPECT_NEAR(int8.F1(), fp32.F1(), 0.01)
+      << "quantization moved target-test F1 beyond the 0.01 budget (fp32 "
+      << fp32.F1() << " vs int8 " << int8.F1() << ")";
+}
+
+TEST(QuantizeModelTest, FailedGateRollsBackToBitIdenticalFp32) {
+  const TrainedSetup& t = Trained();
+  DaModel model = FreshClone();
+
+  Rng rng_before(9);
+  const Prediction before = Predict(model.extractor.get(), model.matcher.get(),
+                                    t.task.target_valid, 16, &rng_before);
+
+  QuantizeOptions impossible = TestOptions();
+  impossible.min_agreement = 1.1;  // agreement <= 1.0, so the gate must fail
+  const auto status = QuantizeDaModel(&model, t.task.source, impossible);
+  EXPECT_FALSE(status.ok());
+  EXPECT_FALSE(IsQuantized(model));
+
+  // Rollback means fp32 serving is untouched: bit-identical probabilities.
+  Rng rng_after(9);
+  const Prediction after = Predict(model.extractor.get(), model.matcher.get(),
+                                   t.task.target_valid, 16, &rng_after);
+  ASSERT_EQ(before.probs.size(), after.probs.size());
+  for (size_t i = 0; i < before.probs.size(); ++i) {
+    EXPECT_EQ(before.probs[i], after.probs[i]) << "pair " << i;
+  }
+}
+
+TEST(QuantizeModelTest, ClearQuantizationRestoresBitIdenticalFp32) {
+  const TrainedSetup& t = Trained();
+  DaModel model = FreshClone();
+
+  Rng rng_before(13);
+  const Prediction before = Predict(model.extractor.get(), model.matcher.get(),
+                                    t.task.target_valid, 16, &rng_before);
+
+  ASSERT_TRUE(QuantizeDaModel(&model, t.task.source, TestOptions()).ok());
+  ASSERT_TRUE(IsQuantized(model));
+  ClearQuantization(&model);
+  EXPECT_FALSE(IsQuantized(model));
+
+  Rng rng_after(13);
+  const Prediction after = Predict(model.extractor.get(), model.matcher.get(),
+                                   t.task.target_valid, 16, &rng_after);
+  ASSERT_EQ(before.probs.size(), after.probs.size());
+  for (size_t i = 0; i < before.probs.size(); ++i) {
+    EXPECT_EQ(before.probs[i], after.probs[i]) << "pair " << i;
+  }
+}
+
+TEST(QuantizeModelTest, CloneQuantizedSharesFrozenStateExactly) {
+  const TrainedSetup& t = Trained();
+  DaModel model = FreshClone();
+  ASSERT_TRUE(QuantizeDaModel(&model, t.task.source, TestOptions()).ok());
+
+  DaModel clone = CloneQuantized(model, /*seed=*/29).ValueOrDie();
+  EXPECT_TRUE(IsQuantized(clone));
+
+  // Shared, not re-derived: the clone's Linears hold the same
+  // QuantizedLinear objects.
+  const auto src_states = QuantStates(model);
+  const auto dst_states = QuantStates(clone);
+  ASSERT_EQ(src_states.size(), dst_states.size());
+  for (size_t i = 0; i < src_states.size(); ++i) {
+    EXPECT_EQ(src_states[i], dst_states[i]) << "linear " << i;
+  }
+
+  // Therefore the clone's int8 outputs are bit-identical to the donor's.
+  Rng rng_a(17);
+  const Prediction a = Predict(model.extractor.get(), model.matcher.get(),
+                               t.task.target_valid, 16, &rng_a);
+  Rng rng_b(17);
+  const Prediction b = Predict(clone.extractor.get(), clone.matcher.get(),
+                               t.task.target_valid, 16, &rng_b);
+  ASSERT_EQ(a.probs.size(), b.probs.size());
+  for (size_t i = 0; i < a.probs.size(); ++i) {
+    EXPECT_EQ(a.probs[i], b.probs[i]) << "pair " << i;
+  }
+}
+
+TEST(QuantizeModelTest, CloneOfFp32ModelStaysFp32) {
+  DaModel model = FreshClone();
+  DaModel clone = CloneQuantized(model, 5).ValueOrDie();
+  EXPECT_FALSE(IsQuantized(clone));
+}
+
+TEST(QuantizeModelTest, RequantizeAfterGateFailureSucceeds) {
+  // A failed gate must leave the model in a state where a later, sane
+  // quantization attempt works (serving retries reloads this way).
+  const TrainedSetup& t = Trained();
+  DaModel model = FreshClone();
+
+  QuantizeOptions impossible = TestOptions();
+  impossible.min_agreement = 1.1;
+  EXPECT_FALSE(QuantizeDaModel(&model, t.task.source, impossible).ok());
+  EXPECT_TRUE(QuantizeDaModel(&model, t.task.source, TestOptions()).ok());
+  EXPECT_TRUE(IsQuantized(model));
+}
+
+TEST(QuantizeModelTest, InvalidInputsAreRejected) {
+  const TrainedSetup& t = Trained();
+  DaModel model = FreshClone();
+  EXPECT_FALSE(QuantizeDaModel(nullptr, t.task.source, TestOptions()).ok());
+
+  const data::ERDataset empty("empty", "none", t.task.source.schema_a(),
+                              t.task.source.schema_b());
+  EXPECT_FALSE(QuantizeDaModel(&model, empty, TestOptions()).ok());
+  EXPECT_FALSE(IsQuantized(model));
+}
+
+}  // namespace
+}  // namespace dader::core

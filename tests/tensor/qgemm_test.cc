@@ -1,0 +1,319 @@
+// Int8 GEMM layer: every ISA tier bit-identical to the portable oracle on
+// all shapes/paths (direct, fast, exact), the acc16 saturation guard (big
+// weights must route to the exact kernel and still match), the quantized
+// Linear forward (quant.h) against a hand dequantization, and thread-count
+// bit identity on forced multi-task fan-outs. Everything here asserts EQ,
+// not NEAR: integer accumulation has one right answer.
+
+#include "tensor/qgemm.h"
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "tensor/cpu_dispatch.h"
+#include "tensor/quant.h"
+#include "util/thread_pool.h"
+
+namespace dader {
+namespace {
+
+struct Dims {
+  int64_t m, n, k;
+};
+
+// Unit edges, lane tails around the 8/16-wide column blocks, quad tails in
+// k, and shapes above the direct cutoff so the packed kernels run.
+const Dims kShapes[] = {
+    {1, 1, 1},   {1, 7, 5},    {5, 1, 9},    {3, 8, 4},     {6, 16, 8},
+    {7, 17, 13}, {13, 31, 29}, {2, 15, 3},   {64, 64, 64},  {1, 96, 33},
+    {41, 3, 50}, {6, 48, 20},  {96, 40, 96}, {33, 130, 65},
+};
+
+std::vector<uint8_t> RandomA(int64_t m, int64_t k, int64_t lda, uint32_t seed,
+                             int hi = 255) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> dist(0, hi);
+  std::vector<uint8_t> a(static_cast<size_t>(m * lda), 0);
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t p = 0; p < k; ++p) {
+      a[i * lda + p] = static_cast<uint8_t>(dist(rng));
+    }
+  }
+  return a;
+}
+
+std::vector<int8_t> RandomB(int64_t k, int64_t n, uint32_t seed,
+                            int mag = 127) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> dist(-mag, mag);
+  std::vector<int8_t> b(static_cast<size_t>(k * n));
+  for (auto& v : b) v = static_cast<int8_t>(dist(rng));
+  return b;
+}
+
+std::vector<cpu::Isa> TestableIsas() {
+  std::vector<cpu::Isa> isas = {cpu::Isa::kPortable};
+  for (cpu::Isa isa : {cpu::Isa::kAvx2, cpu::Isa::kAvx512}) {
+    if (cpu::HostSupports(isa) && cpu::CompiledWith(isa)) isas.push_back(isa);
+  }
+  return isas;
+}
+
+class ScopedIsa {
+ public:
+  explicit ScopedIsa(cpu::Isa isa) { cpu::ForceIsa(isa); }
+  ~ScopedIsa() { cpu::ClearForcedIsa(); }
+};
+
+void RunAllPathsMatchOracle(int a_hi, int b_mag, uint32_t seed_base) {
+  for (cpu::Isa isa : TestableIsas()) {
+    ScopedIsa forced(isa);
+    int seed = 0;
+    for (const Dims& d : kShapes) {
+      const int64_t lda = qgemm::PaddedLda(d.k);
+      const auto a =
+          RandomA(d.m, d.k, lda, seed_base + seed, a_hi);
+      const auto b = RandomB(d.k, d.n, seed_base + 1000 + seed, b_mag);
+      ++seed;
+      std::vector<int32_t> want(static_cast<size_t>(d.m * d.n), -1);
+      qgemm::NaiveQGemmNN(d.m, d.n, d.k, a.data(), lda, b.data(), want.data());
+
+      const int32_t bound = qgemm::MaddubsPairBound(b.data(), d.k, d.n);
+      for (qgemm::QGemmForce force :
+           {qgemm::QGemmForce::kAuto, qgemm::QGemmForce::kFast,
+            qgemm::QGemmForce::kExact, qgemm::QGemmForce::kDirect}) {
+        // A forced fast path is only exact when the guard admits it (or the
+        // tier's fast kernel widens, e.g. VNNI/portable).
+        if (force == qgemm::QGemmForce::kFast &&
+            !cpu::ActiveQKernels().fast_is_exact &&
+            static_cast<int64_t>(a_hi) * bound > 32767) {
+          continue;
+        }
+        qgemm::QGemmOptions options;
+        options.force = force;
+        std::vector<int32_t> got(static_cast<size_t>(d.m * d.n), -2);
+        qgemm::QGemmNN(d.m, d.n, d.k, a.data(), lda, b.data(), got.data(),
+                       a_hi, bound, options);
+        ASSERT_EQ(want, got)
+            << cpu::IsaName(isa) << " m=" << d.m << " n=" << d.n
+            << " k=" << d.k << " force=" << static_cast<int>(force);
+      }
+    }
+  }
+}
+
+TEST(QGemmTest, AllTiersAllPathsMatchOracleSmallOperands) {
+  // Small operands: the guard admits the acc16 fast path everywhere.
+  RunAllPathsMatchOracle(/*a_hi=*/50, /*b_mag=*/60, /*seed_base=*/11);
+}
+
+TEST(QGemmTest, AllTiersAllPathsMatchOracleFullRangeOperands) {
+  // Full-range operands: on maddubs tiers the guard must reject the fast
+  // path (255 * 254 pairs overflow s16) and the auto path falls back to
+  // the exact widening kernel — which must still match the oracle.
+  RunAllPathsMatchOracle(/*a_hi=*/255, /*b_mag=*/127, /*seed_base=*/77);
+}
+
+TEST(QGemmTest, SaturationGuardRoutesToExactPath) {
+  // A worst-case operand pair where the acc16 path would saturate: paired
+  // weights of +127/+127 against activations of 255 produce pair sums of
+  // 255*127*2 = 64770 > 32767. The auto path must still be bit-exact.
+  const int64_t m = 4, n = 24, k = 32;
+  const int64_t lda = qgemm::PaddedLda(k);
+  std::vector<uint8_t> a(static_cast<size_t>(m * lda), 255);
+  std::vector<int8_t> b(static_cast<size_t>(k * n), 127);
+  const int32_t bound = qgemm::MaddubsPairBound(b.data(), k, n);
+  EXPECT_EQ(bound, 254);
+
+  std::vector<int32_t> want(static_cast<size_t>(m * n));
+  qgemm::NaiveQGemmNN(m, n, k, a.data(), lda, b.data(), want.data());
+  // 255 * 127 * 32 per element; confirms the oracle itself is sane.
+  EXPECT_EQ(want[0], 255 * 127 * 32);
+
+  for (cpu::Isa isa : TestableIsas()) {
+    ScopedIsa forced(isa);
+    std::vector<int32_t> got(static_cast<size_t>(m * n), 0);
+    qgemm::QGemmNN(m, n, k, a.data(), lda, b.data(), got.data(), 255, bound,
+                   {});
+    ASSERT_EQ(want, got) << cpu::IsaName(isa);
+  }
+}
+
+TEST(QGemmTest, MaddubsPairBoundOddKPairsWithZero) {
+  // k=3: rows pair as (0,1) and (2, implicit zero).
+  const int8_t b[] = {100, -100, 27, 50, -128, 3};  // [3, 2]
+  // col 0: |100|+|27| = 127, |50| = 50 -> 127
+  // col 1: |-100|+|50|... wait, layout is row-major [k=3][n=2]:
+  // rows: {100,-100}, {27,50}, {-128,3}
+  // col 0 pairs: |100|+|27|=127, |-128|=128 -> 128
+  // col 1 pairs: |-100|+|50|=150, |3|=3 -> 150
+  EXPECT_EQ(qgemm::MaddubsPairBound(b, 3, 2), 150);
+}
+
+TEST(QGemmTest, ZeroKZeroFillsOutput) {
+  std::vector<int32_t> c(6, 1234);
+  qgemm::QGemmNN(2, 3, 0, nullptr, 0, nullptr, c.data(), 0, 0, {});
+  EXPECT_EQ(c, std::vector<int32_t>(6, 0));
+}
+
+TEST(QGemmTest, BitIdenticalAcrossThreadCounts) {
+  // Fan-out must not change a single bit. Force the parallel path past the
+  // hardware-concurrency clamp so this holds even on single-core CI hosts;
+  // exercises the row-split seams at several task counts.
+  const int64_t m = 37, n = 48, k = 64;
+  const int64_t lda = qgemm::PaddedLda(k);
+  const auto a = RandomA(m, k, lda, 5);
+  const auto b = RandomB(k, n, 6);
+  const int32_t bound = qgemm::MaddubsPairBound(b.data(), k, n);
+  std::vector<int32_t> serial(static_cast<size_t>(m * n));
+  qgemm::NaiveQGemmNN(m, n, k, a.data(), lda, b.data(), serial.data());
+
+  for (cpu::Isa isa : TestableIsas()) {
+    ScopedIsa forced(isa);
+    for (size_t workers : {2u, 3u, 7u}) {
+      ThreadPool pool(workers);
+      qgemm::QGemmOptions options;
+      options.pool = &pool;
+      options.parallel_min_products = 1;   // always fan out
+      options.min_products_per_task = 0;   // no per-task floor
+      options.respect_hardware_concurrency = false;
+      std::vector<int32_t> got(static_cast<size_t>(m * n), -1);
+      qgemm::QGemmNN(m, n, k, a.data(), lda, b.data(), got.data(), 255,
+                     bound, options);
+      ASSERT_EQ(serial, got) << cpu::IsaName(isa) << " workers=" << workers;
+    }
+  }
+}
+
+TEST(QGemmTest, CrossTierBitIdentity) {
+  // Stronger than the fp32 contract: different ISA tiers agree bit-for-bit
+  // with each other, not just with themselves.
+  const int64_t m = 19, n = 50, k = 70;
+  const int64_t lda = qgemm::PaddedLda(k);
+  const auto a = RandomA(m, k, lda, 9);
+  const auto b = RandomB(k, n, 10);
+  const int32_t bound = qgemm::MaddubsPairBound(b.data(), k, n);
+  std::vector<std::vector<int32_t>> results;
+  for (cpu::Isa isa : TestableIsas()) {
+    ScopedIsa forced(isa);
+    std::vector<int32_t> got(static_cast<size_t>(m * n));
+    qgemm::QGemmNN(m, n, k, a.data(), lda, b.data(), got.data(), 255, bound,
+                   {});
+    results.push_back(std::move(got));
+  }
+  for (size_t i = 1; i < results.size(); ++i) {
+    ASSERT_EQ(results[0], results[i]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// quant.h: quantizer math and the dequantized Linear forward.
+// ---------------------------------------------------------------------------
+
+TEST(QuantTest, ActQuantFromRangeIncludesZero) {
+  // A positive-only range still maps 0 exactly (zp on the grid).
+  const auto q = quant::ActQuantFromRange(2.0f, 10.0f);
+  EXPECT_FLOAT_EQ(q.scale, 10.0f / 255.0f);
+  EXPECT_EQ(q.zero_point, 0);
+  const auto q2 = quant::ActQuantFromRange(-1.0f, 1.0f);
+  EXPECT_EQ(q2.zero_point, 128);  // round(1 / (2/255)) = round(127.5)
+  const auto q3 = quant::ActQuantFromRange(0.0f, 0.0f);
+  EXPECT_FLOAT_EQ(q3.scale, 1.0f);
+  EXPECT_EQ(q3.zero_point, 0);
+}
+
+TEST(QuantTest, QuantizeLinearWeightsPerChannel) {
+  // Two channels with very different ranges get independent scales.
+  const int64_t in = 2, out = 2;
+  const float w[] = {1.0f, 100.0f,   // row p=0
+                     -0.5f, -50.0f};  // row p=1
+  const float bias[] = {0.25f, -3.0f};
+  auto q = quant::QuantizeLinearWeights(w, in, out, bias, -1.0f, 1.0f);
+  EXPECT_FLOAT_EQ(q->weight_scale[0], 1.0f / 127.0f);
+  EXPECT_FLOAT_EQ(q->weight_scale[1], 100.0f / 127.0f);
+  EXPECT_EQ(q->weight_q[0], 127);   // 1.0 / (1/127)
+  EXPECT_EQ(q->weight_q[1], 127);   // 100 / (100/127)
+  EXPECT_EQ(q->weight_q[2], -64);   // round(-0.5 * 127) = -63.5 -> -64
+  EXPECT_EQ(q->weight_q[3], -64);   // round(-50 / (100/127)) = -63.5
+  EXPECT_EQ(q->col_sum[0], 127 - 64);
+  EXPECT_EQ(q->bias.size(), 2u);
+}
+
+TEST(QuantTest, QLinearForwardMatchesManualDequant) {
+  // The forward must equal the closed-form dequant of the oracle GEMM on
+  // the quantized operands — exactly, since both run the same arithmetic.
+  const int64_t m = 5, in = 24, out = 17;
+  std::mt19937 rng(42);
+  std::uniform_real_distribution<float> dist(-2.0f, 2.0f);
+  std::vector<float> w(static_cast<size_t>(in * out));
+  std::vector<float> bias(static_cast<size_t>(out));
+  std::vector<float> x(static_cast<size_t>(m * in));
+  for (auto& v : w) v = dist(rng);
+  for (auto& v : bias) v = dist(rng);
+  for (auto& v : x) v = dist(rng);
+
+  auto q = quant::QuantizeLinearWeights(w.data(), in, out, bias.data(), -2.0f,
+                                        2.0f);
+  std::vector<float> got(static_cast<size_t>(m * out));
+  quant::QLinearForward(*q, x.data(), m, got.data());
+
+  // Manual path: quantize x the same way, oracle GEMM, dequant.
+  const int64_t lda = qgemm::PaddedLda(in);
+  std::vector<uint8_t> aq(static_cast<size_t>(m * lda), 0);
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t p = 0; p < in; ++p) {
+      const float v = x[i * in + p] / q->act.scale;
+      const int32_t r =
+          static_cast<int32_t>(v >= 0 ? v + 0.5f : v - 0.5f) +
+          q->act.zero_point;
+      aq[i * lda + p] = static_cast<uint8_t>(std::clamp(r, 0, 255));
+    }
+  }
+  std::vector<int32_t> acc(static_cast<size_t>(m * out));
+  qgemm::NaiveQGemmNN(m, out, in, aq.data(), lda, q->weight_q.data(),
+                      acc.data());
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < out; ++j) {
+      const float want =
+          q->act.scale * q->weight_scale[j] *
+              static_cast<float>(acc[i * out + j] -
+                                 q->act.zero_point * q->col_sum[j]) +
+          bias[j];
+      ASSERT_EQ(want, got[i * out + j]) << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+TEST(QuantTest, QLinearForwardApproximatesFp32) {
+  // End-to-end error sanity: quantized Linear within ~1% of fp32 on a
+  // well-conditioned random layer.
+  const int64_t m = 8, in = 64, out = 32;
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+  std::vector<float> w(static_cast<size_t>(in * out));
+  std::vector<float> bias(static_cast<size_t>(out));
+  std::vector<float> x(static_cast<size_t>(m * in));
+  for (auto& v : w) v = dist(rng);
+  for (auto& v : bias) v = dist(rng);
+  for (auto& v : x) v = dist(rng);
+
+  auto q = quant::QuantizeLinearWeights(w.data(), in, out, bias.data(), -1.0f,
+                                        1.0f);
+  std::vector<float> got(static_cast<size_t>(m * out));
+  quant::QLinearForward(*q, x.data(), m, got.data());
+
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < out; ++j) {
+      float want = bias[j];
+      for (int64_t p = 0; p < in; ++p) {
+        want += x[i * in + p] * w[p * out + j];
+      }
+      ASSERT_NEAR(want, got[i * out + j], 0.05f) << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dader

@@ -5,6 +5,8 @@
 #include <sys/stat.h>
 
 #include <cstdio>
+#include <fstream>
+#include <iterator>
 
 #include "util/fault.h"
 
@@ -133,6 +135,111 @@ TEST(SerializeTest, SaveToUnwritableDirFailsCleanly) {
   Status st = SaveTensors(path, SampleTensors());
   EXPECT_FALSE(st.ok());
   EXPECT_FALSE(FileExists(path + ".tmp"));
+}
+
+// --- v3: int8 quantized entries ---------------------------------------
+
+TensorFile SampleQuantFile() {
+  TensorFile file;
+  file.dense["a.weight"] = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  const std::vector<float> w = {0.5f, -1.0f, 0.25f, 1.0f, -0.125f, 2.0f};
+  const std::vector<float> bias = {0.75f, -0.5f};
+  file.quant["m.fc"] = quant::QuantizeLinearWeights(
+      w.data(), /*in=*/3, /*out=*/2, bias.data(), -1.5f, 3.0f);
+  return file;
+}
+
+TEST(SerializeTest, QuantizedLinearRoundTrip) {
+  const std::string path = TempPath("tensors_quant_roundtrip.bin");
+  const TensorFile file = SampleQuantFile();
+  ASSERT_TRUE(SaveTensorFile(path, file).ok());
+
+  auto loaded = LoadTensorFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const TensorFile& got = loaded.ValueOrDie();
+  ASSERT_EQ(got.dense.size(), 1u);
+  EXPECT_EQ(got.dense.at("a.weight").vec(), file.dense.at("a.weight").vec());
+  ASSERT_EQ(got.quant.size(), 1u);
+
+  const quant::QuantizedLinear& in = *file.quant.at("m.fc");
+  const quant::QuantizedLinear& out = *got.quant.at("m.fc");
+  EXPECT_EQ(out.in, in.in);
+  EXPECT_EQ(out.out, in.out);
+  EXPECT_EQ(out.weight_q, in.weight_q);
+  EXPECT_EQ(out.weight_scale, in.weight_scale);
+  EXPECT_EQ(out.bias, in.bias);
+  EXPECT_EQ(out.act.scale, in.act.scale);
+  EXPECT_EQ(out.act.zero_point, in.act.zero_point);
+  // Derived fields are recomputed on load, never trusted from disk — and
+  // must land exactly where the writer's state had them.
+  EXPECT_EQ(out.col_sum, in.col_sum);
+  EXPECT_EQ(out.pair_bound, in.pair_bound);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, DenseOnlyTensorFileIsBitIdenticalToV2Writer) {
+  // SaveTensorFile without quant entries must produce byte-for-byte the
+  // same file as the legacy SaveTensors writer (old readers keep working).
+  const std::string v2_path = TempPath("tensors_v2.bin");
+  const std::string tf_path = TempPath("tensors_tf.bin");
+  ASSERT_TRUE(SaveTensors(v2_path, SampleTensors()).ok());
+  TensorFile file;
+  file.dense = SampleTensors();
+  ASSERT_TRUE(SaveTensorFile(tf_path, file).ok());
+
+  std::ifstream a(v2_path, std::ios::binary), b(tf_path, std::ios::binary);
+  const std::string bytes_a((std::istreambuf_iterator<char>(a)),
+                            std::istreambuf_iterator<char>());
+  const std::string bytes_b((std::istreambuf_iterator<char>(b)),
+                            std::istreambuf_iterator<char>());
+  EXPECT_EQ(bytes_a, bytes_b);
+  std::remove(v2_path.c_str());
+  std::remove(tf_path.c_str());
+}
+
+TEST(SerializeTest, LoadTensorFileReadsLegacyV2) {
+  const std::string path = TempPath("tensors_v2_compat.bin");
+  ASSERT_TRUE(SaveTensors(path, SampleTensors()).ok());
+  auto loaded = LoadTensorFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.ValueOrDie().dense.size(), 2u);
+  EXPECT_TRUE(loaded.ValueOrDie().quant.empty());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, LoadTensorsRejectsQuantizedFiles) {
+  const std::string path = TempPath("tensors_quant_reject.bin");
+  ASSERT_TRUE(SaveTensorFile(path, SampleQuantFile()).ok());
+  auto loaded = LoadTensors(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_FALSE(loaded.status().ToString().empty());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, TornQuantizedFileFailsLikeV2) {
+  const std::string path = TempPath("tensors_quant_torn.bin");
+  for (double keep : {0.9, 0.5, 0.1}) {
+    ASSERT_TRUE(SaveTensorFile(path, SampleQuantFile()).ok());
+    ASSERT_TRUE(FaultInjector::TruncateFile(path, keep).ok());
+    EXPECT_FALSE(LoadTensorFile(path).ok()) << "keep=" << keep;
+  }
+  // Size-preserving bit flip inside the fp32 bias payload (the last 12
+  // bytes are act scale + zero point + CRC): any float is a structurally
+  // valid bias, so only the CRC footer can catch this one.
+  ASSERT_TRUE(SaveTensorFile(path, SampleQuantFile()).ok());
+  ASSERT_TRUE(FaultInjector::CorruptByte(path, FileSizeOf(path) - 14).ok());
+  auto loaded = LoadTensorFile(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().ToString().find("CRC"), std::string::npos)
+      << loaded.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, DuplicateNameAcrossDenseAndQuantFails) {
+  const std::string path = TempPath("tensors_dupe.bin");
+  TensorFile file = SampleQuantFile();
+  file.dense["m.fc"] = Tensor::FromVector({1}, {1.0f});
+  EXPECT_FALSE(SaveTensorFile(path, file).ok());
 }
 
 TEST(SerializeTest, LargeTensorRoundTrip) {

@@ -70,6 +70,24 @@ for pair in 'path:direct' 'path:blocked' 'path:blocked_mt' \
   fi
 done
 
+# Same contract for the int8 GEMM dispatch counters
+# (`tensor.qgemm.kernel.*`): the path vocabulary differs (fast/exact acc16
+# split instead of blocked/blocked_mt), so it gets its own list against its
+# own emitting TU.
+qkernel_src="$SRC/tensor/qgemm.cc"
+for pair in 'path:direct' 'path:fast' 'path:exact' \
+            'isa:portable' 'isa:avx2' 'isa:avx512'; do
+  key="${pair%%:*}"; value="${pair##*:}"
+  if ! grep -qE "\`$value\`" "$DOC"; then
+    echo "check_docs: tensor.qgemm.kernel label value not documented in $DOC: $key=$value" >&2
+    fail=1
+  fi
+  if ! grep -qF "\"$value\"" "$qkernel_src"; then
+    echo "check_docs: documented tensor.qgemm.kernel label value not emitted by $qkernel_src: $key=$value" >&2
+    fail=1
+  fi
+done
+
 # Direction 3: dead relative links. Markdown inline links whose target is
 # a relative path (no scheme, no pure #anchor) must resolve from the
 # linking file's directory. Anchors are stripped before the check.
